@@ -1,0 +1,50 @@
+"""A6 — tree-level content checking: Section 4 automata vs plain scans.
+
+The paper's prototype checked content models by running the target
+content DFA over all child labels ("we do not use the algorithms
+mentioned in Section 4 ... to perform a fair comparison with Xerces").
+This bench measures both configurations of our CastValidator on the
+Experiment 2 workload.  Expected shape: identical verdicts, fewer
+content symbols scanned with the pair automata, time advantage small on
+this workload (content models are short) but never negative.
+"""
+
+import pytest
+
+from repro.core.cast import CastValidator
+from repro.workloads.purchase_orders import make_purchase_order
+
+SIZES = (50, 200, 1000)
+
+
+@pytest.mark.parametrize("items", SIZES)
+def test_string_cast_mode(benchmark, exp2_pair, items):
+    validator = CastValidator(exp2_pair, use_string_cast=True)
+    doc = make_purchase_order(items)
+    report = benchmark(validator.validate, doc)
+    assert report.valid
+
+
+@pytest.mark.parametrize("items", SIZES)
+def test_plain_mode(benchmark, exp2_pair, items):
+    validator = CastValidator(exp2_pair, use_string_cast=False)
+    doc = make_purchase_order(items)
+    report = benchmark(validator.validate, doc)
+    assert report.valid
+
+
+def test_modes_agree_and_cast_scans_fewer_symbols(exp2_pair):
+    doc = make_purchase_order(300)
+    cast = CastValidator(exp2_pair, use_string_cast=True).validate(doc)
+    plain = CastValidator(exp2_pair, use_string_cast=False).validate(doc)
+    assert cast.valid == plain.valid
+    assert (
+        cast.stats.content_symbols_scanned
+        <= plain.stats.content_symbols_scanned
+    )
+
+
+if __name__ == "__main__":
+    from repro.bench.ablations import report_content_mode, run_content_mode
+
+    print(report_content_mode(run_content_mode()))

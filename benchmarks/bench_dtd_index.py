@@ -1,0 +1,76 @@
+"""A3 — DTD label-index cast (Section 3.4) vs tree-walk cast vs full.
+
+The DTD optimization: with direct access to label instances, only
+labels whose type pair is neither subsumed nor disjoint are visited.
+Workload: item value type narrowed, so every item needs a value check.
+Expected shape: index ≈ tree-walk (both linear in items, small
+constants), both well below full validation.
+"""
+
+import pytest
+
+from repro.bench.harness import _dtd_index_pair
+from repro.baselines.full import FullValidator
+from repro.core.cast import CastValidator
+from repro.core.dtdcast import DTDCastValidator
+from repro.xmltree.dom import Document, element
+
+SIZES = (10, 100, 1000)
+
+
+def _doc(count):
+    doc = Document(
+        element(
+            "po",
+            element("shipTo", element("name", "a")),
+            element("billTo", element("name", "b")),
+            element("items", *(element("item", str(i + 1))
+                               for i in range(count))),
+        )
+    )
+    doc.elements_with_label("item")  # pre-build the index
+    return doc
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return _dtd_index_pair()
+
+
+@pytest.mark.parametrize("items", SIZES)
+def test_label_index_cast(benchmark, pair, items):
+    validator = DTDCastValidator(pair)
+    doc = _doc(items)
+    report = benchmark(validator.validate, doc)
+    assert report.valid
+    # Only item instances (plus po, items content checks) are visited.
+    assert report.stats.simple_values_checked == items
+
+
+@pytest.mark.parametrize("items", SIZES)
+def test_tree_walk_cast(benchmark, pair, items):
+    validator = CastValidator(pair)
+    doc = _doc(items)
+    report = benchmark(validator.validate, doc)
+    assert report.valid
+
+
+@pytest.mark.parametrize("items", SIZES)
+def test_full_validation(benchmark, pair, items):
+    validator = FullValidator(pair.target)
+    doc = _doc(items)
+    report = benchmark(validator.validate, doc)
+    assert report.valid
+
+
+def test_index_visits_fewer_nodes_than_full(pair):
+    doc = _doc(500)
+    index_nodes = DTDCastValidator(pair).validate(doc).stats.nodes_visited
+    full_nodes = FullValidator(pair.target).validate(doc).stats.nodes_visited
+    assert index_nodes < full_nodes
+
+
+if __name__ == "__main__":
+    from repro.bench.harness import report_dtd_index, run_dtd_index
+
+    print(report_dtd_index(run_dtd_index()))

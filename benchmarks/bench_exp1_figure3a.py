@@ -1,0 +1,47 @@
+"""Figure 3a — Experiment 1: billTo optional → required.
+
+Regenerates the paper's first plot: validation time versus the number
+of ``item`` elements, for the schema cast validator and the full
+(Xerces-style) validator.  Expected shape: the cast validator's time is
+**constant** in document size (it decides at the purchaseOrder content
+model), the full validator's time is **linear**.
+
+Run ``python benchmarks/bench_exp1_figure3a.py`` for the printed series,
+or ``pytest benchmarks/bench_exp1_figure3a.py --benchmark-only`` for
+statistics per point.
+"""
+
+import pytest
+
+from repro.workloads.purchase_orders import PAPER_ITEM_COUNTS, make_purchase_order
+
+DOCS = {}
+
+
+def _doc(count):
+    if count not in DOCS:
+        DOCS[count] = make_purchase_order(count)
+    return DOCS[count]
+
+
+@pytest.mark.parametrize("items", PAPER_ITEM_COUNTS)
+def test_cast_validator(benchmark, exp1_cast, items):
+    doc = _doc(items)
+    report = benchmark(exp1_cast.validate, doc)
+    assert report.valid
+    # The headline claim: constant work regardless of document size.
+    assert report.stats.nodes_visited <= 2
+
+
+@pytest.mark.parametrize("items", PAPER_ITEM_COUNTS)
+def test_full_validator(benchmark, exp1_full, items):
+    doc = _doc(items)
+    report = benchmark(exp1_full.validate, doc)
+    assert report.valid
+    assert report.stats.nodes_visited == doc.size()
+
+
+if __name__ == "__main__":
+    from repro.bench.harness import report_experiment1, run_experiment1
+
+    print(report_experiment1(run_experiment1()))

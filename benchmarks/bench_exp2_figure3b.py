@@ -1,0 +1,51 @@
+"""Figure 3b — Experiment 2: quantity ``maxExclusive`` 200 → 100.
+
+Regenerates the paper's second plot: validation time versus item count
+when every ``quantity`` value must be rechecked.  Expected shape: both
+validators linear, the schema cast validator a constant factor faster
+(the paper reports ≈30%; we skip more aggressively, see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.workloads.purchase_orders import PAPER_ITEM_COUNTS, make_purchase_order
+
+DOCS = {}
+
+
+def _doc(count):
+    if count not in DOCS:
+        DOCS[count] = make_purchase_order(count)
+    return DOCS[count]
+
+
+@pytest.mark.parametrize("items", PAPER_ITEM_COUNTS)
+def test_cast_validator(benchmark, exp2_cast, items):
+    doc = _doc(items)
+    report = benchmark(exp2_cast.validate, doc)
+    assert report.valid
+    # Exactly one value check per item: work is linear in items.
+    assert report.stats.simple_values_checked == items
+
+
+@pytest.mark.parametrize("items", PAPER_ITEM_COUNTS)
+def test_full_validator(benchmark, exp2_full, items):
+    doc = _doc(items)
+    report = benchmark(exp2_full.validate, doc)
+    assert report.valid
+
+
+def test_cast_faster_than_full(exp2_cast, exp2_full):
+    """The Figure 3b ordering, asserted on wall-clock directly."""
+    from repro.bench.harness import time_call
+
+    doc = _doc(500)
+    cast_time = time_call(lambda: exp2_cast.validate(doc), repeat=3)
+    full_time = time_call(lambda: exp2_full.validate(doc), repeat=3)
+    assert cast_time < full_time
+
+
+if __name__ == "__main__":
+    from repro.bench.harness import report_experiment2, run_experiment2
+
+    print(report_experiment2(run_experiment2()))

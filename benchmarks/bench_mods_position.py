@@ -1,0 +1,73 @@
+"""A2 — with-modifications scanning strategies vs edit position.
+
+The Section 4.3 discussion: forward scanning wins when edits cluster at
+the front, the reverse-automaton variant wins for appends, and the AUTO
+policy should track the minimum of the two.  Expected shape: symbols
+scanned by FORWARD grows with the edit position, REVERSE shrinks, AUTO
+follows the lower envelope.
+"""
+
+import random
+
+import pytest
+
+from repro.automata.stringcast import Strategy, StringUpdateRevalidator
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model
+
+LENGTH = 2000
+
+
+def _setup():
+    dfa = compile_dfa(parse_content_model("a,(a|b)*,b"), frozenset("ab"))
+    rng = random.Random(3)
+    base = ["a"] + [rng.choice("ab") for _ in range(LENGTH - 2)] + ["b"]
+    return StringUpdateRevalidator(dfa), base
+
+
+def _edit_at(base, fraction):
+    index = 1 + min(int(fraction * (LENGTH - 3)), LENGTH - 3)
+    modified = list(base)
+    modified[index] = "a" if modified[index] == "b" else "b"
+    return modified
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.5, 1.0])
+@pytest.mark.parametrize(
+    "strategy", [Strategy.FORWARD, Strategy.REVERSE, Strategy.AUTO]
+)
+def test_strategy_at_position(benchmark, fraction, strategy):
+    validator, base = _setup()
+    modified = _edit_at(base, fraction)
+    result = benchmark(
+        validator.validate_modified, base, modified, strategy=strategy
+    )
+    assert result.accepted  # middle-region flips stay in the language
+
+
+def test_auto_tracks_lower_envelope():
+    validator, base = _setup()
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        modified = _edit_at(base, fraction)
+        forward = validator.validate_modified(
+            base, modified, strategy=Strategy.FORWARD
+        )
+        reverse = validator.validate_modified(
+            base, modified, strategy=Strategy.REVERSE
+        )
+        auto = validator.validate_modified(
+            base, modified, strategy=Strategy.AUTO
+        )
+        assert auto.symbols_scanned <= max(
+            forward.symbols_scanned, reverse.symbols_scanned
+        )
+        # Within a small constant of the better direction.
+        assert auto.symbols_scanned <= min(
+            forward.symbols_scanned, reverse.symbols_scanned
+        ) + 4
+
+
+if __name__ == "__main__":
+    from repro.bench.ablations import report_mods_position, run_mods_position
+
+    print(report_mods_position(run_mods_position()))

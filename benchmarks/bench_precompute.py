@@ -1,0 +1,79 @@
+"""A4 — static preprocessing cost (R_sub, R_nondis, cast machines).
+
+The paper's approach front-loads all schema-dependent work; this bench
+measures that cost as schema size grows.  Expected shape: polynomial in
+the number of types (pairwise fixpoints over type products), and — the
+paper's memory argument — completely independent of any document.
+"""
+
+import random
+
+import pytest
+
+from repro.schema.registry import SchemaPair
+from repro.workloads.generators import random_schema
+
+SIZES = (4, 8, 16)
+
+
+def _schemas(size):
+    rng = random.Random(100 + size)
+    for _ in range(30):
+        try:
+            source = random_schema(
+                rng, num_labels=size, num_complex=size,
+                num_simple=max(2, size // 4),
+            )
+            target = random_schema(
+                rng, num_labels=size, num_complex=size,
+                num_simple=max(2, size // 4),
+            )
+            return source, target
+        except Exception:
+            continue
+    pytest.skip("schema generation failed")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_build_schema_pair(benchmark, size):
+    source, target = _schemas(size)
+
+    def build():
+        pair = SchemaPair(source, target)
+        pair.warm()
+        return pair
+
+    pair = benchmark(build)
+    assert pair.r_nondis is not None
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_relations_only(benchmark, size):
+    """R_sub + R_nondis without warming the cast machines."""
+    source, target = _schemas(size)
+    pair = benchmark(SchemaPair, source, target)
+    total_pairs = len(source.types) * len(target.types)
+    assert len(pair.r_sub) <= total_pairs
+    assert len(pair.r_nondis) <= total_pairs
+
+
+def test_paper_schema_pair_is_cheap(benchmark):
+    """The actual experiment pair must preprocess in milliseconds."""
+    from repro.workloads import purchase_orders as po
+
+    source = po.source_schema_experiment2()
+    target = po.target_schema_experiment2()
+
+    def build():
+        pair = SchemaPair(source, target)
+        pair.warm()
+        return pair
+
+    pair = benchmark(build)
+    assert pair.is_subsumed("USAddress", "USAddress")
+
+
+if __name__ == "__main__":
+    from repro.bench.ablations import report_precompute, run_precompute
+
+    print(report_precompute(run_precompute()))

@@ -1,0 +1,60 @@
+"""A1 — immediate decision automaton vs plain target rescan (strings).
+
+Measures both the wall-clock and the symbols-scanned advantage of the
+pair automaton ``c_immed`` over rescanning with the target automaton,
+across schema-similarity regimes (identical / disjoint / subsumed /
+late-diverging).  Expected shape: O(1) decisions whenever the residual
+relationship settles early; never more symbols than the plain scan
+(Proposition 3).
+"""
+
+import random
+
+import pytest
+
+from repro.automata.stringcast import StringCastValidator
+from repro.bench.ablations import _A1_CASES, _a1_word
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model
+
+LENGTH = 1000
+
+
+def _validator(case):
+    src, tgt = _A1_CASES[case]
+    alphabet = frozenset("abcde")
+    return StringCastValidator(
+        compile_dfa(parse_content_model(src), alphabet),
+        compile_dfa(parse_content_model(tgt), alphabet),
+    )
+
+
+@pytest.mark.parametrize("case", sorted(_A1_CASES))
+def test_cast_scan(benchmark, case):
+    validator = _validator(case)
+    word = _a1_word(LENGTH, random.Random(1))
+    result = benchmark(validator.validate, word)
+    plain = validator.b_immed.scan(word)
+    # Proposition 3: never scan more than the plain automaton.
+    assert result.symbols_scanned <= plain.symbols_scanned
+
+
+@pytest.mark.parametrize("case", sorted(_A1_CASES))
+def test_plain_scan(benchmark, case):
+    validator = _validator(case)
+    word = _a1_word(LENGTH, random.Random(1))
+    benchmark(validator.b_immed.scan, word)
+
+
+def test_early_cases_scan_constant_symbols():
+    word = _a1_word(LENGTH, random.Random(1))
+    for case in ("identical", "disjoint", "subsumed-start",
+                 "after-one-symbol"):
+        result = _validator(case).validate(word)
+        assert result.symbols_scanned <= 1, case
+
+
+if __name__ == "__main__":
+    from repro.bench.ablations import report_string_cast, run_string_cast
+
+    print(report_string_cast(run_string_cast()))

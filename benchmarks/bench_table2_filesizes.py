@@ -1,0 +1,44 @@
+"""Table 2 — input document file sizes.
+
+Regenerates the paper's table of serialized document sizes for the item
+counts of Section 6.  Absolute bytes differ from the paper's by a
+near-constant factor (address strings, indentation); the per-item growth
+is linear in both.
+"""
+
+import pytest
+
+from repro.workloads.purchase_orders import (
+    PAPER_ITEM_COUNTS,
+    PAPER_TABLE2_FILE_SIZES,
+    document_size_bytes,
+    make_purchase_order,
+)
+
+
+@pytest.mark.parametrize("items", PAPER_ITEM_COUNTS)
+def test_serialize_document(benchmark, items):
+    doc = make_purchase_order(items)
+    size = benchmark(document_size_bytes, doc)
+    paper = PAPER_TABLE2_FILE_SIZES[items]
+    # Same order of magnitude as the paper's file (0.5x – 2x).
+    assert paper / 2 < size < paper * 2
+
+
+def test_growth_is_linear(benchmark):
+    def slope():
+        small = document_size_bytes(make_purchase_order(100))
+        large = document_size_bytes(make_purchase_order(1000))
+        return (large - small) / 900
+
+    per_item = benchmark(slope)
+    paper_slope = (
+        PAPER_TABLE2_FILE_SIZES[1000] - PAPER_TABLE2_FILE_SIZES[100]
+    ) / 900
+    assert per_item == pytest.approx(paper_slope, rel=0.5)
+
+
+if __name__ == "__main__":
+    from repro.bench.harness import report_table2, run_table2
+
+    print(report_table2(run_table2()))

@@ -1,0 +1,114 @@
+"""A5 — tree cast with modifications vs full revalidation vs the
+document-preprocessing incremental baseline.
+
+Workload: a 200-item purchase order; k quantity values edited; the
+document revalidated against the same schema.  Expected shape:
+cast-with-modifications work grows with k (and stays far below full
+revalidation for small k); the preprocessing baseline answers updates
+quickly but holds per-node state proportional to the document, which the
+schema-pair approach avoids (the paper's Section 1/2 argument).
+"""
+
+import random
+
+import pytest
+
+from repro.baselines.full import FullValidator
+from repro.baselines.preprocessed import PreprocessedIncrementalValidator
+from repro.core.castmods import CastWithModificationsValidator
+from repro.core.updates import UpdateSession
+from repro.schema.registry import SchemaPair
+from repro.workloads.purchase_orders import (
+    make_purchase_order,
+    target_schema_experiment2,
+)
+
+ITEMS = 200
+EDIT_COUNTS = (1, 10, 100)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return target_schema_experiment2()
+
+
+@pytest.fixture(scope="module")
+def pair(schema):
+    built = SchemaPair(schema, schema)
+    built.warm()
+    return built
+
+
+def _edited_session(edits):
+    rng = random.Random(42)
+    session = UpdateSession(make_purchase_order(ITEMS))
+    items = session.document.root.find("items")
+    for _ in range(edits):
+        item = items.children[rng.randrange(len(items.children))]
+        session.replace_text(
+            item.find("quantity").children[0], str(1 + rng.randrange(99))
+        )
+    return session
+
+
+@pytest.mark.parametrize("edits", EDIT_COUNTS)
+def test_cast_with_modifications(benchmark, pair, edits):
+    session = _edited_session(edits)
+    validator = CastWithModificationsValidator(pair)
+    report = benchmark(validator.validate, session)
+    assert report.valid
+    # Work proportional to the edit count, not the document.
+    assert report.stats.nodes_visited <= 4 * edits + 8
+
+
+@pytest.mark.parametrize("edits", EDIT_COUNTS)
+def test_full_revalidation(benchmark, schema, edits):
+    session = _edited_session(edits)
+    result = session.result_document()
+    validator = FullValidator(schema)
+    report = benchmark(validator.validate, result)
+    assert report.valid
+    assert report.stats.nodes_visited == result.size()
+
+
+def test_preprocessing_baseline_memory(schema):
+    """The related-work trade-off: per-document state vs per-schema
+    state (no timing — the point is the memory column)."""
+    validator = PreprocessedIncrementalValidator(schema)
+    small = make_purchase_order(20)
+    validator.preprocess(small)
+    small_cells = validator.memory_cells()
+    big_validator = PreprocessedIncrementalValidator(schema)
+    big_validator.preprocess(make_purchase_order(ITEMS))
+    assert big_validator.memory_cells() > small_cells * 5
+    pair = SchemaPair(schema, schema)
+    pair_state = len(pair.r_sub) + len(pair.r_nondis)
+    assert pair_state < small_cells  # schema state beats even a tiny doc
+
+
+@pytest.mark.parametrize("edits", (1, 10))
+def test_preprocessing_baseline_updates(benchmark, schema, edits):
+    rng = random.Random(7)
+
+    def run():
+        validator = PreprocessedIncrementalValidator(schema)
+        doc = make_purchase_order(50)
+        validator.preprocess(doc)
+        items = doc.root.find("items")
+        for _ in range(edits):
+            item = items.children[rng.randrange(len(items.children))]
+            position = item.find("quantity").index
+            validator.insert_element(item, position, "productName")
+            validator.delete(item.children[position])
+        return validator
+
+    benchmark(run)
+
+
+if __name__ == "__main__":
+    from repro.bench.harness import (
+        report_tree_modifications,
+        run_tree_modifications,
+    )
+
+    print(report_tree_modifications(run_tree_modifications()))

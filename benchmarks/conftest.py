@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+Schema pairs are built once per session (they are the *static*
+preprocessing of the paper's setup; their cost is measured separately in
+``bench_precompute.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.full import FullValidator
+from repro.core.cast import CastValidator
+from repro.schema.registry import SchemaPair
+from repro.workloads import purchase_orders as po
+
+
+@pytest.fixture(scope="session")
+def exp1_pair():
+    pair = SchemaPair(
+        po.source_schema_experiment1(), po.target_schema_experiment1()
+    )
+    pair.warm()
+    return pair
+
+
+@pytest.fixture(scope="session")
+def exp2_pair():
+    pair = SchemaPair(
+        po.source_schema_experiment2(), po.target_schema_experiment2()
+    )
+    pair.warm()
+    return pair
+
+
+@pytest.fixture(scope="session")
+def exp1_cast(exp1_pair):
+    return CastValidator(exp1_pair)
+
+
+@pytest.fixture(scope="session")
+def exp2_cast(exp2_pair):
+    return CastValidator(exp2_pair)
+
+
+@pytest.fixture(scope="session")
+def exp1_full(exp1_pair):
+    return FullValidator(exp1_pair.target)
+
+
+@pytest.fixture(scope="session")
+def exp2_full(exp2_pair):
+    return FullValidator(exp2_pair.target)

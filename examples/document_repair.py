@@ -1,0 +1,57 @@
+"""Automatic document correction (the paper's Section 7 future work).
+
+A batch of purchase orders valid under the old schema (billTo optional,
+quantities < 200) must be migrated to the new one (billTo required,
+quantities < 100).  Instead of merely rejecting non-conforming
+documents, the repairer produces minimally edited conforming versions
+and an audit trail of what it changed.
+
+Run:  python examples/document_repair.py
+"""
+
+from repro import DocumentRepairer, SchemaPair, serialize, validate_document
+from repro.workloads.purchase_orders import (
+    make_purchase_order,
+    purchase_order_schema,
+)
+
+
+def main() -> None:
+    old = purchase_order_schema(
+        billto_optional=True, quantity_max_exclusive=200, name="po-old"
+    )
+    new = purchase_order_schema(
+        billto_optional=False, quantity_max_exclusive=100, name="po-new"
+    )
+    pair = SchemaPair(old, new)
+    repairer = DocumentRepairer(pair)
+
+    batch = {
+        "conforming": make_purchase_order(3),
+        "missing billTo": make_purchase_order(3, with_billto=False),
+        "oversized quantities": make_purchase_order(
+            3, quantity_of=lambda i: 120 + i * 10
+        ),
+        "both problems": make_purchase_order(
+            2, with_billto=False, quantity_of=lambda i: 199
+        ),
+    }
+
+    for name, document in batch.items():
+        assert validate_document(old, document).valid
+        result = repairer.repair(document)
+        print(f"{name}:")
+        if not result.changed:
+            print("  no repairs needed")
+        for action in result.actions:
+            print(f"  {action}")
+        assert result.verification.valid
+        print(f"  -> target-valid: {result.verification.valid}\n")
+
+    print("repaired 'both problems' document:")
+    result = repairer.repair(batch["both problems"])
+    print(serialize(result.document, indent="  "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Identity constraints: keys and references across a schema cast.
+
+An order document must satisfy structural validity *and* referential
+integrity: every line item references a declared product SKU, and SKUs
+are unique.  The structural cast validator handles the former; the
+identity pass (the paper's Section 7 extension) the latter.
+
+Run:  python examples/identity_constraints.py
+"""
+
+from repro import parse, parse_xsd
+from repro.schema import check_identity, validate_with_constraints
+
+SCHEMA = """
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="order" type="Order">
+    <xsd:key name="productKey">
+      <xsd:selector xpath="products/product"/>
+      <xsd:field xpath="@sku"/>
+    </xsd:key>
+    <xsd:keyref name="lineProduct" refer="productKey">
+      <xsd:selector xpath="lines/line"/>
+      <xsd:field xpath="@product"/>
+    </xsd:keyref>
+  </xsd:element>
+  <xsd:complexType name="Order"><xsd:sequence>
+    <xsd:element name="products" type="Products"/>
+    <xsd:element name="lines" type="Lines"/>
+  </xsd:sequence></xsd:complexType>
+  <xsd:complexType name="Products"><xsd:sequence>
+    <xsd:element name="product" type="xsd:string"
+                 minOccurs="1" maxOccurs="unbounded"/>
+  </xsd:sequence></xsd:complexType>
+  <xsd:complexType name="Lines"><xsd:sequence>
+    <xsd:element name="line" type="xsd:string"
+                 minOccurs="0" maxOccurs="unbounded"/>
+  </xsd:sequence></xsd:complexType>
+</xsd:schema>
+"""
+
+DOCUMENTS = {
+    "consistent order": """
+      <order>
+        <products>
+          <product sku="SKU-1">Lawnmower</product>
+          <product sku="SKU-2">Rake</product>
+        </products>
+        <lines>
+          <line product="SKU-1">2 units</line>
+          <line product="SKU-2">1 unit</line>
+        </lines>
+      </order>
+    """,
+    "duplicate SKU": """
+      <order>
+        <products>
+          <product sku="SKU-1">Lawnmower</product>
+          <product sku="SKU-1">Rake</product>
+        </products>
+        <lines/>
+      </order>
+    """,
+    "dangling reference": """
+      <order>
+        <products><product sku="SKU-1">Lawnmower</product></products>
+        <lines><line product="SKU-9">ghost</line></lines>
+      </order>
+    """,
+}
+
+
+def main() -> None:
+    schema = parse_xsd(SCHEMA, name="orders")
+    declared = [
+        f"{c.kind} {c.name}" for cs in schema.identity.values() for c in cs
+    ]
+    print(f"constraints declared on <order>: {declared}\n")
+
+    for name, text in DOCUMENTS.items():
+        document = parse(text)
+        combined = validate_with_constraints(schema, document)
+        print(f"{name}:")
+        if combined.valid:
+            print("  structurally valid, constraints satisfied")
+        else:
+            # Distinguish the failing layer for the log.
+            identity_only = check_identity(schema.identity, document)
+            layer = "identity" if not identity_only.valid else "structure"
+            print(f"  REJECTED ({layer}): {combined.reason}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

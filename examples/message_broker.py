@@ -1,0 +1,95 @@
+"""Message-broker scenario (the paper's motivating deployment).
+
+A broker receives order messages guaranteed valid against a partner's
+published schema and must enforce its own internal schema before
+forwarding.  The partner/internal schemas differ in two places:
+
+* the internal schema requires ``billTo`` (partner: optional);
+* the internal schema caps ``quantity`` below 100 (partner: below 200).
+
+The broker preprocesses the schema pair once, then revalidates a stream
+of messages, skipping everything the subsumption relation guarantees.
+A Xerces-style full validator processes the same stream for comparison.
+
+Run:  python examples/message_broker.py
+"""
+
+import random
+import time
+
+from repro import CastValidator, SchemaPair
+from repro.baselines.full import FullValidator
+from repro.workloads.purchase_orders import (
+    make_purchase_order,
+    purchase_order_schema,
+)
+
+
+def build_message_stream(count: int, seed: int = 7):
+    """A mix of conforming and non-conforming partner messages."""
+    rng = random.Random(seed)
+    stream = []
+    for i in range(count):
+        kind = rng.random()
+        if kind < 0.70:
+            # Fine: billTo present, quantities < 100.
+            doc = make_purchase_order(rng.randint(1, 30))
+            expected = True
+        elif kind < 0.85:
+            # Partner-legal but violates our quantity cap.
+            doc = make_purchase_order(
+                rng.randint(1, 30),
+                quantity_of=lambda i: rng.randint(100, 199),
+            )
+            expected = False
+        else:
+            # Partner-legal but no billTo.
+            doc = make_purchase_order(rng.randint(1, 30),
+                                      with_billto=False)
+            expected = False
+        stream.append((doc, expected))
+    return stream
+
+
+def main() -> None:
+    partner = purchase_order_schema(
+        billto_optional=True, quantity_max_exclusive=200, name="partner"
+    )
+    internal = purchase_order_schema(
+        billto_optional=False, quantity_max_exclusive=100, name="internal"
+    )
+
+    print("preprocessing partner -> internal schema pair...")
+    start = time.perf_counter()
+    pair = SchemaPair(partner, internal)
+    pair.warm()
+    print(f"  done in {(time.perf_counter() - start) * 1e3:.1f} ms "
+          f"(|R_sub|={len(pair.r_sub)}, |R_nondis|={len(pair.r_nondis)})")
+
+    stream = build_message_stream(200)
+    cast = CastValidator(pair)
+    full = FullValidator(internal)
+
+    for name, validator in [("schema cast", cast), ("full Xerces-style",
+                                                    full)]:
+        accepted = rejected = nodes = 0
+        start = time.perf_counter()
+        for doc, expected in stream:
+            report = validator.validate(doc)
+            assert report.valid == expected, report.reason
+            nodes += report.stats.nodes_visited
+            if report.valid:
+                accepted += 1
+            else:
+                rejected += 1
+        elapsed = (time.perf_counter() - start) * 1e3
+        print(
+            f"\n{name} validator: {accepted} forwarded, "
+            f"{rejected} bounced"
+        )
+        print(f"  total time:    {elapsed:8.1f} ms")
+        print(f"  nodes visited: {nodes:8d}")
+
+
+if __name__ == "__main__":
+    main()

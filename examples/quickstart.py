@@ -1,0 +1,89 @@
+"""Quickstart: schema cast validation in five steps.
+
+The scenario from the paper's introduction: a document is known valid
+against one version of a purchase-order schema and must be checked
+against another version whose ``billTo`` element is required instead of
+optional.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CastValidator, SchemaPair, parse, parse_xsd
+
+SOURCE_XSD = """
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType"/>
+  <xsd:complexType name="POType">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="Address"/>
+      <xsd:element name="billTo" type="Address" minOccurs="0"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="xsd:string"
+                   minOccurs="0" maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+# The target schema differs in exactly one place: billTo is required.
+TARGET_XSD = SOURCE_XSD.replace(' minOccurs="0"/>', "/>", 1)
+
+DOCUMENT_WITH_BILLTO = """
+<purchaseOrder>
+  <shipTo><name>Alice</name><street>1 Main St</street></shipTo>
+  <billTo><name>Bob</name><street>2 Oak Ave</street></billTo>
+  <items><item>lawnmower</item><item>rake</item></items>
+</purchaseOrder>
+"""
+
+DOCUMENT_WITHOUT_BILLTO = """
+<purchaseOrder>
+  <shipTo><name>Alice</name><street>1 Main St</street></shipTo>
+  <items><item>lawnmower</item></items>
+</purchaseOrder>
+"""
+
+
+def main() -> None:
+    # 1. Parse both schemas (static, done once).
+    source = parse_xsd(SOURCE_XSD, name="po-v1")
+    target = parse_xsd(TARGET_XSD, name="po-v2")
+
+    # 2. Preprocess the pair: subsumption + disjointness + automata.
+    pair = SchemaPair(source, target)
+    print(f"preprocessed pair: {pair}")
+    print(f"  Address type unchanged -> subsumed: "
+          f"{pair.is_subsumed('Address', 'Address')}")
+    print(f"  POType changed        -> subsumed: "
+          f"{pair.is_subsumed('POType', 'POType')}")
+
+    # 3. Build the cast validator (reusable across documents).
+    validator = CastValidator(pair)
+
+    # 4. Revalidate documents known to conform to the source schema.
+    for label, text in [
+        ("with billTo", DOCUMENT_WITH_BILLTO),
+        ("without billTo", DOCUMENT_WITHOUT_BILLTO),
+    ]:
+        report = validator.validate(parse(text))
+        verdict = "VALID" if report.valid else f"INVALID ({report.reason})"
+        print(f"\ndocument {label}: {verdict}")
+        # 5. Inspect how little work the cast validator did.
+        stats = report.stats
+        print(f"  nodes visited:        {stats.nodes_visited}")
+        print(f"  subtrees skipped:     {stats.subtrees_skipped}")
+        print(f"  content symbols read: {stats.content_symbols_scanned}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Schema evolution audit: which archived documents survive a version
+bump, and why do the failures fail?
+
+A catalogue DTD evolves across three versions; the archive holds
+documents valid under v1.  For each target version we preprocess the
+(v1, vN) pair once and replay the archive through the cast validator,
+classifying failures by reason.  The disjointness relation gives
+fail-fast answers; the subsumption relation lets whole entries be
+skipped.
+
+Run:  python examples/schema_evolution.py
+"""
+
+import random
+
+from repro import CastValidator, SchemaPair, parse_dtd
+from repro.workloads.generators import sample_document
+
+V1 = """
+<!ELEMENT catalog (product*)>
+<!ELEMENT product (title, price, description?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+"""
+
+# v2: description becomes mandatory.
+V2 = V1.replace("description?", "description")
+
+# v3: products gain an optional sku, and at least one product required.
+V3 = """
+<!ELEMENT catalog (product+)>
+<!ELEMENT product (title, price, description, sku?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT sku (#PCDATA)>
+"""
+
+
+def build_archive(schema, count: int = 60, seed: int = 5):
+    rng = random.Random(seed)
+    archive = []
+    while len(archive) < count:
+        doc = sample_document(rng, schema, max_depth=5)
+        if doc is not None and doc.root.label == "catalog":
+            archive.append(doc)
+    return archive
+
+
+def main() -> None:
+    v1 = parse_dtd(V1, roots=["catalog"], name="catalog-v1")
+    archive = build_archive(v1)
+    print(f"archive: {len(archive)} documents valid under catalog-v1\n")
+
+    for version, text in [("v2", V2), ("v3", V3)]:
+        target = parse_dtd(text, roots=["catalog"], name=f"catalog-{version}")
+        pair = SchemaPair(v1, target)
+        validator = CastValidator(pair)
+        survivors = 0
+        reasons: dict[str, int] = {}
+        nodes = 0
+        for doc in archive:
+            report = validator.validate(doc)
+            nodes += report.stats.nodes_visited
+            if report.valid:
+                survivors += 1
+            else:
+                key = report.reason.split(" of type")[0]
+                reasons[key] = reasons.get(key, 0) + 1
+        print(f"migrating v1 -> {version}:")
+        print(f"  unchanged-type pairs skipped outright: "
+              f"{sorted(t for t, u in pair.r_sub if t == u)}")
+        print(f"  {survivors}/{len(archive)} documents survive; "
+              f"{nodes} nodes examined in total")
+        for reason, count in sorted(reasons.items(), key=lambda kv: -kv[1]):
+            print(f"    {count:3d} x {reason}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

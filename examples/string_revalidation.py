@@ -1,0 +1,62 @@
+"""Section 4 standalone: revalidating strings against DFAs.
+
+The content-model machinery is useful on its own — e.g. revalidating an
+event sequence against a protocol grammar after edits.  This example
+shows the immediate decision automaton deciding early, and the
+forward/reverse strategy choice for modified strings.
+
+Run:  python examples/string_revalidation.py
+"""
+
+from repro import StringCastValidator, StringUpdateRevalidator, Strategy
+from repro.remodel import compile_dfa, parse_content_model
+
+
+def show(result, label):
+    verdict = "ACCEPT" if result.accepted else "REJECT"
+    print(f"  {label:34s} {verdict:6s} after {result.symbols_scanned:4d} "
+          f"symbols ({result.decision.value}, {result.strategy.value})")
+
+
+def main() -> None:
+    alphabet = frozenset("abcde")
+
+    print("schema cast without modifications")
+    print("  source grammar: a,(b|c)*,d    target grammar: a,(b|c)*,(d|e)")
+    source = compile_dfa(parse_content_model("a,(b|c)*,d"), alphabet)
+    target = compile_dfa(parse_content_model("a,(b|c)*,(d|e)"), alphabet)
+    validator = StringCastValidator(source, target)
+    word = ["a"] + ["b", "c"] * 500 + ["d"]
+    result = validator.validate(word)
+    show(result, f"{len(word)}-symbol source word")
+    print("  (the target accepts every source word: decided instantly)")
+
+    print("\nsingle-grammar update revalidation: a,(a|b)*,b")
+    grammar = compile_dfa(parse_content_model("a,(a|b)*,b"), frozenset("ab"))
+    revalidator = StringUpdateRevalidator(grammar)
+    original = ["a"] + ["a", "b"] * 1000 + ["b"]
+
+    edited_front = list(original)
+    edited_front[1] = "b"
+    show(revalidator.revalidate(original, edited_front), "flip near the front")
+
+    edited_back = list(original)
+    edited_back[-2] = "a"
+    show(revalidator.revalidate(original, edited_back), "flip near the back")
+
+    appended = original + ["a"]  # now ends in a: invalid
+    show(revalidator.revalidate(original, appended), "append one symbol")
+
+    truncated = original[:-1]
+    show(revalidator.revalidate(original, truncated), "drop the last symbol")
+
+    print("\nforcing strategies on the front flip:")
+    for strategy in (Strategy.FORWARD, Strategy.REVERSE, Strategy.PLAIN):
+        result = revalidator.validate_modified(
+            original, edited_front, strategy=strategy
+        )
+        show(result, f"strategy={strategy.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Finite automata toolkit: DFA/NFA, reversal, immediate decision
+automata, and string schema-cast validation (Section 4 of the paper)."""
+
+from repro.automata.dfa import DFA, harmonize
+from repro.automata.edits import (
+    Delete,
+    EditScript,
+    Insert,
+    Replace,
+    common_affix_lengths,
+)
+from repro.automata.immediate import (
+    Decision,
+    ImmediateDecisionAutomaton,
+    ScanResult,
+)
+from repro.automata.nfa import NFA, reverse, reverse_dfa
+from repro.automata.repair import language_edit_distance, repair_word
+from repro.automata.stringcast import (
+    CastScanResult,
+    Strategy,
+    StringCastValidator,
+    StringUpdateRevalidator,
+)
+
+__all__ = [
+    "DFA",
+    "harmonize",
+    "Delete",
+    "EditScript",
+    "Insert",
+    "Replace",
+    "common_affix_lengths",
+    "Decision",
+    "ImmediateDecisionAutomaton",
+    "ScanResult",
+    "NFA",
+    "language_edit_distance",
+    "repair_word",
+    "reverse",
+    "reverse_dfa",
+    "CastScanResult",
+    "Strategy",
+    "StringCastValidator",
+    "StringUpdateRevalidator",
+]

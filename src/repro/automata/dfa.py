@@ -1,0 +1,454 @@
+"""Deterministic finite automata over explicit label alphabets.
+
+DFAs here are always *complete*: every state maps every alphabet symbol to
+a successor (a non-accepting sink absorbs undeclared symbols).  Complete
+DFAs make the paper's constructions direct: the intersection automaton is
+the full product (Section 4.1), language inclusion is a product
+reachability check, and immediate decision automata (Section 4.2) can
+classify every state.
+
+States are dense integers ``0..n-1``; transitions are stored as one
+``dict[symbol, state]`` per state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+
+class DFA:
+    """A complete deterministic finite automaton.
+
+    Args:
+        alphabet: the symbol set; transitions must cover exactly these.
+        transitions: ``transitions[q][σ]`` is the successor of ``q`` on σ.
+        start: the initial state.
+        finals: accepting states.
+    """
+
+    __slots__ = ("alphabet", "transitions", "start", "finals")
+
+    def __init__(
+        self,
+        alphabet: Iterable[str],
+        transitions: Sequence[dict[str, int]],
+        start: int,
+        finals: Iterable[int],
+    ):
+        self.alphabet = frozenset(alphabet)
+        self.transitions = tuple(dict(row) for row in transitions)
+        self.start = start
+        self.finals = frozenset(finals)
+        self._validate()
+
+    def _validate(self) -> None:
+        n = len(self.transitions)
+        if not 0 <= self.start < n:
+            raise ValueError(f"start state {self.start} out of range")
+        if any(not 0 <= q < n for q in self.finals):
+            raise ValueError("final state out of range")
+        for q, row in enumerate(self.transitions):
+            if set(row) != self.alphabet:
+                missing = self.alphabet - set(row)
+                extra = set(row) - self.alphabet
+                raise ValueError(
+                    f"state {q} transition row mismatch: "
+                    f"missing={sorted(missing)}, extra={sorted(extra)}"
+                )
+            if any(not 0 <= dst < n for dst in row.values()):
+                raise ValueError(f"state {q} has an out-of-range successor")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_partial(
+        cls,
+        alphabet: Iterable[str],
+        num_states: int,
+        transitions: dict[tuple[int, str], int],
+        start: int,
+        finals: Iterable[int],
+    ) -> "DFA":
+        """Build a complete DFA from a partial transition map.
+
+        Missing transitions are routed to a fresh non-accepting sink (only
+        added when needed).
+        """
+        sigma = frozenset(alphabet)
+        rows: list[dict[str, int]] = [dict() for _ in range(num_states)]
+        for (q, symbol), dst in transitions.items():
+            if symbol not in sigma:
+                raise ValueError(f"transition on {symbol!r} not in alphabet")
+            rows[q][symbol] = dst
+        needs_sink = any(len(row) != len(sigma) for row in rows) or not rows
+        if needs_sink:
+            sink = len(rows)
+            rows.append({})
+            for row in rows:
+                for symbol in sigma:
+                    row.setdefault(symbol, sink)
+        return cls(sigma, rows, start, finals)
+
+    @classmethod
+    def empty_language(cls, alphabet: Iterable[str]) -> "DFA":
+        """A DFA accepting nothing."""
+        sigma = frozenset(alphabet)
+        return cls(sigma, [{s: 0 for s in sigma}], 0, ())
+
+    @classmethod
+    def universal_language(cls, alphabet: Iterable[str]) -> "DFA":
+        """A DFA accepting every string over the alphabet."""
+        sigma = frozenset(alphabet)
+        return cls(sigma, [{s: 0 for s in sigma}], 0, (0,))
+
+    @classmethod
+    def epsilon_language(cls, alphabet: Iterable[str]) -> "DFA":
+        """A DFA accepting only the empty string."""
+        sigma = frozenset(alphabet)
+        return cls(
+            sigma,
+            [{s: 1 for s in sigma}, {s: 1 for s in sigma}],
+            0,
+            (0,),
+        )
+
+    # -- basic execution ------------------------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def step(self, state: int, symbol: str) -> int:
+        return self.transitions[state][symbol]
+
+    def run(self, word: Iterable[str], start: Optional[int] = None) -> int:
+        """The state reached from ``start`` (default: initial) on ``word``."""
+        state = self.start if start is None else start
+        table = self.transitions
+        for symbol in word:
+            state = table[state][symbol]
+        return state
+
+    def trace(self, word: Iterable[str]) -> Iterator[int]:
+        """Yield the state sequence (including the start state)."""
+        state = self.start
+        yield state
+        for symbol in word:
+            state = self.transitions[state][symbol]
+            yield state
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        """Language membership; symbols outside the alphabet reject
+        (they cannot occur in any accepted word)."""
+        state = self.start
+        table = self.transitions
+        for symbol in word:
+            row = table[state]
+            if symbol not in row:
+                return False
+            state = row[symbol]
+        return state in self.finals
+
+    def is_final(self, state: int) -> bool:
+        return state in self.finals
+
+    # -- graph analyses --------------------------------------------------------
+
+    def reachable_states(self, start: Optional[int] = None) -> frozenset[int]:
+        """States reachable from ``start`` (default: initial state)."""
+        seen = {self.start if start is None else start}
+        queue = deque(seen)
+        while queue:
+            q = queue.popleft()
+            for dst in self.transitions[q].values():
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+        return frozenset(seen)
+
+    def reverse_adjacency(self) -> list[set[int]]:
+        """``result[q]`` = states with a transition into ``q``."""
+        incoming: list[set[int]] = [set() for _ in range(self.num_states)]
+        for q, row in enumerate(self.transitions):
+            for dst in row.values():
+                incoming[dst].add(q)
+        return incoming
+
+    def states_reaching(self, targets: Iterable[int]) -> frozenset[int]:
+        """States from which some state in ``targets`` is reachable
+        (including the targets themselves)."""
+        incoming = self.reverse_adjacency()
+        seen = set(targets)
+        queue = deque(seen)
+        while queue:
+            q = queue.popleft()
+            for src in incoming[q]:
+                if src not in seen:
+                    seen.add(src)
+                    queue.append(src)
+        return frozenset(seen)
+
+    def coreachable_states(self) -> frozenset[int]:
+        """States from which an accepting state is reachable."""
+        return self.states_reaching(self.finals)
+
+    def dead_states(self) -> frozenset[int]:
+        """States that are unreachable or cannot reach a final state —
+        the paper's two-condition definition (Section 4.1)."""
+        reachable = self.reachable_states()
+        coreachable = self.coreachable_states()
+        return frozenset(
+            q for q in range(self.num_states)
+            if q not in reachable or q not in coreachable
+        )
+
+    def is_empty(self) -> bool:
+        """Is the accepted language empty?"""
+        return not (self.reachable_states() & self.finals)
+
+    def is_universal(self) -> bool:
+        """Does the DFA accept every string over its alphabet?"""
+        return all(q in self.finals for q in self.reachable_states())
+
+    def shortest_accepted(self) -> Optional[list[str]]:
+        """A shortest accepted word (BFS), or None if the language is
+        empty.  Symbol choice is deterministic (sorted) for test
+        stability."""
+        if self.start in self.finals:
+            return []
+        parent: dict[int, tuple[int, str]] = {}
+        queue = deque([self.start])
+        seen = {self.start}
+        ordered = sorted(self.alphabet)
+        while queue:
+            q = queue.popleft()
+            for symbol in ordered:
+                dst = self.transitions[q][symbol]
+                if dst in seen:
+                    continue
+                seen.add(dst)
+                parent[dst] = (q, symbol)
+                if dst in self.finals:
+                    word: list[str] = []
+                    node = dst
+                    while node != self.start:
+                        node, symbol = parent[node]
+                        word.append(symbol)
+                    word.reverse()
+                    return word
+                queue.append(dst)
+        return None
+
+    # -- language algebra --------------------------------------------------------
+
+    def with_alphabet(self, alphabet: Iterable[str]) -> "DFA":
+        """Reinterpret over a (super)alphabet; new symbols go to a sink.
+
+        The language over the original alphabet is unchanged; strings
+        using new symbols are rejected.
+        """
+        sigma = frozenset(alphabet)
+        if not sigma >= self.alphabet:
+            raise ValueError("new alphabet must contain the old one")
+        if sigma == self.alphabet:
+            return self
+        new_symbols = sigma - self.alphabet
+        sink = self.num_states
+        rows = [dict(row) for row in self.transitions]
+        rows.append({})
+        for row in rows:
+            for symbol in new_symbols:
+                row[symbol] = sink
+        for symbol in self.alphabet:
+            rows[sink][symbol] = sink
+        return DFA(sigma, rows, self.start, self.finals)
+
+    def complement(self) -> "DFA":
+        """A DFA for the complement language (same alphabet)."""
+        finals = frozenset(range(self.num_states)) - self.finals
+        return DFA(self.alphabet, self.transitions, self.start, finals)
+
+    def product(
+        self, other: "DFA", is_final: Callable[[bool, bool], bool]
+    ) -> "DFA":
+        """Reachable product construction with a boolean final-state rule.
+
+        Both operands must share an alphabet (use :func:`harmonize`).
+        ``is_final(a_final, b_final)`` decides acceptance, so this one
+        construction yields intersection (``and``), union (``or``) and
+        difference (``a and not b``).
+        """
+        if self.alphabet != other.alphabet:
+            raise ValueError("product requires harmonized alphabets")
+        index: dict[tuple[int, int], int] = {}
+        rows: list[dict[str, int]] = []
+        pairs: list[tuple[int, int]] = []
+
+        def intern(pair: tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = len(pairs)
+                pairs.append(pair)
+                rows.append({})
+            return index[pair]
+
+        start = intern((self.start, other.start))
+        queue = deque([start])
+        visited = {start}
+        while queue:
+            q = queue.popleft()
+            qa, qb = pairs[q]
+            for symbol in self.alphabet:
+                dst = intern(
+                    (self.transitions[qa][symbol], other.transitions[qb][symbol])
+                )
+                rows[q][symbol] = dst
+                if dst not in visited:
+                    visited.add(dst)
+                    queue.append(dst)
+        finals = frozenset(
+            i
+            for i, (qa, qb) in enumerate(pairs)
+            if is_final(qa in self.finals, qb in other.finals)
+        )
+        return DFA(self.alphabet, rows, start, finals)
+
+    def intersection(self, other: "DFA") -> "DFA":
+        return self.product(other, lambda a, b: a and b)
+
+    def union(self, other: "DFA") -> "DFA":
+        return self.product(other, lambda a, b: a or b)
+
+    def difference(self, other: "DFA") -> "DFA":
+        return self.product(other, lambda a, b: a and not b)
+
+    def is_subset_of(self, other: "DFA") -> bool:
+        """Language inclusion ``L(self) ⊆ L(other)``.
+
+        Implemented as emptiness of ``L(self) ∩ ¬L(other)`` — the
+        reachability check used by the `R_sub` refinement (Definition 4
+        condition ii).
+        """
+        a, b = harmonize(self, other)
+        return a.difference(b).is_empty()
+
+    def equivalent(self, other: "DFA") -> bool:
+        return self.is_subset_of(other) and other.is_subset_of(self)
+
+    def intersects(
+        self, other: "DFA", restrict_to: Optional[Iterable[str]] = None
+    ) -> bool:
+        """Is ``L(self) ∩ L(other) ∩ restrict_to*`` non-empty?
+
+        ``restrict_to`` implements the ``P*`` filter of the `R_nondis`
+        fixpoint (Definition 5): the product is explored using only the
+        allowed symbols.
+        """
+        a, b = harmonize(self, other)
+        allowed = (
+            a.alphabet if restrict_to is None
+            else frozenset(restrict_to) & a.alphabet
+        )
+        start = (a.start, b.start)
+        if a.is_final(start[0]) and b.is_final(start[1]):
+            return True
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            qa, qb = queue.popleft()
+            for symbol in allowed:
+                pair = (a.transitions[qa][symbol], b.transitions[qb][symbol])
+                if pair in seen:
+                    continue
+                if a.is_final(pair[0]) and b.is_final(pair[1]):
+                    return True
+                seen.add(pair)
+                queue.append(pair)
+        return False
+
+    # -- minimization -------------------------------------------------------------
+
+    def trim_unreachable(self) -> "DFA":
+        """Drop states unreachable from the start state."""
+        reachable = sorted(self.reachable_states())
+        if len(reachable) == self.num_states:
+            return self
+        renumber = {old: new for new, old in enumerate(reachable)}
+        rows = [
+            {s: renumber[dst] for s, dst in self.transitions[old].items()}
+            for old in reachable
+        ]
+        finals = frozenset(renumber[q] for q in self.finals if q in renumber)
+        return DFA(self.alphabet, rows, renumber[self.start], finals)
+
+    def minimize(self) -> "DFA":
+        """Hopcroft minimization (after trimming unreachable states)."""
+        dfa = self.trim_unreachable()
+        n = dfa.num_states
+        finals = set(dfa.finals)
+        nonfinals = set(range(n)) - finals
+        partition: list[set[int]] = [block for block in (finals, nonfinals) if block]
+        if len(partition) == 1:
+            # All states equivalent: one-state automaton.
+            row = {s: 0 for s in dfa.alphabet}
+            return DFA(dfa.alphabet, [row], 0, (0,) if finals else ())
+        worklist: list[tuple[int, str]] = [
+            (i, s) for i in range(len(partition)) for s in dfa.alphabet
+        ]
+        incoming: dict[str, list[set[int]]] = {
+            s: [set() for _ in range(n)] for s in dfa.alphabet
+        }
+        for q in range(n):
+            for s, dst in dfa.transitions[q].items():
+                incoming[s][dst].add(q)
+        membership = [0] * n
+        for i, block in enumerate(partition):
+            for q in block:
+                membership[q] = i
+        while worklist:
+            block_id, symbol = worklist.pop()
+            splitter = partition[block_id]
+            predecessors: set[int] = set()
+            for q in splitter:
+                predecessors |= incoming[symbol][q]
+            affected: dict[int, set[int]] = {}
+            for q in predecessors:
+                affected.setdefault(membership[q], set()).add(q)
+            for target_id, inside in affected.items():
+                block = partition[target_id]
+                if len(inside) == len(block):
+                    continue
+                outside = block - inside
+                # Keep the smaller part as the new block (Hopcroft trick).
+                if len(inside) <= len(outside):
+                    new_block, partition[target_id] = inside, outside
+                else:
+                    new_block, partition[target_id] = outside, inside
+                new_id = len(partition)
+                partition.append(new_block)
+                for q in new_block:
+                    membership[q] = new_id
+                for s in dfa.alphabet:
+                    worklist.append((new_id, s))
+        rows = [dict() for _ in partition]  # type: list[dict[str, int]]
+        for i, block in enumerate(partition):
+            representative = next(iter(block))
+            for s in dfa.alphabet:
+                rows[i][s] = membership[dfa.transitions[representative][s]]
+        start = membership[dfa.start]
+        new_finals = frozenset(membership[q] for q in dfa.finals)
+        return DFA(dfa.alphabet, rows, start, new_finals)
+
+    # -- misc -------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA({self.num_states} states, {len(self.alphabet)} symbols, "
+            f"{len(self.finals)} finals)"
+        )
+
+
+def harmonize(a: DFA, b: DFA) -> tuple[DFA, DFA]:
+    """Rebuild both DFAs over the union of their alphabets."""
+    sigma = a.alphabet | b.alphabet
+    return a.with_alphabet(sigma), b.with_alphabet(sigma)

@@ -1,0 +1,139 @@
+"""String edit scripts for the with-modifications string cast (Sec 4.3).
+
+The revalidation algorithm needs one fact about the edited string: where
+the *unmodified* region begins (scanning forward) or ends (scanning
+backward).  :class:`EditScript` applies insert/delete/replace operations
+to a symbol sequence while tracking the leftmost and rightmost touched
+positions, and :func:`common_affix_lengths` recovers the same information
+from just the two strings when no script is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import UpdateError
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert ``symbol`` so that it lands at ``position`` in the result."""
+
+    position: int
+    symbol: str
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete the symbol currently at ``position``."""
+
+    position: int
+
+
+@dataclass(frozen=True)
+class Replace:
+    """Replace the symbol currently at ``position`` with ``symbol``."""
+
+    position: int
+    symbol: str
+
+
+EditOp = Insert | Delete | Replace
+
+
+class EditScript:
+    """An ordered sequence of edits applied to a symbol list.
+
+    Edits are applied in order against the *current* string (positions
+    refer to the string as it stands when the edit runs, as in a DOM
+    editing session).  The script tracks how many leading and trailing
+    symbols of the original provably survive untouched, which is what
+    the forward/reverse scan strategies of Section 4.3 consume.
+    """
+
+    def __init__(self, original: Sequence[str]):
+        self.original = list(original)
+        self.current = list(original)
+        # Untouched margins, maintained conservatively under each edit.
+        self._prefix = len(self.original)
+        self._suffix = len(self.original)
+
+    def __len__(self) -> int:
+        return len(self.current)
+
+    @property
+    def modified(self) -> list[str]:
+        return list(self.current)
+
+    def apply(self, op: EditOp) -> None:
+        n = len(self.current)
+        if isinstance(op, Insert):
+            if not 0 <= op.position <= n:
+                raise UpdateError(f"insert position {op.position} out of range")
+            self.current.insert(op.position, op.symbol)
+            self._shrink(op.position, tail_after=op.position)
+        elif isinstance(op, Delete):
+            if not 0 <= op.position < n:
+                raise UpdateError(f"delete position {op.position} out of range")
+            del self.current[op.position]
+            self._shrink(op.position, tail_after=op.position - 1)
+        elif isinstance(op, Replace):
+            if not 0 <= op.position < n:
+                raise UpdateError(f"replace position {op.position} out of range")
+            self.current[op.position] = op.symbol
+            self._shrink(op.position, tail_after=op.position)
+        else:  # pragma: no cover - defensive
+            raise UpdateError(f"unknown edit operation {op!r}")
+
+    def apply_all(self, ops: Sequence[EditOp]) -> None:
+        for op in ops:
+            self.apply(op)
+
+    def _shrink(self, touched_at: int, tail_after: int) -> None:
+        """Clamp the untouched prefix to end before ``touched_at`` and the
+        untouched suffix to start after ``tail_after`` (both w.r.t. the
+        current string)."""
+        self._prefix = min(self._prefix, touched_at)
+        remaining_tail = len(self.current) - (tail_after + 1)
+        self._suffix = min(self._suffix, max(remaining_tail, 0))
+
+    @property
+    def untouched_prefix(self) -> int:
+        """Symbols at the front of the current string that provably equal
+        the original's front."""
+        return min(self._prefix, len(self.current), len(self.original))
+
+    @property
+    def untouched_suffix(self) -> int:
+        """Symbols at the back of the current string that provably equal
+        the original's back (disjoint from the untouched prefix)."""
+        bound = min(self._suffix, len(self.current), len(self.original))
+        # Prefix and suffix regions must not overlap in either string.
+        overlap_cap = min(
+            len(self.current) - self.untouched_prefix,
+            len(self.original) - self.untouched_prefix,
+        )
+        return min(bound, max(overlap_cap, 0))
+
+
+def common_affix_lengths(
+    original: Sequence[str], modified: Sequence[str]
+) -> tuple[int, int]:
+    """(longest common prefix, longest common suffix of the remainders).
+
+    The suffix is computed on the parts *after* the common prefix so the
+    two regions never overlap; together they bound the modified window.
+    """
+    n, m = len(original), len(modified)
+    prefix = 0
+    while prefix < n and prefix < m and original[prefix] == modified[prefix]:
+        prefix += 1
+    suffix = 0
+    while (
+        suffix < n - prefix
+        and suffix < m - prefix
+        and original[n - 1 - suffix] == modified[m - 1 - suffix]
+    ):
+        suffix += 1
+    return prefix, suffix

@@ -1,0 +1,201 @@
+"""Immediate decision automata (Section 4 of the paper).
+
+An immediate decision automaton is a DFA extended with two state sets:
+
+* ``IA`` (immediate accept): reaching such a state on a *strict prefix*
+  of the input decides acceptance without scanning the rest;
+* ``IR`` (immediate reject): dually for rejection.
+
+Two derivations are implemented:
+
+* :meth:`ImmediateDecisionAutomaton.from_dfa` — Definition 6:
+  ``IA = {q | L(q) = Σ*}``, ``IR = {q | L(q) = ∅}``.  Sound for any
+  input string.
+* :meth:`ImmediateDecisionAutomaton.from_pair` — Definitions 7/8: the
+  automaton is the **full** product of a source DFA ``a`` and a target
+  DFA ``b`` (every pair ``(q_a, q_b)`` is a state, so the
+  with-modifications scan can start anywhere), with
+  ``IA = {(q_a,q_b) | L(q_a) ⊆ L(q_b)}`` computed by the linear-time
+  reverse reachability of Definition 8, and ``IR`` the states from which
+  no final state is reachable.  Decisions are sound only for inputs whose
+  remaining suffix is guaranteed accepted by ``a`` from ``q_a`` — exactly
+  the schema-cast promise ``s ∈ L(a)``.
+
+Both constructions preserve the language of the underlying DFA
+(Theorem 3); the pair construction is decision-optimal (Proposition 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.automata.dfa import DFA, harmonize
+
+
+class Decision(enum.Enum):
+    """How a scan terminated."""
+
+    IMMEDIATE_ACCEPT = "immediate-accept"
+    IMMEDIATE_REJECT = "immediate-reject"
+    ACCEPT_AT_END = "accept-at-end"
+    REJECT_AT_END = "reject-at-end"
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of scanning a word with an immediate decision automaton.
+
+    Attributes:
+        accepted: final verdict.
+        symbols_scanned: symbols consumed before the verdict.
+        decision: whether the verdict was early (IA/IR) or at end-of-input.
+        state: the state in which the scan stopped.
+    """
+
+    accepted: bool
+    symbols_scanned: int
+    decision: Decision
+    state: int
+
+    @property
+    def early(self) -> bool:
+        return self.decision in (
+            Decision.IMMEDIATE_ACCEPT,
+            Decision.IMMEDIATE_REJECT,
+        )
+
+
+class ImmediateDecisionAutomaton:
+    """A complete DFA with immediate-accept and immediate-reject states."""
+
+    __slots__ = ("dfa", "ia", "ir", "_pair_shape")
+
+    def __init__(
+        self,
+        dfa: DFA,
+        ia: Iterable[int],
+        ir: Iterable[int],
+        _pair_shape: Optional[tuple[int, int]] = None,
+    ):
+        self.dfa = dfa
+        self.ia = frozenset(ia)
+        self.ir = frozenset(ir)
+        if self.ia & self.ir:
+            raise ValueError("IA and IR must be disjoint")
+        self._pair_shape = _pair_shape
+
+    # -- constructions ---------------------------------------------------
+
+    @classmethod
+    def from_dfa(cls, dfa: DFA) -> "ImmediateDecisionAutomaton":
+        """Definition 6: ``IA = {q | L(q)=Σ*}``, ``IR = {q | L(q)=∅}``.
+
+        Both sets fall out of two reverse reachability passes: a state
+        accepts Σ* iff no non-final state is reachable from it, and it
+        accepts ∅ iff no final state is reachable from it.
+        """
+        non_finals = frozenset(range(dfa.num_states)) - dfa.finals
+        ia = frozenset(range(dfa.num_states)) - dfa.states_reaching(non_finals)
+        ir = frozenset(range(dfa.num_states)) - dfa.states_reaching(dfa.finals)
+        return cls(dfa, ia, ir)
+
+    @classmethod
+    def from_pair(cls, source: DFA, target: DFA) -> "ImmediateDecisionAutomaton":
+        """Definitions 7/8: the intersection automaton of ``source`` and
+        ``target`` over the *full* state space, with subsumption-based
+        ``IA`` and dead-state-based ``IR``."""
+        a, b = harmonize(source, target)
+        nb = b.num_states
+        sigma = a.alphabet
+        rows: list[dict[str, int]] = []
+        for qa in range(a.num_states):
+            arow = a.transitions[qa]
+            for qb in range(nb):
+                brow = b.transitions[qb]
+                rows.append({s: arow[s] * nb + brow[s] for s in sigma})
+        finals = frozenset(
+            qa * nb + qb for qa in a.finals for qb in b.finals
+        )
+        product = DFA(sigma, rows, a.start * nb + b.start, finals)
+        # Definition 8: (qa,qb) ∈ IA iff no reachable (q1,q2) has
+        # q1 ∈ F_a but q2 ∉ F_b.
+        bad = [
+            qa * nb + qb
+            for qa in a.finals
+            for qb in range(nb)
+            if qb not in b.finals
+        ]
+        ia = frozenset(range(product.num_states)) - product.states_reaching(bad)
+        # IR: no final product state reachable — the "dead" condition
+        # that is sound from any start state (the with-modifications
+        # scan begins mid-automaton).  A pair can satisfy both conditions
+        # only when the *source* component is itself dead, which cannot
+        # arise on inputs honouring the s ∈ L(a) promise; IA wins there.
+        ir = (
+            frozenset(range(product.num_states))
+            - product.states_reaching(finals)
+            - ia
+        )
+        return cls(product, ia, ir, _pair_shape=(a.num_states, nb))
+
+    # -- pair-state helpers -----------------------------------------------
+
+    def pair_state(self, source_state: int, target_state: int) -> int:
+        """Product-state index of ``(q_a, q_b)`` (pair construction only)."""
+        if self._pair_shape is None:
+            raise ValueError("not a pair-derived automaton")
+        na, nb = self._pair_shape
+        if not (0 <= source_state < na and 0 <= target_state < nb):
+            raise ValueError("pair state out of range")
+        return source_state * nb + target_state
+
+    def unpair_state(self, state: int) -> tuple[int, int]:
+        if self._pair_shape is None:
+            raise ValueError("not a pair-derived automaton")
+        _, nb = self._pair_shape
+        return divmod(state, nb)
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan(
+        self, word: Sequence[str], start: Optional[int] = None
+    ) -> ScanResult:
+        """Scan ``word``, deciding as early as IA/IR membership allows.
+
+        For a pair-derived automaton the verdict is sound only under the
+        schema-cast promise: the suffix of ``word`` beyond any scanned
+        prefix must be accepted by the source automaton from the current
+        source state (guaranteed when ``word ∈ L(source)`` and ``start``
+        is the initial state, or the corresponding mid-scan pair).
+        """
+        state = self.dfa.start if start is None else start
+        table = self.dfa.transitions
+        ia, ir = self.ia, self.ir
+        scanned = 0
+        for symbol in word:
+            if state in ia:
+                return ScanResult(True, scanned, Decision.IMMEDIATE_ACCEPT, state)
+            if state in ir:
+                return ScanResult(False, scanned, Decision.IMMEDIATE_REJECT, state)
+            next_state = table[state].get(symbol)
+            if next_state is None:
+                # A symbol outside the alphabet can never be accepted.
+                return ScanResult(
+                    False, scanned + 1, Decision.IMMEDIATE_REJECT, state
+                )
+            state = next_state
+            scanned += 1
+        accepted = state in self.dfa.finals
+        decision = Decision.ACCEPT_AT_END if accepted else Decision.REJECT_AT_END
+        return ScanResult(accepted, scanned, decision, state)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        return self.scan(word).accepted
+
+    def __repr__(self) -> str:
+        return (
+            f"ImmediateDecisionAutomaton({self.dfa.num_states} states, "
+            f"|IA|={len(self.ia)}, |IR|={len(self.ir)})"
+        )

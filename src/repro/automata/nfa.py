@@ -1,0 +1,128 @@
+"""Nondeterministic finite automata and subset construction.
+
+NFAs appear in two places in the reproduction: as the Glushkov position
+automaton of a content model that violates one-unambiguity (hand-written
+abstract schemas may do this; XSD-derived ones cannot), and as the
+reverse automaton used by the with-modifications string cast when edits
+cluster at the end of the string (Section 4.3, footnote 3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.automata.dfa import DFA
+
+
+class NFA:
+    """An NFA with ε-transitions and a set of start states."""
+
+    __slots__ = ("alphabet", "transitions", "epsilon", "starts", "finals")
+
+    def __init__(
+        self,
+        alphabet: Iterable[str],
+        num_states: int,
+        transitions: dict[tuple[int, str], Iterable[int]],
+        starts: Iterable[int],
+        finals: Iterable[int],
+        epsilon: Optional[dict[int, Iterable[int]]] = None,
+    ):
+        self.alphabet = frozenset(alphabet)
+        rows: list[dict[str, frozenset[int]]] = [dict() for _ in range(num_states)]
+        for (q, symbol), dsts in transitions.items():
+            if symbol not in self.alphabet:
+                raise ValueError(f"transition on {symbol!r} not in alphabet")
+            rows[q][symbol] = frozenset(dsts) | rows[q].get(symbol, frozenset())
+        self.transitions: tuple[dict[str, frozenset[int]], ...] = tuple(rows)
+        self.epsilon: tuple[frozenset[int], ...] = tuple(
+            frozenset((epsilon or {}).get(q, ())) for q in range(num_states)
+        )
+        self.starts = frozenset(starts)
+        self.finals = frozenset(finals)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        seen = set(states)
+        queue = deque(seen)
+        while queue:
+            q = queue.popleft()
+            for dst in self.epsilon[q]:
+                if dst not in seen:
+                    seen.add(dst)
+                    queue.append(dst)
+        return frozenset(seen)
+
+    def move(self, states: Iterable[int], symbol: str) -> frozenset[int]:
+        out: set[int] = set()
+        for q in states:
+            out |= self.transitions[q].get(symbol, frozenset())
+        return self.epsilon_closure(out)
+
+    def accepts(self, word: Iterable[str]) -> bool:
+        current = self.epsilon_closure(self.starts)
+        for symbol in word:
+            if symbol not in self.alphabet:
+                return False
+            current = self.move(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.finals)
+
+    def determinize(self) -> DFA:
+        """Subset construction; the result is complete (dead subset = ∅
+        becomes the sink)."""
+        start_set = self.epsilon_closure(self.starts)
+        index: dict[frozenset[int], int] = {start_set: 0}
+        subsets: list[frozenset[int]] = [start_set]
+        rows: list[dict[str, int]] = [dict()]
+        queue = deque([start_set])
+        while queue:
+            subset = queue.popleft()
+            q = index[subset]
+            for symbol in self.alphabet:
+                target = self.move(subset, symbol)
+                if target not in index:
+                    index[target] = len(subsets)
+                    subsets.append(target)
+                    rows.append({})
+                    queue.append(target)
+                rows[q][symbol] = index[target]
+        finals = frozenset(
+            i for i, subset in enumerate(subsets) if subset & self.finals
+        )
+        return DFA(self.alphabet, rows, 0, finals)
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA({self.num_states} states, {len(self.alphabet)} symbols, "
+            f"{len(self.starts)} starts, {len(self.finals)} finals)"
+        )
+
+
+def reverse(dfa: DFA) -> NFA:
+    """The reverse automaton of a DFA (recognizes reversed words).
+
+    As the paper notes, the reverse of a deterministic automaton is in
+    general nondeterministic; determinize as needed.
+    """
+    transitions: dict[tuple[int, str], set[int]] = {}
+    for q, row in enumerate(dfa.transitions):
+        for symbol, dst in row.items():
+            transitions.setdefault((dst, symbol), set()).add(q)
+    return NFA(
+        dfa.alphabet,
+        dfa.num_states,
+        transitions,
+        starts=dfa.finals,
+        finals=(dfa.start,),
+    )
+
+
+def reverse_dfa(dfa: DFA) -> DFA:
+    """Determinized reverse automaton (accepts exactly reversed L(dfa))."""
+    return reverse(dfa).determinize()

@@ -1,0 +1,156 @@
+"""Minimal edits to bring a string into a DFA's language.
+
+This is the automata half of the paper's stated future work —
+"exploring how a system may automatically correct a document valid
+according to one schema so that it conforms to a new schema"
+(Section 7).  At the content-model level the question is a classical
+one: the *edit distance from a string to a regular language*, computed
+by shortest path over the layered graph of (input position, DFA state)
+nodes:
+
+* consuming the next input symbol unchanged costs 0 (a match);
+* substituting it with another symbol costs 1;
+* deleting it costs 1;
+* inserting a symbol (staying at the same input position) costs 1.
+
+All edge weights are 0 or 1, so 0-1 BFS (a deque-based Dijkstra) finds
+the optimum in O(|s| · |Q| · |Σ|).  The returned script uses the same
+``Insert``/``Delete``/``Replace`` operations as
+:mod:`repro.automata.edits`, with positions referring to the string as
+it stands when each operation runs (apply them in order).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.edits import Delete, EditOp, Insert, Replace
+
+
+def language_edit_distance(
+    dfa: DFA, word: Sequence[str]
+) -> Optional[tuple[int, list[EditOp]]]:
+    """(minimal edit count, one optimal script), or None if ``L(dfa)``
+    is empty.
+
+    The script is canonical: among optimal scripts, matches are
+    preferred, then substitutions, deletions, insertions, with symbols
+    tried in sorted order — so the result is deterministic.
+    """
+    if dfa.is_empty():
+        return None
+    n = len(word)
+    num_states = dfa.num_states
+    symbols = sorted(dfa.alphabet)
+
+    def node(i: int, q: int) -> int:
+        return i * num_states + q
+
+    INF = float("inf")
+    dist: list[float] = [INF] * ((n + 1) * num_states)
+    parent: list[Optional[tuple[int, Optional[EditOp]]]] = [None] * len(dist)
+    start = node(0, dfa.start)
+    dist[start] = 0
+    queue: deque[int] = deque([start])
+
+    def relax(source: int, target: int, cost: int,
+              op: Optional[EditOp]) -> None:
+        candidate = dist[source] + cost
+        if candidate < dist[target]:
+            dist[target] = candidate
+            parent[target] = (source, op)
+            if cost == 0:
+                queue.appendleft(target)
+            else:
+                queue.append(target)
+
+    visited = [False] * len(dist)
+    while queue:
+        current = queue.popleft()
+        if visited[current]:
+            continue
+        visited[current] = True
+        i, q = divmod(current, num_states)
+        row = dfa.transitions[q]
+        if i < n:
+            symbol = word[i]
+            # Match (cost 0) — relax first so it wins ties.
+            dst = row.get(symbol)
+            if dst is not None:
+                relax(current, node(i + 1, dst), 0, None)
+            # Substitution.
+            for other in symbols:
+                if other != symbol:
+                    relax(
+                        current,
+                        node(i + 1, row[other]),
+                        1,
+                        Replace(i, other),
+                    )
+            # Deletion.
+            relax(current, node(i + 1, q), 1, Delete(i))
+        # Insertion (any position, including past the end).
+        for other in symbols:
+            relax(current, node(i, row[other]), 1, Insert(i, other))
+
+    best_state = None
+    best = INF
+    for q in dfa.finals:
+        if dist[node(n, q)] < best:
+            best = dist[node(n, q)]
+            best_state = q
+    if best_state is None:
+        # Unreachable: L(dfa) non-empty means inserts alone can reach a
+        # final state from anywhere that is co-reachable... the start
+        # may still be trapped if no final is reachable from it.
+        return None
+
+    # Reconstruct the raw operations (positions in the *original* word).
+    raw_ops: list[EditOp] = []
+    current = node(n, best_state)
+    while current != start:
+        entry = parent[current]
+        assert entry is not None
+        current, op = entry
+        if op is not None:
+            raw_ops.append(op)
+    raw_ops.reverse()
+    return int(best), _renumber(raw_ops)
+
+
+def _renumber(raw_ops: list[EditOp]) -> list[EditOp]:
+    """Convert original-word positions to apply-in-order positions.
+
+    The search emits positions relative to the original string; when the
+    script is applied sequentially, earlier insertions/deletions shift
+    later positions.  Operations come out of the search ordered by
+    original position, so a running offset suffices.
+    """
+    adjusted: list[EditOp] = []
+    offset = 0
+    for op in raw_ops:
+        if isinstance(op, Insert):
+            adjusted.append(Insert(op.position + offset, op.symbol))
+            offset += 1
+        elif isinstance(op, Delete):
+            adjusted.append(Delete(op.position + offset))
+            offset -= 1
+        else:
+            assert isinstance(op, Replace)
+            adjusted.append(Replace(op.position + offset, op.symbol))
+    return adjusted
+
+
+def repair_word(dfa: DFA, word: Sequence[str]) -> Optional[list[str]]:
+    """The corrected word itself (None when the language is empty)."""
+    outcome = language_edit_distance(dfa, word)
+    if outcome is None:
+        return None
+    _, ops = outcome
+    from repro.automata.edits import EditScript
+
+    script = EditScript(list(word))
+    script.apply_all(ops)
+    return script.modified

@@ -1,0 +1,7 @@
+"""Comparison baselines: Xerces-style full validation and a
+document-preprocessing incremental validator (related-work family)."""
+
+from repro.baselines.full import FullValidator
+from repro.baselines.preprocessed import PreprocessedIncrementalValidator
+
+__all__ = ["FullValidator", "PreprocessedIncrementalValidator"]

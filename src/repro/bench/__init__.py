@@ -1,0 +1,24 @@
+"""Benchmark harness: experiment runners and table rendering."""
+
+from repro.bench.harness import (
+    run_dtd_index,
+    run_experiment1,
+    run_experiment2,
+    run_table2,
+    run_table3,
+    run_tree_modifications,
+    time_call,
+)
+from repro.bench.reporting import render_csv, render_table
+
+__all__ = [
+    "run_dtd_index",
+    "run_experiment1",
+    "run_experiment2",
+    "run_table2",
+    "run_table3",
+    "run_tree_modifications",
+    "time_call",
+    "render_csv",
+    "render_table",
+]

@@ -1,0 +1,281 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* A1 — does the immediate decision automaton actually scan fewer symbols
+  than a plain target-DFA rescan, and how does the win depend on how
+  similar the schemas are?
+* A2 — with-modifications strategy sweep: forward vs reverse vs plain
+  scanning as the edit position moves through the string (Section 4.3's
+  closing discussion).
+* A4 — static preprocessing cost (``R_sub``/``R_nondis``/automata) as a
+  function of schema size — the price paid once per schema pair.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Sequence
+
+from repro.automata.stringcast import Strategy, StringCastValidator
+from repro.bench.harness import time_call
+from repro.bench.reporting import render_table
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model
+from repro.schema.registry import SchemaPair
+from repro.workloads.generators import random_schema, random_word
+
+
+# -- A1: string cast vs plain rescan ------------------------------------------------
+
+def _a1_word(length: int, rng: random.Random) -> list[str]:
+    """A word of exactly ``length`` symbols in a,(b|c)*,d form."""
+    middle = [rng.choice("bc") for _ in range(max(length - 2, 0))]
+    return ["a", *middle, "d"][:max(length, 2)]
+
+
+_A1_CASES = {
+    # identical schemas: decided after 0 symbols
+    "identical": ("(a,(b|c)*,d)", "(a,(b|c)*,d)"),
+    # disjoint from the start: rejected after 0 symbols
+    "disjoint": ("(a,(b|c)*,d)", "(e,(b|c)*,d)"),
+    # subsumed outright: the whole source language fits the target
+    "subsumed-start": ("(a,(b|c)*,d)", "(a,(b|c|d)*,d?)"),
+    # decided mid-stream: the schemas differ only on the first symbol,
+    # so one symbol settles it no matter how long the string is
+    "after-one-symbol": ("((a|e),(b|c)*,d)", "(a,(b|c)*,d)"),
+    # late constraint: the difference sits on the final symbol, so the
+    # whole string must be scanned (the cast cannot beat the plain scan)
+    "late-constraint": ("(a,(b|c)*,(d|e))", "(a,(b|c)*,d)"),
+}
+
+
+def run_string_cast(lengths: Sequence[int] = (10, 100, 1000),
+                    *, seed: int = 7):
+    rng = random.Random(seed)
+    rows = []
+    for case, (src, tgt) in _A1_CASES.items():
+        alphabet = frozenset("abcde")
+        source = compile_dfa(parse_content_model(src), alphabet)
+        target = compile_dfa(parse_content_model(tgt), alphabet)
+        validator = StringCastValidator(source, target)
+        for length in lengths:
+            word = _a1_word(length, rng)
+            assert source.accepts(word), (case, length)
+            result = validator.validate(word)
+            plain_scan = validator.b_immed.scan(word)
+            assert result.accepted == target.accepts(word)
+            rows.append(
+                {
+                    "case": case,
+                    "length": len(word),
+                    "cast_symbols": result.symbols_scanned,
+                    "plain_symbols": plain_scan.symbols_scanned,
+                    "verdict": result.accepted,
+                }
+            )
+    return rows
+
+
+def report_string_cast(rows) -> str:
+    return render_table(
+        "A1 — symbols scanned: pair automaton (c_immed) vs target-only "
+        "scan (b_immed)",
+        ["case", "length", "cast symbols", "plain symbols"],
+        [[row["case"], row["length"], row["cast_symbols"],
+          row["plain_symbols"]] for row in rows],
+        note=(
+            "c_immed exploits the source promise: identical/subsumed "
+            "residuals decide in O(1); late constraints degrade to the "
+            "plain scan, never worse (Proposition 3)"
+        ),
+    )
+
+
+# -- A2: edit position sweep ---------------------------------------------------------
+
+def run_mods_position(length: int = 2000,
+                      positions: Sequence[float] = (0.0, 0.25, 0.5,
+                                                    0.75, 1.0)):
+    """Replace one symbol at varying relative positions of a long string
+    and count symbols scanned per strategy."""
+    alphabet = frozenset("ab")
+    # Both endpoints constrained, so neither scanning direction gets a
+    # free universal residual.
+    dfa = compile_dfa(parse_content_model("a,(a|b)*,b"), alphabet)
+    from repro.automata.stringcast import StringUpdateRevalidator
+
+    validator = StringUpdateRevalidator(dfa)
+    rng = random.Random(3)
+    base = ["a"] + [rng.choice("ab") for _ in range(length - 2)] + ["b"]
+    assert dfa.accepts(base)
+    rows = []
+    for fraction in positions:
+        # Flip a symbol inside the free middle region.
+        index = 1 + min(int(fraction * (length - 3)), length - 3)
+        modified = list(base)
+        modified[index] = "a" if modified[index] == "b" else "b"
+        expected = dfa.accepts(modified)
+        row = {"position": fraction, "expected": expected}
+        for strategy in (Strategy.FORWARD, Strategy.REVERSE,
+                         Strategy.PLAIN, Strategy.AUTO):
+            result = validator.validate_modified(
+                base, modified, strategy=strategy
+            )
+            assert result.accepted == expected
+            key = strategy.value
+            row[f"{key}_symbols"] = result.symbols_scanned
+            if strategy is Strategy.AUTO:
+                row["auto_choice"] = result.strategy.value
+        rows.append(row)
+    return rows
+
+
+def report_mods_position(rows) -> str:
+    return render_table(
+        "A2 — with-modifications scanning: symbols scanned by strategy "
+        "(1 edit in a 2000-symbol string)",
+        ["edit at", "forward", "reverse", "plain", "auto", "auto picked"],
+        [[f"{row['position']:.0%}", row["forward_symbols"],
+          row["reverse_symbols"], row["plain_symbols"],
+          row["auto_symbols"], row["auto_choice"]] for row in rows],
+        note=(
+            "forward pays for edits near the end, reverse for edits near "
+            "the start; auto picks the cheaper direction (Section 4.3)"
+        ),
+    )
+
+
+# -- A4: preprocessing cost -----------------------------------------------------------
+
+def run_precompute(sizes: Sequence[int] = (4, 8, 16, 32), *, seed: int = 11,
+                   repeat: int = 3):
+    rows = []
+    for size in sizes:
+        rng = random.Random(seed + size)
+        source = None
+        target = None
+        for _ in range(20):
+            try:
+                source = random_schema(
+                    rng,
+                    num_labels=size,
+                    num_complex=size,
+                    num_simple=max(2, size // 4),
+                )
+                target = random_schema(
+                    rng,
+                    num_labels=size,
+                    num_complex=size,
+                    num_simple=max(2, size // 4),
+                )
+                break
+            except Exception:
+                continue
+        assert source is not None and target is not None
+
+        def build():
+            pair = SchemaPair(source, target)
+            pair.warm()
+            return pair
+
+        elapsed = time_call(build, repeat=repeat)
+        pair = build()
+        rows.append(
+            {
+                "types": len(source.types) + len(target.types),
+                "labels": len(source.alphabet | target.alphabet),
+                "build_ms": elapsed * 1e3,
+                "r_sub": len(pair.r_sub),
+                "r_nondis": len(pair.r_nondis),
+                "machines": len(pair._string_casts),
+            }
+        )
+    return rows
+
+
+def report_precompute(rows) -> str:
+    return render_table(
+        "A4 — static preprocessing cost vs schema size",
+        ["types", "labels", "build ms", "|R_sub|", "|R_nondis|",
+         "cast machines"],
+        [[row["types"], row["labels"], row["build_ms"], row["r_sub"],
+          row["r_nondis"], row["machines"]] for row in rows],
+        note=(
+            "paid once per schema pair, amortized over every document; "
+            "independent of document size (Section 1/7)"
+        ),
+    )
+
+
+# -- A6: tree-level content checking mode ------------------------------------------
+
+def run_content_mode(sizes: Sequence[int] = (50, 200, 1000), *,
+                     repeat: int = 5):
+    """CastValidator with Section 4 string casting vs the paper's
+    modified-Xerces configuration (plain target-DFA content checks).
+
+    The paper deliberately did *not* use its own Section 4 machinery in
+    the prototype ("to perform a fair comparison with Xerces"); this
+    ablation quantifies what that left on the table.
+    """
+    from repro.baselines.full import FullValidator
+    from repro.core.cast import CastValidator
+    from repro.schema.registry import SchemaPair
+    from repro.workloads import purchase_orders as po
+
+    pair = SchemaPair(
+        po.source_schema_experiment2(), po.target_schema_experiment2()
+    )
+    pair.warm()
+    with_cast = CastValidator(pair, use_string_cast=True)
+    plain = CastValidator(pair, use_string_cast=False)
+    full = FullValidator(pair.target)
+    rows = []
+    for count in sizes:
+        doc = po.make_purchase_order(count)
+        cast_report = with_cast.validate(doc)
+        plain_report = plain.validate(doc)
+        assert cast_report.valid and plain_report.valid
+        rows.append(
+            {
+                "items": count,
+                "cast_ms": time_call(lambda: with_cast.validate(doc),
+                                     repeat=repeat) * 1e3,
+                "plain_ms": time_call(lambda: plain.validate(doc),
+                                      repeat=repeat) * 1e3,
+                "full_ms": time_call(lambda: full.validate(doc),
+                                     repeat=repeat) * 1e3,
+                "cast_symbols": cast_report.stats.content_symbols_scanned,
+                "plain_symbols": plain_report.stats.content_symbols_scanned,
+            }
+        )
+    return rows
+
+
+def report_content_mode(rows) -> str:
+    return render_table(
+        "A6 — tree cast content checking: c_immed vs plain target scan "
+        "(Experiment 2 workload)",
+        ["items", "c_immed ms", "plain ms", "full ms",
+         "c_immed symbols", "plain symbols"],
+        [[row["items"], row["cast_ms"], row["plain_ms"], row["full_ms"],
+          row["cast_symbols"], row["plain_symbols"]] for row in rows],
+        note=(
+            "the paper's prototype used the plain configuration; the "
+            "Section 4 automata additionally cut content-symbol scans"
+        ),
+    )
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    print(report_string_cast(run_string_cast()))
+    print()
+    print(report_mods_position(run_mods_position()))
+    print()
+    print(report_precompute(run_precompute()))
+    print()
+    print(report_content_mode(run_content_mode()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

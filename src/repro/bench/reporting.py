@@ -1,0 +1,58 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment prints a fixed-width table with the paper's reported
+numbers (where the paper reports any) next to our measurements, so the
+shape comparison is visible directly in the bench output and can be
+pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    note: str = "",
+) -> str:
+    """Render rows as a fixed-width table with a title banner."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append(
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:,.0f}"
+        if cell >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """CSV rendering of the same rows (for plotting elsewhere)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(str(cell) for cell in row))
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points so the system can be
+driven without writing Python:
+
+* ``validate DOC --xsd SCHEMA | --dtd SCHEMA [--root LABEL]`` —
+  plain validation of a document against one schema;
+* ``cast DOC --source A --target B [--stats] [--no-string-cast]`` —
+  schema cast validation (document promised valid under A);
+* ``repair DOC --source A --target B [-o OUT]`` — correct the document
+  to conform to the target schema and report the edits;
+* ``relations --source A --target B`` — print the precomputed
+  ``R_sub`` / disjoint relations for a schema pair;
+* ``gen-po N [-o OUT]`` — generate an N-item paper purchase order.
+
+Schema arguments ending in ``.dtd`` are parsed as DTDs, anything else
+as XSD.  Exit status: 0 valid/success, 1 invalid, 2 usage or schema
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.cast import CastValidator
+from repro.core.repair import DocumentRepairer
+from repro.core.validator import validate_document
+from repro.errors import ReproError
+from repro.schema.dtd import parse_dtd
+from repro.schema.model import Schema
+from repro.schema.registry import SchemaPair
+from repro.schema.xsd import parse_xsd_file
+from repro.xmltree.parser import parse_file
+from repro.xmltree.serializer import write_file
+
+
+def load_schema(path: str, *, roots: Optional[list[str]] = None) -> Schema:
+    """Load a schema file, dispatching on the extension."""
+    if path.endswith(".dtd"):
+        with open(path, encoding="utf-8") as handle:
+            return parse_dtd(handle.read(), roots=roots, name=path)
+    return parse_xsd_file(path)
+
+
+def _print_stats(report) -> None:
+    stats = report.stats
+    print(f"  nodes visited:          {stats.nodes_visited}")
+    print(f"  subtrees skipped:       {stats.subtrees_skipped}")
+    print(f"  disjoint rejections:    {stats.disjoint_rejections}")
+    print(f"  content symbols read:   {stats.content_symbols_scanned}")
+    print(f"  early content verdicts: {stats.early_content_decisions}")
+    print(f"  simple values checked:  {stats.simple_values_checked}")
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema, roots=args.root or None)
+    if args.streaming:
+        from repro.core.streaming import StreamingValidator
+
+        report = StreamingValidator(schema).validate_file(args.document)
+    else:
+        document = parse_file(args.document)
+        report = validate_document(schema, document)
+    if report.valid:
+        print(f"{args.document}: valid")
+        if args.stats:
+            _print_stats(report)
+        return 0
+    print(f"{args.document}: INVALID — {report.reason}")
+    return 1
+
+
+def cmd_cast(args: argparse.Namespace) -> int:
+    source = load_schema(args.source)
+    target = load_schema(args.target)
+    pair = SchemaPair(source, target)
+    if args.streaming:
+        from repro.core.streaming import StreamingCastValidator
+
+        with open(args.document, encoding="utf-8") as handle:
+            report = StreamingCastValidator(pair).validate_text(
+                handle.read()
+            )
+    else:
+        validator = CastValidator(
+            pair, use_string_cast=not args.no_string_cast
+        )
+        document = parse_file(args.document)
+        report = validator.validate(document)
+    verdict = "valid" if report.valid else f"INVALID — {report.reason}"
+    print(f"{args.document}: {verdict}")
+    if args.stats:
+        _print_stats(report)
+    return 0 if report.valid else 1
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    source = load_schema(args.source)
+    target = load_schema(args.target)
+    pair = SchemaPair(source, target)
+    repairer = DocumentRepairer(pair, trust_source=not args.untrusted)
+    document = parse_file(args.document)
+    result = repairer.repair(document)
+    if not result.changed:
+        print(f"{args.document}: already valid, no repairs needed")
+    else:
+        print(f"{args.document}: {result.edit_count} repairs")
+        for action in result.actions:
+            print(f"  {action}")
+    if args.output:
+        size = write_file(result.document, args.output)
+        print(f"wrote {args.output} ({size} bytes)")
+    return 0
+
+
+def cmd_relations(args: argparse.Namespace) -> int:
+    source = load_schema(args.source)
+    target = load_schema(args.target)
+    pair = SchemaPair(source, target)
+    print(f"R_sub ({len(pair.r_sub)} pairs — skip these subtrees):")
+    for tau, tau_p in sorted(pair.r_sub):
+        print(f"  {tau} <= {tau_p}")
+    disjoint = sorted(
+        (tau, tau_p)
+        for tau in source.types
+        for tau_p in target.types
+        if pair.is_disjoint(tau, tau_p)
+    )
+    print(f"R_dis ({len(disjoint)} pairs — fail immediately):")
+    for tau, tau_p in disjoint:
+        print(f"  {tau} (+) {tau_p}")
+    return 0
+
+
+def cmd_gen_po(args: argparse.Namespace) -> int:
+    from repro.workloads.purchase_orders import make_purchase_order
+
+    document = make_purchase_order(args.items)
+    if args.output:
+        size = write_file(document, args.output)
+        print(f"wrote {args.output} ({size} bytes, {args.items} items)")
+    else:
+        from repro.xmltree.serializer import serialize
+
+        sys.stdout.write(serialize(document, indent="  "))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Schema cast validation of XML (EDBT 2004 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="validate a document against one schema"
+    )
+    validate.add_argument("document")
+    validate.add_argument("--schema", required=True,
+                          help=".xsd or .dtd file")
+    validate.add_argument("--root", action="append",
+                          help="permitted root label (DTD; repeatable)")
+    validate.add_argument("--stats", action="store_true")
+    validate.add_argument(
+        "--streaming",
+        action="store_true",
+        help="validate during parsing with O(depth) memory",
+    )
+    validate.set_defaults(handler=cmd_validate)
+
+    cast = commands.add_parser(
+        "cast",
+        help="revalidate a source-valid document against a target schema",
+    )
+    cast.add_argument("document")
+    cast.add_argument("--source", required=True)
+    cast.add_argument("--target", required=True)
+    cast.add_argument("--stats", action="store_true")
+    cast.add_argument(
+        "--streaming",
+        action="store_true",
+        help="cast during parsing with O(depth) memory",
+    )
+    cast.add_argument(
+        "--no-string-cast",
+        action="store_true",
+        help="check content models with a plain target scan "
+        "(the paper's modified-Xerces configuration)",
+    )
+    cast.set_defaults(handler=cmd_cast)
+
+    repair = commands.add_parser(
+        "repair", help="correct a document to conform to the target schema"
+    )
+    repair.add_argument("document")
+    repair.add_argument("--source", required=True)
+    repair.add_argument("--target", required=True)
+    repair.add_argument("-o", "--output", help="write the repaired document")
+    repair.add_argument(
+        "--untrusted",
+        action="store_true",
+        help="do not assume the document is valid under the source schema",
+    )
+    repair.set_defaults(handler=cmd_repair)
+
+    relations = commands.add_parser(
+        "relations", help="print R_sub and R_dis for a schema pair"
+    )
+    relations.add_argument("--source", required=True)
+    relations.add_argument("--target", required=True)
+    relations.set_defaults(handler=cmd_relations)
+
+    gen = commands.add_parser(
+        "gen-po", help="generate a paper-style purchase order document"
+    )
+    gen.add_argument("items", type=int)
+    gen.add_argument("-o", "--output")
+    gen.set_defaults(handler=cmd_gen_po)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""DTD-mode schema cast with a label index (Section 3.4).
+
+For DTDs an element label determines its type, so the parallel top-down
+traversal is unnecessary: with direct access to all instances of a label
+(the :meth:`Document.elements_with_label` index), one only visits
+elements whose label's (source type, target type) pair is *neither
+subsumed nor disjoint*, and verifies just their immediate content
+models.  Labels with subsumed pairs contribute nothing; labels with
+disjoint pairs make the document invalid the moment one instance exists.
+
+The traversal order is by label, not document order — sound because
+target-validity of a tree decomposes into independent per-node content
+checks once types are label-determined.
+"""
+
+from __future__ import annotations
+
+from repro.core.result import ValidationReport, ValidationStats
+from repro.errors import SchemaError
+from repro.schema.dtd import is_dtd_schema, label_type
+from repro.schema.model import ComplexType, SimpleType
+from repro.schema.registry import SchemaPair
+from repro.xmltree.dom import Document, Element, Text
+
+
+class DTDCastValidator:
+    """Label-indexed schema cast for DTD pairs.
+
+    The per-label classification (skip / fail / check) is computed once
+    at construction — it depends only on the schemas.
+    """
+
+    def __init__(self, pair: SchemaPair, *, use_string_cast: bool = True):
+        if not is_dtd_schema(pair.source) or not is_dtd_schema(pair.target):
+            raise SchemaError(
+                "DTDCastValidator requires DTD-style schemas (one type "
+                "per label); use CastValidator for general XML Schemas"
+            )
+        self.pair = pair
+        self.use_string_cast = use_string_cast
+        #: label → (source type, target type) for labels known to both.
+        self.label_pairs: dict[str, tuple[str, str]] = {}
+        #: labels whose pair needs a per-instance content check.
+        self.check_labels: set[str] = set()
+        #: labels whose pair is disjoint — any instance is fatal.
+        self.fatal_labels: set[str] = set()
+        #: labels whose pair is subsumed — never visited.
+        self.skip_labels: set[str] = set()
+        self._classify()
+
+    def _classify(self) -> None:
+        labels = self.pair.source.alphabet | self.pair.target.alphabet
+        for label in labels:
+            source_type = label_type(self.pair.source, label)
+            target_type = label_type(self.pair.target, label)
+            if source_type is None or target_type is None:
+                continue  # occurrences are caught by the parent's check
+            self.label_pairs[label] = (source_type, target_type)
+            if self.pair.is_subsumed(source_type, target_type):
+                self.skip_labels.add(label)
+            elif self.pair.is_disjoint(source_type, target_type):
+                self.fatal_labels.add(label)
+            else:
+                self.check_labels.add(label)
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self, document: Document) -> ValidationReport:
+        """Decide target-validity of a source-valid document using only
+        the label index."""
+        stats = ValidationStats()
+        root_label = document.root.label
+        if self.pair.target.root_type(root_label) is None:
+            return ValidationReport.failure(
+                f"label {root_label!r} is not a permitted root of the "
+                "target schema",
+                stats=stats,
+            )
+        for label in self.fatal_labels:
+            instances = document.elements_with_label(label)
+            if instances:
+                stats.disjoint_rejections += 1
+                return ValidationReport.failure(
+                    f"label {label!r} has disjoint source/target types",
+                    path=str(instances[0].dewey()),
+                    stats=stats,
+                )
+        for label in sorted(self.check_labels):
+            source_type, target_type = self.label_pairs[label]
+            for instance in document.elements_with_label(label):
+                report = self._check_instance(
+                    source_type, target_type, instance, stats
+                )
+                if not report.valid:
+                    return report
+        stats.subtrees_skipped += sum(
+            len(document.elements_with_label(label))
+            for label in self.skip_labels
+        )
+        return ValidationReport.success(stats)
+
+    def _check_instance(
+        self,
+        source_type: str,
+        target_type: str,
+        element: Element,
+        stats: ValidationStats,
+    ) -> ValidationReport:
+        """Verify one element's *immediate* content (no recursion —
+        descendants are covered by their own labels' checks)."""
+        stats.elements_visited += 1
+        target_decl = self.pair.target.type(target_type)
+        from repro.core.validator import attribute_violation
+
+        violation = attribute_violation(self.pair.target, target_decl, element)
+        if violation:
+            return ValidationReport.failure(
+                violation, path=str(element.dewey()), stats=stats
+            )
+        if isinstance(target_decl, SimpleType):
+            if any(isinstance(child, Element) for child in element.children):
+                return ValidationReport.failure(
+                    f"simple type {target_decl.name!r} does not allow "
+                    "child elements",
+                    path=str(element.dewey()),
+                    stats=stats,
+                )
+            stats.simple_values_checked += 1
+            stats.text_nodes_visited += sum(
+                1 for child in element.children if isinstance(child, Text)
+            )
+            text = element.text()
+            if not target_decl.validate(text):
+                return ValidationReport.failure(
+                    f"value {text!r} does not conform to simple type "
+                    f"{target_decl.name!r}",
+                    path=str(element.dewey()),
+                    stats=stats,
+                )
+            return ValidationReport.success(stats)
+        assert isinstance(target_decl, ComplexType)
+        labels: list[str] = []
+        for child in element.children:
+            if isinstance(child, Text):
+                if child.value.strip() == "":
+                    continue
+                stats.text_nodes_visited += 1
+                return ValidationReport.failure(
+                    f"complex type {target_type!r} does not allow "
+                    "character data",
+                    path=str(child.dewey()),
+                    stats=stats,
+                )
+            labels.append(child.label)
+        source_is_complex = isinstance(
+            self.pair.source.type(source_type), ComplexType
+        )
+        if self.use_string_cast and source_is_complex:
+            machine = self.pair.string_cast(source_type, target_type)
+            if machine.always_accepts or machine.never_accepts:
+                stats.early_content_decisions += 1
+                accepted = machine.always_accepts
+            else:
+                result = machine.c_immed.scan(labels)
+                stats.content_symbols_scanned += result.symbols_scanned
+                accepted = result.accepted
+                if result.early:
+                    stats.early_content_decisions += 1
+        else:
+            scan = self.pair.target_immed(target_type).scan(labels)
+            stats.content_symbols_scanned += scan.symbols_scanned
+            accepted = scan.accepted
+        if not accepted:
+            return ValidationReport.failure(
+                f"children of {element.label!r} do not match content "
+                f"model {target_decl.content.to_source()} of type "
+                f"{target_type!r}",
+                path=str(element.dewey()),
+                stats=stats,
+            )
+        return ValidationReport.success(stats)

@@ -1,0 +1,348 @@
+"""Automatic document correction — the paper's Section 7 future work.
+
+Given a document valid under a source schema and a target schema it
+fails against, produce a *minimally edited* document that conforms to
+the target, together with the list of repairs performed:
+
+* content-model violations are fixed with an optimal edit script from
+  :func:`repro.automata.repair.language_edit_distance` (insert / delete
+  / relabel children);
+* missing required elements are fabricated with
+  :func:`repro.schema.synthesis.minimal_tree`;
+* non-conforming simple values are replaced with
+  :func:`repro.schema.synthesis.canonical_value`;
+* subtrees whose (source, target) type pair is subsumed are left
+  untouched — the same skip the cast validator performs, reused here to
+  bound repair work.
+
+Minimality is per content model and per value (each node's child
+sequence is repaired optimally); the composition is a greedy
+approximation of global tree edit distance, which is enough for the
+"correct the document" use case and is documented as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.automata.edits import Delete, Insert, Replace
+from repro.automata.repair import language_edit_distance
+from repro.core.result import ValidationReport
+from repro.core.validator import validate_document
+from repro.errors import SchemaError
+from repro.schema.model import ComplexType, Schema, SimpleType
+from repro.schema.registry import SchemaPair
+from repro.schema.synthesis import canonical_value, minimal_tree
+from repro.xmltree.dom import Document, Element, Text
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One repair performed on the document."""
+
+    kind: str          # "insert" | "delete" | "relabel" | "retext" | ...
+    path: str          # Dewey path of the affected node (post-repair)
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind:8s} at {self.path or '<root>'}: {self.detail}"
+
+
+@dataclass
+class RepairResult:
+    """Outcome of a repair run."""
+
+    document: Document
+    actions: list[RepairAction] = field(default_factory=list)
+    verification: Optional[ValidationReport] = None
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.actions)
+
+    @property
+    def edit_count(self) -> int:
+        return len(self.actions)
+
+
+class DocumentRepairer:
+    """Corrects source-valid documents into target-valid ones."""
+
+    def __init__(self, pair: SchemaPair, *, trust_source: bool = True):
+        self.pair = pair
+        self.target = pair.target
+        #: When False, the source-validity promise is not assumed and no
+        #: subsumption skip is taken — every subtree is examined.
+        self.trust_source = trust_source
+
+    @classmethod
+    def for_schema(cls, target: Schema) -> "DocumentRepairer":
+        """Repair arbitrary documents against one schema — no source
+        knowledge, so nothing is skipped."""
+        return cls(SchemaPair(target, target), trust_source=False)
+
+    # -- entry point -----------------------------------------------------
+
+    def repair(self, document: Document) -> RepairResult:
+        """A corrected deep copy of ``document`` plus the action log.
+
+        Raises :class:`SchemaError` when no correction exists (the
+        target accepts no document with any permitted root label).
+        """
+        working = document.copy()
+        result = RepairResult(document=working)
+        root = working.root
+        target_type = self.target.root_type(root.label)
+        if target_type is None:
+            root_label, target_type = self._pick_root()
+            result.actions.append(
+                RepairAction(
+                    "relabel", "", f"root {root.label!r} -> {root_label!r}"
+                )
+            )
+            root.label = root_label
+        source_type = (
+            self.pair.source.root_type(document.root.label)
+            if self.trust_source
+            else None
+        )
+        self._repair_element(source_type, target_type, root, result)
+        result.verification = validate_document(self.target, working)
+        if not result.verification.valid:  # pragma: no cover - invariant
+            raise SchemaError(
+                "repair failed to produce a valid document: "
+                f"{result.verification.reason}"
+            )
+        return result
+
+    def _pick_root(self) -> tuple[str, str]:
+        from repro.schema.productive import productive_types
+
+        productive = productive_types(self.target)
+        for label in sorted(self.target.roots):
+            type_name = self.target.roots[label]
+            if type_name in productive:
+                return label, type_name
+        raise SchemaError("the target schema accepts no document at all")
+
+    # -- recursive repair ----------------------------------------------------
+
+    def _repair_element(
+        self,
+        source_type: Optional[str],
+        target_type: str,
+        element: Element,
+        result: RepairResult,
+    ) -> None:
+        if source_type is not None and self.pair.is_subsumed(
+            source_type, target_type
+        ):
+            return  # valid as-is, untouched
+        declaration = self.target.type(target_type)
+        if isinstance(declaration, SimpleType):
+            self._repair_simple(declaration, element, result)
+            return
+        assert isinstance(declaration, ComplexType)
+        self._repair_complex(source_type, declaration, element, result)
+
+    def _repair_simple(
+        self,
+        declaration: SimpleType,
+        element: Element,
+        result: RepairResult,
+    ) -> None:
+        from repro.core.validator import _is_reserved_attribute
+
+        for name in [
+            n for n in element.attributes if not _is_reserved_attribute(n)
+        ]:
+            del element.attributes[name]
+            result.actions.append(
+                RepairAction(
+                    "delattr", str(element.dewey()),
+                    f"removed attribute {name!r} from simple-typed "
+                    "element",
+                )
+            )
+        removed = [c for c in element.children if isinstance(c, Element)]
+        for child in removed:
+            element.remove(child)
+            result.actions.append(
+                RepairAction(
+                    "delete", str(element.dewey()),
+                    f"removed element child <{child.label}> of "
+                    f"simple-typed element",
+                )
+            )
+        text = element.text()
+        if not declaration.validate(text):
+            replacement = canonical_value(declaration)
+            for child in list(element.children):
+                element.remove(child)
+            if replacement:
+                element.append(Text(replacement))
+            result.actions.append(
+                RepairAction(
+                    "retext", str(element.dewey()),
+                    f"{text!r} -> {replacement!r} "
+                    f"({declaration.name})",
+                )
+            )
+
+    def _repair_attributes(
+        self,
+        declaration: ComplexType,
+        element: Element,
+        result: RepairResult,
+    ) -> None:
+        from repro.core.validator import _is_reserved_attribute
+
+        declared = declaration.attributes
+        for name in [
+            n for n in element.attributes
+            if not _is_reserved_attribute(n) and n not in declared
+        ]:
+            del element.attributes[name]
+            result.actions.append(
+                RepairAction(
+                    "delattr", str(element.dewey()),
+                    f"removed undeclared attribute {name!r}",
+                )
+            )
+        for name, attr in declared.items():
+            value_type = self.target.type(attr.type_name)
+            assert isinstance(value_type, SimpleType)
+            present = name in element.attributes
+            if present and value_type.validate(element.attributes[name]):
+                continue
+            if not present and not attr.required:
+                continue
+            replacement = canonical_value(value_type)
+            old = element.attributes.get(name)
+            element.attributes[name] = replacement
+            detail = (
+                f"{name}={old!r} -> {replacement!r}"
+                if present
+                else f"added required {name}={replacement!r}"
+            )
+            result.actions.append(
+                RepairAction("setattr", str(element.dewey()), detail)
+            )
+
+    def _repair_complex(
+        self,
+        source_type: Optional[str],
+        declaration: ComplexType,
+        element: Element,
+        result: RepairResult,
+    ) -> None:
+        self._repair_attributes(declaration, element, result)
+        # Character data has no place in element content.
+        for child in [c for c in element.children if isinstance(c, Text)]:
+            if child.value.strip():
+                result.actions.append(
+                    RepairAction(
+                        "delete", str(element.dewey()),
+                        f"removed character data {child.value[:20]!r} "
+                        "from element content",
+                    )
+                )
+            element.remove(child)
+
+        children: list[Element] = [
+            c for c in element.children if isinstance(c, Element)
+        ]
+        labels = [c.label for c in children]
+        dfa = self._productive_dfa(declaration)
+        outcome = language_edit_distance(dfa, labels)
+        if outcome is None:  # pragma: no cover - productive by invariant
+            raise SchemaError(
+                f"type {declaration.name!r} accepts no content at all"
+            )
+        _, ops = outcome
+        fabricated_ids: set[int] = set()   # already target-valid, skip
+        relabelled_ids: set[int] = set()   # original content, no source info
+        for op in ops:
+            if isinstance(op, Insert):
+                child_type = declaration.child_types[op.symbol]
+                fabricated = minimal_tree(self.target, child_type, op.symbol)
+                self._insert_child(element, children, op.position, fabricated)
+                fabricated_ids.add(id(fabricated))
+                result.actions.append(
+                    RepairAction(
+                        "insert", str(fabricated.dewey()),
+                        f"fabricated required <{op.symbol}> "
+                        f"({child_type})",
+                    )
+                )
+            elif isinstance(op, Delete):
+                victim = children.pop(op.position)
+                element.remove(victim)
+                result.actions.append(
+                    RepairAction(
+                        "delete", str(element.dewey()),
+                        f"removed disallowed <{victim.label}>",
+                    )
+                )
+            else:
+                assert isinstance(op, Replace)
+                node = children[op.position]
+                result.actions.append(
+                    RepairAction(
+                        "relabel", str(node.dewey()),
+                        f"<{node.label}> -> <{op.symbol}>",
+                    )
+                )
+                node.label = op.symbol
+                relabelled_ids.add(id(node))
+
+        source_decl = (
+            self.pair.source.type(source_type)
+            if source_type is not None
+            else None
+        )
+        for child in children:
+            if id(child) in fabricated_ids:
+                continue  # minimal_tree output is target-valid already
+            child_target = declaration.child_types[child.label]
+            if id(child) in relabelled_ids or not isinstance(
+                source_decl, ComplexType
+            ):
+                child_source: Optional[str] = None
+            else:
+                child_source = source_decl.child_types.get(child.label)
+            self._repair_element(child_source, child_target, child, result)
+
+    def _insert_child(
+        self,
+        element: Element,
+        children: list[Element],
+        position: int,
+        fabricated: Element,
+    ) -> None:
+        """Insert among the *element* children at ``position``."""
+        if position >= len(children):
+            element.append(fabricated)
+            children.append(fabricated)
+            return
+        anchor = children[position]
+        element.insert(anchor.index, fabricated)
+        children.insert(position, fabricated)
+
+    def _productive_dfa(self, declaration: ComplexType):
+        """The content DFA restricted to productive child labels, so the
+        repair never inserts a label whose subtree cannot be built."""
+        from repro.schema.productive import productive_types
+        from repro.remodel.toregex import restrict_language
+
+        dfa = self.target.content_dfa(declaration.name)
+        productive = productive_types(self.target)
+        allowed = frozenset(
+            label
+            for label, child in declaration.child_types.items()
+            if child in productive
+        )
+        if allowed == declaration.content.symbols():
+            return dfa
+        return restrict_language(dfa, allowed)

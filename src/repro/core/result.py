@@ -1,0 +1,98 @@
+"""Validation outcomes and instrumentation counters.
+
+Every validator in :mod:`repro.core` and :mod:`repro.baselines` reports
+through these types so the benchmark harness can compare them — the
+node-visit counters are what reproduces **Table 3** of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ValidationStats:
+    """Work counters accumulated during one validation run.
+
+    Attributes:
+        elements_visited: element nodes whose validation was actually
+            performed (entered, not skipped).
+        text_nodes_visited: χ leaves whose value was examined.
+        content_symbols_scanned: child labels fed to content-model
+            automata.
+        simple_values_checked: text values checked against a simple type.
+        subtrees_skipped: subtrees skipped thanks to subsumption
+            (``τ ≤ τ'``).
+        disjoint_rejections: validations cut short by disjointness
+            (``τ ⊘ τ'``).
+        early_content_decisions: content-model scans decided by an
+            IA/IR state before the end of the child sequence.
+        deltas_seen: Δ-labelled nodes encountered (with-modifications
+            runs only).
+    """
+
+    elements_visited: int = 0
+    text_nodes_visited: int = 0
+    content_symbols_scanned: int = 0
+    simple_values_checked: int = 0
+    subtrees_skipped: int = 0
+    disjoint_rejections: int = 0
+    early_content_decisions: int = 0
+    deltas_seen: int = 0
+
+    @property
+    def nodes_visited(self) -> int:
+        """Total nodes traversed — the Table 3 metric."""
+        return self.elements_visited + self.text_nodes_visited
+
+    def merge(self, other: "ValidationStats") -> None:
+        self.elements_visited += other.elements_visited
+        self.text_nodes_visited += other.text_nodes_visited
+        self.content_symbols_scanned += other.content_symbols_scanned
+        self.simple_values_checked += other.simple_values_checked
+        self.subtrees_skipped += other.subtrees_skipped
+        self.disjoint_rejections += other.disjoint_rejections
+        self.early_content_decisions += other.early_content_decisions
+        self.deltas_seen += other.deltas_seen
+
+
+@dataclass
+class ValidationReport:
+    """The outcome of validating one document.
+
+    ``reason`` explains a failure (with the Dewey path of the offending
+    node where available); it is empty for valid documents.
+    """
+
+    valid: bool
+    reason: str = ""
+    path: str = ""
+    stats: ValidationStats = field(default_factory=ValidationStats)
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    @classmethod
+    def failure(
+        cls,
+        reason: str,
+        path: str = "",
+        stats: Optional[ValidationStats] = None,
+    ) -> "ValidationReport":
+        return cls(
+            valid=False,
+            reason=reason,
+            path=path,
+            stats=stats or ValidationStats(),
+        )
+
+    @classmethod
+    def success(
+        cls, stats: Optional[ValidationStats] = None
+    ) -> "ValidationReport":
+        return cls(valid=True, stats=stats or ValidationStats())
+
+    def __repr__(self) -> str:
+        verdict = "valid" if self.valid else f"invalid: {self.reason}"
+        return f"ValidationReport({verdict}, nodes={self.stats.nodes_visited})"

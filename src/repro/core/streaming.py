@@ -1,0 +1,492 @@
+"""Streaming validation: O(depth) memory, no tree.
+
+The paper's memory argument — validator state independent of the
+document — extends naturally to validation *during parsing*:
+:class:`StreamingValidator` consumes the event stream of
+:func:`repro.xmltree.events.iterparse` and maintains only a stack of
+open elements, each frame holding the element's assigned type and its
+content-model DFA state.  The verdict matches
+:func:`repro.core.validator.validate_document` on the parsed tree
+exactly (same type assignment, same checks), without ever materializing
+the tree.
+
+Identity constraints need whole-subtree visibility and are outside the
+streaming mode; use :func:`repro.schema.identity.check_identity` on a
+parsed document when the schema declares any.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.result import ValidationReport, ValidationStats
+from repro.core.validator import attribute_violation
+from repro.schema.model import ComplexType, Schema, SimpleType
+from repro.xmltree.dom import Element
+from repro.xmltree.events import (
+    Characters,
+    EndElement,
+    Event,
+    StartElement,
+    iterparse,
+)
+
+
+@dataclass
+class _Frame:
+    label: str
+    type_name: str
+    #: DFA state for complex types; None marks a simple-typed frame.
+    state: Optional[int]
+    text_parts: list[str]
+    child_index: int = 0
+    #: Dewey step of this element under its parent (for error paths).
+    position: int = 0
+
+
+class StreamingValidator:
+    """Validates event streams against one schema with stack-only state."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        for type_name, declaration in schema.types.items():
+            if isinstance(declaration, ComplexType):
+                schema.content_dfa(type_name)
+
+    # -- entry points ------------------------------------------------------
+
+    def validate_text(self, text: str) -> ValidationReport:
+        """Parse and validate in one streaming pass."""
+        from repro.errors import XMLSyntaxError
+
+        try:
+            return self.validate_events(iterparse(text))
+        except XMLSyntaxError as error:
+            return ValidationReport.failure(f"not well-formed: {error}")
+
+    def validate_file(self, path: str) -> ValidationReport:
+        with open(path, encoding="utf-8") as handle:
+            return self.validate_text(handle.read())
+
+    def validate_events(self, events: Iterable[Event]) -> ValidationReport:
+        stats = ValidationStats()
+        stack: list[_Frame] = []
+        for event in events:
+            if isinstance(event, StartElement):
+                report = self._start(event, stack, stats)
+            elif isinstance(event, Characters):
+                report = self._characters(event, stack, stats)
+            else:
+                report = self._end(event, stack, stats)
+            if report is not None:
+                report.stats = stats
+                return report
+        report = ValidationReport.success(stats)
+        return report
+
+    # -- event handlers -----------------------------------------------------
+
+    def _path(self, stack: list[_Frame]) -> str:
+        return ".".join(str(frame.position) for frame in stack[1:])
+
+    def _start(
+        self,
+        event: StartElement,
+        stack: list[_Frame],
+        stats: ValidationStats,
+    ) -> Optional[ValidationReport]:
+        if not stack:
+            type_name = self.schema.root_type(event.label)
+            if type_name is None:
+                return ValidationReport.failure(
+                    f"label {event.label!r} is not a permitted root"
+                )
+            position = 0
+        else:
+            parent = stack[-1]
+            if parent.state is None:
+                return ValidationReport.failure(
+                    f"simple type {parent.type_name!r} does not allow "
+                    "child elements",
+                    path=self._path(stack),
+                )
+            dfa = self.schema.content_dfa(parent.type_name)
+            row = dfa.transitions[parent.state]
+            if event.label not in row:
+                return ValidationReport.failure(
+                    f"unexpected element {event.label!r} in content of "
+                    f"{parent.type_name!r}",
+                    path=self._path(stack),
+                )
+            parent.state = row[event.label]
+            stats.content_symbols_scanned += 1
+            declaration = self.schema.type(parent.type_name)
+            assert isinstance(declaration, ComplexType)
+            child_type = declaration.child_types.get(event.label)
+            if child_type is None:
+                return ValidationReport.failure(
+                    f"no type assigned to label {event.label!r}",
+                    path=self._path(stack),
+                )
+            type_name = child_type
+            position = parent.child_index
+            parent.child_index += 1
+
+        stats.elements_visited += 1
+        declaration = self.schema.type(type_name)
+        # Attribute checks reuse the DOM helper via a throwaway shell.
+        shell = Element(event.label, event.attributes)
+        violation = attribute_violation(self.schema, declaration, shell)
+        if violation:
+            return ValidationReport.failure(violation,
+                                            path=self._path(stack))
+        if isinstance(declaration, SimpleType):
+            frame = _Frame(event.label, type_name, None, [],
+                           position=position)
+        else:
+            frame = _Frame(
+                event.label,
+                type_name,
+                self.schema.content_dfa(type_name).start,
+                [],
+                position=position,
+            )
+        stack.append(frame)
+        return None
+
+    def _characters(
+        self,
+        event: Characters,
+        stack: list[_Frame],
+        stats: ValidationStats,
+    ) -> Optional[ValidationReport]:
+        frame = stack[-1]
+        if frame.state is None:
+            frame.text_parts.append(event.value)
+            return None
+        if event.value.strip() == "":
+            return None  # ignorable whitespace in element content
+        stats.text_nodes_visited += 1
+        return ValidationReport.failure(
+            f"complex type {frame.type_name!r} does not allow character "
+            "data",
+            path=self._path(stack),
+        )
+
+    def _end(
+        self,
+        event: EndElement,
+        stack: list[_Frame],
+        stats: ValidationStats,
+    ) -> Optional[ValidationReport]:
+        frame = stack.pop()
+        if frame.state is None:
+            stats.text_nodes_visited += 1 if frame.text_parts else 0
+            stats.simple_values_checked += 1
+            declaration = self.schema.type(frame.type_name)
+            assert isinstance(declaration, SimpleType)
+            value = "".join(frame.text_parts)
+            if value.strip() == "":
+                # Whitespace-only runs are dropped by the DOM parser;
+                # mirror that so both modes agree on <e>  </e>.
+                value = ""
+            if not declaration.validate(value):
+                return ValidationReport.failure(
+                    f"value {value!r} does not conform to simple type "
+                    f"{declaration.name!r}",
+                    path=self._path(stack + [frame]),
+                )
+            return None
+        dfa = self.schema.content_dfa(frame.type_name)
+        if frame.state not in dfa.finals:
+            declaration = self.schema.type(frame.type_name)
+            assert isinstance(declaration, ComplexType)
+            return ValidationReport.failure(
+                f"children of {frame.label!r} do not match content model "
+                f"{declaration.content.to_source()} of type "
+                f"{frame.type_name!r}",
+                path=self._path(stack + [frame]),
+            )
+        return None
+
+
+def validate_stream(schema: Schema, text: str) -> ValidationReport:
+    """One-shot streaming validation of XML text."""
+    return StreamingValidator(schema).validate_text(text)
+
+
+# -- streaming schema cast ------------------------------------------------------
+
+
+@dataclass
+class _CastFrame:
+    label: str
+    source_type: str
+    target_type: str
+    #: pair-automaton state for the children's content check; None for
+    #: simple-typed frames.
+    state: Optional[int]
+    #: content verdict already decided early (IA hit)?
+    content_decided: bool
+    text_parts: list[str]
+    position: int = 0
+    child_index: int = 0
+
+
+class StreamingCastValidator:
+    """Schema cast validation over an event stream (Section 3.2 logic,
+    O(depth) memory).
+
+    The same skips as :class:`repro.core.cast.CastValidator`: a child
+    whose (source, target) type pair is subsumed starts a *skip region*
+    — its entire subtree is fast-forwarded with a depth counter, no
+    checks performed; a disjoint pair fails immediately; otherwise the
+    child is pushed with a pair content-automaton state, which may also
+    decide early (IA/IR) while children stream past.
+
+    The input must be valid under the source schema (the paper's
+    promise); the verdict then matches
+    :meth:`CastValidator.validate` on the parsed tree.
+    """
+
+    def __init__(self, pair):
+        from repro.schema.registry import SchemaPair
+
+        assert isinstance(pair, SchemaPair)
+        self.pair = pair
+        pair.warm()
+
+    def validate_text(self, text: str) -> ValidationReport:
+        from repro.errors import XMLSyntaxError
+
+        try:
+            return self.validate_events(iterparse(text))
+        except XMLSyntaxError as error:
+            return ValidationReport.failure(f"not well-formed: {error}")
+
+    def validate_events(self, events: Iterable[Event]) -> ValidationReport:
+        stats = ValidationStats()
+        stack: list[_CastFrame] = []
+        skip_depth = 0
+        for event in events:
+            if skip_depth:
+                if isinstance(event, StartElement):
+                    skip_depth += 1
+                elif isinstance(event, EndElement):
+                    skip_depth -= 1
+                continue
+            if isinstance(event, StartElement):
+                outcome = self._start(event, stack, stats)
+                if outcome == "skip":
+                    stats.subtrees_skipped += 1
+                    skip_depth = 1
+                    continue
+                if outcome is not None:
+                    outcome.stats = stats
+                    return outcome
+            elif isinstance(event, Characters):
+                report = self._characters(event, stack, stats)
+                if report is not None:
+                    report.stats = stats
+                    return report
+            else:
+                report = self._end(stack, stats)
+                if report is not None:
+                    report.stats = stats
+                    return report
+        return ValidationReport.success(stats)
+
+    # -- handlers ------------------------------------------------------------
+
+    def _path(self, stack: list[_CastFrame]) -> str:
+        return ".".join(str(frame.position) for frame in stack[1:])
+
+    def _start(self, event: StartElement, stack, stats):
+        """Returns None (pushed), "skip" (subsumed subtree), or a
+        failure report."""
+        if not stack:
+            target_type = self.pair.target.root_type(event.label)
+            if target_type is None:
+                return ValidationReport.failure(
+                    f"label {event.label!r} is not a permitted root of "
+                    "the target schema"
+                )
+            source_type = self.pair.source.root_type(event.label)
+            if source_type is None:
+                return ValidationReport.failure(
+                    f"label {event.label!r} is not a permitted root of "
+                    "the source schema (promise violated)"
+                )
+            position = 0
+        else:
+            parent = stack[-1]
+            position = parent.child_index
+            parent.child_index += 1
+            source_parent = self.pair.source.type(parent.source_type)
+            target_parent = self.pair.target.type(parent.target_type)
+            if not isinstance(target_parent, ComplexType):
+                return ValidationReport.failure(
+                    f"simple type {parent.target_type!r} does not allow "
+                    "child elements",
+                    path=self._path(stack),
+                )
+            # Feed the child label to the parent's content machine.
+            report = self._feed(parent, event.label, stack, stats)
+            if report is not None:
+                return report
+            target_type = target_parent.child_types.get(event.label)
+            source_type = (
+                source_parent.child_types.get(event.label)
+                if isinstance(source_parent, ComplexType)
+                else None
+            )
+            if target_type is None:
+                return ValidationReport.failure(
+                    f"no target type assigned to label {event.label!r}",
+                    path=self._path(stack),
+                )
+            if source_type is None:
+                return ValidationReport.failure(
+                    f"no source type for label {event.label!r} "
+                    "(promise violated)",
+                    path=self._path(stack),
+                )
+
+        if self.pair.is_subsumed(source_type, target_type):
+            return "skip"
+        if self.pair.is_disjoint(source_type, target_type):
+            stats.disjoint_rejections += 1
+            return ValidationReport.failure(
+                f"source type {source_type!r} is disjoint from target "
+                f"type {target_type!r}",
+                path=self._path(stack),
+            )
+        stats.elements_visited += 1
+        target_decl = self.pair.target.type(target_type)
+        shell = Element(event.label, event.attributes)
+        violation = attribute_violation(self.pair.target, target_decl, shell)
+        if violation:
+            return ValidationReport.failure(violation,
+                                            path=self._path(stack))
+        if isinstance(target_decl, SimpleType):
+            frame = _CastFrame(event.label, source_type, target_type,
+                               None, True, [], position=position)
+        else:
+            machine = self._machine(source_type, target_type)
+            if machine is None:
+                # Simple source casting to complex target: only the
+                # empty element is shared; require ε content.
+                state = self.pair.target.content_dfa(target_type).start
+                frame = _CastFrame(event.label, source_type, target_type,
+                                   state, False, [], position=position)
+                frame.content_decided = False
+            else:
+                decided = machine.always_accepts
+                if decided:
+                    stats.early_content_decisions += 1
+                frame = _CastFrame(
+                    event.label,
+                    source_type,
+                    target_type,
+                    machine.c_immed.dfa.start,
+                    decided,
+                    [],
+                    position=position,
+                )
+        stack.append(frame)
+        return None
+
+    def _machine(self, source_type: str, target_type: str):
+        source_decl = self.pair.source.type(source_type)
+        if not isinstance(source_decl, ComplexType):
+            return None
+        return self.pair.string_cast(source_type, target_type)
+
+    def _feed(self, parent: _CastFrame, label: str, stack, stats):
+        """Advance the parent's content check by one child label."""
+        if parent.content_decided or parent.state is None:
+            return None
+        machine = self._machine(parent.source_type, parent.target_type)
+        if machine is None:
+            # Plain target DFA (simple source).
+            dfa = self.pair.target.content_dfa(parent.target_type)
+            row = dfa.transitions[parent.state]
+            if label not in row:
+                return self._content_failure(parent, stack)
+            parent.state = row[label]
+            stats.content_symbols_scanned += 1
+            return None
+        immed = machine.c_immed
+        if parent.state in immed.ia:
+            parent.content_decided = True
+            stats.early_content_decisions += 1
+            return None
+        if parent.state in immed.ir:
+            stats.early_content_decisions += 1
+            return self._content_failure(parent, stack)
+        row = immed.dfa.transitions[parent.state]
+        if label not in row:
+            return self._content_failure(parent, stack)
+        parent.state = row[label]
+        stats.content_symbols_scanned += 1
+        return None
+
+    def _content_failure(self, frame: _CastFrame, stack):
+        declaration = self.pair.target.type(frame.target_type)
+        assert isinstance(declaration, ComplexType)
+        return ValidationReport.failure(
+            f"children of {frame.label!r} do not match content model "
+            f"{declaration.content.to_source()} of type "
+            f"{frame.target_type!r}",
+            path=self._path(stack),
+        )
+
+    def _characters(self, event: Characters, stack, stats):
+        frame = stack[-1]
+        target_decl = self.pair.target.type(frame.target_type)
+        if isinstance(target_decl, SimpleType):
+            frame.text_parts.append(event.value)
+            return None
+        if event.value.strip() == "":
+            return None
+        stats.text_nodes_visited += 1
+        return ValidationReport.failure(
+            f"complex type {frame.target_type!r} does not allow "
+            "character data",
+            path=self._path(stack),
+        )
+
+    def _end(self, stack, stats):
+        frame = stack.pop()
+        target_decl = self.pair.target.type(frame.target_type)
+        if isinstance(target_decl, SimpleType):
+            stats.text_nodes_visited += 1 if frame.text_parts else 0
+            stats.simple_values_checked += 1
+            value = "".join(frame.text_parts)
+            if value.strip() == "":
+                value = ""
+            if not target_decl.validate(value):
+                return ValidationReport.failure(
+                    f"value {value!r} does not conform to simple type "
+                    f"{target_decl.name!r}",
+                    path=self._path(stack + [frame]),
+                )
+            return None
+        if frame.content_decided:
+            return None
+        machine = self._machine(frame.source_type, frame.target_type)
+        if machine is None:
+            dfa = self.pair.target.content_dfa(frame.target_type)
+            if frame.state not in dfa.finals:
+                return self._content_failure(frame, stack + [frame])
+            return None
+        # End of children: the pair automaton must be in a final state
+        # (IA states would have decided already; promise covers source
+        # acceptance).
+        if frame.state in machine.c_immed.ia:
+            stats.early_content_decisions += 1
+            return None
+        if frame.state not in machine.c_immed.dfa.finals:
+            return self._content_failure(frame, stack + [frame])
+        return None

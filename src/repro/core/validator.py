@@ -1,0 +1,180 @@
+"""Plain top-down validation against one abstract XML Schema.
+
+This is the paper's baseline ``doValidate``/``validate`` pseudocode
+(Section 3): check the root label is a permitted root, then recursively
+check each element's child-label string against its type's content
+model and descend into every child.  Simple types require exactly one
+χ (text) child whose value conforms.
+
+The full-traversal baseline in :mod:`repro.baselines.full` wraps these
+functions with precompiled automata, mirroring unmodified Xerces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.result import ValidationReport, ValidationStats
+from repro.schema.model import ComplexType, Schema, SimpleType, TypeDef
+from repro.xmltree.dom import Document, Element, Text
+
+#: Attribute names outside validation: namespace machinery and the
+#: xsi:* instance attributes (schemaLocation etc.).
+RESERVED_ATTRIBUTE_PREFIXES = ("xmlns", "xml:", "xsi:")
+
+
+def _is_reserved_attribute(name: str) -> bool:
+    return name.startswith(RESERVED_ATTRIBUTE_PREFIXES)
+
+
+def attribute_violation(
+    schema: Schema, declaration: TypeDef, element: Element
+) -> str:
+    """The first attribute-validation failure on ``element``, or ``""``.
+
+    Part of the attribute extension (outside the paper's structural
+    model): undeclared attributes, missing required attributes, and
+    non-conforming values are violations.  Reserved names (``xmlns*``,
+    ``xml:*``, ``xsi:*``) are always permitted.  Simple-typed elements
+    admit no attributes (XSD would require complex simpleContent).
+    """
+    present = {
+        name: value
+        for name, value in element.attributes.items()
+        if not _is_reserved_attribute(name)
+    }
+    if isinstance(declaration, SimpleType):
+        if present:
+            name = sorted(present)[0]
+            return (
+                f"simple-typed element <{element.label}> does not allow "
+                f"attribute {name!r}"
+            )
+        return ""
+    assert isinstance(declaration, ComplexType)
+    declared = declaration.attributes
+    for name in present:
+        if name not in declared:
+            return (
+                f"undeclared attribute {name!r} on <{element.label}> "
+                f"(type {declaration.name!r})"
+            )
+    for name, attr in declared.items():
+        if name in present:
+            value_type = schema.type(attr.type_name)
+            assert isinstance(value_type, SimpleType)
+            if not value_type.validate(present[name]):
+                return (
+                    f"attribute {name}={present[name]!r} does not conform "
+                    f"to {attr.type_name}"
+                )
+        elif attr.required:
+            return (
+                f"missing required attribute {name!r} on "
+                f"<{element.label}>"
+            )
+    return ""
+
+
+def validate_document(schema: Schema, document: Document) -> ValidationReport:
+    """Validate a whole document: root admissibility plus the subtree."""
+    return validate_root(schema, document.root)
+
+
+def validate_root(schema: Schema, root: Element) -> ValidationReport:
+    type_name = schema.root_type(root.label)
+    if type_name is None:
+        return ValidationReport.failure(
+            f"label {root.label!r} is not a permitted root", path=""
+        )
+    stats = ValidationStats()
+    report = _validate(schema, type_name, root, stats)
+    report.stats = stats
+    return report
+
+
+def validate_element(
+    schema: Schema, type_name: str, element: Element,
+    stats: Optional[ValidationStats] = None,
+) -> ValidationReport:
+    """Validate one element (and its subtree) against a named type."""
+    stats = stats if stats is not None else ValidationStats()
+    report = _validate(schema, type_name, element, stats)
+    report.stats = stats
+    return report
+
+
+def _validate(
+    schema: Schema, type_name: str, element: Element, stats: ValidationStats
+) -> ValidationReport:
+    stats.elements_visited += 1
+    declaration = schema.type(type_name)
+    violation = attribute_violation(schema, declaration, element)
+    if violation:
+        return ValidationReport.failure(violation, path=str(element.dewey()))
+    if isinstance(declaration, SimpleType):
+        return _validate_simple(declaration, element, stats)
+    assert isinstance(declaration, ComplexType)
+    dfa = schema.content_dfa(type_name)
+    state = dfa.start
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.value.strip() == "":
+                continue  # ignorable whitespace in element content
+            stats.text_nodes_visited += 1
+            return ValidationReport.failure(
+                f"complex type {type_name!r} does not allow character data",
+                path=str(child.dewey()),
+            )
+        label = child.label
+        if label not in dfa.alphabet:
+            return ValidationReport.failure(
+                f"unexpected element {label!r} in content of "
+                f"{type_name!r}",
+                path=str(child.dewey()),
+            )
+        state = dfa.transitions[state][label]
+        stats.content_symbols_scanned += 1
+    if state not in dfa.finals:
+        return ValidationReport.failure(
+            f"children of {element.label!r} do not match content model "
+            f"{declaration.content.to_source()} of type {type_name!r}",
+            path=str(element.dewey()),
+        )
+    for child in element.children:
+        if isinstance(child, Text):
+            continue
+        child_type = declaration.child_types[child.label]
+        report = _validate(schema, child_type, child, stats)
+        if not report.valid:
+            return report
+    return ValidationReport.success()
+
+
+def _validate_simple(
+    declaration: SimpleType, element: Element, stats: ValidationStats
+) -> ValidationReport:
+    """Definition 1, simple case: one χ child whose text conforms.
+
+    Empty elements are treated as carrying the empty string — XML offers
+    no way to distinguish ``<e></e>`` from an ``<e>`` with a zero-length
+    text child.
+    """
+    if any(isinstance(child, Element) for child in element.children):
+        return ValidationReport.failure(
+            f"simple type {declaration.name!r} does not allow child "
+            "elements",
+            path=str(element.dewey()),
+        )
+    stats.text_nodes_visited += sum(
+        1 for child in element.children if isinstance(child, Text)
+    )
+    stats.simple_values_checked += 1
+    text = element.text()
+    if not declaration.validate(text):
+        return ValidationReport.failure(
+            f"value {text!r} does not conform to simple type "
+            f"{declaration.name!r}",
+            path=str(element.dewey()),
+        )
+    return ValidationReport.success()

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base class.  Parsing errors carry source positions;
+schema errors carry the offending type or label where known.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLSyntaxError(ReproError):
+    """Malformed XML input.
+
+    Attributes:
+        line: 1-based line of the offending construct.
+        column: 1-based column of the offending construct.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ContentModelSyntaxError(ReproError):
+    """Malformed content-model expression (DTD `(a,(b|c)*)` syntax)."""
+
+    def __init__(self, message: str, position: int = -1):
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class AmbiguousContentModelError(ReproError):
+    """Content model violates one-unambiguity (XSD Unique Particle
+    Attribution).  Carries the symbol that two particles compete for."""
+
+    def __init__(self, message: str, symbol: str = ""):
+        self.symbol = symbol
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """Structurally invalid schema definition (dangling type reference,
+    non-productive type where one is required, duplicate declaration...)."""
+
+
+class DTDSyntaxError(SchemaError):
+    """Malformed DTD source text."""
+
+
+class XSDSyntaxError(SchemaError):
+    """Malformed or unsupported XML Schema source document."""
+
+
+class UnsupportedFeatureError(SchemaError):
+    """A schema uses an XSD feature outside the supported subset (the
+    paper's abstraction): wildcards, substitution groups, mixed content."""
+
+
+class ValidationError(ReproError):
+    """Raised by validators in ``raise_on_invalid`` mode; carries the Dewey
+    path of the node at which validation failed."""
+
+    def __init__(self, message: str, path: str = ""):
+        self.path = path
+        if path:
+            message = f"{message} (at {path})"
+        super().__init__(message)
+
+
+class UpdateError(ReproError):
+    """Invalid tree/string update operation (bad target, deleted node...)."""

@@ -1,0 +1,52 @@
+"""Content-model regular expressions: AST, parser, Glushkov compiler,
+derivative-based semantic matcher."""
+
+from repro.remodel.ast import (
+    EPSILON,
+    Alt,
+    Epsilon,
+    Regex,
+    Repeat,
+    Seq,
+    Star,
+    Symbol,
+    alt,
+    normalize,
+    opt,
+    plus,
+    repeat,
+    seq,
+    star,
+    sym,
+)
+from repro.remodel.derivative import matches
+from repro.remodel.glushkov import (
+    check_one_unambiguous,
+    compile_dfa,
+    glushkov_nfa,
+)
+from repro.remodel.parser import parse_content_model
+
+__all__ = [
+    "EPSILON",
+    "Alt",
+    "Epsilon",
+    "Regex",
+    "Repeat",
+    "Seq",
+    "Star",
+    "Symbol",
+    "alt",
+    "normalize",
+    "opt",
+    "plus",
+    "repeat",
+    "seq",
+    "star",
+    "sym",
+    "matches",
+    "check_one_unambiguous",
+    "compile_dfa",
+    "glushkov_nfa",
+    "parse_content_model",
+]

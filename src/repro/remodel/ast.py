@@ -1,0 +1,362 @@
+"""Content-model regular expressions.
+
+Abstract XML Schema types carry a regular expression ``regexp_τ`` over
+element labels (Section 3 of the paper).  This module defines the AST for
+those expressions:
+
+* core forms — :class:`Epsilon`, :class:`Symbol`, :class:`Seq`,
+  :class:`Alt`, :class:`Star`;
+* one sugar form — :class:`Repeat` with ``minOccurs``/``maxOccurs``
+  bounds, as written in XML Schema.  :func:`normalize` lowers ``Repeat``
+  to the core forms using the nesting ``e{0,k} = (e (e ...)?)?`` which
+  preserves one-unambiguity of UPA-valid models.
+
+Expressions are immutable and hashable; ``to_source`` renders the DTD
+content-model syntax that :mod:`repro.remodel.parser` reads back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+#: Hard cap on symbol positions produced by normalizing bounded repeats;
+#: protects against pathological ``maxOccurs="100000"`` declarations.
+MAX_POSITIONS = 100_000
+
+
+class Regex:
+    """Base class for content-model expression nodes."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        """Does the language contain the empty string?"""
+        raise NotImplementedError
+
+    def symbols(self) -> frozenset[str]:
+        """The set of element labels occurring in the expression."""
+        raise NotImplementedError
+
+    def to_source(self) -> str:
+        """Render in DTD content-model syntax."""
+        raise NotImplementedError
+
+    def _size(self) -> int:
+        """Number of symbol positions after normalization (cost metric)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_source()!r})"
+
+    def __str__(self) -> str:
+        return self.to_source()
+
+
+class Epsilon(Regex):
+    """The empty-string expression (an empty content model)."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def to_source(self) -> str:
+        return "()"
+
+    def _size(self) -> int:
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Epsilon)
+
+    def __hash__(self) -> int:
+        return hash(Epsilon)
+
+
+class Symbol(Regex):
+    """A single element label."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("symbol name must be non-empty")
+        self.name = name
+
+    def nullable(self) -> bool:
+        return False
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def to_source(self) -> str:
+        return self.name
+
+    def _size(self) -> int:
+        return 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Symbol) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((Symbol, self.name))
+
+
+class Seq(Regex):
+    """Concatenation of two or more sub-expressions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Regex]):
+        self.parts = tuple(parts)
+        if len(self.parts) < 2:
+            raise ValueError("Seq needs at least two parts; use seq()")
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset().union(*(part.symbols() for part in self.parts))
+
+    def to_source(self) -> str:
+        return "(" + ",".join(part.to_source() for part in self.parts) + ")"
+
+    def _size(self) -> int:
+        return sum(part._size() for part in self.parts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Seq) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash((Seq, self.parts))
+
+
+class Alt(Regex):
+    """Choice between two or more sub-expressions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Regex]):
+        self.parts = tuple(parts)
+        if len(self.parts) < 2:
+            raise ValueError("Alt needs at least two parts; use alt()")
+
+    def nullable(self) -> bool:
+        return any(part.nullable() for part in self.parts)
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset().union(*(part.symbols() for part in self.parts))
+
+    def to_source(self) -> str:
+        return "(" + "|".join(part.to_source() for part in self.parts) + ")"
+
+    def _size(self) -> int:
+        return sum(part._size() for part in self.parts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Alt) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash((Alt, self.parts))
+
+
+class Star(Regex):
+    """Kleene closure (zero or more repetitions)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Regex):
+        self.child = child
+
+    def nullable(self) -> bool:
+        return True
+
+    def symbols(self) -> frozenset[str]:
+        return self.child.symbols()
+
+    def to_source(self) -> str:
+        return _group(self.child) + "*"
+
+    def _size(self) -> int:
+        return self.child._size()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Star) and self.child == other.child
+
+    def __hash__(self) -> int:
+        return hash((Star, self.child))
+
+
+class Repeat(Regex):
+    """Bounded repetition ``child{low, high}``; ``high=None`` = unbounded.
+
+    This is the XML Schema ``minOccurs``/``maxOccurs`` particle and the
+    only non-core node; :func:`normalize` removes it.
+    """
+
+    __slots__ = ("child", "low", "high")
+
+    def __init__(self, child: Regex, low: int, high: Optional[int]):
+        if low < 0:
+            raise ValueError("minOccurs must be >= 0")
+        if high is not None and high < low:
+            raise ValueError(f"maxOccurs {high} < minOccurs {low}")
+        self.child = child
+        self.low = low
+        self.high = high
+
+    def nullable(self) -> bool:
+        return self.low == 0 or self.child.nullable()
+
+    def symbols(self) -> frozenset[str]:
+        return self.child.symbols()
+
+    def to_source(self) -> str:
+        body = _group(self.child)
+        if (self.low, self.high) == (0, 1):
+            return body + "?"
+        if (self.low, self.high) == (0, None):
+            return body + "*"
+        if (self.low, self.high) == (1, None):
+            return body + "+"
+        high = "" if self.high is None else str(self.high)
+        return f"{body}{{{self.low},{high}}}"
+
+    def _size(self) -> int:
+        copies = self.low if self.high is None else self.high
+        return max(copies, 1) * self.child._size()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Repeat)
+            and (self.child, self.low, self.high)
+            == (other.child, other.low, other.high)
+        )
+
+    def __hash__(self) -> int:
+        return hash((Repeat, self.child, self.low, self.high))
+
+
+def _group(expr: Regex) -> str:
+    """Parenthesize compound operands of a postfix operator."""
+    if isinstance(expr, (Symbol, Epsilon)):
+        return expr.to_source()
+    source = expr.to_source()
+    if source.startswith("(") and source.endswith(")"):
+        return source
+    return f"({source})"
+
+
+# -- convenience constructors ------------------------------------------------
+
+EPSILON = Epsilon()
+
+
+def sym(name: str) -> Symbol:
+    return Symbol(name)
+
+
+def seq(*parts: Regex) -> Regex:
+    """Concatenation; flattens nested Seq and drops Epsilon units."""
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Seq):
+            flat.extend(part.parts)
+        elif not isinstance(part, Epsilon):
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(flat)
+
+
+def alt(*parts: Regex) -> Regex:
+    """Choice; flattens nested Alt."""
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Alt):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        raise ValueError("alt() needs at least one alternative")
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(flat)
+
+
+def star(child: Regex) -> Regex:
+    if isinstance(child, (Star, Epsilon)):
+        return child if isinstance(child, Star) else EPSILON
+    return Star(child)
+
+
+def plus(child: Regex) -> Regex:
+    return Repeat(child, 1, None)
+
+
+def opt(child: Regex) -> Regex:
+    return Repeat(child, 0, 1)
+
+
+def repeat(child: Regex, low: int, high: Optional[int]) -> Regex:
+    if (low, high) == (1, 1):
+        return child
+    return Repeat(child, low, high)
+
+
+def normalize(expr: Regex) -> Regex:
+    """Lower :class:`Repeat` nodes to the core forms.
+
+    ``e{m,∞}`` becomes ``e^m · e*`` and ``e{m,M}`` becomes
+    ``e^m · (e (e ...)?)?`` with ``M-m`` nested optional copies, which
+    keeps UPA-valid (one-unambiguous) models deterministic after
+    expansion.  Raises :class:`ValueError` when the expansion would
+    exceed :data:`MAX_POSITIONS` symbol positions.
+    """
+    if expr._size() > MAX_POSITIONS:
+        raise ValueError(
+            f"content model expands to more than {MAX_POSITIONS} positions"
+        )
+    return _normalize(expr)
+
+
+def _normalize(expr: Regex) -> Regex:
+    if isinstance(expr, (Epsilon, Symbol)):
+        return expr
+    if isinstance(expr, Seq):
+        return seq(*(_normalize(part) for part in expr.parts))
+    if isinstance(expr, Alt):
+        return alt(*(_normalize(part) for part in expr.parts))
+    if isinstance(expr, Star):
+        return star(_normalize(expr.child))
+    if isinstance(expr, Repeat):
+        child = _normalize(expr.child)
+        required = [child] * expr.low
+        if expr.high is None:
+            return seq(*required, star(child))
+        extra = expr.high - expr.low
+        optional: Regex = EPSILON
+        for _ in range(extra):
+            optional = Repeat(child if optional is EPSILON
+                              else Seq((child, optional)), 0, 1)
+        # The nested Repeat(·,0,1) wrappers themselves still need lowering
+        # into core form: (x)? == (x | ε) is not core either, so express
+        # optionality via Alt with Epsilon.
+        return seq(*required, _lower_opts(optional))
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def _lower_opts(expr: Regex) -> Regex:
+    """Replace ``Repeat(e,0,1)`` wrappers (built above) with ``Alt``."""
+    if isinstance(expr, Repeat):
+        assert (expr.low, expr.high) == (0, 1)
+        inner = _lower_opts(expr.child)
+        return alt(inner, EPSILON) if not inner.nullable() else inner
+    if isinstance(expr, Seq):
+        return seq(*(_lower_opts(part) for part in expr.parts))
+    return expr

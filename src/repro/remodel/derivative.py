@@ -1,0 +1,121 @@
+"""Brzozowski-derivative matcher — the semantic oracle for content models.
+
+``matches(expr, word)`` decides membership directly on the expression
+tree, with no automaton construction.  It is deliberately independent of
+the Glushkov/DFA pipeline so property-based tests can cross-check the two
+implementations against each other; it is also the fallback matcher for
+expressions too large to compile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.remodel.ast import (
+    EPSILON,
+    Alt,
+    Epsilon,
+    Regex,
+    Repeat,
+    Seq,
+    Star,
+    Symbol,
+    alt,
+    repeat,
+    seq,
+    star,
+)
+
+
+class _Never(Regex):
+    """The empty *language* (∅) — internal to the derivative engine."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        return False
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def to_source(self) -> str:
+        return "<never>"
+
+    def _size(self) -> int:
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Never)
+
+    def __hash__(self) -> int:
+        return hash(_Never)
+
+
+NEVER = _Never()
+
+
+def _seq2(left: Regex, right: Regex) -> Regex:
+    if left is NEVER or right is NEVER:
+        return NEVER
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    return seq(left, right)
+
+
+def _alt2(left: Regex, right: Regex) -> Regex:
+    if left is NEVER:
+        return right
+    if right is NEVER:
+        return left
+    if left == right:
+        return left
+    return alt(left, right)
+
+
+def derivative(expr: Regex, symbol: str) -> Regex:
+    """The Brzozowski derivative ∂σ(expr): { w | σ·w ∈ L(expr) }."""
+    if isinstance(expr, (_Never, Epsilon)):
+        return NEVER
+    if isinstance(expr, Symbol):
+        return EPSILON if expr.name == symbol else NEVER
+    if isinstance(expr, Alt):
+        result: Regex = NEVER
+        for part in expr.parts:
+            result = _alt2(result, derivative(part, symbol))
+        return result
+    if isinstance(expr, Seq):
+        head, tail = expr.parts[0], expr.parts[1:]
+        rest = tail[0] if len(tail) == 1 else Seq(tail)
+        result = _seq2(derivative(head, symbol), rest)
+        if head.nullable():
+            result = _alt2(result, derivative(rest, symbol))
+        return result
+    if isinstance(expr, Star):
+        return _seq2(derivative(expr.child, symbol), star(expr.child))
+    if isinstance(expr, Repeat):
+        # When the child is nullable, mandatory occurrences can always be
+        # satisfied by ε, so e{m,M} ≡ e{0,M}; with that reduction the
+        # derivative uniformly consumes σ inside the first non-empty
+        # occurrence: ∂σ(e{m,M}) = ∂σ(e) · e{max(m-1,0), M-1}.
+        low = 0 if expr.child.nullable() else expr.low
+        if expr.high == 0:
+            return NEVER
+        inner = derivative(expr.child, symbol)
+        if inner is NEVER:
+            return NEVER
+        high = None if expr.high is None else expr.high - 1
+        remaining = repeat(expr.child, max(low - 1, 0), high)
+        return _seq2(inner, remaining)
+    raise TypeError(f"unknown regex node {expr!r}")
+
+
+def matches(expr: Regex, word: Iterable[str]) -> bool:
+    """Semantic membership test via iterated derivatives."""
+    current = expr
+    for symbol in word:
+        current = derivative(current, symbol)
+        if current is NEVER:
+            return False
+    return current.nullable()

@@ -1,0 +1,205 @@
+"""Glushkov position automaton and one-unambiguity checking.
+
+XML Schema content models must satisfy Unique Particle Attribution, which
+is exactly Brüggemann-Klein & Wood's *one-unambiguity* [6 in the paper]:
+the Glushkov automaton of the content model is deterministic.  The paper
+leans on this ("content models of XML Schema types are deterministic") to
+run content models as DFAs and to obtain its optimality results.
+
+This module linearizes a (normalized) expression into positions, computes
+the classical ``first``/``last``/``follow`` sets, and:
+
+* :func:`glushkov_nfa` — builds the position NFA for any expression;
+* :func:`check_one_unambiguous` — reports the competing symbol if the
+  model is ambiguous;
+* :func:`compile_dfa` — the main entry point: deterministic models map
+  straight onto their Glushkov automaton (plus sink); ambiguous models
+  (allowed in hand-built abstract schemas, ``strict=False``) fall back to
+  subset construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA
+from repro.errors import AmbiguousContentModelError
+from repro.remodel.ast import (
+    Alt,
+    Epsilon,
+    Regex,
+    Seq,
+    Star,
+    Symbol,
+    normalize,
+)
+
+
+@dataclass
+class _Linearized:
+    """Position analysis of a core expression.
+
+    Positions are numbered from 1 (0 is reserved for the Glushkov start
+    state); ``symbol_at[p]`` is the element label at position ``p``.
+    """
+
+    nullable: bool
+    first: frozenset[int]
+    last: frozenset[int]
+    follow: dict[int, set[int]]
+    symbol_at: dict[int, str]
+
+
+def linearize(expr: Regex) -> _Linearized:
+    """Compute positions and first/last/follow for a *core* expression
+    (no :class:`~repro.remodel.ast.Repeat` nodes — normalize first)."""
+    counter = [0]
+    symbol_at: dict[int, str] = {}
+    follow: dict[int, set[int]] = {}
+
+    def visit(node: Regex) -> tuple[bool, frozenset[int], frozenset[int]]:
+        if isinstance(node, Epsilon):
+            return True, frozenset(), frozenset()
+        if isinstance(node, Symbol):
+            counter[0] += 1
+            position = counter[0]
+            symbol_at[position] = node.name
+            follow[position] = set()
+            single = frozenset((position,))
+            return False, single, single
+        if isinstance(node, Seq):
+            nullable, first, last = visit(node.parts[0])
+            for part in node.parts[1:]:
+                p_nullable, p_first, p_last = visit(part)
+                for position in last:
+                    follow[position] |= p_first
+                first = first | p_first if nullable else first
+                last = last | p_last if p_nullable else p_last
+                nullable = nullable and p_nullable
+            return nullable, first, last
+        if isinstance(node, Alt):
+            nullable = False
+            first: frozenset[int] = frozenset()
+            last: frozenset[int] = frozenset()
+            for part in node.parts:
+                p_nullable, p_first, p_last = visit(part)
+                nullable = nullable or p_nullable
+                first |= p_first
+                last |= p_last
+            return nullable, first, last
+        if isinstance(node, Star):
+            _, first, last = visit(node.child)
+            for position in last:
+                follow[position] |= first
+            return True, first, last
+        raise TypeError(
+            f"non-core node {type(node).__name__}; call normalize() first"
+        )
+
+    nullable, first, last = visit(expr)
+    return _Linearized(nullable, first, last, follow, symbol_at)
+
+
+def check_one_unambiguous(expr: Regex) -> Optional[str]:
+    """Return a symbol witnessing ambiguity, or None if the expression is
+    one-unambiguous (UPA-valid)."""
+    info = linearize(normalize(expr))
+    sources: list[frozenset[int] | set[int]] = [info.first]
+    sources.extend(info.follow.values())
+    for positions in sources:
+        seen: dict[str, int] = {}
+        for position in positions:
+            symbol = info.symbol_at[position]
+            if symbol in seen and seen[symbol] != position:
+                return symbol
+            seen[symbol] = position
+    return None
+
+
+def glushkov_nfa(expr: Regex) -> NFA:
+    """The Glushkov (position) automaton as an NFA without ε-transitions.
+
+    State 0 is the start; state ``p`` means "just read position ``p``".
+    """
+    info = linearize(normalize(expr))
+    num_states = len(info.symbol_at) + 1
+    transitions: dict[tuple[int, str], set[int]] = {}
+    for position in info.first:
+        transitions.setdefault((0, info.symbol_at[position]), set()).add(position)
+    for source, targets in info.follow.items():
+        for position in targets:
+            transitions.setdefault(
+                (source, info.symbol_at[position]), set()
+            ).add(position)
+    finals = set(info.last)
+    if info.nullable:
+        finals.add(0)
+    alphabet = set(info.symbol_at.values()) or expr.symbols()
+    return NFA(alphabet, num_states, transitions, starts=(0,), finals=finals)
+
+
+def compile_dfa(
+    expr: Regex,
+    alphabet: Optional[frozenset[str]] = None,
+    *,
+    strict: bool = False,
+) -> DFA:
+    """Compile a content model to a complete, minimized DFA.
+
+    If the Glushkov automaton is deterministic (always, for UPA-valid
+    models) it is used directly; otherwise ``strict=True`` raises
+    :class:`AmbiguousContentModelError` and ``strict=False`` falls back
+    to subset construction.
+
+    Args:
+        expr: the content model (``Repeat`` sugar allowed).
+        alphabet: optional superalphabet for the resulting DFA.
+        strict: enforce one-unambiguity (XSD semantics).
+    """
+    core = normalize(expr)
+    info = linearize(core)
+    sigma = frozenset(info.symbol_at.values())
+    if alphabet is not None:
+        if not frozenset(alphabet) >= sigma:
+            raise ValueError("alphabet must cover the expression's symbols")
+        sigma_full = frozenset(alphabet)
+    else:
+        sigma_full = sigma
+
+    transitions: dict[tuple[int, str], int] = {}
+    deterministic = True
+    conflict_symbol = ""
+
+    def add(source: int, positions) -> None:
+        nonlocal deterministic, conflict_symbol
+        for position in positions:
+            symbol = info.symbol_at[position]
+            existing = transitions.get((source, symbol))
+            if existing is not None and existing != position:
+                deterministic = False
+                conflict_symbol = symbol
+            transitions[(source, symbol)] = position
+
+    add(0, info.first)
+    for source, targets in info.follow.items():
+        add(source, targets)
+
+    if not deterministic:
+        if strict:
+            raise AmbiguousContentModelError(
+                f"content model {expr.to_source()} is not one-unambiguous: "
+                f"two particles compete for {conflict_symbol!r}",
+                conflict_symbol,
+            )
+        dfa = glushkov_nfa(expr).determinize().with_alphabet(sigma_full)
+        return dfa.minimize()
+
+    finals = set(info.last)
+    if info.nullable:
+        finals.add(0)
+    dfa = DFA.from_partial(
+        sigma_full, len(info.symbol_at) + 1, transitions, 0, finals
+    )
+    return dfa.minimize()

@@ -1,0 +1,167 @@
+"""Parser for content-model expressions in DTD syntax.
+
+Accepts the DTD children-model grammar plus two extensions that make the
+notation usable for hand-written abstract schemas and tests:
+
+* bounded repetition ``a{2,5}``, ``a{3,}``, ``a{4}``;
+* the empty group ``()`` denoting the ε-only (empty content) model.
+
+Grammar (``|`` binds loosest)::
+
+    expr    := term ("|" term)*
+    term    := factor ("," factor)*
+    factor  := atom postfix*
+    atom    := NAME | "(" expr? ")"
+    postfix := "?" | "*" | "+" | "{" INT ("," INT?)? "}"
+
+``#PCDATA`` is accepted as an ordinary symbol token so the DTD front-end
+can recognize mixed/simple content models itself.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ContentModelSyntaxError
+from repro.remodel.ast import (
+    EPSILON,
+    Regex,
+    alt,
+    opt,
+    plus,
+    repeat,
+    seq,
+    star,
+    sym,
+)
+
+_NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:-#"
+)
+
+
+def parse_content_model(source: str) -> Regex:
+    """Parse a content-model expression, e.g. ``"(shipTo,billTo?,items)"``."""
+    parser = _ModelParser(source)
+    expr = parser.parse_expr()
+    parser.skip_ws()
+    if not parser.at_end():
+        raise ContentModelSyntaxError(
+            f"trailing input {source[parser.pos:]!r}", parser.pos
+        )
+    return expr
+
+
+class _ModelParser:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+
+    # -- scanning helpers ----------------------------------------------------
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self) -> str:
+        return self.source[self.pos] if self.pos < len(self.source) else ""
+
+    def skip_ws(self) -> None:
+        while self.peek() in (" ", "\t", "\r", "\n") and not self.at_end():
+            self.pos += 1
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise ContentModelSyntaxError(
+                f"expected {ch!r}, found {self.peek() or '<end>'!r}", self.pos
+            )
+        self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        while self.peek() in _NAME_CHARS and not self.at_end():
+            self.pos += 1
+        if self.pos == start:
+            raise ContentModelSyntaxError(
+                f"expected a name, found {self.peek() or '<end>'!r}", self.pos
+            )
+        return self.source[start : self.pos]
+
+    def read_int(self) -> int:
+        start = self.pos
+        while self.peek().isdigit():
+            self.pos += 1
+        if self.pos == start:
+            raise ContentModelSyntaxError("expected an integer", self.pos)
+        return int(self.source[start : self.pos])
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse_expr(self) -> Regex:
+        parts = [self.parse_term()]
+        while True:
+            self.skip_ws()
+            if self.peek() == "|":
+                self.pos += 1
+                parts.append(self.parse_term())
+            else:
+                break
+        return alt(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_term(self) -> Regex:
+        parts = [self.parse_factor()]
+        while True:
+            self.skip_ws()
+            if self.peek() == ",":
+                self.pos += 1
+                parts.append(self.parse_factor())
+            else:
+                break
+        return seq(*parts) if len(parts) > 1 else parts[0]
+
+    def parse_factor(self) -> Regex:
+        expr = self.parse_atom()
+        while True:
+            self.skip_ws()
+            ch = self.peek()
+            if ch == "?":
+                self.pos += 1
+                expr = opt(expr)
+            elif ch == "*":
+                self.pos += 1
+                expr = star(expr)
+            elif ch == "+":
+                self.pos += 1
+                expr = plus(expr)
+            elif ch == "{":
+                expr = self._parse_bounds(expr)
+            else:
+                return expr
+
+    def _parse_bounds(self, expr: Regex) -> Regex:
+        self.expect("{")
+        self.skip_ws()
+        low = self.read_int()
+        self.skip_ws()
+        high: int | None = low
+        if self.peek() == ",":
+            self.pos += 1
+            self.skip_ws()
+            high = self.read_int() if self.peek().isdigit() else None
+            self.skip_ws()
+        self.expect("}")
+        try:
+            return repeat(expr, low, high)
+        except ValueError as exc:
+            raise ContentModelSyntaxError(str(exc), self.pos) from exc
+
+    def parse_atom(self) -> Regex:
+        self.skip_ws()
+        if self.peek() == "(":
+            self.pos += 1
+            self.skip_ws()
+            if self.peek() == ")":
+                self.pos += 1
+                return EPSILON
+            expr = self.parse_expr()
+            self.skip_ws()
+            self.expect(")")
+            return expr
+        return sym(self.read_name())

@@ -1,0 +1,119 @@
+"""DFA → regular expression extraction by state elimination.
+
+Used by the productivity rewrite of Section 3: pruning a content model
+to ``L(regexp_τ) ∩ ProdLabels*`` is performed on the DFA (drop the
+non-productive symbols, trim) and the result is turned back into a
+content-model expression so the pruned schema is again a plain abstract
+XML Schema.
+
+The generalized-automaton edges carry ``Regex`` values (``None`` encodes
+the empty language ∅, which the core AST deliberately lacks).  Smart
+union/concatenation keeps the output reasonable; it is not guaranteed
+minimal — downstream consumers compile it right back to a DFA anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.dfa import DFA
+from repro.remodel.ast import EPSILON, Epsilon, Regex, Star, alt, seq, star, sym
+
+
+def _union(a: Optional[Regex], b: Optional[Regex]) -> Optional[Regex]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    return alt(a, b)
+
+
+def _concat(*parts: Optional[Regex]) -> Optional[Regex]:
+    flat: list[Regex] = []
+    for part in parts:
+        if part is None:
+            return None
+        if isinstance(part, Epsilon):
+            continue
+        flat.append(part)
+    if not flat:
+        return EPSILON
+    return seq(*flat)
+
+
+def _loop(body: Optional[Regex]) -> Regex:
+    if body is None or isinstance(body, Epsilon):
+        return EPSILON
+    if isinstance(body, Star):
+        return body
+    return star(body)
+
+
+def dfa_to_regex(dfa: DFA) -> Optional[Regex]:
+    """A regular expression for ``L(dfa)``; None when the language is ∅.
+
+    Note: an empty-string-only language yields :data:`EPSILON`.
+    """
+    trimmed = dfa.minimize()
+    if trimmed.is_empty():
+        return None
+    n = trimmed.num_states
+    init, final = n, n + 1  # two fresh endpoint states
+    edges: dict[tuple[int, int], Regex] = {}
+
+    def add(src: int, dst: int, expr: Regex) -> None:
+        edges[(src, dst)] = _union(edges.get((src, dst)), expr)  # type: ignore[assignment]
+
+    for q, row in enumerate(trimmed.transitions):
+        for symbol, dst in row.items():
+            add(q, dst, sym(symbol))
+    add(init, trimmed.start, EPSILON)
+    for q in trimmed.finals:
+        add(q, final, EPSILON)
+
+    # Eliminate original states, smallest fan-in*fan-out first (a common
+    # heuristic that keeps the expression compact).
+    remaining = set(range(n))
+    while remaining:
+        def cost(state: int) -> int:
+            fan_in = sum(1 for (s, d) in edges if d == state and s != state)
+            fan_out = sum(1 for (s, d) in edges if s == state and d != state)
+            return fan_in * fan_out
+
+        victim = min(remaining, key=cost)
+        remaining.discard(victim)
+        self_loop = _loop(edges.pop((victim, victim), None))
+        incoming = [
+            (s, expr) for (s, d), expr in edges.items()
+            if d == victim and s != victim
+        ]
+        outgoing = [
+            (d, expr) for (s, d), expr in edges.items()
+            if s == victim and d != victim
+        ]
+        for (s, _) in incoming:
+            edges.pop((s, victim))
+        for (d, _) in outgoing:
+            edges.pop((victim, d))
+        for s, in_expr in incoming:
+            for d, out_expr in outgoing:
+                add(s, d, _concat(in_expr, self_loop, out_expr))  # type: ignore[arg-type]
+
+    return edges.get((init, final))
+
+
+def restrict_language(dfa: DFA, allowed: frozenset[str]) -> DFA:
+    """A DFA for ``L(dfa) ∩ allowed*`` (over the original alphabet)."""
+    rows = []
+    sink = dfa.num_states
+    for row in dfa.transitions:
+        rows.append(
+            {
+                symbol: (dst if symbol in allowed else sink)
+                for symbol, dst in row.items()
+            }
+        )
+    rows.append({symbol: sink for symbol in dfa.alphabet})
+    return DFA(dfa.alphabet, rows, dfa.start, dfa.finals).minimize()

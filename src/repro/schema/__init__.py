@@ -1,0 +1,78 @@
+"""Abstract XML Schema: the paper's (Σ, T, ρ, R) model, simple-type
+facet algebra, subsumption/disjointness fixpoints, DTD and XSD
+front-ends, and the preprocessed SchemaPair registry."""
+
+from repro.schema.disjoint import compute_disjoint, compute_nondisjoint
+from repro.schema.dtd import dtd_schema, is_dtd_schema, label_type, parse_dtd
+from repro.schema.identity import (
+    IdentityConstraint,
+    check_identity,
+    constraint,
+    validate_with_constraints,
+)
+from repro.schema.model import (
+    AttributeDecl,
+    ComplexType,
+    Schema,
+    TypeDef,
+    attribute,
+    complex_type,
+    is_complex,
+    is_simple,
+    schema,
+)
+from repro.schema.productive import (
+    is_fully_productive,
+    productive_types,
+    prune_nonproductive,
+)
+from repro.schema.registry import SchemaPair
+from repro.schema.simple import (
+    BUILTINS,
+    AtomicKind,
+    Interval,
+    SimpleType,
+    builtin,
+    restrict,
+)
+from repro.schema.subsumption import compute_subsumption
+from repro.schema.synthesis import canonical_value, minimal_tree
+from repro.schema.xsd import parse_xsd, parse_xsd_file, schema_from_document
+
+__all__ = [
+    "compute_disjoint",
+    "compute_nondisjoint",
+    "dtd_schema",
+    "is_dtd_schema",
+    "label_type",
+    "parse_dtd",
+    "IdentityConstraint",
+    "check_identity",
+    "constraint",
+    "validate_with_constraints",
+    "AttributeDecl",
+    "ComplexType",
+    "Schema",
+    "TypeDef",
+    "attribute",
+    "complex_type",
+    "is_complex",
+    "is_simple",
+    "schema",
+    "is_fully_productive",
+    "productive_types",
+    "prune_nonproductive",
+    "SchemaPair",
+    "BUILTINS",
+    "AtomicKind",
+    "Interval",
+    "SimpleType",
+    "builtin",
+    "restrict",
+    "compute_subsumption",
+    "canonical_value",
+    "minimal_tree",
+    "parse_xsd",
+    "parse_xsd_file",
+    "schema_from_document",
+]

@@ -1,0 +1,145 @@
+"""Disjointness via the ``R_nondis`` least fixpoint (Definition 5 /
+Theorem 2).
+
+Two types are disjoint when no tree is valid under both — the
+information that lets the tree cast validator fail immediately.  The
+paper computes the *complement*: ``R_nondis`` starts from non-disjoint
+simple pairs (here: simple types whose accepted lexical spaces overlap,
+the facet bootstrap) and grows complex pairs ``(τ, τ')`` whenever
+
+    ``L(regexp_τ) ∩ L(regexp_τ') ∩ P* ≠ ∅``,
+
+where ``P`` is the set of labels whose assigned child-type pair is
+already known non-disjoint.  The emptiness test is a product-automaton
+reachability restricted to ``P`` (:meth:`DFA.intersects`).
+
+In the paper's formal model simple/complex pairs are always disjoint: a
+simple-type tree has exactly one χ leaf child while complex-type trees
+have element children or none (Definition 1).  Real XML cannot
+distinguish ``<e></e>`` from ``<e/>``, however, so this implementation
+deviates deliberately: a simple type that accepts the empty string and a
+complex type with a nullable content model share the empty element and
+are therefore reported *non*-disjoint.  (A wrong disjointness claim
+would make the cast validator reject valid documents; the paper's tree
+model sidesteps this because its χ nodes survive serialization, ours do
+not.)
+"""
+
+from __future__ import annotations
+
+from repro.automata.dfa import harmonize
+from repro.schema.model import ComplexType, Schema, SimpleType
+
+
+def _attributes_compatible(
+    source: Schema,
+    src_decl: ComplexType,
+    target: Schema,
+    tgt_decl: ComplexType,
+) -> bool:
+    """Can any attribute assignment satisfy both types?
+
+    A required attribute on either side must be declared on the other
+    with an overlapping value space; purely optional attributes never
+    prevent overlap (simply omit them).
+    """
+    for first, first_schema, second, second_schema in (
+        (src_decl, source, tgt_decl, target),
+        (tgt_decl, target, src_decl, source),
+    ):
+        for name, attr in first.attributes.items():
+            if not attr.required:
+                continue
+            counterpart = second.attributes.get(name)
+            if counterpart is None:
+                return False
+            mine = first_schema.type(attr.type_name)
+            theirs = second_schema.type(counterpart.type_name)
+            assert isinstance(mine, SimpleType)
+            assert isinstance(theirs, SimpleType)
+            if mine.is_disjoint_from(theirs):
+                return False
+    return True
+
+
+def compute_nondisjoint(source: Schema, target: Schema) -> frozenset[tuple[str, str]]:
+    """All pairs ``(τ, τ')`` with ``valid(τ) ∩ valid(τ') ≠ ∅``."""
+    nondisjoint: set[tuple[str, str]] = set()
+    complex_pairs: list[tuple[str, str]] = []
+    dfa_pairs: dict[tuple[str, str], tuple] = {}
+    for tau, src_decl in source.types.items():
+        for tau_p, tgt_decl in target.types.items():
+            if isinstance(src_decl, SimpleType) and isinstance(
+                tgt_decl, SimpleType
+            ):
+                if not src_decl.is_disjoint_from(tgt_decl):
+                    nondisjoint.add((tau, tau_p))
+            elif isinstance(src_decl, ComplexType) and isinstance(
+                tgt_decl, ComplexType
+            ):
+                if _attributes_compatible(source, src_decl, target,
+                                          tgt_decl):
+                    complex_pairs.append((tau, tau_p))
+            elif _shares_empty_element(src_decl, tgt_decl):
+                nondisjoint.add((tau, tau_p))
+
+    changed = True
+    while changed:
+        changed = False
+        for pair in complex_pairs:
+            if pair in nondisjoint:
+                continue
+            tau, tau_p = pair
+            src_decl = source.types[tau]
+            tgt_decl = target.types[tau_p]
+            assert isinstance(src_decl, ComplexType)
+            assert isinstance(tgt_decl, ComplexType)
+            allowed = frozenset(
+                label
+                for label, child in src_decl.child_types.items()
+                if label in tgt_decl.child_types
+                and (child, tgt_decl.child_types[label]) in nondisjoint
+            )
+            if pair not in dfa_pairs:
+                dfa_pairs[pair] = harmonize(
+                    source.content_dfa(tau), target.content_dfa(tau_p)
+                )
+            a, b = dfa_pairs[pair]
+            if a.intersects(b, restrict_to=allowed):
+                nondisjoint.add(pair)
+                changed = True
+    return frozenset(nondisjoint)
+
+
+def _shares_empty_element(left, right) -> bool:
+    """Does a simple/complex pair share the empty element ``<e/>``?
+
+    True when the simple side accepts the empty string and the complex
+    side's content model is nullable — the one tree the two kinds have
+    in common once χ boundaries are erased by serialization.
+    """
+    if isinstance(left, SimpleType) and isinstance(right, ComplexType):
+        simple, complex_ = left, right
+    elif isinstance(left, ComplexType) and isinstance(right, SimpleType):
+        simple, complex_ = right, left
+    else:  # pragma: no cover - callers guarantee mixed kinds
+        return False
+    return (
+        simple.validate("")
+        and complex_.content.nullable()
+        # Simple-typed elements admit no attributes, so a required
+        # attribute on the complex side forecloses the shared element.
+        and not complex_.required_attributes()
+    )
+
+
+def compute_disjoint(source: Schema, target: Schema) -> frozenset[tuple[str, str]]:
+    """The disjoint relation ``R_dis`` — the complement of ``R_nondis``
+    over ``T × T'`` (Theorem 2)."""
+    nondisjoint = compute_nondisjoint(source, target)
+    return frozenset(
+        (tau, tau_p)
+        for tau in source.types
+        for tau_p in target.types
+        if (tau, tau_p) not in nondisjoint
+    )

@@ -1,0 +1,344 @@
+"""DTD front-end: parse DTD source into an abstract XML Schema.
+
+A DTD is the special case of abstract XML Schema where every element
+label carries one type regardless of context (Section 3, "DTDs").  The
+parser handles the declarations the structural model needs:
+
+* ``<!ELEMENT name (children-model)>`` — children content models in the
+  standard DTD grammar (via :mod:`repro.remodel.parser`);
+* ``<!ELEMENT name EMPTY>`` — the ε-only content model;
+* ``<!ELEMENT name ANY>`` — any sequence of declared elements;
+* ``<!ELEMENT name (#PCDATA)>`` — a simple type (χ content);
+* ``<!ATTLIST ...>`` — attribute definitions (CDATA/ID/... keywords,
+  enumerations, ``#REQUIRED``/``#IMPLIED``/``#FIXED``) mapped onto the
+  attribute-validation extension;
+* comments and processing instructions — skipped.
+
+Mixed content ``(#PCDATA|a|b)*`` is outside the paper's tree model and
+raises :class:`UnsupportedFeatureError`.
+
+Each element label σ becomes a type named ``σ``; by default every
+declared element may be a root (the common assumption in revalidation
+settings, where the DOCTYPE is not part of the data) — pass ``roots`` to
+restrict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import DTDSyntaxError, UnsupportedFeatureError
+from repro.remodel.ast import EPSILON, Regex, alt, star, sym
+from repro.remodel.parser import parse_content_model
+from dataclasses import dataclass
+
+from repro.schema.model import AttributeDecl, ComplexType, Schema, TypeDef
+from repro.schema.simple import builtin, restrict
+from repro.xmltree.lexer import Scanner
+
+def parse_dtd(
+    source: str,
+    *,
+    roots: Optional[Iterable[str]] = None,
+    name: str = "",
+) -> Schema:
+    """Parse DTD text (e.g. a DOCTYPE internal subset) into a schema."""
+    reader = _DTDReader(source)
+    declarations = reader.read()
+    return dtd_schema(
+        declarations, roots=roots, name=name, attlists=reader.attlists
+    )
+
+
+def dtd_schema(
+    content_models: dict[str, str | Regex],
+    *,
+    roots: Optional[Iterable[str]] = None,
+    name: str = "",
+    attlists: Optional[dict[str, list["AttlistEntry"]]] = None,
+) -> Schema:
+    """Build a DTD-style schema from label → content-model mappings.
+
+    Content models may be DTD-syntax strings (``"(a,b*)"``, ``"EMPTY"``,
+    ``"ANY"``, ``"(#PCDATA)"``) or pre-built expressions.  ``attlists``
+    carries parsed ``<!ATTLIST>`` entries per element; attributes on
+    elements with ``#PCDATA`` content are rejected (the abstract model
+    gives such elements simple types, which admit no attributes).
+    """
+    labels = set(content_models)
+    types: dict[str, TypeDef] = {}
+    extra_types: dict[str, TypeDef] = {}
+    for label, model in content_models.items():
+        declared = _declare(label, model, labels)
+        entries = (attlists or {}).get(label, [])
+        if entries:
+            if not isinstance(declared, ComplexType):
+                raise UnsupportedFeatureError(
+                    f"element {label!r}: attributes on #PCDATA elements "
+                    "are outside the abstract model (a simple type admits "
+                    "no attributes)"
+                )
+            attributes: dict[str, AttributeDecl] = {}
+            for entry in entries:
+                decl, value_type = entry.to_declaration(label)
+                attributes[decl.name] = decl
+                if value_type is not None:
+                    extra_types[decl.type_name] = value_type
+            declared = ComplexType(
+                declared.name,
+                declared.content,
+                declared.child_types,
+                attributes,
+            )
+        types[label] = declared
+    types.update(extra_types)
+    root_labels = list(roots) if roots is not None else sorted(labels)
+    unknown = [label for label in root_labels if label not in types]
+    if unknown:
+        raise DTDSyntaxError(f"root elements not declared: {unknown}")
+    if "xsd:string" not in types and any(
+        isinstance(declared, ComplexType) and declared.attributes
+        for declared in types.values()
+    ):
+        types["xsd:string"] = builtin("string")
+    return Schema(types, {label: label for label in root_labels}, name=name)
+
+
+def is_dtd_schema(schema: Schema) -> bool:
+    """Does the schema satisfy the DTD property — each label assigned at
+    most one type across all contexts (including the root map)?"""
+    assigned: dict[str, str] = dict()
+    for declaration in schema.types.values():
+        if not isinstance(declaration, ComplexType):
+            continue
+        for label, type_name in declaration.child_types.items():
+            if assigned.setdefault(label, type_name) != type_name:
+                return False
+    for label, type_name in schema.roots.items():
+        if assigned.setdefault(label, type_name) != type_name:
+            return False
+    return True
+
+
+def label_type(schema: Schema, label: str) -> Optional[str]:
+    """The unique type of a label in a DTD-style schema (None when the
+    label is unknown)."""
+    if label in schema.roots:
+        return schema.roots[label]
+    for declaration in schema.types.values():
+        if isinstance(declaration, ComplexType):
+            type_name = declaration.child_types.get(label)
+            if type_name is not None:
+                return type_name
+    return None
+
+
+# -- declaration building ------------------------------------------------------
+
+def _declare(label: str, model: str | Regex, labels: set[str]) -> TypeDef:
+    if isinstance(model, Regex):
+        return _complex(label, model, labels)
+    text = model.strip()
+    if text == "EMPTY":
+        return _complex(label, EPSILON, labels)
+    if text == "ANY":
+        if labels:
+            any_model = star(alt(*(sym(other) for other in sorted(labels))))
+        else:
+            any_model = EPSILON
+        return _complex(label, any_model, labels)
+    expression = parse_content_model(text)
+    symbols = expression.symbols()
+    if "#PCDATA" in symbols:
+        if symbols == {"#PCDATA"}:
+            return builtin("string")  # χ content, unconstrained text
+        raise UnsupportedFeatureError(
+            f"element {label!r}: mixed content (#PCDATA with elements) is "
+            "outside the paper's structural model"
+        )
+    return _complex(label, expression, labels)
+
+
+def _complex(label: str, expression: Regex, labels: set[str]) -> ComplexType:
+    undeclared = expression.symbols() - labels
+    if undeclared:
+        raise DTDSyntaxError(
+            f"element {label!r} references undeclared elements "
+            f"{sorted(undeclared)}"
+        )
+    child_types = {symbol: symbol for symbol in expression.symbols()}
+    return ComplexType(label, expression, child_types)
+
+
+# -- ATTLIST declarations ---------------------------------------------------------
+
+#: DTD attribute types that collapse to unconstrained text in the model.
+_TEXTUAL_ATTR_TYPES = frozenset(
+    ("CDATA", "ID", "IDREF", "IDREFS", "ENTITY", "ENTITIES",
+     "NMTOKEN", "NMTOKENS")
+)
+
+
+@dataclass(frozen=True)
+class AttlistEntry:
+    """One attribute definition from an ``<!ATTLIST>`` declaration."""
+
+    name: str
+    #: "CDATA"-style keyword, or the enumeration members.
+    keyword: str
+    enumeration: tuple[str, ...] = ()
+    #: "#REQUIRED" | "#IMPLIED" | "#FIXED" | "" (plain default value)
+    default_kind: str = "#IMPLIED"
+    default_value: Optional[str] = None
+
+    def to_declaration(
+        self, owner: str
+    ) -> tuple[AttributeDecl, Optional[TypeDef]]:
+        """(AttributeDecl, new simple type to register or None).
+
+        Enumerated and ``#FIXED`` attributes get a dedicated enumeration
+        type named ``#attr:owner.name``; everything else is plain text.
+        """
+        if self.default_kind == "#FIXED":
+            assert self.default_value is not None
+            type_name = f"#attr:{owner}.{self.name}"
+            value_type = restrict(
+                builtin("string"),
+                type_name,
+                enumeration=frozenset((self.default_value,)),
+            )
+        elif self.enumeration:
+            type_name = f"#attr:{owner}.{self.name}"
+            value_type = restrict(
+                builtin("string"),
+                type_name,
+                enumeration=frozenset(self.enumeration),
+            )
+        else:
+            type_name = "xsd:string"
+            value_type = None
+        return (
+            AttributeDecl(
+                self.name, type_name,
+                required=self.default_kind == "#REQUIRED",
+            ),
+            value_type,
+        )
+
+
+# -- DTD text reader -----------------------------------------------------------
+
+class _DTDReader:
+    """Reads ``<!ELEMENT>``/``<!ATTLIST>`` declarations from DTD text."""
+
+    def __init__(self, source: str):
+        self.scanner = Scanner(source)
+        self.attlists: dict[str, list[AttlistEntry]] = {}
+
+    def read(self) -> dict[str, str]:
+        declarations: dict[str, str] = {}
+        scanner = self.scanner
+        while True:
+            scanner.skip_whitespace()
+            if scanner.at_end():
+                break
+            if scanner.starts_with("<!--"):
+                scanner.advance(4)
+                scanner.read_until("-->", what="comment")
+            elif scanner.starts_with("<!ELEMENT"):
+                name, model = self._read_element()
+                if name in declarations:
+                    raise DTDSyntaxError(f"duplicate <!ELEMENT {name}>")
+                declarations[name] = model
+            elif scanner.starts_with("<!ATTLIST"):
+                self._read_attlist()
+            elif scanner.starts_with("<!ENTITY"):
+                scanner.read_until(">", what="entity declaration")
+            elif scanner.starts_with("<!NOTATION"):
+                scanner.read_until(">", what="notation declaration")
+            elif scanner.starts_with("<?"):
+                scanner.read_until("?>", what="processing instruction")
+            else:
+                line, column = scanner.line_column()
+                raise DTDSyntaxError(
+                    f"unexpected DTD content at line {line}, column {column}"
+                )
+        return declarations
+
+    def _read_element(self) -> tuple[str, str]:
+        scanner = self.scanner
+        scanner.expect("<!ELEMENT")
+        scanner.skip_whitespace()
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        model = scanner.read_until(">", what="<!ELEMENT> declaration").strip()
+        if not model:
+            raise DTDSyntaxError(f"<!ELEMENT {name}> missing a content model")
+        return name, model
+
+    def _read_attlist(self) -> None:
+        scanner = self.scanner
+        scanner.expect("<!ATTLIST")
+        scanner.skip_whitespace()
+        element_name = scanner.read_name()
+        entries = self.attlists.setdefault(element_name, [])
+        while True:
+            scanner.skip_whitespace()
+            if scanner.match(">"):
+                return
+            if scanner.at_end():
+                raise DTDSyntaxError(
+                    f"unterminated <!ATTLIST {element_name}>"
+                )
+            entries.append(self._read_attdef(element_name))
+
+    def _read_attdef(self, element_name: str) -> AttlistEntry:
+        scanner = self.scanner
+        attr_name = scanner.read_name()
+        scanner.skip_whitespace()
+        enumeration: tuple[str, ...] = ()
+        if scanner.match("("):
+            members = []
+            while True:
+                scanner.skip_whitespace()
+                members.append(scanner.read_name())
+                scanner.skip_whitespace()
+                if scanner.match(")"):
+                    break
+                scanner.expect("|")
+            keyword = "ENUM"
+            enumeration = tuple(members)
+        else:
+            keyword = scanner.read_name()
+            if keyword == "NOTATION":
+                raise UnsupportedFeatureError(
+                    f"<!ATTLIST {element_name}>: NOTATION attributes are "
+                    "not supported"
+                )
+            if keyword not in _TEXTUAL_ATTR_TYPES:
+                raise DTDSyntaxError(
+                    f"<!ATTLIST {element_name}>: unknown attribute type "
+                    f"{keyword!r}"
+                )
+        scanner.skip_whitespace()
+        default_kind = "#IMPLIED"
+        default_value: Optional[str] = None
+        if scanner.match("#REQUIRED"):
+            default_kind = "#REQUIRED"
+        elif scanner.match("#IMPLIED"):
+            default_kind = "#IMPLIED"
+        elif scanner.match("#FIXED"):
+            default_kind = "#FIXED"
+            scanner.skip_whitespace()
+            default_value = scanner.read_quoted()
+        elif scanner.peek() in ("'", '"'):
+            default_kind = ""
+            default_value = scanner.read_quoted()
+        else:
+            raise DTDSyntaxError(
+                f"<!ATTLIST {element_name}>: expected a default "
+                f"declaration for {attr_name!r}"
+            )
+        return AttlistEntry(
+            attr_name, keyword, enumeration, default_kind, default_value
+        )

@@ -1,0 +1,317 @@
+"""Identity constraints: ``xsd:key`` / ``xsd:keyref`` / ``xsd:unique``.
+
+The paper defers identity constraints ("We are currently extending our
+algorithms to handle key constraints", Section 7); this module is that
+extension.  It implements the XSD identity-constraint model over the
+restricted XPath subset the XSD specification itself prescribes:
+
+* **selector** paths: relative child paths (``item``, ``./a/b``), the
+  descendant prefix ``.//``, ``*`` wildcards, and ``|`` unions;
+* **field** paths: a selector path optionally ending in ``@attribute``,
+  or ``.`` for the selected node's own text.
+
+A constraint is *declared* on an element (in XSD, nested in an
+``xsd:element``); it is *enforced* on every instance of that element:
+
+* ``unique`` — no two selected nodes share the same field tuple (nodes
+  with an absent field are exempt);
+* ``key`` — like unique, but every field must be present;
+* ``keyref`` — every selected node's field tuple must appear in the
+  referenced key's tuple set *within the same declaring instance*.
+
+Checking is a standalone pass (:func:`check_identity`) so the
+structural cast validators remain exactly the paper's algorithms; a
+document that passes the structural cast still needs this pass when the
+target schema declares constraints.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.core.result import ValidationReport
+from repro.errors import SchemaError
+from repro.xmltree.dom import Document, Element
+
+
+# -- the XPath subset ----------------------------------------------------------
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.:-]*\Z")
+
+@dataclass(frozen=True)
+class _Step:
+    name: str  # element name or "*"
+
+
+@dataclass(frozen=True)
+class _Path:
+    """One alternative of a selector: optional descendant prefix plus
+    child steps."""
+
+    descendant: bool
+    steps: tuple[_Step, ...]
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A parsed selector xpath (union of simple paths)."""
+
+    source: str
+    paths: tuple[_Path, ...]
+
+    def select(self, context: Element) -> Iterator[Element]:
+        seen: set[int] = set()
+        for path in self.paths:
+            for node in _walk_path(context, path):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    yield node
+
+
+@dataclass(frozen=True)
+class FieldPath:
+    """A parsed field xpath: a selector plus an optional @attribute or
+    self (``.``) terminal."""
+
+    source: str
+    selector: Optional[Selector]  # None = the context node itself
+    attribute: Optional[str]
+
+    def evaluate(self, context: Element) -> Optional[str]:
+        """The field value at ``context``: None when absent, and a
+        :class:`SchemaError` if multiple nodes match (XSD requires at
+        most one)."""
+        if self.selector is None:
+            nodes = [context]
+        else:
+            nodes = list(self.selector.select(context))
+        if not nodes:
+            return None
+        if len(nodes) > 1:
+            raise SchemaError(
+                f"field {self.source!r} matches {len(nodes)} nodes; "
+                "identity fields must be unique"
+            )
+        node = nodes[0]
+        if self.attribute is not None:
+            return node.attributes.get(self.attribute)
+        return node.text()
+
+
+def _walk_path(context: Element, path: _Path) -> Iterator[Element]:
+    # `.//a/b` starts the child steps at the context node *and* every
+    # descendant; a plain `a/b` starts at the context node only.
+    current: list[Element] = (
+        list(context.iter()) if path.descendant else [context]
+    )
+    for step in path.steps:
+        following: list[Element] = []
+        for node in current:
+            for child in node.child_elements():
+                if step.name == "*" or child.label == step.name:
+                    following.append(child)
+        current = following
+    return iter(current)
+
+
+def parse_selector(text: str) -> Selector:
+    """Parse a selector xpath (``a/b | .//c``)."""
+    paths = []
+    for branch in text.split("|"):
+        branch = branch.strip()
+        if not branch:
+            raise SchemaError(f"empty branch in selector {text!r}")
+        descendant = False
+        if branch.startswith(".//"):
+            descendant = True
+            branch = branch[3:]
+        elif branch.startswith("./"):
+            branch = branch[2:]
+        steps = []
+        for raw in branch.split("/"):
+            raw = raw.strip()
+            if raw == "" or raw == ".":
+                continue
+            if raw.startswith("@"):
+                raise SchemaError(
+                    f"attributes are not allowed in selectors: {text!r}"
+                )
+            if raw != "*" and not _NAME_RE.match(raw):
+                raise SchemaError(f"unsupported selector step {raw!r}")
+            steps.append(_Step(raw))
+        if not steps:
+            raise SchemaError(
+                f"selector branch selects the context node itself: {text!r}"
+            )
+        paths.append(_Path(descendant, tuple(steps)))
+    return Selector(text, tuple(paths))
+
+
+def parse_field(text: str) -> FieldPath:
+    """Parse a field xpath (``price``, ``./@id``, ``a/b/@ref``, ``.``)."""
+    stripped = text.strip()
+    attribute: Optional[str] = None
+    body = stripped
+    if "@" in stripped:
+        prefix, _, attr = stripped.rpartition("@")
+        attribute = attr.strip()
+        if not attribute:
+            raise SchemaError(f"empty attribute name in field {text!r}")
+        body = prefix.rstrip("/").strip()
+    if body in ("", "."):
+        return FieldPath(text, None, attribute)
+    if body.startswith("./") and body[2:] in ("", "."):
+        return FieldPath(text, None, attribute)
+    return FieldPath(text, parse_selector(body), attribute)
+
+
+# -- constraints -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IdentityConstraint:
+    """One key/unique/keyref declaration attached to an element label."""
+
+    name: str
+    kind: str                    # "key" | "unique" | "keyref"
+    selector: Selector
+    fields: tuple[FieldPath, ...]
+    refer: Optional[str] = None  # keyref: the referenced key's name
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("key", "unique", "keyref"):
+            raise SchemaError(f"unknown constraint kind {self.kind!r}")
+        if self.kind == "keyref" and not self.refer:
+            raise SchemaError(f"keyref {self.name!r} requires refer=")
+        if not self.fields:
+            raise SchemaError(f"constraint {self.name!r} needs a field")
+
+
+def constraint(
+    name: str,
+    kind: str,
+    selector: str,
+    fields: Sequence[str],
+    *,
+    refer: Optional[str] = None,
+) -> IdentityConstraint:
+    """Convenience constructor from xpath source text."""
+    return IdentityConstraint(
+        name=name,
+        kind=kind,
+        selector=parse_selector(selector),
+        fields=tuple(parse_field(f) for f in fields),
+        refer=refer,
+    )
+
+
+#: Constraint sets are grouped by the declaring element's label.
+ConstraintIndex = dict[str, list[IdentityConstraint]]
+
+
+# -- checking --------------------------------------------------------------------
+
+def check_identity(
+    constraints: ConstraintIndex, document: Document
+) -> ValidationReport:
+    """Verify every identity constraint over the document.
+
+    Constraints attach to element labels; each instance of a declaring
+    label forms its own scope, exactly as XSD scopes constraints to the
+    declaring element.
+    """
+    for label, declared in constraints.items():
+        keys = [c for c in declared if c.kind in ("key", "unique")]
+        refs = [c for c in declared if c.kind == "keyref"]
+        for scope in document.elements_with_label(label):
+            key_tables: dict[str, set[tuple[str, ...]]] = {}
+            for declaration in keys:
+                report = _check_key(declaration, scope, key_tables)
+                if not report.valid:
+                    return report
+            for declaration in refs:
+                report = _check_keyref(declaration, scope, key_tables)
+                if not report.valid:
+                    return report
+    return ValidationReport.success()
+
+
+def _tuple_of(
+    declaration: IdentityConstraint, node: Element
+) -> tuple[Optional[str], ...]:
+    return tuple(field.evaluate(node) for field in declaration.fields)
+
+
+def _check_key(
+    declaration: IdentityConstraint,
+    scope: Element,
+    key_tables: dict[str, set[tuple[str, ...]]],
+) -> ValidationReport:
+    seen: set[tuple[str, ...]] = set()
+    for node in declaration.selector.select(scope):
+        values = _tuple_of(declaration, node)
+        if any(value is None for value in values):
+            if declaration.kind == "key":
+                return ValidationReport.failure(
+                    f"key {declaration.name!r}: missing field on "
+                    f"<{node.label}>",
+                    path=str(node.dewey()),
+                )
+            continue  # unique: absent fields are exempt
+        values = tuple(v for v in values if v is not None)
+        if values in seen:
+            return ValidationReport.failure(
+                f"{declaration.kind} {declaration.name!r}: duplicate "
+                f"value {values!r}",
+                path=str(node.dewey()),
+            )
+        seen.add(values)
+    if declaration.kind == "key":
+        key_tables[declaration.name] = seen
+    return ValidationReport.success()
+
+
+def validate_with_constraints(schema, document: Document) -> ValidationReport:
+    """Structural validation plus identity-constraint checking.
+
+    Equivalent to :func:`repro.core.validator.validate_document`
+    followed by :func:`check_identity` with the schema's declared
+    constraints; the structural report's statistics are preserved.
+    """
+    from repro.core.validator import validate_document
+
+    report = validate_document(schema, document)
+    if not report.valid or not schema.identity:
+        return report
+    identity_report = check_identity(schema.identity, document)
+    if not identity_report.valid:
+        identity_report.stats = report.stats
+        return identity_report
+    return report
+
+
+def _check_keyref(
+    declaration: IdentityConstraint,
+    scope: Element,
+    key_tables: dict[str, set[tuple[str, ...]]],
+) -> ValidationReport:
+    assert declaration.refer is not None
+    table = key_tables.get(declaration.refer)
+    if table is None:
+        return ValidationReport.failure(
+            f"keyref {declaration.name!r} refers to unknown or "
+            f"out-of-scope key {declaration.refer!r}",
+            path=str(scope.dewey()),
+        )
+    for node in declaration.selector.select(scope):
+        values = _tuple_of(declaration, node)
+        if any(value is None for value in values):
+            continue  # absent fields: no reference made
+        if tuple(values) not in table:
+            return ValidationReport.failure(
+                f"keyref {declaration.name!r}: {values!r} does not "
+                f"match any {declaration.refer!r} key",
+                path=str(node.dewey()),
+            )
+    return ValidationReport.success()

@@ -1,0 +1,130 @@
+"""Productivity analysis and pruning (Section 3 of the paper).
+
+A type τ is *productive* when ``valid(τ) ≠ ∅``.  The paper's marking
+procedure is implemented verbatim:
+
+1. every simple type is productive;
+2. a complex type is productive when its content language intersected
+   with ``ProdLabels_τ*`` (words using only labels whose assigned child
+   type is already marked productive) is non-empty;
+3. iterate to the least fixpoint.
+
+:func:`prune_nonproductive` then applies the paper's "straightforward
+algorithm" for normalizing a schema: each surviving content model is
+replaced by one for ``L(regexp_τ) ∩ ProdLabels_τ*``, non-productive
+types are dropped, and root entries pointing at non-productive types are
+removed.  The algorithms that follow (subsumption, disjointness) assume
+a schema of productive types, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.remodel.ast import EPSILON
+from repro.remodel.toregex import dfa_to_regex, restrict_language
+from repro.schema.model import ComplexType, Schema, SimpleType
+
+
+def _accepts_within(schema: Schema, type_name: str, allowed: frozenset[str]) -> bool:
+    """Is ``L(regexp_τ) ∩ allowed*`` non-empty?  BFS over the content
+    DFA using only allowed symbols."""
+    dfa = schema.content_dfa(type_name)
+    if dfa.start in dfa.finals:
+        return True
+    seen = {dfa.start}
+    frontier = [dfa.start]
+    while frontier:
+        state = frontier.pop()
+        row = dfa.transitions[state]
+        for symbol in allowed:
+            dst = row[symbol]
+            if dst in seen:
+                continue
+            if dst in dfa.finals:
+                return True
+            seen.add(dst)
+            frontier.append(dst)
+    return False
+
+
+def productive_types(schema: Schema) -> frozenset[str]:
+    """The set of productive type names (least fixpoint)."""
+    productive: set[str] = {
+        name
+        for name, declaration in schema.types.items()
+        # A simple type is productive unless its faceted value space is
+        # empty (the paper's merged simple type is always inhabited;
+        # faceted ones may not be).
+        if isinstance(declaration, SimpleType) and not declaration.is_empty()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, declaration in schema.types.items():
+            if name in productive or not isinstance(declaration, ComplexType):
+                continue
+            allowed = frozenset(
+                label
+                for label, child in declaration.child_types.items()
+                if child in productive
+            )
+            if _accepts_within(schema, name, allowed):
+                productive.add(name)
+                changed = True
+    return frozenset(productive)
+
+
+def is_fully_productive(schema: Schema) -> bool:
+    """Does every declared type accept at least one tree?"""
+    return productive_types(schema) == frozenset(schema.types)
+
+
+def prune_nonproductive(schema: Schema) -> Schema:
+    """Rewrite ``schema`` so that every type is productive.
+
+    Raises :class:`SchemaError` if no root survives (the schema as a
+    whole accepts no document).
+    """
+    productive = productive_types(schema)
+    if productive == frozenset(schema.types):
+        return schema
+    new_types: dict[str, object] = {}
+    for name in productive:
+        declaration = schema.types[name]
+        if isinstance(declaration, SimpleType):
+            new_types[name] = declaration
+            continue
+        assert isinstance(declaration, ComplexType)
+        allowed = frozenset(
+            label
+            for label, child in declaration.child_types.items()
+            if child in productive
+        )
+        if allowed == declaration.content.symbols():
+            new_types[name] = declaration
+            continue
+        restricted = restrict_language(schema.content_dfa(name), allowed)
+        expression = dfa_to_regex(restricted)
+        if expression is None:
+            # Productivity guaranteed a non-empty restricted language.
+            raise AssertionError(
+                f"productive type {name!r} restricted to an empty language"
+            )
+        child_types = {
+            label: child
+            for label, child in declaration.child_types.items()
+            if label in expression.symbols()
+        }
+        new_types[name] = ComplexType(name, expression, child_types)
+    new_roots = {
+        label: type_name
+        for label, type_name in schema.roots.items()
+        if type_name in productive
+    }
+    if schema.roots and not new_roots:
+        raise SchemaError(
+            f"schema {schema.name!r} accepts no document: every root type "
+            "is non-productive"
+        )
+    return Schema(new_types, new_roots, name=schema.name,
+                  identity=schema.identity)

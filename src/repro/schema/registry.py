@@ -1,0 +1,115 @@
+"""Preprocessed schema pairs — the static artifact of the paper's setup.
+
+The paper's scenario: schemas A and B are known statically and may be
+preprocessed; documents arrive at runtime.  :class:`SchemaPair` is that
+preprocessing, bundling
+
+* ``R_sub`` — subsumed type pairs (skip the subtree),
+* ``R_dis`` — disjoint type pairs (fail immediately), stored via the
+  complement ``R_nondis`` exactly as computed,
+* per-type-pair :class:`StringCastValidator` machines (the Section 4
+  immediate decision automata for content-model checks), built lazily
+  and cached, and
+* per-target-type :class:`ImmediateDecisionAutomaton` for validating
+  freshly inserted content.
+
+Everything here depends only on the two schemas — memory is independent
+of any document, which is the paper's headline contrast with
+document-preprocessing incremental validators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.immediate import ImmediateDecisionAutomaton
+from repro.automata.stringcast import StringCastValidator
+from repro.schema.disjoint import compute_nondisjoint
+from repro.schema.model import ComplexType, Schema
+from repro.schema.subsumption import compute_subsumption
+
+
+class SchemaPair:
+    """Statically preprocessed (source schema, target schema) pair."""
+
+    def __init__(self, source: Schema, target: Schema):
+        self.source = source
+        self.target = target
+        #: Definition 4: pairs with ``valid(τ) ⊆ valid(τ')``.
+        self.r_sub: frozenset[tuple[str, str]] = compute_subsumption(
+            source, target
+        )
+        #: Definition 5: pairs with ``valid(τ) ∩ valid(τ') ≠ ∅``.
+        self.r_nondis: frozenset[tuple[str, str]] = compute_nondisjoint(
+            source, target
+        )
+        self._string_casts: dict[tuple[str, str], StringCastValidator] = {}
+        self._target_immed: dict[str, ImmediateDecisionAutomaton] = {}
+
+    # -- relation queries ---------------------------------------------------
+
+    def is_subsumed(self, source_type: str, target_type: str) -> bool:
+        """``τ ≤ τ'`` — every source-valid tree is target-valid."""
+        return (source_type, target_type) in self.r_sub
+
+    def is_disjoint(self, source_type: str, target_type: str) -> bool:
+        """``τ ⊘ τ'`` — no tree is valid under both."""
+        return (source_type, target_type) not in self.r_nondis
+
+    # -- cached automata -------------------------------------------------------
+
+    def string_cast(
+        self, source_type: str, target_type: str
+    ) -> StringCastValidator:
+        """Content-model cast machine for a complex type pair (cached)."""
+        key = (source_type, target_type)
+        if key not in self._string_casts:
+            self._string_casts[key] = StringCastValidator(
+                self.source.content_dfa(source_type),
+                self.target.content_dfa(target_type),
+            )
+        return self._string_casts[key]
+
+    def target_immed(self, target_type: str) -> ImmediateDecisionAutomaton:
+        """Definition 6 automaton for a target content model (cached);
+        used when no source knowledge exists (inserted subtrees)."""
+        if target_type not in self._target_immed:
+            self._target_immed[target_type] = (
+                ImmediateDecisionAutomaton.from_dfa(
+                    self.target.content_dfa(target_type)
+                )
+            )
+        return self._target_immed[target_type]
+
+    def warm(self) -> None:
+        """Eagerly build every complex-pair cast machine (benchmarking
+        aid: isolates static preprocessing cost from runtime cost)."""
+        for tau, src_decl in self.source.types.items():
+            if not isinstance(src_decl, ComplexType):
+                continue
+            for tau_p, tgt_decl in self.target.types.items():
+                if not isinstance(tgt_decl, ComplexType):
+                    continue
+                if self.is_subsumed(tau, tau_p) or self.is_disjoint(tau, tau_p):
+                    continue
+                self.string_cast(tau, tau_p)
+        for tau_p, tgt_decl in self.target.types.items():
+            if isinstance(tgt_decl, ComplexType):
+                self.target_immed(tau_p)
+
+    # -- root helpers ----------------------------------------------------------
+
+    def root_pair(self, label: str) -> Optional[tuple[str, str]]:
+        """(source type, target type) for a root label, or None when
+        either schema rejects it as a root."""
+        source_type = self.source.root_type(label)
+        target_type = self.target.root_type(label)
+        if source_type is None or target_type is None:
+            return None
+        return source_type, target_type
+
+    def __repr__(self) -> str:
+        return (
+            f"SchemaPair({self.source.name!r} -> {self.target.name!r}, "
+            f"|R_sub|={len(self.r_sub)}, |R_nondis|={len(self.r_nondis)})"
+        )

@@ -1,0 +1,580 @@
+"""Simple (atomic) types with restriction facets.
+
+The paper merges all simple types into one ``simple`` type "for
+exposition" and notes that handling the real XML Schema atomic types,
+facet restrictions and their relationships "is a straightforward
+extension" used to *bootstrap* the subsumption and disjointness
+relations.  This module is that extension — it is what makes the paper's
+**Experiment 2** (changing ``maxExclusive`` on ``quantity`` from 200 to
+100) expressible:
+
+* :class:`SimpleType` — an atomic kind plus facets (bounds, enumeration,
+  length), with lexical validation of text values;
+* :meth:`SimpleType.is_subsumed_by` — every text valid under ``self`` is
+  valid under ``other`` (bootstraps ``R_sub``);
+* :meth:`SimpleType.is_disjoint_from` — no text is valid under both
+  (bootstraps ``R_nondis``'s complement).
+
+Subsumption/disjointness here are *lexical*: they compare the sets of
+accepted text strings, which is the semantics revalidation needs.  Both
+are exact for same-kind comparisons over the implemented facets and
+conservative (never unsound) across kinds.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from fractions import Fraction
+from typing import Optional
+
+from repro.errors import SchemaError
+
+
+class AtomicKind(Enum):
+    """Primitive value spaces supported by the reproduction."""
+
+    STRING = "string"
+    BOOLEAN = "boolean"
+    DECIMAL = "decimal"
+    INTEGER = "integer"
+    DATE = "date"
+
+
+_INTEGER_RE = re.compile(r"[+-]?[0-9]+\Z")
+_DECIMAL_RE = re.compile(r"[+-]?(?:[0-9]+(?:\.[0-9]*)?|\.[0-9]+)\Z")
+_DATE_RE = re.compile(r"(-?[0-9]{4,})-([0-9]{2})-([0-9]{2})\Z")
+_BOOLEAN_LEXICALS = frozenset(("true", "false", "1", "0"))
+
+#: Kinds whose lexical space is totally ordered and facet-boundable.
+_ORDERED_KINDS = frozenset(
+    (AtomicKind.DECIMAL, AtomicKind.INTEGER, AtomicKind.DATE)
+)
+
+
+@dataclass(frozen=True)
+class SimpleType:
+    """An atomic type with optional restriction facets.
+
+    Bounds apply to ordered kinds only; length facets to strings;
+    enumerations to any kind (members stored in lexical form).
+    """
+
+    name: str
+    kind: AtomicKind
+    min_inclusive: Optional[Fraction | datetime.date] = None
+    max_inclusive: Optional[Fraction | datetime.date] = None
+    min_exclusive: Optional[Fraction | datetime.date] = None
+    max_exclusive: Optional[Fraction | datetime.date] = None
+    min_length: Optional[int] = None
+    max_length: Optional[int] = None
+    enumeration: Optional[frozenset[str]] = None
+
+    def __post_init__(self) -> None:
+        has_bounds = any(
+            facet is not None
+            for facet in (
+                self.min_inclusive,
+                self.max_inclusive,
+                self.min_exclusive,
+                self.max_exclusive,
+            )
+        )
+        if has_bounds and self.kind not in _ORDERED_KINDS:
+            raise SchemaError(
+                f"type {self.name!r}: bound facets need an ordered kind, "
+                f"not {self.kind.value}"
+            )
+        if (
+            self.min_length is not None or self.max_length is not None
+        ) and self.kind is not AtomicKind.STRING:
+            raise SchemaError(
+                f"type {self.name!r}: length facets apply to strings only"
+            )
+
+    # -- value parsing and validation -------------------------------------
+
+    def parse_value(self, text: str):
+        """The typed value of ``text``, or None if lexically invalid.
+
+        Whitespace is collapsed (stripped) for non-string kinds, per the
+        XSD ``collapse`` whitespace facet on the numeric/date types.
+        """
+        if self.kind is AtomicKind.STRING:
+            return text
+        lexical = text.strip()
+        if self.kind is AtomicKind.BOOLEAN:
+            return lexical if lexical in _BOOLEAN_LEXICALS else None
+        if self.kind is AtomicKind.INTEGER:
+            if not _INTEGER_RE.match(lexical):
+                return None
+            return Fraction(int(lexical))
+        if self.kind is AtomicKind.DECIMAL:
+            if not _DECIMAL_RE.match(lexical):
+                return None
+            return Fraction(lexical if lexical[-1] != "." else lexical[:-1])
+        if self.kind is AtomicKind.DATE:
+            match = _DATE_RE.match(lexical)
+            if not match:
+                return None
+            year, month, day = (int(part) for part in match.groups())
+            try:
+                return datetime.date(year, month, day)
+            except ValueError:
+                return None
+        raise AssertionError(f"unhandled kind {self.kind}")
+
+    def validate(self, text: str) -> bool:
+        """Does ``text`` conform to this type (lexical form + facets)?"""
+        value = self.parse_value(text)
+        if value is None:
+            return False
+        interval = self.interval()
+        if interval is not None and not interval.contains(value):
+            return False
+        if self.kind is AtomicKind.STRING:
+            if self.min_length is not None and len(text) < self.min_length:
+                return False
+            if self.max_length is not None and len(text) > self.max_length:
+                return False
+        if self.enumeration is not None:
+            lexical = text if self.kind is AtomicKind.STRING else text.strip()
+            return lexical in self.enumeration
+        return True
+
+    # -- facet algebra ------------------------------------------------------
+
+    def interval(self) -> Optional["Interval"]:
+        """The bound facets as an interval, for ordered kinds."""
+        if self.kind not in _ORDERED_KINDS:
+            return None
+        # A type may carry both an inclusive and an exclusive bound on
+        # the same side (via chained restrictions); the tighter one wins.
+        lower, lower_open = _max_bound(
+            (self.min_inclusive, False), (self.min_exclusive, True)
+        )
+        upper, upper_open = _min_bound(
+            (self.max_inclusive, False), (self.max_exclusive, True)
+        )
+        return Interval(
+            lower=lower,
+            lower_open=lower_open,
+            upper=upper,
+            upper_open=upper_open,
+            integral=self.kind is AtomicKind.INTEGER,
+        )
+
+    def is_empty(self) -> bool:
+        """Is the accepted lexical space empty?
+
+        The paper's merged ``simple`` type is always inhabited, but a
+        faceted type may not be (``positiveInteger`` with
+        ``maxExclusive=1``); such a type is *non-productive* — no valid
+        tree uses it — which the productivity analysis must know.
+        """
+        if self.enumeration is not None:
+            return not any(self.validate(m) for m in self.enumeration)
+        if self.kind is AtomicKind.STRING:
+            return (
+                self.max_length is not None
+                and (self.min_length or 0) > self.max_length
+            )
+        interval = self.interval()
+        if interval is None:
+            return False
+        lower, upper = interval.lower, interval.upper
+        if lower is None or upper is None:
+            return False
+        if self.kind is AtomicKind.INTEGER:
+            return not _contains_integer(
+                lower, interval.lower_open, upper, interval.upper_open
+            )
+        if lower < upper:
+            return False
+        return lower > upper or interval.lower_open or interval.upper_open
+
+    def is_subsumed_by(self, other: "SimpleType") -> bool:
+        """Is every accepted text of ``self`` accepted by ``other``?
+
+        Exact for same-kind pairs; across kinds it follows the lexical
+        hierarchy (integer ⊆ decimal ⊆ string, boolean/date ⊆ string)
+        and is otherwise conservatively False.
+        """
+        if self.enumeration is not None:
+            # Finite lexical space: check member by member (exact).
+            return all(other.validate(member) for member in self.enumeration)
+        if other.enumeration is not None:
+            return False  # self is infinite (no enum), other finite.
+        if self.kind == other.kind:
+            mine, theirs = self.interval(), other.interval()
+            if mine is not None and theirs is not None:
+                if not theirs.contains_interval(mine):
+                    return False
+            if self.kind is AtomicKind.STRING:
+                return _length_implies(self, other)
+            return True
+        if other.kind is AtomicKind.STRING:
+            # Any lexical form is a string; only unfaceted string targets
+            # are a safe superset.
+            return (
+                other.min_length in (None, 0)
+                and other.max_length is None
+            )
+        if (
+            self.kind is AtomicKind.INTEGER
+            and other.kind is AtomicKind.DECIMAL
+        ):
+            mine, theirs = self.interval(), other.interval()
+            assert mine is not None and theirs is not None
+            return theirs.contains_interval(mine)
+        return False
+
+    def is_disjoint_from(self, other: "SimpleType") -> bool:
+        """Is no text accepted by both?  Sound (never claims disjointness
+        wrongly); exact for ordered same-kind pairs and enumerations."""
+        if self.enumeration is not None:
+            return not any(other.validate(m) for m in self.enumeration)
+        if other.enumeration is not None:
+            return not any(self.validate(m) for m in other.enumeration)
+        kinds = {self.kind, other.kind}
+        if self.kind == other.kind:
+            mine, theirs = self.interval(), other.interval()
+            if mine is not None and theirs is not None:
+                return not mine.intersects(theirs)
+            if self.kind is AtomicKind.STRING:
+                return _length_disjoint(self, other)
+            return False
+        if AtomicKind.STRING in kinds:
+            # Strings overlap every other lexical space (up to length
+            # facets, which we treat conservatively).
+            return False
+        if kinds == {AtomicKind.INTEGER, AtomicKind.DECIMAL}:
+            mine, theirs = self.interval(), other.interval()
+            assert mine is not None and theirs is not None
+            return not mine.intersects(
+                theirs, integral=True
+            )
+        if kinds == {AtomicKind.BOOLEAN, AtomicKind.INTEGER} or kinds == {
+            AtomicKind.BOOLEAN,
+            AtomicKind.DECIMAL,
+        }:
+            # "0" and "1" are lexically valid for both; check whether the
+            # numeric side admits 0 or 1.
+            numeric = self if self.kind is not AtomicKind.BOOLEAN else other
+            interval = numeric.interval()
+            assert interval is not None
+            return not (
+                interval.contains(Fraction(0)) or interval.contains(Fraction(1))
+            )
+        # date vs numeric/boolean: lexical spaces never overlap.
+        return True
+
+    def __repr__(self) -> str:
+        return f"SimpleType({self.name!r}, {self.kind.value})"
+
+
+def _length_implies(narrow: SimpleType, wide: SimpleType) -> bool:
+    lo_n = narrow.min_length or 0
+    lo_w = wide.min_length or 0
+    hi_n = narrow.max_length
+    hi_w = wide.max_length
+    if lo_n < lo_w:
+        return False
+    if hi_w is not None and (hi_n is None or hi_n > hi_w):
+        return False
+    return True
+
+
+def _length_disjoint(a: SimpleType, b: SimpleType) -> bool:
+    lo = max(a.min_length or 0, b.min_length or 0)
+    hi_candidates = [h for h in (a.max_length, b.max_length) if h is not None]
+    hi = min(hi_candidates) if hi_candidates else None
+    return hi is not None and lo > hi
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An interval over a totally ordered value space.
+
+    ``None`` bounds are unbounded.  ``integral`` marks integer value
+    spaces, which matters for open-bound intersection tests
+    (``(0, 1)`` contains no integer but does contain decimals).
+    """
+
+    lower: Optional[Fraction | datetime.date] = None
+    lower_open: bool = False
+    upper: Optional[Fraction | datetime.date] = None
+    upper_open: bool = False
+    integral: bool = False
+
+    def contains(self, value) -> bool:
+        if self.lower is not None:
+            if value < self.lower or (self.lower_open and value == self.lower):
+                return False
+        if self.upper is not None:
+            if value > self.upper or (self.upper_open and value == self.upper):
+                return False
+        return True
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """Is ``other`` entirely inside ``self``?  (Conservative towards
+        False when open/closed endpoints make it ambiguous for integral
+        spaces — False only forgoes an optimization.)"""
+        if self.lower is not None:
+            if other.lower is None:
+                return False
+            if other.lower < self.lower:
+                return False
+            if (
+                other.lower == self.lower
+                and self.lower_open
+                and not other.lower_open
+            ):
+                return False
+        if self.upper is not None:
+            if other.upper is None:
+                return False
+            if other.upper > self.upper:
+                return False
+            if (
+                other.upper == self.upper
+                and self.upper_open
+                and not other.upper_open
+            ):
+                return False
+        return True
+
+    def intersects(self, other: "Interval", integral: bool = False) -> bool:
+        """Do the intervals share a value?  ``integral`` restricts the
+        shared value to integers (for integer/decimal comparisons)."""
+        lower, lower_open = _max_bound(
+            (self.lower, self.lower_open), (other.lower, other.lower_open)
+        )
+        upper, upper_open = _min_bound(
+            (self.upper, self.upper_open), (other.upper, other.upper_open)
+        )
+        if lower is None or upper is None:
+            interval_nonempty = True
+        elif lower < upper:
+            interval_nonempty = True
+        elif lower == upper:
+            interval_nonempty = not (lower_open or upper_open)
+        else:
+            interval_nonempty = False
+        if not interval_nonempty:
+            return False
+        want_integer = integral or self.integral or other.integral
+        if not want_integer:
+            return True
+        return _contains_integer(lower, lower_open, upper, upper_open)
+
+
+def _max_bound(a, b):
+    (va, oa), (vb, ob) = a, b
+    if va is None:
+        return vb, ob
+    if vb is None:
+        return va, oa
+    if va > vb:
+        return va, oa
+    if vb > va:
+        return vb, ob
+    return va, oa or ob
+
+
+def _min_bound(a, b):
+    (va, oa), (vb, ob) = a, b
+    if va is None:
+        return vb, ob
+    if vb is None:
+        return va, oa
+    if va < vb:
+        return va, oa
+    if vb < va:
+        return vb, ob
+    return va, oa or ob
+
+
+def _contains_integer(lower, lower_open, upper, upper_open) -> bool:
+    """Does the (possibly unbounded) interval contain an integer?
+    Bounds are Fractions (date intervals never reach here)."""
+    import math
+
+    if lower is None or upper is None:
+        return True  # a half-line always contains integers
+    lo = math.ceil(lower)
+    if lower_open and lo == lower:
+        lo += 1
+    hi = math.floor(upper)
+    if upper_open and hi == upper:
+        hi -= 1
+    return lo <= hi
+
+
+# -- builtin types --------------------------------------------------------------
+
+def _builtin(name: str, kind: AtomicKind, **facets) -> SimpleType:
+    return SimpleType(name=name, kind=kind, **facets)
+
+
+#: Built-in XSD simple types (the subset the reproduction supports).
+#: Derived integer types are expressed as INTEGER with range facets so
+#: the generic facet algebra handles their relationships.
+BUILTINS: dict[str, SimpleType] = {
+    t.name: t
+    for t in (
+        _builtin("xsd:string", AtomicKind.STRING),
+        _builtin("xsd:normalizedString", AtomicKind.STRING),
+        _builtin("xsd:token", AtomicKind.STRING),
+        _builtin("xsd:anyURI", AtomicKind.STRING),
+        _builtin("xsd:boolean", AtomicKind.BOOLEAN),
+        _builtin("xsd:decimal", AtomicKind.DECIMAL),
+        _builtin("xsd:integer", AtomicKind.INTEGER),
+        _builtin(
+            "xsd:nonNegativeInteger",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(0),
+        ),
+        _builtin(
+            "xsd:positiveInteger", AtomicKind.INTEGER, min_inclusive=Fraction(1)
+        ),
+        _builtin(
+            "xsd:nonPositiveInteger",
+            AtomicKind.INTEGER,
+            max_inclusive=Fraction(0),
+        ),
+        _builtin(
+            "xsd:negativeInteger", AtomicKind.INTEGER, max_inclusive=Fraction(-1)
+        ),
+        _builtin(
+            "xsd:long",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(-(2**63)),
+            max_inclusive=Fraction(2**63 - 1),
+        ),
+        _builtin(
+            "xsd:int",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(-(2**31)),
+            max_inclusive=Fraction(2**31 - 1),
+        ),
+        _builtin(
+            "xsd:short",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(-(2**15)),
+            max_inclusive=Fraction(2**15 - 1),
+        ),
+        _builtin(
+            "xsd:byte",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(-128),
+            max_inclusive=Fraction(127),
+        ),
+        _builtin(
+            "xsd:unsignedLong",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(0),
+            max_inclusive=Fraction(2**64 - 1),
+        ),
+        _builtin(
+            "xsd:unsignedInt",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(0),
+            max_inclusive=Fraction(2**32 - 1),
+        ),
+        _builtin(
+            "xsd:unsignedShort",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(0),
+            max_inclusive=Fraction(2**16 - 1),
+        ),
+        _builtin(
+            "xsd:unsignedByte",
+            AtomicKind.INTEGER,
+            min_inclusive=Fraction(0),
+            max_inclusive=Fraction(255),
+        ),
+        _builtin("xsd:date", AtomicKind.DATE),
+    )
+}
+
+#: The single catch-all simple type of the paper's bare formalism.
+ANY_SIMPLE = BUILTINS["xsd:string"]
+
+
+def builtin(name: str) -> SimpleType:
+    """Look up a built-in simple type by qualified name; accepts both
+    ``xsd:integer`` and bare ``integer``."""
+    key = name if name.startswith("xsd:") else f"xsd:{name}"
+    try:
+        return BUILTINS[key]
+    except KeyError:
+        raise SchemaError(f"unknown built-in simple type {name!r}") from None
+
+
+def restrict(
+    base: SimpleType,
+    name: str,
+    *,
+    min_inclusive=None,
+    max_inclusive=None,
+    min_exclusive=None,
+    max_exclusive=None,
+    min_length: Optional[int] = None,
+    max_length: Optional[int] = None,
+    enumeration: Optional[frozenset[str]] = None,
+) -> SimpleType:
+    """Derive a new simple type from ``base`` by restriction.
+
+    New facets must narrow the base: the derived type's accepted lexical
+    space is validated to sit inside the base's by construction (facets
+    are merged with the tighter bound winning).
+    """
+
+    def pick(new, old, tighter):
+        if new is None:
+            return old
+        if old is not None and not tighter(new, old):
+            raise SchemaError(
+                f"restriction {name!r} loosens a facet of {base.name!r}"
+            )
+        return new
+
+    def coerce(value):
+        if value is None or isinstance(value, (Fraction, datetime.date)):
+            return value
+        if base.kind is AtomicKind.DATE:
+            parsed = base.parse_value(str(value))
+            if parsed is None:
+                raise SchemaError(f"bad date facet value {value!r}")
+            return parsed
+        return Fraction(str(value))
+
+    merged_enum = enumeration
+    if base.enumeration is not None:
+        merged_enum = (
+            base.enumeration
+            if enumeration is None
+            else frozenset(enumeration) & base.enumeration
+        )
+    return SimpleType(
+        name=name,
+        kind=base.kind,
+        min_inclusive=pick(
+            coerce(min_inclusive), base.min_inclusive, lambda n, o: n >= o
+        ),
+        max_inclusive=pick(
+            coerce(max_inclusive), base.max_inclusive, lambda n, o: n <= o
+        ),
+        min_exclusive=pick(
+            coerce(min_exclusive), base.min_exclusive, lambda n, o: n >= o
+        ),
+        max_exclusive=pick(
+            coerce(max_exclusive), base.max_exclusive, lambda n, o: n <= o
+        ),
+        min_length=pick(min_length, base.min_length, lambda n, o: n >= o),
+        max_length=pick(max_length, base.max_length, lambda n, o: n <= o),
+        enumeration=merged_enum,
+    )

@@ -1,0 +1,127 @@
+"""The subsumption relation ``R_sub`` (Definition 4 / Theorem 1).
+
+``(τ, τ') ∈ R_sub`` iff every tree valid under source type τ is valid
+under target type τ' — the information that lets the tree cast validator
+skip whole subtrees.  The computation is the paper's greatest-fixpoint
+refinement:
+
+1. start from all candidate pairs of like kind, with simple pairs
+   filtered by facet implication (the bootstrap the paper sketches) and
+   complex pairs by content-language inclusion ``L(regexp_τ) ⊆
+   L(regexp_τ')``;
+2. repeatedly remove complex pairs with a child label whose assigned
+   type pair has been removed;
+3. stop at the fixpoint.
+
+Step 2 uses a worklist over reverse dependencies, so each pair is
+re-examined only when one of its child pairs falls out — O(edges)
+overall rather than O(iterations × pairs).
+
+The child-label domain is the *useful* symbols of the source content
+model (labels that occur in at least one word): a label that can never
+appear in a valid child sequence cannot break subsumption, and the
+paper's definition implicitly assumes such vacuous labels are absent
+(its normalized, productive schemas).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.automata.dfa import harmonize
+from repro.schema.model import ComplexType, Schema, SimpleType
+
+
+def _attributes_subsumed(
+    source: Schema,
+    src_decl: ComplexType,
+    target: Schema,
+    tgt_decl: ComplexType,
+) -> bool:
+    """Attribute extension of Definition 4: every attribute assignment
+    valid under τ must be valid under τ'.
+
+    Requires every τ-declared attribute to be declared in τ' with a
+    subsuming value type, and every τ'-required attribute to be
+    τ-required (so it is guaranteed present).
+    """
+    for name, attr in src_decl.attributes.items():
+        counterpart = tgt_decl.attributes.get(name)
+        if counterpart is None:
+            return False
+        src_type = source.type(attr.type_name)
+        tgt_type = target.type(counterpart.type_name)
+        assert isinstance(src_type, SimpleType)
+        assert isinstance(tgt_type, SimpleType)
+        if not src_type.is_subsumed_by(tgt_type):
+            return False
+    for name, attr in tgt_decl.attributes.items():
+        if attr.required:
+            counterpart = src_decl.attributes.get(name)
+            if counterpart is None or not counterpart.required:
+                return False
+    return True
+
+
+def compute_subsumption(source: Schema, target: Schema) -> frozenset[tuple[str, str]]:
+    """All pairs ``(τ, τ')`` with ``valid(τ) ⊆ valid(τ')``.
+
+    τ ranges over ``source`` types and τ' over ``target`` types; the two
+    schemas may be (and usually are) different objects.
+    """
+    survivors: set[tuple[str, str]] = set()
+    for tau, src_decl in source.types.items():
+        for tau_p, tgt_decl in target.types.items():
+            if isinstance(src_decl, SimpleType) and isinstance(
+                tgt_decl, SimpleType
+            ):
+                if src_decl.is_subsumed_by(tgt_decl):
+                    survivors.add((tau, tau_p))
+            elif isinstance(src_decl, ComplexType) and isinstance(
+                tgt_decl, ComplexType
+            ):
+                if not _attributes_subsumed(source, src_decl, target,
+                                            tgt_decl):
+                    continue
+                a, b = harmonize(
+                    source.content_dfa(tau), target.content_dfa(tau_p)
+                )
+                if a.is_subset_of(b):
+                    survivors.add((tau, tau_p))
+
+    # Reverse dependency index: child pair → complex pairs that need it.
+    dependents: dict[tuple[str, str], list[tuple[str, str]]] = {}
+    fragile: deque[tuple[str, str]] = deque()
+    for pair in list(survivors):
+        tau, tau_p = pair
+        src_decl = source.types[tau]
+        if not isinstance(src_decl, ComplexType):
+            continue
+        tgt_decl = target.types[tau_p]
+        assert isinstance(tgt_decl, ComplexType)
+        broken = False
+        for label in source.useful_symbols(tau):
+            child = src_decl.child_types[label]
+            target_child = tgt_decl.child_types.get(label)
+            if target_child is None:
+                # A useful source label must be a target label too when
+                # the languages are included; defensive removal.
+                broken = True
+                break
+            child_pair = (child, target_child)
+            if child_pair not in survivors:
+                broken = True
+                break
+            dependents.setdefault(child_pair, []).append(pair)
+        if broken:
+            fragile.append(pair)
+
+    while fragile:
+        pair = fragile.popleft()
+        if pair not in survivors:
+            continue
+        survivors.discard(pair)
+        for dependent in dependents.get(pair, ()):
+            if dependent in survivors:
+                fragile.append(dependent)
+    return frozenset(survivors)

@@ -1,0 +1,174 @@
+"""Deterministic synthesis of minimal valid values and trees.
+
+The document repairer needs to *invent* content: when a required
+element is missing, a smallest valid subtree of its type must be
+fabricated.  Everything here is deterministic (no randomness), so
+repairs are reproducible:
+
+* :func:`canonical_value` — a canonical text conforming to a simple
+  type (smallest in-range integer, first enumeration member, ...);
+* :func:`minimal_tree` — a smallest-height valid tree for a type, built
+  from shortest accepted content-model words, restricted to productive
+  child labels.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from fractions import Fraction
+from typing import Optional
+
+from repro.errors import SchemaError
+from repro.schema.model import ComplexType, Schema, SimpleType
+from repro.schema.productive import productive_types
+from repro.schema.simple import AtomicKind
+from repro.xmltree.dom import Element, Text
+
+
+def canonical_value(declaration: SimpleType) -> str:
+    """A deterministic text value conforming to ``declaration``.
+
+    Raises :class:`SchemaError` for value spaces we cannot witness
+    (e.g. an enumeration whose every member violates another facet).
+    """
+    if declaration.enumeration is not None:
+        for member in sorted(declaration.enumeration):
+            if declaration.validate(member):
+                return member
+        raise SchemaError(
+            f"simple type {declaration.name!r} has an empty value space"
+        )
+    if declaration.kind is AtomicKind.STRING:
+        length = declaration.min_length or 0
+        return "x" * length
+    if declaration.kind is AtomicKind.BOOLEAN:
+        return "true"
+    if declaration.kind is AtomicKind.DATE:
+        candidate = _canonical_date(declaration)
+        if candidate is None:
+            raise SchemaError(
+                f"simple type {declaration.name!r} has an empty value space"
+            )
+        return candidate.isoformat()
+    # Numeric kinds: the smallest admissible magnitude.
+    interval = declaration.interval()
+    assert interval is not None
+    value = _canonical_numeric(interval,
+                               declaration.kind is AtomicKind.INTEGER)
+    if value is None:
+        raise SchemaError(
+            f"simple type {declaration.name!r} has an empty value space"
+        )
+    if declaration.kind is AtomicKind.INTEGER:
+        return str(int(value))
+    if value.denominator == 1:
+        return str(value.numerator)
+    return f"{float(value):g}"
+
+
+def _canonical_numeric(interval, integral: bool) -> Optional[Fraction]:
+    lower, lower_open = interval.lower, interval.lower_open
+    upper, upper_open = interval.upper, interval.upper_open
+    if integral:
+        if lower is None:
+            candidate = Fraction(0) if _admits(interval, Fraction(0)) else None
+            if candidate is None and upper is not None:
+                bound = math.floor(upper)
+                if upper_open and bound == upper:
+                    bound -= 1
+                candidate = Fraction(bound)
+            return candidate
+        low = math.ceil(lower)
+        if lower_open and Fraction(low) == lower:
+            low += 1
+        candidate = Fraction(low)
+        return candidate if _admits(interval, candidate) else None
+    # Decimals: prefer 0, then the boundary (nudged inward if open).
+    for candidate in (Fraction(0), lower, upper):
+        if candidate is None:
+            continue
+        if _admits(interval, candidate):
+            return candidate
+    if lower is not None and upper is not None:
+        midpoint = (lower + upper) / 2
+        if _admits(interval, midpoint):
+            return midpoint
+        return None
+    if lower is not None:
+        return lower + 1
+    if upper is not None:
+        return upper - 1
+    return Fraction(0)
+
+
+def _admits(interval, value: Fraction) -> bool:
+    return interval.contains(value)
+
+
+def _canonical_date(declaration: SimpleType) -> Optional[datetime.date]:
+    interval = declaration.interval()
+    default = datetime.date(2004, 1, 1)  # the paper's year
+    if interval is None or interval.contains(default):
+        return default
+    for bound, open_, delta in (
+        (interval.lower, interval.lower_open, 1),
+        (interval.upper, interval.upper_open, -1),
+    ):
+        if isinstance(bound, datetime.date):
+            candidate = (
+                bound + datetime.timedelta(days=delta) if open_ else bound
+            )
+            if interval.contains(candidate):
+                return candidate
+    return None
+
+
+def minimal_tree(
+    schema: Schema, type_name: str, label: str
+) -> Element:
+    """A deterministic, minimal valid tree of ``type_name`` rooted at
+    ``label``.
+
+    Minimal in a greedy sense: the shortest accepted word of each
+    content model (restricted to productive labels), recursively.
+    Raises :class:`SchemaError` when the type is non-productive.
+    """
+    productive = productive_types(schema)
+    if type_name not in productive:
+        raise SchemaError(f"type {type_name!r} accepts no tree")
+    return _build(schema, type_name, label, productive)
+
+
+def _build(
+    schema: Schema, type_name: str, label: str, productive: frozenset[str]
+) -> Element:
+    declaration = schema.type(type_name)
+    node = Element(label)
+    if isinstance(declaration, SimpleType):
+        value = canonical_value(declaration)
+        if value:
+            node.append(Text(value))
+        return node
+    assert isinstance(declaration, ComplexType)
+    for attr in declaration.attributes.values():
+        if attr.required:
+            value_type = schema.type(attr.type_name)
+            assert isinstance(value_type, SimpleType)
+            node.attributes[attr.name] = canonical_value(value_type)
+    allowed = frozenset(
+        child_label
+        for child_label, child in declaration.child_types.items()
+        if child in productive
+    )
+    dfa = schema.content_dfa(type_name)
+    if allowed != declaration.content.symbols():
+        from repro.remodel.toregex import restrict_language
+
+        dfa = restrict_language(dfa, allowed)
+    word = dfa.shortest_accepted()
+    assert word is not None  # productivity guarantees it
+    for child_label in word:
+        child_type = declaration.child_types[child_label]
+        node.append(_build(schema, child_type, child_label, productive))
+    return node

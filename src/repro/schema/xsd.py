@@ -1,0 +1,655 @@
+"""XSD front-end: parse a W3C XML Schema document into an abstract
+XML Schema.
+
+Supported subset — everything the paper's schemas (Figures 1 and 2) and
+its experiments exercise, plus the common structuring features around
+them:
+
+* global ``xsd:element`` declarations (→ the root map ``R``);
+* named and anonymous ``xsd:complexType`` with ``xsd:sequence`` /
+  ``xsd:choice`` particles, nested arbitrarily, with ``minOccurs`` /
+  ``maxOccurs`` (including ``unbounded``);
+* local elements by ``name``+``type``, by inline type, or by ``ref`` to
+  a global element;
+* ``xsd:all`` groups of optional/required local elements (compiled by
+  permutation expansion, capped to keep the content model small);
+* named and anonymous ``xsd:simpleType`` via ``xsd:restriction`` with
+  the bound facets (``minInclusive``/``maxInclusive``/``minExclusive``/
+  ``maxExclusive``), ``enumeration``, ``length``/``minLength``/
+  ``maxLength``;
+* the built-in simple types of :mod:`repro.schema.simple`;
+* substitution groups (references to a head expand to a choice over its
+  concrete members) and ``abstract`` elements;
+* ``xsd:key`` / ``xsd:unique`` / ``xsd:keyref`` identity constraints
+  (see :mod:`repro.schema.identity`);
+* ``xsd:attribute`` declarations with ``use`` and simple types (the
+  attribute-validation extension).
+
+Unsupported XSD features raise :class:`UnsupportedFeatureError` with the
+offending construct named: wildcards (``xsd:any``/``xsd:anyAttribute``),
+type derivation of complex types, ``xsd:group``/``xsd:attributeGroup``,
+``mixed`` content, ``xsd:list``/``xsd:union`` simple types.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.errors import UnsupportedFeatureError, XSDSyntaxError
+from repro.remodel.ast import EPSILON, Regex, alt, repeat, seq, sym
+from repro.schema.model import AttributeDecl, ComplexType, Schema, TypeDef
+from repro.schema.simple import BUILTINS, SimpleType, builtin, restrict
+from repro.xmltree.dom import Document, Element
+from repro.xmltree.parser import parse as parse_xml
+
+_XSD_NAMESPACE_HINTS = ("xsd", "xs", "xschema")
+_MAX_ALL_GROUP = 6  # permutation expansion cap for xsd:all
+
+
+def parse_xsd(source: str, *, name: str = "") -> Schema:
+    """Parse XML Schema source text into an abstract schema."""
+    document = parse_xml(source)
+    return schema_from_document(document, name=name)
+
+
+def parse_xsd_file(path: str, *, name: str = "") -> Schema:
+    with open(path, encoding="utf-8") as handle:
+        return parse_xsd(handle.read(), name=name or path)
+
+
+def schema_from_document(document: Document, *, name: str = "") -> Schema:
+    return _XSDBuilder(document.root, name).build()
+
+
+def _local(tag: str) -> str:
+    """Local name of a possibly-prefixed tag."""
+    return tag.rsplit(":", 1)[-1]
+
+
+def _is_xsd(element: Element, local_name: str) -> bool:
+    return _local(element.label) == local_name
+
+
+class _XSDBuilder:
+    def __init__(self, root: Element, name: str):
+        if _local(root.label) != "schema":
+            raise XSDSyntaxError(
+                f"expected an xsd:schema document, found <{root.label}>"
+            )
+        self.root = root
+        self.schema_name = name
+        self.types: dict[str, TypeDef] = {}
+        self.roots: dict[str, str] = {}
+        #: global element name → type name (for ref= resolution).
+        self.global_elements: dict[str, str] = {}
+        #: element label → identity constraints declared on it.
+        self.identity: dict[str, list] = {}
+        #: substitution-group head → direct member labels.
+        self.substitution_members: dict[str, list[str]] = {}
+        #: global elements declared abstract (cannot appear themselves).
+        self.abstract_elements: set[str] = set()
+        self._anon_counter = itertools.count(1)
+
+    # -- top level ----------------------------------------------------------
+
+    def build(self) -> Schema:
+        # Pass 1: named simple types (facet bases may be forward
+        # references to builtins only, so one pass suffices for the
+        # subset; user-type bases are resolved on demand in pass order).
+        pending_complex: list[Element] = []
+        pending_elements: list[Element] = []
+        for child in self.root.child_elements():
+            local = _local(child.label)
+            if local == "simpleType":
+                self._register_named_simple(child)
+            elif local == "complexType":
+                pending_complex.append(child)
+            elif local == "element":
+                pending_elements.append(child)
+            elif local in ("annotation", "attribute", "attributeGroup",
+                           "import", "include", "notation", "group"):
+                if local == "group":
+                    raise UnsupportedFeatureError(
+                        "top-level xsd:group is not supported"
+                    )
+            else:
+                raise XSDSyntaxError(
+                    f"unsupported top-level construct <{child.label}>"
+                )
+        # Pass 2: named complex types — register names first so content
+        # models can reference each other recursively, then fill in.
+        declarations: dict[str, Element] = {}
+        for element in pending_complex:
+            type_name = element.attributes.get("name")
+            if not type_name:
+                raise XSDSyntaxError("top-level complexType requires a name")
+            if type_name in declarations or type_name in self.types:
+                raise XSDSyntaxError(f"duplicate type {type_name!r}")
+            declarations[type_name] = element
+        # Pass 3a: substitution groups and abstractness — these need only
+        # the global elements' attributes, and content-model expansion
+        # (pass 3b onwards) needs them in place.
+        global_names = set()
+        for element in pending_elements:
+            label = element.attributes.get("name")
+            if not label:
+                raise XSDSyntaxError("global element requires name=")
+            global_names.add(label)
+        for element in pending_elements:
+            label = element.attributes["name"]
+            head = element.attributes.get("substitutionGroup")
+            if head is not None:
+                head = _local(head)
+                if head not in global_names:
+                    raise XSDSyntaxError(
+                        f"element {label!r}: substitutionGroup head "
+                        f"{head!r} is not a global element"
+                    )
+                self.substitution_members.setdefault(head, []).append(label)
+            if element.attributes.get("abstract") in ("true", "1"):
+                self.abstract_elements.add(label)
+        # Pass 3b: global elements (may carry inline anonymous types).
+        for element in pending_elements:
+            self._register_global_element(element, declarations)
+        for label in self.abstract_elements:
+            self.roots.pop(label, None)  # abstract: never an instance
+        for type_name, element in declarations.items():
+            if type_name not in self.types:
+                self.types[type_name] = self._build_complex(type_name, element,
+                                                            declarations)
+        return Schema(
+            self.types,
+            self.roots,
+            name=self.schema_name,
+            identity=self.identity,
+        )
+
+    # -- simple types -----------------------------------------------------------
+
+    def _register_named_simple(self, element: Element) -> None:
+        type_name = element.attributes.get("name")
+        if not type_name:
+            raise XSDSyntaxError("top-level simpleType requires a name")
+        if type_name in self.types:
+            raise XSDSyntaxError(f"duplicate type {type_name!r}")
+        self.types[type_name] = self._build_simple(type_name, element)
+
+    def _build_simple(self, type_name: str, element: Element) -> SimpleType:
+        restriction = None
+        for child in element.child_elements():
+            local = _local(child.label)
+            if local == "annotation":
+                continue
+            if local == "restriction":
+                restriction = child
+            elif local in ("list", "union"):
+                raise UnsupportedFeatureError(
+                    f"simpleType {type_name!r}: xsd:{local} is not supported"
+                )
+            else:
+                raise XSDSyntaxError(
+                    f"unexpected <{child.label}> in simpleType {type_name!r}"
+                )
+        if restriction is None:
+            raise XSDSyntaxError(
+                f"simpleType {type_name!r} requires an xsd:restriction"
+            )
+        base_name = restriction.attributes.get("base")
+        if not base_name:
+            raise XSDSyntaxError(
+                f"restriction in simpleType {type_name!r} requires base="
+            )
+        base = self._resolve_simple(base_name)
+        facets: dict[str, object] = {}
+        enum_values: list[str] = []
+        for facet in restriction.child_elements():
+            local = _local(facet.label)
+            if local == "annotation":
+                continue
+            value = facet.attributes.get("value")
+            if value is None:
+                raise XSDSyntaxError(f"facet {facet.label} requires value=")
+            if local == "enumeration":
+                enum_values.append(value)
+            elif local in ("minInclusive", "maxInclusive",
+                           "minExclusive", "maxExclusive"):
+                key = {
+                    "minInclusive": "min_inclusive",
+                    "maxInclusive": "max_inclusive",
+                    "minExclusive": "min_exclusive",
+                    "maxExclusive": "max_exclusive",
+                }[local]
+                facets[key] = value
+            elif local == "minLength":
+                facets["min_length"] = int(value)
+            elif local == "maxLength":
+                facets["max_length"] = int(value)
+            elif local == "length":
+                facets["min_length"] = int(value)
+                facets["max_length"] = int(value)
+            elif local in ("whiteSpace", "pattern", "totalDigits",
+                           "fractionDigits"):
+                # Accepted but outside the reproduced facet algebra.
+                continue
+            else:
+                raise XSDSyntaxError(f"unknown facet <{facet.label}>")
+        if enum_values:
+            facets["enumeration"] = frozenset(enum_values)
+        return restrict(base, type_name, **facets)  # type: ignore[arg-type]
+
+    def _resolve_simple(self, name: str) -> SimpleType:
+        local = _local(name)
+        prefixed = f"xsd:{local}"
+        if prefixed in BUILTINS and (":" in name or local == name):
+            return BUILTINS[prefixed]
+        declaration = self.types.get(name)
+        if isinstance(declaration, SimpleType):
+            return declaration
+        raise XSDSyntaxError(f"unknown simple type {name!r}")
+
+    # -- complex types -------------------------------------------------------------
+
+    def _build_complex(
+        self,
+        type_name: str,
+        element: Element,
+        declarations: dict[str, Element],
+    ) -> ComplexType:
+        if element.attributes.get("mixed") in ("true", "1"):
+            raise UnsupportedFeatureError(
+                f"complexType {type_name!r}: mixed content is outside the "
+                "paper's structural model"
+            )
+        particle: Optional[Element] = None
+        attributes: dict[str, AttributeDecl] = {}
+        for child in element.child_elements():
+            local = _local(child.label)
+            if local == "annotation":
+                continue
+            if local == "attribute":
+                declaration = self._build_attribute(child, type_name)
+                if declaration is not None:
+                    attributes[declaration.name] = declaration
+                continue
+            if local in ("attributeGroup", "anyAttribute"):
+                raise UnsupportedFeatureError(
+                    f"complexType {type_name!r}: xsd:{local} is not "
+                    "supported"
+                )
+            if local in ("sequence", "choice", "all"):
+                if particle is not None:
+                    raise XSDSyntaxError(
+                        f"complexType {type_name!r} has multiple particles"
+                    )
+                particle = child
+            elif local in ("simpleContent", "complexContent"):
+                raise UnsupportedFeatureError(
+                    f"complexType {type_name!r}: xsd:{local} derivation is "
+                    "not supported"
+                )
+            else:
+                raise XSDSyntaxError(
+                    f"unexpected <{child.label}> in complexType {type_name!r}"
+                )
+        child_types: dict[str, str] = {}
+        if particle is None:
+            content: Regex = EPSILON
+        else:
+            content = self._build_particle(
+                particle, type_name, child_types, declarations
+            )
+        return ComplexType(type_name, content, child_types, attributes)
+
+    def _build_attribute(
+        self, element: Element, owner: str
+    ) -> Optional[AttributeDecl]:
+        """Parse one xsd:attribute declaration (None when prohibited)."""
+        use = element.attributes.get("use", "optional")
+        if use == "prohibited":
+            return None
+        if use not in ("optional", "required"):
+            raise XSDSyntaxError(
+                f"attribute in {owner!r}: unknown use={use!r}"
+            )
+        name = element.attributes.get("name")
+        if not name:
+            raise XSDSyntaxError(
+                f"attribute in {owner!r} requires name= "
+                "(ref= is not supported)"
+            )
+        type_attr = element.attributes.get("type")
+        inline = [
+            child
+            for child in element.child_elements()
+            if _local(child.label) == "simpleType"
+        ]
+        if type_attr and inline:
+            raise XSDSyntaxError(
+                f"attribute {name!r} in {owner!r} has both type= and an "
+                "inline simpleType"
+            )
+        if inline:
+            anon_name = f"#anon:{owner}.@{name}"
+            self.types[anon_name] = self._build_simple(anon_name, inline[0])
+            type_name = anon_name
+        elif type_attr:
+            type_name = self._type_reference(type_attr, {})
+            if not isinstance(self.types.get(type_name), SimpleType):
+                raise XSDSyntaxError(
+                    f"attribute {name!r} in {owner!r} must have a simple "
+                    f"type, not {type_attr!r}"
+                )
+        else:
+            self.types.setdefault("xsd:string", builtin("string"))
+            type_name = "xsd:string"
+        return AttributeDecl(name, type_name, required=use == "required")
+
+    def _build_particle(
+        self,
+        element: Element,
+        owner: str,
+        child_types: dict[str, str],
+        declarations: dict[str, Element],
+    ) -> Regex:
+        local = _local(element.label)
+        low, high = self._occurs(element)
+        if local == "element":
+            ref = element.attributes.get("ref")
+            if ref is not None and (
+                _local(ref) in self.substitution_members
+                or _local(ref) in self.abstract_elements
+            ):
+                return self._substitution_particle(
+                    _local(ref), owner, child_types, low, high
+                )
+            label, type_name = self._local_element(element, owner, declarations)
+            self._bind_child(owner, child_types, label, type_name)
+            return repeat(sym(label), low, high)
+        if local in ("sequence", "choice"):
+            parts = [
+                self._build_particle(child, owner, child_types, declarations)
+                for child in element.child_elements()
+                if _local(child.label) != "annotation"
+            ]
+            if not parts:
+                inner: Regex = EPSILON
+            elif local == "sequence":
+                inner = seq(*parts)
+            else:
+                inner = alt(*parts)
+            return repeat(inner, low, high)
+        if local == "all":
+            return repeat(
+                self._build_all(element, owner, child_types, declarations),
+                low,
+                high,
+            )
+        if local == "any":
+            raise UnsupportedFeatureError(
+                f"complexType {owner!r}: xsd:any wildcards are not supported"
+            )
+        if local == "group":
+            raise UnsupportedFeatureError(
+                f"complexType {owner!r}: xsd:group references are not "
+                "supported"
+            )
+        raise XSDSyntaxError(f"unexpected particle <{element.label}>")
+
+    def _bind_child(
+        self,
+        owner: str,
+        child_types: dict[str, str],
+        label: str,
+        type_name: str,
+    ) -> None:
+        existing = child_types.get(label)
+        if existing is not None and existing != type_name:
+            raise XSDSyntaxError(
+                f"complexType {owner!r}: label {label!r} is declared "
+                f"with two types ({existing!r} and {type_name!r}) — "
+                "XML Schema requires consistent declarations"
+            )
+        child_types[label] = type_name
+
+    def _substitution_particle(
+        self,
+        head: str,
+        owner: str,
+        child_types: dict[str, str],
+        low: int,
+        high: Optional[int],
+    ) -> Regex:
+        """Expand a reference to a substitution-group head into a choice
+        over the head (unless abstract) and its transitive members, each
+        with its own declared type — the paper's "substitution groups
+        can be integrated into our model" realized as a content-model
+        rewrite."""
+        labels = self._substitutables(head)
+        if not labels:
+            raise XSDSyntaxError(
+                f"complexType {owner!r}: abstract head {head!r} has no "
+                "substitutable members but is required"
+            )
+        for label in labels:
+            type_name = self.global_elements.get(label)
+            if type_name is None:
+                raise XSDSyntaxError(
+                    f"substitution member {label!r} resolved before its "
+                    "declaration"
+                )
+            self._bind_child(owner, child_types, label, type_name)
+        choice = (
+            alt(*(sym(label) for label in labels))
+            if len(labels) > 1
+            else sym(labels[0])
+        )
+        return repeat(choice, low, high)
+
+    def _substitutables(self, head: str) -> list[str]:
+        """The head (if concrete) plus its transitive members, in
+        declaration order, abstract members excluded."""
+        ordered: list[str] = []
+        stack = [head]
+        seen = set()
+        while stack:
+            label = stack.pop(0)
+            if label in seen:
+                continue
+            seen.add(label)
+            if label not in self.abstract_elements:
+                ordered.append(label)
+            stack.extend(self.substitution_members.get(label, ()))
+        return ordered
+
+    def _build_all(
+        self,
+        element: Element,
+        owner: str,
+        child_types: dict[str, str],
+        declarations: dict[str, Element],
+    ) -> Regex:
+        """Expand an ``xsd:all`` group into a choice of permutations.
+
+        Exact for groups of up to ``_MAX_ALL_GROUP`` members (beyond
+        that the expansion explodes factorially and we refuse).
+        """
+        members: list[tuple[Regex, bool]] = []  # (symbol, optional?)
+        for child in element.child_elements():
+            local = _local(child.label)
+            if local == "annotation":
+                continue
+            if local != "element":
+                raise XSDSyntaxError(
+                    f"xsd:all in {owner!r} may contain only local elements"
+                )
+            low, high = self._occurs(child)
+            if high not in (1,) or low not in (0, 1):
+                raise UnsupportedFeatureError(
+                    f"xsd:all in {owner!r}: members must have "
+                    "minOccurs 0/1 and maxOccurs 1"
+                )
+            label, type_name = self._local_element(child, owner, declarations)
+            child_types[label] = type_name
+            members.append((sym(label), low == 0))
+        if len(members) > _MAX_ALL_GROUP:
+            raise UnsupportedFeatureError(
+                f"xsd:all in {owner!r} has {len(members)} members; "
+                f"expansion is capped at {_MAX_ALL_GROUP}"
+            )
+        if not members:
+            return EPSILON
+        alternatives: list[Regex] = []
+        for ordering in itertools.permutations(range(len(members))):
+            parts = [
+                repeat(members[i][0], 0 if members[i][1] else 1, 1)
+                for i in ordering
+            ]
+            alternatives.append(seq(*parts))
+        return alt(*alternatives) if len(alternatives) > 1 else alternatives[0]
+
+    # -- element declarations ----------------------------------------------------
+
+    def _occurs(self, element: Element) -> tuple[int, Optional[int]]:
+        low = int(element.attributes.get("minOccurs", "1"))
+        high_text = element.attributes.get("maxOccurs", "1")
+        high = None if high_text == "unbounded" else int(high_text)
+        return low, high
+
+    def _local_element(
+        self,
+        element: Element,
+        owner: str,
+        declarations: dict[str, Element],
+    ) -> tuple[str, str]:
+        ref = element.attributes.get("ref")
+        if ref is not None:
+            label = _local(ref)
+            type_name = self.global_elements.get(label)
+            if type_name is None:
+                raise XSDSyntaxError(
+                    f"element ref {ref!r} in {owner!r}: no such global "
+                    "element"
+                )
+            return label, type_name
+        label = element.attributes.get("name")
+        if not label:
+            raise XSDSyntaxError(f"local element in {owner!r} requires name=")
+        self._collect_identity(element, label)
+        return label, self._element_type(element, f"{owner}.{label}",
+                                         declarations)
+
+    def _element_type(
+        self,
+        element: Element,
+        context: str,
+        declarations: dict[str, Element],
+    ) -> str:
+        """Resolve an element declaration's type: type= attribute, inline
+        anonymous type, or the default (unconstrained text)."""
+        type_attr = element.attributes.get("type")
+        inline = [
+            child
+            for child in element.child_elements()
+            if _local(child.label) in ("complexType", "simpleType")
+        ]
+        if type_attr and inline:
+            raise XSDSyntaxError(
+                f"element {context!r} has both type= and an inline type"
+            )
+        if type_attr:
+            return self._type_reference(type_attr, declarations)
+        if inline:
+            anon = inline[0]
+            anon_name = f"#anon:{context}"
+            if _local(anon.label) == "simpleType":
+                self.types[anon_name] = self._build_simple(anon_name, anon)
+            else:
+                # Register eagerly so recursive references resolve.
+                self.types[anon_name] = self._build_complex(
+                    anon_name, anon, declarations
+                )
+            return anon_name
+        # No type information: xs:anyType would be the strict answer; the
+        # closest model in the subset is unconstrained text.
+        default_name = "xsd:string"
+        self.types.setdefault(default_name, builtin("string"))
+        return default_name
+
+    def _type_reference(
+        self, name: str, declarations: dict[str, Element]
+    ) -> str:
+        local = _local(name)
+        if ":" in name and f"xsd:{local}" in BUILTINS:
+            canonical = f"xsd:{local}"
+            self.types.setdefault(canonical, BUILTINS[canonical])
+            return canonical
+        if name in self.types:
+            return name
+        if name in declarations:
+            # Forward reference to a named complex type: defer building
+            # (pass 3 in build() completes all pending declarations;
+            # deferral also breaks mutual-recursion cycles).
+            return name
+        if f"xsd:{name}" in BUILTINS:
+            canonical = f"xsd:{name}"
+            self.types.setdefault(canonical, BUILTINS[canonical])
+            return canonical
+        raise XSDSyntaxError(f"unknown type reference {name!r}")
+
+    def _register_global_element(
+        self, element: Element, declarations: dict[str, Element]
+    ) -> None:
+        label = element.attributes.get("name")
+        if not label:
+            raise XSDSyntaxError("global element requires name=")
+        if label in self.global_elements:
+            raise XSDSyntaxError(f"duplicate global element {label!r}")
+        type_name = self._element_type(element, label, declarations)
+        self.global_elements[label] = type_name
+        self.roots[label] = type_name
+        self._collect_identity(element, label)
+
+    def _collect_identity(self, element: Element, label: str) -> None:
+        """Parse xsd:key / xsd:unique / xsd:keyref children (the
+        paper's future-work extension; see repro.schema.identity)."""
+        from repro.schema.identity import constraint as make_constraint
+
+        for child in element.child_elements():
+            kind = _local(child.label)
+            if kind not in ("key", "unique", "keyref"):
+                continue
+            name = child.attributes.get("name")
+            if not name:
+                raise XSDSyntaxError(f"xsd:{kind} requires name=")
+            selector = None
+            fields: list[str] = []
+            for part in child.child_elements():
+                part_kind = _local(part.label)
+                if part_kind == "annotation":
+                    continue
+                xpath = part.attributes.get("xpath")
+                if xpath is None:
+                    raise XSDSyntaxError(
+                        f"xsd:{part_kind} in {name!r} requires xpath="
+                    )
+                if part_kind == "selector":
+                    selector = xpath
+                elif part_kind == "field":
+                    fields.append(xpath)
+                else:
+                    raise XSDSyntaxError(
+                        f"unexpected <{part.label}> in xsd:{kind} {name!r}"
+                    )
+            if selector is None:
+                raise XSDSyntaxError(f"xsd:{kind} {name!r} needs a selector")
+            refer = child.attributes.get("refer")
+            self.identity.setdefault(label, []).append(
+                make_constraint(
+                    name,
+                    kind,
+                    selector,
+                    fields,
+                    refer=_local(refer) if refer else None,
+                )
+            )

@@ -1,0 +1,56 @@
+"""Workload generation: the paper's purchase-order experiments, random
+schemas/documents for property tests, and edit/perturbation drivers."""
+
+from repro.workloads.generators import (
+    TreeSampler,
+    random_regex,
+    random_schema,
+    random_simple_type,
+    random_text_for,
+    random_word,
+    sample_document,
+    sample_valid_tree,
+)
+from repro.workloads.mutations import (
+    deletable_leaves,
+    perturb_schema,
+    random_edits,
+)
+from repro.workloads.purchase_orders import (
+    PAPER_ITEM_COUNTS,
+    PAPER_TABLE2_FILE_SIZES,
+    PAPER_TABLE3_NODES,
+    document_size_bytes,
+    make_item,
+    make_purchase_order,
+    purchase_order_schema,
+    source_schema_experiment1,
+    source_schema_experiment2,
+    target_schema_experiment1,
+    target_schema_experiment2,
+)
+
+__all__ = [
+    "TreeSampler",
+    "random_regex",
+    "random_schema",
+    "random_simple_type",
+    "random_text_for",
+    "random_word",
+    "sample_document",
+    "sample_valid_tree",
+    "deletable_leaves",
+    "perturb_schema",
+    "random_edits",
+    "PAPER_ITEM_COUNTS",
+    "PAPER_TABLE2_FILE_SIZES",
+    "PAPER_TABLE3_NODES",
+    "document_size_bytes",
+    "make_item",
+    "make_purchase_order",
+    "purchase_order_schema",
+    "source_schema_experiment1",
+    "source_schema_experiment2",
+    "target_schema_experiment1",
+    "target_schema_experiment2",
+]

@@ -1,0 +1,202 @@
+"""The paper's experimental workload: purchase-order schemas and documents.
+
+Embeds the schemas of Figures 1 and 2 as real XSD source (parsed through
+the :mod:`repro.schema.xsd` front-end, so the experiments exercise the
+same path a user would) and generates the input documents of Section 6:
+purchase orders with a configurable number of ``item`` elements.
+
+Experiment 1 casts documents valid under the Figure 1a schema (billTo
+*optional*) to the Figure 1b/2 schema (billTo *required*).
+
+Experiment 2 casts documents valid under a variant of Figure 2 whose
+``quantity`` has ``maxExclusive=200`` to the original Figure 2
+(``maxExclusive=100``).
+
+``PAPER_ITEM_COUNTS`` and the Table 2/3 constants record the paper's
+reported numbers for the harness to print alongside measurements.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import Schema
+from repro.schema.xsd import parse_xsd
+from repro.xmltree.dom import Document, Element, element
+from repro.xmltree.serializer import serialize
+
+#: The item counts used throughout Section 6.
+PAPER_ITEM_COUNTS = (2, 50, 100, 200, 500, 1000)
+
+#: Table 2 — file sizes (bytes) the paper reports per item count.
+PAPER_TABLE2_FILE_SIZES = {
+    2: 990,
+    50: 11_358,
+    100: 22_158,
+    200: 43_758,
+    500: 108_558,
+    1000: 216_558,
+}
+
+#: Table 3 — nodes traversed in Experiment 2 (schema cast vs Xerces).
+PAPER_TABLE3_NODES = {
+    2: (35, 74),
+    50: (611, 794),
+    100: (1_211, 1_544),
+    200: (2_411, 3_044),
+    500: (6_011, 7_544),
+    1000: (12_011, 15_044),
+}
+
+
+def _po_xsd(
+    *,
+    billto_optional: bool,
+    quantity_max_exclusive: int,
+) -> str:
+    billto_min = ' minOccurs="0"' if billto_optional else ""
+    return f"""
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:complexType name="POType">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"{billto_min}/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+      <xsd:element name="country" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0"
+                   maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="{quantity_max_exclusive}"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="xsd:decimal"/>
+      <xsd:element name="shipDate" type="xsd:date" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+def purchase_order_schema(
+    *, billto_optional: bool, quantity_max_exclusive: int, name: str = ""
+) -> Schema:
+    """Any variant of the Figure 2 schema family."""
+    return parse_xsd(
+        _po_xsd(
+            billto_optional=billto_optional,
+            quantity_max_exclusive=quantity_max_exclusive,
+        ),
+        name=name
+        or f"po-billto-{'opt' if billto_optional else 'req'}"
+        f"-qty{quantity_max_exclusive}",
+    )
+
+
+def source_schema_experiment1() -> Schema:
+    """Figure 1a: billTo optional (plus the Figure 2 surroundings)."""
+    return parse_xsd(
+        _po_xsd(billto_optional=True, quantity_max_exclusive=100),
+        name="po-billto-optional",
+    )
+
+
+def target_schema_experiment1() -> Schema:
+    """Figure 1b / Figure 2: billTo required, quantity < 100."""
+    return parse_xsd(
+        _po_xsd(billto_optional=False, quantity_max_exclusive=100),
+        name="po-billto-required",
+    )
+
+
+def source_schema_experiment2() -> Schema:
+    """Figure 2 with quantity maxExclusive raised to 200."""
+    return parse_xsd(
+        _po_xsd(billto_optional=False, quantity_max_exclusive=200),
+        name="po-quantity-200",
+    )
+
+
+def target_schema_experiment2() -> Schema:
+    """Figure 2 verbatim: quantity maxExclusive 100."""
+    return parse_xsd(
+        _po_xsd(billto_optional=False, quantity_max_exclusive=100),
+        name="po-quantity-100",
+    )
+
+
+def _address(label: str, suffix: str) -> Element:
+    return element(
+        label,
+        element("name", f"Alice Smith {suffix}"),
+        element("street", f"{suffix} Maple Street"),
+        element("city", "Mill Valley"),
+        element("state", "CA"),
+        element("zip", "90952"),
+        element("country", "US"),
+    )
+
+
+def make_item(index: int, *, quantity: int, with_ship_date: bool = True) -> Element:
+    children = [
+        element("productName", f"Lawnmower model {index}"),
+        element("quantity", str(quantity)),
+        element("USPrice", f"{148 + (index % 50)}.95"),
+    ]
+    if with_ship_date:
+        children.append(element("shipDate", "2004-05-%02d" % (1 + index % 28)))
+    return element("item", *children)
+
+
+def make_purchase_order(
+    item_count: int,
+    *,
+    with_billto: bool = True,
+    quantity_of: "callable[[int], int]" = lambda index: 1 + index % 99,
+) -> Document:
+    """A purchase order with ``item_count`` items.
+
+    Default quantities stay below 100, so the document is valid under
+    every schema variant above; pass a different ``quantity_of`` to
+    construct Experiment 2 edge cases (e.g. values in [100, 200)).
+    """
+    children: list[Element] = [_address("shipTo", "S")]
+    if with_billto:
+        children.append(_address("billTo", "B"))
+    items = element(
+        "items",
+        *(
+            make_item(index, quantity=quantity_of(index))
+            for index in range(item_count)
+        ),
+    )
+    children.append(items)
+    return Document(element("purchaseOrder", *children))
+
+
+def document_size_bytes(document: Document) -> int:
+    """Serialized size of a document (pretty-printed, as the paper's
+    input files were) in bytes."""
+    return len(
+        serialize(document, indent="  ", xml_declaration=True).encode("utf-8")
+    )

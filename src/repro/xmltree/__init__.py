@@ -1,0 +1,38 @@
+"""XML substrate: parser, ordered labelled tree (DOM), serializer."""
+
+from repro.xmltree.dom import (
+    CHI,
+    Document,
+    Element,
+    Node,
+    Text,
+    element,
+    walk,
+)
+from repro.xmltree.events import (
+    Characters,
+    EndElement,
+    StartElement,
+    iterparse,
+)
+from repro.xmltree.parser import parse, parse_file, parse_fragment
+from repro.xmltree.serializer import serialize, write_file
+
+__all__ = [
+    "CHI",
+    "Document",
+    "Element",
+    "Node",
+    "Text",
+    "element",
+    "walk",
+    "Characters",
+    "EndElement",
+    "StartElement",
+    "iterparse",
+    "parse",
+    "parse_file",
+    "parse_fragment",
+    "serialize",
+    "write_file",
+]

@@ -1,0 +1,302 @@
+"""Ordered labelled trees — the document model of the paper.
+
+The paper abstracts XML documents as ordered labelled trees ``T = (t, λ)``
+where interior nodes carry element labels from Σ and leaves may carry the
+special label χ representing simple (text) content.  This module implements
+that model directly:
+
+* :class:`Element` — a node with a label, attributes, and ordered children.
+* :class:`Text` — a χ-labelled leaf holding character data.
+* :class:`Document` — the tree root wrapper, plus a lazily built
+  label→elements index (used by the DTD optimization of Section 3.4).
+
+Nodes know their parent and their position among their siblings, so Dewey
+decimal numbers (Section 3.3) are derivable from any node in O(depth).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Union
+
+from repro.dewey import Dewey
+
+#: The χ pseudo-label the paper assigns to simple-content leaves.
+CHI = "#text"
+
+
+class Node:
+    """Common behaviour of element and text nodes."""
+
+    __slots__ = ("parent", "index")
+
+    def __init__(self) -> None:
+        self.parent: Optional[Element] = None
+        #: position among the parent's children; -1 when detached.
+        self.index: int = -1
+
+    @property
+    def label(self) -> str:
+        raise NotImplementedError
+
+    def dewey(self) -> Dewey:
+        """Dewey decimal number of this node (root element = empty path)."""
+        steps: list[int] = []
+        node: Node = self
+        while node.parent is not None:
+            steps.append(node.index)
+            node = node.parent
+        steps.reverse()
+        return Dewey(steps)
+
+    def root(self) -> "Node":
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def depth(self) -> int:
+        count = 0
+        node: Node = self
+        while node.parent is not None:
+            count += 1
+            node = node.parent
+        return count
+
+
+class Text(Node):
+    """A leaf holding character data; its label is the χ pseudo-label."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        super().__init__()
+        self.value = value
+
+    @property
+    def label(self) -> str:
+        return CHI
+
+    def __repr__(self) -> str:
+        preview = self.value if len(self.value) <= 30 else self.value[:27] + "..."
+        return f"Text({preview!r})"
+
+
+class Element(Node):
+    """An element node: label, attribute map, ordered children."""
+
+    __slots__ = ("_label", "attributes", "children")
+
+    def __init__(
+        self,
+        label: str,
+        attributes: Optional[dict[str, str]] = None,
+        children: Optional[list[Union["Element", Text]]] = None,
+    ):
+        super().__init__()
+        self._label = label
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Union[Element, Text]] = []
+        for child in children or ():
+            self.append(child)
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    @label.setter
+    def label(self, new_label: str) -> None:
+        self._label = new_label
+
+    # -- tree construction --------------------------------------------------
+
+    def append(self, child: Union["Element", Text]) -> Union["Element", Text]:
+        """Attach ``child`` as the last child and return it."""
+        if child.parent is not None:
+            raise ValueError(f"{child!r} is already attached")
+        child.parent = self
+        child.index = len(self.children)
+        self.children.append(child)
+        return child
+
+    def insert(self, position: int, child: Union["Element", Text]) -> None:
+        """Attach ``child`` at ``position``, shifting later siblings."""
+        if child.parent is not None:
+            raise ValueError(f"{child!r} is already attached")
+        if not 0 <= position <= len(self.children):
+            raise IndexError(f"insert position {position} out of range")
+        child.parent = self
+        self.children.insert(position, child)
+        self._renumber(position)
+
+    def remove(self, child: Union["Element", Text]) -> None:
+        """Detach ``child``; later siblings shift left."""
+        if child.parent is not self:
+            raise ValueError(f"{child!r} is not a child of {self!r}")
+        position = child.index
+        del self.children[position]
+        child.parent = None
+        child.index = -1
+        self._renumber(position)
+
+    def _renumber(self, start: int) -> None:
+        for i in range(start, len(self.children)):
+            self.children[i].index = i
+
+    # -- navigation ----------------------------------------------------------
+
+    def child_elements(self) -> list["Element"]:
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def child_labels(self) -> list[str]:
+        """Labels of element children, in order — the string the paper's
+        ``constructstring`` builds for content-model checks."""
+        return [c.label for c in self.children if isinstance(c, Element)]
+
+    def text(self) -> str:
+        """Concatenated character data of the immediate text children."""
+        return "".join(c.value for c in self.children if isinstance(c, Text))
+
+    def find(self, label: str) -> Optional["Element"]:
+        """First child element with the given label, if any."""
+        for child in self.children:
+            if isinstance(child, Element) and child.label == label:
+                return child
+        return None
+
+    def find_all(self, label: str) -> list["Element"]:
+        return [
+            c for c in self.children if isinstance(c, Element) and c.label == label
+        ]
+
+    def iter(self) -> Iterator["Element"]:
+        """Pre-order iterator over this element and descendant elements."""
+        stack: list[Element] = [self]
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(reversed(element.child_elements()))
+
+    def iter_nodes(self) -> Iterator[Node]:
+        """Pre-order iterator over all nodes (elements and text)."""
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, Element):
+                stack.extend(reversed(node.children))
+
+    def node_at(self, dewey: Dewey) -> Node:
+        """Resolve a Dewey number relative to this node."""
+        node: Node = self
+        for step in dewey:
+            if not isinstance(node, Element) or step >= len(node.children):
+                raise KeyError(f"no node at {dewey} under {self!r}")
+            node = node.children[step]
+        return node
+
+    def size(self) -> int:
+        """Total number of nodes (elements + text) in this subtree."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def copy(self) -> "Element":
+        """Deep copy of this subtree, detached from any parent."""
+        clone = Element(self._label, dict(self.attributes))
+        for child in self.children:
+            if isinstance(child, Element):
+                clone.append(child.copy())
+            else:
+                clone.append(Text(child.value))
+        return clone
+
+    def structurally_equal(self, other: "Element") -> bool:
+        """Label/children/text equality, ignoring attributes."""
+        if self._label != other._label or len(self.children) != len(other.children):
+            return False
+        for mine, theirs in zip(self.children, other.children):
+            if isinstance(mine, Text) != isinstance(theirs, Text):
+                return False
+            if isinstance(mine, Text):
+                if mine.value != theirs.value:  # type: ignore[union-attr]
+                    return False
+            elif not mine.structurally_equal(theirs):  # type: ignore[union-attr]
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Element({self._label!r}, {len(self.children)} children)"
+
+
+class Document:
+    """A parsed XML document: the root element plus document-level info."""
+
+    def __init__(self, root: Element, doctype_name: str = "",
+                 internal_subset: str = ""):
+        self.root = root
+        #: root name declared by ``<!DOCTYPE name ...>`` (empty if none).
+        self.doctype_name = doctype_name
+        #: raw text of the DTD internal subset (empty if none).
+        self.internal_subset = internal_subset
+        self._label_index: Optional[dict[str, list[Element]]] = None
+
+    def iter(self) -> Iterator[Element]:
+        return self.root.iter()
+
+    def node_at(self, dewey: Dewey) -> Node:
+        return self.root.node_at(dewey)
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def invalidate_index(self) -> None:
+        """Drop the label index (call after structural mutation)."""
+        self._label_index = None
+
+    def elements_with_label(self, label: str) -> list[Element]:
+        """All elements carrying ``label``, in document order.
+
+        Backed by a lazily built index — this is the direct-access
+        structure the DTD optimization of Section 3.4 assumes.
+        """
+        if self._label_index is None:
+            index: dict[str, list[Element]] = {}
+            for element in self.root.iter():
+                index.setdefault(element.label, []).append(element)
+            self._label_index = index
+        return self._label_index.get(label, [])
+
+    def labels(self) -> set[str]:
+        """The set of element labels occurring in the document."""
+        if self._label_index is None:
+            self.elements_with_label("")  # force index build
+        assert self._label_index is not None
+        return set(self._label_index)
+
+    def copy(self) -> "Document":
+        return Document(self.root.copy(), self.doctype_name,
+                        self.internal_subset)
+
+    def __repr__(self) -> str:
+        return f"Document(root={self.root.label!r}, {self.size()} nodes)"
+
+
+def element(label: str, *children: Union[Element, Text, str],
+            attrs: Optional[dict[str, str]] = None) -> Element:
+    """Concise tree builder used pervasively in tests and examples.
+
+    Strings become text children::
+
+        element("item", element("qty", "5"))
+    """
+    node = Element(label, attrs)
+    for child in children:
+        if isinstance(child, str):
+            node.append(Text(child))
+        else:
+            node.append(child)
+    return node
+
+
+def walk(root: Element, visit: Callable[[Node], None]) -> None:
+    """Apply ``visit`` to every node of the subtree in document order."""
+    for node in root.iter_nodes():
+        visit(node)

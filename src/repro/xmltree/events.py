@@ -1,0 +1,207 @@
+"""Streaming (SAX-style) XML parsing.
+
+:func:`iterparse` yields start/text/end events without ever building a
+tree — the substrate for :class:`repro.core.streaming.StreamingValidator`,
+which validates in O(document depth) memory.  The event stream matches
+the DOM parser's semantics exactly: same entity handling, same
+whitespace-only text suppression (unless ``keep_whitespace``), same
+error positions; a tree built from the events equals :func:`parse`'s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.lexer import Scanner
+
+
+@dataclass(frozen=True)
+class StartElement:
+    label: str
+    attributes: dict[str, str]
+
+
+@dataclass(frozen=True)
+class Characters:
+    value: str
+
+
+@dataclass(frozen=True)
+class EndElement:
+    label: str
+
+
+Event = Union[StartElement, Characters, EndElement]
+
+
+def iterparse(
+    text: str, *, keep_whitespace: bool = False
+) -> Iterator[Event]:
+    """Yield parse events for a whole XML document."""
+    scanner = Scanner(text)
+    _skip_prolog(scanner)
+    if not scanner.starts_with("<"):
+        raise scanner.error("expected the root element")
+    yield from _element_events(scanner, keep_whitespace)
+    while not scanner.at_end():
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            break
+        if scanner.starts_with("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->", what="comment")
+        elif scanner.starts_with("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", what="processing instruction")
+        else:
+            raise scanner.error("content after the root element")
+
+
+def _skip_prolog(scanner: Scanner) -> None:
+    scanner.skip_whitespace()
+    if scanner.starts_with("<?xml"):
+        scanner.advance(2)
+        scanner.read_until("?>", what="XML declaration")
+    while True:
+        scanner.skip_whitespace()
+        if scanner.starts_with("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->", what="comment")
+        elif scanner.starts_with("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", what="processing instruction")
+        elif scanner.starts_with("<!DOCTYPE"):
+            _skip_doctype(scanner)
+        else:
+            return
+
+
+def _skip_doctype(scanner: Scanner) -> None:
+    scanner.expect("<!DOCTYPE")
+    depth = 0
+    while True:
+        ch = scanner.peek()
+        if ch == "":
+            raise scanner.error("unterminated DOCTYPE")
+        if ch in ("'", '"'):
+            scanner.read_quoted()
+            continue
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            scanner.advance()
+            return
+        scanner.advance()
+
+
+def _element_events(
+    scanner: Scanner, keep_whitespace: bool
+) -> Iterator[Event]:
+    """Iterative traversal: yields events for one element subtree."""
+    stack: list[str] = []
+    text_parts: list[str] = []
+
+    def flush_text() -> Iterator[Event]:
+        if not text_parts:
+            return
+        value = "".join(text_parts)
+        text_parts.clear()
+        if value.strip() == "" and not keep_whitespace:
+            return
+        yield Characters(value)
+
+    while True:
+        if scanner.at_end():
+            if stack:
+                raise scanner.error(f"unterminated element <{stack[-1]}>")
+            return
+        if scanner.starts_with("</"):
+            yield from flush_text()
+            scanner.advance(2)
+            close_name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            if not stack or stack[-1] != close_name:
+                raise scanner.error(
+                    f"mismatched close tag </{close_name}>"
+                )
+            stack.pop()
+            yield EndElement(close_name)
+            if not stack:
+                return
+            continue
+        if scanner.starts_with("<!--"):
+            scanner.advance(4)
+            body = scanner.read_until("-->", what="comment")
+            if "--" in body:
+                raise scanner.error("'--' is not allowed inside a comment")
+            continue
+        if scanner.starts_with("<![CDATA["):
+            scanner.advance(len("<![CDATA["))
+            text_parts.append(
+                scanner.read_until("]]>", what="CDATA section")
+            )
+            continue
+        if scanner.starts_with("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", what="processing instruction")
+            continue
+        if scanner.starts_with("<"):
+            yield from flush_text()
+            scanner.expect("<")
+            name = scanner.read_name()
+            attributes = _attributes(scanner, name)
+            if scanner.match("/>"):
+                yield StartElement(name, attributes)
+                yield EndElement(name)
+                if not stack:
+                    return
+                continue
+            scanner.expect(">")
+            stack.append(name)
+            yield StartElement(name, attributes)
+            continue
+        chunk_start = scanner.pos
+        while not scanner.at_end() and scanner.peek() != "<":
+            scanner.advance()
+        raw = scanner.text[chunk_start : scanner.pos]
+        if "]]>" in raw:
+            raise scanner.error(
+                "']]>' is not allowed in character data",
+                chunk_start + raw.find("]]>"),
+            )
+        if not stack:
+            if raw.strip():
+                raise scanner.error("character data outside the root")
+            continue
+        text_parts.append(scanner.decode_entities(raw, chunk_start))
+
+
+def _attributes(scanner: Scanner, element_name: str) -> dict[str, str]:
+    attributes: dict[str, str] = {}
+    while True:
+        had_space = scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/") or ch == "":
+            return attributes
+        if not had_space:
+            raise scanner.error(
+                f"expected whitespace before attribute in <{element_name}>"
+            )
+        attr_pos = scanner.pos
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        value_pos = scanner.pos + 1
+        raw_value = scanner.read_quoted()
+        if name in attributes:
+            raise scanner.error(
+                f"duplicate attribute {name!r} in <{element_name}>",
+                attr_pos,
+            )
+        attributes[name] = scanner.decode_entities(raw_value, value_pos)

@@ -1,0 +1,179 @@
+"""Character-level scanner for the XML parser.
+
+The scanner owns the raw text and the position bookkeeping (offset, line,
+column) and exposes the small set of primitives the recursive-descent
+parser in :mod:`repro.xmltree.parser` is built from: peeking, literal
+matching, name scanning, and scan-until-delimiter.  Keeping this separate
+from the grammar keeps both halves short and independently testable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+
+# Simplified XML 1.0 name characters.  Colons are accepted so qualified
+# names like ``xsd:element`` pass through verbatim (we do not expand
+# namespaces; see DESIGN.md section 6).
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+
+_WHITESPACE = set(" \t\r\n")
+
+# The five predefined XML entities.
+PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def is_name(text: str) -> bool:
+    """True iff ``text`` is a valid (simplified) XML name."""
+    if not text or text[0] not in _NAME_START:
+        return False
+    return all(ch in _NAME_CHARS for ch in text)
+
+
+class Scanner:
+    """Cursor over XML source text with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- position reporting -------------------------------------------------
+
+    def line_column(self, pos: int | None = None) -> tuple[int, int]:
+        """1-based (line, column) of ``pos`` (default: current position).
+
+        Computed on demand (errors are rare), so the scanner holds no
+        per-line index — this keeps streaming validation's memory
+        independent of document size.
+        """
+        if pos is None:
+            pos = self.pos
+        pos = min(pos, len(self.text))
+        line = self.text.count("\n", 0, pos) + 1
+        last_newline = self.text.rfind("\n", 0, pos)
+        return line, pos - last_newline
+
+    def error(self, message: str, pos: int | None = None) -> XMLSyntaxError:
+        line, column = self.line_column(pos)
+        return XMLSyntaxError(message, line, column)
+
+    # -- basic cursor operations --------------------------------------------
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, ahead: int = 0) -> str:
+        """The character ``ahead`` positions past the cursor, or ``""``."""
+        index = self.pos + ahead
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def starts_with(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def expect(self, literal: str) -> None:
+        """Consume ``literal`` or raise a syntax error."""
+        if not self.starts_with(literal):
+            found = self.text[self.pos : self.pos + len(literal)] or "<EOF>"
+            raise self.error(f"expected {literal!r}, found {found!r}")
+        self.pos += len(literal)
+
+    def match(self, literal: str) -> bool:
+        """Consume ``literal`` if present; report whether it was."""
+        if self.starts_with(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    # -- token-level helpers ------------------------------------------------
+
+    def skip_whitespace(self) -> bool:
+        """Skip over whitespace; report whether any was skipped."""
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _WHITESPACE:
+            self.pos += 1
+        return self.pos > start
+
+    def read_name(self) -> str:
+        """Read an XML name at the cursor or raise."""
+        start = self.pos
+        if self.at_end() or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected an XML name")
+        self.pos += 1
+        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def read_until(self, delimiter: str, *, what: str) -> str:
+        """Read up to (not including) ``delimiter``, consuming it.
+
+        ``what`` names the construct for error messages (e.g. "comment").
+        """
+        end = self.text.find(delimiter, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}: missing {delimiter!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(delimiter)
+        return chunk
+
+    def read_quoted(self) -> str:
+        """Read a single- or double-quoted literal, returning its body."""
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise self.error("expected a quoted literal")
+        self.advance()
+        return self.read_until(quote, what="quoted literal")
+
+    # -- entity decoding ----------------------------------------------------
+
+    def decode_entities(self, raw: str, start_pos: int) -> str:
+        """Expand character and predefined entity references in ``raw``.
+
+        ``start_pos`` is the offset of ``raw`` within the source text and
+        is used only for error positions.
+        """
+        if "&" not in raw:
+            return raw
+        out: list[str] = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch != "&":
+                out.append(ch)
+                i += 1
+                continue
+            semi = raw.find(";", i + 1)
+            if semi < 0:
+                raise self.error("unterminated entity reference", start_pos + i)
+            body = raw[i + 1 : semi]
+            out.append(self._expand_entity(body, start_pos + i))
+            i = semi + 1
+        return "".join(out)
+
+    def _expand_entity(self, body: str, pos: int) -> str:
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                return chr(int(body[2:], 16))
+            except (ValueError, OverflowError):
+                raise self.error(f"bad character reference &{body};", pos)
+        if body.startswith("#"):
+            try:
+                return chr(int(body[1:]))
+            except (ValueError, OverflowError):
+                raise self.error(f"bad character reference &{body};", pos)
+        try:
+            return PREDEFINED_ENTITIES[body]
+        except KeyError:
+            raise self.error(f"unknown entity &{body};", pos) from None

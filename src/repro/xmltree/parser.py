@@ -1,0 +1,236 @@
+"""Recursive-descent XML parser producing :class:`~repro.xmltree.dom.Document`.
+
+Supports the XML 1.0 constructs the reproduction needs: prolog, DOCTYPE
+(with internal subset captured verbatim for the DTD front-end), elements,
+attributes, character data with entity references, CDATA sections,
+comments and processing instructions.  Namespace prefixes are kept as part
+of names (no expansion), matching the paper's label-based tree model.
+
+By default whitespace-only text between elements is dropped — the paper's
+ordered labelled trees have χ leaves only for genuine simple content, and
+Xerces-style validators likewise treat such runs as ignorable in element
+content.  Pass ``keep_whitespace=True`` to retain them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.dom import Document, Element, Text
+from repro.xmltree.lexer import Scanner
+
+
+def parse(text: str, *, keep_whitespace: bool = False) -> Document:
+    """Parse an XML document from a string."""
+    return _Parser(text, keep_whitespace).parse_document()
+
+
+def parse_file(path: str, *, keep_whitespace: bool = False) -> Document:
+    """Parse an XML document from a file path (UTF-8)."""
+    with open(path, encoding="utf-8") as handle:
+        return parse(handle.read(), keep_whitespace=keep_whitespace)
+
+
+def parse_fragment(text: str, *, keep_whitespace: bool = False) -> Element:
+    """Parse a single element (no prolog/doctype) and return it."""
+    return parse(text, keep_whitespace=keep_whitespace).root
+
+
+class _Parser:
+    def __init__(self, text: str, keep_whitespace: bool):
+        self.scanner = Scanner(text)
+        self.keep_whitespace = keep_whitespace
+
+    # -- document structure ---------------------------------------------
+
+    def parse_document(self) -> Document:
+        scanner = self.scanner
+        doctype_name = ""
+        internal_subset = ""
+        scanner.skip_whitespace()
+        if scanner.starts_with("<?xml"):
+            self._skip_pi()
+        while True:
+            scanner.skip_whitespace()
+            if scanner.starts_with("<!--"):
+                self._skip_comment()
+            elif scanner.starts_with("<?"):
+                self._skip_pi()
+            elif scanner.starts_with("<!DOCTYPE"):
+                doctype_name, internal_subset = self._parse_doctype()
+            else:
+                break
+        if not scanner.starts_with("<"):
+            raise scanner.error("expected the root element")
+        root = self._parse_element()
+        while not scanner.at_end():
+            scanner.skip_whitespace()
+            if scanner.at_end():
+                break
+            if scanner.starts_with("<!--"):
+                self._skip_comment()
+            elif scanner.starts_with("<?"):
+                self._skip_pi()
+            else:
+                raise scanner.error("content after the root element")
+        return Document(root, doctype_name, internal_subset)
+
+    def _parse_doctype(self) -> tuple[str, str]:
+        scanner = self.scanner
+        scanner.expect("<!DOCTYPE")
+        scanner.skip_whitespace()
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        # External identifier (ignored beyond syntax).
+        if scanner.match("SYSTEM"):
+            scanner.skip_whitespace()
+            scanner.read_quoted()
+            scanner.skip_whitespace()
+        elif scanner.match("PUBLIC"):
+            scanner.skip_whitespace()
+            scanner.read_quoted()
+            scanner.skip_whitespace()
+            scanner.read_quoted()
+            scanner.skip_whitespace()
+        subset = ""
+        if scanner.match("["):
+            subset = self._read_internal_subset()
+            scanner.skip_whitespace()
+        scanner.expect(">")
+        return name, subset
+
+    def _read_internal_subset(self) -> str:
+        """Capture the internal subset verbatim up to the matching ``]``.
+
+        Quoted literals and comments may contain ``]``, so we scan rather
+        than string-find.
+        """
+        scanner = self.scanner
+        start = scanner.pos
+        while True:
+            ch = scanner.peek()
+            if ch == "":
+                raise scanner.error("unterminated DOCTYPE internal subset")
+            if ch == "]":
+                subset = scanner.text[start : scanner.pos]
+                scanner.advance()
+                return subset
+            if ch in ("'", '"'):
+                scanner.read_quoted()
+            elif scanner.starts_with("<!--"):
+                self._skip_comment()
+            else:
+                scanner.advance()
+
+    # -- elements ----------------------------------------------------------
+
+    def _parse_element(self) -> Element:
+        scanner = self.scanner
+        open_pos = scanner.pos
+        scanner.expect("<")
+        name = scanner.read_name()
+        attributes = self._parse_attributes(name)
+        if scanner.match("/>"):
+            return Element(name, attributes)
+        scanner.expect(">")
+        node = Element(name, attributes)
+        self._parse_content(node, open_pos)
+        return node
+
+    def _parse_attributes(self, element_name: str) -> dict[str, str]:
+        scanner = self.scanner
+        attributes: dict[str, str] = {}
+        while True:
+            had_space = scanner.skip_whitespace()
+            ch = scanner.peek()
+            if ch in (">", "/") or ch == "":
+                return attributes
+            if not had_space:
+                raise scanner.error(
+                    f"expected whitespace before attribute in <{element_name}>"
+                )
+            attr_pos = scanner.pos
+            attr_name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect("=")
+            scanner.skip_whitespace()
+            value_pos = scanner.pos + 1
+            raw_value = scanner.read_quoted()
+            if attr_name in attributes:
+                raise scanner.error(
+                    f"duplicate attribute {attr_name!r} in <{element_name}>",
+                    attr_pos,
+                )
+            attributes[attr_name] = scanner.decode_entities(raw_value, value_pos)
+
+    def _parse_content(self, node: Element, open_pos: int) -> None:
+        scanner = self.scanner
+        text_parts: list[str] = []
+        text_start = scanner.pos
+
+        def flush_text() -> None:
+            if not text_parts:
+                return
+            value = "".join(text_parts)
+            text_parts.clear()
+            if value.strip() == "" and not self.keep_whitespace:
+                return
+            node.append(Text(value))
+
+        while True:
+            if scanner.at_end():
+                raise scanner.error(
+                    f"unterminated element <{node.label}>", open_pos
+                )
+            if scanner.starts_with("</"):
+                flush_text()
+                scanner.advance(2)
+                close_name = scanner.read_name()
+                if close_name != node.label:
+                    raise scanner.error(
+                        f"mismatched close tag </{close_name}> for "
+                        f"<{node.label}>"
+                    )
+                scanner.skip_whitespace()
+                scanner.expect(">")
+                return
+            if scanner.starts_with("<!--"):
+                self._skip_comment()
+                continue
+            if scanner.starts_with("<![CDATA["):
+                scanner.advance(len("<![CDATA["))
+                text_parts.append(scanner.read_until("]]>", what="CDATA section"))
+                continue
+            if scanner.starts_with("<?"):
+                self._skip_pi()
+                continue
+            if scanner.starts_with("<"):
+                flush_text()
+                node.append(self._parse_element())
+                text_start = scanner.pos
+                continue
+            # Character data up to the next markup or entity boundary.
+            chunk_start = scanner.pos
+            while not scanner.at_end() and scanner.peek() not in ("<",):
+                scanner.advance()
+            raw = scanner.text[chunk_start : scanner.pos]
+            if "]]>" in raw:
+                raise scanner.error(
+                    "']]>' is not allowed in character data",
+                    chunk_start + raw.find("]]>"),
+                )
+            text_parts.append(scanner.decode_entities(raw, chunk_start))
+            text_start = chunk_start
+
+    # -- ignorable constructs -----------------------------------------------
+
+    def _skip_comment(self) -> None:
+        scanner = self.scanner
+        scanner.expect("<!--")
+        body = scanner.read_until("-->", what="comment")
+        if "--" in body:
+            raise scanner.error("'--' is not allowed inside a comment")
+
+    def _skip_pi(self) -> None:
+        scanner = self.scanner
+        scanner.expect("<?")
+        scanner.read_until("?>", what="processing instruction")

@@ -1,0 +1,101 @@
+"""Serialization of documents back to XML text.
+
+``serialize`` produces a parseable rendering of a tree; a parse →
+serialize → parse round trip yields a structurally equal tree (attribute
+order is preserved because the DOM stores attributes in insertion order).
+An optional pretty-printing mode indents element-only content; elements
+with text children are rendered inline so no character data is perturbed.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmltree.dom import Document, Element, Text
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace('"', "&quot;")
+    )
+
+
+def serialize(
+    node: Union[Document, Element],
+    *,
+    indent: str | None = None,
+    xml_declaration: bool = False,
+) -> str:
+    """Render a document or element subtree as XML text.
+
+    Args:
+        node: the document or element to render.
+        indent: if given (e.g. ``"  "``), pretty-print with that unit.
+        xml_declaration: prepend ``<?xml version="1.0"?>``.
+    """
+    root = node.root if isinstance(node, Document) else node
+    lines: list[str] = []
+    if xml_declaration:
+        lines.append('<?xml version="1.0" encoding="UTF-8"?>')
+    if indent is None:
+        text = _render_inline(root)
+        if xml_declaration:
+            return "\n".join(lines) + "\n" + text
+        return text
+    _render_pretty(root, lines, indent, 0)
+    return "\n".join(lines) + "\n"
+
+
+def write_file(node: Union[Document, Element], path: str, *,
+               indent: str | None = "  ") -> int:
+    """Serialize to a UTF-8 file; returns the byte count written."""
+    text = serialize(node, indent=indent, xml_declaration=True)
+    data = text.encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def _open_tag(element: Element) -> str:
+    pieces = [f"<{element.label}"]
+    for name, value in element.attributes.items():
+        pieces.append(f' {name}="{escape_attribute(value)}"')
+    return "".join(pieces)
+
+
+def _render_inline(element: Element) -> str:
+    if not element.children:
+        return _open_tag(element) + "/>"
+    body: list[str] = []
+    for child in element.children:
+        if isinstance(child, Text):
+            body.append(escape_text(child.value))
+        else:
+            body.append(_render_inline(child))
+    return f"{_open_tag(element)}>{''.join(body)}</{element.label}>"
+
+
+def _render_pretty(element: Element, lines: list[str], indent: str,
+                   depth: int) -> None:
+    pad = indent * depth
+    if not element.children:
+        lines.append(pad + _open_tag(element) + "/>")
+        return
+    if any(isinstance(child, Text) for child in element.children):
+        # Mixed/simple content: render the whole element inline so the
+        # character data survives a round trip unchanged.
+        lines.append(pad + _render_inline(element))
+        return
+    lines.append(pad + _open_tag(element) + ">")
+    for child in element.children:
+        assert isinstance(child, Element)
+        _render_pretty(child, lines, indent, depth + 1)
+    lines.append(f"{pad}</{element.label}>")

@@ -1,0 +1,201 @@
+"""Tests for the DFA core: construction, execution, algebra,
+minimization."""
+
+import itertools
+
+import pytest
+
+from repro.automata.dfa import DFA, harmonize
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model as pcm
+
+
+def dfa_of(source, alphabet=("a", "b", "c")):
+    return compile_dfa(pcm(source), frozenset(alphabet))
+
+
+class TestConstruction:
+    def test_complete_rows_required(self):
+        with pytest.raises(ValueError, match="transition row"):
+            DFA({"a", "b"}, [{"a": 0}], 0, (0,))
+
+    def test_out_of_range_successor(self):
+        with pytest.raises(ValueError):
+            DFA({"a"}, [{"a": 5}], 0, (0,))
+
+    def test_out_of_range_start(self):
+        with pytest.raises(ValueError, match="start"):
+            DFA({"a"}, [{"a": 0}], 3, (0,))
+
+    def test_from_partial_adds_sink(self):
+        dfa = DFA.from_partial({"a", "b"}, 2, {(0, "a"): 1}, 0, (1,))
+        assert dfa.num_states == 3
+        assert dfa.accepts(["a"])
+        assert not dfa.accepts(["b"])
+        assert not dfa.accepts(["a", "a"])
+
+    def test_canned_languages(self):
+        assert DFA.empty_language({"a"}).is_empty()
+        assert DFA.universal_language({"a"}).is_universal()
+        eps = DFA.epsilon_language({"a"})
+        assert eps.accepts([]) and not eps.accepts(["a"])
+
+
+class TestExecution:
+    def test_run_and_trace(self):
+        dfa = dfa_of("(a,b)")
+        states = list(dfa.trace(["a", "b"]))
+        assert len(states) == 3
+        assert states[0] == dfa.start
+        assert states[-1] in dfa.finals
+
+    def test_run_from_intermediate_state(self):
+        dfa = dfa_of("(a,b)")
+        middle = dfa.run(["a"])
+        assert dfa.run(["b"], start=middle) in dfa.finals
+
+    def test_accepts(self):
+        dfa = dfa_of("(a,(b|c)*)")
+        assert dfa.accepts(["a", "b", "c", "b"])
+        assert not dfa.accepts(["b"])
+
+
+class TestAnalyses:
+    def test_reachable_states(self):
+        dfa = DFA.from_partial({"a"}, 3, {(0, "a"): 1, (2, "a"): 2}, 0, (1,))
+        reachable = dfa.reachable_states()
+        assert 0 in reachable and 1 in reachable
+        assert 2 not in reachable
+
+    def test_coreachable_and_dead(self):
+        # State layout: 0 -a-> 1 (final); sink added by from_partial.
+        dfa = DFA.from_partial({"a"}, 2, {(0, "a"): 1}, 0, (1,))
+        dead = dfa.dead_states()
+        assert dfa.run(["a", "a"]) in dead  # the sink
+        assert 0 not in dead
+
+    def test_empty_and_universal(self):
+        assert dfa_of("(a,b)").is_empty() is False
+        assert not dfa_of("(a|b|c)*").is_empty()
+        assert dfa_of("(a|b|c)*").is_universal()
+        assert not dfa_of("a*").is_universal()  # b rejected
+
+    def test_shortest_accepted(self):
+        assert dfa_of("(a,b?,c)").shortest_accepted() == ["a", "c"]
+        assert dfa_of("a*").shortest_accepted() == []
+        assert DFA.empty_language({"a"}).shortest_accepted() is None
+
+    def test_states_reaching(self):
+        dfa = dfa_of("(a,b)")
+        reaching = dfa.states_reaching(dfa.finals)
+        assert dfa.start in reaching
+
+
+class TestAlgebra:
+    def test_with_alphabet_preserves_language(self):
+        small = compile_dfa(pcm("(a,b)"), frozenset({"a", "b"}))
+        wide = small.with_alphabet({"a", "b", "z"})
+        assert wide.accepts(["a", "b"])
+        assert not wide.accepts(["z"])
+        assert not wide.accepts(["a", "z"])
+
+    def test_with_alphabet_must_grow(self):
+        with pytest.raises(ValueError):
+            dfa_of("(a,b)").with_alphabet({"a"})
+
+    def test_complement(self):
+        dfa = dfa_of("(a,b)")
+        comp = dfa.complement()
+        for word in (["a", "b"], ["a"], [], ["c"]):
+            assert comp.accepts(word) != dfa.accepts(word)
+
+    def test_intersection_union_difference(self):
+        left = dfa_of("(a|b)*")
+        right = dfa_of("(a,(a|b|c)*)")
+        both = left.intersection(right)
+        either = left.union(right)
+        only_left = left.difference(right)
+        for word in itertools.chain.from_iterable(
+            itertools.product("abc", repeat=n) for n in range(4)
+        ):
+            word = list(word)
+            assert both.accepts(word) == (
+                left.accepts(word) and right.accepts(word)
+            )
+            assert either.accepts(word) == (
+                left.accepts(word) or right.accepts(word)
+            )
+            assert only_left.accepts(word) == (
+                left.accepts(word) and not right.accepts(word)
+            )
+
+    def test_product_requires_harmonized_alphabets(self):
+        left = compile_dfa(pcm("a"), frozenset({"a"}))
+        right = compile_dfa(pcm("b"), frozenset({"b"}))
+        with pytest.raises(ValueError, match="harmonized"):
+            left.intersection(right)
+        a, b = harmonize(left, right)
+        assert a.alphabet == b.alphabet == {"a", "b"}
+
+    def test_subset_relation(self):
+        required = dfa_of("(a,b,c)")
+        optional = dfa_of("(a,b?,c)")
+        assert required.is_subset_of(optional)
+        assert not optional.is_subset_of(required)
+
+    def test_equivalence(self):
+        assert dfa_of("(a,b?)").equivalent(dfa_of("(a|(a,b))"))
+        assert not dfa_of("(a,b?)").equivalent(dfa_of("(a,b)"))
+
+    def test_intersects_with_restriction(self):
+        left = dfa_of("(a|b)+")
+        right = dfa_of("(b|c)+")
+        assert left.intersects(right)  # b+
+        assert left.intersects(right, restrict_to={"b"})
+        assert not left.intersects(right, restrict_to={"a"})
+        assert not left.intersects(right, restrict_to=set())
+
+    def test_intersects_epsilon_case(self):
+        assert dfa_of("a*").intersects(dfa_of("b*"), restrict_to=set())
+
+
+class TestMinimize:
+    def test_minimization_reduces_states(self):
+        # Build a bloated DFA for a* via subset construction detour.
+        from repro.automata.nfa import reverse_dfa
+
+        dfa = dfa_of("(a|b)*,a,(a|b)")  # classic exponential-ish example
+        minimal = dfa.minimize()
+        assert minimal.num_states <= dfa.num_states
+        for word in itertools.chain.from_iterable(
+            itertools.product("ab", repeat=n) for n in range(6)
+        ):
+            assert minimal.accepts(list(word)) == dfa.accepts(list(word))
+
+    def test_minimize_empty_language(self):
+        minimal = DFA.empty_language({"a", "b"}).minimize()
+        assert minimal.num_states == 1
+        assert minimal.is_empty()
+
+    def test_minimize_universal(self):
+        big = DFA(
+            {"a"},
+            [{"a": 1}, {"a": 0}],
+            0,
+            (0, 1),
+        )
+        assert big.minimize().num_states == 1
+
+    def test_minimal_automata_equal_up_to_iso(self):
+        left = dfa_of("(a,b?,c)").minimize()
+        right = dfa_of("((a,c)|(a,b,c))").minimize()
+        assert left.num_states == right.num_states
+        assert left.equivalent(right)
+
+    def test_trim_unreachable(self):
+        dfa = DFA.from_partial(
+            {"a"}, 4, {(0, "a"): 1, (2, "a"): 3, (3, "a"): 3}, 0, (1,)
+        )
+        trimmed = dfa.trim_unreachable()
+        assert trimmed.num_states < dfa.num_states
+        assert trimmed.accepts(["a"])

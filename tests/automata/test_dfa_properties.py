@@ -1,0 +1,158 @@
+"""Property-based tests of the DFA algebra.
+
+Random DFAs are generated directly (not via regexes), so these cover
+the automata layer independent of the Glushkov pipeline: boolean-algebra
+laws, minimization canonicality, and the reachability analyses.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DFA, harmonize
+from repro.automata.nfa import reverse_dfa
+
+ALPHABET = ("a", "b")
+
+
+@st.composite
+def dfas(draw, max_states=5):
+    n = draw(st.integers(1, max_states))
+    rows = [
+        {symbol: draw(st.integers(0, n - 1)) for symbol in ALPHABET}
+        for _ in range(n)
+    ]
+    start = draw(st.integers(0, n - 1))
+    finals = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    return DFA(ALPHABET, rows, start, finals)
+
+
+def words(max_len=5):
+    for length in range(max_len + 1):
+        yield from (list(w) for w in itertools.product(ALPHABET,
+                                                       repeat=length))
+
+
+@given(dfas())
+@settings(max_examples=120, deadline=None)
+def test_complement_involution(dfa):
+    assert dfa.complement().complement().equivalent(dfa)
+
+
+@given(dfas())
+@settings(max_examples=120, deadline=None)
+def test_complement_flips_membership(dfa):
+    comp = dfa.complement()
+    for word in words(4):
+        assert comp.accepts(word) != dfa.accepts(word)
+
+
+@given(dfas(), dfas())
+@settings(max_examples=80, deadline=None)
+def test_de_morgan(left, right):
+    union = left.union(right)
+    via_complement = (
+        left.complement().intersection(right.complement()).complement()
+    )
+    assert union.equivalent(via_complement)
+
+
+@given(dfas(), dfas())
+@settings(max_examples=80, deadline=None)
+def test_intersection_commutes_on_language(left, right):
+    forward = left.intersection(right)
+    backward = right.intersection(left)
+    assert forward.equivalent(backward)
+
+
+@given(dfas())
+@settings(max_examples=120, deadline=None)
+def test_minimize_preserves_language(dfa):
+    minimal = dfa.minimize()
+    for word in words(5):
+        assert minimal.accepts(word) == dfa.accepts(word)
+
+
+@given(dfas())
+@settings(max_examples=120, deadline=None)
+def test_minimize_is_canonical_in_size(dfa):
+    once = dfa.minimize()
+    twice = once.minimize()
+    assert once.num_states == twice.num_states
+    # Equivalent DFAs minimize to the same state count.
+    assert dfa.complement().complement().minimize().num_states == \
+        once.num_states
+
+
+@given(dfas(), dfas())
+@settings(max_examples=80, deadline=None)
+def test_subset_relation_via_membership(left, right):
+    included = left.is_subset_of(right)
+    witness_exists = any(
+        left.accepts(word) and not right.accepts(word) for word in words(5)
+    )
+    if witness_exists:
+        assert not included
+    # (no witness up to length 5 does not imply inclusion; one-sided)
+
+
+@given(dfas(), dfas())
+@settings(max_examples=80, deadline=None)
+def test_inclusion_is_a_preorder(left, right):
+    assert left.is_subset_of(left)
+    if left.is_subset_of(right) and right.is_subset_of(left):
+        assert left.equivalent(right)
+
+
+@given(dfas())
+@settings(max_examples=80, deadline=None)
+def test_dead_states_never_accept(dfa):
+    dead = dfa.dead_states()
+    for word in words(4):
+        trace = list(dfa.trace(word))
+        if dfa.accepts(word):
+            # No prefix of an accepted word sits in a dead state.
+            assert not any(state in dead for state in trace)
+
+
+@given(dfas())
+@settings(max_examples=60, deadline=None)
+def test_reverse_dfa_language(dfa):
+    rev = reverse_dfa(dfa)
+    for word in words(4):
+        assert rev.accepts(list(reversed(word))) == dfa.accepts(word)
+
+
+@given(dfas())
+@settings(max_examples=80, deadline=None)
+def test_empty_and_universal_against_membership(dfa):
+    members = [word for word in words(4) if dfa.accepts(word)]
+    if dfa.is_empty():
+        assert not members
+    if not members:
+        # Could still accept longer words; check consistency only.
+        pass
+    if dfa.is_universal():
+        assert len(members) == sum(1 for _ in words(4))
+
+
+@given(dfas())
+@settings(max_examples=60, deadline=None)
+def test_shortest_accepted_is_member_and_minimal(dfa):
+    shortest = dfa.shortest_accepted()
+    if shortest is None:
+        assert dfa.is_empty()
+        return
+    assert dfa.accepts(shortest)
+    for word in words(len(shortest) - 1 if shortest else -1):
+        assert not dfa.accepts(word) or len(word) >= len(shortest)
+
+
+@given(dfas(), dfas())
+@settings(max_examples=60, deadline=None)
+def test_harmonize_preserves_languages(left, right):
+    wide_left, wide_right = harmonize(left, right)
+    for word in words(4):
+        assert wide_left.accepts(word) == left.accepts(word)
+        assert wide_right.accepts(word) == right.accepts(word)

@@ -1,0 +1,131 @@
+"""Tests for string edit scripts and affix tracking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.automata.edits import (
+    Delete,
+    EditScript,
+    Insert,
+    Replace,
+    common_affix_lengths,
+)
+from repro.errors import UpdateError
+
+
+class TestCommonAffixLengths:
+    def test_identical_strings(self):
+        prefix, suffix = common_affix_lengths(list("abc"), list("abc"))
+        assert prefix == 3
+        assert suffix == 0  # suffix is computed after the prefix
+
+    def test_disjoint_strings(self):
+        assert common_affix_lengths(list("abc"), list("xyz")) == (0, 0)
+
+    def test_middle_edit(self):
+        prefix, suffix = common_affix_lengths(list("aXb"), list("aYb"))
+        assert (prefix, suffix) == (1, 1)
+
+    def test_front_edit(self):
+        prefix, suffix = common_affix_lengths(list("Xab"), list("Yab"))
+        assert (prefix, suffix) == (0, 2)
+
+    def test_back_edit(self):
+        prefix, suffix = common_affix_lengths(list("abX"), list("abY"))
+        assert (prefix, suffix) == (2, 0)
+
+    def test_insertion(self):
+        prefix, suffix = common_affix_lengths(list("ab"), list("aXb"))
+        assert prefix == 1
+        assert suffix == 1
+
+    def test_no_overlap(self):
+        # "aa" vs "aaa": prefix 2, suffix must not double-count.
+        prefix, suffix = common_affix_lengths(list("aa"), list("aaa"))
+        assert prefix + suffix <= 2
+        assert prefix == 2
+
+    @given(
+        st.lists(st.sampled_from("ab"), max_size=8),
+        st.lists(st.sampled_from("ab"), max_size=8),
+    )
+    def test_affix_regions_actually_match(self, original, modified):
+        prefix, suffix = common_affix_lengths(original, modified)
+        assert original[:prefix] == modified[:prefix]
+        if suffix:
+            assert original[-suffix:] == modified[-suffix:]
+        assert prefix + suffix <= min(len(original), len(modified))
+
+
+class TestEditScript:
+    def test_insert(self):
+        script = EditScript(list("abc"))
+        script.apply(Insert(1, "X"))
+        assert script.modified == list("aXbc")
+
+    def test_delete(self):
+        script = EditScript(list("abc"))
+        script.apply(Delete(1))
+        assert script.modified == list("ac")
+
+    def test_replace(self):
+        script = EditScript(list("abc"))
+        script.apply(Replace(2, "Z"))
+        assert script.modified == list("abZ")
+
+    def test_sequential_positions_refer_to_current_string(self):
+        script = EditScript(list("abcd"))
+        script.apply(Delete(0))      # bcd
+        script.apply(Insert(3, "X"))  # bcdX
+        script.apply(Replace(0, "Y"))  # YcdX
+        assert script.modified == list("YcdX")
+
+    def test_out_of_range_operations(self):
+        script = EditScript(list("ab"))
+        with pytest.raises(UpdateError):
+            script.apply(Insert(5, "x"))
+        with pytest.raises(UpdateError):
+            script.apply(Delete(2))
+        with pytest.raises(UpdateError):
+            script.apply(Replace(-1, "x"))
+
+    def test_untouched_margins_are_sound(self):
+        script = EditScript(list("abcdefgh"))
+        script.apply(Replace(3, "X"))
+        prefix = script.untouched_prefix
+        suffix = script.untouched_suffix
+        assert script.original[:prefix] == script.modified[:prefix]
+        if suffix:
+            assert script.original[-suffix:] == script.modified[-suffix:]
+        assert prefix <= 3
+
+    @given(
+        st.lists(st.sampled_from("abc"), min_size=1, max_size=10),
+        st.lists(
+            st.tuples(st.integers(0, 20), st.sampled_from("IDR"),
+                      st.sampled_from("abc")),
+            max_size=6,
+        ),
+    )
+    def test_margins_sound_under_random_scripts(self, original, raw_ops):
+        script = EditScript(original)
+        for position, kind, symbol in raw_ops:
+            n = len(script.current)
+            try:
+                if kind == "I":
+                    script.apply(Insert(position % (n + 1), symbol))
+                elif kind == "D" and n:
+                    script.apply(Delete(position % n))
+                elif kind == "R" and n:
+                    script.apply(Replace(position % n, symbol))
+            except UpdateError:
+                pass
+        prefix = script.untouched_prefix
+        suffix = script.untouched_suffix
+        assert script.original[:prefix] == script.modified[:prefix]
+        if suffix:
+            assert script.original[-suffix:] == script.modified[-suffix:]
+        assert prefix + suffix <= min(
+            len(script.original), len(script.modified)
+        )

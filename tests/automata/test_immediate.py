@@ -1,0 +1,204 @@
+"""Tests for immediate decision automata (Definitions 6-8, Theorem 3,
+Proposition 3)."""
+
+import itertools
+
+import pytest
+
+from repro.automata.dfa import DFA, harmonize
+from repro.automata.immediate import Decision, ImmediateDecisionAutomaton
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model as pcm
+
+ABC = frozenset("abc")
+
+
+def dfa_of(source, alphabet=ABC):
+    return compile_dfa(pcm(source), frozenset(alphabet))
+
+
+class TestFromDfa:
+    def test_ia_is_universal_residual(self):
+        immed = ImmediateDecisionAutomaton.from_dfa(dfa_of("a,(a|b|c)*"))
+        # After the first a the residual language is Σ*.
+        result = immed.scan(["a", "b", "c"])
+        assert result.accepted
+        assert result.decision is Decision.IMMEDIATE_ACCEPT
+        assert result.symbols_scanned == 1
+
+    def test_ir_is_empty_residual(self):
+        immed = ImmediateDecisionAutomaton.from_dfa(dfa_of("(a,b)"))
+        result = immed.scan(["b", "a", "a", "a"])
+        assert not result.accepted
+        assert result.decision is Decision.IMMEDIATE_REJECT
+        assert result.symbols_scanned == 1
+
+    def test_language_preserved(self):
+        dfa = dfa_of("(a,(b|c)*,a?)")
+        immed = ImmediateDecisionAutomaton.from_dfa(dfa)
+        for word in itertools.chain.from_iterable(
+            itertools.product("abc", repeat=n) for n in range(5)
+        ):
+            assert immed.accepts(list(word)) == dfa.accepts(list(word))
+
+    def test_no_early_decision_without_cause(self):
+        immed = ImmediateDecisionAutomaton.from_dfa(dfa_of("(a,b)"))
+        result = immed.scan(["a", "b"])
+        assert result.accepted
+        assert result.decision is Decision.ACCEPT_AT_END
+        assert result.symbols_scanned == 2
+
+    def test_unknown_symbol_rejects(self):
+        immed = ImmediateDecisionAutomaton.from_dfa(dfa_of("(a,b)"))
+        result = immed.scan(["a", "zzz", "b"])
+        assert not result.accepted
+
+    def test_ia_ir_disjoint_guard(self):
+        dfa = dfa_of("(a)")
+        with pytest.raises(ValueError, match="disjoint"):
+            ImmediateDecisionAutomaton(dfa, ia={0}, ir={0})
+
+
+class TestFromPair:
+    def test_subsumed_residual_accepts_immediately(self):
+        source = dfa_of("(a,b?,c)")
+        target = dfa_of("(a,b,c)")
+        immed = ImmediateDecisionAutomaton.from_pair(source, target)
+        # After a,b the residuals are both exactly {c}: accept.
+        result = immed.scan(["a", "b", "c"])
+        assert result.accepted
+        assert result.decision is Decision.IMMEDIATE_ACCEPT
+        assert result.symbols_scanned == 2
+
+    def test_dead_residual_rejects_immediately(self):
+        source = dfa_of("(a,b?,c)")
+        target = dfa_of("(a,b,c)")
+        immed = ImmediateDecisionAutomaton.from_pair(source, target)
+        # After a,c (valid in source), target is dead: reject.
+        result = immed.scan(["a", "c"])
+        assert not result.accepted
+        assert result.symbols_scanned == 2
+
+    def test_recognizes_intersection_language(self):
+        source = dfa_of("(a|b)+")
+        target = dfa_of("(a,(a|b|c)*)")
+        immed = ImmediateDecisionAutomaton.from_pair(source, target)
+        for word in itertools.chain.from_iterable(
+            itertools.product("abc", repeat=n) for n in range(5)
+        ):
+            word = list(word)
+            if source.accepts(word):  # the schema-cast promise
+                assert immed.accepts(word) == target.accepts(word)
+
+    def test_theorem3_over_source_words(self):
+        """Theorem 3: for all s ∈ L(a), c_immed accepts s iff s ∈ L(b)."""
+        source = dfa_of("(a,(b|c)*)")
+        target = dfa_of("(a,b*,c?)")
+        immed = ImmediateDecisionAutomaton.from_pair(source, target)
+        for word in itertools.chain.from_iterable(
+            itertools.product("abc", repeat=n) for n in range(6)
+        ):
+            word = list(word)
+            if source.accepts(word):
+                assert immed.accepts(word) == target.accepts(word)
+
+    def test_pair_state_roundtrip(self):
+        source, target = harmonize(dfa_of("(a,b)"), dfa_of("(a|b)"))
+        immed = ImmediateDecisionAutomaton.from_pair(source, target)
+        for qa in range(source.num_states):
+            for qb in range(target.num_states):
+                state = immed.pair_state(qa, qb)
+                assert immed.unpair_state(state) == (qa, qb)
+
+    def test_pair_state_bounds(self):
+        immed = ImmediateDecisionAutomaton.from_pair(
+            dfa_of("(a)"), dfa_of("(a)")
+        )
+        with pytest.raises(ValueError):
+            immed.pair_state(999, 0)
+
+    def test_pair_helpers_rejected_on_plain_automaton(self):
+        immed = ImmediateDecisionAutomaton.from_dfa(dfa_of("(a)"))
+        with pytest.raises(ValueError):
+            immed.pair_state(0, 0)
+
+    def test_scan_from_arbitrary_pair_state(self):
+        """The with-modifications scan starts mid-automaton."""
+        source = dfa_of("(a,b,c)")
+        target = dfa_of("(a,b,c)")
+        immed = ImmediateDecisionAutomaton.from_pair(source, target)
+        qa = source.run(["a"])
+        qb = target.run(["a"])
+        start = immed.pair_state(qa, qb)
+        # Identical automata: the diagonal is subsumed, instant accept.
+        result = immed.scan(["b", "c"], start=start)
+        assert result.accepted
+        assert result.symbols_scanned == 0
+
+    def test_identical_automata_diagonal_in_ia(self):
+        dfa = dfa_of("(a,(b|c)*,a?)")
+        immed = ImmediateDecisionAutomaton.from_pair(dfa, dfa)
+        live = dfa.reachable_states() & dfa.coreachable_states()
+        for q in live:
+            assert immed.pair_state(q, q) in immed.ia
+
+
+class TestOptimalityProposition3:
+    """c_immed decides at least as early as any sound decision point.
+
+    Brute-force oracle: after prefix p of s ∈ L(a), acceptance is forced
+    iff every source-viable continuation of p that a accepts is accepted
+    by b (checked semantically via residual-language inclusion), and
+    rejection is forced iff no continuation is accepted by both.
+    c_immed must decide exactly at the first forced position.
+    """
+
+    @pytest.mark.parametrize(
+        "src, tgt",
+        [
+            ("(a,b?,c)", "(a,b,c)"),
+            ("(a,(b|c)*)", "(a,b*,c?)"),
+            ("(a|b)+", "(a,(a|b)*)"),
+            ("(a,b){1,3}", "(a,b)+"),
+        ],
+    )
+    def test_decision_point_is_earliest(self, src, tgt):
+        source, target = harmonize(dfa_of(src), dfa_of(tgt))
+        immed = ImmediateDecisionAutomaton.from_pair(source, target)
+        words = [
+            list(word)
+            for n in range(6)
+            for word in itertools.product("abc", repeat=n)
+            if source.accepts(word)
+        ]
+        for word in words:
+            result = immed.scan(word)
+            oracle = _earliest_decision(source, target, word)
+            assert result.accepted == target.accepts(word)
+            assert result.symbols_scanned == oracle, (word, result)
+
+
+def _earliest_decision(source, target, word):
+    """First prefix length at which the verdict is information-
+    theoretically forced, given the promise word ∈ L(source)."""
+    for length in range(len(word) + 1):
+        qa = source.run(word[:length])
+        qb = target.run(word[:length])
+        # Residual languages from (qa, qb).
+        forced_accept = _residual_subset(source, qa, target, qb)
+        forced_reject = not _residual_intersects(source, qa, target, qb)
+        if forced_accept or forced_reject:
+            return length
+    return len(word)
+
+
+def _residual_subset(source, qa, target, qb):
+    shifted_a = DFA(source.alphabet, source.transitions, qa, source.finals)
+    shifted_b = DFA(target.alphabet, target.transitions, qb, target.finals)
+    return shifted_a.is_subset_of(shifted_b)
+
+
+def _residual_intersects(source, qa, target, qb):
+    shifted_a = DFA(source.alphabet, source.transitions, qa, source.finals)
+    shifted_b = DFA(target.alphabet, target.transitions, qb, target.finals)
+    return shifted_a.intersects(shifted_b)

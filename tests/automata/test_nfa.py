@@ -1,0 +1,105 @@
+"""Tests for NFAs, subset construction, and reversal."""
+
+import itertools
+
+from repro.automata.dfa import DFA
+from repro.automata.nfa import NFA, reverse, reverse_dfa
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model as pcm
+
+
+class TestNFABasics:
+    def test_simple_acceptance(self):
+        nfa = NFA({"a", "b"}, 2, {(0, "a"): {1}}, starts=(0,), finals=(1,))
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts(["b"])
+        assert not nfa.accepts([])
+
+    def test_nondeterministic_branching(self):
+        # a then (b|c) via two parallel paths.
+        nfa = NFA(
+            {"a", "b", "c"},
+            4,
+            {(0, "a"): {1, 2}, (1, "b"): {3}, (2, "c"): {3}},
+            starts=(0,),
+            finals=(3,),
+        )
+        assert nfa.accepts(["a", "b"])
+        assert nfa.accepts(["a", "c"])
+        assert not nfa.accepts(["a", "b", "c"])
+
+    def test_epsilon_closure(self):
+        nfa = NFA(
+            {"a"},
+            3,
+            {(1, "a"): {2}},
+            starts=(0,),
+            finals=(2,),
+            epsilon={0: {1}},
+        )
+        assert nfa.epsilon_closure({0}) == {0, 1}
+        assert nfa.accepts(["a"])
+
+    def test_multiple_start_states(self):
+        nfa = NFA(
+            {"a", "b"},
+            3,
+            {(0, "a"): {2}, (1, "b"): {2}},
+            starts=(0, 1),
+            finals=(2,),
+        )
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["b"])
+
+    def test_out_of_alphabet_symbol_rejected(self):
+        nfa = NFA({"a"}, 1, {}, starts=(0,), finals=(0,))
+        assert not nfa.accepts(["z"])
+
+
+class TestDeterminize:
+    def test_determinize_preserves_language(self):
+        nfa = NFA(
+            {"a", "b"},
+            4,
+            {(0, "a"): {1, 2}, (1, "a"): {3}, (2, "b"): {3}},
+            starts=(0,),
+            finals=(3,),
+        )
+        dfa = nfa.determinize()
+        for word in itertools.chain.from_iterable(
+            itertools.product("ab", repeat=n) for n in range(5)
+        ):
+            assert dfa.accepts(list(word)) == nfa.accepts(list(word))
+
+    def test_result_is_complete(self):
+        nfa = NFA({"a", "b"}, 2, {(0, "a"): {1}}, starts=(0,), finals=(1,))
+        dfa = nfa.determinize()
+        for row in dfa.transitions:
+            assert set(row) == {"a", "b"}
+
+
+class TestReverse:
+    def test_reverse_recognizes_reversed_words(self):
+        dfa = compile_dfa(pcm("(a,b,c)"), frozenset("abc"))
+        rev = reverse(dfa)
+        assert rev.accepts(["c", "b", "a"])
+        assert not rev.accepts(["a", "b", "c"])
+
+    def test_reverse_dfa_equivalence(self):
+        dfa = compile_dfa(pcm("(a,(b|c)*,a?)"), frozenset("abc"))
+        rev = reverse_dfa(dfa)
+        for word in itertools.chain.from_iterable(
+            itertools.product("abc", repeat=n) for n in range(5)
+        ):
+            word = list(word)
+            assert rev.accepts(list(reversed(word))) == dfa.accepts(word)
+
+    def test_double_reverse_is_identity_language(self):
+        dfa = compile_dfa(pcm("(a,b?)+"), frozenset("ab"))
+        double = reverse_dfa(reverse_dfa(dfa))
+        assert double.equivalent(dfa)
+
+    def test_reverse_of_epsilon_language(self):
+        rev = reverse_dfa(DFA.epsilon_language({"a"}))
+        assert rev.accepts([])
+        assert not rev.accepts(["a"])

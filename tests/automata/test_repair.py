@@ -1,0 +1,148 @@
+"""Tests for edit distance from a string to a regular language."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.dfa import DFA
+from repro.automata.edits import EditScript
+from repro.automata.repair import language_edit_distance, repair_word
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model as pcm
+
+
+def dfa_of(source, alphabet="abc"):
+    return compile_dfa(pcm(source), frozenset(alphabet))
+
+
+class TestDistance:
+    def test_member_needs_zero_edits(self):
+        dfa = dfa_of("(a,b?,c)")
+        distance, ops = language_edit_distance(dfa, ["a", "b", "c"])
+        assert distance == 0
+        assert ops == []
+
+    def test_single_substitution(self):
+        dfa = dfa_of("(a,b)")
+        distance, _ = language_edit_distance(dfa, ["a", "c"])
+        assert distance == 1
+
+    def test_single_insertion(self):
+        dfa = dfa_of("(a,b,c)")
+        distance, _ = language_edit_distance(dfa, ["a", "c"])
+        assert distance == 1
+
+    def test_single_deletion(self):
+        dfa = dfa_of("(a,c)")
+        distance, _ = language_edit_distance(dfa, ["a", "b", "c"])
+        assert distance == 1
+
+    def test_empty_word_to_required_content(self):
+        dfa = dfa_of("(a,b,c)")
+        distance, _ = language_edit_distance(dfa, [])
+        assert distance == 3
+
+    def test_everything_deleted(self):
+        dfa = dfa_of("a*")
+        distance, _ = language_edit_distance(dfa, ["b", "b"])
+        # Either delete both or substitute both: cost 2.
+        assert distance == 2
+
+    def test_empty_language_returns_none(self):
+        assert language_edit_distance(DFA.empty_language({"a"}), ["a"]) is None
+
+    def test_unknown_symbols_handled(self):
+        dfa = dfa_of("(a,b)")
+        distance, _ = language_edit_distance(dfa, ["zzz", "b"])
+        assert distance == 1  # substitute zzz -> a
+
+
+class TestScripts:
+    @pytest.mark.parametrize(
+        "model, word",
+        [
+            ("(a,b,c)", []),
+            ("(a,b,c)", ["c", "b", "a"]),
+            ("(a,(b|c)*)", ["b", "b"]),
+            ("(a,b){2}", ["a", "b", "b"]),
+            ("a+", ["b", "c", "b"]),
+            ("(a?,b?,c?)", ["c", "a"]),
+        ],
+    )
+    def test_script_applies_to_membership(self, model, word):
+        dfa = dfa_of(model)
+        distance, ops = language_edit_distance(dfa, word)
+        script = EditScript(list(word))
+        script.apply_all(ops)
+        assert dfa.accepts(script.modified), (ops, script.modified)
+        assert len(ops) == distance
+
+    def test_repair_word_convenience(self):
+        dfa = dfa_of("(a,b,c)")
+        assert repair_word(dfa, ["a", "c"]) == ["a", "b", "c"]
+        assert repair_word(DFA.empty_language({"a"}), ["a"]) is None
+
+    def test_deterministic_output(self):
+        dfa = dfa_of("(a|b),(a|b)")
+        first = language_edit_distance(dfa, ["c"])
+        second = language_edit_distance(dfa, ["c"])
+        assert first == second
+
+
+class TestOptimality:
+    def _bruteforce(self, dfa, word, alphabet, best_known):
+        """Breadth-first search over edit scripts up to best_known."""
+        if dfa.accepts(word):
+            return 0
+        frontier = {tuple(word)}
+        for depth in range(1, best_known + 1):
+            next_frontier = set()
+            for candidate in frontier:
+                candidate = list(candidate)
+                for i in range(len(candidate) + 1):
+                    for symbol in alphabet:
+                        inserted = candidate[:i] + [symbol] + candidate[i:]
+                        next_frontier.add(tuple(inserted))
+                for i in range(len(candidate)):
+                    deleted = candidate[:i] + candidate[i + 1:]
+                    next_frontier.add(tuple(deleted))
+                    for symbol in alphabet:
+                        replaced = list(candidate)
+                        replaced[i] = symbol
+                        next_frontier.add(tuple(replaced))
+            if any(dfa.accepts(list(candidate))
+                   for candidate in next_frontier):
+                return depth
+            frontier = next_frontier
+        return best_known
+
+    @pytest.mark.parametrize(
+        "model", ["(a,b)", "(a,(b|c)*,a)", "a{2,3}", "(a|b),(c?)"]
+    )
+    def test_distance_is_minimal(self, model):
+        dfa = dfa_of(model)
+        for length in range(4):
+            for word in itertools.product("abc", repeat=length):
+                word = list(word)
+                distance, _ = language_edit_distance(dfa, word)
+                if distance <= 2:  # brute force stays tractable
+                    expected = self._bruteforce(dfa, word, "abc", 3)
+                    assert distance == expected, (model, word)
+
+
+@given(
+    st.lists(st.sampled_from("abc"), max_size=6),
+    st.sampled_from(["(a,b?,c)", "(a|b)+", "(a,(b|c)*)", "a{1,3}"]),
+)
+@settings(max_examples=150, deadline=None)
+def test_repair_property(word, model):
+    dfa = dfa_of(model)
+    distance, ops = language_edit_distance(dfa, word)
+    script = EditScript(list(word))
+    script.apply_all(ops)
+    assert dfa.accepts(script.modified)
+    assert distance == len(ops)
+    # Zero distance iff already a member.
+    assert (distance == 0) == dfa.accepts(word)

@@ -1,0 +1,170 @@
+"""Tests for string schema-cast validation (Sections 4.2 and 4.3)."""
+
+import itertools
+
+import pytest
+
+from repro.automata.stringcast import (
+    Strategy,
+    StringCastValidator,
+    StringUpdateRevalidator,
+)
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model as pcm
+
+
+def dfa_of(source, alphabet="abc"):
+    return compile_dfa(pcm(source), frozenset(alphabet))
+
+
+def all_words(alphabet="abc", max_len=5):
+    for n in range(max_len + 1):
+        for word in itertools.product(alphabet, repeat=n):
+            yield list(word)
+
+
+class TestValidateNoModifications:
+    def test_paper_billto_example(self):
+        validator = StringCastValidator(
+            dfa_of("(shipTo,billTo?,items)", ["shipTo", "billTo", "items"]),
+            dfa_of("(shipTo,billTo,items)", ["shipTo", "billTo", "items"]),
+        )
+        with_billto = validator.validate(["shipTo", "billTo", "items"])
+        assert with_billto.accepted
+        assert with_billto.pair_symbols == 2  # decided after billTo
+        without = validator.validate(["shipTo", "items"])
+        assert not without.accepted
+
+    def test_agrees_with_target_on_promised_words(self):
+        source = dfa_of("(a,(b|c)*)")
+        target = dfa_of("(a,b*,c{0,2})")
+        validator = StringCastValidator(source, target)
+        for word in all_words():
+            if source.accepts(word):
+                assert validator.validate(word).accepted == target.accepts(
+                    word
+                )
+
+    def test_equal_languages_decide_instantly(self):
+        source = dfa_of("(a,b,c)")
+        validator = StringCastValidator(source, dfa_of("(a,b,c)"))
+        result = validator.validate(["a", "b", "c"])
+        assert result.accepted
+        assert result.symbols_scanned == 0
+
+    def test_disjoint_languages_decide_instantly(self):
+        validator = StringCastValidator(dfa_of("(a,a)"), dfa_of("(b,b)"))
+        result = validator.validate(["a", "a"])
+        assert not result.accepted
+        assert result.symbols_scanned == 0
+
+    def test_symbols_scanned_bounded_by_length(self):
+        validator = StringCastValidator(dfa_of("(a|b)*"), dfa_of("(a)*"))
+        for word in all_words("ab", 4):
+            result = validator.validate(word)
+            assert result.symbols_scanned <= len(word)
+
+
+class TestValidateModified:
+    @pytest.fixture()
+    def validator(self):
+        return StringCastValidator(dfa_of("(a,(b|c)*)"), dfa_of("(a,b*,c?)"))
+
+    def test_correct_verdicts_all_strategies(self, validator):
+        source = validator.source
+        target = validator.target
+        for original in all_words(max_len=4):
+            if not source.accepts(original):
+                continue
+            for modified in all_words(max_len=4):
+                expected = target.accepts(modified)
+                for strategy in (
+                    Strategy.FORWARD,
+                    Strategy.REVERSE,
+                    Strategy.PLAIN,
+                    Strategy.AUTO,
+                ):
+                    result = validator.validate_modified(
+                        original, modified, strategy=strategy
+                    )
+                    assert result.accepted == expected, (
+                        original,
+                        modified,
+                        strategy,
+                    )
+
+    def test_explicit_affix_hints_respected(self, validator):
+        original = ["a", "b", "b"]
+        modified = ["a", "c", "b"]
+        result = validator.validate_modified(
+            original, modified, prefix=1, suffix=1
+        )
+        assert result.accepted == validator.target.accepts(modified)
+
+    def test_forward_reuses_suffix(self):
+        # Single-schema: unchanged tail re-synchronizes instantly.
+        revalidator = StringUpdateRevalidator(dfa_of("(a,b)*"))
+        original = ["a", "b"] * 20
+        modified = ["b", "b"] + original[2:]  # damage the front
+        result = revalidator.revalidate(
+            original, modified, strategy=Strategy.FORWARD
+        )
+        assert not result.accepted
+        # Decided within the modified window, far less than full length.
+        assert result.symbols_scanned <= 4
+
+    def test_reverse_strategy_on_appends(self):
+        revalidator = StringUpdateRevalidator(dfa_of("a*,b"))
+        original = ["a"] * 30 + ["b"]
+        modified = ["a"] * 30 + ["b", "b"]
+        result = revalidator.revalidate(original, modified)
+        assert result.strategy is Strategy.REVERSE
+        assert not result.accepted
+        assert result.symbols_scanned <= 4
+
+    def test_plain_strategy_when_everything_changed(self):
+        revalidator = StringUpdateRevalidator(dfa_of("(a|b)+"))
+        original = ["a", "a", "a"]
+        modified = ["b", "b"]
+        result = revalidator.revalidate(original, modified)
+        assert result.strategy is Strategy.PLAIN
+        assert result.accepted
+
+    def test_counters_populated(self, validator):
+        original = ["a", "b", "b", "b"]
+        modified = ["a", "c", "b", "b"]
+        result = validator.validate_modified(
+            original, modified, strategy=Strategy.FORWARD
+        )
+        assert result.target_symbols >= 0
+        assert result.symbols_scanned <= len(modified)
+
+
+class TestSingleSchemaUpdate:
+    def test_noop_edit_accepts_immediately(self):
+        revalidator = StringUpdateRevalidator(dfa_of("(a,(b|c)*)"))
+        word = ["a", "b", "c", "b"]
+        result = revalidator.revalidate(word, list(word))
+        assert result.accepted
+        assert result.symbols_scanned == 0
+
+    def test_exhaustive_agreement(self):
+        dfa = dfa_of("(a,b?,c)")
+        revalidator = StringUpdateRevalidator(dfa)
+        for original in all_words(max_len=4):
+            if not dfa.accepts(original):
+                continue
+            for modified in all_words(max_len=4):
+                result = revalidator.revalidate(original, modified)
+                assert result.accepted == dfa.accepts(modified), (
+                    original,
+                    modified,
+                )
+
+    def test_broken_promise_does_not_crash(self):
+        revalidator = StringUpdateRevalidator(dfa_of("(a,b)"))
+        # Original contains a symbol outside the alphabet entirely.
+        result = revalidator.validate_modified(
+            ["z", "b"], ["a", "b"], strategy=Strategy.PLAIN
+        )
+        assert result.accepted  # plain scan ignores the bogus original

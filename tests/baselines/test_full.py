@@ -1,0 +1,36 @@
+"""Tests for the full-traversal (Xerces-style) baseline."""
+
+from repro.baselines.full import FullValidator
+from repro.core.validator import validate_document
+from repro.workloads.purchase_orders import make_purchase_order
+
+
+class TestFullValidator:
+    def test_precompiles_content_models(self, exp2_target):
+        validator = FullValidator(exp2_target)
+        assert set(validator.schema._dfas) >= {
+            "POType", "USAddress", "Items", "Item",
+        }
+
+    def test_matches_validate_document(self, exp2_target):
+        validator = FullValidator(exp2_target)
+        doc = make_purchase_order(10)
+        assert validator.validate(doc).valid
+        bad = make_purchase_order(5, quantity_of=lambda i: 500)
+        assert not validator.validate(bad).valid
+
+    def test_visits_every_node(self, exp2_target):
+        validator = FullValidator(exp2_target)
+        doc = make_purchase_order(20)
+        report = validator.validate(doc)
+        # Full traversal touches every element and text node.
+        assert report.stats.nodes_visited == doc.size()
+
+    def test_work_scales_linearly(self, exp2_target):
+        validator = FullValidator(exp2_target)
+        small = validator.validate(make_purchase_order(10))
+        large = validator.validate(make_purchase_order(100))
+        ratio = (
+            large.stats.nodes_visited / small.stats.nodes_visited
+        )
+        assert 5 < ratio < 12  # ~10x items → ~10x work

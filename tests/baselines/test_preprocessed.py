@@ -1,0 +1,99 @@
+"""Tests for the document-preprocessing incremental baseline."""
+
+import pytest
+
+from repro.baselines.preprocessed import PreprocessedIncrementalValidator
+from repro.core.validator import validate_document
+from repro.errors import UpdateError
+from repro.schema.dtd import parse_dtd
+from repro.xmltree.parser import parse
+
+DTD = """
+<!ELEMENT list (item*, summary?)>
+<!ELEMENT item (#PCDATA)>
+<!ELEMENT summary (#PCDATA)>
+"""
+
+
+@pytest.fixture()
+def schema():
+    return parse_dtd(DTD, roots=["list"])
+
+
+@pytest.fixture()
+def validator(schema):
+    return PreprocessedIncrementalValidator(schema)
+
+
+class TestPreprocess:
+    def test_annotates_every_element(self, validator):
+        doc = parse("<list><item>1</item><item>2</item></list>")
+        report = validator.preprocess(doc)
+        assert report.valid
+        assert validator.memory_cells() == 3  # list + 2 items
+
+    def test_memory_grows_with_document(self, validator, schema):
+        small = parse("<list><item>1</item></list>")
+        validator.preprocess(small)
+        small_cells = validator.memory_cells()
+        big = parse(
+            "<list>" + "<item>1</item>" * 50 + "</list>"
+        )
+        other = PreprocessedIncrementalValidator(schema)
+        other.preprocess(big)
+        assert other.memory_cells() > small_cells * 10
+
+    def test_invalid_document_not_annotated(self, validator):
+        report = validator.preprocess(parse("<list><wrong/></list>"))
+        assert not report.valid
+        assert validator.memory_cells() == 0
+
+    def test_updates_require_preprocess(self, validator):
+        with pytest.raises(UpdateError, match="preprocess"):
+            validator.insert_element(parse("<list/>").root, 0, "item")
+
+
+class TestIncrementalUpdates:
+    def test_valid_insert(self, validator, schema):
+        doc = parse("<list><item>1</item></list>")
+        validator.preprocess(doc)
+        report = validator.insert_element(doc.root, 1, "item")
+        assert report.valid
+        assert validate_document(schema, doc).valid
+
+    def test_invalid_insert_detected(self, validator):
+        doc = parse("<list><item>1</item></list>")
+        validator.preprocess(doc)
+        report = validator.insert_element(doc.root, 0, "summary")
+        assert not report.valid  # summary must come after items
+
+    def test_delete_leaf(self, validator, schema):
+        doc = parse("<list><item>1</item><item>2</item></list>")
+        validator.preprocess(doc)
+        item = doc.root.children[0]
+        validator.delete(item.children[0])
+        report = validator.delete(item)
+        assert report.valid
+        assert len(doc.root.children) == 1
+
+    def test_delete_non_leaf_rejected(self, validator):
+        doc = parse("<list><item>1</item></list>")
+        validator.preprocess(doc)
+        with pytest.raises(UpdateError, match="leaf"):
+            validator.delete(doc.root.children[0])
+
+    def test_rename_rechecks_parent_and_subtree(self, validator, schema):
+        doc = parse("<list><item>1</item></list>")
+        validator.preprocess(doc)
+        report = validator.rename(doc.root.children[0], "summary")
+        assert report.valid
+        assert validate_document(schema, doc).valid
+
+    def test_rename_to_invalid_position(self, validator):
+        doc = parse(
+            "<list><summary>s</summary></list>"
+        )
+        validator.preprocess(doc)
+        # Renaming summary to an unknown label breaks the content model.
+        report = validator.rename(doc.root.children[0], "bogus")
+        assert not report.valid

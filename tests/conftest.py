@@ -1,0 +1,54 @@
+"""Shared fixtures: the paper's schemas and canonical documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schema.registry import SchemaPair
+from repro.workloads.purchase_orders import (
+    make_purchase_order,
+    source_schema_experiment1,
+    source_schema_experiment2,
+    target_schema_experiment1,
+    target_schema_experiment2,
+)
+
+
+@pytest.fixture(scope="session")
+def exp1_source():
+    return source_schema_experiment1()
+
+
+@pytest.fixture(scope="session")
+def exp1_target():
+    return target_schema_experiment1()
+
+
+@pytest.fixture(scope="session")
+def exp2_source():
+    return source_schema_experiment2()
+
+
+@pytest.fixture(scope="session")
+def exp2_target():
+    return target_schema_experiment2()
+
+
+@pytest.fixture(scope="session")
+def exp1_pair(exp1_source, exp1_target):
+    return SchemaPair(exp1_source, exp1_target)
+
+
+@pytest.fixture(scope="session")
+def exp2_pair(exp2_source, exp2_target):
+    return SchemaPair(exp2_source, exp2_target)
+
+
+@pytest.fixture()
+def po_doc_with_billto():
+    return make_purchase_order(5, with_billto=True)
+
+
+@pytest.fixture()
+def po_doc_without_billto():
+    return make_purchase_order(5, with_billto=False)

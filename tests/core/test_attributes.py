@@ -1,0 +1,369 @@
+"""Tests for the attribute-validation extension across the system."""
+
+import random
+
+import pytest
+
+from repro.core.cast import CastValidator
+from repro.core.castmods import CastWithModificationsValidator
+from repro.core.repair import DocumentRepairer
+from repro.core.updates import UpdateSession
+from repro.core.validator import attribute_violation, validate_document
+from repro.schema.dtd import parse_dtd
+from repro.schema.model import Schema, attribute, complex_type
+from repro.schema.registry import SchemaPair
+from repro.schema.simple import builtin, restrict
+from repro.schema.synthesis import minimal_tree
+from repro.schema.xsd import parse_xsd
+from repro.xmltree.parser import parse
+
+
+def schema_with_attrs(id_required=True, rank_type="xsd:positiveInteger"):
+    return Schema(
+        {
+            "List": complex_type("List", "(item*)", {"item": "Item"}),
+            "Item": complex_type(
+                "Item", "()", {},
+                {
+                    "id": attribute("id", "xsd:string",
+                                    required=id_required),
+                    "rank": attribute("rank", rank_type),
+                },
+            ),
+            "xsd:string": builtin("string"),
+            "xsd:positiveInteger": builtin("positiveInteger"),
+            "xsd:integer": builtin("integer"),
+        },
+        {"list": "List"},
+        name=f"attrs-{id_required}-{rank_type}",
+    )
+
+
+class TestPlainValidation:
+    def test_valid_attributes(self):
+        schema = schema_with_attrs()
+        doc = parse('<list><item id="a" rank="3"/></list>')
+        assert validate_document(schema, doc).valid
+
+    def test_missing_required(self):
+        schema = schema_with_attrs()
+        report = validate_document(schema, parse('<list><item rank="3"/></list>'))
+        assert not report.valid
+        assert "missing required attribute" in report.reason
+
+    def test_undeclared_attribute(self):
+        schema = schema_with_attrs()
+        report = validate_document(
+            schema, parse('<list><item id="a" bogus="1"/></list>')
+        )
+        assert not report.valid
+        assert "undeclared attribute" in report.reason
+
+    def test_value_conformance(self):
+        schema = schema_with_attrs()
+        report = validate_document(
+            schema, parse('<list><item id="a" rank="-1"/></list>')
+        )
+        assert not report.valid
+        assert "does not conform" in report.reason
+
+    def test_reserved_names_ignored(self):
+        schema = schema_with_attrs()
+        doc = parse(
+            '<list xmlns:x="urn:x" xsi:schemaLocation="u s">'
+            '<item id="a" xml:lang="en"/></list>'
+        )
+        assert validate_document(schema, doc).valid
+
+    def test_simple_typed_element_admits_no_attributes(self):
+        schema = Schema(
+            {
+                "T": complex_type("T", "(v)", {"v": "Str"}),
+                "Str": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        report = validate_document(
+            schema, parse('<t><v extra="1">x</v></t>')
+        )
+        assert not report.valid
+        assert "does not allow attribute" in report.reason
+
+
+class TestRelations:
+    def test_required_vs_optional_subsumption(self):
+        required = schema_with_attrs(id_required=True)
+        optional = schema_with_attrs(id_required=False)
+        forward = SchemaPair(required, optional)
+        backward = SchemaPair(optional, required)
+        assert forward.is_subsumed("Item", "Item")   # required ⊆ optional
+        assert not backward.is_subsumed("Item", "Item")
+
+    def test_value_type_narrowing(self):
+        narrow = schema_with_attrs(rank_type="xsd:positiveInteger")
+        wide = schema_with_attrs(rank_type="xsd:integer")
+        assert SchemaPair(narrow, wide).is_subsumed("Item", "Item")
+        assert not SchemaPair(wide, narrow).is_subsumed("Item", "Item")
+
+    def test_missing_declaration_blocks_subsumption(self):
+        with_attrs = schema_with_attrs(id_required=False)
+        without = Schema(
+            {
+                "List": complex_type("List", "(item*)", {"item": "Item"}),
+                "Item": complex_type("Item", "()", {}),
+            },
+            {"list": "List"},
+        )
+        pair = SchemaPair(with_attrs, without)
+        assert not pair.is_subsumed("Item", "Item")
+        # But an attribute-free Item is valid under both: non-disjoint.
+        assert not pair.is_disjoint("Item", "Item")
+
+    def test_required_attr_with_disjoint_values_is_disjoint(self):
+        left = Schema(
+            {
+                "Item": complex_type("Item", "()", {}, {
+                    "rank": attribute("rank", "Low", required=True),
+                }),
+                "Low": restrict(builtin("integer"), "Low", max_inclusive=5),
+            },
+            {"item": "Item"},
+        )
+        right = Schema(
+            {
+                "Item": complex_type("Item", "()", {}, {
+                    "rank": attribute("rank", "High", required=True),
+                }),
+                "High": restrict(builtin("integer"), "High",
+                                 min_inclusive=10),
+            },
+            {"item": "Item"},
+        )
+        assert SchemaPair(left, right).is_disjoint("Item", "Item")
+
+    def test_required_attr_vs_undeclared_is_disjoint(self):
+        left = Schema(
+            {
+                "Item": complex_type("Item", "()", {}, {
+                    "id": attribute("id", "Str", required=True),
+                }),
+                "Str": builtin("string"),
+            },
+            {"item": "Item"},
+        )
+        right = Schema(
+            {"Item": complex_type("Item", "()", {})},
+            {"item": "Item"},
+        )
+        assert SchemaPair(left, right).is_disjoint("Item", "Item")
+
+    def test_empty_element_not_shared_with_required_attr(self):
+        complex_side = Schema(
+            {
+                "C": complex_type("C", "()", {}, {
+                    "id": attribute("id", "Str", required=True),
+                }),
+                "Str": builtin("string"),
+            },
+            {"e": "C"},
+        )
+        simple_side = Schema({"S": builtin("string")}, {"e": "S"})
+        assert SchemaPair(simple_side, complex_side).is_disjoint("S", "C")
+
+
+class TestCastValidators:
+    def test_cast_checks_attributes_on_visited_nodes(self):
+        source = schema_with_attrs(rank_type="xsd:integer")
+        target = schema_with_attrs(rank_type="xsd:positiveInteger")
+        pair = SchemaPair(source, target)
+        validator = CastValidator(pair)
+        good = parse('<list><item id="a" rank="3"/></list>')
+        bad = parse('<list><item id="a" rank="-3"/></list>')
+        assert validator.validate(good).valid
+        assert not validator.validate(bad).valid
+
+    def test_cast_agrees_with_full(self):
+        source = schema_with_attrs(id_required=False)
+        target = schema_with_attrs(id_required=True)
+        pair = SchemaPair(source, target)
+        validator = CastValidator(pair)
+        for text in (
+            '<list><item id="a"/></list>',
+            "<list><item/></list>",
+        ):
+            doc = parse(text)
+            assert validate_document(source, doc).valid
+            expected = validate_document(target, doc)
+            assert validator.validate(doc).valid == expected.valid
+
+    def test_castmods_attribute_edits(self):
+        schema = schema_with_attrs()
+        pair = SchemaPair(schema, schema)
+        validator = CastWithModificationsValidator(pair)
+        doc = parse('<list><item id="a" rank="1"/></list>')
+        session = UpdateSession(doc)
+        item = doc.root.children[0]
+        session.set_attribute(item, "rank", "-5")
+        report = validator.validate(session)
+        assert not report.valid
+        session.set_attribute(item, "rank", "7")
+        assert validator.validate(session).valid
+
+    def test_castmods_remove_required_attribute(self):
+        schema = schema_with_attrs()
+        pair = SchemaPair(schema, schema)
+        validator = CastWithModificationsValidator(pair)
+        doc = parse('<list><item id="a"/></list>')
+        session = UpdateSession(doc)
+        session.remove_attribute(doc.root.children[0], "id")
+        assert not validator.validate(session).valid
+
+
+class TestSynthesisAndRepair:
+    def test_minimal_tree_carries_required_attributes(self):
+        schema = schema_with_attrs()
+        tree = minimal_tree(schema, "Item", "item")
+        assert "id" in tree.attributes
+        assert "rank" not in tree.attributes  # optional: omitted
+
+    def test_repair_fixes_attributes(self):
+        schema = schema_with_attrs()
+        repairer = DocumentRepairer.for_schema(schema)
+        doc = parse('<list><item rank="-2" bogus="x"/></list>')
+        result = repairer.repair(doc)
+        assert result.verification.valid
+        kinds = sorted(a.kind for a in result.actions)
+        assert "delattr" in kinds and "setattr" in kinds
+        item = result.document.root.children[0]
+        assert "id" in item.attributes
+        assert "bogus" not in item.attributes
+
+    def test_repair_strips_attributes_from_simple_elements(self):
+        schema = Schema(
+            {
+                "T": complex_type("T", "(v)", {"v": "Str"}),
+                "Str": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        repairer = DocumentRepairer.for_schema(schema)
+        result = repairer.repair(parse('<t><v extra="1">x</v></t>'))
+        assert result.verification.valid
+        assert any(a.kind == "delattr" for a in result.actions)
+
+
+class TestDtdAttlist:
+    DTD = """
+    <!ELEMENT list (item*)>
+    <!ELEMENT item EMPTY>
+    <!ATTLIST item
+      id CDATA #REQUIRED
+      color (red|green|blue) "red"
+      version CDATA #FIXED "1.0">
+    """
+
+    def test_declarations_parsed(self):
+        schema = parse_dtd(self.DTD, roots=["list"])
+        item = schema.type("item")
+        assert item.attributes["id"].required
+        assert not item.attributes["color"].required
+        color_type = schema.type(item.attributes["color"].type_name)
+        assert color_type.enumeration == {"red", "green", "blue"}
+
+    def test_fixed_value_enforced(self):
+        schema = parse_dtd(self.DTD, roots=["list"])
+        good = parse('<list><item id="a" version="1.0"/></list>')
+        bad = parse('<list><item id="a" version="2.0"/></list>')
+        assert validate_document(schema, good).valid
+        assert not validate_document(schema, bad).valid
+
+    def test_attlist_on_pcdata_element_rejected(self):
+        from repro.errors import UnsupportedFeatureError
+
+        with pytest.raises(UnsupportedFeatureError, match="#PCDATA"):
+            parse_dtd(
+                "<!ELEMENT t (#PCDATA)><!ATTLIST t x CDATA #IMPLIED>"
+            )
+
+    def test_dtd_cast_with_attributes(self):
+        from repro.core.dtdcast import DTDCastValidator
+
+        source = parse_dtd(self.DTD, roots=["list"])
+        target = parse_dtd(
+            self.DTD.replace('color (red|green|blue) "red"',
+                             'color (red|green) "red"'),
+            roots=["list"],
+        )
+        pair = SchemaPair(source, target)
+        validator = DTDCastValidator(pair)
+        assert validator.validate(
+            parse('<list><item id="a" color="red"/></list>')
+        ).valid
+        assert not validator.validate(
+            parse('<list><item id="a" color="blue"/></list>')
+        ).valid
+
+
+class TestXsdAttributes:
+    SCHEMA = """
+    <xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+      <xsd:element name="item" type="Item"/>
+      <xsd:complexType name="Item">
+        <xsd:sequence/>
+        <xsd:attribute name="id" type="xsd:string" use="required"/>
+        <xsd:attribute name="rank">
+          <xsd:simpleType>
+            <xsd:restriction base="xsd:positiveInteger">
+              <xsd:maxExclusive value="10"/>
+            </xsd:restriction>
+          </xsd:simpleType>
+        </xsd:attribute>
+        <xsd:attribute name="legacy" type="xsd:string"
+                       use="prohibited"/>
+      </xsd:complexType>
+    </xsd:schema>
+    """
+
+    def test_xsd_attributes_parsed(self):
+        schema = parse_xsd(self.SCHEMA)
+        item = schema.type("Item")
+        assert item.attributes["id"].required
+        assert "legacy" not in item.attributes  # prohibited
+        rank_type = schema.type(item.attributes["rank"].type_name)
+        assert rank_type.validate("9")
+        assert not rank_type.validate("10")
+
+    def test_validation(self):
+        schema = parse_xsd(self.SCHEMA)
+        assert validate_document(
+            schema, parse('<item id="a" rank="3"/>')
+        ).valid
+        assert not validate_document(
+            schema, parse('<item rank="3"/>')
+        ).valid
+        assert not validate_document(
+            schema, parse('<item id="a" rank="99"/>')
+        ).valid
+
+
+class TestRandomizedWithAttributes:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sampled_documents_attribute_valid(self, seed):
+        from repro.workloads.generators import (
+            random_schema,
+            sample_document,
+        )
+
+        rng = random.Random(7000 + seed)
+        for _ in range(20):
+            try:
+                schema = random_schema(rng)
+            except Exception:
+                continue
+            doc = sample_document(rng, schema, max_depth=6)
+            if doc is None:
+                continue
+            report = validate_document(schema, doc)
+            assert report.valid, report.reason
+            return
+        pytest.skip("no schema/document produced")

@@ -1,0 +1,136 @@
+"""Tests for the streaming schema cast validator."""
+
+import random
+
+import pytest
+
+from repro.core.cast import CastValidator
+from repro.core.streaming import StreamingCastValidator
+from repro.core.validator import validate_document
+from repro.schema.registry import SchemaPair
+from repro.workloads.generators import random_schema, sample_document
+from repro.workloads.mutations import perturb_schema
+from repro.workloads.purchase_orders import make_purchase_order
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+
+
+class TestPaperExperiments:
+    def test_experiment1_verdicts(self, exp1_pair):
+        validator = StreamingCastValidator(exp1_pair)
+        good = serialize(make_purchase_order(20), indent="  ")
+        bad = serialize(make_purchase_order(20, with_billto=False))
+        assert validator.validate_text(good).valid
+        assert not validator.validate_text(bad).valid
+
+    def test_experiment1_skips_subtrees(self, exp1_pair):
+        validator = StreamingCastValidator(exp1_pair)
+        text = serialize(make_purchase_order(50))
+        report = validator.validate_text(text)
+        assert report.valid
+        # Same O(1) verification work as the DOM cast: subsumed
+        # subtrees (addresses, items) contribute nothing.
+        assert report.stats.elements_visited <= 2
+        assert report.stats.subtrees_skipped >= 3
+
+    def test_experiment2_value_checks(self, exp2_pair):
+        validator = StreamingCastValidator(exp2_pair)
+        good = serialize(make_purchase_order(10))
+        report = validator.validate_text(good)
+        assert report.valid
+        assert report.stats.simple_values_checked == 10
+        bad = serialize(
+            make_purchase_order(10, quantity_of=lambda i: 150)
+        )
+        assert not validator.validate_text(bad).valid
+
+    def test_disjoint_fails_fast(self):
+        from repro.schema.model import Schema, complex_type
+        from repro.schema.simple import builtin
+
+        left = Schema(
+            {
+                "T": complex_type("T", "(x)", {"x": "Date"}),
+                "Date": builtin("date"),
+            },
+            {"t": "T"},
+        )
+        right = Schema(
+            {
+                "T": complex_type("T", "(x)", {"x": "Int"}),
+                "Int": builtin("integer"),
+            },
+            {"t": "T"},
+        )
+        validator = StreamingCastValidator(SchemaPair(left, right))
+        report = validator.validate_text("<t><x>2004-01-01</x></t>")
+        assert not report.valid
+        assert report.stats.disjoint_rejections == 1
+
+    def test_malformed_input(self, exp1_pair):
+        validator = StreamingCastValidator(exp1_pair)
+        assert not validator.validate_text("<purchaseOrder>").valid
+
+
+class TestAgreementWithDomCast:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_agreement(self, seed):
+        rng = random.Random(60_000 + seed)
+        for _ in range(40):
+            try:
+                source = random_schema(rng)
+            except Exception:
+                continue
+            doc = sample_document(rng, source, max_depth=6)
+            if doc is None:
+                continue
+            try:
+                target = (
+                    perturb_schema(rng, source)
+                    if rng.random() < 0.5
+                    else random_schema(rng)
+                )
+                pair = SchemaPair(source, target)
+            except Exception:
+                continue
+            text = serialize(doc, indent="  ")
+            dom_verdict = CastValidator(pair).validate(parse(text))
+            stream_verdict = StreamingCastValidator(pair).validate_text(
+                text
+            )
+            assert dom_verdict.valid == stream_verdict.valid, (
+                seed, dom_verdict.reason, stream_verdict.reason,
+            )
+            return
+        pytest.skip("no usable pair")
+
+    def test_identical_schemas_skip_everything(self, exp2_pair):
+        pair = SchemaPair(exp2_pair.target, exp2_pair.target)
+        validator = StreamingCastValidator(pair)
+        report = validator.validate_text(
+            serialize(make_purchase_order(100))
+        )
+        assert report.valid
+        assert report.stats.elements_visited == 0
+        assert report.stats.subtrees_skipped == 1
+
+
+class TestMemory:
+    def test_memory_document_independent(self, exp2_pair):
+        import tracemalloc
+
+        validator = StreamingCastValidator(exp2_pair)
+        texts = {
+            n: serialize(make_purchase_order(n), indent="  ")
+            for n in (50, 1000)
+        }
+
+        def peak(text):
+            tracemalloc.start()
+            validator.validate_text(text)
+            _, high = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return high
+
+        small, large = peak(texts[50]), peak(texts[1000])
+        assert large < small * 3

@@ -1,0 +1,152 @@
+"""Tests for the plain top-down validator (the paper's doValidate)."""
+
+from repro.core.validator import (
+    validate_document,
+    validate_element,
+    validate_root,
+)
+from repro.schema.model import Schema, complex_type
+from repro.schema.simple import builtin, restrict
+from repro.xmltree.dom import Document, element
+from repro.xmltree.parser import parse
+
+
+def list_schema():
+    return Schema(
+        {
+            "List": complex_type("List", "(item*)", {"item": "Item"}),
+            "Item": restrict(builtin("positiveInteger"), "Item",
+                             max_exclusive=100),
+        },
+        {"list": "List"},
+    )
+
+
+class TestRootHandling:
+    def test_valid_root(self):
+        doc = parse("<list><item>5</item></list>")
+        assert validate_document(list_schema(), doc).valid
+
+    def test_unknown_root_label(self):
+        report = validate_document(list_schema(), parse("<other/>"))
+        assert not report.valid
+        assert "not a permitted root" in report.reason
+
+
+class TestComplexContent:
+    def test_content_model_enforced(self):
+        schema = Schema(
+            {
+                "T": complex_type("T", "(a,b)", {"a": "S", "b": "S"}),
+                "S": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        assert validate_document(schema, parse("<t><a/><b/></t>")).valid
+        report = validate_document(schema, parse("<t><b/><a/></t>"))
+        assert not report.valid
+        assert "content model" in report.reason
+
+    def test_unknown_child_label(self):
+        report = validate_document(
+            list_schema(), parse("<list><mystery/></list>")
+        )
+        assert not report.valid
+        assert "unexpected element" in report.reason
+
+    def test_character_data_in_element_content(self):
+        report = validate_document(
+            list_schema(), parse("<list>stray text</list>")
+        )
+        assert not report.valid
+        assert "character data" in report.reason
+
+    def test_whitespace_between_children_tolerated(self):
+        doc = parse(
+            "<list>\n  <item>1</item>\n  <item>2</item>\n</list>",
+            keep_whitespace=True,
+        )
+        assert validate_document(list_schema(), doc).valid
+
+    def test_failure_path_reported(self):
+        report = validate_document(
+            list_schema(), parse("<list><item>boom</item></list>")
+        )
+        assert not report.valid
+        assert report.path == "0"
+
+
+class TestSimpleContent:
+    def test_value_facets_enforced(self):
+        schema = list_schema()
+        assert validate_document(
+            schema, parse("<list><item>99</item></list>")
+        ).valid
+        report = validate_document(
+            schema, parse("<list><item>100</item></list>")
+        )
+        assert not report.valid
+        assert "does not conform" in report.reason
+
+    def test_element_children_under_simple_type(self):
+        report = validate_document(
+            list_schema(), parse("<list><item><nested/></item></list>")
+        )
+        assert not report.valid
+        assert "does not allow child elements" in report.reason
+
+    def test_empty_element_is_empty_string(self):
+        schema = Schema(
+            {
+                "T": complex_type("T", "(s)", {"s": "Str"}),
+                "Str": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        assert validate_document(schema, parse("<t><s/></t>")).valid
+        int_schema = Schema(
+            {
+                "T": complex_type("T", "(s)", {"s": "Int"}),
+                "Int": builtin("integer"),
+            },
+            {"t": "T"},
+        )
+        assert not validate_document(int_schema, parse("<t><s/></t>")).valid
+
+
+class TestStats:
+    def test_every_element_visited(self):
+        doc = parse("<list><item>1</item><item>2</item></list>")
+        report = validate_document(list_schema(), doc)
+        assert report.stats.elements_visited == 3
+        assert report.stats.text_nodes_visited == 2
+        assert report.stats.nodes_visited == 5
+        assert report.stats.content_symbols_scanned == 2
+        assert report.stats.simple_values_checked == 2
+
+    def test_stats_stop_at_failure(self):
+        doc = parse(
+            "<list><item>200</item><item>1</item><item>1</item></list>"
+        )
+        report = validate_document(list_schema(), doc)
+        assert not report.valid
+        # Content scan sees all 3 labels, but only the first item's
+        # value is examined before failing.
+        assert report.stats.simple_values_checked == 1
+
+
+class TestValidateElement:
+    def test_subtree_against_named_type(self):
+        schema = list_schema()
+        good = element("anything", "42")
+        assert validate_element(schema, "Item", good).valid
+        bad = element("anything", "142")
+        assert not validate_element(schema, "Item", bad).valid
+
+    def test_recursive_schema(self):
+        schema = Schema(
+            {"N": complex_type("N", "(n*)", {"n": "N"})},
+            {"n": "N"},
+        )
+        doc = parse("<n><n><n/></n><n/></n>")
+        assert validate_document(schema, doc).valid

@@ -1,0 +1,40 @@
+"""Every example script must run cleanly and print its narrative."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["preprocessed pair", "VALID", "INVALID"],
+    "message_broker.py": ["forwarded", "bounced", "nodes visited"],
+    "editor_session.py": ["Δ^ε_billTo", "materializing"],
+    "schema_evolution.py": ["survive", "migrating v1 -> v3"],
+    "string_revalidation.py": ["immediate-accept", "strategy=reverse"],
+    "document_repair.py": ["fabricated required <billTo>", "target-valid"],
+    "identity_constraints.py": ["duplicate", "REJECTED (identity)"],
+}
+
+
+def test_examples_discovered():
+    assert {path.name for path in EXAMPLES} == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[path.name for path in EXAMPLES]
+)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    for marker in EXPECTED_MARKERS[script.name]:
+        assert marker in completed.stdout, (script.name, marker)

@@ -1,0 +1,163 @@
+"""Tests for the content-model AST."""
+
+import pytest
+
+from repro.remodel.ast import (
+    EPSILON,
+    Alt,
+    Epsilon,
+    Repeat,
+    Seq,
+    Star,
+    Symbol,
+    alt,
+    normalize,
+    opt,
+    plus,
+    repeat,
+    seq,
+    star,
+    sym,
+)
+
+
+class TestNullable:
+    def test_epsilon_nullable(self):
+        assert EPSILON.nullable()
+
+    def test_symbol_not_nullable(self):
+        assert not sym("a").nullable()
+
+    def test_seq_nullable_iff_all(self):
+        assert seq(opt(sym("a")), star(sym("b"))).nullable()
+        assert not seq(sym("a"), star(sym("b"))).nullable()
+
+    def test_alt_nullable_iff_any(self):
+        assert alt(sym("a"), EPSILON).nullable()
+        assert not alt(sym("a"), sym("b")).nullable()
+
+    def test_star_always_nullable(self):
+        assert star(sym("a")).nullable()
+
+    def test_repeat_nullable(self):
+        assert repeat(sym("a"), 0, 3).nullable()
+        assert not repeat(sym("a"), 1, 3).nullable()
+        assert repeat(opt(sym("a")), 2, 3).nullable()
+
+
+class TestSymbols:
+    def test_symbols_collected(self):
+        expr = seq(sym("a"), alt(sym("b"), star(sym("c"))))
+        assert expr.symbols() == {"a", "b", "c"}
+
+    def test_epsilon_has_no_symbols(self):
+        assert EPSILON.symbols() == frozenset()
+
+
+class TestConstructors:
+    def test_seq_flattens(self):
+        expr = seq(sym("a"), seq(sym("b"), sym("c")))
+        assert isinstance(expr, Seq)
+        assert len(expr.parts) == 3
+
+    def test_seq_drops_epsilon(self):
+        assert seq(EPSILON, sym("a"), EPSILON) == sym("a")
+
+    def test_seq_of_nothing_is_epsilon(self):
+        assert seq() == EPSILON
+
+    def test_alt_flattens(self):
+        expr = alt(sym("a"), alt(sym("b"), sym("c")))
+        assert isinstance(expr, Alt)
+        assert len(expr.parts) == 3
+
+    def test_alt_single_collapses(self):
+        assert alt(sym("a")) == sym("a")
+
+    def test_alt_empty_rejected(self):
+        with pytest.raises(ValueError):
+            alt()
+
+    def test_star_idempotent(self):
+        inner = star(sym("a"))
+        assert star(inner) == inner
+
+    def test_star_of_epsilon_is_epsilon(self):
+        assert star(EPSILON) == EPSILON
+
+    def test_repeat_one_one_collapses(self):
+        assert repeat(sym("a"), 1, 1) == sym("a")
+
+    def test_repeat_validates_bounds(self):
+        with pytest.raises(ValueError):
+            Repeat(sym("a"), 3, 2)
+        with pytest.raises(ValueError):
+            Repeat(sym("a"), -1, None)
+
+    def test_symbol_requires_name(self):
+        with pytest.raises(ValueError):
+            Symbol("")
+
+
+class TestSourceRendering:
+    @pytest.mark.parametrize(
+        "expr, source",
+        [
+            (sym("a"), "a"),
+            (EPSILON, "()"),
+            (seq(sym("a"), sym("b")), "(a,b)"),
+            (alt(sym("a"), sym("b")), "(a|b)"),
+            (star(sym("a")), "a*"),
+            (opt(sym("a")), "a?"),
+            (plus(sym("a")), "a+"),
+            (repeat(sym("a"), 2, 5), "a{2,5}"),
+            (repeat(sym("a"), 2, None), "a{2,}"),
+            (star(seq(sym("a"), sym("b"))), "(a,b)*"),
+        ],
+    )
+    def test_to_source(self, expr, source):
+        assert expr.to_source() == source
+
+
+class TestEqualityHash:
+    def test_structural_equality(self):
+        assert seq(sym("a"), sym("b")) == seq(sym("a"), sym("b"))
+        assert alt(sym("a"), sym("b")) != alt(sym("b"), sym("a"))
+
+    def test_hash_consistent(self):
+        exprs = {seq(sym("a"), sym("b")), seq(sym("a"), sym("b"))}
+        assert len(exprs) == 1
+
+
+class TestNormalize:
+    def test_core_forms_unchanged(self):
+        expr = seq(sym("a"), star(alt(sym("b"), sym("c"))))
+        assert normalize(expr) == expr
+
+    def test_unbounded_repeat_lowered(self):
+        lowered = normalize(repeat(sym("a"), 2, None))
+        assert isinstance(lowered, Seq)
+        assert not any(isinstance(p, Repeat) for p in _walk(lowered))
+
+    def test_bounded_repeat_lowered(self):
+        lowered = normalize(repeat(sym("a"), 1, 3))
+        assert not any(isinstance(p, Repeat) for p in _walk(lowered))
+
+    def test_zero_zero_repeat_is_epsilon(self):
+        assert normalize(repeat(sym("a"), 0, 0)) == EPSILON
+
+    def test_expansion_guard(self):
+        import repro.remodel.ast as ast_module
+
+        huge = repeat(sym("a"), 0, ast_module.MAX_POSITIONS + 1)
+        with pytest.raises(ValueError, match="positions"):
+            normalize(huge)
+
+
+def _walk(expr):
+    yield expr
+    for part in getattr(expr, "parts", ()) or ():
+        yield from _walk(part)
+    child = getattr(expr, "child", None)
+    if child is not None:
+        yield from _walk(child)

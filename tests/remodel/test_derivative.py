@@ -1,0 +1,81 @@
+"""Tests for the Brzozowski-derivative matcher."""
+
+import pytest
+
+from repro.remodel.ast import EPSILON, alt, opt, plus, repeat, seq, star, sym
+from repro.remodel.derivative import NEVER, derivative, matches
+from repro.remodel.parser import parse_content_model as pcm
+
+
+class TestDerivative:
+    def test_symbol_hit_and_miss(self):
+        assert derivative(sym("a"), "a").nullable()
+        assert derivative(sym("a"), "b") is NEVER
+
+    def test_epsilon_has_no_derivative(self):
+        assert derivative(EPSILON, "a") is NEVER
+
+    def test_seq_skips_nullable_head(self):
+        expr = seq(opt(sym("a")), sym("b"))
+        assert derivative(expr, "b").nullable()
+
+    def test_star_unrolls(self):
+        expr = star(sym("a"))
+        after = derivative(expr, "a")
+        assert matches(after, ["a", "a"])
+        assert matches(after, [])
+
+
+class TestMatches:
+    @pytest.mark.parametrize(
+        "source, word, expected",
+        [
+            ("(a,b)", ["a", "b"], True),
+            ("(a,b)", ["a"], False),
+            ("(a|b)", ["b"], True),
+            ("(a|b)", ["a", "b"], False),
+            ("a*", [], True),
+            ("a*", ["a"] * 5, True),
+            ("a+", [], False),
+            ("a?", ["a", "a"], False),
+            ("(shipTo,billTo?,items)", ["shipTo", "items"], True),
+            ("(shipTo,billTo?,items)", ["shipTo", "billTo", "items"], True),
+            ("(shipTo,billTo?,items)", ["shipTo", "billTo"], False),
+            ("()", [], True),
+            ("()", ["a"], False),
+        ],
+    )
+    def test_membership(self, source, word, expected):
+        assert matches(pcm(source), word) == expected
+
+    @pytest.mark.parametrize("count, expected", [
+        (0, False), (1, False), (2, True), (3, True), (4, True), (5, False),
+    ])
+    def test_bounded_repeat(self, count, expected):
+        assert matches(repeat(sym("a"), 2, 4), ["a"] * count) == expected
+
+    def test_unbounded_repeat(self):
+        expr = repeat(sym("a"), 3, None)
+        assert not matches(expr, ["a"] * 2)
+        assert matches(expr, ["a"] * 3)
+        assert matches(expr, ["a"] * 10)
+
+    def test_repeat_of_nullable_child(self):
+        # (a?){2,3} accepts 0..3 a's: mandatory occurrences may be ε.
+        expr = repeat(opt(sym("a")), 2, 3)
+        for n in range(6):
+            assert matches(expr, ["a"] * n) == (n <= 3)
+
+    def test_repeat_of_group(self):
+        expr = repeat(seq(sym("a"), sym("b")), 1, 2)
+        assert matches(expr, ["a", "b"])
+        assert matches(expr, ["a", "b", "a", "b"])
+        assert not matches(expr, ["a", "b", "a"])
+
+    def test_unknown_symbol_rejects(self):
+        assert not matches(pcm("(a,b)"), ["a", "z"])
+
+    def test_plus_of_alt(self):
+        expr = plus(alt(sym("a"), sym("b")))
+        assert matches(expr, ["b", "a", "b"])
+        assert not matches(expr, [])

@@ -1,0 +1,141 @@
+"""Tests for the Glushkov construction and one-unambiguity checking."""
+
+import pytest
+
+from repro.errors import AmbiguousContentModelError
+from repro.remodel.ast import alt, opt, repeat, seq, star, sym, EPSILON
+from repro.remodel.glushkov import (
+    check_one_unambiguous,
+    compile_dfa,
+    glushkov_nfa,
+    linearize,
+)
+from repro.remodel.parser import parse_content_model as pcm
+
+
+class TestLinearize:
+    def test_positions_numbered_in_order(self):
+        info = linearize(seq(sym("a"), sym("b"), sym("a")))
+        assert info.symbol_at == {1: "a", 2: "b", 3: "a"}
+
+    def test_first_last_of_sequence(self):
+        info = linearize(seq(sym("a"), sym("b")))
+        assert info.first == {1}
+        assert info.last == {2}
+        assert info.follow[1] == {2}
+
+    def test_first_of_nullable_prefix(self):
+        info = linearize(seq(star(sym("a")), sym("b")))
+        assert info.first == {1, 2}
+
+    def test_star_follow_loops(self):
+        info = linearize(star(sym("a")))
+        assert info.follow[1] == {1}
+
+    def test_alt_unions(self):
+        info = linearize(alt(sym("a"), sym("b")))
+        assert info.first == {1, 2}
+        assert info.last == {1, 2}
+
+    def test_epsilon_nullable(self):
+        info = linearize(EPSILON)
+        assert info.nullable
+        assert info.first == frozenset()
+
+
+class TestOneUnambiguity:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(a,b)",
+            "(a|b)",
+            "(a,b?,c)",
+            "(a*,b)",
+            "(shipTo,billTo?,items)",
+            "(item*)",
+            "a{2,4}",
+            "(a|b){0,3}",
+        ],
+    )
+    def test_deterministic_models(self, source):
+        assert check_one_unambiguous(pcm(source)) is None
+
+    @pytest.mark.parametrize(
+        "source, symbol",
+        [
+            ("(a,b)|(a,c)", "a"),
+            ("(a?,a)", "a"),
+            ("(a*,a)", "a"),
+            ("((a,b)*,a)", "a"),
+        ],
+    )
+    def test_ambiguous_models(self, source, symbol):
+        assert check_one_unambiguous(pcm(source)) == symbol
+
+
+class TestGlushkovNFA:
+    def test_accepts_language(self):
+        nfa = glushkov_nfa(pcm("(a,(b|c)*,d?)"))
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["a", "b", "c", "d"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["a", "d", "b"])
+
+    def test_state_count_is_positions_plus_one(self):
+        nfa = glushkov_nfa(pcm("(a,b,a)"))
+        assert nfa.num_states == 4
+
+
+class TestCompileDFA:
+    def test_paper_content_model(self):
+        dfa = compile_dfa(pcm("(shipTo,billTo?,items)"))
+        assert dfa.accepts(["shipTo", "billTo", "items"])
+        assert dfa.accepts(["shipTo", "items"])
+        assert not dfa.accepts(["shipTo"])
+        assert not dfa.accepts(["billTo", "shipTo", "items"])
+
+    def test_empty_model_accepts_only_epsilon(self):
+        dfa = compile_dfa(EPSILON, frozenset({"a"}))
+        assert dfa.accepts([])
+        assert not dfa.accepts(["a"])
+
+    def test_superalphabet_completion(self):
+        dfa = compile_dfa(pcm("(a)"), frozenset({"a", "b"}))
+        assert dfa.alphabet == {"a", "b"}
+        assert not dfa.accepts(["b"])
+
+    def test_alphabet_must_cover_symbols(self):
+        with pytest.raises(ValueError):
+            compile_dfa(pcm("(a,b)"), frozenset({"a"}))
+
+    def test_strict_raises_on_ambiguity(self):
+        with pytest.raises(AmbiguousContentModelError) as info:
+            compile_dfa(pcm("(a,b)|(a,c)"), strict=True)
+        assert info.value.symbol == "a"
+
+    def test_lenient_falls_back_to_subset_construction(self):
+        dfa = compile_dfa(pcm("(a,b)|(a,c)"))
+        assert dfa.accepts(["a", "b"])
+        assert dfa.accepts(["a", "c"])
+        assert not dfa.accepts(["a"])
+
+    def test_bounded_repeat(self):
+        dfa = compile_dfa(pcm("a{2,4}"))
+        for n in range(7):
+            assert dfa.accepts(["a"] * n) == (2 <= n <= 4)
+
+    def test_unbounded_repeat(self):
+        dfa = compile_dfa(pcm("a{3,}"))
+        for n in range(7):
+            assert dfa.accepts(["a"] * n) == (n >= 3)
+
+    def test_result_is_minimal(self):
+        # (a|b)* over {a,b} is the 1-state universal automaton.
+        dfa = compile_dfa(pcm("(a|b)*"))
+        assert dfa.num_states == 1
+
+    def test_nested_optionality(self):
+        dfa = compile_dfa(pcm("(a?,b?,c?)"))
+        assert dfa.accepts([])
+        assert dfa.accepts(["a", "c"])
+        assert not dfa.accepts(["c", "a"])

@@ -1,0 +1,129 @@
+"""Tests for the content-model expression parser."""
+
+import pytest
+
+from repro.errors import ContentModelSyntaxError
+from repro.remodel.ast import (
+    EPSILON,
+    alt,
+    opt,
+    plus,
+    repeat,
+    seq,
+    star,
+    sym,
+)
+from repro.remodel.parser import parse_content_model as pcm
+
+
+class TestAtoms:
+    def test_bare_name(self):
+        assert pcm("shipTo") == sym("shipTo")
+
+    def test_parenthesized_name(self):
+        assert pcm("(shipTo)") == sym("shipTo")
+
+    def test_empty_group_is_epsilon(self):
+        assert pcm("()") == EPSILON
+
+    def test_pcdata_token_accepted(self):
+        assert pcm("(#PCDATA)") == sym("#PCDATA")
+
+
+class TestOperators:
+    def test_sequence(self):
+        assert pcm("(a,b,c)") == seq(sym("a"), sym("b"), sym("c"))
+
+    def test_choice(self):
+        assert pcm("(a|b|c)") == alt(sym("a"), sym("b"), sym("c"))
+
+    def test_choice_binds_looser_than_sequence(self):
+        assert pcm("a,b|c,d") == alt(
+            seq(sym("a"), sym("b")), seq(sym("c"), sym("d"))
+        )
+
+    def test_postfix_operators(self):
+        assert pcm("a?") == opt(sym("a"))
+        assert pcm("a*") == star(sym("a"))
+        assert pcm("a+") == plus(sym("a"))
+
+    def test_postfix_on_groups(self):
+        assert pcm("(a,b)*") == star(seq(sym("a"), sym("b")))
+        assert pcm("(a|b)?") == opt(alt(sym("a"), sym("b")))
+
+    def test_stacked_postfix(self):
+        assert pcm("a?*") == star(opt(sym("a")))
+
+    def test_paper_example(self):
+        assert pcm("(shipTo,billTo?,items)") == seq(
+            sym("shipTo"), opt(sym("billTo")), sym("items")
+        )
+
+
+class TestBounds:
+    def test_exact_count(self):
+        assert pcm("a{3}") == repeat(sym("a"), 3, 3)
+
+    def test_range(self):
+        assert pcm("a{2,5}") == repeat(sym("a"), 2, 5)
+
+    def test_open_range(self):
+        assert pcm("a{2,}") == repeat(sym("a"), 2, None)
+
+    def test_whitespace_inside_bounds(self):
+        assert pcm("a{ 2 , 5 }") == repeat(sym("a"), 2, 5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ContentModelSyntaxError):
+            pcm("a{5,2}")
+
+
+class TestWhitespaceAndErrors:
+    def test_whitespace_tolerated(self):
+        assert pcm(" ( a , b ) ") == seq(sym("a"), sym("b"))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ContentModelSyntaxError, match="trailing"):
+            pcm("(a,b))")
+
+    def test_unclosed_group(self):
+        with pytest.raises(ContentModelSyntaxError):
+            pcm("(a,b")
+
+    def test_missing_operand(self):
+        with pytest.raises(ContentModelSyntaxError):
+            pcm("a,,b")
+
+    def test_empty_input(self):
+        with pytest.raises(ContentModelSyntaxError):
+            pcm("")
+
+    def test_error_carries_position(self):
+        try:
+            pcm("(a,?)")
+        except ContentModelSyntaxError as error:
+            assert error.position >= 0
+        else:
+            pytest.fail("expected ContentModelSyntaxError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "(a,b)",
+            "(a|b)",
+            "(shipTo,billTo?,items)",
+            "(a,(b|c)*,d?)",
+            "a{2,5}",
+            "(item{0,})",
+            "((a,b)|(c,d))+",
+        ],
+    )
+    def test_parse_render_parse(self, source):
+        # Rendering is a fixpoint: Repeat(0,None) renders as `*`, which
+        # reparses as Star — same language, same rendering, different
+        # node — so the invariant is on the rendered form.
+        once = pcm(source)
+        again = pcm(once.to_source())
+        assert again.to_source() == once.to_source()

@@ -1,0 +1,100 @@
+"""Property-based cross-checks between the three regex engines.
+
+The compiled DFA (Glushkov or subset construction), the Brzozowski
+derivative matcher, and — where used — the Glushkov NFA must agree on
+membership for arbitrary expressions and words.  This is the central
+correctness net under every content-model check in the system.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.remodel.ast import (
+    EPSILON,
+    Regex,
+    alt,
+    normalize,
+    repeat,
+    seq,
+    star,
+    sym,
+)
+from repro.remodel.derivative import matches
+from repro.remodel.glushkov import compile_dfa, glushkov_nfa
+from repro.remodel.toregex import dfa_to_regex
+
+ALPHABET = ["a", "b", "c"]
+
+symbols = st.sampled_from(ALPHABET).map(sym)
+
+
+def regexes(depth: int = 3) -> st.SearchStrategy[Regex]:
+    base = st.one_of(symbols, st.just(EPSILON))
+    if depth == 0:
+        return base
+    sub = regexes(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, sub).map(lambda pair: seq(*pair)),
+        st.tuples(sub, sub).map(lambda pair: alt(*pair)),
+        sub.map(star),
+        st.tuples(
+            sub,
+            st.integers(0, 2),
+            st.one_of(st.none(), st.integers(0, 3)),
+        ).map(
+            lambda triple: repeat(
+                triple[0],
+                min(triple[1], triple[2]) if triple[2] is not None else triple[1],
+                triple[2],
+            )
+        ),
+    )
+
+
+words = st.lists(st.sampled_from(ALPHABET), max_size=6)
+
+
+@given(regexes(), words)
+@settings(max_examples=300, deadline=None)
+def test_dfa_agrees_with_derivatives(expr, word):
+    dfa = compile_dfa(expr, frozenset(ALPHABET))
+    assert dfa.accepts(word) == matches(expr, word)
+
+
+@given(regexes(), words)
+@settings(max_examples=150, deadline=None)
+def test_glushkov_nfa_agrees_with_derivatives(expr, word):
+    nfa = glushkov_nfa(expr)
+    # The NFA's alphabet may be a subset; out-of-alphabet words reject.
+    assert nfa.accepts(word) == matches(expr, word)
+
+
+@given(regexes(depth=2))
+@settings(max_examples=100, deadline=None)
+def test_normalize_preserves_language(expr):
+    lowered = normalize(expr)
+    for length in range(4):
+        for word in itertools.product(ALPHABET, repeat=length):
+            assert matches(expr, word) == matches(lowered, word)
+
+
+@given(regexes(depth=2))
+@settings(max_examples=60, deadline=None)
+def test_dfa_to_regex_roundtrip(expr):
+    dfa = compile_dfa(expr, frozenset(ALPHABET))
+    back = dfa_to_regex(dfa)
+    if back is None:
+        assert dfa.is_empty()
+        return
+    recompiled = compile_dfa(back, frozenset(ALPHABET))
+    assert recompiled.equivalent(dfa)
+
+
+@given(regexes(depth=2), words)
+@settings(max_examples=100, deadline=None)
+def test_minimized_dfa_preserves_membership(expr, word):
+    dfa = compile_dfa(expr, frozenset(ALPHABET))
+    assert dfa.minimize().accepts(word) == dfa.accepts(word)

@@ -1,0 +1,72 @@
+"""Tests for DFA → regex extraction and language restriction."""
+
+import itertools
+
+from repro.automata.dfa import DFA
+from repro.remodel.derivative import matches
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model as pcm
+from repro.remodel.toregex import dfa_to_regex, restrict_language
+
+
+def _language(dfa, alphabet, max_len=5):
+    return {
+        word
+        for length in range(max_len + 1)
+        for word in itertools.product(sorted(alphabet), repeat=length)
+        if dfa.accepts(word)
+    }
+
+
+class TestDfaToRegex:
+    def test_empty_language_is_none(self):
+        dfa = DFA.empty_language({"a"})
+        assert dfa_to_regex(dfa) is None
+
+    def test_epsilon_language(self):
+        expr = dfa_to_regex(DFA.epsilon_language({"a"}))
+        assert expr is not None
+        assert matches(expr, [])
+        assert not matches(expr, ["a"])
+
+    def test_universal_language(self):
+        expr = dfa_to_regex(DFA.universal_language({"a", "b"}))
+        assert expr is not None
+        for word in (["a"], [], ["b", "a", "b"]):
+            assert matches(expr, word)
+
+    def test_roundtrip_examples(self):
+        for source in ["(a,b)", "(a|b)*,c", "(a?,b+)", "a{2,3}"]:
+            dfa = compile_dfa(pcm(source), frozenset({"a", "b", "c"}))
+            expr = dfa_to_regex(dfa)
+            assert expr is not None
+            recompiled = compile_dfa(expr, frozenset({"a", "b", "c"}))
+            assert recompiled.equivalent(dfa), source
+
+
+class TestRestrictLanguage:
+    def test_restriction_filters_symbols(self):
+        dfa = compile_dfa(pcm("(a|b)*"), frozenset({"a", "b"}))
+        only_a = restrict_language(dfa, frozenset({"a"}))
+        assert only_a.accepts(["a", "a"])
+        assert not only_a.accepts(["a", "b"])
+
+    def test_restriction_to_nothing(self):
+        dfa = compile_dfa(pcm("(a,b)"), frozenset({"a", "b"}))
+        nothing = restrict_language(dfa, frozenset())
+        assert nothing.is_empty()
+
+    def test_restriction_keeps_epsilon(self):
+        dfa = compile_dfa(pcm("a*"), frozenset({"a"}))
+        restricted = restrict_language(dfa, frozenset())
+        assert restricted.accepts([])
+
+    def test_restriction_equals_intersection_semantics(self):
+        dfa = compile_dfa(pcm("(a,(b|c)*)"), frozenset({"a", "b", "c"}))
+        restricted = restrict_language(dfa, frozenset({"a", "b"}))
+        expected = {
+            word
+            for word in _language(dfa, {"a", "b", "c"})
+            if all(symbol in {"a", "b"} for symbol in word)
+        }
+        assert _language(restricted, {"a", "b", "c"}) == expected

@@ -1,0 +1,189 @@
+"""Tests for the R_nondis fixpoint (Definition 5, Theorem 2)."""
+
+from repro.schema.disjoint import compute_disjoint, compute_nondisjoint
+from repro.schema.model import Schema, complex_type
+from repro.schema.simple import builtin, restrict
+
+
+class TestSimpleBootstrap:
+    def test_overlapping_simple_types_nondisjoint(self):
+        left = Schema({"A": builtin("integer")}, {"a": "A"})
+        right = Schema({"B": builtin("decimal")}, {"a": "B"})
+        assert ("A", "B") in compute_nondisjoint(left, right)
+
+    def test_disjoint_simple_types(self):
+        left = Schema({"A": builtin("date")}, {"a": "A"})
+        right = Schema({"B": builtin("integer")}, {"a": "B"})
+        assert ("A", "B") in compute_disjoint(left, right)
+
+    def test_disjoint_ranges(self):
+        low = Schema(
+            {"A": restrict(builtin("integer"), "A", max_inclusive=5)},
+            {"a": "A"},
+        )
+        high = Schema(
+            {"B": restrict(builtin("integer"), "B", min_inclusive=10)},
+            {"a": "B"},
+        )
+        assert ("A", "B") in compute_disjoint(low, high)
+
+
+class TestSimpleComplexKinds:
+    def test_empty_element_shared_when_both_nullable(self):
+        # <e/> satisfies both xsd:string (text "") and an empty content
+        # model — the deliberate deviation from the paper's tree model.
+        left = Schema({"S": builtin("string")}, {"x": "S"})
+        right = Schema({"C": complex_type("C", "()", {})}, {"x": "C"})
+        assert ("S", "C") in compute_nondisjoint(left, right)
+
+    def test_disjoint_when_simple_rejects_empty(self):
+        left = Schema({"S": builtin("integer")}, {"x": "S"})
+        right = Schema({"C": complex_type("C", "()", {})}, {"x": "C"})
+        assert ("S", "C") in compute_disjoint(left, right)
+
+    def test_disjoint_when_complex_not_nullable(self):
+        left = Schema({"S": builtin("string")}, {"x": "S"})
+        right = Schema(
+            {
+                "C": complex_type("C", "(a)", {"a": "T"}),
+                "T": builtin("string"),
+            },
+            {"x": "C"},
+        )
+        assert ("S", "C") in compute_disjoint(left, right)
+        assert ("S", "T") not in compute_disjoint(left, right)
+
+
+class TestComplexGrowth:
+    def test_shared_empty_content_nondisjoint(self):
+        left = Schema({"C": complex_type("C", "(a?)", {"a": "C"})}, {"c": "C"})
+        right = Schema({"D": complex_type("D", "(b?)", {"b": "D"})}, {"c": "D"})
+        # Both accept the childless tree.
+        assert ("C", "D") in compute_nondisjoint(left, right)
+
+    def test_content_languages_disjoint(self):
+        left = Schema(
+            {
+                "C": complex_type("C", "(a,a)", {"a": "S"}),
+                "S": builtin("string"),
+            },
+            {"c": "C"},
+        )
+        right = Schema(
+            {
+                "D": complex_type("D", "(a,a,a)", {"a": "S"}),
+                "S": builtin("string"),
+            },
+            {"c": "D"},
+        )
+        assert ("C", "D") in compute_disjoint(left, right)
+
+    def test_overlap_blocked_by_disjoint_children(self):
+        # Content models overlap on "a", but the a-children's types are
+        # disjoint, so no shared tree exists.
+        left = Schema(
+            {
+                "C": complex_type("C", "(a)", {"a": "Date"}),
+                "Date": builtin("date"),
+            },
+            {"c": "C"},
+        )
+        right = Schema(
+            {
+                "D": complex_type("D", "(a)", {"a": "Int"}),
+                "Int": builtin("integer"),
+            },
+            {"c": "D"},
+        )
+        assert ("C", "D") in compute_disjoint(left, right)
+
+    def test_overlap_through_one_branch(self):
+        # Shared trees exist only via the b-branch.
+        left = Schema(
+            {
+                "C": complex_type("C", "(a|b)", {"a": "Date", "b": "Str"}),
+                "Date": builtin("date"),
+                "Str": builtin("string"),
+            },
+            {"c": "C"},
+        )
+        right = Schema(
+            {
+                "D": complex_type("D", "(a|b)", {"a": "Int", "b": "Str"}),
+                "Int": builtin("integer"),
+                "Str": builtin("string"),
+            },
+            {"c": "D"},
+        )
+        relation = compute_nondisjoint(left, right)
+        assert ("C", "D") in relation
+        assert ("Date", "Int") not in relation
+
+    def test_fixpoint_grows_through_recursion(self):
+        # Recursive lists over overlapping leaf types share trees.
+        def list_schema(leaf):
+            return Schema(
+                {
+                    "L": complex_type("L", "(v,next?)", {
+                        "v": "V", "next": "L",
+                    }),
+                    "V": leaf,
+                },
+                {"l": "L"},
+            )
+
+        ints = list_schema(builtin("integer"))
+        decimals = list_schema(builtin("decimal"))
+        assert ("L", "L") in compute_nondisjoint(ints, decimals)
+        dates = list_schema(builtin("date"))
+        assert ("L", "L") in compute_disjoint(ints, dates)
+
+    def test_complement_relation(self):
+        left = Schema(
+            {"A": builtin("integer"), "B": builtin("date")}, {"a": "A"}
+        )
+        right = Schema(
+            {"C": builtin("decimal"), "D": builtin("string")}, {"a": "C"}
+        )
+        nondisjoint = compute_nondisjoint(left, right)
+        disjoint = compute_disjoint(left, right)
+        assert nondisjoint | disjoint == {
+            (x, y) for x in ("A", "B") for y in ("C", "D")
+        }
+        assert not (nondisjoint & disjoint)
+
+
+class TestSampledSoundness:
+    def test_disjoint_pairs_share_no_sampled_tree(self):
+        """Theorem 2 soundness: a sampled valid tree of τ must *not*
+        validate under τ' when (τ, τ') is reported disjoint."""
+        import random
+
+        from repro.core.validator import validate_element
+        from repro.workloads.generators import (
+            random_schema,
+            sample_valid_tree,
+        )
+
+        rng = random.Random(2024)
+        checked = 0
+        for _ in range(12):
+            try:
+                source = random_schema(rng)
+                target = random_schema(rng)
+            except Exception:
+                continue
+            disjoint = compute_disjoint(source, target)
+            for tau, tau_p in sorted(disjoint):
+                for _ in range(3):
+                    try:
+                        tree = sample_valid_tree(
+                            rng, source, tau, "probe", max_depth=6
+                        )
+                    except Exception:
+                        continue
+                    assert not validate_element(target, tau_p, tree).valid, (
+                        tau, tau_p,
+                    )
+                    checked += 1
+        assert checked > 10

@@ -1,0 +1,162 @@
+"""Tests for the DTD front-end."""
+
+import pytest
+
+from repro.errors import DTDSyntaxError, UnsupportedFeatureError
+from repro.schema.dtd import dtd_schema, is_dtd_schema, label_type, parse_dtd
+from repro.schema.model import ComplexType, Schema, complex_type
+from repro.schema.simple import builtin
+
+
+class TestParseDtd:
+    def test_paper_style_declarations(self):
+        schema = parse_dtd(
+            """
+            <!ELEMENT purchaseOrder (shipTo, billTo?, items)>
+            <!ELEMENT shipTo (#PCDATA)>
+            <!ELEMENT billTo (#PCDATA)>
+            <!ELEMENT items (item*)>
+            <!ELEMENT item (#PCDATA)>
+            """,
+            roots=["purchaseOrder"],
+        )
+        assert set(schema.roots) == {"purchaseOrder"}
+        po = schema.type("purchaseOrder")
+        assert isinstance(po, ComplexType)
+        assert po.content.to_source() == "(shipTo,billTo?,items)"
+
+    def test_empty_content(self):
+        schema = parse_dtd("<!ELEMENT br EMPTY>")
+        dfa = schema.content_dfa("br")
+        assert dfa.accepts([])
+
+    def test_any_content(self):
+        schema = parse_dtd(
+            "<!ELEMENT a ANY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+        )
+        dfa = schema.content_dfa("a")
+        assert dfa.accepts(["b", "c", "a", "b"])
+        assert dfa.accepts([])
+
+    def test_pcdata_becomes_simple_type(self):
+        schema = parse_dtd("<!ELEMENT t (#PCDATA)>")
+        from repro.schema.model import is_simple
+
+        assert is_simple(schema.type("t"))
+
+    def test_mixed_content_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError, match="mixed content"):
+            parse_dtd(
+                "<!ELEMENT t (#PCDATA|b)*><!ELEMENT b EMPTY>"
+            )
+
+    def test_comments_and_pis_skipped(self):
+        schema = parse_dtd(
+            "<!-- a comment --><?pi stuff?><!ELEMENT a EMPTY>"
+        )
+        assert "a" in schema.types
+
+    def test_attlist_parsed_but_ignored(self):
+        schema = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a id ID #REQUIRED>"
+        )
+        assert "a" in schema.types
+
+    def test_entity_and_notation_skipped(self):
+        schema = parse_dtd(
+            '<!ENTITY x "y"><!NOTATION n SYSTEM "z"><!ELEMENT a EMPTY>'
+        )
+        assert "a" in schema.types
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DTDSyntaxError, match="duplicate"):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>")
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(DTDSyntaxError, match="undeclared"):
+            parse_dtd("<!ELEMENT a (ghost)>")
+
+    def test_unknown_roots_rejected(self):
+        with pytest.raises(DTDSyntaxError, match="not declared"):
+            parse_dtd("<!ELEMENT a EMPTY>", roots=["missing"])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DTDSyntaxError, match="unexpected DTD content"):
+            parse_dtd("<!ELEMENT a EMPTY> stray text")
+
+    def test_default_roots_are_all_elements(self):
+        schema = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        assert set(schema.roots) == {"a", "b"}
+
+    def test_doctype_internal_subset_flow(self):
+        """The parser output of a DOCTYPE subset feeds parse_dtd."""
+        from repro.xmltree.parser import parse
+
+        doc = parse(
+            "<!DOCTYPE a [<!ELEMENT a (b*)><!ELEMENT b (#PCDATA)>]>"
+            "<a><b>x</b></a>"
+        )
+        schema = parse_dtd(doc.internal_subset, roots=[doc.doctype_name])
+        from repro.core.validator import validate_document
+
+        assert validate_document(schema, doc).valid
+
+
+class TestIsDtdSchema:
+    def test_dtd_built_schema_is_dtd(self):
+        assert is_dtd_schema(parse_dtd("<!ELEMENT a (b*)><!ELEMENT b EMPTY>"))
+
+    def test_context_dependent_types_are_not_dtd(self):
+        schema = Schema(
+            {
+                "T1": complex_type("T1", "(x)", {"x": "A"}),
+                "T2": complex_type("T2", "(x)", {"x": "B"}),
+                "A": builtin("string"),
+                "B": builtin("integer"),
+            },
+            {"t1": "T1", "t2": "T2"},
+        )
+        assert not is_dtd_schema(schema)
+
+    def test_root_conflict_detected(self):
+        schema = Schema(
+            {
+                "T": complex_type("T", "(x)", {"x": "A"}),
+                "A": builtin("string"),
+                "B": builtin("integer"),
+            },
+            {"t": "T", "x": "B"},  # x has type A as child, B as root
+        )
+        assert not is_dtd_schema(schema)
+
+
+class TestLabelType:
+    def test_lookup_through_roots_and_content(self):
+        schema = parse_dtd(
+            "<!ELEMENT a (b)><!ELEMENT b EMPTY>", roots=["a"]
+        )
+        assert label_type(schema, "a") == "a"
+        assert label_type(schema, "b") == "b"
+        assert label_type(schema, "zzz") is None
+
+
+class TestDtdSchemaBuilder:
+    def test_regex_values_accepted(self):
+        from repro.remodel.parser import parse_content_model
+
+        schema = dtd_schema(
+            {"a": parse_content_model("(b+)"), "b": "EMPTY"}
+        )
+        assert schema.content_dfa("a").accepts(["b", "b"])
+
+    def test_validation_end_to_end(self):
+        from repro.core.validator import validate_document
+        from repro.xmltree.parser import parse
+
+        schema = dtd_schema(
+            {"list": "(item*)", "item": "(#PCDATA)"}, roots=["list"]
+        )
+        good = parse("<list><item>1</item><item>2</item></list>")
+        bad = parse("<list><wrong/></list>")
+        assert validate_document(schema, good).valid
+        assert not validate_document(schema, bad).valid

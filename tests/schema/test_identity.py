@@ -1,0 +1,273 @@
+"""Tests for identity constraints (key/unique/keyref) — the paper's
+Section 7 future-work extension."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.identity import (
+    check_identity,
+    constraint,
+    parse_field,
+    parse_selector,
+)
+from repro.schema.xsd import parse_xsd
+from repro.xmltree.parser import parse
+
+
+class TestSelectorParsing:
+    def test_single_step(self):
+        selector = parse_selector("item")
+        doc = parse("<r><item/><other/><item/></r>")
+        assert len(list(selector.select(doc.root))) == 2
+
+    def test_multi_step_path(self):
+        selector = parse_selector("./items/item")
+        doc = parse("<r><items><item/><item/></items><item/></r>")
+        assert len(list(selector.select(doc.root))) == 2
+
+    def test_descendant_prefix(self):
+        selector = parse_selector(".//item")
+        doc = parse("<r><item/><box><item/><deep><item/></deep></box></r>")
+        assert len(list(selector.select(doc.root))) == 3
+
+    def test_wildcard_step(self):
+        selector = parse_selector("*/entry")
+        doc = parse("<r><a><entry/></a><b><entry/></b><entry/></r>")
+        assert len(list(selector.select(doc.root))) == 2
+
+    def test_union(self):
+        selector = parse_selector("a | b")
+        doc = parse("<r><a/><b/><c/></r>")
+        assert {e.label for e in selector.select(doc.root)} == {"a", "b"}
+
+    def test_no_duplicates_across_branches(self):
+        selector = parse_selector("a | *")
+        doc = parse("<r><a/><b/></r>")
+        assert len(list(selector.select(doc.root))) == 2
+
+    def test_attribute_step_rejected(self):
+        with pytest.raises(SchemaError, match="attributes"):
+            parse_selector("item/@id")
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_selector("a | ")
+
+    def test_self_only_rejected(self):
+        with pytest.raises(SchemaError, match="context node"):
+            parse_selector(".")
+
+
+class TestFieldParsing:
+    def test_child_text_field(self):
+        field = parse_field("price")
+        node = parse("<item><price>5</price></item>").root
+        assert field.evaluate(node) == "5"
+
+    def test_attribute_field(self):
+        field = parse_field("@id")
+        node = parse('<item id="x7"/>').root
+        assert field.evaluate(node) == "x7"
+
+    def test_self_field(self):
+        field = parse_field(".")
+        node = parse("<code>ABC</code>").root
+        assert field.evaluate(node) == "ABC"
+
+    def test_path_with_attribute(self):
+        field = parse_field("meta/@ref")
+        node = parse('<item><meta ref="r1"/></item>').root
+        assert field.evaluate(node) == "r1"
+
+    def test_absent_field_is_none(self):
+        field = parse_field("price")
+        assert field.evaluate(parse("<item/>").root) is None
+        attr = parse_field("@id")
+        assert attr.evaluate(parse("<item/>").root) is None
+
+    def test_multiple_matches_rejected(self):
+        field = parse_field("price")
+        node = parse("<item><price>1</price><price>2</price></item>").root
+        with pytest.raises(SchemaError, match="unique"):
+            field.evaluate(node)
+
+
+class TestKeyAndUnique:
+    def index(self, kind="key", fields=("@id",)):
+        return {
+            "catalog": [
+                constraint("pk", kind, "item", list(fields)),
+            ]
+        }
+
+    def test_distinct_keys_pass(self):
+        doc = parse('<catalog><item id="1"/><item id="2"/></catalog>')
+        assert check_identity(self.index(), doc).valid
+
+    def test_duplicate_keys_fail(self):
+        doc = parse('<catalog><item id="1"/><item id="1"/></catalog>')
+        report = check_identity(self.index(), doc)
+        assert not report.valid
+        assert "duplicate" in report.reason
+
+    def test_missing_key_field_fails(self):
+        doc = parse('<catalog><item id="1"/><item/></catalog>')
+        report = check_identity(self.index("key"), doc)
+        assert not report.valid
+        assert "missing field" in report.reason
+
+    def test_missing_unique_field_exempt(self):
+        doc = parse('<catalog><item id="1"/><item/><item/></catalog>')
+        assert check_identity(self.index("unique"), doc).valid
+
+    def test_composite_key(self):
+        index = {
+            "catalog": [
+                constraint("pk", "key", "item", ["@row", "@col"]),
+            ]
+        }
+        ok = parse(
+            '<catalog><item row="1" col="1"/><item row="1" col="2"/>'
+            "</catalog>"
+        )
+        dup = parse(
+            '<catalog><item row="1" col="1"/><item row="1" col="1"/>'
+            "</catalog>"
+        )
+        assert check_identity(index, ok).valid
+        assert not check_identity(index, dup).valid
+
+    def test_scope_is_per_declaring_instance(self):
+        # The same id in *different* catalogs is fine.
+        doc = parse(
+            "<root>"
+            '<catalog><item id="1"/></catalog>'
+            '<catalog><item id="1"/></catalog>'
+            "</root>"
+        )
+        assert check_identity(self.index(), doc).valid
+
+
+class TestKeyref:
+    def index(self):
+        return {
+            "order": [
+                constraint("productKey", "key", "products/product",
+                           ["@sku"]),
+                constraint("lineRef", "keyref", "lines/line", ["@product"],
+                           refer="productKey"),
+            ]
+        }
+
+    def test_resolving_references_pass(self):
+        doc = parse(
+            "<order>"
+            '<products><product sku="A"/><product sku="B"/></products>'
+            '<lines><line product="A"/><line product="B"/></lines>'
+            "</order>"
+        )
+        assert check_identity(self.index(), doc).valid
+
+    def test_dangling_reference_fails(self):
+        doc = parse(
+            "<order>"
+            '<products><product sku="A"/></products>'
+            '<lines><line product="Z"/></lines>'
+            "</order>"
+        )
+        report = check_identity(self.index(), doc)
+        assert not report.valid
+        assert "does not match any" in report.reason
+
+    def test_unknown_refer_fails(self):
+        index = {
+            "order": [
+                constraint("ref", "keyref", "line", ["@p"],
+                           refer="nothing"),
+            ]
+        }
+        doc = parse('<order><line p="1"/></order>')
+        report = check_identity(index, doc)
+        assert not report.valid
+        assert "unknown" in report.reason
+
+    def test_absent_reference_field_exempt(self):
+        doc = parse(
+            "<order>"
+            '<products><product sku="A"/></products>'
+            "<lines><line/></lines>"
+            "</order>"
+        )
+        assert check_identity(self.index(), doc).valid
+
+
+class TestConstraintValidation:
+    def test_keyref_requires_refer(self):
+        with pytest.raises(SchemaError, match="refer"):
+            constraint("r", "keyref", "a", ["@x"])
+
+    def test_unknown_kind(self):
+        with pytest.raises(SchemaError, match="kind"):
+            constraint("r", "primary", "a", ["@x"])
+
+    def test_fields_required(self):
+        with pytest.raises(SchemaError, match="field"):
+            constraint("r", "key", "a", [])
+
+
+class TestXsdIntegration:
+    SCHEMA = """
+    <xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+      <xsd:element name="order" type="Order">
+        <xsd:key name="productKey">
+          <xsd:selector xpath="products/product"/>
+          <xsd:field xpath="@sku"/>
+        </xsd:key>
+        <xsd:keyref name="lineRef" refer="productKey">
+          <xsd:selector xpath="lines/line"/>
+          <xsd:field xpath="@product"/>
+        </xsd:keyref>
+      </xsd:element>
+      <xsd:complexType name="Order"><xsd:sequence>
+        <xsd:element name="products" type="Products"/>
+        <xsd:element name="lines" type="Lines"/>
+      </xsd:sequence></xsd:complexType>
+      <xsd:complexType name="Products"><xsd:sequence>
+        <xsd:element name="product" type="xsd:string"
+                     minOccurs="0" maxOccurs="unbounded"/>
+      </xsd:sequence></xsd:complexType>
+      <xsd:complexType name="Lines"><xsd:sequence>
+        <xsd:element name="line" type="xsd:string"
+                     minOccurs="0" maxOccurs="unbounded"/>
+      </xsd:sequence></xsd:complexType>
+    </xsd:schema>
+    """
+
+    def test_constraints_parsed_from_xsd(self):
+        schema = parse_xsd(self.SCHEMA)
+        assert "order" in schema.identity
+        kinds = sorted(c.kind for c in schema.identity["order"])
+        assert kinds == ["key", "keyref"]
+
+    def test_end_to_end_check(self):
+        schema = parse_xsd(self.SCHEMA)
+        good = parse(
+            "<order>"
+            '<products><product sku="A"/></products>'
+            '<lines><line product="A"/></lines>'
+            "</order>"
+        )
+        bad = parse(
+            "<order>"
+            '<products><product sku="A"/></products>'
+            '<lines><line product="X"/></lines>'
+            "</order>"
+        )
+        assert check_identity(schema.identity, good).valid
+        assert not check_identity(schema.identity, bad).valid
+
+    def test_identity_survives_pruning(self):
+        from repro.schema.productive import prune_nonproductive
+
+        schema = parse_xsd(self.SCHEMA)
+        assert prune_nonproductive(schema).identity == schema.identity

@@ -1,0 +1,164 @@
+"""Tests for productivity analysis and pruning (Section 3)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.model import Schema, complex_type
+from repro.schema.productive import (
+    is_fully_productive,
+    productive_types,
+    prune_nonproductive,
+)
+from repro.schema.simple import builtin
+
+
+def schema_with(types, roots):
+    return Schema(types, roots)
+
+
+class TestProductiveTypes:
+    def test_simple_types_always_productive(self):
+        schema = schema_with({"S": builtin("string")}, {"s": "S"})
+        assert productive_types(schema) == {"S"}
+
+    def test_empty_content_model_productive(self):
+        schema = schema_with(
+            {"T": complex_type("T", "()", {})}, {"t": "T"}
+        )
+        assert productive_types(schema) == {"T"}
+
+    def test_self_recursive_required_child_unproductive(self):
+        # T requires a child of type T forever: no finite tree exists.
+        schema = schema_with(
+            {"T": complex_type("T", "(t)", {"t": "T"})}, {"t": "T"}
+        )
+        assert productive_types(schema) == frozenset()
+
+    def test_recursion_with_escape_productive(self):
+        # T = (t?) can bottom out with no children.
+        schema = schema_with(
+            {"T": complex_type("T", "(t?)", {"t": "T"})}, {"t": "T"}
+        )
+        assert productive_types(schema) == {"T"}
+
+    def test_mutual_recursion_unproductive(self):
+        schema = schema_with(
+            {
+                "A": complex_type("A", "(b)", {"b": "B"}),
+                "B": complex_type("B", "(a)", {"a": "A"}),
+            },
+            {"a": "A"},
+        )
+        assert productive_types(schema) == frozenset()
+
+    def test_choice_with_productive_branch(self):
+        schema = schema_with(
+            {
+                "T": complex_type("T", "(bad|good)", {
+                    "bad": "Dead", "good": "S",
+                }),
+                "Dead": complex_type("Dead", "(bad)", {"bad": "Dead"}),
+                "S": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        assert productive_types(schema) == {"T", "S"}
+
+    def test_chain_marks_bottom_up(self):
+        schema = schema_with(
+            {
+                "A": complex_type("A", "(b)", {"b": "B"}),
+                "B": complex_type("B", "(c)", {"c": "C"}),
+                "C": builtin("integer"),
+            },
+            {"a": "A"},
+        )
+        assert productive_types(schema) == {"A", "B", "C"}
+
+    def test_is_fully_productive(self):
+        good = schema_with({"S": builtin("string")}, {"s": "S"})
+        assert is_fully_productive(good)
+        bad = schema_with(
+            {"T": complex_type("T", "(t)", {"t": "T"})}, {"t": "T"}
+        )
+        assert not is_fully_productive(bad)
+
+
+class TestPrune:
+    def test_fully_productive_schema_returned_unchanged(self):
+        schema = schema_with({"S": builtin("string")}, {"s": "S"})
+        assert prune_nonproductive(schema) is schema
+
+    def test_dead_branch_removed_from_content_model(self):
+        schema = schema_with(
+            {
+                "T": complex_type("T", "(bad|good)", {
+                    "bad": "Dead", "good": "S",
+                }),
+                "Dead": complex_type("Dead", "(bad)", {"bad": "Dead"}),
+                "S": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        pruned = prune_nonproductive(schema)
+        assert set(pruned.types) == {"T", "S"}
+        declaration = pruned.type("T")
+        assert declaration.content.symbols() == {"good"}
+        dfa = pruned.content_dfa("T")
+        assert dfa.accepts(["good"])
+        assert not dfa.accepts(["bad"])
+
+    def test_optional_dead_child_pruned_to_epsilon(self):
+        schema = schema_with(
+            {
+                "T": complex_type("T", "(bad?)", {"bad": "Dead"}),
+                "Dead": complex_type("Dead", "(bad)", {"bad": "Dead"}),
+            },
+            {"t": "T"},
+        )
+        pruned = prune_nonproductive(schema)
+        assert pruned.content_dfa("T").accepts([])
+        assert not pruned.content_dfa("T").accepts(["bad"])
+
+    def test_root_pointing_at_dead_type_dropped(self):
+        schema = schema_with(
+            {
+                "Live": complex_type("Live", "()", {}),
+                "Dead": complex_type("Dead", "(d)", {"d": "Dead"}),
+            },
+            {"live": "Live", "dead": "Dead"},
+        )
+        pruned = prune_nonproductive(schema)
+        assert set(pruned.roots) == {"live"}
+
+    def test_all_roots_dead_raises(self):
+        schema = schema_with(
+            {"Dead": complex_type("Dead", "(d)", {"d": "Dead"})},
+            {"dead": "Dead"},
+        )
+        with pytest.raises(SchemaError, match="accepts no document"):
+            prune_nonproductive(schema)
+
+    def test_pruned_schema_language_preserved_on_samples(self):
+        """Pruning must not change which trees are valid."""
+        import random
+
+        from repro.core.validator import validate_element
+        from repro.workloads.generators import sample_valid_tree
+
+        schema = schema_with(
+            {
+                "T": complex_type("T", "((bad,x)|x+)", {
+                    "bad": "Dead", "x": "S",
+                }),
+                "Dead": complex_type("Dead", "(bad)", {"bad": "Dead"}),
+                "S": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        pruned = prune_nonproductive(schema)
+        rng = random.Random(7)
+        for _ in range(20):
+            tree = sample_valid_tree(rng, pruned, "T", "t")
+            assert validate_element(schema, "T", tree).valid
+            assert validate_element(pruned, "T", tree).valid

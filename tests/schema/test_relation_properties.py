@@ -1,0 +1,114 @@
+"""Cross-pair algebraic properties of R_sub and R_dis.
+
+Subsumption is set inclusion of tree languages and disjointness is
+empty intersection, so the computed relations must satisfy the
+corresponding algebra *across* schema pairs:
+
+* transitivity: `R_sub(A,B) ∘ R_sub(B,C) ⊆ R_sub(A,C)`;
+* propagation: `(τ,τ') ∈ R_sub(A,B)` and `τ' ⊘ τ''` in (B,C) implies
+  `τ ⊘ τ''` in (A,C);
+* reflexivity on the identity pair;
+* subsumed pairs are never disjoint (productive types are non-empty).
+
+These catch fixpoint bugs that single-pair tests cannot (e.g. an
+unsound inclusion test would break transitivity on some triple).
+"""
+
+import random
+
+import pytest
+
+from repro.schema.disjoint import compute_disjoint
+from repro.schema.subsumption import compute_subsumption
+from repro.workloads.generators import random_schema
+from repro.workloads.mutations import perturb_schema
+
+
+def _three_schemas(rng):
+    for _ in range(40):
+        try:
+            first = random_schema(rng)
+            second = (
+                perturb_schema(rng, first)
+                if rng.random() < 0.5
+                else random_schema(rng)
+            )
+            third = (
+                perturb_schema(rng, second)
+                if rng.random() < 0.5
+                else random_schema(rng)
+            )
+            return first, second, third
+        except Exception:
+            continue
+    pytest.skip("schema generation failed")
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_subsumption_transitivity(seed):
+    rng = random.Random(11_000 + seed)
+    a, b, c = _three_schemas(rng)
+    ab = compute_subsumption(a, b)
+    bc = compute_subsumption(b, c)
+    ac = compute_subsumption(a, c)
+    for tau, tau_p in ab:
+        for tau_p2, tau_pp in bc:
+            if tau_p == tau_p2:
+                assert (tau, tau_pp) in ac, (tau, tau_p, tau_pp)
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_subsumption_propagates_disjointness(seed):
+    rng = random.Random(12_000 + seed)
+    a, b, c = _three_schemas(rng)
+    ab_sub = compute_subsumption(a, b)
+    bc_dis = compute_disjoint(b, c)
+    ac_dis = compute_disjoint(a, c)
+    for tau, tau_p in ab_sub:
+        for tau_p2, tau_pp in bc_dis:
+            if tau_p == tau_p2:
+                # valid(τ) ⊆ valid(τ') and valid(τ') ∩ valid(τ'') = ∅.
+                assert (tau, tau_pp) in ac_dis, (tau, tau_p, tau_pp)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_identity_pair_is_reflexive(seed):
+    rng = random.Random(13_000 + seed)
+    schema = None
+    for _ in range(20):
+        try:
+            schema = random_schema(rng)
+            break
+        except Exception:
+            continue
+    if schema is None:
+        pytest.skip("no schema")
+    relation = compute_subsumption(schema, schema)
+    for type_name in schema.types:
+        assert (type_name, type_name) in relation
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_subsumed_never_disjoint(seed):
+    """Productive types have non-empty languages, so τ ≤ τ' forces a
+    shared tree."""
+    rng = random.Random(14_000 + seed)
+    a, b, _ = _three_schemas(rng)
+    subsumed = compute_subsumption(a, b)
+    disjoint = compute_disjoint(a, b)
+    assert not (subsumed & disjoint)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_disjointness_complement_partitions(seed):
+    from repro.schema.disjoint import compute_nondisjoint
+
+    rng = random.Random(15_000 + seed)
+    a, b, _ = _three_schemas(rng)
+    nondisjoint = compute_nondisjoint(a, b)
+    disjoint = compute_disjoint(a, b)
+    product = {
+        (tau, tau_p) for tau in a.types for tau_p in b.types
+    }
+    assert nondisjoint | disjoint == product
+    assert not (nondisjoint & disjoint)

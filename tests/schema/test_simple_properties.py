@@ -1,0 +1,113 @@
+"""Property-based soundness of the simple-type facet algebra.
+
+Random simple types and random conforming values: subsumption claims
+must be witnessed by every sample, disjointness refuted by none, and
+the generators/synthesizers must produce conforming values.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schema.simple import builtin, restrict
+from repro.schema.synthesis import canonical_value
+from repro.workloads.generators import random_simple_type, random_text_for
+
+seeds = st.integers(0, 10_000)
+
+
+def _type_pool(seed):
+    rng = random.Random(seed)
+    pool = [random_simple_type(rng, f"T{i}") for i in range(6)]
+    pool.extend(
+        [builtin("string"), builtin("integer"), builtin("decimal"),
+         builtin("date"), builtin("boolean")]
+    )
+    return rng, pool
+
+
+@given(seeds)
+@settings(max_examples=120, deadline=None)
+def test_subsumption_witnessed_by_samples(seed):
+    rng, pool = _type_pool(seed)
+    for narrow in pool:
+        for wide in pool:
+            if narrow.is_subsumed_by(wide):
+                for _ in range(3):
+                    value = random_text_for(rng, narrow)
+                    assert narrow.validate(value)
+                    assert wide.validate(value), (
+                        narrow.name, wide.name, value,
+                    )
+
+
+@given(seeds)
+@settings(max_examples=120, deadline=None)
+def test_disjointness_never_refuted_by_samples(seed):
+    rng, pool = _type_pool(seed)
+    for left in pool:
+        for right in pool:
+            if left.is_disjoint_from(right):
+                for _ in range(3):
+                    value = random_text_for(rng, left)
+                    assert not right.validate(value), (
+                        left.name, right.name, value,
+                    )
+
+
+@given(seeds)
+@settings(max_examples=150, deadline=None)
+def test_canonical_value_conforms(seed):
+    rng = random.Random(seed)
+    declaration = random_simple_type(rng, "T")
+    assert declaration.validate(canonical_value(declaration))
+
+
+@given(seeds)
+@settings(max_examples=150, deadline=None)
+def test_random_text_conforms(seed):
+    rng = random.Random(seed)
+    declaration = random_simple_type(rng, "T")
+    for _ in range(5):
+        assert declaration.validate(random_text_for(rng, declaration))
+
+
+@given(seeds)
+@settings(max_examples=100, deadline=None)
+def test_subsumption_is_reflexive_and_transitive(seed):
+    _, pool = _type_pool(seed)
+    for declaration in pool:
+        assert declaration.is_subsumed_by(declaration)
+    for a in pool:
+        for b in pool:
+            if not a.is_subsumed_by(b):
+                continue
+            for c in pool:
+                if b.is_subsumed_by(c):
+                    assert a.is_subsumed_by(c), (a.name, b.name, c.name)
+
+
+@given(seeds)
+@settings(max_examples=100, deadline=None)
+def test_disjointness_is_symmetric(seed):
+    _, pool = _type_pool(seed)
+    for a in pool:
+        for b in pool:
+            assert a.is_disjoint_from(b) == b.is_disjoint_from(a), (
+                a.name, b.name,
+            )
+
+
+@given(st.integers(2, 400), st.integers(2, 400))
+@settings(max_examples=150, deadline=None)
+def test_bounded_positive_integers_ordering(low_bound, high_bound):
+    """The Experiment 2 family: maxExclusive bounds order by inclusion."""
+    narrow = restrict(builtin("positiveInteger"), "n",
+                      max_exclusive=min(low_bound, high_bound))
+    wide = restrict(builtin("positiveInteger"), "w",
+                    max_exclusive=max(low_bound, high_bound))
+    assert narrow.is_subsumed_by(wide)
+    if min(low_bound, high_bound) < max(low_bound, high_bound):
+        assert not wide.is_subsumed_by(narrow)
+    assert not narrow.is_disjoint_from(wide)

@@ -1,0 +1,110 @@
+"""Tests for substitution groups in the XSD front-end."""
+
+import pytest
+
+from repro.core.validator import validate_document
+from repro.errors import XSDSyntaxError
+from repro.schema.xsd import parse_xsd
+from repro.xmltree.parser import parse
+
+HEADER = '<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">'
+
+
+def xsd(body: str):
+    return parse_xsd(f"{HEADER}{body}</xsd:schema>")
+
+
+PUBLICATIONS = """
+<xsd:element name="publication" type="xsd:string"/>
+<xsd:element name="book" type="xsd:string"
+             substitutionGroup="publication"/>
+<xsd:element name="magazine" type="xsd:string"
+             substitutionGroup="publication"/>
+<xsd:element name="library" type="Library"/>
+<xsd:complexType name="Library"><xsd:sequence>
+  <xsd:element ref="publication" minOccurs="0" maxOccurs="unbounded"/>
+</xsd:sequence></xsd:complexType>
+"""
+
+
+class TestSubstitution:
+    def test_members_substitutable_for_head(self):
+        schema = xsd(PUBLICATIONS)
+        dfa = schema.content_dfa("Library")
+        assert dfa.accepts(["book", "magazine", "publication"])
+        assert dfa.accepts([])
+        assert not dfa.accepts(["pamphlet"])
+
+    def test_member_types_registered(self):
+        schema = xsd(PUBLICATIONS)
+        library = schema.type("Library")
+        assert set(library.child_types) == {
+            "publication", "book", "magazine",
+        }
+
+    def test_validation_end_to_end(self):
+        schema = xsd(PUBLICATIONS)
+        doc = parse(
+            "<library><book>Dune</book><magazine>Wired</magazine>"
+            "<publication>misc</publication></library>"
+        )
+        assert validate_document(schema, doc).valid
+
+    def test_members_carry_their_own_types(self):
+        body = PUBLICATIONS.replace(
+            '<xsd:element name="book" type="xsd:string"',
+            '<xsd:element name="book" type="xsd:integer"',
+        )
+        schema = xsd(body)
+        good = parse("<library><book>42</book></library>")
+        bad = parse("<library><book>not a number</book></library>")
+        assert validate_document(schema, good).valid
+        assert not validate_document(schema, bad).valid
+
+    def test_abstract_head_excluded(self):
+        body = PUBLICATIONS.replace(
+            '<xsd:element name="publication" type="xsd:string"/>',
+            '<xsd:element name="publication" type="xsd:string"'
+            ' abstract="true"/>',
+        )
+        schema = xsd(body)
+        dfa = schema.content_dfa("Library")
+        assert dfa.accepts(["book"])
+        assert not dfa.accepts(["publication"])
+        assert schema.root_type("publication") is None
+
+    def test_transitive_membership(self):
+        body = PUBLICATIONS + (
+            '<xsd:element name="novel" type="xsd:string"'
+            ' substitutionGroup="book"/>'
+        )
+        schema = xsd(body)
+        assert schema.content_dfa("Library").accepts(["novel"])
+
+    def test_unknown_head_rejected(self):
+        with pytest.raises(XSDSyntaxError, match="substitutionGroup head"):
+            xsd(
+                '<xsd:element name="book" type="xsd:string"'
+                ' substitutionGroup="ghost"/>'
+            )
+
+    def test_abstract_required_head_without_members(self):
+        with pytest.raises(XSDSyntaxError, match="no.*substitutable"):
+            xsd(
+                '<xsd:element name="head" type="xsd:string"'
+                ' abstract="true"/>'
+                '<xsd:element name="doc" type="T"/>'
+                '<xsd:complexType name="T"><xsd:sequence>'
+                '<xsd:element ref="head"/>'
+                "</xsd:sequence></xsd:complexType>"
+            )
+
+    def test_non_head_ref_unaffected(self):
+        schema = xsd(
+            '<xsd:element name="note" type="xsd:string"/>'
+            '<xsd:element name="doc" type="T"/>'
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element ref="note"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        assert schema.content_dfa("T").accepts(["note"])

@@ -1,0 +1,204 @@
+"""Tests for the R_sub fixpoint (Definition 4, Theorem 1)."""
+
+from repro.schema.model import Schema, complex_type
+from repro.schema.simple import builtin, restrict
+from repro.schema.subsumption import compute_subsumption
+
+
+def po_schema(content, name=""):
+    po_children = {"shipTo": "Addr", "billTo": "Addr", "items": "Items"}
+    po = complex_type(
+        "PO",
+        content,
+        {
+            label: po_children[label]
+            for label in ("shipTo", "billTo", "items")
+            if label in content
+        },
+    )
+    return Schema(
+        {
+            "PO": po,
+            "Addr": complex_type("Addr", "(name,street)", {
+                "name": "Str", "street": "Str",
+            }),
+            "Items": complex_type("Items", "(item*)", {"item": "Str"}),
+            "Str": builtin("string"),
+        },
+        {"purchaseOrder": "PO"},
+        name=name,
+    )
+
+
+class TestPaperExample:
+    def test_figure1_directions(self):
+        optional = po_schema("(shipTo,billTo?,items)", "optional")
+        required = po_schema("(shipTo,billTo,items)", "required")
+        forward = compute_subsumption(optional, required)
+        backward = compute_subsumption(required, optional)
+        assert ("PO", "PO") not in forward  # optional ⊄ required
+        assert ("PO", "PO") in backward     # required ⊆ optional
+        assert ("Addr", "Addr") in forward
+        assert ("Items", "Items") in forward
+
+
+class TestBaseCases:
+    def test_identical_schemas_fully_subsumed_on_diagonal(self):
+        schema = po_schema("(shipTo,items)")
+        relation = compute_subsumption(schema, schema)
+        for type_name in schema.types:
+            assert (type_name, type_name) in relation
+
+    def test_simple_bootstrap_uses_facets(self):
+        narrow = Schema(
+            {"Q": restrict(builtin("positiveInteger"), "Q",
+                           max_exclusive=100)},
+            {"q": "Q"},
+        )
+        wide = Schema(
+            {"Q": restrict(builtin("positiveInteger"), "Q",
+                           max_exclusive=200)},
+            {"q": "Q"},
+        )
+        assert ("Q", "Q") in compute_subsumption(narrow, wide)
+        assert ("Q", "Q") not in compute_subsumption(wide, narrow)
+
+    def test_simple_complex_pairs_never_subsumed(self):
+        left = Schema({"S": builtin("string")}, {"s": "S"})
+        right = Schema(
+            {"C": complex_type("C", "()", {})}, {"s": "C"}
+        )
+        assert compute_subsumption(left, right) == frozenset()
+        assert compute_subsumption(right, left) == frozenset()
+
+
+class TestChildPropagation:
+    def test_language_inclusion_alone_is_not_enough(self):
+        # Same content languages, but the child types differ.
+        left = Schema(
+            {
+                "T": complex_type("T", "(x)", {"x": "Int"}),
+                "Int": builtin("integer"),
+            },
+            {"t": "T"},
+        )
+        right = Schema(
+            {
+                "T": complex_type("T", "(x)", {"x": "Date"}),
+                "Date": builtin("date"),
+            },
+            {"t": "T"},
+        )
+        assert ("T", "T") not in compute_subsumption(left, right)
+
+    def test_child_subsumption_propagates(self):
+        left = Schema(
+            {
+                "T": complex_type("T", "(x)", {"x": "Int"}),
+                "Int": builtin("integer"),
+            },
+            {"t": "T"},
+        )
+        right = Schema(
+            {
+                "T": complex_type("T", "(x)", {"x": "Str"}),
+                "Str": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        relation = compute_subsumption(left, right)
+        assert ("Int", "Str") in relation
+        assert ("T", "T") in relation
+
+    def test_removal_cascades_up_a_chain(self):
+        def chain(leaf_type):
+            return Schema(
+                {
+                    "A": complex_type("A", "(b)", {"b": "B"}),
+                    "B": complex_type("B", "(c)", {"c": "C"}),
+                    "C": leaf_type,
+                },
+                {"a": "A"},
+            )
+
+        narrow = chain(builtin("integer"))
+        wide = chain(builtin("string"))
+        forward = compute_subsumption(narrow, wide)
+        assert ("A", "A") in forward and ("B", "B") in forward
+        backward = compute_subsumption(wide, narrow)
+        assert ("C", "C") not in backward
+        assert ("B", "B") not in backward
+        assert ("A", "A") not in backward
+
+    def test_cross_type_subsumption_within_pair(self):
+        # A source type can be subsumed by a *different* target type.
+        source = Schema(
+            {
+                "Narrow": complex_type("Narrow", "(x)", {"x": "S"}),
+                "S": builtin("string"),
+            },
+            {"n": "Narrow"},
+        )
+        target = Schema(
+            {
+                "Wide": complex_type("Wide", "(x?,y?)", {"x": "S", "y": "S"}),
+                "S": builtin("string"),
+            },
+            {"n": "Wide"},
+        )
+        assert ("Narrow", "Wide") in compute_subsumption(source, target)
+
+    def test_recursive_types_greatest_fixpoint(self):
+        # Recursive list types: optional-tail list ⊆ optional-tail list.
+        def list_schema(item_type):
+            return Schema(
+                {
+                    "L": complex_type("L", "(item,next?)", {
+                        "item": "I", "next": "L",
+                    }),
+                    "I": item_type,
+                },
+                {"l": "L"},
+            )
+
+        narrow = list_schema(builtin("integer"))
+        wide = list_schema(builtin("string"))
+        assert ("L", "L") in compute_subsumption(narrow, wide)
+        assert ("L", "L") not in compute_subsumption(wide, narrow)
+
+
+class TestSampledSoundness:
+    def test_subsumed_pairs_validate_in_target(self):
+        """Theorem 1 soundness: sampled valid trees of τ validate under
+        τ' whenever (τ, τ') ∈ R_sub."""
+        import random
+
+        from repro.core.validator import validate_element
+        from repro.workloads.generators import (
+            random_schema,
+            sample_valid_tree,
+        )
+
+        rng = random.Random(42)
+        checked = 0
+        for _ in range(12):
+            try:
+                source = random_schema(rng)
+                target = random_schema(rng)
+            except Exception:
+                continue
+            relation = compute_subsumption(source, target)
+            for tau, tau_p in sorted(relation):
+                for _ in range(3):
+                    try:
+                        tree = sample_valid_tree(
+                            rng, source, tau, "probe", max_depth=6
+                        )
+                    except Exception:
+                        continue
+                    assert validate_element(source, tau, tree).valid
+                    assert validate_element(target, tau_p, tree).valid, (
+                        source.name, tau, tau_p,
+                    )
+                    checked += 1
+        assert checked > 10  # the net actually caught samples

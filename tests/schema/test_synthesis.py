@@ -1,0 +1,135 @@
+"""Tests for canonical value and minimal tree synthesis."""
+
+import pytest
+
+from repro.core.validator import validate_element
+from repro.errors import SchemaError
+from repro.schema.model import Schema, complex_type
+from repro.schema.simple import builtin, restrict
+from repro.schema.synthesis import canonical_value, minimal_tree
+
+
+class TestCanonicalValue:
+    @pytest.mark.parametrize(
+        "name",
+        ["string", "integer", "decimal", "boolean", "date",
+         "positiveInteger", "negativeInteger", "byte", "unsignedShort"],
+    )
+    def test_builtins_witnessed(self, name):
+        declaration = builtin(name)
+        assert declaration.validate(canonical_value(declaration))
+
+    def test_range_boundaries(self):
+        low = restrict(builtin("integer"), "low", min_inclusive=42)
+        assert canonical_value(low) == "42"
+        open_low = restrict(builtin("integer"), "ol", min_exclusive=42)
+        assert canonical_value(open_low) == "43"
+
+    def test_window(self):
+        window = restrict(builtin("positiveInteger"), "w",
+                          max_exclusive=100)
+        value = canonical_value(window)
+        assert window.validate(value)
+        assert value == "1"
+
+    def test_enumeration_first_member(self):
+        color = restrict(builtin("string"), "c",
+                         enumeration=frozenset({"red", "blue"}))
+        assert canonical_value(color) == "blue"  # sorted order
+
+    def test_min_length_string(self):
+        code = restrict(builtin("string"), "code", min_length=3)
+        value = canonical_value(code)
+        assert len(value) == 3
+        assert code.validate(value)
+
+    def test_date_default_and_bounded(self):
+        assert canonical_value(builtin("date")) == "2004-01-01"
+
+    def test_deterministic(self):
+        quantity = restrict(builtin("positiveInteger"), "q",
+                            max_exclusive=100)
+        assert canonical_value(quantity) == canonical_value(quantity)
+
+    def test_decimal_only_window(self):
+        from fractions import Fraction
+
+        from repro.schema.simple import AtomicKind, SimpleType
+
+        window = SimpleType("dw", AtomicKind.DECIMAL,
+                            min_exclusive=Fraction(0),
+                            max_exclusive=Fraction(1))
+        value = canonical_value(window)
+        assert window.validate(value)
+
+
+class TestMinimalTree:
+    def schema(self):
+        return Schema(
+            {
+                "PO": complex_type("PO", "(shipTo,billTo?,items)", {
+                    "shipTo": "Addr", "billTo": "Addr", "items": "Items",
+                }),
+                "Addr": complex_type("Addr", "(name,street)", {
+                    "name": "Str", "street": "Str",
+                }),
+                "Items": complex_type("Items", "(item*)", {"item": "Qty"}),
+                "Str": builtin("string"),
+                "Qty": restrict(builtin("positiveInteger"), "Qty",
+                                max_exclusive=100),
+            },
+            {"purchaseOrder": "PO"},
+        )
+
+    def test_minimal_tree_is_valid(self):
+        schema = self.schema()
+        tree = minimal_tree(schema, "PO", "purchaseOrder")
+        assert validate_element(schema, "PO", tree).valid
+
+    def test_minimal_tree_omits_optional_parts(self):
+        schema = self.schema()
+        tree = minimal_tree(schema, "PO", "purchaseOrder")
+        assert tree.find("billTo") is None          # optional: omitted
+        assert tree.find("items").children == []    # item*: empty
+
+    def test_simple_type_leaf(self):
+        schema = self.schema()
+        leaf = minimal_tree(schema, "Qty", "quantity")
+        assert leaf.text() == "1"
+
+    def test_nonproductive_type_rejected(self):
+        schema = Schema(
+            {"Loop": complex_type("Loop", "(x)", {"x": "Loop"})},
+            {"x": "Loop"},
+        )
+        with pytest.raises(SchemaError, match="no tree"):
+            minimal_tree(schema, "Loop", "x")
+
+    def test_recursion_bottoms_out(self):
+        schema = Schema(
+            {"N": complex_type("N", "(n?)", {"n": "N"})},
+            {"n": "N"},
+        )
+        tree = minimal_tree(schema, "N", "n")
+        assert tree.children == []
+
+    def test_nonproductive_branch_avoided(self):
+        schema = Schema(
+            {
+                "T": complex_type("T", "(bad|good)", {
+                    "bad": "Loop", "good": "Str",
+                }),
+                "Loop": complex_type("Loop", "(bad)", {"bad": "Loop"}),
+                "Str": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        tree = minimal_tree(schema, "T", "t")
+        assert [c.label for c in tree.children] == ["good"]
+        assert validate_element(schema, "T", tree).valid
+
+    def test_deterministic(self):
+        schema = self.schema()
+        first = minimal_tree(schema, "PO", "purchaseOrder")
+        second = minimal_tree(schema, "PO", "purchaseOrder")
+        assert first.structurally_equal(second)

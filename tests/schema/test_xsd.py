@@ -1,0 +1,318 @@
+"""Tests for the XSD front-end."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError, XSDSyntaxError
+from repro.schema.model import ComplexType, is_complex, is_simple
+from repro.schema.xsd import parse_xsd
+
+HEADER = '<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">'
+
+
+def xsd(body: str):
+    return parse_xsd(f"{HEADER}{body}</xsd:schema>")
+
+
+class TestGlobalElements:
+    def test_element_with_named_type(self):
+        schema = xsd(
+            '<xsd:element name="po" type="T"/>'
+            '<xsd:complexType name="T"><xsd:sequence/></xsd:complexType>'
+        )
+        assert schema.root_type("po") == "T"
+
+    def test_element_with_builtin_type(self):
+        schema = xsd('<xsd:element name="note" type="xsd:string"/>')
+        assert is_simple(schema.type(schema.root_type("note")))
+
+    def test_element_with_inline_complex_type(self):
+        schema = xsd(
+            '<xsd:element name="po">'
+            "<xsd:complexType><xsd:sequence>"
+            '<xsd:element name="item" type="xsd:string"'
+            ' maxOccurs="unbounded"/>'
+            "</xsd:sequence></xsd:complexType>"
+            "</xsd:element>"
+        )
+        root_type = schema.root_type("po")
+        assert root_type.startswith("#anon:")
+        assert schema.content_dfa(root_type).accepts(["item", "item"])
+
+    def test_element_with_inline_simple_type(self):
+        schema = xsd(
+            '<xsd:element name="qty">'
+            '<xsd:simpleType><xsd:restriction base="xsd:positiveInteger">'
+            '<xsd:maxExclusive value="100"/>'
+            "</xsd:restriction></xsd:simpleType>"
+            "</xsd:element>"
+        )
+        declaration = schema.type(schema.root_type("qty"))
+        assert declaration.validate("99")
+        assert not declaration.validate("100")
+
+    def test_element_without_type_defaults_to_text(self):
+        schema = xsd('<xsd:element name="any"/>')
+        assert is_simple(schema.type(schema.root_type("any")))
+
+    def test_duplicate_global_element_rejected(self):
+        with pytest.raises(XSDSyntaxError, match="duplicate"):
+            xsd(
+                '<xsd:element name="a" type="xsd:string"/>'
+                '<xsd:element name="a" type="xsd:string"/>'
+            )
+
+
+class TestParticles:
+    def test_sequence_choice_nesting(self):
+        schema = xsd(
+            '<xsd:element name="r" type="T"/>'
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element name="a" type="xsd:string"/>'
+            "<xsd:choice>"
+            '<xsd:element name="b" type="xsd:string"/>'
+            '<xsd:element name="c" type="xsd:string"/>'
+            "</xsd:choice>"
+            "</xsd:sequence></xsd:complexType>"
+        )
+        dfa = schema.content_dfa("T")
+        assert dfa.accepts(["a", "b"])
+        assert dfa.accepts(["a", "c"])
+        assert not dfa.accepts(["a", "b", "c"])
+
+    def test_min_max_occurs(self):
+        schema = xsd(
+            '<xsd:element name="r" type="T"/>'
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element name="x" type="xsd:string"'
+            ' minOccurs="2" maxOccurs="4"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        dfa = schema.content_dfa("T")
+        for n in range(6):
+            assert dfa.accepts(["x"] * n) == (2 <= n <= 4)
+
+    def test_occurs_on_groups(self):
+        schema = xsd(
+            '<xsd:element name="r" type="T"/>'
+            '<xsd:complexType name="T">'
+            '<xsd:sequence minOccurs="0" maxOccurs="2">'
+            '<xsd:element name="a" type="xsd:string"/>'
+            '<xsd:element name="b" type="xsd:string"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        dfa = schema.content_dfa("T")
+        assert dfa.accepts([])
+        assert dfa.accepts(["a", "b"])
+        assert dfa.accepts(["a", "b", "a", "b"])
+        assert not dfa.accepts(["a", "b", "a"])
+
+    def test_ref_to_global_element(self):
+        schema = xsd(
+            '<xsd:element name="comment" type="xsd:string"/>'
+            '<xsd:element name="r" type="T"/>'
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element ref="comment"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        declaration = schema.type("T")
+        assert declaration.child_types["comment"] == "xsd:string"
+
+    def test_dangling_ref_rejected(self):
+        with pytest.raises(XSDSyntaxError, match="no such global"):
+            xsd(
+                '<xsd:element name="r" type="T"/>'
+                '<xsd:complexType name="T"><xsd:sequence>'
+                '<xsd:element ref="ghost"/>'
+                "</xsd:sequence></xsd:complexType>"
+            )
+
+    def test_all_group_accepts_permutations(self):
+        schema = xsd(
+            '<xsd:element name="r" type="T"/>'
+            '<xsd:complexType name="T"><xsd:all>'
+            '<xsd:element name="a" type="xsd:string"/>'
+            '<xsd:element name="b" type="xsd:string"/>'
+            '<xsd:element name="c" type="xsd:string" minOccurs="0"/>'
+            "</xsd:all></xsd:complexType>"
+        )
+        dfa = schema.content_dfa("T")
+        assert dfa.accepts(["a", "b"])
+        assert dfa.accepts(["b", "a"])
+        assert dfa.accepts(["c", "b", "a"])
+        assert not dfa.accepts(["a"])
+        assert not dfa.accepts(["a", "b", "b"])
+
+    def test_inconsistent_element_declarations_rejected(self):
+        with pytest.raises(XSDSyntaxError, match="two types"):
+            xsd(
+                '<xsd:element name="r" type="T"/>'
+                '<xsd:complexType name="T"><xsd:sequence>'
+                '<xsd:element name="x" type="xsd:string"/>'
+                '<xsd:element name="x" type="xsd:integer"/>'
+                "</xsd:sequence></xsd:complexType>"
+            )
+
+    def test_same_label_same_type_allowed(self):
+        schema = xsd(
+            '<xsd:element name="r" type="T"/>'
+            '<xsd:complexType name="T"><xsd:sequence>'
+            '<xsd:element name="x" type="xsd:string"/>'
+            '<xsd:element name="y" type="xsd:string"/>'
+            '<xsd:element name="x" type="xsd:string"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        assert schema.content_dfa("T").accepts(["x", "y", "x"])
+
+
+class TestSimpleTypes:
+    def test_named_restriction_with_facets(self):
+        schema = xsd(
+            '<xsd:simpleType name="Quantity">'
+            '<xsd:restriction base="xsd:positiveInteger">'
+            '<xsd:maxExclusive value="100"/>'
+            "</xsd:restriction></xsd:simpleType>"
+            '<xsd:element name="q" type="Quantity"/>'
+        )
+        quantity = schema.type("Quantity")
+        assert quantity.validate("1")
+        assert not quantity.validate("100")
+
+    def test_enumeration_facet(self):
+        schema = xsd(
+            '<xsd:simpleType name="Color">'
+            '<xsd:restriction base="xsd:string">'
+            '<xsd:enumeration value="red"/>'
+            '<xsd:enumeration value="blue"/>'
+            "</xsd:restriction></xsd:simpleType>"
+            '<xsd:element name="c" type="Color"/>'
+        )
+        assert schema.type("Color").validate("red")
+        assert not schema.type("Color").validate("mauve")
+
+    def test_length_facets(self):
+        schema = xsd(
+            '<xsd:simpleType name="Code">'
+            '<xsd:restriction base="xsd:string">'
+            '<xsd:length value="3"/>'
+            "</xsd:restriction></xsd:simpleType>"
+            '<xsd:element name="c" type="Code"/>'
+        )
+        assert schema.type("Code").validate("abc")
+        assert not schema.type("Code").validate("ab")
+
+    def test_restriction_of_user_type(self):
+        schema = xsd(
+            '<xsd:simpleType name="Small">'
+            '<xsd:restriction base="xsd:integer">'
+            '<xsd:maxInclusive value="100"/>'
+            "</xsd:restriction></xsd:simpleType>"
+            '<xsd:simpleType name="Tiny">'
+            '<xsd:restriction base="Small">'
+            '<xsd:maxInclusive value="10"/>'
+            "</xsd:restriction></xsd:simpleType>"
+            '<xsd:element name="t" type="Tiny"/>'
+        )
+        assert schema.type("Tiny").validate("10")
+        assert not schema.type("Tiny").validate("11")
+
+    def test_list_and_union_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError):
+            xsd(
+                '<xsd:simpleType name="L"><xsd:list itemType="xsd:int"/>'
+                "</xsd:simpleType>"
+            )
+
+
+class TestUnsupportedAndErrors:
+    def test_any_wildcard_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError, match="xsd:any"):
+            xsd(
+                '<xsd:element name="r" type="T"/>'
+                '<xsd:complexType name="T"><xsd:sequence>'
+                "<xsd:any/>"
+                "</xsd:sequence></xsd:complexType>"
+            )
+
+    def test_mixed_content_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError, match="mixed"):
+            xsd('<xsd:complexType name="T" mixed="true"/>')
+
+    def test_complex_content_derivation_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError, match="complexContent"):
+            xsd(
+                '<xsd:complexType name="T"><xsd:complexContent>'
+                '<xsd:extension base="B"/>'
+                "</xsd:complexContent></xsd:complexType>"
+            )
+
+    def test_attributes_accepted_and_ignored(self):
+        schema = xsd(
+            '<xsd:element name="r" type="T"/>'
+            '<xsd:complexType name="T">'
+            "<xsd:sequence/>"
+            '<xsd:attribute name="id" type="xsd:string"/>'
+            "</xsd:complexType>"
+        )
+        assert schema.content_dfa("T").accepts([])
+
+    def test_unknown_type_reference(self):
+        with pytest.raises(XSDSyntaxError, match="unknown type"):
+            xsd('<xsd:element name="r" type="Ghost"/>')
+
+    def test_non_schema_root_rejected(self):
+        with pytest.raises(XSDSyntaxError, match="xsd:schema"):
+            parse_xsd("<not-a-schema/>")
+
+    def test_unnamed_top_level_type_rejected(self):
+        with pytest.raises(XSDSyntaxError, match="requires a name"):
+            xsd("<xsd:complexType><xsd:sequence/></xsd:complexType>")
+
+
+class TestRecursiveTypes:
+    def test_mutually_recursive_complex_types(self):
+        schema = xsd(
+            '<xsd:element name="tree" type="Node"/>'
+            '<xsd:complexType name="Node"><xsd:sequence>'
+            '<xsd:element name="value" type="xsd:integer"/>'
+            '<xsd:element name="child" type="Node"'
+            ' minOccurs="0" maxOccurs="unbounded"/>'
+            "</xsd:sequence></xsd:complexType>"
+        )
+        assert schema.type("Node").child_types["child"] == "Node"
+        from repro.core.validator import validate_document
+        from repro.xmltree.parser import parse
+
+        doc = parse(
+            "<tree><value>1</value>"
+            "<child><value>2</value></child>"
+            "<child><value>3</value></child></tree>"
+        )
+        assert validate_document(schema, doc).valid
+
+    def test_prefixless_xsd_names(self):
+        # xs: prefix variant must work identically.
+        source = (
+            '<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">'
+            '<xs:element name="n" type="xs:integer"/>'
+            "</xs:schema>"
+        )
+        schema = parse_xsd(source)
+        assert schema.type(schema.root_type("n")).validate("42")
+
+
+class TestPaperSchemas:
+    def test_figure2_roundtrip(self, exp2_target):
+        assert exp2_target.root_type("purchaseOrder") == "POType"
+        po = exp2_target.type("POType")
+        assert isinstance(po, ComplexType)
+        assert po.content.to_source() == "(shipTo,billTo,items)"
+        item = exp2_target.type("Item")
+        assert item.child_types["quantity"].startswith("#anon:")
+        quantity = exp2_target.type(item.child_types["quantity"])
+        assert quantity.validate("99")
+        assert not quantity.validate("100")
+
+    def test_figure1a_optional_billto(self, exp1_source):
+        dfa = exp1_source.content_dfa("POType")
+        assert dfa.accepts(["shipTo", "items"])
+        assert dfa.accepts(["shipTo", "billTo", "items"])

@@ -1,0 +1,71 @@
+"""Tests for the bench table renderer and result types."""
+
+from repro.bench.reporting import render_csv, render_table
+from repro.core.result import ValidationReport, ValidationStats
+
+
+class TestRenderTable:
+    def test_title_and_alignment(self):
+        table = render_table(
+            "Demo", ["col", "value"], [["a", 1], ["bb", 22]]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "== Demo =="
+        assert "col" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_number_formatting(self):
+        table = render_table(
+            "N", ["v"], [[1234567], [3.14159], [0.00123], [250.0]]
+        )
+        assert "1,234,567" in table
+        assert "3.14" in table
+        assert "0.0012" in table
+        assert "250" in table
+
+    def test_note_appended(self):
+        table = render_table("T", ["a"], [[1]], note="context")
+        assert table.endswith("note: context")
+
+    def test_empty_rows(self):
+        table = render_table("T", ["a", "b"], [])
+        assert "== T ==" in table
+
+
+class TestRenderCsv:
+    def test_csv_shape(self):
+        csv = render_csv(["x", "y"], [[1, 2], [3, 4]])
+        assert csv.splitlines() == ["x,y", "1,2", "3,4"]
+
+
+class TestValidationStats:
+    def test_merge_accumulates_all_counters(self):
+        left = ValidationStats(
+            elements_visited=1,
+            text_nodes_visited=2,
+            content_symbols_scanned=3,
+            simple_values_checked=4,
+            subtrees_skipped=5,
+            disjoint_rejections=6,
+            early_content_decisions=7,
+            deltas_seen=8,
+        )
+        right = ValidationStats(elements_visited=10, deltas_seen=1)
+        left.merge(right)
+        assert left.elements_visited == 11
+        assert left.deltas_seen == 9
+        assert left.nodes_visited == 11 + 2
+
+    def test_report_truthiness(self):
+        assert ValidationReport.success()
+        assert not ValidationReport.failure("boom")
+
+    def test_failure_carries_path_and_reason(self):
+        report = ValidationReport.failure("broken", path="1.2")
+        assert report.reason == "broken"
+        assert report.path == "1.2"
+        assert "invalid" in repr(report)
+
+    def test_success_repr(self):
+        assert "valid" in repr(ValidationReport.success())

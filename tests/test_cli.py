@@ -1,0 +1,201 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.purchase_orders import _po_xsd, make_purchase_order
+from repro.xmltree.serializer import write_file
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    (tmp_path / "a.xsd").write_text(
+        _po_xsd(billto_optional=True, quantity_max_exclusive=100)
+    )
+    (tmp_path / "b.xsd").write_text(
+        _po_xsd(billto_optional=False, quantity_max_exclusive=100)
+    )
+    (tmp_path / "list.dtd").write_text(
+        "<!ELEMENT list (item*)><!ELEMENT item (#PCDATA)>"
+    )
+    write_file(make_purchase_order(2), str(tmp_path / "po.xml"))
+    write_file(
+        make_purchase_order(2, with_billto=False),
+        str(tmp_path / "po_nobill.xml"),
+    )
+    return tmp_path
+
+
+class TestValidate:
+    def test_valid_document(self, workspace, capsys):
+        code = main([
+            "validate", str(workspace / "po.xml"),
+            "--schema", str(workspace / "a.xsd"),
+        ])
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_document_exit_code(self, workspace, capsys):
+        code = main([
+            "validate", str(workspace / "po_nobill.xml"),
+            "--schema", str(workspace / "b.xsd"),
+        ])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_stats_flag(self, workspace, capsys):
+        main([
+            "validate", str(workspace / "po.xml"),
+            "--schema", str(workspace / "a.xsd"), "--stats",
+        ])
+        out = capsys.readouterr().out
+        assert "nodes visited" in out
+
+    def test_dtd_schema(self, workspace, capsys):
+        doc = workspace / "l.xml"
+        doc.write_text("<list><item>x</item></list>")
+        code = main([
+            "validate", str(doc), "--schema", str(workspace / "list.dtd"),
+        ])
+        assert code == 0
+
+    def test_dtd_root_restriction(self, workspace):
+        doc = workspace / "i.xml"
+        doc.write_text("<item>x</item>")
+        ok = main([
+            "validate", str(doc), "--schema", str(workspace / "list.dtd"),
+        ])
+        restricted = main([
+            "validate", str(doc), "--schema", str(workspace / "list.dtd"),
+            "--root", "list",
+        ])
+        assert ok == 0
+        assert restricted == 1
+
+
+class TestCast:
+    def test_valid_cast(self, workspace, capsys):
+        code = main([
+            "cast", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subtrees skipped" in out
+
+    def test_invalid_cast(self, workspace, capsys):
+        code = main([
+            "cast", str(workspace / "po_nobill.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+        ])
+        assert code == 1
+
+    def test_plain_mode_flag(self, workspace):
+        code = main([
+            "cast", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--no-string-cast",
+        ])
+        assert code == 0
+
+
+class TestRepair:
+    def test_repair_writes_valid_output(self, workspace, capsys):
+        out_path = workspace / "fixed.xml"
+        code = main([
+            "repair", str(workspace / "po_nobill.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "-o", str(out_path),
+        ])
+        assert code == 0
+        assert "1 repairs" in capsys.readouterr().out
+        assert main([
+            "validate", str(out_path), "--schema", str(workspace / "b.xsd"),
+        ]) == 0
+
+    def test_noop_repair(self, workspace, capsys):
+        code = main([
+            "repair", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+        ])
+        assert code == 0
+        assert "already valid" in capsys.readouterr().out
+
+
+class TestRelationsAndGen:
+    def test_relations_output(self, workspace, capsys):
+        code = main([
+            "relations",
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "R_sub" in out and "USAddress <= USAddress" in out
+
+    def test_gen_po_to_file(self, workspace, capsys):
+        out_path = workspace / "gen.xml"
+        code = main(["gen-po", "5", "-o", str(out_path)])
+        assert code == 0
+        assert main([
+            "validate", str(out_path), "--schema", str(workspace / "a.xsd"),
+        ]) == 0
+
+    def test_gen_po_to_stdout(self, capsys):
+        code = main(["gen-po", "1"])
+        assert code == 0
+        assert "<purchaseOrder>" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file(self, workspace, capsys):
+        code = main([
+            "validate", str(workspace / "nope.xml"),
+            "--schema", str(workspace / "a.xsd"),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_schema(self, workspace, capsys):
+        bad = workspace / "bad.xsd"
+        bad.write_text("<xsd:schema><oops")
+        code = main([
+            "validate", str(workspace / "po.xml"),
+            "--schema", str(bad),
+        ])
+        assert code == 2
+
+
+class TestStreamingFlags:
+    def test_streaming_validate(self, workspace, capsys):
+        code = main([
+            "validate", str(workspace / "po.xml"),
+            "--schema", str(workspace / "a.xsd"), "--streaming",
+        ])
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_streaming_cast(self, workspace, capsys):
+        code = main([
+            "cast", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--streaming", "--stats",
+        ])
+        assert code == 0
+        assert "subtrees skipped" in capsys.readouterr().out
+
+    def test_streaming_cast_invalid(self, workspace):
+        code = main([
+            "cast", str(workspace / "po_nobill.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--streaming",
+        ])
+        assert code == 1

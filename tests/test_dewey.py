@@ -1,0 +1,142 @@
+"""Tests for Dewey decimal numbers and the modification trie."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dewey import Dewey, DeweyTrie
+
+paths = st.lists(st.integers(min_value=0, max_value=9), max_size=6).map(tuple)
+
+
+class TestDewey:
+    def test_root_is_empty_path(self):
+        root = Dewey()
+        assert root.is_root()
+        assert root.depth == 0
+        assert str(root) == ""
+
+    def test_child_extends_path(self):
+        node = Dewey((1, 2)).child(0)
+        assert node.path == (1, 2, 0)
+
+    def test_parent_of_child_roundtrip(self):
+        node = Dewey((3, 1, 4))
+        assert node.child(7).parent() == node
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(ValueError):
+            Dewey().parent()
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            Dewey((0, -1))
+
+    def test_negative_child_ordinal_rejected(self):
+        with pytest.raises(ValueError):
+            Dewey().child(-1)
+
+    def test_parse_roundtrip(self):
+        assert Dewey.parse("1.0.2").path == (1, 0, 2)
+        assert Dewey.parse("") == Dewey()
+        assert Dewey.parse(str(Dewey((5, 6)))) == Dewey((5, 6))
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Dewey.parse("1.x.2")
+
+    def test_ancestor_relationship(self):
+        ancestor = Dewey((1,))
+        descendant = Dewey((1, 2, 3))
+        assert ancestor.is_ancestor_of(descendant)
+        assert not descendant.is_ancestor_of(ancestor)
+        assert not ancestor.is_ancestor_of(ancestor)
+
+    def test_descendant_or_self(self):
+        node = Dewey((1, 2))
+        assert node.is_descendant_or_self(node)
+        assert node.is_descendant_or_self(Dewey((1,)))
+        assert not node.is_descendant_or_self(Dewey((2,)))
+
+    def test_document_order_is_tuple_order(self):
+        assert Dewey((0,)) < Dewey((1,))
+        assert Dewey((1,)) < Dewey((1, 0))
+        assert Dewey((1, 9)) < Dewey((2,))
+
+    def test_hashable_and_eq(self):
+        assert len({Dewey((1, 2)), Dewey((1, 2)), Dewey((2, 1))}) == 2
+
+    @given(paths)
+    def test_parse_str_roundtrip_property(self, path):
+        dewey = Dewey(path)
+        assert Dewey.parse(str(dewey)) == dewey
+
+    @given(paths, st.integers(min_value=0, max_value=9))
+    def test_child_parent_inverse_property(self, path, ordinal):
+        dewey = Dewey(path)
+        assert dewey.child(ordinal).parent() == dewey
+
+
+class TestDeweyTrie:
+    def test_empty_trie_reports_nothing(self):
+        trie = DeweyTrie()
+        assert not trie.contains(Dewey())
+        assert not trie.subtree_modified(Dewey())
+        assert len(trie) == 0
+
+    def test_exact_containment(self):
+        trie = DeweyTrie()
+        trie.insert(Dewey((1, 2)))
+        assert trie.contains(Dewey((1, 2)))
+        assert not trie.contains(Dewey((1,)))
+        assert not trie.contains(Dewey((1, 2, 0)))
+
+    def test_subtree_modified_sees_descendants(self):
+        trie = DeweyTrie()
+        trie.insert(Dewey((0, 3, 1)))
+        assert trie.subtree_modified(Dewey())
+        assert trie.subtree_modified(Dewey((0,)))
+        assert trie.subtree_modified(Dewey((0, 3)))
+        assert trie.subtree_modified(Dewey((0, 3, 1)))
+        assert not trie.subtree_modified(Dewey((0, 3, 1, 0)))
+        assert not trie.subtree_modified(Dewey((1,)))
+        assert not trie.subtree_modified(Dewey((0, 2)))
+
+    def test_duplicate_insert_counts_once(self):
+        trie = DeweyTrie()
+        trie.insert(Dewey((1,)))
+        trie.insert(Dewey((1,)))
+        assert len(trie) == 1
+
+    def test_marked_paths_in_document_order(self):
+        trie = DeweyTrie()
+        for path in [(2,), (0, 1), (0,), (1, 5, 2)]:
+            trie.insert(Dewey(path))
+        assert [d.path for d in trie.marked_paths()] == [
+            (0,),
+            (0, 1),
+            (1, 5, 2),
+            (2,),
+        ]
+
+    @given(st.lists(paths, max_size=12))
+    def test_subtree_modified_matches_bruteforce(self, inserted):
+        trie = DeweyTrie()
+        for path in inserted:
+            trie.insert(Dewey(path))
+        queries = inserted + [(), (0,), (1, 1)]
+        for query in queries:
+            expected = any(
+                mark[: len(query)] == tuple(query) for mark in inserted
+            )
+            assert trie.subtree_modified(Dewey(query)) == expected
+
+    @given(st.lists(paths, max_size=12))
+    def test_contains_matches_set(self, inserted):
+        trie = DeweyTrie()
+        for path in inserted:
+            trie.insert(Dewey(path))
+        marks = set(inserted)
+        assert len(trie) == len(marks)
+        for mark in marks:
+            assert trie.contains(Dewey(mark))

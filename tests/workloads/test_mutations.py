@@ -1,0 +1,105 @@
+"""Tests for document edit drivers and schema perturbation."""
+
+import random
+
+from repro.core.updates import UpdateSession
+from repro.schema.model import ComplexType
+from repro.workloads.generators import random_schema, sample_document
+from repro.workloads.mutations import (
+    deletable_leaves,
+    perturb_schema,
+    random_edits,
+)
+from repro.workloads.purchase_orders import make_purchase_order
+
+
+class TestRandomEdits:
+    def test_edits_applied_and_counted(self):
+        rng = random.Random(1)
+        session = UpdateSession(make_purchase_order(10))
+        applied = random_edits(rng, session, 10)
+        assert applied > 0
+        assert session.update_count == applied
+
+    def test_result_document_always_materializable(self):
+        rng = random.Random(7)
+        for seed in range(10):
+            session = UpdateSession(make_purchase_order(5))
+            random_edits(random.Random(seed), session, 8)
+            result = session.result_document()
+            assert result.root.label  # materialization succeeded
+
+    def test_no_deletes_mode(self):
+        rng = random.Random(3)
+        session = UpdateSession(make_purchase_order(5))
+        random_edits(rng, session, 15, allow_deletes=False)
+        root = session.document.root
+        assert not any(
+            session.is_deleted(node)
+            for element in root.iter()
+            for node in [element, *element.children]
+        )
+
+    def test_custom_label_palette(self):
+        rng = random.Random(5)
+        session = UpdateSession(make_purchase_order(3))
+        random_edits(rng, session, 10, labels=["zzz"])
+        new_labels = {
+            element.label
+            for element in session.document.root.iter()
+            if session.is_inserted(element)
+            or (session.is_touched(element)
+                and session.proj_old(element) != element.label)
+        }
+        assert new_labels <= {"zzz"}
+
+
+class TestDeletableLeaves:
+    def test_leaves_have_no_live_children(self):
+        session = UpdateSession(make_purchase_order(2))
+        for leaf in deletable_leaves(session):
+            session.delete(leaf)  # must never raise
+
+
+class TestPerturbSchema:
+    def test_perturbation_changes_something(self):
+        rng = random.Random(13)
+        changed = 0
+        for _ in range(10):
+            try:
+                schema = random_schema(rng)
+            except Exception:
+                continue
+            perturbed = perturb_schema(rng, schema)
+            assert set(perturbed.roots) == set(schema.roots)
+            for name in schema.types:
+                if name not in perturbed.types:
+                    continue
+                before = schema.types[name]
+                after = perturbed.types[name]
+                if isinstance(before, ComplexType) != isinstance(
+                    after, ComplexType
+                ):
+                    changed += 1
+                elif isinstance(before, ComplexType):
+                    if (before.content.to_source()
+                            != after.content.to_source()):
+                        changed += 1
+                elif before != after:
+                    changed += 1
+        assert changed >= 5
+
+    def test_perturbed_schema_is_usable(self):
+        rng = random.Random(17)
+        from repro.schema.registry import SchemaPair
+
+        built = 0
+        for _ in range(10):
+            try:
+                schema = random_schema(rng)
+                perturbed = perturb_schema(rng, schema)
+                SchemaPair(schema, perturbed)
+                built += 1
+            except Exception:
+                continue
+        assert built >= 6

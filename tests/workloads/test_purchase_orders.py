@@ -1,0 +1,77 @@
+"""Tests for the paper's purchase-order workload."""
+
+from repro.core.validator import validate_document
+from repro.workloads.purchase_orders import (
+    PAPER_ITEM_COUNTS,
+    PAPER_TABLE2_FILE_SIZES,
+    PAPER_TABLE3_NODES,
+    document_size_bytes,
+    make_purchase_order,
+    source_schema_experiment1,
+    source_schema_experiment2,
+    target_schema_experiment1,
+    target_schema_experiment2,
+)
+
+
+class TestSchemas:
+    def test_experiment1_schemas_differ_in_billto_only(
+        self, exp1_source, exp1_target
+    ):
+        optional = exp1_source.content_dfa("POType")
+        required = exp1_target.content_dfa("POType")
+        assert optional.accepts(["shipTo", "items"])
+        assert not required.accepts(["shipTo", "items"])
+        assert required.is_subset_of(optional)
+
+    def test_experiment2_schemas_differ_in_quantity_only(
+        self, exp2_source, exp2_target
+    ):
+        src_quantity = exp2_source.type(
+            exp2_source.type("Item").child_types["quantity"]
+        )
+        tgt_quantity = exp2_target.type(
+            exp2_target.type("Item").child_types["quantity"]
+        )
+        assert src_quantity.validate("150")
+        assert not tgt_quantity.validate("150")
+        assert tgt_quantity.is_subsumed_by(src_quantity)
+
+
+class TestDocuments:
+    def test_generated_documents_valid_under_both_experiment_sources(
+        self, exp1_source, exp2_source
+    ):
+        doc = make_purchase_order(10)
+        assert validate_document(exp1_source, doc).valid
+        assert validate_document(exp2_source, doc).valid
+
+    def test_without_billto_valid_only_under_optional_schema(
+        self, exp1_source, exp1_target
+    ):
+        doc = make_purchase_order(5, with_billto=False)
+        assert validate_document(exp1_source, doc).valid
+        assert not validate_document(exp1_target, doc).valid
+
+    def test_item_count_respected(self):
+        for count in (0, 1, 7):
+            doc = make_purchase_order(count)
+            assert len(doc.root.find("items").children) == count
+
+    def test_quantity_override(self, exp2_target):
+        doc = make_purchase_order(4, quantity_of=lambda i: 150)
+        assert not validate_document(exp2_target, doc).valid
+
+    def test_document_sizes_grow_linearly(self):
+        sizes = {
+            count: document_size_bytes(make_purchase_order(count))
+            for count in (2, 100, 1000)
+        }
+        per_item = (sizes[1000] - sizes[100]) / 900
+        assert 100 < per_item < 400  # same order as the paper's ~216 B
+
+    def test_paper_constants_consistent(self):
+        assert set(PAPER_TABLE2_FILE_SIZES) == set(PAPER_ITEM_COUNTS)
+        assert set(PAPER_TABLE3_NODES) == set(PAPER_ITEM_COUNTS)
+        for cast_nodes, xerces_nodes in PAPER_TABLE3_NODES.values():
+            assert cast_nodes < xerces_nodes

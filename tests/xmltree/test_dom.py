@@ -1,0 +1,168 @@
+"""Tests for the ordered labelled tree (DOM)."""
+
+import pytest
+
+from repro.dewey import Dewey
+from repro.xmltree.dom import CHI, Document, Element, Text, element
+
+
+class TestConstruction:
+    def test_element_builder_with_strings(self):
+        node = element("item", element("qty", "5"), "tail")
+        assert node.label == "item"
+        assert node.children[0].label == "qty"
+        assert isinstance(node.children[1], Text)
+
+    def test_text_label_is_chi(self):
+        assert Text("x").label == CHI
+
+    def test_append_sets_parent_and_index(self):
+        parent = Element("p")
+        first = parent.append(Element("a"))
+        second = parent.append(Element("b"))
+        assert (first.parent, first.index) == (parent, 0)
+        assert (second.parent, second.index) == (parent, 1)
+
+    def test_append_attached_node_rejected(self):
+        parent = Element("p")
+        child = parent.append(Element("a"))
+        with pytest.raises(ValueError):
+            Element("q").append(child)
+
+    def test_insert_shifts_indices(self):
+        parent = element("p", element("a"), element("c"))
+        parent.insert(1, Element("b"))
+        assert [c.label for c in parent.children] == ["a", "b", "c"]
+        assert [c.index for c in parent.children] == [0, 1, 2]
+
+    def test_insert_out_of_range(self):
+        with pytest.raises(IndexError):
+            Element("p").insert(1, Element("a"))
+
+    def test_remove_detaches_and_renumbers(self):
+        parent = element("p", element("a"), element("b"), element("c"))
+        middle = parent.children[1]
+        parent.remove(middle)
+        assert middle.parent is None
+        assert middle.index == -1
+        assert [c.index for c in parent.children] == [0, 1]
+
+    def test_remove_non_child_rejected(self):
+        with pytest.raises(ValueError):
+            Element("p").remove(Element("a"))
+
+
+class TestNavigation:
+    def setup_method(self):
+        self.tree = element(
+            "po",
+            element("shipTo", element("name", "A")),
+            element("items", element("item"), element("item")),
+        )
+
+    def test_child_elements_and_labels(self):
+        assert [e.label for e in self.tree.child_elements()] == [
+            "shipTo",
+            "items",
+        ]
+        assert self.tree.child_labels() == ["shipTo", "items"]
+
+    def test_child_labels_exclude_text(self):
+        node = element("a", "text", element("b"))
+        assert node.child_labels() == ["b"]
+
+    def test_find_and_find_all(self):
+        items = self.tree.find("items")
+        assert items is not None
+        assert len(items.find_all("item")) == 2
+        assert self.tree.find("missing") is None
+
+    def test_text_concatenation(self):
+        node = element("a", "x", element("b"), "y")
+        assert node.text() == "xy"
+
+    def test_iter_preorder(self):
+        labels = [e.label for e in self.tree.iter()]
+        assert labels == ["po", "shipTo", "name", "items", "item", "item"]
+
+    def test_iter_nodes_includes_text(self):
+        assert self.tree.size() == 7  # 6 elements + 1 text
+
+    def test_dewey_numbers(self):
+        name = self.tree.find("shipTo").find("name")
+        assert name.dewey() == Dewey((0, 0))
+        assert self.tree.dewey() == Dewey(())
+
+    def test_node_at_inverts_dewey(self):
+        for node in self.tree.iter_nodes():
+            assert self.tree.node_at(node.dewey()) is node
+
+    def test_node_at_missing_path(self):
+        with pytest.raises(KeyError):
+            self.tree.node_at(Dewey((9, 9)))
+
+    def test_root_and_depth(self):
+        name = self.tree.find("shipTo").find("name")
+        assert name.root() is self.tree
+        assert name.depth() == 2
+
+
+class TestCopyAndEquality:
+    def test_copy_is_deep_and_detached(self):
+        original = element("a", element("b", "t"), attrs={"k": "v"})
+        clone = original.copy()
+        assert clone is not original
+        assert clone.structurally_equal(original)
+        assert clone.attributes == {"k": "v"}
+        clone.children[0].children[0].value = "changed"
+        assert original.children[0].text() == "t"
+
+    def test_structural_equality_ignores_attributes(self):
+        left = element("a", attrs={"x": "1"})
+        right = element("a", attrs={"x": "2"})
+        assert left.structurally_equal(right)
+
+    def test_structural_inequality_on_labels(self):
+        assert not element("a").structurally_equal(element("b"))
+
+    def test_structural_inequality_on_text(self):
+        assert not element("a", "x").structurally_equal(element("a", "y"))
+
+    def test_structural_inequality_on_shape(self):
+        assert not element("a", element("b")).structurally_equal(
+            element("a", "b")
+        )
+
+
+class TestDocument:
+    def test_label_index(self):
+        doc = Document(
+            element("po", element("item"), element("x", element("item")))
+        )
+        assert len(doc.elements_with_label("item")) == 2
+        assert doc.elements_with_label("missing") == []
+
+    def test_label_index_in_document_order(self):
+        doc = Document(
+            element("r", element("a", element("b")), element("b"))
+        )
+        deweys = [e.dewey().path for e in doc.elements_with_label("b")]
+        assert deweys == [(0, 0), (1,)]
+
+    def test_labels_set(self):
+        doc = Document(element("a", element("b"), element("b")))
+        assert doc.labels() == {"a", "b"}
+
+    def test_invalidate_index_after_mutation(self):
+        doc = Document(element("a"))
+        assert doc.elements_with_label("b") == []
+        doc.root.append(Element("b"))
+        doc.invalidate_index()
+        assert len(doc.elements_with_label("b")) == 1
+
+    def test_document_copy(self):
+        doc = Document(element("a", element("b")), "a", "<!ELEMENT a (b)>")
+        clone = doc.copy()
+        assert clone.root.structurally_equal(doc.root)
+        assert clone.doctype_name == "a"
+        assert clone.internal_subset == "<!ELEMENT a (b)>"

@@ -1,0 +1,133 @@
+"""Tests for the streaming event parser."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.dom import Document, Element, Text
+from repro.xmltree.events import (
+    Characters,
+    EndElement,
+    StartElement,
+    iterparse,
+)
+from repro.xmltree.parser import parse
+
+
+def events_of(text, **kwargs):
+    return list(iterparse(text, **kwargs))
+
+
+def tree_from_events(events):
+    """Rebuild a DOM from events (for equivalence checks)."""
+    root = None
+    stack = []
+    for event in events:
+        if isinstance(event, StartElement):
+            node = Element(event.label, event.attributes)
+            if stack:
+                stack[-1].append(node)
+            else:
+                root = node
+            stack.append(node)
+        elif isinstance(event, Characters):
+            stack[-1].append(Text(event.value))
+        else:
+            closed = stack.pop()
+            assert closed.label == event.label
+    assert root is not None
+    return Document(root)
+
+
+class TestEventStream:
+    def test_simple_sequence(self):
+        events = events_of("<a><b>x</b><c/></a>")
+        assert events == [
+            StartElement("a", {}),
+            StartElement("b", {}),
+            Characters("x"),
+            EndElement("b"),
+            StartElement("c", {}),
+            EndElement("c"),
+            EndElement("a"),
+        ]
+
+    def test_attributes_and_entities(self):
+        events = events_of('<a x="1&amp;2">&lt;z&gt;</a>')
+        assert events[0] == StartElement("a", {"x": "1&2"})
+        assert events[1] == Characters("<z>")
+
+    def test_whitespace_suppression(self):
+        events = events_of("<a>\n  <b/>\n</a>")
+        assert not any(isinstance(e, Characters) for e in events)
+        kept = events_of("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        assert sum(isinstance(e, Characters) for e in kept) == 2
+
+    def test_cdata_and_comments(self):
+        events = events_of("<a><!-- hi --><![CDATA[<&]]></a>")
+        assert Characters("<&") in events
+
+    def test_prolog_and_doctype_skipped(self):
+        events = events_of(
+            '<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a EMPTY>]>'
+            "<!-- c --><a/>"
+        )
+        assert events == [StartElement("a", {}), EndElement("a")]
+
+    def test_mismatched_close(self):
+        with pytest.raises(XMLSyntaxError, match="mismatched"):
+            events_of("<a><b></a></b>")
+
+    def test_unterminated(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated"):
+            events_of("<a><b></b>")
+
+    def test_content_after_root(self):
+        with pytest.raises(XMLSyntaxError, match="after the root"):
+            events_of("<a/><b/>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XMLSyntaxError, match="duplicate"):
+            events_of('<a x="1" x="2"/>')
+
+
+class TestDomEquivalence:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a/>",
+            "<a>x</a>",
+            "<a><b>1</b><c><d/></c>tail</a>",
+            '<a k="v"><b a1="x" a2="y"/></a>',
+            "<a>one<!-- c -->two</a>",
+            "<po><items><item>1</item><item>2</item></items></po>",
+        ],
+    )
+    def test_events_rebuild_the_dom(self, source):
+        via_events = tree_from_events(events_of(source))
+        via_dom = parse(source)
+        assert via_events.root.structurally_equal(via_dom.root)
+
+    def test_random_documents_agree(self):
+        import random
+
+        from repro.workloads.generators import (
+            random_schema,
+            sample_document,
+        )
+        from repro.xmltree.serializer import serialize
+
+        rng = random.Random(5)
+        checked = 0
+        for _ in range(10):
+            try:
+                schema = random_schema(rng)
+            except Exception:
+                continue
+            doc = sample_document(rng, schema, max_depth=5)
+            if doc is None:
+                continue
+            text = serialize(doc, indent="  ")
+            rebuilt = tree_from_events(events_of(text))
+            assert rebuilt.root.structurally_equal(parse(text).root)
+            checked += 1
+        assert checked >= 3

@@ -1,0 +1,129 @@
+"""Tests for the XML scanner primitives."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.lexer import Scanner, is_name
+
+
+class TestIsName:
+    def test_accepts_plain_names(self):
+        assert is_name("purchaseOrder")
+        assert is_name("_private")
+        assert is_name("xsd:element")
+        assert is_name("a-b.c_d")
+
+    def test_rejects_bad_names(self):
+        assert not is_name("")
+        assert not is_name("9lives")
+        assert not is_name("-leading")
+        assert not is_name("sp ace")
+
+
+class TestScannerBasics:
+    def test_peek_and_advance(self):
+        scanner = Scanner("abc")
+        assert scanner.peek() == "a"
+        assert scanner.peek(2) == "c"
+        assert scanner.peek(3) == ""
+        scanner.advance(2)
+        assert scanner.peek() == "c"
+
+    def test_expect_success_and_failure(self):
+        scanner = Scanner("<tag>")
+        scanner.expect("<")
+        with pytest.raises(XMLSyntaxError):
+            scanner.expect(">")
+
+    def test_match_consumes_only_on_success(self):
+        scanner = Scanner("abab")
+        assert scanner.match("ab")
+        assert not scanner.match("ba")
+        assert scanner.pos == 2
+
+    def test_skip_whitespace(self):
+        scanner = Scanner("  \t\n x")
+        assert scanner.skip_whitespace()
+        assert scanner.peek() == "x"
+        assert not scanner.skip_whitespace()
+
+    def test_read_name(self):
+        scanner = Scanner("shipTo>")
+        assert scanner.read_name() == "shipTo"
+        assert scanner.peek() == ">"
+
+    def test_read_name_error_position(self):
+        scanner = Scanner("  9bad")
+        scanner.skip_whitespace()
+        with pytest.raises(XMLSyntaxError):
+            scanner.read_name()
+
+    def test_read_until_consumes_delimiter(self):
+        scanner = Scanner("hello-->after")
+        assert scanner.read_until("-->", what="comment") == "hello"
+        assert scanner.peek() == "a"
+
+    def test_read_until_unterminated(self):
+        scanner = Scanner("never ends")
+        with pytest.raises(XMLSyntaxError, match="unterminated"):
+            scanner.read_until("-->", what="comment")
+
+    def test_read_quoted_both_quote_kinds(self):
+        assert Scanner('"abc"').read_quoted() == "abc"
+        assert Scanner("'x y'").read_quoted() == "x y"
+
+    def test_read_quoted_requires_quote(self):
+        with pytest.raises(XMLSyntaxError):
+            Scanner("abc").read_quoted()
+
+
+class TestLineColumn:
+    def test_first_line(self):
+        scanner = Scanner("abc\ndef")
+        assert scanner.line_column(0) == (1, 1)
+        assert scanner.line_column(2) == (1, 3)
+
+    def test_after_newlines(self):
+        scanner = Scanner("ab\ncd\nef")
+        assert scanner.line_column(3) == (2, 1)
+        assert scanner.line_column(7) == (3, 2)
+
+    def test_error_carries_position(self):
+        scanner = Scanner("ab\ncd")
+        scanner.pos = 4
+        error = scanner.error("boom")
+        assert error.line == 2
+        assert error.column == 2
+
+
+class TestEntityDecoding:
+    def test_predefined_entities(self):
+        scanner = Scanner("")
+        raw = "a &lt; b &gt; c &amp; d &quot; e &apos;"
+        assert scanner.decode_entities(raw, 0) == "a < b > c & d \" e '"
+
+    def test_numeric_decimal(self):
+        assert Scanner("").decode_entities("&#65;&#66;", 0) == "AB"
+
+    def test_numeric_hex(self):
+        assert Scanner("").decode_entities("&#x41;&#X42;", 0) == "AB"
+
+    def test_no_entities_fast_path(self):
+        text = "plain text"
+        assert Scanner("").decode_entities(text, 0) is text
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="unknown entity"):
+            Scanner("").decode_entities("&nbsp;", 0)
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated entity"):
+            Scanner("").decode_entities("a &amp b", 0)
+
+    def test_bad_character_reference(self):
+        with pytest.raises(XMLSyntaxError, match="bad character reference"):
+            Scanner("").decode_entities("&#xZZ;", 0)
+
+    def test_huge_character_reference(self):
+        with pytest.raises(XMLSyntaxError, match="bad character reference"):
+            Scanner("").decode_entities("&#99999999999;", 0)

@@ -1,0 +1,162 @@
+"""Tests for the XML document parser."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.dom import Element, Text
+from repro.xmltree.parser import parse, parse_fragment
+
+
+class TestBasicDocuments:
+    def test_single_empty_element(self):
+        doc = parse("<a/>")
+        assert doc.root.label == "a"
+        assert doc.root.children == []
+
+    def test_open_close_pair(self):
+        doc = parse("<a></a>")
+        assert doc.root.label == "a"
+        assert doc.root.children == []
+
+    def test_nested_elements(self):
+        doc = parse("<a><b><c/></b><d/></a>")
+        assert [c.label for c in doc.root.children] == ["b", "d"]
+        assert doc.root.children[0].children[0].label == "c"
+
+    def test_text_content(self):
+        doc = parse("<a>hello world</a>")
+        (text,) = doc.root.children
+        assert isinstance(text, Text)
+        assert text.value == "hello world"
+
+    def test_mixed_content_preserved(self):
+        doc = parse("<a>x<b/>y</a>")
+        kinds = [type(c).__name__ for c in doc.root.children]
+        assert kinds == ["Text", "Element", "Text"]
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        doc = parse("<a>\n  <b/>\n  <c/>\n</a>")
+        assert [c.label for c in doc.root.children] == ["b", "c"]
+
+    def test_whitespace_kept_on_request(self):
+        doc = parse("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        kinds = [type(c).__name__ for c in doc.root.children]
+        assert kinds == ["Text", "Element", "Text"]
+
+    def test_xml_declaration_and_prolog_comment(self):
+        doc = parse('<?xml version="1.0"?><!-- hi --><a/>')
+        assert doc.root.label == "a"
+
+    def test_trailing_comment_and_pi_allowed(self):
+        doc = parse("<a/><!-- done --><?pi data?>")
+        assert doc.root.label == "a"
+
+
+class TestAttributes:
+    def test_attributes_parsed_in_order(self):
+        doc = parse('<a x="1" y="2"/>')
+        assert list(doc.root.attributes.items()) == [("x", "1"), ("y", "2")]
+
+    def test_single_quoted_attribute(self):
+        assert parse("<a x='v'/>").root.attributes["x"] == "v"
+
+    def test_attribute_entities_decoded(self):
+        doc = parse('<a x="1&amp;2&lt;3"/>')
+        assert doc.root.attributes["x"] == "1&2<3"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="duplicate attribute"):
+            parse('<a x="1" x="2"/>')
+
+    def test_attribute_requires_whitespace_separator(self):
+        with pytest.raises(XMLSyntaxError):
+            parse('<a x="1"y="2"/>')
+
+    def test_whitespace_around_equals(self):
+        assert parse('<a x = "1"/>').root.attributes["x"] == "1"
+
+
+class TestEntitiesAndCData:
+    def test_text_entities_decoded(self):
+        assert parse("<a>&lt;tag&gt; &amp; more</a>").root.text() == "<tag> & more"
+
+    def test_cdata_taken_verbatim(self):
+        doc = parse("<a><![CDATA[<not> &amp; parsed]]></a>")
+        assert doc.root.text() == "<not> &amp; parsed"
+
+    def test_cdata_merges_with_text(self):
+        doc = parse("<a>x<![CDATA[y]]>z</a>")
+        assert doc.root.text() == "xyz"
+        assert len(doc.root.children) == 1
+
+    def test_numeric_references(self):
+        assert parse("<a>&#65;&#x42;</a>").root.text() == "AB"
+
+    def test_cdata_terminator_in_text_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="]]>"):
+            parse("<a>bad ]]> text</a>")
+
+
+class TestDoctype:
+    def test_doctype_name_captured(self):
+        doc = parse("<!DOCTYPE note SYSTEM 'note.dtd'><note/>")
+        assert doc.doctype_name == "note"
+
+    def test_internal_subset_captured_verbatim(self):
+        source = "<!DOCTYPE a [<!ELEMENT a (b*)> <!ELEMENT b EMPTY>]><a/>"
+        doc = parse(source)
+        assert "<!ELEMENT a (b*)>" in doc.internal_subset
+        assert "<!ELEMENT b EMPTY>" in doc.internal_subset
+
+    def test_public_identifier(self):
+        doc = parse('<!DOCTYPE a PUBLIC "-//X//DTD//EN" "a.dtd"><a/>')
+        assert doc.doctype_name == "a"
+
+    def test_subset_with_bracket_in_quotes(self):
+        doc = parse("<!DOCTYPE a [<!ENTITY x \"]\">]><a/>")
+        assert '"]"' in doc.internal_subset
+
+    def test_unterminated_subset(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated DOCTYPE"):
+            parse("<!DOCTYPE a [<!ELEMENT a EMPTY>")
+
+
+class TestErrors:
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XMLSyntaxError, match="mismatched close tag"):
+            parse("<a><b></a></b>")
+
+    def test_unterminated_element(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated element"):
+            parse("<a><b></b>")
+
+    def test_content_after_root(self):
+        with pytest.raises(XMLSyntaxError, match="after the root"):
+            parse("<a/><b/>")
+
+    def test_missing_root(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("   ")
+
+    def test_comment_with_double_dash(self):
+        with pytest.raises(XMLSyntaxError, match="--"):
+            parse("<a><!-- bad -- comment --></a>")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse("<a>\n<b>\n</a>")
+        except XMLSyntaxError as error:
+            assert error.line == 3
+        else:
+            pytest.fail("expected XMLSyntaxError")
+
+
+class TestFragment:
+    def test_parse_fragment_returns_element(self):
+        fragment = parse_fragment("<item><qty>5</qty></item>")
+        assert isinstance(fragment, Element)
+        assert fragment.find("qty").text() == "5"
+
+    def test_comments_and_pis_inside_content_skipped(self):
+        fragment = parse_fragment("<a><!-- c --><?pi d?><b/></a>")
+        assert [c.label for c in fragment.children] == ["b"]

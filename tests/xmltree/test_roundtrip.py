@@ -1,0 +1,84 @@
+"""Property-based round-trip tests: random trees survive
+serialize → parse, and parsing is deterministic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xmltree.dom import Element, Text
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+
+labels = st.sampled_from(["a", "b", "item", "shipTo", "x-y", "ns:tag"])
+# Text that survives the whitespace-dropping default: never all-blank.
+texts = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Po", "Sm"),
+        whitelist_characters=" <>&\"'",
+    ),
+    min_size=1,
+    max_size=20,
+).filter(lambda value: value.strip() != "")
+attr_names = st.sampled_from(["x", "y", "data-k", "id"])
+attr_values = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"),
+        whitelist_characters=" <&\"'",
+    ),
+    max_size=12,
+)
+
+
+@st.composite
+def random_trees(draw, depth=3):
+    label = draw(labels)
+    attrs = draw(
+        st.dictionaries(attr_names, attr_values, max_size=2)
+    )
+    node = Element(label, attrs)
+    if depth > 0:
+        children = draw(
+            st.lists(
+                st.one_of(
+                    texts.map(Text),
+                    random_trees(depth=depth - 1),
+                ),
+                max_size=3,
+            )
+        )
+        for child in children:
+            # Adjacent text nodes merge on reparse (XML has no notion of
+            # text-node boundaries), so never generate them adjacent.
+            if (
+                isinstance(child, Text)
+                and node.children
+                and isinstance(node.children[-1], Text)
+            ):
+                continue
+            node.append(child)
+    return node
+
+
+@given(random_trees())
+def test_compact_serialize_parse_roundtrip(tree):
+    again = parse(serialize(tree)).root
+    assert tree.structurally_equal(again)
+    assert _attributes_everywhere(tree) == _attributes_everywhere(again)
+
+
+@given(random_trees())
+def test_serialization_is_deterministic(tree):
+    assert serialize(tree) == serialize(tree)
+
+
+@given(random_trees())
+def test_double_roundtrip_is_fixpoint(tree):
+    once = serialize(parse(serialize(tree)).root)
+    twice = serialize(parse(once).root)
+    assert once == twice
+
+
+def _attributes_everywhere(tree):
+    collected = []
+    for node in tree.iter():
+        collected.append((node.dewey().path, tuple(node.attributes.items())))
+    return collected

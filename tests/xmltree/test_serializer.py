@@ -1,0 +1,79 @@
+"""Tests for XML serialization."""
+
+from repro.xmltree.dom import Document, element
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize,
+    write_file,
+)
+
+
+class TestEscaping:
+    def test_text_escapes_markup(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_text_preserves_quotes(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('a"b<c&d') == "a&quot;b&lt;c&amp;d"
+
+
+class TestCompactForm:
+    def test_empty_element_self_closes(self):
+        assert serialize(element("a")) == "<a/>"
+
+    def test_nested(self):
+        tree = element("a", element("b", "x"), element("c"))
+        assert serialize(tree) == "<a><b>x</b><c/></a>"
+
+    def test_attributes_rendered_in_order(self):
+        tree = element("a", attrs={"x": "1", "y": "2"})
+        assert serialize(tree) == '<a x="1" y="2"/>'
+
+    def test_document_input(self):
+        doc = Document(element("a"))
+        assert serialize(doc) == "<a/>"
+
+    def test_xml_declaration(self):
+        out = serialize(element("a"), xml_declaration=True)
+        assert out.startswith('<?xml version="1.0"')
+        assert out.endswith("<a/>")
+
+
+class TestPrettyForm:
+    def test_indented_output(self):
+        tree = element("a", element("b"), element("c", element("d")))
+        expected = "<a>\n  <b/>\n  <c>\n    <d/>\n  </c>\n</a>\n"
+        assert serialize(tree, indent="  ") == expected
+
+    def test_text_content_stays_inline(self):
+        tree = element("a", element("b", "keep me"))
+        assert "<b>keep me</b>" in serialize(tree, indent="  ")
+
+    def test_mixed_content_stays_inline(self):
+        tree = element("a", "x", element("b"), "y")
+        assert serialize(tree, indent="  ") == "<a>x<b/>y</a>\n"
+
+
+class TestRoundTrip:
+    def test_compact_roundtrip(self):
+        source = '<a x="1&amp;2"><b>text &lt;here&gt;</b><c/></a>'
+        doc = parse(source)
+        again = parse(serialize(doc))
+        assert doc.root.structurally_equal(again.root)
+        assert again.root.attributes == doc.root.attributes
+
+    def test_pretty_roundtrip_structure(self):
+        doc = parse("<a><b>x</b><c><d/></c></a>")
+        again = parse(serialize(doc, indent="  "))
+        assert doc.root.structurally_equal(again.root)
+
+    def test_write_file_returns_byte_count(self, tmp_path):
+        path = tmp_path / "out.xml"
+        tree = element("a", element("b", "x"))
+        count = write_file(tree, str(path))
+        assert count == path.stat().st_size
+        assert parse(path.read_text()).root.structurally_equal(tree)
