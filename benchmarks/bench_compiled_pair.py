@@ -1,0 +1,198 @@
+"""Compiled schema-pair artifacts: the numbers behind the optimisation.
+
+Three measurements, printed as a small table and checked against
+thresholds so CI can run this as a smoke test:
+
+1. **micro** — immediate-decision content scans, dict rows
+   (``transitions[q][label]``) versus compiled dense tuple rows
+   (``rows[q][sid]``) on Experiment-2 content words;
+2. **end-to-end** — the seed ``CastValidator`` (instrumented, dict
+   rows) versus the stats-off compiled fast path on the Experiment-2
+   purchase-order workload;
+3. **artifacts** — cold ``SchemaPair`` construction + ``warm()``
+   versus loading the pickled artifact back, on the A4 random-schema
+   family used by ``bench_precompute.py``.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_compiled_pair.py [--quick]
+
+``--quick`` shrinks the workloads for CI and only requires the
+compiled path to not be *slower* than the dict path (ratio > 1.0);
+the full run enforces the acceptance thresholds: end-to-end >= 1.5x
+and artifact load >= 10x.  Exit status 1 if any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import tempfile
+import time
+from typing import Callable
+
+from repro.core.cast import CastValidator
+from repro.schema import artifacts
+from repro.schema.registry import SchemaPair
+from repro.workloads.generators import random_schema
+from repro.workloads.purchase_orders import (
+    make_purchase_order,
+    source_schema_experiment2,
+    target_schema_experiment2,
+)
+
+
+def best_of(fn: Callable[[], object], reps: int, rounds: int = 3) -> float:
+    """Best-of-``rounds`` wall-clock for ``reps`` calls (noise floor)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_micro(pair: SchemaPair, reps: int) -> tuple[float, float]:
+    """Dict-row ``scan`` vs compiled ``decide`` on Items content."""
+    word = ["item"] * 200
+    immed = pair.target_immed("Items")
+    compiled = pair.target_immed_compiled("Items")
+    ids = pair.symbols.encode(word)
+    assert immed.scan(word).accepted == compiled.decide(ids)
+    dict_time = best_of(lambda: immed.scan(word), reps)
+    compiled_time = best_of(lambda: compiled.decide(ids), reps)
+    return dict_time, compiled_time
+
+
+def bench_end_to_end(
+    pair: SchemaPair, items: int, reps: int
+) -> tuple[float, float]:
+    """Seed (instrumented) validator vs compiled stats-off fast path."""
+    document = make_purchase_order(items)
+    seed = CastValidator(pair, collect_stats=True)
+    fast = CastValidator(pair, collect_stats=False)
+    assert seed.validate(document).valid
+    assert fast.validate(document).valid
+    seed_time = best_of(lambda: seed.validate(document), reps)
+    fast_time = best_of(lambda: fast.validate(document), reps)
+    return seed_time, fast_time
+
+
+def bench_artifacts(
+    sizes: list[int], seed: int = 5
+) -> tuple[float, float]:
+    """Cold build+warm vs artifact load over the A4 schema family."""
+    rng = random.Random(seed)
+    schema_pairs = []
+    for size in sizes:
+        while True:
+            try:
+                source = random_schema(
+                    rng,
+                    num_labels=size,
+                    num_complex=size,
+                    num_simple=max(2, size // 4),
+                )
+                target = random_schema(
+                    rng,
+                    num_labels=size,
+                    num_complex=size,
+                    num_simple=max(2, size // 4),
+                )
+            except Exception:
+                continue
+            schema_pairs.append((source, target))
+            break
+    cold_total = load_total = 0.0
+    with tempfile.TemporaryDirectory() as cache_dir:
+        for index, (source, target) in enumerate(schema_pairs):
+            start = time.perf_counter()
+            pair = SchemaPair(source, target)
+            pair.warm()
+            cold_total += time.perf_counter() - start
+            path = os.path.join(cache_dir, f"pair{index}.pkl")
+            artifacts.save(pair, path)
+            load_total += best_of(lambda p=path: artifacts.load(p), 1)
+    return cold_total, load_total
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI smoke run; only requires compiled >= dict",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        micro_reps, e2e_items, e2e_reps = 200, 100, 10
+        sizes = [6, 8]
+        e2e_floor, artifact_floor = 1.0, 2.0
+    else:
+        micro_reps, e2e_items, e2e_reps = 2000, 200, 40
+        sizes = [6, 8, 10, 12]
+        e2e_floor, artifact_floor = 1.5, 10.0
+
+    pair = SchemaPair(
+        source_schema_experiment2(), target_schema_experiment2()
+    )
+    pair.warm()
+
+    dict_time, compiled_time = bench_micro(pair, micro_reps)
+    seed_time, fast_time = bench_end_to_end(pair, e2e_items, e2e_reps)
+    cold_time, load_time = bench_artifacts(sizes)
+
+    rows = [
+        (
+            "micro: Items content scan",
+            f"dict {dict_time * 1e3:8.2f} ms",
+            f"compiled {compiled_time * 1e3:8.2f} ms",
+            dict_time / compiled_time,
+        ),
+        (
+            f"end-to-end: exp2 PO x{e2e_items}",
+            f"seed {seed_time * 1e3:8.2f} ms",
+            f"fast {fast_time * 1e3:8.2f} ms",
+            seed_time / fast_time,
+        ),
+        (
+            f"artifacts: A4 sizes {sizes}",
+            f"cold {cold_time * 1e3:8.2f} ms",
+            f"load {load_time * 1e3:8.2f} ms",
+            cold_time / load_time,
+        ),
+    ]
+    for name, left, right, speedup in rows:
+        print(f"{name:<34} {left}  {right}  {speedup:6.2f}x")
+
+    failures = []
+    micro_speedup = dict_time / compiled_time
+    e2e_speedup = seed_time / fast_time
+    artifact_speedup = cold_time / load_time
+    if micro_speedup <= 1.0:
+        failures.append(
+            f"compiled scan slower than dict rows ({micro_speedup:.2f}x)"
+        )
+    if e2e_speedup < e2e_floor:
+        failures.append(
+            f"end-to-end speedup {e2e_speedup:.2f}x < {e2e_floor}x"
+        )
+    if artifact_speedup < artifact_floor:
+        failures.append(
+            f"artifact load speedup {artifact_speedup:.2f}x "
+            f"< {artifact_floor}x"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok: compiled pair meets thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

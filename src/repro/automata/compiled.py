@@ -1,0 +1,257 @@
+"""Dense compiled automaton tables over interned label alphabets.
+
+The dict-row :class:`~repro.automata.dfa.DFA` representation is the
+right shape for the *constructions* (products, minimization, reverse
+reachability), but it makes the runtime hot loops pay a string hash per
+scanned symbol.  Everything here is a post-construction compilation
+step — purely static, derived from automata that depend only on the
+schema pair, so the artifacts amortize over every document validated:
+
+* :class:`SymbolTable` — a bijective interning of element labels to
+  dense integers ``0..k-1``.  One table is shared per schema (its own
+  alphabet) or per schema pair (the union alphabet), so one string
+  lookup per *child label* replaces one per *automaton step*.
+* :class:`CompiledDFA` — a complete DFA as flat tuple rows indexed by
+  symbol id.  Entries are ``-1`` for symbols the underlying DFA's
+  alphabet does not contain (the table may cover a superset alphabet);
+  such symbols reject, exactly as the dict representation's missing-key
+  path does.
+* :class:`CompiledImmediate` — an immediate decision automaton
+  (Section 4) with IA/IR/final membership as boolean masks, scanned by
+  tuple indexing instead of frozenset hashing.
+
+The interning is bijective, so every compiled run recognizes exactly
+the language of the source automaton (word accepted iff its image under
+the interning is accepted) — the constructions stay on the paper's
+label alphabets and only the execution changes representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.automata.dfa import DFA
+from repro.automata.immediate import ImmediateDecisionAutomaton
+
+
+class SymbolTable:
+    """A bijective label → dense-int interning.
+
+    Construction order fixes the ids; callers that want deterministic
+    artifacts (content hashing, cached pickles) should pass sorted
+    labels.  Unknown labels encode to ``-1``, which every compiled
+    runner treats as an immediate mismatch.
+    """
+
+    __slots__ = ("labels", "ids")
+
+    def __init__(self, labels: Iterable[str]):
+        self.labels: tuple[str, ...] = tuple(dict.fromkeys(labels))
+        self.ids: dict[str, int] = {
+            label: index for index, label in enumerate(self.labels)
+        }
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.ids
+
+    def id(self, label: str) -> int:
+        """The id of ``label``, or ``-1`` when not interned."""
+        return self.ids.get(label, -1)
+
+    def label(self, symbol_id: int) -> str:
+        return self.labels[symbol_id]
+
+    def encode(self, word: Iterable[str]) -> list[int]:
+        """Intern a word; unknown labels become ``-1``."""
+        ids = self.ids
+        return [ids.get(symbol, -1) for symbol in word]
+
+    def __repr__(self) -> str:
+        return f"SymbolTable({len(self.labels)} labels)"
+
+
+class CompiledDFA:
+    """A complete DFA compiled to dense integer transition rows.
+
+    ``rows[q][sid]`` is the successor of state ``q`` on the symbol with
+    id ``sid``, or ``-1`` when that symbol is outside the underlying
+    DFA's alphabet (possible when the symbol table covers a superset —
+    e.g. the pair alphabet against one schema's content model).
+    """
+
+    __slots__ = ("symbols", "rows", "start", "finals_mask")
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        rows: Sequence[Sequence[int]],
+        start: int,
+        finals_mask: Sequence[bool],
+    ):
+        self.symbols = symbols
+        self.rows: tuple[tuple[int, ...], ...] = tuple(
+            tuple(row) for row in rows
+        )
+        self.start = start
+        self.finals_mask: tuple[bool, ...] = tuple(finals_mask)
+
+    @classmethod
+    def from_dfa(cls, dfa: DFA, symbols: SymbolTable) -> "CompiledDFA":
+        rows = tuple(
+            tuple(row.get(label, -1) for label in symbols.labels)
+            for row in dfa.transitions
+        )
+        finals = dfa.finals
+        mask = tuple(q in finals for q in range(dfa.num_states))
+        return cls(symbols, rows, dfa.start, mask)
+
+    @property
+    def num_states(self) -> int:
+        return len(self.rows)
+
+    def run(self, ids: Iterable[int], start: Optional[int] = None) -> int:
+        """The state reached on an interned word, or ``-1`` once any
+        symbol falls outside the automaton's alphabet."""
+        state = self.start if start is None else start
+        rows = self.rows
+        for sid in ids:
+            if sid < 0:
+                return -1
+            state = rows[state][sid]
+            if state < 0:
+                return -1
+        return state
+
+    def run_from(self, state: int, ids: Iterable[int]) -> int:
+        """``run`` with an explicit start state (mid-scan resumption)."""
+        rows = self.rows
+        for sid in ids:
+            if sid < 0:
+                return -1
+            state = rows[state][sid]
+            if state < 0:
+                return -1
+        return state
+
+    def accepts(self, ids: Iterable[int]) -> bool:
+        state = self.start
+        rows = self.rows
+        for sid in ids:
+            if sid < 0:
+                return False
+            state = rows[state][sid]
+            if state < 0:
+                return False
+        return self.finals_mask[state]
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledDFA({self.num_states} states, "
+            f"{len(self.symbols)} symbols)"
+        )
+
+
+class CompiledImmediate:
+    """An immediate decision automaton compiled to dense tables.
+
+    ``decide``/``scan`` replicate
+    :meth:`~repro.automata.immediate.ImmediateDecisionAutomaton.scan`
+    exactly — IA checked before IR, both before consuming the symbol,
+    out-of-alphabet symbols an immediate reject — so the two
+    representations are interchangeable verdict- and count-wise.
+    """
+
+    __slots__ = ("symbols", "rows", "start", "finals_mask", "ia_mask",
+                 "ir_mask")
+
+    def __init__(
+        self,
+        symbols: SymbolTable,
+        rows: Sequence[Sequence[int]],
+        start: int,
+        finals_mask: Sequence[bool],
+        ia_mask: Sequence[bool],
+        ir_mask: Sequence[bool],
+    ):
+        self.symbols = symbols
+        self.rows: tuple[tuple[int, ...], ...] = tuple(
+            tuple(row) for row in rows
+        )
+        self.start = start
+        self.finals_mask: tuple[bool, ...] = tuple(finals_mask)
+        self.ia_mask: tuple[bool, ...] = tuple(ia_mask)
+        self.ir_mask: tuple[bool, ...] = tuple(ir_mask)
+
+    @classmethod
+    def from_immediate(
+        cls, immed: ImmediateDecisionAutomaton, symbols: SymbolTable
+    ) -> "CompiledImmediate":
+        dfa = immed.dfa
+        rows = tuple(
+            tuple(row.get(label, -1) for label in symbols.labels)
+            for row in dfa.transitions
+        )
+        n = dfa.num_states
+        return cls(
+            symbols,
+            rows,
+            dfa.start,
+            tuple(q in dfa.finals for q in range(n)),
+            tuple(q in immed.ia for q in range(n)),
+            tuple(q in immed.ir for q in range(n)),
+        )
+
+    @property
+    def num_states(self) -> int:
+        return len(self.rows)
+
+    def decide(self, ids: Iterable[int], start: Optional[int] = None) -> bool:
+        """The scan verdict alone — the stats-free hot path."""
+        state = self.start if start is None else start
+        rows = self.rows
+        ia = self.ia_mask
+        ir = self.ir_mask
+        for sid in ids:
+            if ia[state]:
+                return True
+            if ir[state]:
+                return False
+            if sid < 0:
+                return False
+            state = rows[state][sid]
+            if state < 0:
+                return False
+        return self.finals_mask[state]
+
+    def scan(
+        self, ids: Sequence[int], start: Optional[int] = None
+    ) -> tuple[bool, int, bool, int]:
+        """``(accepted, symbols_scanned, early, state)`` with the same
+        counting semantics as the dict-based ``scan``."""
+        state = self.start if start is None else start
+        rows = self.rows
+        ia = self.ia_mask
+        ir = self.ir_mask
+        scanned = 0
+        for sid in ids:
+            if ia[state]:
+                return True, scanned, True, state
+            if ir[state]:
+                return False, scanned, True, state
+            if sid < 0:
+                return False, scanned + 1, True, state
+            next_state = rows[state][sid]
+            if next_state < 0:
+                return False, scanned + 1, True, state
+            state = next_state
+            scanned += 1
+        return self.finals_mask[state], scanned, False, state
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledImmediate({self.num_states} states, "
+            f"{len(self.symbols)} symbols)"
+        )

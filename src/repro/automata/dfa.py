@@ -133,9 +133,10 @@ class DFA:
     def trace(self, word: Iterable[str]) -> Iterator[int]:
         """Yield the state sequence (including the start state)."""
         state = self.start
+        table = self.transitions
         yield state
         for symbol in word:
-            state = self.transitions[state][symbol]
+            state = table[state][symbol]
             yield state
 
     def accepts(self, word: Iterable[str]) -> bool:

@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.automata.compiled import CompiledImmediate, SymbolTable
 from repro.automata.dfa import DFA, harmonize
 from repro.automata.edits import common_affix_lengths
 from repro.automata.immediate import (
@@ -73,7 +74,13 @@ class CastScanResult:
 class StringCastValidator:
     """Preprocessed source/target DFA pair for repeated string casts."""
 
-    def __init__(self, source: DFA, target: DFA):
+    def __init__(
+        self,
+        source: DFA,
+        target: DFA,
+        *,
+        symbols: Optional[SymbolTable] = None,
+    ):
         self.source, self.target = harmonize(source, target)
         #: Definition 7 immediate decision automaton on the intersection.
         self.c_immed = ImmediateDecisionAutomaton.from_pair(
@@ -87,6 +94,19 @@ class StringCastValidator:
         #: True when the initial pair state is already dead — no
         #: source-valid string can be target-valid.
         self.never_accepts = self.c_immed.dfa.start in self.c_immed.ir
+        #: Shared interning table and dense-table compilations of both
+        #: immediate automata; ``None`` when no table was supplied (the
+        #: standalone construction — callers then scan the dict rows).
+        self.symbols = symbols
+        self.c_immed_compiled: Optional[CompiledImmediate] = None
+        self.b_immed_compiled: Optional[CompiledImmediate] = None
+        if symbols is not None:
+            self.c_immed_compiled = CompiledImmediate.from_immediate(
+                self.c_immed, symbols
+            )
+            self.b_immed_compiled = CompiledImmediate.from_immediate(
+                self.b_immed, symbols
+            )
         self._reverse: Optional[_ReverseMachinery] = None
 
     # -- lazily built reverse machinery -------------------------------------

@@ -6,7 +6,9 @@ driven without writing Python:
 * ``validate DOC --xsd SCHEMA | --dtd SCHEMA [--root LABEL]`` —
   plain validation of a document against one schema;
 * ``cast DOC --source A --target B [--stats] [--no-string-cast]`` —
-  schema cast validation (document promised valid under A);
+  schema cast validation (document promised valid under A); DOC may be
+  a directory, validated as a batch (``--jobs N`` parallelizes it);
+  ``--cache-dir DIR`` loads/saves the preprocessed pair artifact;
 * ``repair DOC --source A --target B [-o OUT]`` — correct the document
   to conform to the target schema and report the edits;
 * ``relations --source A --target B`` — print the precomputed
@@ -44,8 +46,7 @@ def load_schema(path: str, *, roots: Optional[list[str]] = None) -> Schema:
     return parse_xsd_file(path)
 
 
-def _print_stats(report) -> None:
-    stats = report.stats
+def _print_stats(stats) -> None:
     print(f"  nodes visited:          {stats.nodes_visited}")
     print(f"  subtrees skipped:       {stats.subtrees_skipped}")
     print(f"  disjoint rejections:    {stats.disjoint_rejections}")
@@ -66,16 +67,55 @@ def cmd_validate(args: argparse.Namespace) -> int:
     if report.valid:
         print(f"{args.document}: valid")
         if args.stats:
-            _print_stats(report)
+            _print_stats(report.stats)
         return 0
     print(f"{args.document}: INVALID — {report.reason}")
     return 1
 
 
-def cmd_cast(args: argparse.Namespace) -> int:
+def _load_pair(args: argparse.Namespace) -> SchemaPair:
+    """Build (or fetch from the artifact cache) the schema pair."""
     source = load_schema(args.source)
     target = load_schema(args.target)
-    pair = SchemaPair(source, target)
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from repro.schema.artifacts import get_or_build
+
+        pair, from_cache = get_or_build(source, target, cache_dir)
+        origin = "cached artifact" if from_cache else "built and cached"
+        print(f"pair: {origin} ({cache_dir})")
+        return pair
+    return SchemaPair(source, target)
+
+
+def cmd_cast(args: argparse.Namespace) -> int:
+    import os
+
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    pair = _load_pair(args)
+    if os.path.isdir(args.document):
+        from repro.core.batch import validate_directory
+
+        batch = validate_directory(
+            pair,
+            args.document,
+            jobs=args.jobs,
+            use_string_cast=not args.no_string_cast,
+            collect_stats=args.stats,
+        )
+        for result in batch.invalid:
+            detail = result.error or result.reason
+            print(f"{result.path}: INVALID — {detail}")
+        print(
+            f"{args.document}: {batch.valid_count}/{batch.total} valid "
+            f"(jobs={args.jobs})"
+        )
+        if args.stats and batch.stats is not None:
+            _print_stats(batch.stats)
+        return 0 if batch.all_valid else 1
     if args.streaming:
         from repro.core.streaming import StreamingCastValidator
 
@@ -92,7 +132,7 @@ def cmd_cast(args: argparse.Namespace) -> int:
     verdict = "valid" if report.valid else f"INVALID — {report.reason}"
     print(f"{args.document}: {verdict}")
     if args.stats:
-        _print_stats(report)
+        _print_stats(report.stats)
     return 0 if report.valid else 1
 
 
@@ -116,9 +156,8 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
 
 def cmd_relations(args: argparse.Namespace) -> int:
-    source = load_schema(args.source)
-    target = load_schema(args.target)
-    pair = SchemaPair(source, target)
+    pair = _load_pair(args)
+    source, target = pair.source, pair.target
     print(f"R_sub ({len(pair.r_sub)} pairs — skip these subtrees):")
     for tau, tau_p in sorted(pair.r_sub):
         print(f"  {tau} <= {tau_p}")
@@ -190,6 +229,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="check content models with a plain target scan "
         "(the paper's modified-Xerces configuration)",
     )
+    cast.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for directory (batch) mode",
+    )
+    cast.add_argument(
+        "--cache-dir",
+        help="directory for persisted schema-pair artifacts",
+    )
     cast.set_defaults(handler=cmd_cast)
 
     repair = commands.add_parser(
@@ -211,6 +260,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     relations.add_argument("--source", required=True)
     relations.add_argument("--target", required=True)
+    relations.add_argument(
+        "--cache-dir",
+        help="directory for persisted schema-pair artifacts",
+    )
     relations.set_defaults(handler=cmd_relations)
 
     gen = commands.add_parser(

@@ -19,6 +19,13 @@ the target content DFA, matching the paper's modified-Xerces prototype
 ("we do not use the algorithms of Section 4 ... to perform a fair
 comparison"); benchmarks exercise both configurations.
 
+``collect_stats=False`` trades the Table-3 instrumentation for
+throughput: the traversal runs the compiled dense-table automata of
+:mod:`repro.automata.compiled` (interned labels, tuple-row scans), skips
+the counter updates, and allocates a :class:`ValidationReport` only on
+failure.  Verdicts are identical in both modes; only the stats mode can
+report counters.
+
 If the document is *not* valid under S (a broken promise), the verdict
 may be wrong in either direction — same contract as the paper.
 """
@@ -36,9 +43,16 @@ from repro.xmltree.dom import Document, Element, Text
 class CastValidator:
     """Revalidates S-valid documents against S' using R_sub/R_dis."""
 
-    def __init__(self, pair: SchemaPair, *, use_string_cast: bool = True):
+    def __init__(
+        self,
+        pair: SchemaPair,
+        *,
+        use_string_cast: bool = True,
+        collect_stats: bool = True,
+    ):
         self.pair = pair
         self.use_string_cast = use_string_cast
+        self.collect_stats = collect_stats
 
     # -- entry points -----------------------------------------------------
 
@@ -60,6 +74,9 @@ class CastValidator:
             from repro.core.validator import validate_element
 
             return validate_element(self.pair.target, target_type, root)
+        if not self.collect_stats:
+            failure = self._fast_element(source_type, target_type, root)
+            return ValidationReport.success() if failure is None else failure
         stats = ValidationStats()
         report = self.validate_element(source_type, target_type, root, stats)
         report.stats = stats
@@ -74,7 +91,16 @@ class CastValidator:
         element: Element,
         stats: Optional[ValidationStats] = None,
     ) -> ValidationReport:
-        """The paper's ``validate(τ, τ', e)``."""
+        """The paper's ``validate(τ, τ', e)``.
+
+        With ``collect_stats=False`` and no explicit ``stats``, the call
+        dispatches to the compiled fast path; passing a ``stats`` object
+        always takes the instrumented path (the with-modifications
+        validator threads its accumulator through here).
+        """
+        if stats is None and not self.collect_stats:
+            failure = self._fast_element(source_type, target_type, element)
+            return ValidationReport.success() if failure is None else failure
         stats = stats if stats is not None else ValidationStats()
         if self.pair.is_subsumed(source_type, target_type):
             stats.subtrees_skipped += 1
@@ -229,3 +255,122 @@ class CastValidator:
                 stats=stats,
             )
         return ValidationReport.success(stats)
+
+    # -- the compiled fast path (collect_stats=False) ------------------------------
+
+    def _fast_element(
+        self, source_type: str, target_type: str, element: Element
+    ) -> Optional[ValidationReport]:
+        """The traversal of :meth:`validate_element` with counters off:
+        ``None`` means the subtree is valid, a report is a failure —
+        success allocates nothing on the way up."""
+        pair = self.pair
+        if (source_type, target_type) in pair.r_sub:
+            return None
+        if (source_type, target_type) not in pair.r_nondis:
+            return ValidationReport.failure(
+                f"source type {source_type!r} is disjoint from target "
+                f"type {target_type!r}",
+                path=str(element.dewey()),
+            )
+        target_decl = pair.target.types[target_type]
+        if element.attributes or (
+            isinstance(target_decl, ComplexType) and target_decl.attributes
+        ):
+            from repro.core.validator import attribute_violation
+
+            violation = attribute_violation(pair.target, target_decl, element)
+            if violation:
+                return ValidationReport.failure(
+                    violation, path=str(element.dewey())
+                )
+        if isinstance(target_decl, SimpleType):
+            return self._fast_simple(target_decl, element)
+        labels: list[str] = []
+        for child in element.children:
+            if isinstance(child, Text):
+                if child.value.strip() == "":
+                    continue
+                return ValidationReport.failure(
+                    f"complex type {target_type!r} does not allow "
+                    "character data",
+                    path=str(child.dewey()),
+                )
+            labels.append(child.label)
+
+        if not self._fast_content(source_type, target_type, labels):
+            return ValidationReport.failure(
+                f"children of {element.label!r} do not match content "
+                f"model {target_decl.content.to_source()} of type "
+                f"{target_type!r}",
+                path=str(element.dewey()),
+            )
+        source_decl = pair.source.types[source_type]
+        if not isinstance(source_decl, ComplexType):
+            from repro.core.validator import validate_element
+
+            for child in element.children:
+                if not isinstance(child, Text):
+                    report = validate_element(
+                        pair.target,
+                        target_decl.child_types[child.label],
+                        child,
+                    )
+                    if not report.valid:
+                        return report
+            return None
+        source_children = source_decl.child_types
+        target_children = target_decl.child_types
+        for child in element.children:
+            if isinstance(child, Text):
+                continue
+            child_source = source_children.get(child.label)
+            child_target = target_children.get(child.label)
+            if child_source is None or child_target is None:
+                return ValidationReport.failure(
+                    f"no type assigned to label {child.label!r}",
+                    path=str(child.dewey()),
+                )
+            failure = self._fast_element(child_source, child_target, child)
+            if failure is not None:
+                return failure
+        return None
+
+    def _fast_content(
+        self, source_type: str, target_type: str, labels: list[str]
+    ) -> bool:
+        """:meth:`_check_content` on the compiled dense tables."""
+        pair = self.pair
+        if self.use_string_cast and isinstance(
+            pair.source.types[source_type], ComplexType
+        ):
+            machine = pair.string_cast(source_type, target_type)
+            if machine.always_accepts:
+                return True
+            if machine.never_accepts:
+                return False
+            compiled = machine.c_immed_compiled
+            assert compiled is not None  # pair-built machines always compile
+            return compiled.decide(pair.symbols.encode(labels))
+        return pair.target_content(target_type).accepts(
+            pair.symbols.encode(labels)
+        )
+
+    def _fast_simple(
+        self, declaration: SimpleType, element: Element
+    ) -> Optional[ValidationReport]:
+        for child in element.children:
+            if isinstance(child, Element):
+                return ValidationReport.failure(
+                    f"simple type {declaration.name!r} does not allow "
+                    "child elements",
+                    path=str(element.dewey()),
+                )
+        text = element.text()
+        if not declaration.validate(text):
+            return ValidationReport.failure(
+                f"value {text!r} does not conform to simple type "
+                f"{declaration.name!r}",
+                path=str(element.dewey()),
+            )
+        return None

@@ -30,12 +30,28 @@ from repro.xmltree.dom import Element, Text
 
 
 class CastWithModificationsValidator:
-    """Revalidates an edited, originally S-valid document against S'."""
+    """Revalidates an edited, originally S-valid document against S'.
 
-    def __init__(self, pair: SchemaPair, *, use_string_cast: bool = True):
+    ``collect_stats=False`` runs the whole walk (including the embedded
+    no-modifications cast of case 1) with counters off, on the compiled
+    dense-table automata where a compiled form exists.
+    """
+
+    def __init__(
+        self,
+        pair: SchemaPair,
+        *,
+        use_string_cast: bool = True,
+        collect_stats: bool = True,
+    ):
         self.pair = pair
         self.use_string_cast = use_string_cast
-        self._cast = CastValidator(pair, use_string_cast=use_string_cast)
+        self.collect_stats = collect_stats
+        self._cast = CastValidator(
+            pair,
+            use_string_cast=use_string_cast,
+            collect_stats=collect_stats,
+        )
 
     def validate(self, session: UpdateSession) -> ValidationReport:
         root = session.document.root
@@ -49,22 +65,25 @@ class CastWithModificationsValidator:
                 f"label {new_label!r} is not a permitted root of the "
                 "target schema"
             )
-        stats = ValidationStats()
+        stats = ValidationStats() if self.collect_stats else None
         if session.is_inserted(root):  # cannot happen via UpdateSession
             report = self._full_validate_live(session, target_type, root, stats)
-            report.stats = stats
+            if stats is not None:
+                report.stats = stats
             return report
         old_label = session.proj_old(root)
         assert old_label is not None
         source_type = self.pair.source.root_type(old_label)
         if source_type is None:
             report = self._full_validate_live(session, target_type, root, stats)
-            report.stats = stats
+            if stats is not None:
+                report.stats = stats
             return report
         report = self._validate_node(
             session, source_type, target_type, root, stats
         )
-        report.stats = stats
+        if stats is not None:
+            report.stats = stats
         return report
 
     # -- the recursive parallel walk -----------------------------------------
@@ -75,20 +94,22 @@ class CastWithModificationsValidator:
         source_type: str,
         target_type: str,
         element: Element,
-        stats: ValidationStats,
+        stats: Optional[ValidationStats],
     ) -> ValidationReport:
-        # Case 1: untouched subtree — plain schema cast applies.
+        # Case 1: untouched subtree — plain schema cast applies.  A None
+        # stats dispatches the cast onto its compiled fast path.
         if not session.modified(element):
             return self._cast.validate_element(
                 source_type, target_type, element, stats
             )
-        if session.is_touched(element):
-            stats.deltas_seen += 1
-        # Disjointness still applies when the *content* below may have
-        # changed only in ways the types bound; but unlike the untouched
-        # case, subsumption of τ by τ' says nothing about a modified
-        # subtree, so no skip here.
-        stats.elements_visited += 1
+        if stats is not None:
+            if session.is_touched(element):
+                stats.deltas_seen += 1
+            # Disjointness still applies when the *content* below may
+            # have changed only in ways the types bound; but unlike the
+            # untouched case, subsumption of τ by τ' says nothing about
+            # a modified subtree, so no skip here.
+            stats.elements_visited += 1
         target_decl = self.pair.target.type(target_type)
         from repro.core.validator import attribute_violation
 
@@ -110,7 +131,8 @@ class CastWithModificationsValidator:
                     continue
                 if child.value.strip() == "":
                     continue
-                stats.text_nodes_visited += 1
+                if stats is not None:
+                    stats.text_nodes_visited += 1
                 return ValidationReport.failure(
                     f"complex type {target_type!r} does not allow "
                     "character data",
@@ -189,11 +211,12 @@ class CastWithModificationsValidator:
         session: UpdateSession,
         type_name: str,
         element: Element,
-        stats: ValidationStats,
+        stats: Optional[ValidationStats],
     ) -> ValidationReport:
         """Full target validation of a subtree through the session's
         live view (deleted tombstones are invisible)."""
-        stats.elements_visited += 1
+        if stats is not None:
+            stats.elements_visited += 1
         declaration = self.pair.target.type(type_name)
         from repro.core.validator import attribute_violation
 
@@ -211,7 +234,8 @@ class CastWithModificationsValidator:
             if isinstance(child, Text):
                 if child.value.strip() == "":
                     continue
-                stats.text_nodes_visited += 1
+                if stats is not None:
+                    stats.text_nodes_visited += 1
                 return ValidationReport.failure(
                     f"complex type {type_name!r} does not allow "
                     "character data",
@@ -226,9 +250,15 @@ class CastWithModificationsValidator:
                     stats=stats,
                 )
             labels.append(child.label)
-        result = self.pair.target_immed(type_name).scan(labels)
-        stats.content_symbols_scanned += result.symbols_scanned
-        if not result.accepted:
+        if stats is None:
+            accepted = self.pair.target_immed_compiled(type_name).decide(
+                self.pair.symbols.encode(labels)
+            )
+        else:
+            result = self.pair.target_immed(type_name).scan(labels)
+            stats.content_symbols_scanned += result.symbols_scanned
+            accepted = result.accepted
+        if not accepted:
             return ValidationReport.failure(
                 f"children of {element.label!r} do not match content "
                 f"model {declaration.content.to_source()} of type "
@@ -259,7 +289,7 @@ class CastWithModificationsValidator:
         target_type: str,
         old_labels: Optional[list[str]],
         new_labels: list[str],
-        stats: ValidationStats,
+        stats: Optional[ValidationStats],
     ) -> bool:
         """Check the updated child-label string against ``regexp_τ'``.
 
@@ -270,10 +300,15 @@ class CastWithModificationsValidator:
         if self.use_string_cast and old_labels is not None:
             machine = self.pair.string_cast(source_type, target_type)
             result = machine.validate_modified(old_labels, new_labels)
-            stats.content_symbols_scanned += result.symbols_scanned
-            if result.decision.value.startswith("immediate"):
-                stats.early_content_decisions += 1
+            if stats is not None:
+                stats.content_symbols_scanned += result.symbols_scanned
+                if result.decision.value.startswith("immediate"):
+                    stats.early_content_decisions += 1
             return result.accepted
+        if stats is None:
+            return self.pair.target_immed_compiled(target_type).decide(
+                self.pair.symbols.encode(new_labels)
+            )
         immed = self.pair.target_immed(target_type)
         result = immed.scan(new_labels)
         stats.content_symbols_scanned += result.symbols_scanned
@@ -286,7 +321,7 @@ class CastWithModificationsValidator:
         session: UpdateSession,
         declaration: SimpleType,
         element: Element,
-        stats: ValidationStats,
+        stats: Optional[ValidationStats],
     ) -> ValidationReport:
         live = session.live_children(element)
         if any(isinstance(child, Element) for child in live):
@@ -296,8 +331,9 @@ class CastWithModificationsValidator:
                 path=str(element.dewey()),
                 stats=stats,
             )
-        stats.text_nodes_visited += len(live)
-        stats.simple_values_checked += 1
+        if stats is not None:
+            stats.text_nodes_visited += len(live)
+            stats.simple_values_checked += 1
         text = "".join(
             child.value for child in live if isinstance(child, Text)
         )

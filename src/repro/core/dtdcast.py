@@ -15,6 +15,8 @@ checks once types are label-determined.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.result import ValidationReport, ValidationStats
 from repro.errors import SchemaError
 from repro.schema.dtd import is_dtd_schema, label_type
@@ -30,7 +32,13 @@ class DTDCastValidator:
     at construction — it depends only on the schemas.
     """
 
-    def __init__(self, pair: SchemaPair, *, use_string_cast: bool = True):
+    def __init__(
+        self,
+        pair: SchemaPair,
+        *,
+        use_string_cast: bool = True,
+        collect_stats: bool = True,
+    ):
         if not is_dtd_schema(pair.source) or not is_dtd_schema(pair.target):
             raise SchemaError(
                 "DTDCastValidator requires DTD-style schemas (one type "
@@ -38,6 +46,7 @@ class DTDCastValidator:
             )
         self.pair = pair
         self.use_string_cast = use_string_cast
+        self.collect_stats = collect_stats
         #: label → (source type, target type) for labels known to both.
         self.label_pairs: dict[str, tuple[str, str]] = {}
         #: labels whose pair needs a per-instance content check.
@@ -68,7 +77,7 @@ class DTDCastValidator:
     def validate(self, document: Document) -> ValidationReport:
         """Decide target-validity of a source-valid document using only
         the label index."""
-        stats = ValidationStats()
+        stats = ValidationStats() if self.collect_stats else None
         root_label = document.root.label
         if self.pair.target.root_type(root_label) is None:
             return ValidationReport.failure(
@@ -79,7 +88,8 @@ class DTDCastValidator:
         for label in self.fatal_labels:
             instances = document.elements_with_label(label)
             if instances:
-                stats.disjoint_rejections += 1
+                if stats is not None:
+                    stats.disjoint_rejections += 1
                 return ValidationReport.failure(
                     f"label {label!r} has disjoint source/target types",
                     path=str(instances[0].dewey()),
@@ -93,10 +103,11 @@ class DTDCastValidator:
                 )
                 if not report.valid:
                     return report
-        stats.subtrees_skipped += sum(
-            len(document.elements_with_label(label))
-            for label in self.skip_labels
-        )
+        if stats is not None:
+            stats.subtrees_skipped += sum(
+                len(document.elements_with_label(label))
+                for label in self.skip_labels
+            )
         return ValidationReport.success(stats)
 
     def _check_instance(
@@ -104,19 +115,25 @@ class DTDCastValidator:
         source_type: str,
         target_type: str,
         element: Element,
-        stats: ValidationStats,
+        stats: Optional[ValidationStats],
     ) -> ValidationReport:
         """Verify one element's *immediate* content (no recursion —
         descendants are covered by their own labels' checks)."""
-        stats.elements_visited += 1
+        if stats is not None:
+            stats.elements_visited += 1
         target_decl = self.pair.target.type(target_type)
-        from repro.core.validator import attribute_violation
+        if element.attributes or (
+            isinstance(target_decl, ComplexType) and target_decl.attributes
+        ):
+            from repro.core.validator import attribute_violation
 
-        violation = attribute_violation(self.pair.target, target_decl, element)
-        if violation:
-            return ValidationReport.failure(
-                violation, path=str(element.dewey()), stats=stats
+            violation = attribute_violation(
+                self.pair.target, target_decl, element
             )
+            if violation:
+                return ValidationReport.failure(
+                    violation, path=str(element.dewey()), stats=stats
+                )
         if isinstance(target_decl, SimpleType):
             if any(isinstance(child, Element) for child in element.children):
                 return ValidationReport.failure(
@@ -125,10 +142,11 @@ class DTDCastValidator:
                     path=str(element.dewey()),
                     stats=stats,
                 )
-            stats.simple_values_checked += 1
-            stats.text_nodes_visited += sum(
-                1 for child in element.children if isinstance(child, Text)
-            )
+            if stats is not None:
+                stats.simple_values_checked += 1
+                stats.text_nodes_visited += sum(
+                    1 for child in element.children if isinstance(child, Text)
+                )
             text = element.text()
             if not target_decl.validate(text):
                 return ValidationReport.failure(
@@ -144,7 +162,8 @@ class DTDCastValidator:
             if isinstance(child, Text):
                 if child.value.strip() == "":
                     continue
-                stats.text_nodes_visited += 1
+                if stats is not None:
+                    stats.text_nodes_visited += 1
                 return ValidationReport.failure(
                     f"complex type {target_type!r} does not allow "
                     "character data",
@@ -158,14 +177,23 @@ class DTDCastValidator:
         if self.use_string_cast and source_is_complex:
             machine = self.pair.string_cast(source_type, target_type)
             if machine.always_accepts or machine.never_accepts:
-                stats.early_content_decisions += 1
+                if stats is not None:
+                    stats.early_content_decisions += 1
                 accepted = machine.always_accepts
+            elif stats is None:
+                compiled = machine.c_immed_compiled
+                assert compiled is not None
+                accepted = compiled.decide(self.pair.symbols.encode(labels))
             else:
                 result = machine.c_immed.scan(labels)
                 stats.content_symbols_scanned += result.symbols_scanned
                 accepted = result.accepted
                 if result.early:
                     stats.early_content_decisions += 1
+        elif stats is None:
+            accepted = self.pair.target_immed_compiled(target_type).decide(
+                self.pair.symbols.encode(labels)
+            )
         else:
             scan = self.pair.target_immed(target_type).scan(labels)
             stats.content_symbols_scanned += scan.symbols_scanned

@@ -111,15 +111,17 @@ class StreamingValidator:
                     "child elements",
                     path=self._path(stack),
                 )
-            dfa = self.schema.content_dfa(parent.type_name)
-            row = dfa.transitions[parent.state]
-            if event.label not in row:
+            compiled = self.schema.compiled_content_dfa(parent.type_name)
+            sid = self.schema.symbols.id(event.label)
+            if sid < 0:
+                # Content rows are complete over the schema alphabet, so
+                # only un-interned labels can fail to step.
                 return ValidationReport.failure(
                     f"unexpected element {event.label!r} in content of "
                     f"{parent.type_name!r}",
                     path=self._path(stack),
                 )
-            parent.state = row[event.label]
+            parent.state = compiled.rows[parent.state][sid]
             stats.content_symbols_scanned += 1
             declaration = self.schema.type(parent.type_name)
             assert isinstance(declaration, ComplexType)
@@ -148,7 +150,7 @@ class StreamingValidator:
             frame = _Frame(
                 event.label,
                 type_name,
-                self.schema.content_dfa(type_name).start,
+                self.schema.compiled_content_dfa(type_name).start,
                 [],
                 position=position,
             )
@@ -198,8 +200,8 @@ class StreamingValidator:
                     path=self._path(stack + [frame]),
                 )
             return None
-        dfa = self.schema.content_dfa(frame.type_name)
-        if frame.state not in dfa.finals:
+        compiled = self.schema.compiled_content_dfa(frame.type_name)
+        if not compiled.finals_mask[frame.state]:
             declaration = self.schema.type(frame.type_name)
             assert isinstance(declaration, ComplexType)
             return ValidationReport.failure(
@@ -377,7 +379,7 @@ class StreamingCastValidator:
             if machine is None:
                 # Simple source casting to complex target: only the
                 # empty element is shared; require ε content.
-                state = self.pair.target.content_dfa(target_type).start
+                state = self.pair.target_content(target_type).start
                 frame = _CastFrame(event.label, source_type, target_type,
                                    state, False, [], position=position)
                 frame.content_decided = False
@@ -404,31 +406,38 @@ class StreamingCastValidator:
         return self.pair.string_cast(source_type, target_type)
 
     def _feed(self, parent: _CastFrame, label: str, stack, stats):
-        """Advance the parent's content check by one child label."""
+        """Advance the parent's content check by one child label,
+        stepping the compiled dense tables over the pair alphabet."""
         if parent.content_decided or parent.state is None:
             return None
+        sid = self.pair.symbols.id(label)
         machine = self._machine(parent.source_type, parent.target_type)
         if machine is None:
             # Plain target DFA (simple source).
-            dfa = self.pair.target.content_dfa(parent.target_type)
-            row = dfa.transitions[parent.state]
-            if label not in row:
+            compiled = self.pair.target_content(parent.target_type)
+            if sid < 0:
                 return self._content_failure(parent, stack)
-            parent.state = row[label]
+            state = compiled.rows[parent.state][sid]
+            if state < 0:
+                return self._content_failure(parent, stack)
+            parent.state = state
             stats.content_symbols_scanned += 1
             return None
-        immed = machine.c_immed
-        if parent.state in immed.ia:
+        immed = machine.c_immed_compiled
+        assert immed is not None  # pair-built machines always compile
+        if immed.ia_mask[parent.state]:
             parent.content_decided = True
             stats.early_content_decisions += 1
             return None
-        if parent.state in immed.ir:
+        if immed.ir_mask[parent.state]:
             stats.early_content_decisions += 1
             return self._content_failure(parent, stack)
-        row = immed.dfa.transitions[parent.state]
-        if label not in row:
+        if sid < 0:
             return self._content_failure(parent, stack)
-        parent.state = row[label]
+        state = immed.rows[parent.state][sid]
+        if state < 0:
+            return self._content_failure(parent, stack)
+        parent.state = state
         stats.content_symbols_scanned += 1
         return None
 
@@ -477,16 +486,18 @@ class StreamingCastValidator:
             return None
         machine = self._machine(frame.source_type, frame.target_type)
         if machine is None:
-            dfa = self.pair.target.content_dfa(frame.target_type)
-            if frame.state not in dfa.finals:
+            compiled = self.pair.target_content(frame.target_type)
+            if not compiled.finals_mask[frame.state]:
                 return self._content_failure(frame, stack + [frame])
             return None
         # End of children: the pair automaton must be in a final state
         # (IA states would have decided already; promise covers source
         # acceptance).
-        if frame.state in machine.c_immed.ia:
+        immed = machine.c_immed_compiled
+        assert immed is not None
+        if immed.ia_mask[frame.state]:
             stats.early_content_decisions += 1
             return None
-        if frame.state not in machine.c_immed.dfa.finals:
+        if not immed.finals_mask[frame.state]:
             return self._content_failure(frame, stack + [frame])
         return None

@@ -76,17 +76,28 @@ def attribute_violation(
     return ""
 
 
-def validate_document(schema: Schema, document: Document) -> ValidationReport:
-    """Validate a whole document: root admissibility plus the subtree."""
-    return validate_root(schema, document.root)
+def validate_document(
+    schema: Schema, document: Document, *, collect_stats: bool = True
+) -> ValidationReport:
+    """Validate a whole document: root admissibility plus the subtree.
+
+    ``collect_stats=False`` runs the compiled dense-table fast path:
+    same verdict, no counters, reports allocated only on failure.
+    """
+    return validate_root(schema, document.root, collect_stats=collect_stats)
 
 
-def validate_root(schema: Schema, root: Element) -> ValidationReport:
+def validate_root(
+    schema: Schema, root: Element, *, collect_stats: bool = True
+) -> ValidationReport:
     type_name = schema.root_type(root.label)
     if type_name is None:
         return ValidationReport.failure(
             f"label {root.label!r} is not a permitted root", path=""
         )
+    if not collect_stats:
+        failure = _fast_validate(schema, type_name, root)
+        return ValidationReport.success() if failure is None else failure
     stats = ValidationStats()
     report = _validate(schema, type_name, root, stats)
     report.stats = stats
@@ -149,6 +160,75 @@ def _validate(
         if not report.valid:
             return report
     return ValidationReport.success()
+
+
+def _fast_validate(
+    schema: Schema, type_name: str, element: Element
+) -> Optional[ValidationReport]:
+    """:func:`_validate` with counters off, over the schema's compiled
+    content tables.  ``None`` means valid (nothing allocated); a report
+    is the first failure."""
+    declaration = schema.types[type_name]
+    if element.attributes or (
+        isinstance(declaration, ComplexType) and declaration.attributes
+    ):
+        violation = attribute_violation(schema, declaration, element)
+        if violation:
+            return ValidationReport.failure(
+                violation, path=str(element.dewey())
+            )
+    if isinstance(declaration, SimpleType):
+        for child in element.children:
+            if isinstance(child, Element):
+                return ValidationReport.failure(
+                    f"simple type {declaration.name!r} does not allow "
+                    "child elements",
+                    path=str(element.dewey()),
+                )
+        text = element.text()
+        if not declaration.validate(text):
+            return ValidationReport.failure(
+                f"value {text!r} does not conform to simple type "
+                f"{declaration.name!r}",
+                path=str(element.dewey()),
+            )
+        return None
+    compiled = schema.compiled_content_dfa(type_name)
+    ids = schema.symbols.ids
+    rows = compiled.rows
+    state = compiled.start
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.value.strip() == "":
+                continue  # ignorable whitespace in element content
+            return ValidationReport.failure(
+                f"complex type {type_name!r} does not allow character data",
+                path=str(child.dewey()),
+            )
+        sid = ids.get(child.label, -1)
+        if sid < 0:
+            return ValidationReport.failure(
+                f"unexpected element {child.label!r} in content of "
+                f"{type_name!r}",
+                path=str(child.dewey()),
+            )
+        # Content rows are complete over the schema alphabet, so an
+        # interned symbol always has a successor.
+        state = rows[state][sid]
+    if not compiled.finals_mask[state]:
+        return ValidationReport.failure(
+            f"children of {element.label!r} do not match content model "
+            f"{declaration.content.to_source()} of type {type_name!r}",
+            path=str(element.dewey()),
+        )
+    child_types = declaration.child_types
+    for child in element.children:
+        if isinstance(child, Text):
+            continue
+        failure = _fast_validate(schema, child_types[child.label], child)
+        if failure is not None:
+            return failure
+    return None
 
 
 def _validate_simple(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Union
 
+from repro.automata.compiled import CompiledDFA, SymbolTable
 from repro.automata.dfa import DFA
 from repro.errors import SchemaError
 from repro.remodel.ast import Regex
@@ -132,10 +133,15 @@ class Schema:
             for label, declared in (identity or {}).items()
         }
         self._dfas: dict[str, DFA] = {}
+        self._compiled: dict[str, CompiledDFA] = {}
         self._useful: dict[str, frozenset[str]] = {}
+        self._reachable: Optional[frozenset[str]] = None
         self._check_references()
         #: Σ — every label mentioned in a content model or the root map.
         self.alphabet: frozenset[str] = self._compute_alphabet()
+        #: Σ interned to dense ids (sorted, so ids are deterministic and
+        #: compiled artifacts hash/pickle reproducibly).
+        self.symbols: SymbolTable = SymbolTable(sorted(self.alphabet))
 
     def _check_references(self) -> None:
         for type_name, declaration in self.types.items():
@@ -211,6 +217,42 @@ class Schema:
                 declaration.content, self.alphabet
             )
         return self._dfas[type_name]
+
+    def compiled_content_dfa(self, type_name: str) -> CompiledDFA:
+        """The content DFA of a complex type compiled to dense rows over
+        this schema's :class:`SymbolTable` (cached).
+
+        Content DFAs are complete over the schema alphabet, so the
+        compiled rows contain no ``-1`` entries; runtime loops may index
+        unconditionally once the label is interned.
+        """
+        if type_name not in self._compiled:
+            self._compiled[type_name] = CompiledDFA.from_dfa(
+                self.content_dfa(type_name), self.symbols
+            )
+        return self._compiled[type_name]
+
+    def reachable_types(self) -> frozenset[str]:
+        """Type names reachable from the root map through child-type
+        assignments (cached).
+
+        Every type a validator can assign to a node lies in this set:
+        type assignment starts at ``R`` and descends only through
+        ``types_τ``.  Declarations outside it are dead weight — nothing
+        needs their automata.
+        """
+        if self._reachable is None:
+            seen: set[str] = set(self.roots.values())
+            stack = list(seen)
+            while stack:
+                declaration = self.types[stack.pop()]
+                if isinstance(declaration, ComplexType):
+                    for child in declaration.child_types.values():
+                        if child not in seen:
+                            seen.add(child)
+                            stack.append(child)
+            self._reachable = frozenset(seen)
+        return self._reachable
 
     def useful_symbols(self, type_name: str) -> frozenset[str]:
         """Labels that occur in at least one word of ``L(regexp_τ)`` —

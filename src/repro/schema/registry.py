@@ -22,6 +22,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.automata.compiled import (
+    CompiledDFA,
+    CompiledImmediate,
+    SymbolTable,
+)
 from repro.automata.immediate import ImmediateDecisionAutomaton
 from repro.automata.stringcast import StringCastValidator
 from repro.schema.disjoint import compute_nondisjoint
@@ -30,11 +35,23 @@ from repro.schema.subsumption import compute_subsumption
 
 
 class SchemaPair:
-    """Statically preprocessed (source schema, target schema) pair."""
+    """Statically preprocessed (source schema, target schema) pair.
+
+    The whole object is a *compiled artifact*: it is picklable, and
+    :mod:`repro.schema.artifacts` persists warmed pairs keyed by a
+    content hash of the two schemas, so the preprocessing survives
+    process restarts.
+    """
 
     def __init__(self, source: Schema, target: Schema):
         self.source = source
         self.target = target
+        #: The pair alphabet Σ ∪ Σ' interned to dense ids — shared by
+        #: every compiled automaton below, so a child-label string is
+        #: interned once per node and scanned by integer indexing.
+        self.symbols: SymbolTable = SymbolTable(
+            sorted(source.alphabet | target.alphabet)
+        )
         #: Definition 4: pairs with ``valid(τ) ⊆ valid(τ')``.
         self.r_sub: frozenset[tuple[str, str]] = compute_subsumption(
             source, target
@@ -45,6 +62,8 @@ class SchemaPair:
         )
         self._string_casts: dict[tuple[str, str], StringCastValidator] = {}
         self._target_immed: dict[str, ImmediateDecisionAutomaton] = {}
+        self._target_immed_compiled: dict[str, CompiledImmediate] = {}
+        self._target_content: dict[str, CompiledDFA] = {}
 
     # -- relation queries ---------------------------------------------------
 
@@ -67,6 +86,7 @@ class SchemaPair:
             self._string_casts[key] = StringCastValidator(
                 self.source.content_dfa(source_type),
                 self.target.content_dfa(target_type),
+                symbols=self.symbols,
             )
         return self._string_casts[key]
 
@@ -81,21 +101,61 @@ class SchemaPair:
             )
         return self._target_immed[target_type]
 
+    def target_immed_compiled(self, target_type: str) -> CompiledImmediate:
+        """Dense-table compilation of :meth:`target_immed` over the pair
+        symbol table (cached) — the stats-free scanning path."""
+        if target_type not in self._target_immed_compiled:
+            self._target_immed_compiled[target_type] = (
+                CompiledImmediate.from_immediate(
+                    self.target_immed(target_type), self.symbols
+                )
+            )
+        return self._target_immed_compiled[target_type]
+
+    def target_content(self, target_type: str) -> CompiledDFA:
+        """A target content DFA compiled over the *pair* symbol table
+        (cached); rows carry ``-1`` for source-only labels."""
+        if target_type not in self._target_content:
+            self._target_content[target_type] = CompiledDFA.from_dfa(
+                self.target.content_dfa(target_type), self.symbols
+            )
+        return self._target_content[target_type]
+
     def warm(self) -> None:
-        """Eagerly build every complex-pair cast machine (benchmarking
-        aid: isolates static preprocessing cost from runtime cost)."""
-        for tau, src_decl in self.source.types.items():
-            if not isinstance(src_decl, ComplexType):
+        """Eagerly build the pair's runtime machines, so validation pays
+        no lazy-construction cost (and so a persisted artifact carries
+        everything — see :mod:`repro.schema.artifacts`).
+
+        Coverage rule: string-cast machines are built for every complex
+        (τ, τ') with τ reachable in the source schema and τ' reachable
+        in the target schema (pairs that are subsumed or disjoint never
+        scan, so they get no machine); target immediate automata are
+        built for complex target types *reachable from the target root
+        map* — a type unreachable from every root can never be assigned
+        to a node by the tree validators, whose type assignment starts
+        at ``R`` and descends through ``types_τ``.  This includes types
+        that sit below subsumed pairs: the with-modifications validator
+        reaches them through inserted subtrees, so they must stay
+        warmed.  The one exception is the DTD label-indexed mode, where
+        an exotic schema can assign a root-unreachable type to a label;
+        such types fall back to lazy construction on first use.
+        """
+        source_reachable = self.source.reachable_types()
+        target_reachable = self.target.reachable_types()
+        for tau in source_reachable:
+            if not isinstance(self.source.types[tau], ComplexType):
                 continue
-            for tau_p, tgt_decl in self.target.types.items():
-                if not isinstance(tgt_decl, ComplexType):
+            for tau_p in target_reachable:
+                if not isinstance(self.target.types[tau_p], ComplexType):
                     continue
                 if self.is_subsumed(tau, tau_p) or self.is_disjoint(tau, tau_p):
                     continue
                 self.string_cast(tau, tau_p)
-        for tau_p, tgt_decl in self.target.types.items():
-            if isinstance(tgt_decl, ComplexType):
+        for tau_p in target_reachable:
+            if isinstance(self.target.types[tau_p], ComplexType):
                 self.target_immed(tau_p)
+                self.target_immed_compiled(tau_p)
+                self.target_content(tau_p)
 
     # -- root helpers ----------------------------------------------------------
 

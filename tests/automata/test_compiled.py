@@ -1,0 +1,169 @@
+"""Compiled dense tables must be interchangeable with the dict rows."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.automata.compiled import (
+    CompiledDFA,
+    CompiledImmediate,
+    SymbolTable,
+)
+from repro.automata.dfa import harmonize
+from repro.automata.immediate import ImmediateDecisionAutomaton
+from repro.remodel.glushkov import compile_dfa
+from repro.remodel.parser import parse_content_model as pcm
+
+
+def dfa_of(source, alphabet="abc"):
+    return compile_dfa(pcm(source), frozenset(alphabet))
+
+
+def all_words(alphabet="abc", max_len=5):
+    for n in range(max_len + 1):
+        for word in itertools.product(alphabet, repeat=n):
+            yield list(word)
+
+
+class TestSymbolTable:
+    def test_bijective_and_deterministic(self):
+        table = SymbolTable(sorted(["b", "a", "c", "a"]))
+        assert table.labels == ("a", "b", "c")
+        assert [table.id(label) for label in "abc"] == [0, 1, 2]
+        assert [table.label(i) for i in range(3)] == ["a", "b", "c"]
+        assert len(table) == 3
+        assert "a" in table and "z" not in table
+
+    def test_unknown_labels_encode_to_minus_one(self):
+        table = SymbolTable(["a", "b"])
+        assert table.encode(["a", "z", "b"]) == [0, -1, 1]
+        assert table.id("z") == -1
+
+
+class TestCompiledDFA:
+    @pytest.mark.parametrize(
+        "expression",
+        ["(a,b,c)", "(a|b)*", "(a,(b|c)*)", "(a?,b+,c{0,2})"],
+    )
+    def test_agrees_with_dict_rows_on_all_words(self, expression):
+        dfa = dfa_of(expression)
+        table = SymbolTable(sorted(dfa.alphabet))
+        compiled = CompiledDFA.from_dfa(dfa, table)
+        for word in all_words():
+            assert compiled.accepts(table.encode(word)) == dfa.accepts(word)
+            assert compiled.run(table.encode(word)) == dfa.run(word)
+
+    def test_superset_table_marks_foreign_symbols(self):
+        # Pair-style compilation: the table covers labels the DFA's
+        # alphabet does not; those columns are -1 and reject.
+        dfa = dfa_of("(a,b)", "ab")
+        table = SymbolTable(["a", "b", "z"])
+        compiled = CompiledDFA.from_dfa(dfa, table)
+        assert all(row[table.id("z")] == -1 for row in compiled.rows)
+        assert compiled.accepts(table.encode(["a", "b"]))
+        assert not compiled.accepts(table.encode(["a", "z"]))
+        assert compiled.run(table.encode(["a", "z"])) == -1
+
+    def test_unknown_symbol_rejects(self):
+        dfa = dfa_of("(a,b)", "ab")
+        table = SymbolTable(sorted(dfa.alphabet))
+        assert not compiled_accepts(dfa, table, ["a", "q"])
+
+    def test_run_from_resumes_mid_word(self):
+        dfa = dfa_of("(a,b,c)")
+        table = SymbolTable(sorted(dfa.alphabet))
+        compiled = CompiledDFA.from_dfa(dfa, table)
+        midway = compiled.run(table.encode(["a"]))
+        assert compiled.run_from(midway, table.encode(["b", "c"])) == dfa.run(
+            ["a", "b", "c"]
+        )
+
+
+def compiled_accepts(dfa, table, word):
+    return CompiledDFA.from_dfa(dfa, table).accepts(table.encode(word))
+
+
+class TestCompiledImmediate:
+    def pair_machines(self, source_expr, target_expr, alphabet="abc"):
+        source, target = harmonize(
+            dfa_of(source_expr, alphabet), dfa_of(target_expr, alphabet)
+        )
+        immed = ImmediateDecisionAutomaton.from_pair(source, target)
+        table = SymbolTable(sorted(alphabet) + ["zz"])  # superset table
+        return immed, CompiledImmediate.from_immediate(immed, table), table
+
+    @pytest.mark.parametrize(
+        ("source_expr", "target_expr"),
+        [
+            ("(a,(b|c)*)", "(a,b*,c{0,2})"),
+            ("(a|b)*", "(a|b)*"),
+            ("(a,a)", "(b,b)"),
+            ("(a,b?,c)", "(a,b,c)"),
+        ],
+    )
+    def test_scan_matches_dict_scan_exactly(self, source_expr, target_expr):
+        immed, compiled, table = self.pair_machines(source_expr, target_expr)
+        for word in all_words():
+            dict_result = immed.scan(word)
+            accepted, scanned, early, _state = compiled.scan(
+                table.encode(word)
+            )
+            assert accepted == dict_result.accepted, word
+            assert scanned == dict_result.symbols_scanned, word
+            assert early == dict_result.early, word
+            assert compiled.decide(table.encode(word)) == dict_result.accepted
+
+    def test_unknown_and_foreign_symbols_reject(self):
+        # Languages overlap but neither contains the other, so the scan
+        # must actually consume symbols (start is neither IA nor IR).
+        immed, compiled, table = self.pair_machines("(a,(b|c))", "(a,b)")
+        assert compiled.decide(table.encode(["a", "b"]))
+        # Not interned at all vs interned-but-foreign: both reject the
+        # same way the dict row's missing key does.
+        assert not compiled.decide(table.encode(["a", "??"]))
+        assert not compiled.decide(table.encode(["a", "zz"]))
+        assert immed.scan(["a", "zz"]).accepted is False
+
+    def test_random_words_against_dict_scan(self):
+        rng = random.Random(7)
+        immed, compiled, table = self.pair_machines(
+            "(a,(b|c)*,a?)", "(a,b*,(c|a){0,3})"
+        )
+        alphabet = ["a", "b", "c", "zz", "??"]
+        for _ in range(300):
+            word = [
+                rng.choice(alphabet) for _ in range(rng.randint(0, 12))
+            ]
+            dict_result = immed.scan(word)
+            accepted, scanned, early, _ = compiled.scan(table.encode(word))
+            assert accepted == dict_result.accepted, word
+            assert scanned == dict_result.symbols_scanned, word
+            assert early == dict_result.early, word
+
+
+class TestSchemaCompiledCaches:
+    def test_schema_compiled_content_dfa_is_cached_and_complete(
+        self, exp2_source
+    ):
+        compiled = exp2_source.compiled_content_dfa("POType")
+        assert compiled is exp2_source.compiled_content_dfa(
+            "POType"
+        )
+        # Content DFAs are complete over the schema alphabet: no -1.
+        assert all(entry >= 0 for row in compiled.rows for entry in row)
+
+    def test_pair_target_content_marks_source_only_labels(
+        self, exp1_pair
+    ):
+        compiled = exp1_pair.target_content("POType")
+        assert compiled.symbols is exp1_pair.symbols
+        dict_dfa = exp1_pair.target.content_dfa("POType")
+        for label in exp1_pair.symbols.labels:
+            sid = exp1_pair.symbols.id(label)
+            expected = (
+                dict_dfa.transitions[dict_dfa.start].get(label, -1)
+                if label in dict_dfa.alphabet
+                else -1
+            )
+            assert compiled.rows[compiled.start][sid] == expected
