@@ -41,10 +41,24 @@ from repro.core import (
 )
 from repro.dewey import Dewey, DeweyTrie
 from repro.errors import (
+    BatchError,
+    DeadlineExceededError,
+    DocumentTooDeepError,
+    DocumentTooLargeError,
+    EntityExpansionError,
     ReproError,
+    ResourceLimitError,
     SchemaError,
+    StateBudgetExceededError,
     ValidationError,
     XMLSyntaxError,
+)
+from repro.guards import (
+    DEFAULT_LIMITS,
+    UNLIMITED,
+    Deadline,
+    Limits,
+    limits_scope,
 )
 from repro.schema import (
     ComplexType,
@@ -84,10 +98,22 @@ __all__ = [
     "validate_stream",
     "Dewey",
     "DeweyTrie",
+    "BatchError",
+    "DeadlineExceededError",
+    "DocumentTooDeepError",
+    "DocumentTooLargeError",
+    "EntityExpansionError",
     "ReproError",
+    "ResourceLimitError",
     "SchemaError",
+    "StateBudgetExceededError",
     "ValidationError",
     "XMLSyntaxError",
+    "DEFAULT_LIMITS",
+    "UNLIMITED",
+    "Deadline",
+    "Limits",
+    "limits_scope",
     "ComplexType",
     "Schema",
     "SchemaPair",

@@ -16,6 +16,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
+from repro.errors import StateBudgetExceededError
+from repro.guards import state_budget
+
 
 class DFA:
     """A complete deterministic finite automaton.
@@ -282,12 +285,19 @@ class DFA:
         """
         if self.alphabet != other.alphabet:
             raise ValueError("product requires harmonized alphabets")
+        budget = state_budget()
         index: dict[tuple[int, int], int] = {}
         rows: list[dict[str, int]] = []
         pairs: list[tuple[int, int]] = []
 
         def intern(pair: tuple[int, int]) -> int:
             if pair not in index:
+                if budget is not None and len(pairs) >= budget:
+                    raise StateBudgetExceededError(
+                        f"product construction exceeds the "
+                        f"max_dfa_states budget of {budget} "
+                        f"({self.num_states}x{other.num_states} operands)"
+                    )
                 index[pair] = len(pairs)
                 pairs.append(pair)
                 rows.append({})
@@ -350,6 +360,7 @@ class DFA:
             a.alphabet if restrict_to is None
             else frozenset(restrict_to) & a.alphabet
         )
+        budget = state_budget()
         start = (a.start, b.start)
         if a.is_final(start[0]) and b.is_final(start[1]):
             return True
@@ -363,6 +374,11 @@ class DFA:
                     continue
                 if a.is_final(pair[0]) and b.is_final(pair[1]):
                     return True
+                if budget is not None and len(seen) >= budget:
+                    raise StateBudgetExceededError(
+                        f"product reachability exceeds the "
+                        f"max_dfa_states budget of {budget}"
+                    )
                 seen.add(pair)
                 queue.append(pair)
         return False

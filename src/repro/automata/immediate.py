@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.automata.dfa import DFA, harmonize
+from repro.errors import StateBudgetExceededError
+from repro.guards import state_budget
 
 
 class Decision(enum.Enum):
@@ -108,6 +110,13 @@ class ImmediateDecisionAutomaton:
         ``IA`` and dead-state-based ``IR``."""
         a, b = harmonize(source, target)
         nb = b.num_states
+        budget = state_budget()
+        if budget is not None and a.num_states * nb > budget:
+            raise StateBudgetExceededError(
+                f"pair automaton would need {a.num_states * nb} states "
+                f"({a.num_states}x{nb}), exceeding the max_dfa_states "
+                f"budget of {budget}"
+            )
         sigma = a.alphabet
         rows: list[dict[str, int]] = []
         for qa in range(a.num_states):

@@ -13,6 +13,8 @@ from collections import deque
 from typing import Iterable, Optional
 
 from repro.automata.dfa import DFA
+from repro.errors import StateBudgetExceededError
+from repro.guards import state_budget
 
 
 class NFA:
@@ -73,9 +75,16 @@ class NFA:
                 return False
         return bool(current & self.finals)
 
-    def determinize(self) -> DFA:
+    def determinize(self, *, max_states: Optional[int] = None) -> DFA:
         """Subset construction; the result is complete (dead subset = ∅
-        becomes the sink)."""
+        becomes the sink).
+
+        ``max_states`` bounds the exponential blowup on crafted inputs
+        (default: the ambient ``Limits.max_dfa_states``); exceeding it
+        raises :class:`StateBudgetExceededError` instead of exhausting
+        memory.
+        """
+        budget = max_states if max_states is not None else state_budget()
         start_set = self.epsilon_closure(self.starts)
         index: dict[frozenset[int], int] = {start_set: 0}
         subsets: list[frozenset[int]] = [start_set]
@@ -87,6 +96,12 @@ class NFA:
             for symbol in self.alphabet:
                 target = self.move(subset, symbol)
                 if target not in index:
+                    if budget is not None and len(subsets) >= budget:
+                        raise StateBudgetExceededError(
+                            f"subset construction exceeds the "
+                            f"max_dfa_states budget of {budget} "
+                            f"(NFA has {self.num_states} states)"
+                        )
                     index[target] = len(subsets)
                     subsets.append(target)
                     rows.append({})

@@ -16,8 +16,12 @@ driven without writing Python:
 * ``gen-po N [-o OUT]`` — generate an N-item paper purchase order.
 
 Schema arguments ending in ``.dtd`` are parsed as DTDs, anything else
-as XSD.  Exit status: 0 valid/success, 1 invalid, 2 usage or schema
-error.
+as XSD.  ``validate`` and ``cast`` accept resource-guard knobs —
+``--max-depth``, ``--max-bytes``, ``--timeout`` (per-document seconds),
+``--retries`` (transient-IO re-attempts) — that override the default
+:class:`~repro.guards.Limits` for parsing, validation, and schema
+compilation alike.  Exit status: 0 valid/success, 1 invalid, 2 usage,
+schema, or resource-limit error.
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from repro.core.cast import CastValidator
 from repro.core.repair import DocumentRepairer
 from repro.core.validator import validate_document
 from repro.errors import ReproError
+from repro.guards import DEFAULT_LIMITS, Limits, limits_scope
 from repro.schema.dtd import parse_dtd
 from repro.schema.model import Schema
 from repro.schema.registry import SchemaPair
@@ -55,15 +60,60 @@ def _print_stats(stats) -> None:
     print(f"  simple values checked:  {stats.simple_values_checked}")
 
 
-def cmd_validate(args: argparse.Namespace) -> int:
-    schema = load_schema(args.schema, roots=args.root or None)
-    if args.streaming:
-        from repro.core.streaming import StreamingValidator
+def _guard_limits(args: argparse.Namespace) -> tuple[Optional[Limits], str]:
+    """Validate the resource-guard knobs and fold them into ``Limits``.
 
-        report = StreamingValidator(schema).validate_file(args.document)
-    else:
-        document = parse_file(args.document)
-        report = validate_document(schema, document)
+    Returns ``(limits, "")`` or ``(None, problem)`` — handlers print the
+    problem to stderr and exit 2, mirroring the ``--jobs`` validation.
+    """
+    if args.max_depth is not None and args.max_depth < 1:
+        return None, f"--max-depth must be >= 1, got {args.max_depth}"
+    if args.max_bytes is not None and args.max_bytes < 1:
+        return None, f"--max-bytes must be >= 1, got {args.max_bytes}"
+    if args.timeout is not None and args.timeout <= 0:
+        return None, f"--timeout must be > 0, got {args.timeout:g}"
+    if args.retries < 0:
+        return None, f"--retries must be >= 0, got {args.retries}"
+    overrides: dict = {}
+    if args.max_depth is not None:
+        overrides["max_tree_depth"] = args.max_depth
+    if args.max_bytes is not None:
+        overrides["max_document_bytes"] = args.max_bytes
+    if args.timeout is not None:
+        overrides["deadline_seconds"] = args.timeout
+    return DEFAULT_LIMITS.with_overrides(**overrides), ""
+
+
+def _parse_with_retries(path: str, limits: Limits, retries: int):
+    """``parse_file`` with bounded retry of (possibly transient)
+    ``OSError``; other failures propagate on the first attempt."""
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return parse_file(path, limits=limits)
+        except OSError:
+            if attempt > retries:
+                raise
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    limits, problem = _guard_limits(args)
+    if limits is None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    with limits_scope(limits):
+        schema = load_schema(args.schema, roots=args.root or None)
+        if args.streaming:
+            from repro.core.streaming import StreamingValidator
+
+            report = StreamingValidator(
+                schema, limits=limits
+            ).validate_file(args.document)
+        else:
+            document = _parse_with_retries(args.document, limits,
+                                           args.retries)
+            report = validate_document(schema, document, limits=limits)
     if report.valid:
         print(f"{args.document}: valid")
         if args.stats:
@@ -95,40 +145,49 @@ def cmd_cast(args: argparse.Namespace) -> int:
         print(f"error: --jobs must be >= 1, got {args.jobs}",
               file=sys.stderr)
         return 2
-    pair = _load_pair(args)
-    if os.path.isdir(args.document):
-        from repro.core.batch import validate_directory
+    limits, problem = _guard_limits(args)
+    if limits is None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    with limits_scope(limits):
+        pair = _load_pair(args)
+        if os.path.isdir(args.document):
+            from repro.core.batch import validate_directory
 
-        batch = validate_directory(
-            pair,
-            args.document,
-            jobs=args.jobs,
-            use_string_cast=not args.no_string_cast,
-            collect_stats=args.stats,
-        )
-        for result in batch.invalid:
-            detail = result.error or result.reason
-            print(f"{result.path}: INVALID — {detail}")
-        print(
-            f"{args.document}: {batch.valid_count}/{batch.total} valid "
-            f"(jobs={args.jobs})"
-        )
-        if args.stats and batch.stats is not None:
-            _print_stats(batch.stats)
-        return 0 if batch.all_valid else 1
-    if args.streaming:
-        from repro.core.streaming import StreamingCastValidator
-
-        with open(args.document, encoding="utf-8") as handle:
-            report = StreamingCastValidator(pair).validate_text(
-                handle.read()
+            batch = validate_directory(
+                pair,
+                args.document,
+                jobs=args.jobs,
+                use_string_cast=not args.no_string_cast,
+                collect_stats=args.stats,
+                limits=limits,
+                retries=args.retries,
             )
-    else:
-        validator = CastValidator(
-            pair, use_string_cast=not args.no_string_cast
-        )
-        document = parse_file(args.document)
-        report = validator.validate(document)
+            for result in batch.invalid:
+                detail = result.error or result.reason
+                print(f"{result.path}: INVALID — {detail}")
+            print(
+                f"{args.document}: {batch.valid_count}/{batch.total} valid "
+                f"(jobs={args.jobs})"
+            )
+            if args.stats and batch.stats is not None:
+                _print_stats(batch.stats)
+            return 0 if batch.all_valid else 1
+        if args.streaming:
+            from repro.core.streaming import StreamingCastValidator
+
+            with open(args.document, encoding="utf-8") as handle:
+                report = StreamingCastValidator(
+                    pair, limits=limits
+                ).validate_text(handle.read())
+        else:
+            validator = CastValidator(
+                pair, use_string_cast=not args.no_string_cast,
+                limits=limits,
+            )
+            document = _parse_with_retries(args.document, limits,
+                                           args.retries)
+            report = validator.validate(document)
     verdict = "valid" if report.valid else f"INVALID — {report.reason}"
     print(f"{args.document}: {verdict}")
     if args.stats:
@@ -187,6 +246,36 @@ def cmd_gen_po(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_guard_options(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="maximum element nesting depth (default: "
+        f"{DEFAULT_LIMITS.max_tree_depth})",
+    )
+    command.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="maximum document size in bytes (default: "
+        f"{DEFAULT_LIMITS.max_document_bytes})",
+    )
+    command.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-document wall-clock deadline in seconds "
+        "(default: none)",
+    )
+    command.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for documents failing with an IO error",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -208,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate during parsing with O(depth) memory",
     )
+    _add_guard_options(validate)
     validate.set_defaults(handler=cmd_validate)
 
     cast = commands.add_parser(
@@ -239,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="directory for persisted schema-pair artifacts",
     )
+    _add_guard_options(cast)
     cast.set_defaults(handler=cmd_cast)
 
     repair = commands.add_parser(

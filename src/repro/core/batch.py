@@ -1,4 +1,4 @@
-"""Parallel multi-document validation over one warmed schema pair.
+"""Parallel, fault-tolerant multi-document validation over one schema pair.
 
 The paper's cost model splits validation into static preprocessing
 (schemas only) and a per-document runtime.  When many documents must be
@@ -8,11 +8,34 @@ use every core.  :func:`validate_batch` does exactly that: the warmed
 :class:`~repro.schema.registry.SchemaPair` is shipped to each worker
 process once (via the pool initializer, so fork-based platforms share
 it copy-on-write and spawn-based ones pickle it once per worker, not
-once per document), and documents are distributed in chunks over an
-``imap_unordered`` queue.
+once per document), and one future per document is dispatched over a
+:class:`concurrent.futures.ProcessPoolExecutor`.
 
-Workers parse, validate, and return compact per-document results;
-the parent merges their :class:`ValidationStats` into one batch total
+Fault tolerance is the batch contract:
+
+* **No per-document exception is fatal.**  Workers catch every
+  exception below ``KeyboardInterrupt``/``SystemExit`` — typed
+  :class:`~repro.errors.ReproError` failures (syntax, resource limits,
+  deadlines), ``OSError``, and unexpected bugs alike — and report them
+  through :attr:`DocumentResult.error`.
+* **Worker death is survivable.**  If a worker process dies (segfault,
+  ``os._exit``, OOM kill), the broken pool is discarded and the
+  unfinished documents are retried in a *serial quarantine*: a fresh
+  single-worker pool runs one document at a time, so a crash names its
+  culprit exactly; that document is reported as crashed and the rest
+  continue on another fresh pool.
+* **Per-document budgets.**  ``limits`` (ambient defaults when
+  ``None``) bound each document's size, depth, entity expansions, and —
+  via ``deadline_seconds`` — wall-clock time; one
+  :class:`~repro.guards.Deadline` token spans a document's parse and
+  validation.
+* **Transient IO retries.**  ``retries`` re-runs a document whose
+  ``OSError`` may be transient (network filesystems, racing writers)
+  before recording the failure.
+* **Clean interrupts.**  ``KeyboardInterrupt`` cancels pending work and
+  abandons the pool without waiting on stuck workers.
+
+The parent merges worker :class:`ValidationStats` into one batch total
 that equals the sequential sum exactly — parallelism changes wall-clock
 time, never verdicts or counters.
 """
@@ -20,16 +43,23 @@ time, never verdicts or counters.
 from __future__ import annotations
 
 import fnmatch
-import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.cast import CastValidator
 from repro.core.result import ValidationStats
-from repro.errors import ReproError
+from repro.errors import BatchError, ReproError
+from repro.guards import Limits, resolve_limits
 from repro.schema.registry import SchemaPair
 from repro.xmltree.parser import parse_file
+
+#: A test-only hook run in the worker before each document; raising (or
+#: killing the process) simulates faults.  Must be a picklable top-level
+#: callable so it survives spawn-based platforms.
+FaultHook = Callable[[str], None]
 
 
 @dataclass(frozen=True)
@@ -39,7 +69,12 @@ class DocumentResult:
     path: str
     valid: bool
     reason: str = ""
-    error: str = ""  # parse/IO failure text; empty when the file loaded
+    error: str = ""  # parse/IO/limit/crash text; empty when validated
+    #: Exception class name behind ``error`` (``"WorkerCrash"`` for a
+    #: died worker); empty when the document validated normally.
+    error_type: str = ""
+    #: 1 + the number of OSError retries this document consumed.
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -70,36 +105,112 @@ class BatchResult:
     def all_valid(self) -> bool:
         return self.valid_count == self.total
 
+    @property
+    def errors(self) -> list[DocumentResult]:
+        """Documents that did not produce a verdict (error is set)."""
+        return [result for result in self.results if result.error]
+
 
 #: Per-worker state, set once by :func:`_init_worker`.  A module global
 #: (not a closure) so the work function stays picklable for the pool.
-_WORKER: Optional[tuple[CastValidator, bool]] = None
+_WORKER: Optional[
+    tuple[CastValidator, bool, Limits, int, Optional[FaultHook]]
+] = None
 
 
 def _init_worker(
-    pair: SchemaPair, use_string_cast: bool, collect_stats: bool
+    pair: SchemaPair,
+    use_string_cast: bool,
+    collect_stats: bool,
+    limits: Optional[Limits] = None,
+    retries: int = 0,
+    fault_hook: Optional[FaultHook] = None,
 ) -> None:
     global _WORKER
+    limits = resolve_limits(limits)
     _WORKER = (
         CastValidator(
             pair,
             use_string_cast=use_string_cast,
             collect_stats=collect_stats,
+            limits=limits,
         ),
         collect_stats,
+        limits,
+        retries,
+        fault_hook,
     )
 
 
 def _validate_one(path: str) -> tuple[DocumentResult, Optional[ValidationStats]]:
+    """Validate one document; never raises (KeyboardInterrupt and
+    SystemExit excepted — those are how a worker is told to die)."""
     assert _WORKER is not None, "worker used before _init_worker"
-    validator, collect_stats = _WORKER
-    try:
-        document = parse_file(path)
-    except (ReproError, OSError) as error:
-        return DocumentResult(path, valid=False, error=str(error)), None
-    report = validator.validate(document)
-    stats = report.stats if collect_stats else None
-    return DocumentResult(path, valid=report.valid, reason=report.reason), stats
+    validator, collect_stats, limits, retries, fault_hook = _WORKER
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            if fault_hook is not None:
+                fault_hook(path)
+            # One deadline token spans parse + validation.
+            deadline = limits.deadline()
+            document = parse_file(path, limits=limits, deadline=deadline)
+            report = validator.validate(document, deadline=deadline)
+        except ReproError as error:
+            return (
+                DocumentResult(
+                    path,
+                    valid=False,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    attempts=attempt,
+                ),
+                None,
+            )
+        except OSError as error:
+            if attempt <= retries:
+                continue  # transient IO: bounded retry
+            return (
+                DocumentResult(
+                    path,
+                    valid=False,
+                    error=str(error),
+                    error_type=type(error).__name__,
+                    attempts=attempt,
+                ),
+                None,
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:  # noqa: BLE001 — the batch contract
+            return (
+                DocumentResult(
+                    path,
+                    valid=False,
+                    error=f"unexpected {type(error).__name__}: {error}",
+                    error_type=type(error).__name__,
+                    attempts=attempt,
+                ),
+                None,
+            )
+        stats = report.stats if collect_stats else None
+        return (
+            DocumentResult(
+                path, valid=report.valid, reason=report.reason,
+                attempts=attempt,
+            ),
+            stats,
+        )
+
+
+def _crash_result(path: str) -> DocumentResult:
+    return DocumentResult(
+        path,
+        valid=False,
+        error="worker process died while validating this document",
+        error_type="WorkerCrash",
+    )
 
 
 def validate_batch(
@@ -110,6 +221,9 @@ def validate_batch(
     use_string_cast: bool = True,
     collect_stats: bool = False,
     warm: bool = True,
+    limits: Optional[Limits] = None,
+    retries: int = 0,
+    fault_hook: Optional[FaultHook] = None,
 ) -> BatchResult:
     """Validate many documents against one schema pair.
 
@@ -118,48 +232,132 @@ def validate_batch(
             unless ``warm=False``, so workers inherit finished machines.
         paths: document files; results come back sorted by path.
         jobs: worker processes; ``1`` validates sequentially in-process
-            (no pool, the baseline the tests compare against).
+            (no pool, the baseline the tests compare against — and the
+            one mode without worker-crash isolation).
         use_string_cast: as for :class:`CastValidator`.
         collect_stats: gather per-document counters and merge them into
             ``BatchResult.stats`` (the merged total equals the
             sequential sum).  Off by default — throughput mode.
         warm: pre-build the pair's machines before dispatch.
+        limits: per-document resource budgets (ambient defaults when
+            ``None``); ``limits.deadline_seconds`` is the per-document
+            timeout, enforced cooperatively inside the worker.
+        retries: extra attempts for documents failing with ``OSError``.
+        fault_hook: test-only callable run before each document in the
+            worker (see :data:`FaultHook`).
 
-    A document that fails to parse is reported via ``error`` and counts
-    as not ok; it never aborts the rest of the batch.
+    A document that fails — bad syntax, resource limit, IO error, even
+    a worker crash — is reported via ``error`` and counts as not ok; it
+    never aborts the rest of the batch.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    limits = resolve_limits(limits)
     if warm:
         pair.warm()
     merged = ValidationStats() if collect_stats else None
     outcomes: list[DocumentResult] = []
+
+    def record(result: DocumentResult, stats: Optional[ValidationStats]) -> None:
+        outcomes.append(result)
+        if merged is not None and stats is not None:
+            merged.merge(stats)
+
+    initargs = (pair, use_string_cast, collect_stats, limits, retries,
+                fault_hook)
     if jobs == 1 or len(paths) <= 1:
-        _init_worker(pair, use_string_cast, collect_stats)
+        _init_worker(*initargs)
         try:
             for path in paths:
-                result, stats = _validate_one(path)
-                outcomes.append(result)
-                if merged is not None and stats is not None:
-                    merged.merge(stats)
+                record(*_validate_one(path))
         finally:
             global _WORKER
             _WORKER = None
     else:
-        chunksize = max(1, len(paths) // (jobs * 4))
-        with multiprocessing.Pool(
-            processes=jobs,
-            initializer=_init_worker,
-            initargs=(pair, use_string_cast, collect_stats),
-        ) as pool:
-            for result, stats in pool.imap_unordered(
-                _validate_one, paths, chunksize=chunksize
-            ):
-                outcomes.append(result)
-                if merged is not None and stats is not None:
-                    merged.merge(stats)
+        _run_pool(paths, jobs, initargs, record)
     outcomes.sort(key=lambda result: result.path)
     return BatchResult(results=outcomes, stats=merged)
+
+
+def _run_pool(
+    paths: Sequence[str],
+    jobs: int,
+    initargs: tuple,
+    record: Callable[[DocumentResult, Optional[ValidationStats]], None],
+) -> None:
+    """Dispatch ``paths`` over a worker pool, surviving worker death.
+
+    Phase 1 runs everything on a ``jobs``-wide pool.  If the pool
+    breaks, every unfinished document moves to phase 2: fresh
+    single-worker pools run one document at a time, so a repeat crash
+    identifies the culprit document exactly; it is recorded as crashed
+    and the survivors continue.
+    """
+    remaining = _parallel_phase(list(paths), jobs, initargs, record)
+    while remaining:
+        remaining = _quarantine_phase(remaining, initargs, record)
+
+
+def _parallel_phase(
+    paths: list[str],
+    jobs: int,
+    initargs: tuple,
+    record: Callable[[DocumentResult, Optional[ValidationStats]], None],
+) -> list[str]:
+    """Full-width dispatch; returns the paths lost to a pool break."""
+    executor = ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=initargs
+    )
+    lost: list[str] = []
+    try:
+        futures = {
+            executor.submit(_validate_one, path): path for path in paths
+        }
+        for future in as_completed(futures):
+            path = futures[future]
+            try:
+                result, stats = future.result()
+            except BrokenProcessPool:
+                # Completed futures keep their results; only the ones
+                # in flight or still queued land here.
+                lost.append(path)
+                continue
+            record(result, stats)
+    finally:
+        # wait=False + cancel_futures: a KeyboardInterrupt (or the
+        # break handling above) must not block on stuck workers.
+        executor.shutdown(wait=False, cancel_futures=True)
+    return lost
+
+
+def _quarantine_phase(
+    paths: list[str],
+    initargs: tuple,
+    record: Callable[[DocumentResult, Optional[ValidationStats]], None],
+) -> list[str]:
+    """Serial re-run of crash-suspect paths on a fresh one-worker pool.
+
+    Exactly one document is in flight at a time, so a pool break blames
+    that document; it is recorded as crashed and the remainder is
+    returned for the caller to continue on yet another fresh pool.
+    """
+    executor = ProcessPoolExecutor(
+        max_workers=1, initializer=_init_worker, initargs=initargs
+    )
+    try:
+        for index, path in enumerate(paths):
+            future = executor.submit(_validate_one, path)
+            try:
+                result, stats = future.result()
+            except BrokenProcessPool:
+                record(_crash_result(path), None)
+                return paths[index + 1:]
+            record(result, stats)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return []
 
 
 def validate_directory(
@@ -170,18 +368,39 @@ def validate_directory(
     jobs: int = 1,
     use_string_cast: bool = True,
     collect_stats: bool = False,
+    limits: Optional[Limits] = None,
+    retries: int = 0,
 ) -> BatchResult:
-    """Validate every ``pattern`` file directly under ``directory``."""
-    names = sorted(
-        name
-        for name in os.listdir(directory)
+    """Validate every ``pattern`` file directly under ``directory``.
+
+    Non-file entries (subdirectories, sockets, dangling symlinks) are
+    skipped even when their names match.  A missing or unreadable
+    ``directory`` raises :class:`~repro.errors.BatchError` — the batch
+    cannot start, which is different from a per-document failure.
+    """
+    if not os.path.isdir(directory):
+        raise BatchError(
+            f"input directory {directory!r} does not exist or is not a "
+            "directory"
+        )
+    try:
+        names = os.listdir(directory)
+    except OSError as error:
+        raise BatchError(
+            f"cannot read input directory {directory!r}: {error}"
+        ) from error
+    paths = sorted(
+        path
+        for name in names
         if fnmatch.fnmatch(name, pattern)
+        and os.path.isfile(path := os.path.join(directory, name))
     )
-    paths = [os.path.join(directory, name) for name in names]
     return validate_batch(
         pair,
         paths,
         jobs=jobs,
         use_string_cast=use_string_cast,
         collect_stats=collect_stats,
+        limits=limits,
+        retries=retries,
     )

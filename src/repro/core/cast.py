@@ -32,16 +32,26 @@ may be wrong in either direction — same contract as the paper.
 
 from __future__ import annotations
 
+import sys
 from typing import Optional
 
 from repro.core.result import ValidationReport, ValidationStats
+from repro.errors import DocumentTooDeepError
+from repro.guards import Deadline, Limits, resolve_limits
 from repro.schema.model import ComplexType, SimpleType
 from repro.schema.registry import SchemaPair
 from repro.xmltree.dom import Document, Element, Text
 
 
 class CastValidator:
-    """Revalidates S-valid documents against S' using R_sub/R_dis."""
+    """Revalidates S-valid documents against S' using R_sub/R_dis.
+
+    ``limits`` (ambient defaults when ``None``) guards the traversal:
+    element nesting is depth-bounded (documents from the guarded parser
+    already satisfy it, but programmatically built trees may not) and
+    each validated document may carry a wall-clock deadline.  With the
+    default limits both guards cost one comparison per element.
+    """
 
     def __init__(
         self,
@@ -49,18 +59,38 @@ class CastValidator:
         *,
         use_string_cast: bool = True,
         collect_stats: bool = True,
+        limits: Optional[Limits] = None,
     ):
         self.pair = pair
         self.use_string_cast = use_string_cast
         self.collect_stats = collect_stats
+        self.limits = resolve_limits(limits)
+        self._max_depth = (
+            self.limits.max_tree_depth
+            if self.limits.max_tree_depth is not None
+            else sys.maxsize
+        )
+        self._deadline: Optional[Deadline] = None
 
     # -- entry points -----------------------------------------------------
 
-    def validate(self, document: Document) -> ValidationReport:
-        """Decide target-validity of a source-valid document."""
-        return self.validate_root(document.root)
+    def validate(
+        self, document: Document, *, deadline: Optional[Deadline] = None
+    ) -> ValidationReport:
+        """Decide target-validity of a source-valid document.
 
-    def validate_root(self, root: Element) -> ValidationReport:
+        ``deadline`` lets a caller (the batch driver) share one token
+        across parse and validation; otherwise a fresh one is started
+        from ``limits.deadline_seconds`` (``None`` → no deadline).
+        """
+        return self.validate_root(document.root, deadline=deadline)
+
+    def validate_root(
+        self, root: Element, *, deadline: Optional[Deadline] = None
+    ) -> ValidationReport:
+        self._deadline = (
+            deadline if deadline is not None else self.limits.deadline()
+        )
         target_type = self.pair.target.root_type(root.label)
         if target_type is None:
             return ValidationReport.failure(
@@ -90,6 +120,7 @@ class CastValidator:
         target_type: str,
         element: Element,
         stats: Optional[ValidationStats] = None,
+        depth: int = 0,
     ) -> ValidationReport:
         """The paper's ``validate(τ, τ', e)``.
 
@@ -98,8 +129,16 @@ class CastValidator:
         always takes the instrumented path (the with-modifications
         validator threads its accumulator through here).
         """
+        if depth > self._max_depth:
+            raise DocumentTooDeepError(
+                f"element tree deeper than {self._max_depth} levels"
+            )
+        if self._deadline is not None:
+            self._deadline.tick()
         if stats is None and not self.collect_stats:
-            failure = self._fast_element(source_type, target_type, element)
+            failure = self._fast_element(
+                source_type, target_type, element, depth
+            )
             return ValidationReport.success() if failure is None else failure
         stats = stats if stats is not None else ValidationStats()
         if self.pair.is_subsumed(source_type, target_type):
@@ -180,7 +219,7 @@ class CastValidator:
                     stats=stats,
                 )
             report = self.validate_element(
-                child_source, child_target, child, stats
+                child_source, child_target, child, stats, depth + 1
             )
             if not report.valid:
                 return report
@@ -259,11 +298,22 @@ class CastValidator:
     # -- the compiled fast path (collect_stats=False) ------------------------------
 
     def _fast_element(
-        self, source_type: str, target_type: str, element: Element
+        self,
+        source_type: str,
+        target_type: str,
+        element: Element,
+        depth: int = 0,
     ) -> Optional[ValidationReport]:
         """The traversal of :meth:`validate_element` with counters off:
         ``None`` means the subtree is valid, a report is a failure —
         success allocates nothing on the way up."""
+        if depth > self._max_depth:
+            raise DocumentTooDeepError(
+                f"element tree deeper than {self._max_depth} levels"
+            )
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.tick()
         pair = self.pair
         if (source_type, target_type) in pair.r_sub:
             return None
@@ -331,7 +381,9 @@ class CastValidator:
                     f"no type assigned to label {child.label!r}",
                     path=str(child.dewey()),
                 )
-            failure = self._fast_element(child_source, child_target, child)
+            failure = self._fast_element(
+                child_source, child_target, child, depth + 1
+            )
             if failure is not None:
                 return failure
         return None

@@ -19,11 +19,14 @@ four cases of the paper:
 
 from __future__ import annotations
 
+import sys
 from typing import Optional
 
 from repro.core.cast import CastValidator
 from repro.core.result import ValidationReport, ValidationStats
 from repro.core.updates import UpdateSession
+from repro.errors import DocumentTooDeepError
+from repro.guards import Deadline, Limits, resolve_limits
 from repro.schema.model import ComplexType, SimpleType
 from repro.schema.registry import SchemaPair
 from repro.xmltree.dom import Element, Text
@@ -43,17 +46,30 @@ class CastWithModificationsValidator:
         *,
         use_string_cast: bool = True,
         collect_stats: bool = True,
+        limits: Optional[Limits] = None,
     ):
         self.pair = pair
         self.use_string_cast = use_string_cast
         self.collect_stats = collect_stats
+        self.limits = resolve_limits(limits)
+        self._max_depth = (
+            self.limits.max_tree_depth
+            if self.limits.max_tree_depth is not None
+            else sys.maxsize
+        )
+        self._deadline: Optional[Deadline] = None
         self._cast = CastValidator(
             pair,
             use_string_cast=use_string_cast,
             collect_stats=collect_stats,
+            limits=self.limits,
         )
 
     def validate(self, session: UpdateSession) -> ValidationReport:
+        # One deadline spans the whole walk, shared with the embedded
+        # cast validator (case 1 hands subtrees to it mid-recursion).
+        self._deadline = self.limits.deadline()
+        self._cast._deadline = self._deadline
         root = session.document.root
         if session.is_deleted(root):
             return ValidationReport.failure("the root element was deleted")
@@ -95,12 +111,19 @@ class CastWithModificationsValidator:
         target_type: str,
         element: Element,
         stats: Optional[ValidationStats],
+        depth: int = 0,
     ) -> ValidationReport:
+        if depth > self._max_depth:
+            raise DocumentTooDeepError(
+                f"element tree deeper than {self._max_depth} levels"
+            )
+        if self._deadline is not None:
+            self._deadline.tick()
         # Case 1: untouched subtree — plain schema cast applies.  A None
         # stats dispatches the cast onto its compiled fast path.
         if not session.modified(element):
             return self._cast.validate_element(
-                source_type, target_type, element, stats
+                source_type, target_type, element, stats, depth
             )
         if stats is not None:
             if session.is_touched(element):
@@ -196,11 +219,12 @@ class CastWithModificationsValidator:
                 # explicitly"): full target validation of the subtree,
                 # through the live view (tombstones skipped).
                 report = self._full_validate_live(
-                    session, child_target, child, stats
+                    session, child_target, child, stats, depth + 1
                 )
             else:
                 report = self._validate_node(
-                    session, child_source, child_target, child, stats
+                    session, child_source, child_target, child, stats,
+                    depth + 1,
                 )
             if not report.valid:
                 return report
@@ -212,9 +236,16 @@ class CastWithModificationsValidator:
         type_name: str,
         element: Element,
         stats: Optional[ValidationStats],
+        depth: int = 0,
     ) -> ValidationReport:
         """Full target validation of a subtree through the session's
         live view (deleted tombstones are invisible)."""
+        if depth > self._max_depth:
+            raise DocumentTooDeepError(
+                f"element tree deeper than {self._max_depth} levels"
+            )
+        if self._deadline is not None:
+            self._deadline.tick()
         if stats is not None:
             stats.elements_visited += 1
         declaration = self.pair.target.type(type_name)
@@ -276,7 +307,9 @@ class CastWithModificationsValidator:
                     path=str(child.dewey()),
                     stats=stats,
                 )
-            report = self._full_validate_live(session, child_type, child, stats)
+            report = self._full_validate_live(
+                session, child_type, child, stats, depth + 1
+            )
             if not report.valid:
                 return report
         return ValidationReport.success(stats)

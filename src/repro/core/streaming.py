@@ -17,11 +17,15 @@ parsed document when the schema declares any.
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.core.result import ValidationReport, ValidationStats
 from repro.core.validator import attribute_violation
+from repro.errors import DocumentTooDeepError
+from repro.guards import Limits, check_document_size, resolve_limits
 from repro.schema.model import ComplexType, Schema, SimpleType
 from repro.xmltree.dom import Element
 from repro.xmltree.events import (
@@ -48,8 +52,14 @@ class _Frame:
 class StreamingValidator:
     """Validates event streams against one schema with stack-only state."""
 
-    def __init__(self, schema: Schema):
+    def __init__(self, schema: Schema, *, limits: Optional[Limits] = None):
         self.schema = schema
+        self.limits = resolve_limits(limits)
+        self._max_depth = (
+            self.limits.max_tree_depth
+            if self.limits.max_tree_depth is not None
+            else sys.maxsize
+        )
         for type_name, declaration in schema.types.items():
             if isinstance(declaration, ComplexType):
                 schema.content_dfa(type_name)
@@ -57,15 +67,26 @@ class StreamingValidator:
     # -- entry points ------------------------------------------------------
 
     def validate_text(self, text: str) -> ValidationReport:
-        """Parse and validate in one streaming pass."""
+        """Parse and validate in one streaming pass.
+
+        Resource-limit violations (size, depth, entity expansions,
+        deadline) raise the matching :class:`ResourceLimitError`; only
+        well-formedness problems become failure reports.
+        """
         from repro.errors import XMLSyntaxError
 
         try:
-            return self.validate_events(iterparse(text))
+            return self.validate_events(
+                iterparse(text, limits=self.limits,
+                          deadline=self.limits.deadline())
+            )
         except XMLSyntaxError as error:
             return ValidationReport.failure(f"not well-formed: {error}")
 
     def validate_file(self, path: str) -> ValidationReport:
+        check_document_size(
+            os.path.getsize(path), self.limits, what=f"file {path!r}"
+        )
         with open(path, encoding="utf-8") as handle:
             return self.validate_text(handle.read())
 
@@ -135,6 +156,12 @@ class StreamingValidator:
             position = parent.child_index
             parent.child_index += 1
 
+        if len(stack) >= self._max_depth:
+            # Guards external event streams; iterparse input is already
+            # depth-checked at the parser.
+            raise DocumentTooDeepError(
+                f"element tree deeper than {self._max_depth} levels"
+            )
         stats.elements_visited += 1
         declaration = self.schema.type(type_name)
         # Attribute checks reuse the DOM helper via a throwaway shell.
@@ -252,18 +279,27 @@ class StreamingCastValidator:
     :meth:`CastValidator.validate` on the parsed tree.
     """
 
-    def __init__(self, pair):
+    def __init__(self, pair, *, limits: Optional[Limits] = None):
         from repro.schema.registry import SchemaPair
 
         assert isinstance(pair, SchemaPair)
         self.pair = pair
+        self.limits = resolve_limits(limits)
+        self._max_depth = (
+            self.limits.max_tree_depth
+            if self.limits.max_tree_depth is not None
+            else sys.maxsize
+        )
         pair.warm()
 
     def validate_text(self, text: str) -> ValidationReport:
         from repro.errors import XMLSyntaxError
 
         try:
-            return self.validate_events(iterparse(text))
+            return self.validate_events(
+                iterparse(text, limits=self.limits,
+                          deadline=self.limits.deadline())
+            )
         except XMLSyntaxError as error:
             return ValidationReport.failure(f"not well-formed: {error}")
 
@@ -363,6 +399,10 @@ class StreamingCastValidator:
                 f"source type {source_type!r} is disjoint from target "
                 f"type {target_type!r}",
                 path=self._path(stack),
+            )
+        if len(stack) >= self._max_depth:
+            raise DocumentTooDeepError(
+                f"element tree deeper than {self._max_depth} levels"
             )
         stats.elements_visited += 1
         target_decl = self.pair.target.type(target_type)

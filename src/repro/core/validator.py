@@ -12,9 +12,12 @@ functions with precompiled automata, mirroring unmodified Xerces.
 
 from __future__ import annotations
 
+import sys
 from typing import Optional
 
 from repro.core.result import ValidationReport, ValidationStats
+from repro.errors import DocumentTooDeepError
+from repro.guards import Deadline, Limits, resolve_limits
 from repro.schema.model import ComplexType, Schema, SimpleType, TypeDef
 from repro.xmltree.dom import Document, Element, Text
 
@@ -76,30 +79,66 @@ def attribute_violation(
     return ""
 
 
+def _guard_params(
+    limits: Optional[Limits], deadline: Optional[Deadline]
+) -> tuple[int, Optional[Deadline]]:
+    """Resolve ``limits`` (ambient when ``None``) to the pair of per-call
+    guard values the recursive walkers carry: the depth ceiling (as a
+    plain int so the hot path is one comparison) and a deadline token."""
+    resolved = resolve_limits(limits)
+    max_depth = (
+        resolved.max_tree_depth
+        if resolved.max_tree_depth is not None
+        else sys.maxsize
+    )
+    if deadline is None:
+        deadline = resolved.deadline()
+    return max_depth, deadline
+
+
 def validate_document(
-    schema: Schema, document: Document, *, collect_stats: bool = True
+    schema: Schema,
+    document: Document,
+    *,
+    collect_stats: bool = True,
+    limits: Optional[Limits] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ValidationReport:
     """Validate a whole document: root admissibility plus the subtree.
 
     ``collect_stats=False`` runs the compiled dense-table fast path:
     same verdict, no counters, reports allocated only on failure.
     """
-    return validate_root(schema, document.root, collect_stats=collect_stats)
+    return validate_root(
+        schema,
+        document.root,
+        collect_stats=collect_stats,
+        limits=limits,
+        deadline=deadline,
+    )
 
 
 def validate_root(
-    schema: Schema, root: Element, *, collect_stats: bool = True
+    schema: Schema,
+    root: Element,
+    *,
+    collect_stats: bool = True,
+    limits: Optional[Limits] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ValidationReport:
     type_name = schema.root_type(root.label)
     if type_name is None:
         return ValidationReport.failure(
             f"label {root.label!r} is not a permitted root", path=""
         )
+    max_depth, deadline = _guard_params(limits, deadline)
     if not collect_stats:
-        failure = _fast_validate(schema, type_name, root)
+        failure = _fast_validate(
+            schema, type_name, root, 0, max_depth, deadline
+        )
         return ValidationReport.success() if failure is None else failure
     stats = ValidationStats()
-    report = _validate(schema, type_name, root, stats)
+    report = _validate(schema, type_name, root, stats, 0, max_depth, deadline)
     report.stats = stats
     return report
 
@@ -107,17 +146,33 @@ def validate_root(
 def validate_element(
     schema: Schema, type_name: str, element: Element,
     stats: Optional[ValidationStats] = None,
+    *,
+    limits: Optional[Limits] = None,
+    deadline: Optional[Deadline] = None,
 ) -> ValidationReport:
     """Validate one element (and its subtree) against a named type."""
     stats = stats if stats is not None else ValidationStats()
-    report = _validate(schema, type_name, element, stats)
+    max_depth, deadline = _guard_params(limits, deadline)
+    report = _validate(schema, type_name, element, stats, 0, max_depth, deadline)
     report.stats = stats
     return report
 
 
 def _validate(
-    schema: Schema, type_name: str, element: Element, stats: ValidationStats
+    schema: Schema,
+    type_name: str,
+    element: Element,
+    stats: ValidationStats,
+    depth: int = 0,
+    max_depth: int = sys.maxsize,
+    deadline: Optional[Deadline] = None,
 ) -> ValidationReport:
+    if depth > max_depth:
+        raise DocumentTooDeepError(
+            f"element tree deeper than {max_depth} levels"
+        )
+    if deadline is not None:
+        deadline.tick()
     stats.elements_visited += 1
     declaration = schema.type(type_name)
     violation = attribute_violation(schema, declaration, element)
@@ -156,18 +211,31 @@ def _validate(
         if isinstance(child, Text):
             continue
         child_type = declaration.child_types[child.label]
-        report = _validate(schema, child_type, child, stats)
+        report = _validate(
+            schema, child_type, child, stats, depth + 1, max_depth, deadline
+        )
         if not report.valid:
             return report
     return ValidationReport.success()
 
 
 def _fast_validate(
-    schema: Schema, type_name: str, element: Element
+    schema: Schema,
+    type_name: str,
+    element: Element,
+    depth: int = 0,
+    max_depth: int = sys.maxsize,
+    deadline: Optional[Deadline] = None,
 ) -> Optional[ValidationReport]:
     """:func:`_validate` with counters off, over the schema's compiled
     content tables.  ``None`` means valid (nothing allocated); a report
     is the first failure."""
+    if depth > max_depth:
+        raise DocumentTooDeepError(
+            f"element tree deeper than {max_depth} levels"
+        )
+    if deadline is not None:
+        deadline.tick()
     declaration = schema.types[type_name]
     if element.attributes or (
         isinstance(declaration, ComplexType) and declaration.attributes
@@ -225,7 +293,14 @@ def _fast_validate(
     for child in element.children:
         if isinstance(child, Text):
             continue
-        failure = _fast_validate(schema, child_types[child.label], child)
+        failure = _fast_validate(
+            schema,
+            child_types[child.label],
+            child,
+            depth + 1,
+            max_depth,
+            deadline,
+        )
         if failure is not None:
             return failure
     return None

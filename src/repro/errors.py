@@ -78,3 +78,48 @@ class ValidationError(ReproError):
 
 class UpdateError(ReproError):
     """Invalid tree/string update operation (bad target, deleted node...)."""
+
+
+class BatchError(ReproError):
+    """A batch run could not even start (missing or unreadable input
+    directory).  Per-document failures never raise this; they are
+    reported via ``DocumentResult.error``."""
+
+
+class ResourceLimitError(ReproError):
+    """A configured resource limit was exceeded (see
+    :class:`repro.guards.Limits`).
+
+    Every guard in the pipeline — parser depth and size bounds, entity
+    expansion counting, automaton state budgets, wall-clock deadlines —
+    raises a subclass of this, so pathological input degrades into one
+    catchable branch of the taxonomy instead of a hang,
+    ``RecursionError``, or memory blowup.
+    """
+
+
+class DocumentTooLargeError(ResourceLimitError):
+    """Document byte size exceeds ``Limits.max_document_bytes``."""
+
+
+class DocumentTooDeepError(ResourceLimitError):
+    """Element nesting exceeds ``Limits.max_tree_depth``."""
+
+
+class EntityExpansionError(ResourceLimitError):
+    """Entity/character-reference expansions exceed
+    ``Limits.max_entity_expansions`` (billion-laughs defence)."""
+
+
+class StateBudgetExceededError(ResourceLimitError, ValueError):
+    """An automaton construction (subset construction, product, Glushkov
+    position expansion) exceeds ``Limits.max_dfa_states``.
+
+    Also a :class:`ValueError` for compatibility with the original
+    ``normalize`` position-cap contract.
+    """
+
+
+class DeadlineExceededError(ResourceLimitError):
+    """Per-document wall-clock deadline (``Limits.deadline_seconds``)
+    expired; raised by the amortized :class:`repro.guards.Deadline`."""

@@ -19,8 +19,13 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.errors import StateBudgetExceededError
+from repro.guards import state_budget
+
 #: Hard cap on symbol positions produced by normalizing bounded repeats;
 #: protects against pathological ``maxOccurs="100000"`` declarations.
+#: The ambient ``Limits.max_dfa_states`` tightens this further when it
+#: is smaller (positions become Glushkov automaton states one-for-one).
 MAX_POSITIONS = 100_000
 
 
@@ -315,12 +320,16 @@ def normalize(expr: Regex) -> Regex:
     ``e{m,∞}`` becomes ``e^m · e*`` and ``e{m,M}`` becomes
     ``e^m · (e (e ...)?)?`` with ``M-m`` nested optional copies, which
     keeps UPA-valid (one-unambiguous) models deterministic after
-    expansion.  Raises :class:`ValueError` when the expansion would
-    exceed :data:`MAX_POSITIONS` symbol positions.
+    expansion.  Raises :class:`StateBudgetExceededError` (a
+    :class:`ValueError`) when the expansion would exceed
+    :data:`MAX_POSITIONS` symbol positions or the ambient
+    ``Limits.max_dfa_states`` budget, whichever is smaller.
     """
-    if expr._size() > MAX_POSITIONS:
-        raise ValueError(
-            f"content model expands to more than {MAX_POSITIONS} positions"
+    budget = state_budget()
+    cap = MAX_POSITIONS if budget is None else min(MAX_POSITIONS, budget)
+    if expr._size() > cap:
+        raise StateBudgetExceededError(
+            f"content model expands to more than {cap} positions"
         )
     return _normalize(expr)
 

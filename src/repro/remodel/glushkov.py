@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.automata.dfa import DFA
 from repro.automata.nfa import NFA
-from repro.errors import AmbiguousContentModelError
+from repro.errors import AmbiguousContentModelError, StateBudgetExceededError
 from repro.remodel.ast import (
     Alt,
     Epsilon,
@@ -35,6 +35,20 @@ from repro.remodel.ast import (
     Symbol,
     normalize,
 )
+
+
+def _analyze(expr: Regex) -> "_Linearized":
+    """Normalize and linearize, converting interpreter stack exhaustion
+    on pathologically nested models (large ``maxOccurs`` bounds lower to
+    deeply right-nested optionals) into the typed budget error instead
+    of a raw :class:`RecursionError`."""
+    try:
+        return linearize(normalize(expr))
+    except RecursionError:
+        raise StateBudgetExceededError(
+            "content model nests too deeply to compile (reduce maxOccurs "
+            "bounds or expression nesting)"
+        ) from None
 
 
 @dataclass
@@ -105,7 +119,7 @@ def linearize(expr: Regex) -> _Linearized:
 def check_one_unambiguous(expr: Regex) -> Optional[str]:
     """Return a symbol witnessing ambiguity, or None if the expression is
     one-unambiguous (UPA-valid)."""
-    info = linearize(normalize(expr))
+    info = _analyze(expr)
     sources: list[frozenset[int] | set[int]] = [info.first]
     sources.extend(info.follow.values())
     for positions in sources:
@@ -123,7 +137,7 @@ def glushkov_nfa(expr: Regex) -> NFA:
 
     State 0 is the start; state ``p`` means "just read position ``p``".
     """
-    info = linearize(normalize(expr))
+    info = _analyze(expr)
     num_states = len(info.symbol_at) + 1
     transitions: dict[tuple[int, str], set[int]] = {}
     for position in info.first:
@@ -158,8 +172,7 @@ def compile_dfa(
         alphabet: optional superalphabet for the resulting DFA.
         strict: enforce one-unambiguity (XSD semantics).
     """
-    core = normalize(expr)
-    info = linearize(core)
+    info = _analyze(expr)
     sigma = frozenset(info.symbol_at.values())
     if alphabet is not None:
         if not frozenset(alphabet) >= sigma:

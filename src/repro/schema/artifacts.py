@@ -29,6 +29,7 @@ import tempfile
 from typing import Optional
 
 from repro.errors import ReproError
+from repro.guards import resolve_limits
 from repro.schema.model import ComplexType, Schema, SimpleType
 from repro.schema.registry import SchemaPair
 
@@ -158,14 +159,25 @@ def load(path: str, *, expected_key: Optional[str] = None) -> SchemaPair:
     """Load a persisted pair artifact.
 
     Raises :class:`ArtifactError` when the file is unreadable, was
-    written by a different :data:`ARTIFACT_VERSION`, or (when
+    written by a different :data:`ARTIFACT_VERSION`, oversized for the
+    ambient ``Limits.max_document_bytes`` budget, or (when
     ``expected_key`` is given) belongs to different schema content.
     """
+    max_bytes = resolve_limits(None).max_document_bytes
     try:
+        if max_bytes is not None and os.path.getsize(path) > max_bytes:
+            # Size-check before buffering/unpickling: a truncation-
+            # corrupted or runaway artifact is a cache miss, not an OOM.
+            raise ArtifactError(
+                f"artifact {path!r} is {os.path.getsize(path)} bytes, "
+                f"exceeding the max_document_bytes limit of {max_bytes}"
+            )
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
     except FileNotFoundError:
         raise ArtifactError(f"no artifact at {path!r}") from None
+    except ArtifactError:
+        raise
     except Exception as error:
         raise ArtifactError(
             f"artifact {path!r} is unreadable: {error}"

@@ -1,6 +1,16 @@
 """Workload generation: the paper's purchase-order experiments, random
 schemas/documents for property tests, and edit/perturbation drivers."""
 
+from repro.workloads.adversarial import (
+    adversarial_content_models,
+    adversarial_documents,
+    deep_document,
+    entity_bomb,
+    exponential_dfa_source,
+    oversized_document,
+    repeat_bomb_source,
+    wide_document,
+)
 from repro.workloads.generators import (
     TreeSampler,
     random_regex,
@@ -31,6 +41,14 @@ from repro.workloads.purchase_orders import (
 )
 
 __all__ = [
+    "adversarial_content_models",
+    "adversarial_documents",
+    "deep_document",
+    "entity_bomb",
+    "exponential_dfa_source",
+    "oversized_document",
+    "repeat_bomb_source",
+    "wide_document",
     "TreeSampler",
     "random_regex",
     "random_schema",

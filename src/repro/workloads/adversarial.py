@@ -1,0 +1,125 @@
+"""Adversarial inputs: documents and schemas built to break validators.
+
+Every generator here produces an input that a *correct* resource-guarded
+pipeline must refuse with a typed :class:`~repro.errors.ReproError`
+(usually a :class:`~repro.errors.ResourceLimitError` subclass) — never
+an unhandled exception, a hang, or memory exhaustion.  The
+fault-injection harness (``tests/faultinject.py``) runs the whole
+corpus through every entry point and asserts exactly that.
+
+The shapes:
+
+* **deep nesting** — a linear chain of elements past any sane depth
+  (recursion/stack attack on tree builders and recursive validators);
+* **entity amplification** — long runs of character/entity references
+  (the expansion-count analogue of billion-laughs for a parser whose
+  entity set is fixed);
+* **oversized documents** — byte-size blowups from a tiny template;
+* **state blowup schemas** — content models whose NFA determinization
+  or pair-product construction explodes exponentially, and bounded
+  repeats whose lowering nests pathologically;
+* **malformed tails** — truncations and garbage bytes appended to a
+  valid prefix (parser robustness, not a resource attack).
+
+Generators return strings (document text) or expression sources so the
+corpus can be written to disk by tests and CLI runs alike; everything is
+deterministic — no randomness — because an adversarial input that only
+sometimes reproduces is a flaky test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+# -- adversarial documents ---------------------------------------------------
+
+
+def deep_document(depth: int, label: str = "a") -> str:
+    """A linear chain ``<a><a>…</a></a>`` of ``depth`` nested elements."""
+    return f"<{label}>" * depth + f"</{label}>" * depth
+
+
+def entity_bomb(expansions: int) -> str:
+    """A single element whose text forces ``expansions`` entity/charref
+    expansions during lexing."""
+    return "<a>" + "&amp;" * expansions + "</a>"
+
+
+def wide_document(children: int, label: str = "a", child: str = "b") -> str:
+    """One root with ``children`` flat children — large but legal; used
+    to size byte/deadline budgets without deep recursion."""
+    return (
+        f"<{label}>" + f"<{child}>x</{child}>" * children + f"</{label}>"
+    )
+
+
+def oversized_document(target_bytes: int) -> str:
+    """Well-formed text of at least ``target_bytes`` bytes."""
+    filler = "<a>" + "x" * max(target_bytes - 7, 0) + "</a>"
+    return filler
+
+
+def truncated_document(depth: int = 4) -> str:
+    """A document cut mid-tag (well-formedness failure, typed error)."""
+    whole = deep_document(depth)
+    return whole[: len(whole) // 2]
+
+
+def garbage_tail_document() -> str:
+    """Valid document followed by trailing garbage bytes."""
+    return "<a><b>x</b></a>\x01\x02garbage<<<"
+
+
+def adversarial_documents(
+    *,
+    depth: int = 100_000,
+    expansions: int = 1_000_000,
+    size_bytes: int = 1_000_000,
+) -> Iterator[tuple[str, str]]:
+    """The document corpus as ``(name, text)`` pairs.
+
+    Defaults are far past the default :class:`~repro.guards.Limits`
+    so each input trips its guard; tests shrink them with explicit
+    tighter limits to keep runs fast.
+    """
+    yield "deep-nesting", deep_document(depth)
+    yield "entity-bomb", entity_bomb(expansions)
+    yield "oversized", oversized_document(size_bytes)
+    yield "truncated", truncated_document()
+    yield "garbage-tail", garbage_tail_document()
+
+
+# -- adversarial schemas (content-model sources) ------------------------------
+
+
+def exponential_dfa_source(n: int, label: str = "a", other: str = "b") -> str:
+    """The classic ``(a|b)*,a,(a|b)^n`` model: its minimal DFA needs
+    ``2^n`` states, so subset construction must hit the state budget."""
+    tail = ",".join(f"({label}|{other})" for _ in range(n))
+    return f"({label}|{other})*,{label},{tail}"
+
+
+def repeat_bomb_source(bound: int, label: str = "a") -> str:
+    """A bounded repeat whose lowering nests ``bound`` optionals —
+    recursion depth, not just position count, is the attack."""
+    return f"({label}{{0,{bound}}})"
+
+
+def position_bomb_source(copies: int, width: int, label: str = "a") -> str:
+    """Nested bounded repeats multiplying into ``copies**width``
+    Glushkov positions."""
+    inner = label
+    for _ in range(width):
+        inner = f"({inner}){{0,{copies}}}"
+    return inner
+
+
+def adversarial_content_models(
+    *, exp_n: int = 24, repeat_bound: int = 50_000
+) -> Iterator[tuple[str, str]]:
+    """Content-model sources as ``(name, source)`` pairs; compiling any
+    of them under a finite state budget must raise
+    :class:`~repro.errors.StateBudgetExceededError`."""
+    yield "exponential-dfa", exponential_dfa_source(exp_n)
+    yield "repeat-bomb", repeat_bomb_source(repeat_bound)
+    yield "position-bomb", position_bomb_source(100, 3)

@@ -11,9 +11,16 @@ error positions; a tree built from the events equals :func:`parse`'s.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Union
+from typing import Iterator, Optional, Union
 
 from repro.errors import XMLSyntaxError
+from repro.guards import (
+    Deadline,
+    Limits,
+    check_depth,
+    check_document_size,
+    resolve_limits,
+)
 from repro.xmltree.lexer import Scanner
 
 
@@ -37,10 +44,24 @@ Event = Union[StartElement, Characters, EndElement]
 
 
 def iterparse(
-    text: str, *, keep_whitespace: bool = False
+    text: str,
+    *,
+    keep_whitespace: bool = False,
+    limits: Optional[Limits] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Iterator[Event]:
-    """Yield parse events for a whole XML document."""
-    scanner = Scanner(text)
+    """Yield parse events for a whole XML document.
+
+    The same resource guards as :func:`repro.xmltree.parser.parse`
+    apply: document size up front, nesting depth as elements open,
+    entity expansions inside the scanner, and the optional wall-clock
+    deadline ticked once per start tag.
+    """
+    limits = resolve_limits(limits)
+    check_document_size(len(text), limits)
+    if deadline is None:
+        deadline = limits.deadline()
+    scanner = Scanner(text, limits=limits, deadline=deadline)
     _skip_prolog(scanner)
     if not scanner.starts_with("<"):
         raise scanner.error("expected the root element")
@@ -152,6 +173,9 @@ def _element_events(
             continue
         if scanner.starts_with("<"):
             yield from flush_text()
+            check_depth(len(stack) + 1, scanner.limits)
+            if scanner.deadline is not None:
+                scanner.deadline.tick()
             scanner.expect("<")
             name = scanner.read_name()
             attributes = _attributes(scanner, name)

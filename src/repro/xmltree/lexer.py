@@ -9,7 +9,10 @@ from the grammar keeps both halves short and independently testable.
 
 from __future__ import annotations
 
-from repro.errors import XMLSyntaxError
+from typing import Optional
+
+from repro.errors import EntityExpansionError, XMLSyntaxError
+from repro.guards import Deadline, Limits, resolve_limits
 
 # Simplified XML 1.0 name characters.  Colons are accepted so qualified
 # names like ``xsd:element`` pass through verbatim (we do not expand
@@ -39,11 +42,28 @@ def is_name(text: str) -> bool:
 
 
 class Scanner:
-    """Cursor over XML source text with line/column tracking."""
+    """Cursor over XML source text with line/column tracking.
 
-    def __init__(self, text: str):
+    The scanner also hosts the per-document resource guards shared by
+    both parsing front-ends (tree and events): the entity-expansion
+    counter and the optional wall-clock :class:`Deadline`.  Both are
+    off the hot path — one integer compare per expansion, one
+    ``is not None`` test per tick site.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        *,
+        limits: Optional[Limits] = None,
+        deadline: Optional[Deadline] = None,
+    ):
         self.text = text
         self.pos = 0
+        self.limits = resolve_limits(limits)
+        self.deadline = deadline
+        self.entity_expansions = 0
+        self._max_expansions = self.limits.max_entity_expansions
 
     # -- position reporting -------------------------------------------------
 
@@ -163,6 +183,16 @@ class Scanner:
         return "".join(out)
 
     def _expand_entity(self, body: str, pos: int) -> str:
+        self.entity_expansions += 1
+        if (
+            self._max_expansions is not None
+            and self.entity_expansions > self._max_expansions
+        ):
+            line, column = self.line_column(pos)
+            raise EntityExpansionError(
+                f"more than {self._max_expansions} entity expansions "
+                f"(line {line}, column {column})"
+            )
         if body.startswith("#x") or body.startswith("#X"):
             try:
                 return chr(int(body[2:], 16))

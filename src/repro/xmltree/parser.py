@@ -14,30 +14,85 @@ content.  Pass ``keep_whitespace=True`` to retain them.
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 from repro.errors import XMLSyntaxError
+from repro.guards import (
+    Deadline,
+    Limits,
+    check_depth,
+    check_document_size,
+    resolve_limits,
+)
 from repro.xmltree.dom import Document, Element, Text
 from repro.xmltree.lexer import Scanner
 
 
-def parse(text: str, *, keep_whitespace: bool = False) -> Document:
-    """Parse an XML document from a string."""
-    return _Parser(text, keep_whitespace).parse_document()
+def parse(
+    text: str,
+    *,
+    keep_whitespace: bool = False,
+    limits: Optional[Limits] = None,
+    deadline: Optional[Deadline] = None,
+) -> Document:
+    """Parse an XML document from a string.
+
+    ``limits`` (ambient defaults when ``None``) bounds document size,
+    nesting depth, and entity expansions; ``deadline`` is an optional
+    caller-owned wall-clock token (one is started from
+    ``limits.deadline_seconds`` otherwise).
+    """
+    limits = resolve_limits(limits)
+    check_document_size(len(text), limits)
+    if deadline is None:
+        deadline = limits.deadline()
+    return _Parser(text, keep_whitespace, limits, deadline).parse_document()
 
 
-def parse_file(path: str, *, keep_whitespace: bool = False) -> Document:
-    """Parse an XML document from a file path (UTF-8)."""
+def parse_file(
+    path: str,
+    *,
+    keep_whitespace: bool = False,
+    limits: Optional[Limits] = None,
+    deadline: Optional[Deadline] = None,
+) -> Document:
+    """Parse an XML document from a file path (UTF-8).
+
+    The size guard runs against the on-disk byte size *before* the file
+    is read, so an oversized document is rejected without buffering it.
+    """
+    limits = resolve_limits(limits)
+    check_document_size(os.path.getsize(path), limits, what=f"file {path!r}")
     with open(path, encoding="utf-8") as handle:
-        return parse(handle.read(), keep_whitespace=keep_whitespace)
+        return parse(
+            handle.read(),
+            keep_whitespace=keep_whitespace,
+            limits=limits,
+            deadline=deadline,
+        )
 
 
-def parse_fragment(text: str, *, keep_whitespace: bool = False) -> Element:
+def parse_fragment(
+    text: str,
+    *,
+    keep_whitespace: bool = False,
+    limits: Optional[Limits] = None,
+) -> Element:
     """Parse a single element (no prolog/doctype) and return it."""
-    return parse(text, keep_whitespace=keep_whitespace).root
+    return parse(text, keep_whitespace=keep_whitespace, limits=limits).root
 
 
 class _Parser:
-    def __init__(self, text: str, keep_whitespace: bool):
-        self.scanner = Scanner(text)
+    def __init__(
+        self,
+        text: str,
+        keep_whitespace: bool,
+        limits: Optional[Limits] = None,
+        deadline: Optional[Deadline] = None,
+    ):
+        self.limits = resolve_limits(limits)
+        self.scanner = Scanner(text, limits=self.limits, deadline=deadline)
         self.keep_whitespace = keep_whitespace
 
     # -- document structure ---------------------------------------------
@@ -61,7 +116,7 @@ class _Parser:
                 break
         if not scanner.starts_with("<"):
             raise scanner.error("expected the root element")
-        root = self._parse_element()
+        root = self._parse_element(1)
         while not scanner.at_end():
             scanner.skip_whitespace()
             if scanner.at_end():
@@ -123,8 +178,11 @@ class _Parser:
 
     # -- elements ----------------------------------------------------------
 
-    def _parse_element(self) -> Element:
+    def _parse_element(self, depth: int) -> Element:
         scanner = self.scanner
+        check_depth(depth, self.limits)
+        if scanner.deadline is not None:
+            scanner.deadline.tick()
         open_pos = scanner.pos
         scanner.expect("<")
         name = scanner.read_name()
@@ -133,7 +191,7 @@ class _Parser:
             return Element(name, attributes)
         scanner.expect(">")
         node = Element(name, attributes)
-        self._parse_content(node, open_pos)
+        self._parse_content(node, open_pos, depth)
         return node
 
     def _parse_attributes(self, element_name: str) -> dict[str, str]:
@@ -162,7 +220,7 @@ class _Parser:
                 )
             attributes[attr_name] = scanner.decode_entities(raw_value, value_pos)
 
-    def _parse_content(self, node: Element, open_pos: int) -> None:
+    def _parse_content(self, node: Element, open_pos: int, depth: int) -> None:
         scanner = self.scanner
         text_parts: list[str] = []
         text_start = scanner.pos
@@ -205,7 +263,7 @@ class _Parser:
                 continue
             if scanner.starts_with("<"):
                 flush_text()
-                node.append(self._parse_element())
+                node.append(self._parse_element(depth + 1))
                 text_start = scanner.pos
                 continue
             # Character data up to the next markup or entity boundary.

@@ -1,0 +1,114 @@
+"""State budgets on every exponential automaton-construction path."""
+
+import pytest
+
+from repro.automata.dfa import DFA
+from repro.automata.immediate import ImmediateDecisionAutomaton
+from repro.automata.nfa import NFA
+from repro.errors import StateBudgetExceededError
+from repro.guards import Limits, limits_scope
+from repro.remodel.parser import parse_content_model
+from repro.remodel.glushkov import compile_dfa, glushkov_nfa
+from repro.workloads.adversarial import (
+    exponential_dfa_source,
+    repeat_bomb_source,
+)
+
+
+def exponential_nfa(n: int) -> NFA:
+    """Glushkov NFA of ``(a|b)*,a,(a|b)^n`` — minimal DFA has 2^n states."""
+    return glushkov_nfa(parse_content_model(exponential_dfa_source(n)))
+
+
+class TestSubsetConstructionBudget:
+    def test_explicit_budget(self):
+        with pytest.raises(StateBudgetExceededError, match="max_dfa_states"):
+            exponential_nfa(16).determinize(max_states=500)
+
+    def test_ambient_budget(self):
+        with limits_scope(Limits(max_dfa_states=500)):
+            with pytest.raises(StateBudgetExceededError):
+                exponential_nfa(16).determinize()
+
+    def test_within_budget_is_unchanged(self):
+        dfa = exponential_nfa(4).determinize(max_states=500)
+        assert dfa.accepts(["a", "b", "b", "b", "b"])
+        assert not dfa.accepts(["b", "b", "b", "b", "b"])
+
+    def test_budget_is_exact_not_approximate(self):
+        # A 3-state NFA determinizes to few states; a budget of 1 must
+        # still allow the start subset and fail only on growth.
+        nfa = exponential_nfa(2)
+        with pytest.raises(StateBudgetExceededError):
+            nfa.determinize(max_states=1)
+
+
+class TestProductBudget:
+    def _pair(self, n: int) -> tuple[DFA, DFA]:
+        a = exponential_nfa(n).determinize(max_states=None)
+        b = compile_dfa(parse_content_model(f"(a|b){{0,{2 ** n}}}"))
+        return a, b
+
+    def test_product_respects_ambient_budget(self):
+        a, b = self._pair(6)
+        with limits_scope(Limits(max_dfa_states=10)):
+            with pytest.raises(StateBudgetExceededError):
+                a.product(b, lambda x, y: x and y)
+
+    def test_intersects_respects_ambient_budget(self):
+        a, b = self._pair(6)
+        with limits_scope(Limits(max_dfa_states=10)):
+            with pytest.raises(StateBudgetExceededError):
+                a.intersects(b)
+
+
+class TestPairAutomatonBudget:
+    def test_from_pair_rejects_oversized_product(self):
+        a = exponential_nfa(8).determinize(max_states=None)
+        b = exponential_nfa(8).determinize(max_states=None)
+        with limits_scope(Limits(max_dfa_states=100)):
+            with pytest.raises(StateBudgetExceededError, match="pair"):
+                ImmediateDecisionAutomaton.from_pair(a, b)
+
+
+class TestNormalizationBudget:
+    def test_positions_capped_by_ambient_budget(self):
+        with limits_scope(Limits(max_dfa_states=100)):
+            with pytest.raises(StateBudgetExceededError, match="positions"):
+                compile_dfa(parse_content_model("(a{0,500})"))
+
+    def test_budget_error_is_a_value_error(self):
+        # The historical contract: position-cap failures were
+        # ValueError("... positions"); the typed error must still
+        # satisfy callers catching that.
+        with limits_scope(Limits(max_dfa_states=100)):
+            with pytest.raises(ValueError, match="positions"):
+                compile_dfa(parse_content_model("(a{0,500})"))
+
+    def test_deep_repeat_nesting_is_typed_not_recursion_error(self):
+        # Below MAX_POSITIONS but past the interpreter's stack: the
+        # lowering of a{0,50000} nests that many optionals.
+        with pytest.raises(StateBudgetExceededError, match="nests too deeply"):
+            compile_dfa(parse_content_model(repeat_bomb_source(50_000)))
+
+
+class TestSchemaCompilationEndToEnd:
+    def test_schema_content_compilation_is_guarded(self):
+        from repro.schema.model import Schema, complex_type
+        from repro.schema.simple import builtin
+
+        schema = Schema(
+            {
+                "T": complex_type(
+                    "T", exponential_dfa_source(16), {"a": "S", "b": "S"}
+                ),
+                "S": builtin("string"),
+            },
+            {"t": "T"},
+        )
+        with limits_scope(Limits(max_dfa_states=200)):
+            with pytest.raises(StateBudgetExceededError):
+                # The Glushkov automaton of this model is ambiguous, so
+                # compilation falls back to subset construction — the
+                # guarded path.
+                schema.content_dfa("T")

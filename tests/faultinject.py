@@ -1,0 +1,103 @@
+"""Fault-injection harness for the resource-guarded pipeline.
+
+Shared machinery for the robustness suites (``tests/core``,
+``tests/xmltree``, ``tests/schema``): an on-disk adversarial corpus
+with the error class each input must produce, plus picklable worker
+fault hooks for :func:`repro.core.batch.validate_batch`.
+
+The harness encodes the batch contract under attack:
+
+* every adversarial *document* yields its specific typed
+  :class:`~repro.errors.ReproError` subclass — from direct entry points
+  as a raised exception, from the batch driver as
+  ``DocumentResult.error_type``;
+* every injected *worker* fault (hard crash, unexpected exception,
+  transient IO error) costs at most that one document — the rest of the
+  batch completes normally.
+
+Hooks are module-level functions (not closures/lambdas) so they pickle
+under spawn-based multiprocessing, and key off the document *filename*
+so tests choose victims by naming files, with no shared state between
+parent and workers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import (
+    DocumentTooDeepError,
+    DocumentTooLargeError,
+    EntityExpansionError,
+    XMLSyntaxError,
+)
+from repro.guards import Limits
+from repro.workloads.adversarial import (
+    deep_document,
+    entity_bomb,
+    garbage_tail_document,
+    oversized_document,
+    truncated_document,
+)
+
+#: Tight limits matched to the miniature corpus below — small enough
+#: that every guard trips in milliseconds.
+CORPUS_LIMITS = Limits(
+    max_document_bytes=10_000,
+    max_tree_depth=50,
+    max_entity_expansions=100,
+)
+
+#: name -> (document text, error class required under CORPUS_LIMITS).
+ADVERSARIAL_CASES = {
+    "deep-nesting": (deep_document(200), DocumentTooDeepError),
+    "entity-bomb": (entity_bomb(500), EntityExpansionError),
+    "oversized": (oversized_document(20_000), DocumentTooLargeError),
+    "truncated": (truncated_document(), XMLSyntaxError),
+    "garbage-tail": (garbage_tail_document(), XMLSyntaxError),
+}
+
+
+def write_corpus(directory) -> dict[str, str]:
+    """Write the adversarial corpus; returns ``name -> path``."""
+    paths = {}
+    for name, (text, _expected) in ADVERSARIAL_CASES.items():
+        path = os.path.join(str(directory), f"{name}.xml")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        paths[name] = path
+    return paths
+
+
+def expected_error(name: str) -> type:
+    return ADVERSARIAL_CASES[name][1]
+
+
+# -- worker fault hooks (picklable, filename-keyed) ---------------------------
+
+
+def crash_hook(path: str) -> None:
+    """Kill the worker process dead — no exception, no cleanup."""
+    if "CRASH" in os.path.basename(path):
+        os._exit(17)
+
+
+def bug_hook(path: str) -> None:
+    """An unexpected (non-Repro, non-OS) exception inside the worker."""
+    if "BUG" in os.path.basename(path):
+        raise RuntimeError("injected defect")
+
+
+def fuse_oserror_hook(path: str) -> None:
+    """Raise ``OSError`` once per ``<path>.fuse`` sidecar file: the
+    first attempt consumes the fuse, a retry then succeeds."""
+    fuse = path + ".fuse"
+    if os.path.exists(fuse):
+        os.unlink(fuse)
+        raise OSError("transient injected IO failure")
+
+
+def arm_fuse(path: str) -> None:
+    """Plant the sidecar that makes :func:`fuse_oserror_hook` fire once."""
+    with open(path + ".fuse", "w", encoding="utf-8") as handle:
+        handle.write("armed")

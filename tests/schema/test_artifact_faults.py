@@ -1,0 +1,95 @@
+"""Artifact cache under fault: oversized, truncated, and corrupt files
+must be typed errors or silent rebuilds — never crashes or bad loads."""
+
+import os
+
+import pytest
+
+from repro.guards import Limits, limits_scope
+from repro.schema.artifacts import (
+    ArtifactError,
+    artifact_path,
+    get_or_build,
+    load,
+    pair_cache_key,
+    save,
+)
+from repro.schema.registry import SchemaPair
+
+
+@pytest.fixture()
+def warmed_pair(exp2_source, exp2_target):
+    pair = SchemaPair(exp2_source, exp2_target)
+    pair.warm()
+    return pair
+
+
+class TestLoadGuards:
+    def test_oversized_artifact_is_rejected_before_unpickling(
+        self, warmed_pair, tmp_path
+    ):
+        path = str(tmp_path / "pair.pkl")
+        size = save(warmed_pair, path)
+        with limits_scope(Limits(max_document_bytes=size - 1)):
+            with pytest.raises(ArtifactError, match="max_document_bytes"):
+                load(path)
+
+    def test_within_budget_loads(self, warmed_pair, tmp_path):
+        path = str(tmp_path / "pair.pkl")
+        size = save(warmed_pair, path)
+        with limits_scope(Limits(max_document_bytes=size)):
+            loaded = load(path)
+        assert loaded.source.types.keys() == warmed_pair.source.types.keys()
+
+    def test_truncated_artifact_is_an_artifact_error(
+        self, warmed_pair, tmp_path
+    ):
+        path = str(tmp_path / "pair.pkl")
+        save(warmed_pair, path)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[: len(blob) // 2])
+        with pytest.raises(ArtifactError, match="unreadable"):
+            load(path)
+
+    def test_garbage_artifact_is_an_artifact_error(self, tmp_path):
+        path = str(tmp_path / "pair.pkl")
+        with open(path, "wb") as handle:
+            handle.write(b"\x80\x04not a pickle at all")
+        with pytest.raises(ArtifactError):
+            load(path)
+
+
+class TestCacheHealing:
+    def test_corrupt_cache_entry_rebuilds_and_heals(
+        self, exp2_source, exp2_target, tmp_path
+    ):
+        cache_dir = str(tmp_path)
+        key = pair_cache_key(exp2_source, exp2_target)
+        path = artifact_path(cache_dir, key)
+        with open(path, "wb") as handle:
+            handle.write(b"corrupt")
+        pair, from_cache = get_or_build(
+            exp2_source, exp2_target, cache_dir, warm=False
+        )
+        assert not from_cache
+        # The rebuild re-persisted a loadable artifact over the corrupt
+        # one: the next call hits.
+        _, from_cache = get_or_build(
+            exp2_source, exp2_target, cache_dir, warm=False
+        )
+        assert from_cache
+
+    def test_oversized_cache_entry_rebuilds(
+        self, exp2_source, exp2_target, tmp_path
+    ):
+        cache_dir = str(tmp_path)
+        pair, _ = get_or_build(exp2_source, exp2_target, cache_dir, warm=False)
+        path = artifact_path(cache_dir, pair_cache_key(exp2_source, exp2_target))
+        size = os.path.getsize(path)
+        with limits_scope(Limits(max_document_bytes=size - 1)):
+            _, from_cache = get_or_build(
+                exp2_source, exp2_target, cache_dir, warm=False
+            )
+        assert not from_cache

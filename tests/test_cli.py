@@ -172,6 +172,90 @@ class TestErrors:
         assert code == 2
 
 
+class TestGuardKnobs:
+    @pytest.mark.parametrize(
+        "option,value",
+        [
+            ("--max-depth", "0"),
+            ("--max-bytes", "0"),
+            ("--timeout", "0"),
+            ("--timeout", "-1"),
+            ("--retries", "-1"),
+        ],
+    )
+    def test_bad_values_are_usage_errors(
+        self, workspace, capsys, option, value
+    ):
+        code = main([
+            "validate", str(workspace / "po.xml"),
+            "--schema", str(workspace / "a.xsd"), option, value,
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_depth_limit_trips(self, workspace, capsys):
+        code = main([
+            "validate", str(workspace / "po.xml"),
+            "--schema", str(workspace / "a.xsd"), "--max-depth", "2",
+        ])
+        assert code == 2
+        assert "max_tree_depth" in capsys.readouterr().err
+
+    def test_validate_size_limit_trips(self, workspace, capsys):
+        code = main([
+            "validate", str(workspace / "po.xml"),
+            "--schema", str(workspace / "a.xsd"), "--max-bytes", "16",
+        ])
+        assert code == 2
+        assert "max_document_bytes" in capsys.readouterr().err
+
+    def test_generous_limits_pass(self, workspace, capsys):
+        code = main([
+            "validate", str(workspace / "po.xml"),
+            "--schema", str(workspace / "a.xsd"),
+            "--max-depth", "100", "--max-bytes", "1000000",
+            "--timeout", "60", "--retries", "2",
+        ])
+        assert code == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_cast_depth_limit_trips(self, workspace, capsys):
+        code = main([
+            "cast", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--max-depth", "1",
+        ])
+        assert code == 2
+        assert "max_tree_depth" in capsys.readouterr().err
+
+    def test_cast_directory_reports_limit_errors_per_document(
+        self, workspace, capsys
+    ):
+        corpus = workspace / "corpus"
+        corpus.mkdir()
+        write_file(make_purchase_order(1), str(corpus / "ok.xml"))
+        (corpus / "deep.xml").write_text("<a>" * 60 + "</a>" * 60)
+        code = main([
+            "cast", str(corpus),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--max-depth", "50",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # the deep document fails, the rest validate
+        assert "deep.xml" in out
+
+    def test_cast_missing_directory_is_an_error(self, workspace, capsys):
+        code = main([
+            "cast", str(workspace / "no-such-dir" / "x"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestStreamingFlags:
     def test_streaming_validate(self, workspace, capsys):
         code = main([

@@ -1,0 +1,132 @@
+"""Parser/lexer/event-stream resource guards against the adversarial corpus."""
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    DocumentTooDeepError,
+    DocumentTooLargeError,
+    EntityExpansionError,
+    ResourceLimitError,
+    XMLSyntaxError,
+)
+from repro.guards import Limits, limits_scope
+from repro.workloads.adversarial import (
+    deep_document,
+    entity_bomb,
+    garbage_tail_document,
+    oversized_document,
+    truncated_document,
+    wide_document,
+)
+from repro.xmltree.events import iterparse
+from repro.xmltree.parser import parse, parse_file
+
+TIGHT = Limits(
+    max_document_bytes=10_000,
+    max_tree_depth=50,
+    max_entity_expansions=100,
+)
+
+
+class TestDepthGuard:
+    def test_parse_rejects_deep_nesting(self):
+        with pytest.raises(DocumentTooDeepError, match="max_tree_depth"):
+            parse(deep_document(51), limits=TIGHT)
+
+    def test_parse_allows_exact_bound(self):
+        document = parse(deep_document(50), limits=TIGHT)
+        assert document.root.label == "a"
+
+    def test_iterparse_rejects_deep_nesting(self):
+        with pytest.raises(DocumentTooDeepError):
+            for _ in iterparse(deep_document(51), limits=TIGHT):
+                pass
+
+    def test_default_limit_beats_recursion_error(self):
+        # Past the default bound but below the stack-death depth: the
+        # guard must fire, not the interpreter.
+        with pytest.raises(DocumentTooDeepError):
+            parse(deep_document(250))
+
+    def test_very_deep_document_never_reaches_the_stack(self):
+        with pytest.raises(DocumentTooDeepError):
+            parse(deep_document(100_000), limits=Limits(max_document_bytes=None))
+
+
+class TestSizeGuard:
+    def test_parse_rejects_oversized_text(self):
+        with pytest.raises(DocumentTooLargeError, match="max_document_bytes"):
+            parse(oversized_document(20_000), limits=TIGHT)
+
+    def test_parse_file_checks_size_before_reading(self, tmp_path):
+        path = tmp_path / "big.xml"
+        path.write_text(oversized_document(20_000), encoding="utf-8")
+        with pytest.raises(DocumentTooLargeError, match="big.xml"):
+            parse_file(str(path), limits=TIGHT)
+
+    def test_iterparse_rejects_oversized_text(self):
+        with pytest.raises(DocumentTooLargeError):
+            for _ in iterparse(oversized_document(20_000), limits=TIGHT):
+                pass
+
+
+class TestEntityGuard:
+    def test_entity_bomb_rejected(self):
+        with pytest.raises(EntityExpansionError, match="entity expansions"):
+            parse(entity_bomb(101), limits=TIGHT)
+
+    def test_under_the_bound_is_fine(self):
+        document = parse(entity_bomb(100), limits=TIGHT)
+        assert document.root.text() == "&" * 100
+
+    def test_character_references_count(self):
+        text = "<a>" + "&#x41;" * 101 + "</a>"
+        with pytest.raises(EntityExpansionError):
+            parse(text, limits=TIGHT)
+
+
+class TestDeadlineGuard:
+    def test_parse_deadline(self):
+        limits = Limits(deadline_seconds=1e-9)
+        with pytest.raises(DeadlineExceededError, match="deadline"):
+            parse(wide_document(2000), limits=limits)
+
+    def test_iterparse_deadline(self):
+        limits = Limits(deadline_seconds=1e-9)
+        with pytest.raises(DeadlineExceededError):
+            for _ in iterparse(wide_document(2000), limits=limits):
+                pass
+
+    def test_no_deadline_by_default(self):
+        document = parse(wide_document(2000))
+        assert len(document.root.children) == 2000
+
+
+class TestAmbientIntegration:
+    def test_parse_uses_ambient_limits(self):
+        with limits_scope(TIGHT):
+            with pytest.raises(DocumentTooDeepError):
+                parse(deep_document(51))
+
+    def test_explicit_limits_override_ambient(self):
+        with limits_scope(TIGHT):
+            document = parse(
+                deep_document(51), limits=Limits(max_tree_depth=60)
+            )
+            assert document.root.label == "a"
+
+
+class TestMalformedInputsStayTyped:
+    @pytest.mark.parametrize(
+        "text", [truncated_document(), garbage_tail_document()]
+    )
+    def test_malformed_raises_syntax_not_limit(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse(text, limits=TIGHT)
+
+    def test_limit_errors_are_not_syntax_errors(self):
+        # The batch driver and CLI distinguish the two branches.
+        with pytest.raises(ResourceLimitError):
+            parse(deep_document(51), limits=TIGHT)
+        assert not issubclass(ResourceLimitError, XMLSyntaxError)
