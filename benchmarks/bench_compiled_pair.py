@@ -21,6 +21,9 @@ Run standalone (no pytest needed)::
 compiled path to not be *slower* than the dict path (ratio > 1.0);
 the full run enforces the acceptance thresholds: end-to-end >= 1.5x
 and artifact load >= 10x.  Exit status 1 if any check fails.
+
+Results are also merged into ``BENCH_cast.json`` at the repo root
+(``--json`` overrides), alongside the ``bench_memo_cast.py`` records.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ import tempfile
 import time
 from typing import Callable
 
+from repro.bench.reporting import update_bench_json
 from repro.core.cast import CastValidator
 from repro.schema import artifacts
 from repro.schema.registry import SchemaPair
@@ -126,6 +130,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="small CI smoke run; only requires compiled >= dict",
     )
+    parser.add_argument(
+        "--json",
+        default=os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            "..",
+            "BENCH_cast.json",
+        ),
+        help="where to merge the machine-readable results",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -168,6 +181,34 @@ def main(argv=None) -> int:
     ]
     for name, left, right, speedup in rows:
         print(f"{name:<34} {left}  {right}  {speedup:6.2f}x")
+
+    update_bench_json(
+        args.json,
+        {
+            "compiled_micro_scan": {
+                "corpus": "exp2-items-word-x200",
+                "reps": micro_reps,
+                "dict_seconds": dict_time,
+                "compiled_seconds": compiled_time,
+                "speedup": dict_time / compiled_time,
+            },
+            "compiled_end_to_end": {
+                "corpus": f"exp2-po-x{e2e_items}",
+                "reps": e2e_reps,
+                "seed_seconds": seed_time,
+                "fast_seconds": fast_time,
+                "speedup": seed_time / fast_time,
+            },
+            "artifact_load": {
+                "corpus": f"a4-random-schemas-{sizes}",
+                "cold_seconds": cold_time,
+                "load_seconds": load_time,
+                "speedup": cold_time / load_time,
+            },
+        },
+        source="bench_compiled_pair.py",
+    )
+    print(f"wrote {os.path.normpath(args.json)}")
 
     failures = []
     micro_speedup = dict_time / compiled_time

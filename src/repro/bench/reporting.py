@@ -1,14 +1,19 @@
-"""Plain-text table rendering for the benchmark harness.
+"""Rendering and persistence for the benchmark harness.
 
 Every experiment prints a fixed-width table with the paper's reported
 numbers (where the paper reports any) next to our measurements, so the
 shape comparison is visible directly in the bench output and can be
-pasted into EXPERIMENTS.md.
+pasted into EXPERIMENTS.md.  :func:`update_bench_json` additionally
+persists machine-readable records (``BENCH_cast.json`` at the repo
+root) that CI uploads as an artifact.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+import os
+import tempfile
+from typing import Iterable, Mapping, Sequence
 
 
 def render_table(
@@ -56,3 +61,51 @@ def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     for row in rows:
         lines.append(",".join(str(cell) for cell in row))
     return "\n".join(lines)
+
+
+def update_bench_json(
+    path: str,
+    entries: Mapping[str, Mapping[str, object]],
+    *,
+    source: str,
+) -> str:
+    """Merge benchmark records into the machine-readable results file.
+
+    ``entries`` maps a benchmark name to its JSON-serializable record;
+    each record is stamped with ``source`` (the emitting script).  The
+    file layout is ``{"version": 1, "results": {name: record}}``;
+    records for benchmarks not named in ``entries`` are preserved, so
+    several scripts can share one file.  A missing or corrupt file is
+    started fresh, and the write goes through a temporary file plus
+    atomic rename so a crash never leaves half-written JSON.
+
+    Returns ``path``.
+    """
+    results: dict[str, object] = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict) and isinstance(
+            loaded.get("results"), dict
+        ):
+            results = dict(loaded["results"])
+    except (OSError, ValueError):
+        pass
+    for name, record in entries.items():
+        results[name] = {**record, "source": source}
+    data = {"version": 1, "results": results}
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return path

@@ -9,6 +9,8 @@ driven without writing Python:
   schema cast validation (document promised valid under A); DOC may be
   a directory, validated as a batch (``--jobs N`` parallelizes it);
   ``--cache-dir DIR`` loads/saves the preprocessed pair artifact;
+  ``--memo``/``--no-memo`` and ``--memo-size N`` control the subtree
+  verdict memo (see ``docs/PERFORMANCE.md``);
 * ``repair DOC --source A --target B [-o OUT]`` — correct the document
   to conform to the target schema and report the edits;
 * ``relations --source A --target B`` — print the precomputed
@@ -31,6 +33,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.cast import CastValidator
+from repro.core.memo import DEFAULT_MEMO_SIZE
 from repro.core.repair import DocumentRepairer
 from repro.core.validator import validate_document
 from repro.errors import ReproError
@@ -58,6 +61,11 @@ def _print_stats(stats) -> None:
     print(f"  content symbols read:   {stats.content_symbols_scanned}")
     print(f"  early content verdicts: {stats.early_content_decisions}")
     print(f"  simple values checked:  {stats.simple_values_checked}")
+    if stats.memo_lookups > 0:
+        print(f"  memo hits:              {stats.memo_hits}")
+        print(f"  memo misses:            {stats.memo_misses}")
+        print(f"  memo evictions:         {stats.memo_evictions}")
+        print(f"  memo hit rate:          {stats.memo_hit_rate:.1%}")
 
 
 def _guard_limits(args: argparse.Namespace) -> tuple[Optional[Limits], str]:
@@ -123,19 +131,30 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 1
 
 
-def _load_pair(args: argparse.Namespace) -> SchemaPair:
-    """Build (or fetch from the artifact cache) the schema pair."""
+def _load_pair(
+    args: argparse.Namespace,
+) -> tuple[SchemaPair, Optional[str]]:
+    """Build (or fetch from the artifact cache) the schema pair.
+
+    Returns ``(pair, artifact_file)``; the artifact file path (set only
+    with ``--cache-dir``) lets the batch driver ship a path instead of
+    a pickled pair to spawn-based worker pools.
+    """
     source = load_schema(args.source)
     target = load_schema(args.target)
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir:
-        from repro.schema.artifacts import get_or_build
+        from repro.schema.artifacts import (
+            artifact_path,
+            get_or_build,
+            pair_cache_key,
+        )
 
         pair, from_cache = get_or_build(source, target, cache_dir)
         origin = "cached artifact" if from_cache else "built and cached"
         print(f"pair: {origin} ({cache_dir})")
-        return pair
-    return SchemaPair(source, target)
+        return pair, artifact_path(cache_dir, pair_cache_key(source, target))
+    return SchemaPair(source, target), None
 
 
 def cmd_cast(args: argparse.Namespace) -> int:
@@ -149,8 +168,13 @@ def cmd_cast(args: argparse.Namespace) -> int:
     if limits is None:
         print(f"error: {problem}", file=sys.stderr)
         return 2
+    if args.memo_size < 1:
+        print(f"error: --memo-size must be >= 1, got {args.memo_size}",
+              file=sys.stderr)
+        return 2
+    memo_size = args.memo_size if args.memo else None
     with limits_scope(limits):
-        pair = _load_pair(args)
+        pair, artifact_file = _load_pair(args)
         if os.path.isdir(args.document):
             from repro.core.batch import validate_directory
 
@@ -162,6 +186,8 @@ def cmd_cast(args: argparse.Namespace) -> int:
                 collect_stats=args.stats,
                 limits=limits,
                 retries=args.retries,
+                memo_size=memo_size,
+                artifact_path=artifact_file,
             )
             for result in batch.invalid:
                 detail = result.error or result.reason
@@ -172,8 +198,16 @@ def cmd_cast(args: argparse.Namespace) -> int:
             )
             if args.stats and batch.stats is not None:
                 _print_stats(batch.stats)
+            elif batch.stats is not None and batch.stats.memo_lookups > 0:
+                print(
+                    f"memo: {batch.stats.memo_hits} hits / "
+                    f"{batch.stats.memo_lookups} lookups "
+                    f"({batch.stats.memo_hit_rate:.1%} across all workers)"
+                )
             return 0 if batch.all_valid else 1
         if args.streaming:
+            # The streaming validator never materializes subtrees, so
+            # there is nothing to fingerprint — no memo here.
             from repro.core.streaming import StreamingCastValidator
 
             with open(args.document, encoding="utf-8") as handle:
@@ -181,9 +215,16 @@ def cmd_cast(args: argparse.Namespace) -> int:
                     pair, limits=limits
                 ).validate_text(handle.read())
         else:
+            from repro.core.memo import ValidationMemo
+
+            memo = (
+                ValidationMemo(memo_size, limits=limits)
+                if memo_size is not None
+                else None
+            )
             validator = CastValidator(
                 pair, use_string_cast=not args.no_string_cast,
-                limits=limits,
+                limits=limits, memo=memo,
             )
             document = _parse_with_retries(args.document, limits,
                                            args.retries)
@@ -215,7 +256,7 @@ def cmd_repair(args: argparse.Namespace) -> int:
 
 
 def cmd_relations(args: argparse.Namespace) -> int:
-    pair = _load_pair(args)
+    pair, _ = _load_pair(args)
     source, target = pair.source, pair.target
     print(f"R_sub ({len(pair.r_sub)} pairs — skip these subtrees):")
     for tau, tau_p in sorted(pair.r_sub):
@@ -328,6 +369,26 @@ def build_parser() -> argparse.ArgumentParser:
     cast.add_argument(
         "--cache-dir",
         help="directory for persisted schema-pair artifacts",
+    )
+    cast.add_argument(
+        "--memo",
+        dest="memo",
+        action="store_true",
+        default=True,
+        help="memoize subtree verdicts by structural hash (default on)",
+    )
+    cast.add_argument(
+        "--no-memo",
+        dest="memo",
+        action="store_false",
+        help="disable the subtree verdict memo",
+    )
+    cast.add_argument(
+        "--memo-size",
+        type=int,
+        default=DEFAULT_MEMO_SIZE,
+        help="verdict memo capacity in entries (default: "
+        f"{DEFAULT_MEMO_SIZE})",
     )
     _add_guard_options(cast)
     cast.set_defaults(handler=cmd_cast)

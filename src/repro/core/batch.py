@@ -4,12 +4,25 @@ The paper's cost model splits validation into static preprocessing
 (schemas only) and a per-document runtime.  When many documents must be
 revalidated against the same pair — a feed migration, a corpus audit —
 the static part should be paid once and the per-document part should
-use every core.  :func:`validate_batch` does exactly that: the warmed
-:class:`~repro.schema.registry.SchemaPair` is shipped to each worker
-process once (via the pool initializer, so fork-based platforms share
-it copy-on-write and spawn-based ones pickle it once per worker, not
-once per document), and one future per document is dispatched over a
-:class:`concurrent.futures.ProcessPoolExecutor`.
+use every core.  :func:`validate_batch` does exactly that: one future
+per document is dispatched over a
+:class:`concurrent.futures.ProcessPoolExecutor`, and the warmed
+:class:`~repro.schema.registry.SchemaPair` reaches each worker by the
+cheapest route the platform offers —
+
+* **fork** start method: workers inherit the parent's compiled tables
+  copy-on-write through a module global; nothing is pickled at all;
+* **spawn** with a persisted artifact available: only the artifact
+  *path* rides the initializer, and the worker loads the pickle (with
+  the artifact layer's size check) lazily on its first document;
+* otherwise: the pair itself is pickled once per worker via the
+  initializer — still once per worker, never once per document.
+
+Workers can also share one bounded verdict memo
+(:class:`~repro.core.memo.ValidationMemo`, ``memo_size``) across every
+document they validate, so structurally repeated subtrees in a corpus
+are skipped after their first appearance; per-worker memo counters are
+merged into the fleet-wide ``BatchResult.stats``.
 
 Fault tolerance is the batch contract:
 
@@ -43,6 +56,7 @@ time, never verdicts or counters.
 from __future__ import annotations
 
 import fnmatch
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -50,11 +64,19 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.cast import CastValidator
+from repro.core.memo import ValidationMemo
 from repro.core.result import ValidationStats
 from repro.errors import BatchError, ReproError
 from repro.guards import Limits, resolve_limits
 from repro.schema.registry import SchemaPair
 from repro.xmltree.parser import parse_file
+
+#: How a worker obtains its :class:`SchemaPair`.  ``("inline", pair)``
+#: pickles the pair through the pool initializer; ``("fork", None)``
+#: reads the parent's :data:`_FORK_PAIR` global inherited copy-on-write;
+#: ``("artifact", path)`` lazily loads the persisted artifact on the
+#: worker's first document.
+PairSource = tuple[str, object]
 
 #: A test-only hook run in the worker before each document; raising (or
 #: killing the process) simulates faults.  Must be a picklable top-level
@@ -111,46 +133,101 @@ class BatchResult:
         return [result for result in self.results if result.error]
 
 
-#: Per-worker state, set once by :func:`_init_worker`.  A module global
-#: (not a closure) so the work function stays picklable for the pool.
-_WORKER: Optional[
-    tuple[CastValidator, bool, Limits, int, Optional[FaultHook]]
+#: Per-worker configuration, set once by :func:`_init_worker`.  Module
+#: globals (not closures) so the work function stays picklable.
+_WORKER_CONFIG: Optional[
+    tuple[PairSource, bool, bool, Limits, int, Optional[FaultHook],
+          Optional[int]]
 ] = None
+
+#: The validator, built lazily by :func:`_ensure_validator` on the
+#: worker's first document — so an ``("artifact", path)`` source costs
+#: no load in workers that never receive work.
+_WORKER_VALIDATOR: Optional[CastValidator] = None
+
+#: Fork-inheritance channel: the parent parks the warmed pair here just
+#: before creating a fork-based pool, and workers read it back without
+#: any pickling.  Always ``None`` outside a fork-mode batch.
+_FORK_PAIR: Optional[SchemaPair] = None
 
 
 def _init_worker(
-    pair: SchemaPair,
+    pair_source: PairSource,
     use_string_cast: bool,
     collect_stats: bool,
     limits: Optional[Limits] = None,
     retries: int = 0,
     fault_hook: Optional[FaultHook] = None,
+    memo_size: Optional[int] = None,
 ) -> None:
-    global _WORKER
-    limits = resolve_limits(limits)
-    _WORKER = (
-        CastValidator(
-            pair,
+    global _WORKER_CONFIG, _WORKER_VALIDATOR
+    _WORKER_CONFIG = (
+        pair_source,
+        use_string_cast,
+        collect_stats,
+        resolve_limits(limits),
+        retries,
+        fault_hook,
+        memo_size,
+    )
+    _WORKER_VALIDATOR = None
+
+
+def _resolve_pair(pair_source: PairSource) -> SchemaPair:
+    kind, payload = pair_source
+    if kind == "inline":
+        assert isinstance(payload, SchemaPair)
+        return payload
+    if kind == "fork":
+        assert _FORK_PAIR is not None, "fork pair not parked by the parent"
+        return _FORK_PAIR
+    assert kind == "artifact"
+    from repro.schema import artifacts
+
+    # load() size-checks the file against the ambient byte budget
+    # before unpickling, so a corrupt or runaway artifact is an error
+    # report, not an OOM.
+    assert isinstance(payload, str)
+    return artifacts.load(payload)
+
+
+def _ensure_validator() -> tuple[CastValidator, bool, Limits, int,
+                                 Optional[FaultHook]]:
+    """The worker's validator, built on first use."""
+    global _WORKER_VALIDATOR
+    assert _WORKER_CONFIG is not None, "worker used before _init_worker"
+    (pair_source, use_string_cast, collect_stats, limits, retries,
+     fault_hook, memo_size) = _WORKER_CONFIG
+    if _WORKER_VALIDATOR is None:
+        memo = (
+            ValidationMemo(memo_size, limits=limits)
+            if memo_size is not None
+            else None
+        )
+        _WORKER_VALIDATOR = CastValidator(
+            _resolve_pair(pair_source),
             use_string_cast=use_string_cast,
             collect_stats=collect_stats,
             limits=limits,
-        ),
-        collect_stats,
-        limits,
-        retries,
-        fault_hook,
-    )
+            memo=memo,
+        )
+    return _WORKER_VALIDATOR, collect_stats, limits, retries, fault_hook
 
 
 def _validate_one(path: str) -> tuple[DocumentResult, Optional[ValidationStats]]:
     """Validate one document; never raises (KeyboardInterrupt and
     SystemExit excepted — those are how a worker is told to die)."""
-    assert _WORKER is not None, "worker used before _init_worker"
-    validator, collect_stats, limits, retries, fault_hook = _WORKER
+    assert _WORKER_CONFIG is not None, "worker used before _init_worker"
+    retries = _WORKER_CONFIG[4]
     attempt = 0
     while True:
         attempt += 1
         try:
+            # Built here, not in the initializer, so an artifact-load
+            # failure is a per-document error report, not a pool crash.
+            validator, collect_stats, limits, _retries, fault_hook = (
+                _ensure_validator()
+            )
             if fault_hook is not None:
                 fault_hook(path)
             # One deadline token spans parse + validation.
@@ -194,7 +271,14 @@ def _validate_one(path: str) -> tuple[DocumentResult, Optional[ValidationStats]]
                 ),
                 None,
             )
-        stats = report.stats if collect_stats else None
+        # In throughput mode with a memo, report.stats still carries the
+        # per-document memo deltas (and nothing else) — ship those so
+        # the parent can merge a fleet-wide hit rate.
+        stats = (
+            report.stats
+            if collect_stats or validator._memo is not None
+            else None
+        )
         return (
             DocumentResult(
                 path, valid=report.valid, reason=report.reason,
@@ -224,6 +308,8 @@ def validate_batch(
     limits: Optional[Limits] = None,
     retries: int = 0,
     fault_hook: Optional[FaultHook] = None,
+    memo_size: Optional[int] = None,
+    artifact_path: Optional[str] = None,
 ) -> BatchResult:
     """Validate many documents against one schema pair.
 
@@ -245,6 +331,15 @@ def validate_batch(
         retries: extra attempts for documents failing with ``OSError``.
         fault_hook: test-only callable run before each document in the
             worker (see :data:`FaultHook`).
+        memo_size: when set, each worker shares one bounded
+            :class:`ValidationMemo` of this capacity across all its
+            documents; memo counters land in ``BatchResult.stats`` even
+            with ``collect_stats=False``.  ``None`` disables the memo.
+        artifact_path: a persisted pair artifact
+            (:mod:`repro.schema.artifacts`) for this pair.  On
+            spawn-based platforms workers load it lazily instead of
+            unpickling the initializer-shipped pair; ignored where fork
+            inheritance is cheaper.
 
     A document that fails — bad syntax, resource limit, IO error, even
     a worker crash — is reported via ``error`` and counts as not ok; it
@@ -257,7 +352,11 @@ def validate_batch(
     limits = resolve_limits(limits)
     if warm:
         pair.warm()
-    merged = ValidationStats() if collect_stats else None
+    merged = (
+        ValidationStats()
+        if collect_stats or memo_size is not None
+        else None
+    )
     outcomes: list[DocumentResult] = []
 
     def record(result: DocumentResult, stats: Optional[ValidationStats]) -> None:
@@ -265,18 +364,36 @@ def validate_batch(
         if merged is not None and stats is not None:
             merged.merge(stats)
 
-    initargs = (pair, use_string_cast, collect_stats, limits, retries,
-                fault_hook)
+    def initargs(pair_source: PairSource) -> tuple:
+        return (pair_source, use_string_cast, collect_stats, limits,
+                retries, fault_hook, memo_size)
+
+    global _FORK_PAIR
     if jobs == 1 or len(paths) <= 1:
-        _init_worker(*initargs)
+        _init_worker(*initargs(("inline", pair)))
         try:
             for path in paths:
                 record(*_validate_one(path))
         finally:
-            global _WORKER
-            _WORKER = None
+            global _WORKER_CONFIG, _WORKER_VALIDATOR
+            _WORKER_CONFIG = None
+            _WORKER_VALIDATOR = None
+    elif multiprocessing.get_start_method() == "fork":
+        # Workers are forked from this process, so the compiled tables
+        # travel copy-on-write through the module global: zero pickling
+        # for the pair, regardless of its size.
+        _FORK_PAIR = pair
+        try:
+            _run_pool(paths, jobs, initargs(("fork", None)), record)
+        finally:
+            _FORK_PAIR = None
+    elif artifact_path is not None:
+        # Spawn-based platform with a persisted artifact: ship the path
+        # (a few bytes) once, and let each worker load the pickle on its
+        # first document.
+        _run_pool(paths, jobs, initargs(("artifact", artifact_path)), record)
     else:
-        _run_pool(paths, jobs, initargs, record)
+        _run_pool(paths, jobs, initargs(("inline", pair)), record)
     outcomes.sort(key=lambda result: result.path)
     return BatchResult(results=outcomes, stats=merged)
 
@@ -370,6 +487,8 @@ def validate_directory(
     collect_stats: bool = False,
     limits: Optional[Limits] = None,
     retries: int = 0,
+    memo_size: Optional[int] = None,
+    artifact_path: Optional[str] = None,
 ) -> BatchResult:
     """Validate every ``pattern`` file directly under ``directory``.
 
@@ -403,4 +522,6 @@ def validate_directory(
         collect_stats=collect_stats,
         limits=limits,
         retries=retries,
+        memo_size=memo_size,
+        artifact_path=artifact_path,
     )

@@ -35,6 +35,7 @@ from __future__ import annotations
 import sys
 from typing import Optional
 
+from repro.core.memo import ValidationMemo
 from repro.core.result import ValidationReport, ValidationStats
 from repro.errors import DocumentTooDeepError
 from repro.guards import Deadline, Limits, resolve_limits
@@ -60,10 +61,16 @@ class CastValidator:
         use_string_cast: bool = True,
         collect_stats: bool = True,
         limits: Optional[Limits] = None,
+        memo: Optional[ValidationMemo] = None,
     ):
         self.pair = pair
         self.use_string_cast = use_string_cast
         self.collect_stats = collect_stats
+        #: Optional verdict cache: a subtree whose ``(source type,
+        #: target type, structural hash)`` already validated is skipped
+        #: like a subsumed pair.  Bound to ``pair`` so one memo cannot
+        #: serve two different schema pairs.
+        self._memo = memo.bind(pair) if memo is not None else None
         self.limits = resolve_limits(limits)
         self._max_depth = (
             self.limits.max_tree_depth
@@ -104,13 +111,37 @@ class CastValidator:
             from repro.core.validator import validate_element
 
             return validate_element(self.pair.target, target_type, root)
+        memo_base = (
+            self._memo.snapshot() if self._memo is not None else None
+        )
         if not self.collect_stats:
             failure = self._fast_element(source_type, target_type, root)
-            return ValidationReport.success() if failure is None else failure
-        stats = ValidationStats()
-        report = self.validate_element(source_type, target_type, root, stats)
-        report.stats = stats
+            report = (
+                ValidationReport.success() if failure is None else failure
+            )
+        else:
+            stats = ValidationStats()
+            report = self.validate_element(
+                source_type, target_type, root, stats
+            )
+            report.stats = stats
+        self._fill_memo_stats(memo_base, report.stats)
         return report
+
+    def _fill_memo_stats(
+        self,
+        base: Optional[tuple[int, int, int]],
+        stats: ValidationStats,
+    ) -> None:
+        """Report this run's memo activity as per-document deltas (the
+        memo's own counters span its lifetime, possibly many documents)."""
+        if base is None:
+            return
+        assert self._memo is not None
+        hits, misses, evictions = self._memo.snapshot()
+        stats.memo_hits += hits - base[0]
+        stats.memo_misses += misses - base[1]
+        stats.memo_evictions += evictions - base[2]
 
     # -- the parallel traversal ------------------------------------------------
 
@@ -152,6 +183,14 @@ class CastValidator:
                 path=str(element.dewey()),
                 stats=stats,
             )
+        memo = self._memo
+        memo_key = None
+        if memo is not None:
+            memo_key = (source_type, target_type, element.structural_hash())
+            if memo.contains(memo_key):
+                # A structurally identical subtree already validated
+                # under this pair: skip it like a subsumed pair.
+                return ValidationReport.success(stats)
         stats.elements_visited += 1
         target_decl = self.pair.target.type(target_type)
         from repro.core.validator import attribute_violation
@@ -163,7 +202,10 @@ class CastValidator:
             )
         if isinstance(target_decl, SimpleType):
             # Disjointness already ruled out a complex source type here.
-            return self._check_simple(target_decl, element, stats)
+            report = self._check_simple(target_decl, element, stats)
+            if memo_key is not None and report.valid:
+                memo.add(memo_key)
+            return report
         assert isinstance(target_decl, ComplexType)
         labels: list[str] = []
         for child in element.children:
@@ -205,6 +247,8 @@ class CastValidator:
                     )
                     if not report.valid:
                         return report
+            if memo_key is not None:
+                memo.add(memo_key)
             return ValidationReport.success(stats)
         for child in element.children:
             if isinstance(child, Text):
@@ -223,6 +267,8 @@ class CastValidator:
             )
             if not report.valid:
                 return report
+        if memo_key is not None:
+            memo.add(memo_key)
         return ValidationReport.success(stats)
 
     # -- content helpers -----------------------------------------------------
@@ -323,6 +369,12 @@ class CastValidator:
                 f"type {target_type!r}",
                 path=str(element.dewey()),
             )
+        memo = self._memo
+        memo_key = None
+        if memo is not None:
+            memo_key = (source_type, target_type, element.structural_hash())
+            if memo.contains(memo_key):
+                return None
         target_decl = pair.target.types[target_type]
         if element.attributes or (
             isinstance(target_decl, ComplexType) and target_decl.attributes
@@ -335,7 +387,10 @@ class CastValidator:
                     violation, path=str(element.dewey())
                 )
         if isinstance(target_decl, SimpleType):
-            return self._fast_simple(target_decl, element)
+            failure = self._fast_simple(target_decl, element)
+            if failure is None and memo_key is not None:
+                memo.add(memo_key)
+            return failure
         labels: list[str] = []
         for child in element.children:
             if isinstance(child, Text):
@@ -368,6 +423,8 @@ class CastValidator:
                     )
                     if not report.valid:
                         return report
+            if memo_key is not None:
+                memo.add(memo_key)
             return None
         source_children = source_decl.child_types
         target_children = target_decl.child_types
@@ -386,6 +443,8 @@ class CastValidator:
             )
             if failure is not None:
                 return failure
+        if memo_key is not None:
+            memo.add(memo_key)
         return None
 
     def _fast_content(

@@ -23,6 +23,7 @@ import sys
 from typing import Optional
 
 from repro.core.cast import CastValidator
+from repro.core.memo import ValidationMemo
 from repro.core.result import ValidationReport, ValidationStats
 from repro.core.updates import UpdateSession
 from repro.errors import DocumentTooDeepError
@@ -47,6 +48,7 @@ class CastWithModificationsValidator:
         use_string_cast: bool = True,
         collect_stats: bool = True,
         limits: Optional[Limits] = None,
+        memo: Optional[ValidationMemo] = None,
     ):
         self.pair = pair
         self.use_string_cast = use_string_cast
@@ -58,14 +60,33 @@ class CastWithModificationsValidator:
             else sys.maxsize
         )
         self._deadline: Optional[Deadline] = None
+        # The memo only ever serves case 1 (untouched subtrees, handed to
+        # the embedded cast validator) — modified subtrees never reach
+        # it, and the update session invalidates structural hashes along
+        # every Δ's Dewey path, so stale fingerprints cannot survive.
+        self._memo = memo
         self._cast = CastValidator(
             pair,
             use_string_cast=use_string_cast,
             collect_stats=collect_stats,
             limits=self.limits,
+            memo=memo,
         )
 
     def validate(self, session: UpdateSession) -> ValidationReport:
+        memo_base = (
+            self._memo.snapshot() if self._memo is not None else None
+        )
+        report = self._validate_session(session)
+        if memo_base is not None:
+            assert self._memo is not None
+            hits, misses, evictions = self._memo.snapshot()
+            report.stats.memo_hits += hits - memo_base[0]
+            report.stats.memo_misses += misses - memo_base[1]
+            report.stats.memo_evictions += evictions - memo_base[2]
+        return report
+
+    def _validate_session(self, session: UpdateSession) -> ValidationReport:
         # One deadline spans the whole walk, shared with the embedded
         # cast validator (case 1 hands subtrees to it mid-recursion).
         self._deadline = self.limits.deadline()

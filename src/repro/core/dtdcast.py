@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.memo import ValidationMemo
 from repro.core.result import ValidationReport, ValidationStats
 from repro.errors import SchemaError
 from repro.schema.dtd import is_dtd_schema, label_type
@@ -38,6 +39,7 @@ class DTDCastValidator:
         *,
         use_string_cast: bool = True,
         collect_stats: bool = True,
+        memo: Optional[ValidationMemo] = None,
     ):
         if not is_dtd_schema(pair.source) or not is_dtd_schema(pair.target):
             raise SchemaError(
@@ -47,6 +49,11 @@ class DTDCastValidator:
         self.pair = pair
         self.use_string_cast = use_string_cast
         self.collect_stats = collect_stats
+        #: Optional verdict cache shared with the general cast layer.
+        #: Keys carry an ``"imm"`` discriminator because this validator
+        #: only vouches for an element's *immediate* content, not the
+        #: whole subtree — the two verdict kinds must never collide.
+        self._memo = memo.bind(pair) if memo is not None else None
         #: label → (source type, target type) for labels known to both.
         self.label_pairs: dict[str, tuple[str, str]] = {}
         #: labels whose pair needs a per-instance content check.
@@ -85,6 +92,21 @@ class DTDCastValidator:
                 "target schema",
                 stats=stats,
             )
+        memo_base = (
+            self._memo.snapshot() if self._memo is not None else None
+        )
+        report = self._validate_labels(document, stats)
+        if memo_base is not None:
+            assert self._memo is not None
+            hits, misses, evictions = self._memo.snapshot()
+            report.stats.memo_hits += hits - memo_base[0]
+            report.stats.memo_misses += misses - memo_base[1]
+            report.stats.memo_evictions += evictions - memo_base[2]
+        return report
+
+    def _validate_labels(
+        self, document: Document, stats: Optional[ValidationStats]
+    ) -> ValidationReport:
         for label in self.fatal_labels:
             instances = document.elements_with_label(label)
             if instances:
@@ -119,6 +141,17 @@ class DTDCastValidator:
     ) -> ValidationReport:
         """Verify one element's *immediate* content (no recursion —
         descendants are covered by their own labels' checks)."""
+        memo = self._memo
+        memo_key = None
+        if memo is not None:
+            memo_key = (
+                source_type,
+                target_type,
+                element.structural_hash(),
+                "imm",
+            )
+            if memo.contains(memo_key):
+                return ValidationReport.success(stats)
         if stats is not None:
             stats.elements_visited += 1
         target_decl = self.pair.target.type(target_type)
@@ -155,6 +188,8 @@ class DTDCastValidator:
                     path=str(element.dewey()),
                     stats=stats,
                 )
+            if memo_key is not None:
+                memo.add(memo_key)
             return ValidationReport.success(stats)
         assert isinstance(target_decl, ComplexType)
         labels: list[str] = []
@@ -206,4 +241,6 @@ class DTDCastValidator:
                 path=str(element.dewey()),
                 stats=stats,
             )
+        if memo_key is not None:
+            memo.add(memo_key)
         return ValidationReport.success(stats)

@@ -1,0 +1,152 @@
+"""Memoized pair-validation: a bounded LRU cache of subtree verdicts.
+
+The paper's static analysis avoids re-walking subtrees whose *type
+pair* was decided in advance (subsumption skips, disjointness
+fail-fasts).  :class:`ValidationMemo` pushes the same amortization to
+runtime: it remembers that a subtree with a given structural hash
+(:meth:`~repro.xmltree.dom.Node.structural_hash`) already validated
+successfully under a ``(source type, target type)`` pair, so every
+structurally identical subtree encountered later — in the same document
+or, with a shared memo, anywhere in a batch — is skipped in O(1),
+exactly like a pair in ``R_sub``.
+
+Design constraints:
+
+* **Success-only.**  Failure reports carry the Dewey path of the
+  offending node, which differs between structurally identical
+  subtrees; and the first failure aborts a validation anyway.  Only
+  successes are cached, so a hit can never mis-attribute a failure.
+* **Bounded.**  The cache is a strict LRU over at most ``capacity``
+  keys, further clamped by ``Limits.max_memo_entries`` so the ambient
+  resource-guard policy caps memo memory like every other budget.
+* **Pair-scoped.**  A verdict is only meaningful against the schema
+  pair that produced it, so a memo binds to the first
+  :class:`~repro.schema.registry.SchemaPair` it is used with and
+  refuses to serve a different one.
+
+Counters (``hits``/``misses``/``evictions``) accumulate over the
+memo's lifetime; validators snapshot them around a document so
+:class:`~repro.core.result.ValidationStats` can report per-document
+deltas, and the batch driver merges those into fleet-wide hit rates.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.guards import Limits, resolve_limits
+
+__all__ = ["ValidationMemo", "DEFAULT_MEMO_SIZE"]
+
+#: Default verdict-cache capacity (entries, not bytes).  Each entry is
+#: one small tuple key in a dict — roughly 100 bytes — so the default
+#: costs a few megabytes at saturation.
+DEFAULT_MEMO_SIZE = 65_536
+
+
+class ValidationMemo:
+    """Bounded LRU cache of successful subtree validations.
+
+    Keys are ``(source_type, target_type, structural_hash)`` tuples
+    (the DTD label-indexed validator appends a discriminator so its
+    immediate-content verdicts never collide with full-subtree ones).
+    ``contains`` doubles as the lookup and the LRU touch; ``add``
+    stores a success and evicts the least recently used entry when the
+    cache is full.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries",
+                 "_pair")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_MEMO_SIZE,
+        *,
+        limits: Optional[Limits] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"memo capacity must be >= 1, got {capacity}")
+        cap = resolve_limits(limits).max_memo_entries
+        #: Effective bound: the requested capacity clamped by the
+        #: guard policy's ``max_memo_entries``.
+        self.capacity = capacity if cap is None else min(capacity, cap)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: dict[Hashable, None] = {}
+        self._pair: Optional[object] = None
+
+    # -- pair binding ------------------------------------------------------
+
+    def bind(self, pair: object) -> "ValidationMemo":
+        """Tie this memo to a schema pair (first caller wins).
+
+        A cached verdict is only valid against the pair that produced
+        it; binding turns the accidental reuse of one memo across two
+        pairs — silently wrong answers — into an immediate error.
+        """
+        if self._pair is None:
+            self._pair = pair
+        elif self._pair is not pair:
+            raise ValueError(
+                "ValidationMemo is already bound to a different "
+                "SchemaPair; use one memo per pair"
+            )
+        return self
+
+    # -- the cache ---------------------------------------------------------
+
+    def contains(self, key: Hashable) -> bool:
+        """Is ``key`` a known success?  Counts a hit or miss and, on a
+        hit, marks the entry most recently used."""
+        entries = self._entries
+        if key in entries:
+            self.hits += 1
+            # dicts preserve insertion order: pop + reinsert = LRU touch.
+            del entries[key]
+            entries[key] = None
+            return True
+        self.misses += 1
+        return False
+
+    def add(self, key: Hashable) -> None:
+        """Record a successful validation, evicting the LRU entry when
+        the cache is at capacity."""
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+            self.evictions += 1
+        entries[key] = None
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved — they describe the
+        memo's lifetime, not its current contents)."""
+        self._entries.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> tuple[int, int, int]:
+        """``(hits, misses, evictions)`` — for per-document deltas."""
+        return self.hits, self.misses, self.evictions
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit rate in [0, 1]; 0.0 before any lookup."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ValidationMemo({len(self._entries)}/{self.capacity} entries, "
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.evictions} evictions)"
+        )

@@ -7,7 +7,7 @@ node-visit counters are what reproduces **Table 3** of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 
@@ -30,6 +30,16 @@ class ValidationStats:
             IA/IR state before the end of the child sequence.
         deltas_seen: Δ-labelled nodes encountered (with-modifications
             runs only).
+        memo_hits: subtrees skipped because a structurally identical
+            subtree already validated under the same type pair
+            (:mod:`repro.core.memo`).
+        memo_misses: memo lookups that found nothing.
+        memo_evictions: LRU entries dropped to admit new verdicts.
+
+    Every counter is additive, so :meth:`merge` is the single
+    aggregation primitive — the batch driver folds per-document (and
+    per-worker) stats into one fleet-wide total with it, and the merged
+    total of a parallel run equals the sequential sum exactly.
     """
 
     elements_visited: int = 0
@@ -40,21 +50,38 @@ class ValidationStats:
     disjoint_rejections: int = 0
     early_content_decisions: int = 0
     deltas_seen: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_evictions: int = 0
 
     @property
     def nodes_visited(self) -> int:
         """Total nodes traversed — the Table 3 metric."""
         return self.elements_visited + self.text_nodes_visited
 
+    @property
+    def memo_lookups(self) -> int:
+        """Total verdict-cache probes (hits + misses)."""
+        return self.memo_hits + self.memo_misses
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of memo lookups that skipped a subtree, in [0, 1]."""
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
+
     def merge(self, other: "ValidationStats") -> None:
-        self.elements_visited += other.elements_visited
-        self.text_nodes_visited += other.text_nodes_visited
-        self.content_symbols_scanned += other.content_symbols_scanned
-        self.simple_values_checked += other.simple_values_checked
-        self.subtrees_skipped += other.subtrees_skipped
-        self.disjoint_rejections += other.disjoint_rejections
-        self.early_content_decisions += other.early_content_decisions
-        self.deltas_seen += other.deltas_seen
+        for counter in fields(self):
+            setattr(
+                self,
+                counter.name,
+                getattr(self, counter.name) + getattr(other, counter.name),
+            )
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (benchmark JSON emission)."""
+        return {counter.name: getattr(self, counter.name)
+                for counter in fields(self)}
 
 
 @dataclass

@@ -105,6 +105,8 @@ class UpdateSession:
             self._record(element, Delta(old=element.label,
                                         new=element.label))
         element.attributes[name] = value
+        # Direct attribute-map mutation bypasses the DOM's hash tracking.
+        element.invalidate_structural_hash()
         self._bump()
 
     def remove_attribute(self, element: Element, name: str) -> None:
@@ -118,6 +120,7 @@ class UpdateSession:
             self._record(element, Delta(old=element.label,
                                         new=element.label))
         del element.attributes[name]
+        element.invalidate_structural_hash()
         self._bump()
 
     def insert_before(self, sibling: Node, label: str) -> Element:
@@ -154,6 +157,10 @@ class UpdateSession:
         else:
             old = delta.old if delta is not None else node.label
             self._record(node, Delta(old=old, new=None))
+            # The tombstone leaves the raw tree unchanged, but the node's
+            # *live* subtree did change — stale fingerprints along its
+            # Dewey path must not survive the deletion.
+            node.invalidate_structural_hash()
         self._bump()
 
     # -- Δ projections -----------------------------------------------------------

@@ -83,6 +83,11 @@ class Limits:
     #: default) disables deadline checking entirely, keeping the hot
     #: path to a single ``is not None`` test.
     deadline_seconds: Optional[float] = None
+    #: Maximum entries any single validation memo
+    #: (:class:`repro.core.memo.ValidationMemo`) may hold; a requested
+    #: memo capacity is clamped to this.  Entries are small tuples, so
+    #: the default bounds memo memory at roughly a hundred megabytes.
+    max_memo_entries: Optional[int] = 1_000_000
 
     def __post_init__(self) -> None:
         for name in (
@@ -90,6 +95,7 @@ class Limits:
             "max_tree_depth",
             "max_entity_expansions",
             "max_dfa_states",
+            "max_memo_entries",
         ):
             value = getattr(self, name)
             if value is not None and value < 1:
@@ -120,6 +126,7 @@ UNLIMITED = Limits(
     max_entity_expansions=None,
     max_dfa_states=None,
     deadline_seconds=None,
+    max_memo_entries=None,
 )
 
 _ambient: Limits = DEFAULT_LIMITS

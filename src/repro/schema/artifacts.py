@@ -35,7 +35,8 @@ from repro.schema.registry import SchemaPair
 
 #: Bump whenever the pickled representation of SchemaPair (or anything
 #: it transitively contains) changes shape; old artifacts then miss.
-ARTIFACT_VERSION = 1
+#: v2: ``_string_casts`` became a ``LazyPairTable`` (was a plain dict).
+ARTIFACT_VERSION = 2
 
 
 class ArtifactError(ReproError):

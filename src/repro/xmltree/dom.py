@@ -12,6 +12,28 @@ that model directly:
 
 Nodes know their parent and their position among their siblings, so Dewey
 decimal numbers (Section 3.3) are derivable from any node in O(depth).
+
+Every node also carries a cached **structural hash** — a bottom-up
+rolling fingerprint of its subtree (label, attributes, child hashes,
+simple-content value) that the memoized pair-validation layer
+(:mod:`repro.core.memo`) uses to recognise structurally identical
+subtrees in O(1).  The invariants:
+
+* two subtrees with equal labels, attributes, child structure and text
+  hash equally (within one process; the hash is not stable across
+  processes);
+* every mutation that goes through the DOM API (``append``, ``insert``,
+  ``remove``, the ``label`` and ``Text.value`` setters) invalidates the
+  cached hashes of exactly the mutated node's ancestor chain — its Dewey
+  path — and nothing else;
+* mutating ``Element.attributes`` directly bypasses the tracking; call
+  :meth:`Node.invalidate_structural_hash` afterwards (the update-session
+  layer does this for you).
+
+Hashes are computed lazily and cached, so an unmutated subtree is
+fingerprinted at most once no matter how often it is revalidated; the
+parser additionally seals hashes bottom-up at build time so parsed
+documents arrive fully fingerprinted.
 """
 
 from __future__ import annotations
@@ -27,16 +49,78 @@ CHI = "#text"
 class Node:
     """Common behaviour of element and text nodes."""
 
-    __slots__ = ("parent", "index")
+    __slots__ = ("parent", "index", "_shash")
 
     def __init__(self) -> None:
         self.parent: Optional[Element] = None
         #: position among the parent's children; -1 when detached.
         self.index: int = -1
+        #: cached structural hash of this subtree; ``None`` when stale.
+        self._shash: Optional[int] = None
 
     @property
     def label(self) -> str:
         raise NotImplementedError
+
+    # -- structural hashing ------------------------------------------------
+
+    @property
+    def cached_structural_hash(self) -> Optional[int]:
+        """The cached hash, or ``None`` when it has been invalidated
+        (introspection for tests and diagnostics; does not compute)."""
+        return self._shash
+
+    def structural_hash(self) -> int:
+        """The rolling structural fingerprint of this subtree.
+
+        Computed bottom-up (iteratively, so arbitrarily deep trees never
+        exhaust the Python stack) and cached on every node it visits;
+        a cached node is O(1).
+        """
+        cached = self._shash
+        if cached is not None:
+            return cached
+        stack: list[tuple[Node, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node._shash is not None:
+                continue
+            if isinstance(node, Text):
+                node._shash = hash((CHI, node._value))
+            elif expanded:
+                element_node: Element = node  # type: ignore[assignment]
+                node._shash = hash(
+                    (
+                        element_node._label,
+                        tuple(sorted(element_node.attributes.items()))
+                        if element_node.attributes
+                        else (),
+                        tuple(
+                            child._shash
+                            for child in element_node.children
+                        ),
+                    )
+                )
+            else:
+                stack.append((node, True))
+                for child in node.children:  # type: ignore[attr-defined]
+                    if child._shash is None:
+                        stack.append((child, False))
+        assert self._shash is not None
+        return self._shash
+
+    def invalidate_structural_hash(self) -> None:
+        """Drop the cached hashes of this node and its ancestors.
+
+        The walk stops at the first already-stale node: a cached
+        ancestor implies cached descendants (hashes are computed
+        bottom-up over whole subtrees), so a stale node's ancestors are
+        stale too.
+        """
+        node: Optional[Node] = self
+        while node is not None and node._shash is not None:
+            node._shash = None
+            node = node.parent
 
     def dewey(self) -> Dewey:
         """Dewey decimal number of this node (root element = empty path)."""
@@ -66,11 +150,20 @@ class Node:
 class Text(Node):
     """A leaf holding character data; its label is the χ pseudo-label."""
 
-    __slots__ = ("value",)
+    __slots__ = ("_value",)
 
     def __init__(self, value: str):
         super().__init__()
-        self.value = value
+        self._value = value
+
+    @property
+    def value(self) -> str:
+        return self._value
+
+    @value.setter
+    def value(self, new_value: str) -> None:
+        self._value = new_value
+        self.invalidate_structural_hash()
 
     @property
     def label(self) -> str:
@@ -106,6 +199,7 @@ class Element(Node):
     @label.setter
     def label(self, new_label: str) -> None:
         self._label = new_label
+        self.invalidate_structural_hash()
 
     # -- tree construction --------------------------------------------------
 
@@ -116,6 +210,7 @@ class Element(Node):
         child.parent = self
         child.index = len(self.children)
         self.children.append(child)
+        self.invalidate_structural_hash()
         return child
 
     def insert(self, position: int, child: Union["Element", Text]) -> None:
@@ -127,6 +222,7 @@ class Element(Node):
         child.parent = self
         self.children.insert(position, child)
         self._renumber(position)
+        self.invalidate_structural_hash()
 
     def remove(self, child: Union["Element", Text]) -> None:
         """Detach ``child``; later siblings shift left."""
@@ -137,6 +233,7 @@ class Element(Node):
         child.parent = None
         child.index = -1
         self._renumber(position)
+        self.invalidate_structural_hash()
 
     def _renumber(self, start: int) -> None:
         for i in range(start, len(self.children)):

@@ -188,10 +188,17 @@ class _Parser:
         name = scanner.read_name()
         attributes = self._parse_attributes(name)
         if scanner.match("/>"):
-            return Element(name, attributes)
+            node = Element(name, attributes)
+            node.structural_hash()
+            return node
         scanner.expect(">")
         node = Element(name, attributes)
         self._parse_content(node, open_pos, depth)
+        # Seal the structural hash bottom-up while the subtree is hot:
+        # the children were sealed by their own parses, so this is O(1)
+        # amortized per node and parsed documents arrive fully
+        # fingerprinted for the memoized pair-validation layer.
+        node.structural_hash()
         return node
 
     def _parse_attributes(self, element_name: str) -> dict[str, str]:

@@ -1,6 +1,12 @@
 """Tests for the bench table renderer and result types."""
 
-from repro.bench.reporting import render_csv, render_table
+import json
+
+from repro.bench.reporting import (
+    render_csv,
+    render_table,
+    update_bench_json,
+)
 from repro.core.result import ValidationReport, ValidationStats
 
 
@@ -69,3 +75,64 @@ class TestValidationStats:
 
     def test_success_repr(self):
         assert "valid" in repr(ValidationReport.success())
+
+    def test_merge_accumulates_memo_counters(self):
+        left = ValidationStats(memo_hits=3, memo_misses=1)
+        left.merge(ValidationStats(memo_hits=2, memo_misses=4,
+                                   memo_evictions=5))
+        assert left.memo_hits == 5
+        assert left.memo_misses == 5
+        assert left.memo_evictions == 5
+        assert left.memo_lookups == 10
+        assert left.memo_hit_rate == 0.5
+
+    def test_as_dict_covers_every_counter(self):
+        stats = ValidationStats(elements_visited=2, memo_hits=1)
+        data = stats.as_dict()
+        assert data["elements_visited"] == 2
+        assert data["memo_hits"] == 1
+        assert set(data) >= {"memo_misses", "memo_evictions"}
+
+
+class TestUpdateBenchJson:
+    def test_creates_fresh_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        update_bench_json(
+            str(path), {"a": {"speedup": 2.0}}, source="s.py"
+        )
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["results"]["a"] == {"speedup": 2.0, "source": "s.py"}
+
+    def test_merge_preserves_other_records(self, tmp_path):
+        path = tmp_path / "bench.json"
+        update_bench_json(str(path), {"a": {"x": 1}}, source="one.py")
+        update_bench_json(str(path), {"b": {"y": 2}}, source="two.py")
+        results = json.loads(path.read_text())["results"]
+        assert results["a"] == {"x": 1, "source": "one.py"}
+        assert results["b"] == {"y": 2, "source": "two.py"}
+
+    def test_rewrite_overwrites_same_record(self, tmp_path):
+        path = tmp_path / "bench.json"
+        update_bench_json(str(path), {"a": {"x": 1}}, source="s.py")
+        update_bench_json(str(path), {"a": {"x": 9}}, source="s.py")
+        results = json.loads(path.read_text())["results"]
+        assert results["a"]["x"] == 9
+
+    def test_corrupt_file_started_fresh(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        update_bench_json(str(path), {"a": {"x": 1}}, source="s.py")
+        data = json.loads(path.read_text())
+        assert data["results"]["a"]["x"] == 1
+
+    def test_wrong_shape_started_fresh(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(["not", "a", "dict"]))
+        update_bench_json(str(path), {"a": {"x": 1}}, source="s.py")
+        assert json.loads(path.read_text())["results"]["a"]["x"] == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "bench.json"
+        update_bench_json(str(path), {"a": {"x": 1}}, source="s.py")
+        assert [p.name for p in tmp_path.iterdir()] == ["bench.json"]
