@@ -1,0 +1,211 @@
+"""Parse-path speedups: regex-bulk lexer + lex-time symbol interning.
+
+The paper's runtime is parse-dominated once the validators run on
+compiled tables, so this benchmark gates the PR-4 parse-path work on
+the Experiment-2 purchase-order corpus:
+
+1. **lexer-level** — the master-regex token stream
+   (:func:`repro.xmltree.lexer.iter_tokens`) against the retired
+   char-at-a-time scanner, preserved verbatim as
+   :func:`repro.xmltree.reference.reference_tokens`;
+2. **end-to-end cast** — ``reference_parse`` + compiled cast against
+   ``parse(symbols=pair.symbols)`` + the same cast, i.e. the whole
+   revalidation pipeline a batch worker runs per document.
+
+Before timing anything, the two pipelines are cross-checked: token
+streams must match element-for-element, and the DOM and streaming cast
+verdicts on the new parser must equal the verdicts on the reference
+parser for every corpus document.
+
+Every record lands in ``BENCH_cast.json`` at the repo root (see
+``docs/PERFORMANCE.md``) via
+:func:`repro.bench.reporting.update_bench_json`.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_parse.py [--quick]
+
+``--quick`` shrinks the corpus for CI and relaxes the floors to 1.5x
+(lexer) / 1.1x (end-to-end); the full run enforces the acceptance
+thresholds: lexer >= 3.0x and end-to-end cast >= 1.5x.  Exit status 1
+if any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable
+
+from repro.bench.reporting import update_bench_json
+from repro.core.cast import CastValidator
+from repro.core.streaming import StreamingCastValidator
+from repro.schema.registry import SchemaPair
+from repro.workloads.purchase_orders import (
+    make_purchase_order,
+    source_schema_experiment2,
+    target_schema_experiment2,
+)
+from repro.xmltree.lexer import iter_tokens
+from repro.xmltree.parser import parse
+from repro.xmltree.reference import reference_parse, reference_tokens
+from repro.xmltree.serializer import serialize
+
+DEFAULT_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_cast.json"
+)
+
+
+def best_of(fn: Callable[[], object], reps: int, rounds: int = 3) -> float:
+    """Best-of-``rounds`` wall-clock for ``reps`` calls (noise floor)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def check_equivalence(pair: SchemaPair, texts: list[str]) -> None:
+    """Refuse to publish numbers for pipelines that disagree.
+
+    Token streams must match exactly, and the cast verdict must be
+    identical across (reference parse, new parse, streaming) for every
+    corpus document.
+    """
+    validator = CastValidator(pair, collect_stats=False)
+    streaming = StreamingCastValidator(pair)
+    for text in texts:
+        old_tokens = list(reference_tokens(text))
+        new_tokens = list(iter_tokens(text))
+        assert old_tokens == new_tokens, "token streams diverged"
+        old_report = validator.validate(reference_parse(text))
+        new_report = validator.validate(parse(text, symbols=pair.symbols))
+        stream_report = streaming.validate_text(text)
+        assert (old_report.valid, old_report.reason) == (
+            new_report.valid,
+            new_report.reason,
+        ), "DOM cast verdict diverged between parsers"
+        assert old_report.valid == stream_report.valid, (
+            "streaming cast verdict diverged"
+        )
+
+
+def drain(tokens) -> None:
+    for _ in tokens:
+        pass
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI smoke run with relaxed floors "
+        "(lexer >= 1.5x, end-to-end >= 1.1x)",
+    )
+    parser.add_argument(
+        "--json",
+        default=DEFAULT_JSON,
+        help="where to write the machine-readable results "
+        "(default: BENCH_cast.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        items, reps = 150, 5
+        lexer_floor, cast_floor = 1.5, 1.1
+    else:
+        items, reps = 800, 10
+        lexer_floor, cast_floor = 3.0, 1.5
+
+    pair = SchemaPair(
+        source_schema_experiment2(), target_schema_experiment2()
+    )
+    pair.warm()
+
+    document = make_purchase_order(items)
+    text = serialize(document, indent="  ")
+    small = serialize(make_purchase_order(max(2, items // 50)), indent="  ")
+    check_equivalence(pair, [text, small])
+
+    # -- gate 1: lexer-level ------------------------------------------------
+    old_lex = best_of(lambda: drain(reference_tokens(text)), reps)
+    new_lex = best_of(lambda: drain(iter_tokens(text)), reps)
+    lexer_speedup = old_lex / new_lex
+
+    # -- gate 2: end-to-end cast (parse + validate) -------------------------
+    validator = CastValidator(pair, collect_stats=False)
+
+    def old_pipeline() -> None:
+        report = validator.validate(reference_parse(text))
+        assert report.valid
+
+    def new_pipeline() -> None:
+        report = validator.validate(parse(text, symbols=pair.symbols))
+        assert report.valid
+
+    old_e2e = best_of(old_pipeline, reps)
+    new_e2e = best_of(new_pipeline, reps)
+    cast_speedup = old_e2e / new_e2e
+
+    mb = len(text.encode("utf-8")) / 1e6
+    print(
+        f"{'lexer (tokens only)':<28} ref {old_lex * 1e3:8.2f} ms  "
+        f"bulk {new_lex * 1e3:8.2f} ms  {lexer_speedup:5.2f}x  "
+        f"({mb * reps / new_lex:6.1f} MB/s)"
+    )
+    print(
+        f"{'cast end-to-end':<28} ref {old_e2e * 1e3:8.2f} ms  "
+        f"new {new_e2e * 1e3:8.2f} ms  {cast_speedup:5.2f}x"
+    )
+
+    update_bench_json(
+        args.json,
+        {
+            "parse_lexer_bulk": {
+                "corpus": "exp2-po-unique",
+                "corpus_items": items,
+                "corpus_bytes": len(text.encode("utf-8")),
+                "reps": reps,
+                "reference_seconds": old_lex,
+                "bulk_seconds": new_lex,
+                "speedup": lexer_speedup,
+                "bulk_mb_per_s": mb * reps / new_lex,
+            },
+            "parse_cast_end_to_end": {
+                "corpus": "exp2-po-unique",
+                "corpus_items": items,
+                "corpus_bytes": len(text.encode("utf-8")),
+                "reps": reps,
+                "reference_seconds": old_e2e,
+                "new_seconds": new_e2e,
+                "speedup": cast_speedup,
+            },
+        },
+        source="bench_parse.py",
+    )
+    print(f"wrote {os.path.normpath(args.json)}")
+
+    failures = []
+    if lexer_speedup < lexer_floor:
+        failures.append(
+            f"lexer speedup {lexer_speedup:.2f}x < {lexer_floor}x"
+        )
+    if cast_speedup < cast_floor:
+        failures.append(
+            f"end-to-end cast speedup {cast_speedup:.2f}x < {cast_floor}x"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok: parse path meets thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

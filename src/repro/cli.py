@@ -10,7 +10,8 @@ driven without writing Python:
   a directory, validated as a batch (``--jobs N`` parallelizes it);
   ``--cache-dir DIR`` loads/saves the preprocessed pair artifact;
   ``--memo``/``--no-memo`` and ``--memo-size N`` control the subtree
-  verdict memo (see ``docs/PERFORMANCE.md``);
+  verdict memo (see ``docs/PERFORMANCE.md``); ``--profile-parse``
+  prints a parse/validate/total wall-clock phase breakdown;
 * ``repair DOC --source A --target B [-o OUT]`` — correct the document
   to conform to the target schema and report the edits;
 * ``relations --source A --target B`` — print the precomputed
@@ -30,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.core.cast import CastValidator
@@ -92,17 +94,33 @@ def _guard_limits(args: argparse.Namespace) -> tuple[Optional[Limits], str]:
     return DEFAULT_LIMITS.with_overrides(**overrides), ""
 
 
-def _parse_with_retries(path: str, limits: Limits, retries: int):
+def _parse_with_retries(path: str, limits: Limits, retries: int,
+                        symbols=None):
     """``parse_file`` with bounded retry of (possibly transient)
     ``OSError``; other failures propagate on the first attempt."""
     attempt = 0
     while True:
         attempt += 1
         try:
-            return parse_file(path, limits=limits)
+            return parse_file(path, limits=limits, symbols=symbols)
         except OSError:
             if attempt > retries:
                 raise
+
+
+def _print_phase_profile(stats) -> None:
+    """The ``--profile-parse`` breakdown: where the wall-clock went."""
+    parse = stats.parse_seconds
+    validate = stats.validate_seconds
+    total = parse + validate
+    print("phase profile:")
+    if total > 0:
+        print(f"  parse:    {parse:.4f}s ({parse / total:.1%})")
+        print(f"  validate: {validate:.4f}s ({validate / total:.1%})")
+    else:
+        print(f"  parse:    {parse:.4f}s")
+        print(f"  validate: {validate:.4f}s")
+    print(f"  total:    {total:.4f}s")
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -120,7 +138,8 @@ def cmd_validate(args: argparse.Namespace) -> int:
             ).validate_file(args.document)
         else:
             document = _parse_with_retries(args.document, limits,
-                                           args.retries)
+                                           args.retries,
+                                           symbols=schema.symbols)
             report = validate_document(schema, document, limits=limits)
     if report.valid:
         print(f"{args.document}: valid")
@@ -183,7 +202,7 @@ def cmd_cast(args: argparse.Namespace) -> int:
                 args.document,
                 jobs=args.jobs,
                 use_string_cast=not args.no_string_cast,
-                collect_stats=args.stats,
+                collect_stats=args.stats or args.profile_parse,
                 limits=limits,
                 retries=args.retries,
                 memo_size=memo_size,
@@ -204,12 +223,20 @@ def cmd_cast(args: argparse.Namespace) -> int:
                     f"{batch.stats.memo_lookups} lookups "
                     f"({batch.stats.memo_hit_rate:.1%} across all workers)"
                 )
+            if args.profile_parse and batch.stats is not None:
+                _print_phase_profile(batch.stats)
             return 0 if batch.all_valid else 1
         if args.streaming:
             # The streaming validator never materializes subtrees, so
             # there is nothing to fingerprint — no memo here.
             from repro.core.streaming import StreamingCastValidator
 
+            if args.profile_parse:
+                print(
+                    "note: --profile-parse has no phases to split in "
+                    "--streaming mode (parse and validation are fused)",
+                    file=sys.stderr,
+                )
             with open(args.document, encoding="utf-8") as handle:
                 report = StreamingCastValidator(
                     pair, limits=limits
@@ -226,13 +253,22 @@ def cmd_cast(args: argparse.Namespace) -> int:
                 pair, use_string_cast=not args.no_string_cast,
                 limits=limits, memo=memo,
             )
+            parse_start = time.perf_counter()
             document = _parse_with_retries(args.document, limits,
-                                           args.retries)
+                                           args.retries,
+                                           symbols=pair.symbols)
+            parse_end = time.perf_counter()
             report = validator.validate(document)
+            report.stats.parse_seconds += parse_end - parse_start
+            report.stats.validate_seconds += (
+                time.perf_counter() - parse_end
+            )
     verdict = "valid" if report.valid else f"INVALID — {report.reason}"
     print(f"{args.document}: {verdict}")
     if args.stats:
         _print_stats(report.stats)
+    if args.profile_parse and not args.streaming:
+        _print_phase_profile(report.stats)
     return 0 if report.valid else 1
 
 
@@ -353,6 +389,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--streaming",
         action="store_true",
         help="cast during parsing with O(depth) memory",
+    )
+    cast.add_argument(
+        "--profile-parse",
+        action="store_true",
+        help="print a parse/validate/total wall-clock phase breakdown",
     )
     cast.add_argument(
         "--no-string-cast",

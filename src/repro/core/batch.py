@@ -58,6 +58,7 @@ from __future__ import annotations
 import fnmatch
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -230,10 +231,22 @@ def _validate_one(path: str) -> tuple[DocumentResult, Optional[ValidationStats]]
             )
             if fault_hook is not None:
                 fault_hook(path)
-            # One deadline token spans parse + validation.
+            # One deadline token spans parse + validation.  Parsing
+            # against the pair's symbol table interns element names at
+            # lex time, so validation runs on dense ids.
             deadline = limits.deadline()
-            document = parse_file(path, limits=limits, deadline=deadline)
+            parse_start = time.perf_counter()
+            document = parse_file(
+                path, limits=limits, deadline=deadline,
+                symbols=validator.pair.symbols,
+            )
+            parse_end = time.perf_counter()
             report = validator.validate(document, deadline=deadline)
+            if collect_stats:
+                report.stats.parse_seconds += parse_end - parse_start
+                report.stats.validate_seconds += (
+                    time.perf_counter() - parse_end
+                )
         except ReproError as error:
             return (
                 DocumentResult(

@@ -78,6 +78,7 @@ class CastValidator:
             else sys.maxsize
         )
         self._deadline: Optional[Deadline] = None
+        self._interned = False
 
     # -- entry points -----------------------------------------------------
 
@@ -89,15 +90,28 @@ class CastValidator:
         ``deadline`` lets a caller (the batch driver) share one token
         across parse and validation; otherwise a fresh one is started
         from ``limits.deadline_seconds`` (``None`` → no deadline).
+
+        A document lexed against this pair's symbol table
+        (``parse(..., symbols=pair.symbols)``) runs the fast path on
+        the interned ``Element.sym`` ids — no per-node string hashing.
         """
-        return self.validate_root(document.root, deadline=deadline)
+        return self.validate_root(
+            document.root,
+            deadline=deadline,
+            interned=document.symbols is self.pair.symbols,
+        )
 
     def validate_root(
-        self, root: Element, *, deadline: Optional[Deadline] = None
+        self,
+        root: Element,
+        *,
+        deadline: Optional[Deadline] = None,
+        interned: bool = False,
     ) -> ValidationReport:
         self._deadline = (
             deadline if deadline is not None else self.limits.deadline()
         )
+        self._interned = interned
         target_type = self.pair.target.root_type(root.label)
         if target_type is None:
             return ValidationReport.failure(
@@ -376,7 +390,7 @@ class CastValidator:
             if memo.contains(memo_key):
                 return None
         target_decl = pair.target.types[target_type]
-        if element.attributes or (
+        if element._attributes or (
             isinstance(target_decl, ComplexType) and target_decl.attributes
         ):
             from repro.core.validator import attribute_violation
@@ -391,7 +405,12 @@ class CastValidator:
             if failure is None and memo_key is not None:
                 memo.add(memo_key)
             return failure
-        labels: list[str] = []
+        # One pass interns the child-label string: parsed-in ``sym`` ids
+        # when the document shares the pair's table, dict lookups
+        # otherwise (and for post-parse insertions, whose sym is -1).
+        interned = self._interned
+        ids = pair.symbols.ids
+        syms: list[int] = []
         for child in element.children:
             if isinstance(child, Text):
                 if child.value.strip() == "":
@@ -401,9 +420,12 @@ class CastValidator:
                     "character data",
                     path=str(child.dewey()),
                 )
-            labels.append(child.label)
+            sid = child.sym if interned else -1
+            if sid < 0:
+                sid = ids.get(child._label, -1)
+            syms.append(sid)
 
-        if not self._fast_content(source_type, target_type, labels):
+        if not self._fast_content(source_type, target_type, syms):
             return ValidationReport.failure(
                 f"children of {element.label!r} do not match content "
                 f"model {target_decl.content.to_source()} of type "
@@ -426,13 +448,19 @@ class CastValidator:
             if memo_key is not None:
                 memo.add(memo_key)
             return None
-        source_children = source_decl.child_types
-        target_children = target_decl.child_types
+        source_row = pair.source_child_row(source_type)
+        target_row = pair.target_child_row(target_type)
+        position = 0
         for child in element.children:
             if isinstance(child, Text):
                 continue
-            child_source = source_children.get(child.label)
-            child_target = target_children.get(child.label)
+            sid = syms[position]
+            position += 1
+            if sid >= 0:
+                child_source = source_row[sid]
+                child_target = target_row[sid]
+            else:
+                child_source = child_target = None
             if child_source is None or child_target is None:
                 return ValidationReport.failure(
                     f"no type assigned to label {child.label!r}",
@@ -448,9 +476,10 @@ class CastValidator:
         return None
 
     def _fast_content(
-        self, source_type: str, target_type: str, labels: list[str]
+        self, source_type: str, target_type: str, syms: list[int]
     ) -> bool:
-        """:meth:`_check_content` on the compiled dense tables."""
+        """:meth:`_check_content` on the compiled dense tables, over the
+        already-interned child-label string (``-1`` entries reject)."""
         pair = self.pair
         if self.use_string_cast and isinstance(
             pair.source.types[source_type], ComplexType
@@ -462,10 +491,8 @@ class CastValidator:
                 return False
             compiled = machine.c_immed_compiled
             assert compiled is not None  # pair-built machines always compile
-            return compiled.decide(pair.symbols.encode(labels))
-        return pair.target_content(target_type).accepts(
-            pair.symbols.encode(labels)
-        )
+            return compiled.decide(syms)
+        return pair.target_content(target_type).accepts(syms)
 
     def _fast_simple(
         self, declaration: SimpleType, element: Element

@@ -95,7 +95,8 @@ class DTDCastValidator:
         memo_base = (
             self._memo.snapshot() if self._memo is not None else None
         )
-        report = self._validate_labels(document, stats)
+        interned = document.symbols is self.pair.symbols
+        report = self._validate_labels(document, stats, interned)
         if memo_base is not None:
             assert self._memo is not None
             hits, misses, evictions = self._memo.snapshot()
@@ -105,7 +106,10 @@ class DTDCastValidator:
         return report
 
     def _validate_labels(
-        self, document: Document, stats: Optional[ValidationStats]
+        self,
+        document: Document,
+        stats: Optional[ValidationStats],
+        interned: bool,
     ) -> ValidationReport:
         for label in self.fatal_labels:
             instances = document.elements_with_label(label)
@@ -121,7 +125,7 @@ class DTDCastValidator:
             source_type, target_type = self.label_pairs[label]
             for instance in document.elements_with_label(label):
                 report = self._check_instance(
-                    source_type, target_type, instance, stats
+                    source_type, target_type, instance, stats, interned
                 )
                 if not report.valid:
                     return report
@@ -138,6 +142,7 @@ class DTDCastValidator:
         target_type: str,
         element: Element,
         stats: Optional[ValidationStats],
+        interned: bool = False,
     ) -> ValidationReport:
         """Verify one element's *immediate* content (no recursion —
         descendants are covered by their own labels' checks)."""
@@ -155,7 +160,7 @@ class DTDCastValidator:
         if stats is not None:
             stats.elements_visited += 1
         target_decl = self.pair.target.type(target_type)
-        if element.attributes or (
+        if element._attributes or (
             isinstance(target_decl, ComplexType) and target_decl.attributes
         ):
             from repro.core.validator import attribute_violation
@@ -192,7 +197,13 @@ class DTDCastValidator:
                 memo.add(memo_key)
             return ValidationReport.success(stats)
         assert isinstance(target_decl, ComplexType)
+        # Stats-free runs scan pre-interned symbol ids (``-1`` for
+        # unknown labels, which the compiled tables reject); the stats
+        # path keeps label strings for the counting scanners.
+        collect_syms = stats is None
+        ids = self.pair.symbols.ids
         labels: list[str] = []
+        syms: list[int] = []
         for child in element.children:
             if isinstance(child, Text):
                 if child.value.strip() == "":
@@ -205,7 +216,13 @@ class DTDCastValidator:
                     path=str(child.dewey()),
                     stats=stats,
                 )
-            labels.append(child.label)
+            if collect_syms:
+                sid = child.sym if interned else -1
+                if sid < 0:
+                    sid = ids.get(child._label, -1)
+                syms.append(sid)
+            else:
+                labels.append(child.label)
         source_is_complex = isinstance(
             self.pair.source.type(source_type), ComplexType
         )
@@ -218,7 +235,7 @@ class DTDCastValidator:
             elif stats is None:
                 compiled = machine.c_immed_compiled
                 assert compiled is not None
-                accepted = compiled.decide(self.pair.symbols.encode(labels))
+                accepted = compiled.decide(syms)
             else:
                 result = machine.c_immed.scan(labels)
                 stats.content_symbols_scanned += result.symbols_scanned
@@ -227,7 +244,7 @@ class DTDCastValidator:
                     stats.early_content_decisions += 1
         elif stats is None:
             accepted = self.pair.target_immed_compiled(target_type).decide(
-                self.pair.symbols.encode(labels)
+                syms
             )
         else:
             scan = self.pair.target_immed(target_type).scan(labels)

@@ -35,6 +35,11 @@ class ValidationStats:
             (:mod:`repro.core.memo`).
         memo_misses: memo lookups that found nothing.
         memo_evictions: LRU entries dropped to admit new verdicts.
+        parse_seconds: wall-clock time spent lexing/parsing input text,
+            when the caller timed the phases (batch ``collect_stats``
+            runs and the CLI's ``--profile-parse``); 0.0 otherwise.
+        validate_seconds: wall-clock time spent in the validator proper,
+            under the same conditions.
 
     Every counter is additive, so :meth:`merge` is the single
     aggregation primitive — the batch driver folds per-document (and
@@ -53,6 +58,10 @@ class ValidationStats:
     memo_hits: int = 0
     memo_misses: int = 0
     memo_evictions: int = 0
+    #: Wall-clock fields are excluded from equality: two runs doing the
+    #: same work (equal counters) compare equal regardless of timing.
+    parse_seconds: float = field(default=0.0, compare=False)
+    validate_seconds: float = field(default=0.0, compare=False)
 
     @property
     def nodes_visited(self) -> int:
@@ -78,7 +87,7 @@ class ValidationStats:
                 getattr(self, counter.name) + getattr(other, counter.name),
             )
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, float]:
         """Counters as a plain dict (benchmark JSON emission)."""
         return {counter.name: getattr(self, counter.name)
                 for counter in fields(self)}

@@ -23,11 +23,10 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.core.result import ValidationReport, ValidationStats
-from repro.core.validator import attribute_violation
+from repro.core.validator import attribute_violation_parts
 from repro.errors import DocumentTooDeepError
 from repro.guards import Limits, check_document_size, resolve_limits
 from repro.schema.model import ComplexType, Schema, SimpleType
-from repro.xmltree.dom import Element
 from repro.xmltree.events import (
     Characters,
     EndElement,
@@ -78,7 +77,9 @@ class StreamingValidator:
         try:
             return self.validate_events(
                 iterparse(text, limits=self.limits,
-                          deadline=self.limits.deadline())
+                          deadline=self.limits.deadline(),
+                          symbols=self.schema.symbols),
+                interned=True,
             )
         except XMLSyntaxError as error:
             return ValidationReport.failure(f"not well-formed: {error}")
@@ -90,12 +91,21 @@ class StreamingValidator:
         with open(path, encoding="utf-8") as handle:
             return self.validate_text(handle.read())
 
-    def validate_events(self, events: Iterable[Event]) -> ValidationReport:
+    def validate_events(
+        self, events: Iterable[Event], *, interned: bool = False
+    ) -> ValidationReport:
+        """Validate an event stream.
+
+        ``interned=True`` promises that every ``StartElement.sym`` was
+        interned against *this schema's* symbol table (as
+        :meth:`validate_text` arranges); external event sources should
+        leave it off and pay the per-event string lookup.
+        """
         stats = ValidationStats()
         stack: list[_Frame] = []
         for event in events:
             if isinstance(event, StartElement):
-                report = self._start(event, stack, stats)
+                report = self._start(event, stack, stats, interned)
             elif isinstance(event, Characters):
                 report = self._characters(event, stack, stats)
             else:
@@ -116,6 +126,7 @@ class StreamingValidator:
         event: StartElement,
         stack: list[_Frame],
         stats: ValidationStats,
+        interned: bool,
     ) -> Optional[ValidationReport]:
         if not stack:
             type_name = self.schema.root_type(event.label)
@@ -133,7 +144,9 @@ class StreamingValidator:
                     path=self._path(stack),
                 )
             compiled = self.schema.compiled_content_dfa(parent.type_name)
-            sid = self.schema.symbols.id(event.label)
+            sid = event.sym if interned else -1
+            if sid < 0:
+                sid = self.schema.symbols.id(event.label)
             if sid < 0:
                 # Content rows are complete over the schema alphabet, so
                 # only un-interned labels can fail to step.
@@ -144,9 +157,7 @@ class StreamingValidator:
                 )
             parent.state = compiled.rows[parent.state][sid]
             stats.content_symbols_scanned += 1
-            declaration = self.schema.type(parent.type_name)
-            assert isinstance(declaration, ComplexType)
-            child_type = declaration.child_types.get(event.label)
+            child_type = self.schema.child_type_row(parent.type_name)[sid]
             if child_type is None:
                 return ValidationReport.failure(
                     f"no type assigned to label {event.label!r}",
@@ -164,9 +175,9 @@ class StreamingValidator:
             )
         stats.elements_visited += 1
         declaration = self.schema.type(type_name)
-        # Attribute checks reuse the DOM helper via a throwaway shell.
-        shell = Element(event.label, event.attributes)
-        violation = attribute_violation(self.schema, declaration, shell)
+        violation = attribute_violation_parts(
+            self.schema, declaration, event.label, event.attributes
+        )
         if violation:
             return ValidationReport.failure(violation,
                                             path=self._path(stack))
@@ -298,12 +309,18 @@ class StreamingCastValidator:
         try:
             return self.validate_events(
                 iterparse(text, limits=self.limits,
-                          deadline=self.limits.deadline())
+                          deadline=self.limits.deadline(),
+                          symbols=self.pair.symbols),
+                interned=True,
             )
         except XMLSyntaxError as error:
             return ValidationReport.failure(f"not well-formed: {error}")
 
-    def validate_events(self, events: Iterable[Event]) -> ValidationReport:
+    def validate_events(
+        self, events: Iterable[Event], *, interned: bool = False
+    ) -> ValidationReport:
+        """Validate an event stream; ``interned=True`` promises every
+        ``StartElement.sym`` was interned against ``pair.symbols``."""
         stats = ValidationStats()
         stack: list[_CastFrame] = []
         skip_depth = 0
@@ -315,7 +332,7 @@ class StreamingCastValidator:
                     skip_depth -= 1
                 continue
             if isinstance(event, StartElement):
-                outcome = self._start(event, stack, stats)
+                outcome = self._start(event, stack, stats, interned)
                 if outcome == "skip":
                     stats.subtrees_skipped += 1
                     skip_depth = 1
@@ -340,7 +357,7 @@ class StreamingCastValidator:
     def _path(self, stack: list[_CastFrame]) -> str:
         return ".".join(str(frame.position) for frame in stack[1:])
 
-    def _start(self, event: StartElement, stack, stats):
+    def _start(self, event: StartElement, stack, stats, interned):
         """Returns None (pushed), "skip" (subsumed subtree), or a
         failure report."""
         if not stack:
@@ -369,16 +386,25 @@ class StreamingCastValidator:
                     "child elements",
                     path=self._path(stack),
                 )
+            sid = event.sym if interned else -1
+            if sid < 0:
+                sid = self.pair.symbols.id(event.label)
             # Feed the child label to the parent's content machine.
-            report = self._feed(parent, event.label, stack, stats)
+            report = self._feed(parent, sid, stack, stats)
             if report is not None:
                 return report
-            target_type = target_parent.child_types.get(event.label)
-            source_type = (
-                source_parent.child_types.get(event.label)
-                if isinstance(source_parent, ComplexType)
-                else None
-            )
+            if sid >= 0:
+                target_type = self.pair.target_child_row(
+                    parent.target_type
+                )[sid]
+                source_type = (
+                    self.pair.source_child_row(parent.source_type)[sid]
+                    if isinstance(source_parent, ComplexType)
+                    else None
+                )
+            else:
+                # Label outside the pair alphabet: no type assignments.
+                target_type = source_type = None
             if target_type is None:
                 return ValidationReport.failure(
                     f"no target type assigned to label {event.label!r}",
@@ -406,8 +432,9 @@ class StreamingCastValidator:
             )
         stats.elements_visited += 1
         target_decl = self.pair.target.type(target_type)
-        shell = Element(event.label, event.attributes)
-        violation = attribute_violation(self.pair.target, target_decl, shell)
+        violation = attribute_violation_parts(
+            self.pair.target, target_decl, event.label, event.attributes
+        )
         if violation:
             return ValidationReport.failure(violation,
                                             path=self._path(stack))
@@ -445,12 +472,12 @@ class StreamingCastValidator:
             return None
         return self.pair.string_cast(source_type, target_type)
 
-    def _feed(self, parent: _CastFrame, label: str, stack, stats):
-        """Advance the parent's content check by one child label,
-        stepping the compiled dense tables over the pair alphabet."""
+    def _feed(self, parent: _CastFrame, sid: int, stack, stats):
+        """Advance the parent's content check by one child symbol id
+        (``-1`` for labels outside the pair alphabet), stepping the
+        compiled dense tables over the pair alphabet."""
         if parent.content_decided or parent.state is None:
             return None
-        sid = self.pair.symbols.id(label)
         machine = self._machine(parent.source_type, parent.target_type)
         if machine is None:
             # Plain target DFA (simple source).

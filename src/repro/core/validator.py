@@ -41,16 +41,36 @@ def attribute_violation(
     ``xml:*``, ``xsi:*``) are always permitted.  Simple-typed elements
     admit no attributes (XSD would require complex simpleContent).
     """
-    present = {
-        name: value
-        for name, value in element.attributes.items()
-        if not _is_reserved_attribute(name)
-    }
+    return attribute_violation_parts(
+        schema, declaration, element._label, element._attributes
+    )
+
+
+def attribute_violation_parts(
+    schema: Schema,
+    declaration: TypeDef,
+    label: str,
+    attributes,
+) -> str:
+    """:func:`attribute_violation` on raw ``(label, attributes)`` parts.
+
+    ``attributes`` is any mapping or ``None`` (the lean DOM's empty
+    sentinel); streaming validators call this directly so no throwaway
+    :class:`Element` shell is allocated per event.
+    """
+    if attributes:
+        present = {
+            name: value
+            for name, value in attributes.items()
+            if not _is_reserved_attribute(name)
+        }
+    else:
+        present = {}
     if isinstance(declaration, SimpleType):
         if present:
             name = sorted(present)[0]
             return (
-                f"simple-typed element <{element.label}> does not allow "
+                f"simple-typed element <{label}> does not allow "
                 f"attribute {name!r}"
             )
         return ""
@@ -59,7 +79,7 @@ def attribute_violation(
     for name in present:
         if name not in declared:
             return (
-                f"undeclared attribute {name!r} on <{element.label}> "
+                f"undeclared attribute {name!r} on <{label}> "
                 f"(type {declaration.name!r})"
             )
     for name, attr in declared.items():
@@ -74,7 +94,7 @@ def attribute_violation(
         elif attr.required:
             return (
                 f"missing required attribute {name!r} on "
-                f"<{element.label}>"
+                f"<{label}>"
             )
     return ""
 
@@ -108,6 +128,9 @@ def validate_document(
 
     ``collect_stats=False`` runs the compiled dense-table fast path:
     same verdict, no counters, reports allocated only on failure.
+    A document lexed against this schema's own symbol table
+    (``parse(..., symbols=schema.symbols)``) is validated on the
+    interned ``Element.sym`` ids with no per-node string hashing.
     """
     return validate_root(
         schema,
@@ -115,6 +138,7 @@ def validate_document(
         collect_stats=collect_stats,
         limits=limits,
         deadline=deadline,
+        interned=document.symbols is schema.symbols,
     )
 
 
@@ -125,6 +149,7 @@ def validate_root(
     collect_stats: bool = True,
     limits: Optional[Limits] = None,
     deadline: Optional[Deadline] = None,
+    interned: bool = False,
 ) -> ValidationReport:
     type_name = schema.root_type(root.label)
     if type_name is None:
@@ -134,7 +159,7 @@ def validate_root(
     max_depth, deadline = _guard_params(limits, deadline)
     if not collect_stats:
         failure = _fast_validate(
-            schema, type_name, root, 0, max_depth, deadline
+            schema, type_name, root, 0, max_depth, deadline, interned
         )
         return ValidationReport.success() if failure is None else failure
     stats = ValidationStats()
@@ -226,10 +251,19 @@ def _fast_validate(
     depth: int = 0,
     max_depth: int = sys.maxsize,
     deadline: Optional[Deadline] = None,
+    interned: bool = False,
 ) -> Optional[ValidationReport]:
     """:func:`_validate` with counters off, over the schema's compiled
     content tables.  ``None`` means valid (nothing allocated); a report
-    is the first failure."""
+    is the first failure.
+
+    With ``interned=True`` (document lexed against ``schema.symbols``)
+    the content scan and the child-type descent both run on the
+    elements' dense ``sym`` ids — tuple indexing only.  A ``sym`` of
+    ``-1`` (node inserted after parse, or label outside the schema
+    alphabet) falls back to the string lookup, so mutated documents
+    stay correct, just slower on the touched nodes.
+    """
     if depth > max_depth:
         raise DocumentTooDeepError(
             f"element tree deeper than {max_depth} levels"
@@ -237,7 +271,7 @@ def _fast_validate(
     if deadline is not None:
         deadline.tick()
     declaration = schema.types[type_name]
-    if element.attributes or (
+    if element._attributes or (
         isinstance(declaration, ComplexType) and declaration.attributes
     ):
         violation = attribute_violation(schema, declaration, element)
@@ -265,6 +299,7 @@ def _fast_validate(
     ids = schema.symbols.ids
     rows = compiled.rows
     state = compiled.start
+    syms: list[int] = []
     for child in element.children:
         if isinstance(child, Text):
             if child.value.strip() == "":
@@ -273,13 +308,16 @@ def _fast_validate(
                 f"complex type {type_name!r} does not allow character data",
                 path=str(child.dewey()),
             )
-        sid = ids.get(child.label, -1)
+        sid = child.sym if interned else -1
         if sid < 0:
-            return ValidationReport.failure(
-                f"unexpected element {child.label!r} in content of "
-                f"{type_name!r}",
-                path=str(child.dewey()),
-            )
+            sid = ids.get(child.label, -1)
+            if sid < 0:
+                return ValidationReport.failure(
+                    f"unexpected element {child.label!r} in content of "
+                    f"{type_name!r}",
+                    path=str(child.dewey()),
+                )
+        syms.append(sid)
         # Content rows are complete over the schema alphabet, so an
         # interned symbol always has a successor.
         state = rows[state][sid]
@@ -289,18 +327,21 @@ def _fast_validate(
             f"{declaration.content.to_source()} of type {type_name!r}",
             path=str(element.dewey()),
         )
-    child_types = declaration.child_types
+    child_row = schema.child_type_row(type_name)
+    position = 0
     for child in element.children:
         if isinstance(child, Text):
             continue
         failure = _fast_validate(
             schema,
-            child_types[child.label],
+            child_row[syms[position]],
             child,
             depth + 1,
             max_depth,
             deadline,
+            interned,
         )
+        position += 1
         if failure is not None:
             return failure
     return None

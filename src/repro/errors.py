@@ -28,6 +28,14 @@ class XMLSyntaxError(ReproError):
         super().__init__(message)
 
 
+class UnterminatedEntityError(XMLSyntaxError):
+    """An entity reference without a terminating ``;`` — the ``&`` is
+    followed by end-of-token, end-of-input, or another ``&`` before any
+    semicolon.  The error position is the offending ``&`` itself; the
+    lexer never silently scans past the token boundary looking for a
+    terminator."""
+
+
 class ContentModelSyntaxError(ReproError):
     """Malformed content-model expression (DTD `(a,(b|c)*)` syntax)."""
 

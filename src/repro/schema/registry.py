@@ -68,6 +68,8 @@ class SchemaPair:
         self._target_immed: dict[str, ImmediateDecisionAutomaton] = {}
         self._target_immed_compiled: dict[str, CompiledImmediate] = {}
         self._target_content: dict[str, CompiledDFA] = {}
+        self._source_child_rows: dict[str, tuple] = {}
+        self._target_child_rows: dict[str, tuple] = {}
 
     # -- relation queries ---------------------------------------------------
 
@@ -129,6 +131,41 @@ class SchemaPair:
                 self.target.content_dfa(target_type), self.symbols
             )
         return self._target_content[target_type]
+
+    def source_child_row(self, source_type: str) -> tuple:
+        """``types_τ`` of a source complex type as a dense row over the
+        *pair* symbol table (cached): ``row[sym]`` is the child-type
+        name or ``None``.  With documents parsed against
+        ``pair.symbols``, the cast descent resolves child types by tuple
+        indexing instead of per-child dict lookups on label strings.
+        """
+        try:
+            rows = self._source_child_rows
+        except AttributeError:  # pre-existing pickled artifact
+            rows = self._source_child_rows = {}
+        row = rows.get(source_type)
+        if row is None:
+            child_types = self.source.types[source_type].child_types
+            row = tuple(
+                child_types.get(label) for label in self.symbols.labels
+            )
+            rows[source_type] = row
+        return row
+
+    def target_child_row(self, target_type: str) -> tuple:
+        """Like :meth:`source_child_row`, for a target complex type."""
+        try:
+            rows = self._target_child_rows
+        except AttributeError:  # pre-existing pickled artifact
+            rows = self._target_child_rows = {}
+        row = rows.get(target_type)
+        if row is None:
+            child_types = self.target.types[target_type].child_types
+            row = tuple(
+                child_types.get(label) for label in self.symbols.labels
+            )
+            rows[target_type] = row
+        return row
 
     def warm(self, *, eager_pairs: bool = True) -> None:
         """Eagerly build the pair's runtime machines, so validation pays

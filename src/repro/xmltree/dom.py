@@ -89,12 +89,11 @@ class Node:
                 node._shash = hash((CHI, node._value))
             elif expanded:
                 element_node: Element = node  # type: ignore[assignment]
+                attrs = element_node._attributes
                 node._shash = hash(
                     (
                         element_node._label,
-                        tuple(sorted(element_node.attributes.items()))
-                        if element_node.attributes
-                        else (),
+                        tuple(sorted(attrs.items())) if attrs else (),
                         tuple(
                             child._shash
                             for child in element_node.children
@@ -175,9 +174,23 @@ class Text(Node):
 
 
 class Element(Node):
-    """An element node: label, attribute map, ordered children."""
+    """An element node: label, attribute map, ordered children.
 
-    __slots__ = ("_label", "attributes", "children")
+    The attribute dict is lazy: most elements in real corpora carry no
+    attributes, so ``_attributes`` stays ``None`` until someone touches
+    the public :attr:`attributes` mapping, which materializes (and
+    keeps) a real dict.  Hot paths read the ``_attributes`` slot
+    directly and treat ``None`` and ``{}`` identically.
+
+    ``sym`` is the element label interned into a
+    :class:`~repro.automata.compiled.SymbolTable` at parse time (``-1``
+    when the document was parsed without a table, or the label is
+    outside the table's alphabet).  Which table it indexes is recorded
+    on the owning :class:`Document`; validators use ``sym`` only after
+    checking that identity.
+    """
+
+    __slots__ = ("_label", "_attributes", "children", "sym")
 
     def __init__(
         self,
@@ -187,10 +200,45 @@ class Element(Node):
     ):
         super().__init__()
         self._label = label
-        self.attributes: dict[str, str] = dict(attributes or {})
+        self._attributes: Optional[dict[str, str]] = (
+            dict(attributes) if attributes else None
+        )
         self.children: list[Union[Element, Text]] = []
+        self.sym: int = -1
         for child in children or ():
             self.append(child)
+
+    @classmethod
+    def _sealed(
+        cls,
+        label: str,
+        attributes: Optional[dict[str, str]],
+        sym: int,
+    ) -> "Element":
+        """Parser fast path: adopt ``attributes`` (no defensive copy —
+        the caller just built the dict and hands over ownership) and
+        skip the ``__init__`` child loop."""
+        node = cls.__new__(cls)
+        node.parent = None
+        node.index = -1
+        node._shash = None
+        node._label = label
+        node._attributes = attributes
+        node.children = []
+        node.sym = sym
+        return node
+
+    @property
+    def attributes(self) -> dict[str, str]:
+        """The attribute mapping, materialized on first access.
+
+        The returned dict is live — mutating it mutates the element
+        (callers must invalidate the structural hash afterwards, as
+        documented in the module docstring)."""
+        attrs = self._attributes
+        if attrs is None:
+            attrs = self._attributes = {}
+        return attrs
 
     @property
     def label(self) -> str:
@@ -199,6 +247,10 @@ class Element(Node):
     @label.setter
     def label(self, new_label: str) -> None:
         self._label = new_label
+        # The interned id indexes the old label; drop it rather than
+        # re-intern (relabelled nodes are rare and the validators fall
+        # back to the string lookup on -1).
+        self.sym = -1
         self.invalidate_structural_hash()
 
     # -- tree construction --------------------------------------------------
@@ -297,7 +349,10 @@ class Element(Node):
 
     def copy(self) -> "Element":
         """Deep copy of this subtree, detached from any parent."""
-        clone = Element(self._label, dict(self.attributes))
+        attrs = self._attributes
+        clone = Element._sealed(
+            self._label, dict(attrs) if attrs else None, self.sym
+        )
         for child in self.children:
             if isinstance(child, Element):
                 clone.append(child.copy())
@@ -327,12 +382,18 @@ class Document:
     """A parsed XML document: the root element plus document-level info."""
 
     def __init__(self, root: Element, doctype_name: str = "",
-                 internal_subset: str = ""):
+                 internal_subset: str = "", symbols=None):
         self.root = root
         #: root name declared by ``<!DOCTYPE name ...>`` (empty if none).
         self.doctype_name = doctype_name
         #: raw text of the DTD internal subset (empty if none).
         self.internal_subset = internal_subset
+        #: the :class:`~repro.automata.compiled.SymbolTable` the
+        #: elements' ``sym`` fields index, or ``None`` when the document
+        #: was parsed without lex-time interning.  Validators compare
+        #: this *by identity* against their own table before trusting
+        #: any ``sym``.
+        self.symbols = symbols
         self._label_index: Optional[dict[str, list[Element]]] = None
 
     def iter(self) -> Iterator[Element]:
@@ -370,7 +431,7 @@ class Document:
 
     def copy(self) -> "Document":
         return Document(self.root.copy(), self.doctype_name,
-                        self.internal_subset)
+                        self.internal_subset, symbols=self.symbols)
 
     def __repr__(self) -> str:
         return f"Document(root={self.root.label!r}, {self.size()} nodes)"

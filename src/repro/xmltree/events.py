@@ -6,14 +6,23 @@ which validates in O(document depth) memory.  The event stream matches
 the DOM parser's semantics exactly: same entity handling, same
 whitespace-only text suppression (unless ``keep_whitespace``), same
 error positions; a tree built from the events equals :func:`parse`'s.
+
+Like the tree parser, the event loop runs on the bulk master regex
+(:data:`repro.xmltree.lexer.MASTER_RE`) — one C-level match per tag or
+text run — and replays malformed markup through the character-level
+scanner primitives so diagnostics are unchanged from the historical
+implementation.  Pass ``symbols=`` to intern element labels as they are
+lexed: ``StartElement.sym`` then carries the label's dense id in that
+table (``-1`` otherwise), which the streaming validators use to skip
+per-event string hashing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping, Optional, Union
 
-from repro.errors import XMLSyntaxError
 from repro.guards import (
     Deadline,
     Limits,
@@ -21,13 +30,29 @@ from repro.guards import (
     check_document_size,
     resolve_limits,
 )
-from repro.xmltree.lexer import Scanner
+from repro.xmltree.lexer import (
+    TOK_CDATA,
+    TOK_COMMENT,
+    TOK_END,
+    TOK_START,
+    TOK_TEXT,
+    Scanner,
+)
+
+#: Shared empty attribute mapping for the (dominant) no-attribute case —
+#: read-only so sharing is safe.
+_NO_ATTRIBUTES: Mapping[str, str] = MappingProxyType({})
 
 
 @dataclass(frozen=True)
 class StartElement:
     label: str
-    attributes: dict[str, str]
+    attributes: Mapping[str, str]
+    #: dense id of ``label`` in the symbol table ``iterparse`` was given
+    #: (-1 without a table or for out-of-alphabet labels).  Not part of
+    #: equality: the same document yields equal events whether or not it
+    #: was lexed with interning.
+    sym: int = field(default=-1, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -49,6 +74,7 @@ def iterparse(
     keep_whitespace: bool = False,
     limits: Optional[Limits] = None,
     deadline: Optional[Deadline] = None,
+    symbols=None,
 ) -> Iterator[Event]:
     """Yield parse events for a whole XML document.
 
@@ -65,7 +91,7 @@ def iterparse(
     _skip_prolog(scanner)
     if not scanner.starts_with("<"):
         raise scanner.error("expected the root element")
-    yield from _element_events(scanner, keep_whitespace)
+    yield from _element_events(scanner, keep_whitespace, symbols)
     while not scanner.at_end():
         scanner.skip_whitespace()
         if scanner.at_end():
@@ -120,9 +146,11 @@ def _skip_doctype(scanner: Scanner) -> None:
 
 
 def _element_events(
-    scanner: Scanner, keep_whitespace: bool
+    scanner: Scanner, keep_whitespace: bool, symbols=None
 ) -> Iterator[Event]:
     """Iterative traversal: yields events for one element subtree."""
+    ids = symbols.ids if symbols is not None else None
+    deadline = scanner.deadline
     stack: list[str] = []
     text_parts: list[str] = []
 
@@ -136,73 +164,118 @@ def _element_events(
         yield Characters(value)
 
     while True:
-        if scanner.at_end():
-            if stack:
-                raise scanner.error(f"unterminated element <{stack[-1]}>")
-            return
-        if scanner.starts_with("</"):
-            yield from flush_text()
-            scanner.advance(2)
-            close_name = scanner.read_name()
-            scanner.skip_whitespace()
-            scanner.expect(">")
-            if not stack or stack[-1] != close_name:
+        pos = scanner.pos
+        hit = scanner.next_content_match()
+        if hit is None:
+            done = yield from _replay_slow(scanner, stack, flush_text)
+            if done:
+                return
+            continue
+        kind, m = hit
+
+        if kind == TOK_TEXT:
+            raw = m.group("text")
+            scanner.pos = m.end()
+            bad = raw.find("]]>")
+            if bad >= 0:
                 raise scanner.error(
-                    f"mismatched close tag </{close_name}>"
+                    "']]>' is not allowed in character data", pos + bad
                 )
+            if not stack:
+                if raw.strip():
+                    raise scanner.error("character data outside the root")
+                continue
+            if "&" in raw:
+                raw = scanner.decode_entities(raw, pos)
+            text_parts.append(raw)
+
+        elif kind == TOK_START:
+            yield from flush_text()
+            check_depth(len(stack) + 1, scanner.limits)
+            if deadline is not None:
+                deadline.tick()
+            name, attributes, self_closing = scanner.start_tag_parts(m)
+            sym = ids.get(name, -1) if ids is not None else -1
+            event_attrs: Mapping[str, str] = (
+                attributes if attributes is not None else _NO_ATTRIBUTES
+            )
+            if self_closing:
+                yield StartElement(name, event_attrs, sym)
+                yield EndElement(name)
+                if not stack:
+                    return
+            else:
+                stack.append(name)
+                yield StartElement(name, event_attrs, sym)
+
+        elif kind == TOK_END:
+            yield from flush_text()
+            close_name = m.group("ename")
+            scanner.pos = m.end()
+            if not stack or stack[-1] != close_name:
+                raise scanner.error(f"mismatched close tag </{close_name}>")
             stack.pop()
             yield EndElement(close_name)
             if not stack:
                 return
-            continue
-        if scanner.starts_with("<!--"):
-            scanner.advance(4)
-            body = scanner.read_until("-->", what="comment")
-            if "--" in body:
+
+        elif kind == TOK_COMMENT:
+            scanner.pos = m.end()
+            if "--" in m.group("comment"):
                 raise scanner.error("'--' is not allowed inside a comment")
-            continue
-        if scanner.starts_with("<![CDATA["):
-            scanner.advance(len("<![CDATA["))
-            text_parts.append(
-                scanner.read_until("]]>", what="CDATA section")
-            )
-            continue
-        if scanner.starts_with("<?"):
-            scanner.advance(2)
-            scanner.read_until("?>", what="processing instruction")
-            continue
-        if scanner.starts_with("<"):
-            yield from flush_text()
-            check_depth(len(stack) + 1, scanner.limits)
-            if scanner.deadline is not None:
-                scanner.deadline.tick()
-            scanner.expect("<")
-            name = scanner.read_name()
-            attributes = _attributes(scanner, name)
-            if scanner.match("/>"):
-                yield StartElement(name, attributes)
-                yield EndElement(name)
-                if not stack:
-                    return
-                continue
+
+        elif kind == TOK_CDATA:
+            scanner.pos = m.end()
+            text_parts.append(m.group("cdata"))
+
+        else:  # TOK_PI
+            scanner.pos = m.end()
+
+
+def _replay_slow(scanner: Scanner, stack: list[str], flush_text):
+    """Re-diagnose a position the master regex declined, reproducing the
+    historical character-level event loop's branches (and their event
+    ordering: text flushes before close/start tags are consumed).
+
+    Returns truthy when the traversal is complete; otherwise raises.
+    """
+    if scanner.at_end():
+        if stack:
+            raise scanner.error(f"unterminated element <{stack[-1]}>")
+        return True
+    if scanner.starts_with("</"):
+        yield from flush_text()
+        scanner.advance(2)
+        close_name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect(">")
+        if not stack or stack[-1] != close_name:
+            raise scanner.error(f"mismatched close tag </{close_name}>")
+    elif scanner.starts_with("<!--"):
+        scanner.advance(4)
+        body = scanner.read_until("-->", what="comment")
+        if "--" in body:
+            raise scanner.error("'--' is not allowed inside a comment")
+    elif scanner.starts_with("<![CDATA["):
+        scanner.advance(len("<![CDATA["))
+        scanner.read_until("]]>", what="CDATA section")
+    elif scanner.starts_with("<?"):
+        scanner.advance(2)
+        scanner.read_until("?>", what="processing instruction")
+    else:
+        yield from flush_text()
+        check_depth(len(stack) + 1, scanner.limits)
+        if scanner.deadline is not None:
+            scanner.deadline.tick()
+        scanner.expect("<")
+        name = scanner.read_name()
+        _attributes(scanner, name)
+        if not scanner.match("/>"):
             scanner.expect(">")
-            stack.append(name)
-            yield StartElement(name, attributes)
-            continue
-        chunk_start = scanner.pos
-        while not scanner.at_end() and scanner.peek() != "<":
-            scanner.advance()
-        raw = scanner.text[chunk_start : scanner.pos]
-        if "]]>" in raw:
-            raise scanner.error(
-                "']]>' is not allowed in character data",
-                chunk_start + raw.find("]]>"),
-            )
-        if not stack:
-            if raw.strip():
-                raise scanner.error("character data outside the root")
-            continue
-        text_parts.append(scanner.decode_entities(raw, chunk_start))
+    raise AssertionError(
+        "master regex rejected markup the character-level scanner accepts "
+        f"at offset {scanner.pos}"
+    )
 
 
 def _attributes(scanner: Scanner, element_name: str) -> dict[str, str]:

@@ -1,17 +1,47 @@
-"""Character-level scanner for the XML parser.
+"""Regex-bulk scanner for the XML parser.
 
-The scanner owns the raw text and the position bookkeeping (offset, line,
-column) and exposes the small set of primitives the recursive-descent
-parser in :mod:`repro.xmltree.parser` is built from: peeking, literal
-matching, name scanning, and scan-until-delimiter.  Keeping this separate
-from the grammar keeps both halves short and independently testable.
+The scanner owns the raw text and the position bookkeeping and exposes
+the primitives the parsing front-ends (:mod:`repro.xmltree.parser` and
+:mod:`repro.xmltree.events`) are built from.  Since the parse path is
+the dominant cost of every validation mode, the primitives are built on
+compiled regular expressions that consume input in bulk slices instead
+of character-at-a-time Python loops:
+
+* :data:`MASTER_RE` — one compiled alternation over the content-level
+  constructs (text run, start tag *including its attributes*, close
+  tag, comment, CDATA section, processing instruction).  A whole start
+  tag — name, attribute list, self-closing slash — is consumed by a
+  single C-level match.
+* Malformed input falls back to the character-level primitives
+  (:meth:`Scanner.read_name`, :meth:`Scanner.expect`, ...), which
+  produce exactly the diagnostics the pre-regex implementation did —
+  the bulk path never has to report an error itself, it just declines
+  to match.
+* Line/column reporting is backed by a newline index built once per
+  document on the first request (errors are rare) and answered in
+  O(log #lines) thereafter, instead of an O(document) ``rfind`` per
+  request.
+* Entity decoding runs only when a ``&`` was actually seen and raises
+  the typed :class:`~repro.errors.UnterminatedEntityError` when a
+  reference has no ``;`` before the next ``&`` or the end of the token.
+
+:func:`iter_tokens` exposes the lexical layer directly as a token
+stream; ``tests/xmltree/test_token_equivalence.py`` holds it equal to
+the character-at-a-time executable specification in
+:mod:`repro.xmltree.reference`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import re
+from bisect import bisect_right
+from typing import Iterator, Optional
 
-from repro.errors import EntityExpansionError, XMLSyntaxError
+from repro.errors import (
+    EntityExpansionError,
+    UnterminatedEntityError,
+    XMLSyntaxError,
+)
 from repro.guards import Deadline, Limits, resolve_limits
 
 # Simplified XML 1.0 name characters.  Colons are accepted so qualified
@@ -23,6 +53,64 @@ _NAME_START = set(
 _NAME_CHARS = _NAME_START | set("0123456789-.")
 
 _WHITESPACE = set(" \t\r\n")
+
+#: The name production as a regex fragment (same character set as the
+#: ``_NAME_START``/``_NAME_CHARS`` tables the fallback path scans with).
+NAME_PATTERN = r"[A-Za-z_:][A-Za-z0-9_:.\-]*"
+
+_NAME_RE = re.compile(NAME_PATTERN)
+_WS_RE = re.compile(r"[ \t\r\n]+")
+
+#: One attribute: mandatory leading whitespace, name, ``=`` with
+#: optional surrounding whitespace, quoted value (either quote kind).
+_ATTR_PATTERN = (
+    r"[ \t\r\n]+" + NAME_PATTERN +
+    r"[ \t\r\n]*=[ \t\r\n]*(?:\"[^\"]*\"|'[^']*')"
+)
+
+#: The master content-level alternation.  Arms are ordered by expected
+#: frequency (text and start tags dominate every corpus); they are
+#: mutually exclusive at any position, so order affects only speed.
+#: A failure to match at a non-EOF position means malformed markup —
+#: the caller re-diagnoses with the character-level primitives.
+MASTER_RE = re.compile(
+    r"(?P<text>[^<]+)"
+    r"|<(?P<sname>" + NAME_PATTERN + r")(?P<attrs>(?:" + _ATTR_PATTERN +
+    r")*)[ \t\r\n]*(?P<selfclose>/?)>"
+    r"|</(?P<ename>" + NAME_PATTERN + r")[ \t\r\n]*>"
+    r"|<!--(?P<comment>.*?)-->"
+    r"|<!\[CDATA\[(?P<cdata>.*?)\]\]>"
+    r"|<\?(?P<pi>.*?)\?>",
+    re.DOTALL,
+)
+
+#: Capturing sub-regex used to pull the attributes out of a start tag
+#: that the master regex already validated in bulk.
+_ATTR_RE = re.compile(
+    r"[ \t\r\n]+(" + NAME_PATTERN +
+    r")[ \t\r\n]*=[ \t\r\n]*(?:\"([^\"]*)\"|'([^']*)')"
+)
+
+#: Token kinds, dense ints so dispatch is an integer compare.
+TOK_TEXT = 0
+TOK_START = 1
+TOK_END = 2
+TOK_COMMENT = 3
+TOK_CDATA = 4
+TOK_PI = 5
+
+#: Map ``Match.lastindex`` of a master match to its token kind.  Each
+#: arm's last-closing capture group identifies it: the text arm closes
+#: ``text`` last, the start arm ``selfclose``, and so on.  Verified by
+#: a unit test against every arm.
+_KIND_BY_LASTINDEX = {
+    MASTER_RE.groupindex["text"]: TOK_TEXT,
+    MASTER_RE.groupindex["selfclose"]: TOK_START,
+    MASTER_RE.groupindex["ename"]: TOK_END,
+    MASTER_RE.groupindex["comment"]: TOK_COMMENT,
+    MASTER_RE.groupindex["cdata"]: TOK_CDATA,
+    MASTER_RE.groupindex["pi"]: TOK_PI,
+}
 
 # The five predefined XML entities.
 PREDEFINED_ENTITIES = {
@@ -64,26 +152,37 @@ class Scanner:
         self.deadline = deadline
         self.entity_expansions = 0
         self._max_expansions = self.limits.max_entity_expansions
+        #: offsets of every ``\n``, built lazily on the first
+        #: line/column request (errors are rare; token scanning never
+        #: touches it).
+        self._newline_index: Optional[list[int]] = None
 
     # -- position reporting -------------------------------------------------
 
     def line_column(self, pos: int | None = None) -> tuple[int, int]:
         """1-based (line, column) of ``pos`` (default: current position).
 
-        Computed on demand (errors are rare), so the scanner holds no
-        per-line index — this keeps streaming validation's memory
-        independent of document size.
+        The first request builds a newline index for the whole document
+        (one bulk ``finditer`` pass); every request — including the
+        first — is then an O(log #lines) bisection instead of the old
+        O(document) ``count`` + ``rfind`` pair per call.
         """
         if pos is None:
             pos = self.pos
         pos = min(pos, len(self.text))
-        line = self.text.count("\n", 0, pos) + 1
-        last_newline = self.text.rfind("\n", 0, pos)
-        return line, pos - last_newline
+        index = self._newline_index
+        if index is None:
+            index = self._newline_index = [
+                m.start() for m in re.finditer("\n", self.text)
+            ]
+        line = bisect_right(index, pos - 1)
+        last_newline = index[line - 1] if line else -1
+        return line + 1, pos - last_newline
 
-    def error(self, message: str, pos: int | None = None) -> XMLSyntaxError:
+    def error(self, message: str, pos: int | None = None,
+              kind: type = XMLSyntaxError) -> XMLSyntaxError:
         line, column = self.line_column(pos)
-        return XMLSyntaxError(message, line, column)
+        return kind(message, line, column)
 
     # -- basic cursor operations --------------------------------------------
 
@@ -121,20 +220,19 @@ class Scanner:
 
     def skip_whitespace(self) -> bool:
         """Skip over whitespace; report whether any was skipped."""
-        start = self.pos
-        while self.pos < len(self.text) and self.text[self.pos] in _WHITESPACE:
-            self.pos += 1
-        return self.pos > start
+        m = _WS_RE.match(self.text, self.pos)
+        if m is None:
+            return False
+        self.pos = m.end()
+        return True
 
     def read_name(self) -> str:
         """Read an XML name at the cursor or raise."""
-        start = self.pos
-        if self.at_end() or self.text[self.pos] not in _NAME_START:
+        m = _NAME_RE.match(self.text, self.pos)
+        if m is None:
             raise self.error("expected an XML name")
-        self.pos += 1
-        while self.pos < len(self.text) and self.text[self.pos] in _NAME_CHARS:
-            self.pos += 1
-        return self.text[start : self.pos]
+        self.pos = m.end()
+        return m.group()
 
     def read_until(self, delimiter: str, *, what: str) -> str:
         """Read up to (not including) ``delimiter``, consuming it.
@@ -156,30 +254,91 @@ class Scanner:
         self.advance()
         return self.read_until(quote, what="quoted literal")
 
+    # -- bulk scanning ------------------------------------------------------
+
+    def next_content_match(self) -> Optional[tuple[int, "re.Match[str]"]]:
+        """Match the master regex at the cursor.
+
+        Returns ``(kind, match)`` without advancing, or ``None`` when no
+        arm matches — EOF or malformed markup; the caller re-diagnoses
+        with the character-level primitives for an exact error.
+        """
+        m = MASTER_RE.match(self.text, self.pos)
+        if m is None:
+            return None
+        return _KIND_BY_LASTINDEX[m.lastindex], m
+
+    def start_tag_parts(
+        self, m: "re.Match[str]"
+    ) -> tuple[str, Optional[dict[str, str]], bool]:
+        """``(name, attributes, self_closing)`` of a bulk-matched start
+        tag; advances the cursor past the tag.
+
+        ``attributes`` is ``None`` for the (common) attribute-less tag,
+        so the DOM layer can share one empty sentinel instead of
+        allocating a dict per element.  Entity references in values are
+        decoded only when a ``&`` is present; duplicate names raise
+        with the position of the second occurrence.
+        """
+        attrs_src = m.group("attrs")
+        attributes: Optional[dict[str, str]] = None
+        if attrs_src:
+            attributes = {}
+            base = m.start("attrs")
+            for am in _ATTR_RE.finditer(attrs_src):
+                name = am.group(1)
+                value = am.group(2)
+                value_group = 2
+                if value is None:
+                    value = am.group(3)
+                    value_group = 3
+                if name in attributes:
+                    raise self.error(
+                        f"duplicate attribute {name!r} in "
+                        f"<{m.group('sname')}>",
+                        base + am.start(1),
+                    )
+                if "&" in value:
+                    value = self.decode_entities(
+                        value, base + am.start(value_group)
+                    )
+                attributes[name] = value
+        self.pos = m.end()
+        return m.group("sname"), attributes, m.group("selfclose") == "/"
+
     # -- entity decoding ----------------------------------------------------
 
     def decode_entities(self, raw: str, start_pos: int) -> str:
         """Expand character and predefined entity references in ``raw``.
 
-        ``start_pos`` is the offset of ``raw`` within the source text and
-        is used only for error positions.
+        ``start_pos`` is the offset of ``raw`` within the source text
+        and is used only for error positions.  Literal runs between
+        references are appended as bulk slices.  A reference whose
+        ``;`` does not appear before the next ``&`` (or the end of
+        ``raw`` — the token boundary) raises the typed
+        :class:`UnterminatedEntityError` at the offending ``&``; the
+        decoder never scans past either boundary hunting for a
+        terminator.
         """
-        if "&" not in raw:
+        amp = raw.find("&")
+        if amp < 0:
             return raw
-        out: list[str] = []
-        i = 0
-        while i < len(raw):
-            ch = raw[i]
-            if ch != "&":
-                out.append(ch)
-                i += 1
-                continue
-            semi = raw.find(";", i + 1)
-            if semi < 0:
-                raise self.error("unterminated entity reference", start_pos + i)
-            body = raw[i + 1 : semi]
-            out.append(self._expand_entity(body, start_pos + i))
-            i = semi + 1
+        out: list[str] = [raw[:amp]]
+        while amp >= 0:
+            semi = raw.find(";", amp + 1)
+            next_amp = raw.find("&", amp + 1)
+            if semi < 0 or (0 <= next_amp < semi):
+                raise self.error(
+                    "unterminated entity reference",
+                    start_pos + amp,
+                    UnterminatedEntityError,
+                )
+            out.append(self._expand_entity(raw[amp + 1 : semi], start_pos + amp))
+            if next_amp < 0:
+                out.append(raw[semi + 1 :])
+                break
+            out.append(raw[semi + 1 : next_amp])
+            amp = next_amp
         return "".join(out)
 
     def _expand_entity(self, body: str, pos: int) -> str:
@@ -207,3 +366,264 @@ class Scanner:
             return PREDEFINED_ENTITIES[body]
         except KeyError:
             raise self.error(f"unknown entity &{body};", pos) from None
+
+
+# -- document-level token stream ---------------------------------------------
+
+
+def skip_prolog(scanner: Scanner) -> tuple[str, str]:
+    """Consume the prolog (XML declaration, misc, DOCTYPE) up to the
+    root element; returns ``(doctype_name, internal_subset)``.
+
+    Shared by the tree parser, the event parser, and the token stream
+    so all three agree on prolog structure and diagnostics.  Runs on
+    the character-level primitives — the prolog is a few constructs per
+    document, never a hot path.
+    """
+    doctype_name = ""
+    internal_subset = ""
+    scanner.skip_whitespace()
+    if scanner.starts_with("<?xml"):
+        scanner.advance(2)
+        scanner.read_until("?>", what="XML declaration")
+    while True:
+        scanner.skip_whitespace()
+        if scanner.starts_with("<!--"):
+            scanner.advance(4)
+            body = scanner.read_until("-->", what="comment")
+            if "--" in body:
+                raise scanner.error("'--' is not allowed inside a comment")
+        elif scanner.starts_with("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", what="processing instruction")
+        elif scanner.starts_with("<!DOCTYPE"):
+            doctype_name, internal_subset = _read_doctype(scanner)
+        else:
+            return doctype_name, internal_subset
+
+
+def _read_doctype(scanner: Scanner) -> tuple[str, str]:
+    scanner.expect("<!DOCTYPE")
+    scanner.skip_whitespace()
+    name = scanner.read_name()
+    scanner.skip_whitespace()
+    # External identifier (ignored beyond syntax).
+    if scanner.match("SYSTEM"):
+        scanner.skip_whitespace()
+        scanner.read_quoted()
+        scanner.skip_whitespace()
+    elif scanner.match("PUBLIC"):
+        scanner.skip_whitespace()
+        scanner.read_quoted()
+        scanner.skip_whitespace()
+        scanner.read_quoted()
+        scanner.skip_whitespace()
+    subset = ""
+    if scanner.match("["):
+        subset = _read_internal_subset(scanner)
+        scanner.skip_whitespace()
+    scanner.expect(">")
+    return name, subset
+
+
+def _read_internal_subset(scanner: Scanner) -> str:
+    """Capture the internal subset verbatim up to the matching ``]``.
+
+    Quoted literals and comments may contain ``]``, so we scan rather
+    than string-find.
+    """
+    start = scanner.pos
+    while True:
+        ch = scanner.peek()
+        if ch == "":
+            raise scanner.error("unterminated DOCTYPE internal subset")
+        if ch == "]":
+            subset = scanner.text[start : scanner.pos]
+            scanner.advance()
+            return subset
+        if ch in ("'", '"'):
+            scanner.read_quoted()
+        elif scanner.starts_with("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->", what="comment")
+        else:
+            scanner.advance()
+
+
+def fail_at_markup(scanner: Scanner, open_label: str, open_pos: int) -> None:
+    """Diagnose a master-regex mismatch inside element content.
+
+    The bulk arms decline to match malformed markup; this routine
+    re-scans the cursor position with the character-level primitives,
+    reproducing exactly the diagnostics of the pre-regex
+    implementation.  It always raises.
+    """
+    if scanner.at_end():
+        raise scanner.error(f"unterminated element <{open_label}>", open_pos)
+    if scanner.starts_with("</"):
+        scanner.advance(2)
+        close_name = scanner.read_name()
+        if close_name != open_label:
+            raise scanner.error(
+                f"mismatched close tag </{close_name}> for <{open_label}>"
+            )
+        scanner.skip_whitespace()
+        scanner.expect(">")
+    elif scanner.starts_with("<!--"):
+        scanner.advance(4)
+        scanner.read_until("-->", what="comment")
+    elif scanner.starts_with("<![CDATA["):
+        scanner.advance(len("<![CDATA["))
+        scanner.read_until("]]>", what="CDATA section")
+    elif scanner.starts_with("<?"):
+        scanner.advance(2)
+        scanner.read_until("?>", what="processing instruction")
+    else:
+        # A malformed start tag: replay the character-level attribute
+        # scan for its exact diagnostic.
+        scanner.advance(1)
+        element_name = scanner.read_name()
+        scan_attributes_slow(scanner, element_name)
+        if not scanner.match("/>"):
+            scanner.expect(">")
+    # Every construct the primitives accept, the master regex accepts;
+    # reaching here would mean the two lexers disagree.
+    raise AssertionError(
+        "master regex rejected markup the character-level scanner accepts "
+        f"at offset {scanner.pos}"
+    )
+
+
+def scan_attributes_slow(
+    scanner: Scanner, element_name: str
+) -> dict[str, str]:
+    """Character-level attribute scan (the pre-regex implementation),
+    kept for exact diagnostics on tags the bulk regex declines."""
+    attributes: dict[str, str] = {}
+    while True:
+        had_space = scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/") or ch == "":
+            return attributes
+        if not had_space:
+            raise scanner.error(
+                f"expected whitespace before attribute in <{element_name}>"
+            )
+        attr_pos = scanner.pos
+        attr_name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        value_pos = scanner.pos + 1
+        raw_value = scanner.read_quoted()
+        if attr_name in attributes:
+            raise scanner.error(
+                f"duplicate attribute {attr_name!r} in <{element_name}>",
+                attr_pos,
+            )
+        attributes[attr_name] = scanner.decode_entities(raw_value, value_pos)
+
+
+def iter_tokens(
+    text: str,
+    *,
+    limits: Optional[Limits] = None,
+    deadline: Optional[Deadline] = None,
+) -> Iterator[tuple]:
+    """The raw lexical token stream of a whole document.
+
+    Yields, in document order:
+
+    * ``(TOK_START, name, attrs_tuple, self_closing, pos)`` — attrs as
+      an ordered tuple of (name, decoded value) pairs;
+    * ``(TOK_END, name, pos)``;
+    * ``(TOK_TEXT, decoded_text, pos)`` / ``(TOK_CDATA, body, pos)``;
+    * ``(TOK_COMMENT, body, pos)`` / ``(TOK_PI, body, pos)``.
+
+    Prolog constructs and trailing misc are consumed but not emitted
+    (they never reach the document model); whitespace policy is the
+    consumer's business, so whitespace-only text runs inside the root
+    *are* emitted.  This is the lexer-equivalence surface: the
+    character-level reference implementation
+    (:func:`repro.xmltree.reference.reference_tokens`) must yield an
+    identical stream, including error positions on malformed input.
+    """
+    scanner = Scanner(text, limits=limits, deadline=deadline)
+    skip_prolog(scanner)
+    if not scanner.starts_with("<"):
+        raise scanner.error("expected the root element")
+    depth = 0
+    open_labels = [""]
+    open_positions = [0]
+    while True:
+        pos = scanner.pos
+        hit = scanner.next_content_match()
+        if hit is None:
+            fail_at_markup(scanner, open_labels[-1], open_positions[-1])
+        kind, m = hit
+        if kind == TOK_TEXT:
+            raw = m.group("text")
+            scanner.pos = m.end()
+            bad = raw.find("]]>")
+            if bad >= 0:
+                raise scanner.error(
+                    "']]>' is not allowed in character data", pos + bad
+                )
+            yield TOK_TEXT, scanner.decode_entities(raw, pos), pos
+        elif kind == TOK_START:
+            if scanner.deadline is not None:
+                scanner.deadline.tick()
+            name, attributes, self_closing = scanner.start_tag_parts(m)
+            yield (
+                TOK_START,
+                name,
+                tuple(attributes.items()) if attributes else (),
+                self_closing,
+                pos,
+            )
+            if not self_closing:
+                depth += 1
+                open_labels.append(name)
+                open_positions.append(pos)
+            elif depth == 0:
+                break
+        elif kind == TOK_END:
+            name = m.group("ename")
+            if name != open_labels[-1]:
+                raise scanner.error(
+                    f"mismatched close tag </{name}> for "
+                    f"<{open_labels[-1]}>",
+                    m.end("ename"),
+                )
+            scanner.pos = m.end()
+            yield TOK_END, name, pos
+            depth -= 1
+            open_labels.pop()
+            open_positions.pop()
+            if depth == 0:
+                break
+        elif kind == TOK_COMMENT:
+            body = m.group("comment")
+            scanner.pos = m.end()
+            if "--" in body:
+                raise scanner.error("'--' is not allowed inside a comment")
+            yield TOK_COMMENT, body, pos
+        elif kind == TOK_CDATA:
+            scanner.pos = m.end()
+            yield TOK_CDATA, m.group("cdata"), pos
+        else:
+            scanner.pos = m.end()
+            yield TOK_PI, m.group("pi"), pos
+    # Trailing misc after the root element.
+    while not scanner.at_end():
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            break
+        if scanner.starts_with("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->", what="comment")
+        elif scanner.starts_with("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", what="processing instruction")
+        else:
+            raise scanner.error("content after the root element")

@@ -1,4 +1,4 @@
-"""Recursive-descent XML parser producing :class:`~repro.xmltree.dom.Document`.
+"""Bulk-lexing XML parser producing :class:`~repro.xmltree.dom.Document`.
 
 Supports the XML 1.0 constructs the reproduction needs: prolog, DOCTYPE
 (with internal subset captured verbatim for the DTD front-end), elements,
@@ -10,6 +10,25 @@ By default whitespace-only text between elements is dropped — the paper's
 ordered labelled trees have χ leaves only for genuine simple content, and
 Xerces-style validators likewise treat such runs as ignorable in element
 content.  Pass ``keep_whitespace=True`` to retain them.
+
+The implementation is a single iterative loop over the master content
+regex (:data:`repro.xmltree.lexer.MASTER_RE`) with an explicit
+open-element stack: one C-level match consumes a whole tag (attributes
+included) or text run, children are attached without going through the
+mutation-tracked DOM API (the tree under construction has no cached
+hashes to invalidate), and each element's structural hash is sealed
+inline at its close tag from the already-sealed child hashes.  Malformed
+markup makes the master regex decline, and the character-level scanner
+primitives replay the input for a diagnostic identical to the historical
+recursive-descent parser's (which survives as the oracle in
+:mod:`repro.xmltree.reference`).
+
+Pass ``symbols=`` (a :class:`~repro.automata.compiled.SymbolTable`, e.g.
+``pair.symbols``) to intern element labels at parse time: every
+``Element.sym`` is then the label's dense id in that table (or ``-1``
+for labels outside its alphabet) and ``Document.symbols`` records the
+table, letting the validators run their transition lookups on ints
+without re-hashing label strings per node.
 """
 
 from __future__ import annotations
@@ -17,7 +36,6 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from repro.errors import XMLSyntaxError
 from repro.guards import (
     Deadline,
     Limits,
@@ -25,8 +43,18 @@ from repro.guards import (
     check_document_size,
     resolve_limits,
 )
-from repro.xmltree.dom import Document, Element, Text
-from repro.xmltree.lexer import Scanner
+from repro.xmltree.dom import CHI, Document, Element, Text
+from repro.xmltree.lexer import (
+    TOK_CDATA,
+    TOK_COMMENT,
+    TOK_END,
+    TOK_START,
+    TOK_TEXT,
+    Scanner,
+    fail_at_markup,
+    scan_attributes_slow,
+    skip_prolog,
+)
 
 
 def parse(
@@ -35,19 +63,40 @@ def parse(
     keep_whitespace: bool = False,
     limits: Optional[Limits] = None,
     deadline: Optional[Deadline] = None,
+    symbols=None,
 ) -> Document:
     """Parse an XML document from a string.
 
     ``limits`` (ambient defaults when ``None``) bounds document size,
     nesting depth, and entity expansions; ``deadline`` is an optional
     caller-owned wall-clock token (one is started from
-    ``limits.deadline_seconds`` otherwise).
+    ``limits.deadline_seconds`` otherwise).  ``symbols`` enables
+    lex-time label interning (see module docstring).
     """
     limits = resolve_limits(limits)
     check_document_size(len(text), limits)
     if deadline is None:
         deadline = limits.deadline()
-    return _Parser(text, keep_whitespace, limits, deadline).parse_document()
+    scanner = Scanner(text, limits=limits, deadline=deadline)
+    doctype_name, internal_subset = skip_prolog(scanner)
+    if not scanner.starts_with("<"):
+        raise scanner.error("expected the root element")
+    root = _parse_tree(scanner, keep_whitespace, limits, symbols)
+    while not scanner.at_end():
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            break
+        if scanner.starts_with("<!--"):
+            scanner.advance(4)
+            body = scanner.read_until("-->", what="comment")
+            if "--" in body:
+                raise scanner.error("'--' is not allowed inside a comment")
+        elif scanner.starts_with("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>", what="processing instruction")
+        else:
+            raise scanner.error("content after the root element")
+    return Document(root, doctype_name, internal_subset, symbols=symbols)
 
 
 def parse_file(
@@ -56,6 +105,7 @@ def parse_file(
     keep_whitespace: bool = False,
     limits: Optional[Limits] = None,
     deadline: Optional[Deadline] = None,
+    symbols=None,
 ) -> Document:
     """Parse an XML document from a file path (UTF-8).
 
@@ -70,6 +120,7 @@ def parse_file(
             keep_whitespace=keep_whitespace,
             limits=limits,
             deadline=deadline,
+            symbols=symbols,
         )
 
 
@@ -78,224 +129,164 @@ def parse_fragment(
     *,
     keep_whitespace: bool = False,
     limits: Optional[Limits] = None,
+    symbols=None,
 ) -> Element:
     """Parse a single element (no prolog/doctype) and return it."""
-    return parse(text, keep_whitespace=keep_whitespace, limits=limits).root
+    return parse(
+        text, keep_whitespace=keep_whitespace, limits=limits, symbols=symbols
+    ).root
 
 
-class _Parser:
-    def __init__(
-        self,
-        text: str,
-        keep_whitespace: bool,
-        limits: Optional[Limits] = None,
-        deadline: Optional[Deadline] = None,
-    ):
-        self.limits = resolve_limits(limits)
-        self.scanner = Scanner(text, limits=self.limits, deadline=deadline)
-        self.keep_whitespace = keep_whitespace
+def _parse_tree(
+    scanner: Scanner,
+    keep_whitespace: bool,
+    limits: Limits,
+    symbols,
+) -> Element:
+    """Parse the root element and its subtree at the cursor.
 
-    # -- document structure ---------------------------------------------
+    Only the first loop iteration can see an empty open-element stack
+    (the function returns as soon as the root closes), so the
+    ``not elements`` branches are the root-must-be-an-element checks.
+    """
+    ids = symbols.ids if symbols is not None else None
+    deadline = scanner.deadline
 
-    def parse_document(self) -> Document:
-        scanner = self.scanner
-        doctype_name = ""
-        internal_subset = ""
-        scanner.skip_whitespace()
-        if scanner.starts_with("<?xml"):
-            self._skip_pi()
-        while True:
-            scanner.skip_whitespace()
-            if scanner.starts_with("<!--"):
-                self._skip_comment()
-            elif scanner.starts_with("<?"):
-                self._skip_pi()
-            elif scanner.starts_with("<!DOCTYPE"):
-                doctype_name, internal_subset = self._parse_doctype()
-            else:
-                break
-        if not scanner.starts_with("<"):
-            raise scanner.error("expected the root element")
-        root = self._parse_element(1)
-        while not scanner.at_end():
-            scanner.skip_whitespace()
-            if scanner.at_end():
-                break
-            if scanner.starts_with("<!--"):
-                self._skip_comment()
-            elif scanner.starts_with("<?"):
-                self._skip_pi()
-            else:
-                raise scanner.error("content after the root element")
-        return Document(root, doctype_name, internal_subset)
+    # Parallel stacks for the open elements: the node, the offset of its
+    # ``<`` (for unterminated-element diagnostics), and its pending text
+    # buffer (text runs merge across comments/PIs/CDATA, so a buffer
+    # flushes only at a child element or the close tag).
+    elements: list[Element] = []
+    open_positions: list[int] = []
+    text_buffers: list[list[str]] = []
 
-    def _parse_doctype(self) -> tuple[str, str]:
-        scanner = self.scanner
-        scanner.expect("<!DOCTYPE")
-        scanner.skip_whitespace()
-        name = scanner.read_name()
-        scanner.skip_whitespace()
-        # External identifier (ignored beyond syntax).
-        if scanner.match("SYSTEM"):
-            scanner.skip_whitespace()
-            scanner.read_quoted()
-            scanner.skip_whitespace()
-        elif scanner.match("PUBLIC"):
-            scanner.skip_whitespace()
-            scanner.read_quoted()
-            scanner.skip_whitespace()
-            scanner.read_quoted()
-            scanner.skip_whitespace()
-        subset = ""
-        if scanner.match("["):
-            subset = self._read_internal_subset()
-            scanner.skip_whitespace()
-        scanner.expect(">")
-        return name, subset
+    while True:
+        pos = scanner.pos
+        hit = scanner.next_content_match()
+        if hit is None:
+            if not elements:
+                _fail_at_root(scanner)
+            fail_at_markup(scanner, elements[-1]._label, open_positions[-1])
+        kind, m = hit
 
-    def _read_internal_subset(self) -> str:
-        """Capture the internal subset verbatim up to the matching ``]``.
-
-        Quoted literals and comments may contain ``]``, so we scan rather
-        than string-find.
-        """
-        scanner = self.scanner
-        start = scanner.pos
-        while True:
-            ch = scanner.peek()
-            if ch == "":
-                raise scanner.error("unterminated DOCTYPE internal subset")
-            if ch == "]":
-                subset = scanner.text[start : scanner.pos]
-                scanner.advance()
-                return subset
-            if ch in ("'", '"'):
-                scanner.read_quoted()
-            elif scanner.starts_with("<!--"):
-                self._skip_comment()
-            else:
-                scanner.advance()
-
-    # -- elements ----------------------------------------------------------
-
-    def _parse_element(self, depth: int) -> Element:
-        scanner = self.scanner
-        check_depth(depth, self.limits)
-        if scanner.deadline is not None:
-            scanner.deadline.tick()
-        open_pos = scanner.pos
-        scanner.expect("<")
-        name = scanner.read_name()
-        attributes = self._parse_attributes(name)
-        if scanner.match("/>"):
-            node = Element(name, attributes)
-            node.structural_hash()
-            return node
-        scanner.expect(">")
-        node = Element(name, attributes)
-        self._parse_content(node, open_pos, depth)
-        # Seal the structural hash bottom-up while the subtree is hot:
-        # the children were sealed by their own parses, so this is O(1)
-        # amortized per node and parsed documents arrive fully
-        # fingerprinted for the memoized pair-validation layer.
-        node.structural_hash()
-        return node
-
-    def _parse_attributes(self, element_name: str) -> dict[str, str]:
-        scanner = self.scanner
-        attributes: dict[str, str] = {}
-        while True:
-            had_space = scanner.skip_whitespace()
-            ch = scanner.peek()
-            if ch in (">", "/") or ch == "":
-                return attributes
-            if not had_space:
+        if kind == TOK_TEXT:
+            raw = m.group("text")
+            scanner.pos = m.end()
+            bad = raw.find("]]>")
+            if bad >= 0:
                 raise scanner.error(
-                    f"expected whitespace before attribute in <{element_name}>"
+                    "']]>' is not allowed in character data", pos + bad
                 )
-            attr_pos = scanner.pos
-            attr_name = scanner.read_name()
-            scanner.skip_whitespace()
-            scanner.expect("=")
-            scanner.skip_whitespace()
-            value_pos = scanner.pos + 1
-            raw_value = scanner.read_quoted()
-            if attr_name in attributes:
-                raise scanner.error(
-                    f"duplicate attribute {attr_name!r} in <{element_name}>",
-                    attr_pos,
-                )
-            attributes[attr_name] = scanner.decode_entities(raw_value, value_pos)
+            if "&" in raw:
+                raw = scanner.decode_entities(raw, pos)
+            text_buffers[-1].append(raw)
 
-    def _parse_content(self, node: Element, open_pos: int, depth: int) -> None:
-        scanner = self.scanner
-        text_parts: list[str] = []
-        text_start = scanner.pos
-
-        def flush_text() -> None:
-            if not text_parts:
-                return
-            value = "".join(text_parts)
-            text_parts.clear()
-            if value.strip() == "" and not self.keep_whitespace:
-                return
-            node.append(Text(value))
-
-        while True:
-            if scanner.at_end():
-                raise scanner.error(
-                    f"unterminated element <{node.label}>", open_pos
-                )
-            if scanner.starts_with("</"):
-                flush_text()
-                scanner.advance(2)
-                close_name = scanner.read_name()
-                if close_name != node.label:
-                    raise scanner.error(
-                        f"mismatched close tag </{close_name}> for "
-                        f"<{node.label}>"
+        elif kind == TOK_START:
+            check_depth(len(elements) + 1, limits)
+            if deadline is not None:
+                deadline.tick()
+            name, attributes, self_closing = scanner.start_tag_parts(m)
+            sym = ids.get(name, -1) if ids is not None else -1
+            node = Element._sealed(name, attributes, sym)
+            if self_closing:
+                node._shash = hash(
+                    (
+                        name,
+                        tuple(sorted(attributes.items()))
+                        if attributes
+                        else (),
+                        (),
                     )
-                scanner.skip_whitespace()
-                scanner.expect(">")
-                return
-            if scanner.starts_with("<!--"):
-                self._skip_comment()
-                continue
-            if scanner.starts_with("<![CDATA["):
-                scanner.advance(len("<![CDATA["))
-                text_parts.append(scanner.read_until("]]>", what="CDATA section"))
-                continue
-            if scanner.starts_with("<?"):
-                self._skip_pi()
-                continue
-            if scanner.starts_with("<"):
-                flush_text()
-                node.append(self._parse_element(depth + 1))
-                text_start = scanner.pos
-                continue
-            # Character data up to the next markup or entity boundary.
-            chunk_start = scanner.pos
-            while not scanner.at_end() and scanner.peek() not in ("<",):
-                scanner.advance()
-            raw = scanner.text[chunk_start : scanner.pos]
-            if "]]>" in raw:
-                raise scanner.error(
-                    "']]>' is not allowed in character data",
-                    chunk_start + raw.find("]]>"),
                 )
-            text_parts.append(scanner.decode_entities(raw, chunk_start))
-            text_start = chunk_start
+                if not elements:
+                    return node
+                _flush_text(elements[-1], text_buffers[-1], keep_whitespace)
+                _attach(elements[-1], node)
+            else:
+                elements.append(node)
+                open_positions.append(pos)
+                text_buffers.append([])
 
-    # -- ignorable constructs -----------------------------------------------
+        elif kind == TOK_END:
+            if not elements:
+                _fail_at_root(scanner)
+            node = elements[-1]
+            name = m.group("ename")
+            if name != node._label:
+                raise scanner.error(
+                    f"mismatched close tag </{name}> for <{node._label}>",
+                    m.end("ename"),
+                )
+            scanner.pos = m.end()
+            _flush_text(node, text_buffers[-1], keep_whitespace)
+            attrs = node._attributes
+            node._shash = hash(
+                (
+                    node._label,
+                    tuple(sorted(attrs.items())) if attrs else (),
+                    tuple(child._shash for child in node.children),
+                )
+            )
+            elements.pop()
+            open_positions.pop()
+            text_buffers.pop()
+            if not elements:
+                return node
+            _flush_text(elements[-1], text_buffers[-1], keep_whitespace)
+            _attach(elements[-1], node)
 
-    def _skip_comment(self) -> None:
-        scanner = self.scanner
-        scanner.expect("<!--")
-        body = scanner.read_until("-->", what="comment")
-        if "--" in body:
-            raise scanner.error("'--' is not allowed inside a comment")
+        elif kind == TOK_COMMENT:
+            if not elements:
+                _fail_at_root(scanner)
+            scanner.pos = m.end()
+            if "--" in m.group("comment"):
+                raise scanner.error("'--' is not allowed inside a comment")
 
-    def _skip_pi(self) -> None:
-        scanner = self.scanner
-        scanner.expect("<?")
-        scanner.read_until("?>", what="processing instruction")
+        elif kind == TOK_CDATA:
+            if not elements:
+                _fail_at_root(scanner)
+            scanner.pos = m.end()
+            text_buffers[-1].append(m.group("cdata"))
+
+        else:  # TOK_PI
+            if not elements:
+                _fail_at_root(scanner)
+            scanner.pos = m.end()
+
+
+def _fail_at_root(scanner: Scanner) -> None:
+    """Replay a non-start-tag construct at the root position with the
+    character-level primitives for the historical diagnostic (the root
+    must be an element; comments/PIs/DOCTYPE were consumed as prolog).
+    Always raises."""
+    scanner.expect("<")
+    name = scanner.read_name()
+    scan_attributes_slow(scanner, name)
+    if not scanner.match("/>"):
+        scanner.expect(">")
+    raise AssertionError(
+        "master regex rejected a root tag the character-level scanner "
+        f"accepts at offset {scanner.pos}"
+    )
+
+
+def _attach(parent: Element, child) -> None:
+    """Append without the mutation-tracked API: the tree under
+    construction carries no stale cached state to invalidate."""
+    child.parent = parent
+    child.index = len(parent.children)
+    parent.children.append(child)
+
+
+def _flush_text(
+    parent: Element, parts: list[str], keep_whitespace: bool
+) -> None:
+    if not parts:
+        return
+    value = "".join(parts)
+    parts.clear()
+    if not keep_whitespace and value.strip() == "":
+        return
+    node = Text(value)
+    node._shash = hash((CHI, value))
+    _attach(parent, node)

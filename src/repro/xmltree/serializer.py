@@ -66,8 +66,10 @@ def write_file(node: Union[Document, Element], path: str, *,
 
 def _open_tag(element: Element) -> str:
     pieces = [f"<{element.label}"]
-    for name, value in element.attributes.items():
-        pieces.append(f' {name}="{escape_attribute(value)}"')
+    attrs = element._attributes
+    if attrs:
+        for name, value in attrs.items():
+            pieces.append(f' {name}="{escape_attribute(value)}"')
     return "".join(pieces)
 
 

@@ -102,6 +102,49 @@ class TestCast:
         ])
         assert code == 0
 
+    def test_profile_parse_breakdown(self, workspace, capsys):
+        code = main([
+            "cast", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--profile-parse",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase profile:" in out
+        assert "parse:" in out
+        assert "validate:" in out
+        assert "total:" in out
+
+    def test_profile_parse_directory_mode(self, workspace, capsys):
+        batch_dir = workspace / "batch"
+        batch_dir.mkdir()
+        write_file(make_purchase_order(1), str(batch_dir / "one.xml"))
+        write_file(make_purchase_order(2), str(batch_dir / "two.xml"))
+        code = main([
+            "cast", str(batch_dir),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--profile-parse",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase profile:" in out
+
+    def test_profile_parse_streaming_notes_fused_phases(
+        self, workspace, capsys
+    ):
+        code = main([
+            "cast", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--streaming", "--profile-parse",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "phase profile:" not in captured.out
+        assert "fused" in captured.err
+
 
 class TestRepair:
     def test_repair_writes_valid_output(self, workspace, capsys):

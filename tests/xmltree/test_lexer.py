@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.errors import XMLSyntaxError
-from repro.xmltree.lexer import Scanner, is_name
+from repro.errors import UnterminatedEntityError, XMLSyntaxError
+from repro.xmltree.lexer import MASTER_RE, Scanner, is_name
+from repro.xmltree.reference import ReferenceScanner
 
 
 class TestIsName:
@@ -95,6 +96,45 @@ class TestLineColumn:
         assert error.line == 2
         assert error.column == 2
 
+    def test_newline_index_matches_reference_scanner(self):
+        # The bulk scanner answers line_column from a once-built newline
+        # index; the reference scanner recomputes with count/rfind per
+        # call.  They must agree at every position of a gnarly corpus,
+        # including positions on, before, and after each newline.
+        corpus = "ab\ncd\n\n<e f='g'>\nhi\n</e>\n\n\nx\n"
+        fast = Scanner(corpus)
+        slow = ReferenceScanner(corpus)
+        for pos in range(len(corpus) + 1):
+            assert fast.line_column(pos) == slow.line_column(pos), pos
+
+    def test_newline_index_no_newlines(self):
+        corpus = "single line only"
+        fast = Scanner(corpus)
+        slow = ReferenceScanner(corpus)
+        for pos in range(len(corpus) + 1):
+            assert fast.line_column(pos) == slow.line_column(pos)
+
+
+class TestMasterRegex:
+    def test_every_arm_is_dispatchable(self):
+        # Each alternation arm must resolve to a token kind through its
+        # last-closing group; an arm whose groups all fail to participate
+        # would make lastindex dispatch silently wrong.
+        samples = {
+            "text run": "text",
+            "<a>": "start",
+            "<a b='c' d=\"e\"/>": "start",
+            "</a>": "end",
+            "<!-- c -->": "comment",
+            "<![CDATA[x]]>": "cdata",
+            "<?pi data?>": "pi",
+        }
+        for sample in samples:
+            m = MASTER_RE.match(sample)
+            assert m is not None, sample
+            assert m.end() == len(sample), sample
+            assert m.lastindex is not None, sample
+
 
 class TestEntityDecoding:
     def test_predefined_entities(self):
@@ -119,6 +159,25 @@ class TestEntityDecoding:
     def test_unterminated_entity_rejected(self):
         with pytest.raises(XMLSyntaxError, match="unterminated entity"):
             Scanner("").decode_entities("a &amp b", 0)
+
+    def test_unterminated_entity_is_typed_with_position(self):
+        # The hardened rule: an '&' with no ';' before the next '&' or
+        # the end of the run is a typed error anchored at the '&'.
+        scanner = Scanner("xx\nyy a &amp b")
+        with pytest.raises(UnterminatedEntityError) as info:
+            scanner.decode_entities("a &amp b", 6)
+        assert info.value.line == 2
+        assert info.value.column == 6  # the '&' itself, not the run start
+
+    def test_unterminated_entity_at_end_of_run(self):
+        with pytest.raises(UnterminatedEntityError):
+            Scanner("").decode_entities("tail&", 0)
+
+    def test_entity_followed_by_second_ampersand(self):
+        # '&amp &lt;': the first reference never closes before the next
+        # '&', so it must not borrow the second reference's semicolon.
+        with pytest.raises(UnterminatedEntityError):
+            Scanner("").decode_entities("&amp &lt;", 0)
 
     def test_bad_character_reference(self):
         with pytest.raises(XMLSyntaxError, match="bad character reference"):
