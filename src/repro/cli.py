@@ -59,6 +59,9 @@ def load_schema(path: str, *, roots: Optional[list[str]] = None) -> Schema:
 def _print_stats(stats) -> None:
     print(f"  nodes visited:          {stats.nodes_visited}")
     print(f"  subtrees skipped:       {stats.subtrees_skipped}")
+    if stats.subtrees_byte_skipped:
+        print(f"  byte-skipped subtrees:  {stats.subtrees_byte_skipped}")
+        print(f"  bytes skipped:          {stats.bytes_skipped}")
     print(f"  disjoint rejections:    {stats.disjoint_rejections}")
     print(f"  content symbols read:   {stats.content_symbols_scanned}")
     print(f"  early content verdicts: {stats.early_content_decisions}")
@@ -207,6 +210,7 @@ def cmd_cast(args: argparse.Namespace) -> int:
                 retries=args.retries,
                 memo_size=memo_size,
                 artifact_path=artifact_file,
+                stream_skip=args.stream_skip,
             )
             for result in batch.invalid:
                 detail = result.error or result.reason
@@ -226,7 +230,7 @@ def cmd_cast(args: argparse.Namespace) -> int:
             if args.profile_parse and batch.stats is not None:
                 _print_phase_profile(batch.stats)
             return 0 if batch.all_valid else 1
-        if args.streaming:
+        if args.streaming or args.stream_skip:
             # The streaming validator never materializes subtrees, so
             # there is nothing to fingerprint — no memo here.
             from repro.core.streaming import StreamingCastValidator
@@ -234,13 +238,15 @@ def cmd_cast(args: argparse.Namespace) -> int:
             if args.profile_parse:
                 print(
                     "note: --profile-parse has no phases to split in "
-                    "--streaming mode (parse and validation are fused)",
+                    "streaming modes (parse and validation are fused)",
                     file=sys.stderr,
                 )
             with open(args.document, encoding="utf-8") as handle:
                 report = StreamingCastValidator(
                     pair, limits=limits
-                ).validate_text(handle.read())
+                ).validate_text(
+                    handle.read(), byte_skip=args.stream_skip
+                )
         else:
             from repro.core.memo import ValidationMemo
 
@@ -267,7 +273,7 @@ def cmd_cast(args: argparse.Namespace) -> int:
     print(f"{args.document}: {verdict}")
     if args.stats:
         _print_stats(report.stats)
-    if args.profile_parse and not args.streaming:
+    if args.profile_parse and not (args.streaming or args.stream_skip):
         _print_phase_profile(report.stats)
     return 0 if report.valid else 1
 
@@ -385,6 +391,13 @@ def build_parser() -> argparse.ArgumentParser:
     cast.add_argument("--source", required=True)
     cast.add_argument("--target", required=True)
     cast.add_argument("--stats", action="store_true")
+    cast.add_argument(
+        "--stream-skip",
+        action="store_true",
+        help="DOM-free cast with byte-level skipping: subsumed "
+        "subtrees are never tokenized (implies streaming; for a "
+        "directory, every batch worker uses this mode)",
+    )
     cast.add_argument(
         "--streaming",
         action="store_true",

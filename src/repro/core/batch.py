@@ -138,13 +138,15 @@ class BatchResult:
 #: globals (not closures) so the work function stays picklable.
 _WORKER_CONFIG: Optional[
     tuple[PairSource, bool, bool, Limits, int, Optional[FaultHook],
-          Optional[int]]
+          Optional[int], bool]
 ] = None
 
 #: The validator, built lazily by :func:`_ensure_validator` on the
 #: worker's first document — so an ``("artifact", path)`` source costs
-#: no load in workers that never receive work.
-_WORKER_VALIDATOR: Optional[CastValidator] = None
+#: no load in workers that never receive work.  A
+#: :class:`~repro.core.streaming.StreamingCastValidator` in
+#: ``stream_skip`` mode, a :class:`CastValidator` otherwise.
+_WORKER_VALIDATOR = None
 
 #: Fork-inheritance channel: the parent parks the warmed pair here just
 #: before creating a fork-based pool, and workers read it back without
@@ -160,6 +162,7 @@ def _init_worker(
     retries: int = 0,
     fault_hook: Optional[FaultHook] = None,
     memo_size: Optional[int] = None,
+    stream_skip: bool = False,
 ) -> None:
     global _WORKER_CONFIG, _WORKER_VALIDATOR
     _WORKER_CONFIG = (
@@ -170,6 +173,7 @@ def _init_worker(
         retries,
         fault_hook,
         memo_size,
+        stream_skip,
     )
     _WORKER_VALIDATOR = None
 
@@ -192,27 +196,37 @@ def _resolve_pair(pair_source: PairSource) -> SchemaPair:
     return artifacts.load(payload)
 
 
-def _ensure_validator() -> tuple[CastValidator, bool, Limits, int,
-                                 Optional[FaultHook]]:
+def _ensure_validator() -> tuple[object, bool, Limits, int,
+                                 Optional[FaultHook], bool]:
     """The worker's validator, built on first use."""
     global _WORKER_VALIDATOR
     assert _WORKER_CONFIG is not None, "worker used before _init_worker"
     (pair_source, use_string_cast, collect_stats, limits, retries,
-     fault_hook, memo_size) = _WORKER_CONFIG
+     fault_hook, memo_size, stream_skip) = _WORKER_CONFIG
     if _WORKER_VALIDATOR is None:
-        memo = (
-            ValidationMemo(memo_size, limits=limits)
-            if memo_size is not None
-            else None
-        )
-        _WORKER_VALIDATOR = CastValidator(
-            _resolve_pair(pair_source),
-            use_string_cast=use_string_cast,
-            collect_stats=collect_stats,
-            limits=limits,
-            memo=memo,
-        )
-    return _WORKER_VALIDATOR, collect_stats, limits, retries, fault_hook
+        if stream_skip:
+            # DOM-free skip-scan mode: subtrees are never materialized,
+            # so there is nothing to hash — the memo is ignored.
+            from repro.core.streaming import StreamingCastValidator
+
+            _WORKER_VALIDATOR = StreamingCastValidator(
+                _resolve_pair(pair_source), limits=limits
+            )
+        else:
+            memo = (
+                ValidationMemo(memo_size, limits=limits)
+                if memo_size is not None
+                else None
+            )
+            _WORKER_VALIDATOR = CastValidator(
+                _resolve_pair(pair_source),
+                use_string_cast=use_string_cast,
+                collect_stats=collect_stats,
+                limits=limits,
+                memo=memo,
+            )
+    return (_WORKER_VALIDATOR, collect_stats, limits, retries, fault_hook,
+            stream_skip)
 
 
 def _validate_one(path: str) -> tuple[DocumentResult, Optional[ValidationStats]]:
@@ -226,27 +240,51 @@ def _validate_one(path: str) -> tuple[DocumentResult, Optional[ValidationStats]]
         try:
             # Built here, not in the initializer, so an artifact-load
             # failure is a per-document error report, not a pool crash.
-            validator, collect_stats, limits, _retries, fault_hook = (
-                _ensure_validator()
-            )
+            (validator, collect_stats, limits, _retries, fault_hook,
+             stream_skip) = _ensure_validator()
             if fault_hook is not None:
                 fault_hook(path)
-            # One deadline token spans parse + validation.  Parsing
-            # against the pair's symbol table interns element names at
-            # lex time, so validation runs on dense ids.
-            deadline = limits.deadline()
-            parse_start = time.perf_counter()
-            document = parse_file(
-                path, limits=limits, deadline=deadline,
-                symbols=validator.pair.symbols,
-            )
-            parse_end = time.perf_counter()
-            report = validator.validate(document, deadline=deadline)
-            if collect_stats:
-                report.stats.parse_seconds += parse_end - parse_start
-                report.stats.validate_seconds += (
-                    time.perf_counter() - parse_end
+            if stream_skip:
+                # DOM-free skip-scan cast: one fused pass, timed as
+                # validation (there is no separate parse phase).  A
+                # syntax error propagates as ReproError, matching the
+                # DOM path's per-document error capture below.
+                from repro.guards import check_document_size
+                from repro.xmltree.events import PullParser
+
+                check_document_size(
+                    os.path.getsize(path), limits, what=f"file {path!r}"
                 )
+                with open(path, encoding="utf-8") as handle:
+                    text = handle.read()
+                run_start = time.perf_counter()
+                report = validator.validate_pull(
+                    PullParser(text, limits=limits,
+                               deadline=limits.deadline(),
+                               symbols=validator.pair.symbols),
+                    interned=True,
+                )
+                if collect_stats:
+                    report.stats.validate_seconds += (
+                        time.perf_counter() - run_start
+                    )
+            else:
+                # One deadline token spans parse + validation.  Parsing
+                # against the pair's symbol table interns element names
+                # at lex time, so validation runs on dense ids.
+                deadline = limits.deadline()
+                parse_start = time.perf_counter()
+                document = parse_file(
+                    path, limits=limits, deadline=deadline,
+                    symbols=validator.pair.symbols,
+                )
+                parse_end = time.perf_counter()
+                report = validator.validate(document, deadline=deadline)
+                if collect_stats:
+                    report.stats.parse_seconds += parse_end - parse_start
+                    report.stats.validate_seconds += (
+                        time.perf_counter() - parse_end
+                    )
         except ReproError as error:
             return (
                 DocumentResult(
@@ -289,7 +327,7 @@ def _validate_one(path: str) -> tuple[DocumentResult, Optional[ValidationStats]]
         # the parent can merge a fleet-wide hit rate.
         stats = (
             report.stats
-            if collect_stats or validator._memo is not None
+            if collect_stats or getattr(validator, "_memo", None) is not None
             else None
         )
         return (
@@ -323,6 +361,7 @@ def validate_batch(
     fault_hook: Optional[FaultHook] = None,
     memo_size: Optional[int] = None,
     artifact_path: Optional[str] = None,
+    stream_skip: bool = False,
 ) -> BatchResult:
     """Validate many documents against one schema pair.
 
@@ -353,6 +392,13 @@ def validate_batch(
             spawn-based platforms workers load it lazily instead of
             unpickling the initializer-shipped pair; ignored where fork
             inheritance is cheaper.
+        stream_skip: validate DOM-free through the streaming cast's
+            byte-level skip-scan path — subsumed subtrees are never
+            tokenized (see :mod:`repro.core.streaming`).  No tree is
+            built, so ``memo_size`` and ``use_string_cast`` are
+            ignored; parse and validation are one fused phase
+            (``validate_seconds`` carries the whole per-document
+            wall-clock when ``collect_stats`` is on).
 
     A document that fails — bad syntax, resource limit, IO error, even
     a worker crash — is reported via ``error`` and counts as not ok; it
@@ -379,7 +425,7 @@ def validate_batch(
 
     def initargs(pair_source: PairSource) -> tuple:
         return (pair_source, use_string_cast, collect_stats, limits,
-                retries, fault_hook, memo_size)
+                retries, fault_hook, memo_size, stream_skip)
 
     global _FORK_PAIR
     if jobs == 1 or len(paths) <= 1:
@@ -502,6 +548,7 @@ def validate_directory(
     retries: int = 0,
     memo_size: Optional[int] = None,
     artifact_path: Optional[str] = None,
+    stream_skip: bool = False,
 ) -> BatchResult:
     """Validate every ``pattern`` file directly under ``directory``.
 
@@ -537,4 +584,5 @@ def validate_directory(
         retries=retries,
         memo_size=memo_size,
         artifact_path=artifact_path,
+        stream_skip=stream_skip,
     )

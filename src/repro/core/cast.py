@@ -512,3 +512,44 @@ class CastValidator:
                 path=str(element.dewey()),
             )
         return None
+
+
+def cast_text(
+    pair: SchemaPair,
+    text: str,
+    *,
+    limits: Optional[Limits] = None,
+    stream_skip: bool = True,
+    trusted: bool = False,
+) -> ValidationReport:
+    """DOM-free schema cast of raw XML text.
+
+    One streaming pass parses and cast-validates together; with
+    ``stream_skip`` (the default) subsumed subtrees are byte-skimmed —
+    the lexer never tokenizes them (see
+    :meth:`repro.core.streaming.StreamingCastValidator.validate_text`).
+    ``trusted=True`` additionally byte-searches for end tags, assuming
+    the document is well-formed.  The verdict equals
+    ``CastValidator(pair).validate(parse(text))``.
+    """
+    from repro.core.streaming import StreamingCastValidator
+
+    return StreamingCastValidator(pair, limits=limits).validate_text(
+        text, byte_skip=stream_skip, trusted=trusted
+    )
+
+
+def cast_file(
+    pair: SchemaPair,
+    path: str,
+    *,
+    limits: Optional[Limits] = None,
+    stream_skip: bool = True,
+    trusted: bool = False,
+) -> ValidationReport:
+    """:func:`cast_text` over a file (size-checked before reading)."""
+    from repro.core.streaming import StreamingCastValidator
+
+    return StreamingCastValidator(pair, limits=limits).validate_file(
+        path, byte_skip=stream_skip, trusted=trusted
+    )

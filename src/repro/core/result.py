@@ -35,6 +35,12 @@ class ValidationStats:
             (:mod:`repro.core.memo`).
         memo_misses: memo lookups that found nothing.
         memo_evictions: LRU entries dropped to admit new verdicts.
+        subtrees_byte_skipped: the subset of ``subtrees_skipped`` that
+            was fast-forwarded at the *byte* level — the lexer skimmed
+            straight to the matching end tag without tokenizing the
+            subtree (streaming cast with ``byte_skip``).
+        bytes_skipped: source characters covered by byte-level skims
+            (never tokenized, entity-decoded, or interned).
         parse_seconds: wall-clock time spent lexing/parsing input text,
             when the caller timed the phases (batch ``collect_stats``
             runs and the CLI's ``--profile-parse``); 0.0 otherwise.
@@ -58,6 +64,8 @@ class ValidationStats:
     memo_hits: int = 0
     memo_misses: int = 0
     memo_evictions: int = 0
+    subtrees_byte_skipped: int = 0
+    bytes_skipped: int = 0
     #: Wall-clock fields are excluded from equality: two runs doing the
     #: same work (equal counters) compare equal regardless of timing.
     parse_seconds: float = field(default=0.0, compare=False)

@@ -31,6 +31,7 @@ from repro.xmltree.events import (
     Characters,
     EndElement,
     Event,
+    PullParser,
     StartElement,
     iterparse,
 )
@@ -42,7 +43,10 @@ class _Frame:
     type_name: str
     #: DFA state for complex types; None marks a simple-typed frame.
     state: Optional[int]
-    text_parts: list[str]
+    #: Accumulated character data — allocated only for simple-typed
+    #: frames; complex types reject non-whitespace text outright, so
+    #: their frames carry None instead of an always-empty list.
+    text_parts: Optional[list[str]]
     child_index: int = 0
     #: Dewey step of this element under its parent (for error paths).
     position: int = 0
@@ -189,7 +193,7 @@ class StreamingValidator:
                 event.label,
                 type_name,
                 self.schema.compiled_content_dfa(type_name).start,
-                [],
+                None,
                 position=position,
             )
         stack.append(frame)
@@ -269,7 +273,10 @@ class _CastFrame:
     state: Optional[int]
     #: content verdict already decided early (IA hit)?
     content_decided: bool
-    text_parts: list[str]
+    #: Accumulated character data — allocated only when the target type
+    #: is simple (the only case with a value to check); complex-typed
+    #: frames carry None instead of an always-empty list.
+    text_parts: Optional[list[str]]
     position: int = 0
     child_index: int = 0
 
@@ -303,10 +310,29 @@ class StreamingCastValidator:
         )
         pair.warm()
 
-    def validate_text(self, text: str) -> ValidationReport:
+    def validate_text(
+        self, text: str, *, byte_skip: bool = False, trusted: bool = False
+    ) -> ValidationReport:
+        """Parse and cast-validate in one streaming pass.
+
+        ``byte_skip=True`` engages the skip-scan fast path: subsumed
+        subtrees are fast-forwarded at the *byte* level (never
+        tokenized) through a :class:`PullParser`; ``trusted=True``
+        additionally selects the byte-search skim, which assumes the
+        document is well-formed (the paper's source-validity premise).
+        The verdict is identical either way — only the work differs.
+        """
         from repro.errors import XMLSyntaxError
 
         try:
+            if byte_skip:
+                return self.validate_pull(
+                    PullParser(text, limits=self.limits,
+                               deadline=self.limits.deadline(),
+                               symbols=self.pair.symbols),
+                    interned=True,
+                    trusted=trusted,
+                )
             return self.validate_events(
                 iterparse(text, limits=self.limits,
                           deadline=self.limits.deadline(),
@@ -315,6 +341,65 @@ class StreamingCastValidator:
             )
         except XMLSyntaxError as error:
             return ValidationReport.failure(f"not well-formed: {error}")
+
+    def validate_file(
+        self, path: str, *, byte_skip: bool = False, trusted: bool = False
+    ) -> ValidationReport:
+        check_document_size(
+            os.path.getsize(path), self.limits, what=f"file {path!r}"
+        )
+        with open(path, encoding="utf-8") as handle:
+            return self.validate_text(
+                handle.read(), byte_skip=byte_skip, trusted=trusted
+            )
+
+    def validate_pull(
+        self,
+        pull: PullParser,
+        *,
+        interned: bool = False,
+        trusted: bool = False,
+    ) -> ValidationReport:
+        """Validate through a :class:`PullParser`, byte-skimming every
+        subsumed subtree instead of draining its events.
+
+        This is the validator→lexer channel of the skip-scan path: on a
+        subsumed ``(source, target)`` pair the subtree's verdict is
+        known statically, so :meth:`PullParser.skip_subtree` jumps the
+        *lexer* straight past it — no tokens, no events, no entity
+        decoding, no interning.  Disjoint pairs still fail immediately
+        (the stream is simply abandoned — the strongest skip of all).
+        Dewey paths and line/column reporting after a skim are
+        unaffected: parent bookkeeping happens before the subsumption
+        check, and the scanner's newline index always covers the whole
+        document.
+        """
+        stats = ValidationStats()
+        stack: list[_CastFrame] = []
+        for event in pull:
+            if isinstance(event, StartElement):
+                outcome = self._start(event, stack, stats, interned)
+                if outcome == "skip":
+                    stats.subtrees_skipped += 1
+                    stats.subtrees_byte_skipped += 1
+                    stats.bytes_skipped += pull.skip_subtree(
+                        trusted=trusted
+                    )
+                    continue
+                if outcome is not None:
+                    outcome.stats = stats
+                    return outcome
+            elif isinstance(event, Characters):
+                report = self._characters(event, stack, stats)
+                if report is not None:
+                    report.stats = stats
+                    return report
+            else:
+                report = self._end(stack, stats)
+                if report is not None:
+                    report.stats = stats
+                    return report
+        return ValidationReport.success(stats)
 
     def validate_events(
         self, events: Iterable[Event], *, interned: bool = False
@@ -448,7 +533,7 @@ class StreamingCastValidator:
                 # empty element is shared; require ε content.
                 state = self.pair.target_content(target_type).start
                 frame = _CastFrame(event.label, source_type, target_type,
-                                   state, False, [], position=position)
+                                   state, False, None, position=position)
                 frame.content_decided = False
             else:
                 decided = machine.always_accepts
@@ -460,7 +545,7 @@ class StreamingCastValidator:
                     target_type,
                     machine.c_immed.dfa.start,
                     decided,
-                    [],
+                    None,
                     position=position,
                 )
         stack.append(frame)

@@ -145,6 +145,84 @@ def target_schema_experiment2() -> Schema:
     )
 
 
+#: Figure 2 with *every* leaf simple type tightened by a facet the
+#: source lacks, so no reachable ``(τ, τ')`` pair is subsumed: strings
+#: gain ``maxLength``, decimals gain ``maxInclusive``, ``shipDate``
+#: becomes a bounded string, and ``quantity`` drops to ``< 100``.  The
+#: content models are unchanged, so nothing is disjoint either — a cast
+#: must check every value.  This is the worst case for skip-based
+#: optimizations (benchmarks use it to bound their overhead); the
+#: standard :func:`make_purchase_order` documents remain valid under it.
+_PO_XSD_ZERO_SUBSUMPTION = """
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType"/>
+  <xsd:element name="comment" type="BoundedString"/>
+  <xsd:simpleType name="BoundedString">
+    <xsd:restriction base="xsd:string">
+      <xsd:maxLength value="100"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="BoundedDecimal">
+    <xsd:restriction base="xsd:decimal">
+      <xsd:maxInclusive value="1000000"/>
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="POType">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="BoundedString"/>
+      <xsd:element name="street" type="BoundedString"/>
+      <xsd:element name="city" type="BoundedString"/>
+      <xsd:element name="state" type="BoundedString"/>
+      <xsd:element name="zip" type="BoundedDecimal"/>
+      <xsd:element name="country" type="BoundedString"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0"
+                   maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="BoundedString"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="100"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="BoundedDecimal"/>
+      <xsd:element name="shipDate" type="BoundedString" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+def source_schema_zero_subsumption() -> Schema:
+    """The Experiment-2 source (quantity < 200, unfaceted leaves)."""
+    return parse_xsd(
+        _po_xsd(billto_optional=False, quantity_max_exclusive=200),
+        name="po-zero-sub-source",
+    )
+
+
+def target_schema_zero_subsumption() -> Schema:
+    """Figure 2 with every leaf type strictly tightened — a pair
+    against :func:`source_schema_zero_subsumption` has an empty
+    ``R_sub`` over the reachable types, so a cast can skip nothing."""
+    return parse_xsd(_PO_XSD_ZERO_SUBSUMPTION, name="po-zero-sub-target")
+
+
 def _address(label: str, suffix: str) -> Element:
     return element(
         label,

@@ -92,6 +92,11 @@ def iterparse(
     if not scanner.starts_with("<"):
         raise scanner.error("expected the root element")
     yield from _element_events(scanner, keep_whitespace, symbols)
+    _trailing_misc(scanner)
+
+
+def _trailing_misc(scanner: Scanner) -> None:
+    """Consume comments/PIs/whitespace after the root element."""
     while not scanner.at_end():
         scanner.skip_whitespace()
         if scanner.at_end():
@@ -146,12 +151,26 @@ def _skip_doctype(scanner: Scanner) -> None:
 
 
 def _element_events(
-    scanner: Scanner, keep_whitespace: bool, symbols=None
+    scanner: Scanner,
+    keep_whitespace: bool,
+    symbols=None,
+    stack: Optional[list[str]] = None,
+    pull: "Optional[PullParser]" = None,
 ) -> Iterator[Event]:
-    """Iterative traversal: yields events for one element subtree."""
+    """Iterative traversal: yields events for one element subtree.
+
+    ``stack``/``pull`` wire the :class:`PullParser` skip channel in:
+    the open-element stack is shared with the pull handle (so a
+    mid-stream byte skim can pop the element it just fast-forwarded
+    past), ``pull._skippable`` is raised exactly while the generator is
+    suspended on a ``StartElement``, and a skim that closes the root
+    sets ``pull._root_done`` so the loop ends without ever seeing the
+    root's close tag.
+    """
     ids = symbols.ids if symbols is not None else None
     deadline = scanner.deadline
-    stack: list[str] = []
+    if stack is None:
+        stack = []
     text_parts: list[str] = []
 
     def flush_text() -> Iterator[Event]:
@@ -164,6 +183,8 @@ def _element_events(
         yield Characters(value)
 
     while True:
+        if pull is not None and pull._root_done:
+            return
         pos = scanner.pos
         hit = scanner.next_content_match()
         if hit is None:
@@ -200,13 +221,23 @@ def _element_events(
                 attributes if attributes is not None else _NO_ATTRIBUTES
             )
             if self_closing:
+                if pull is not None:
+                    pull._skippable = True
+                    pull._pending_self_close = True
                 yield StartElement(name, event_attrs, sym)
+                if pull is not None:
+                    pull._skippable = False
+                    pull._pending_self_close = False
                 yield EndElement(name)
                 if not stack:
                     return
             else:
                 stack.append(name)
+                if pull is not None:
+                    pull._skippable = True
                 yield StartElement(name, event_attrs, sym)
+                if pull is not None:
+                    pull._skippable = False
 
         elif kind == TOK_END:
             yield from flush_text()
@@ -276,6 +307,119 @@ def _replay_slow(scanner: Scanner, stack: list[str], flush_text):
         "master regex rejected markup the character-level scanner accepts "
         f"at offset {scanner.pos}"
     )
+
+
+class PullParser:
+    """A pull-style handle over :func:`iterparse` with a skip channel.
+
+    Iterating a ``PullParser`` yields exactly the events ``iterparse``
+    would (same guards, same diagnostics).  The extra capability is
+    :meth:`skip_subtree`: immediately after consuming a
+    :class:`StartElement`, the consumer may declare the whole subtree
+    uninteresting — the underlying :class:`~repro.xmltree.lexer.Scanner`
+    then *skims* straight to the matching end tag at the byte level
+    (:meth:`Scanner.skim_subtree`) without tokenizing, entity-decoding,
+    or interning anything in between, and iteration resumes after the
+    close tag.  No events are delivered for the skipped region, not
+    even the element's own :class:`EndElement`.
+
+    This is the validator→lexer control channel the streaming cast
+    uses: a subsumed ``(source, target)`` pair's subtree needs no
+    checks, so it need not be parsed either.
+
+    Attributes:
+        bytes_skipped: source characters fast-forwarded over so far.
+        subtrees_skipped: completed :meth:`skip_subtree` calls.
+    """
+
+    def __init__(
+        self,
+        text: str,
+        *,
+        keep_whitespace: bool = False,
+        limits: Optional[Limits] = None,
+        deadline: Optional[Deadline] = None,
+        symbols=None,
+    ):
+        limits = resolve_limits(limits)
+        check_document_size(len(text), limits)
+        if deadline is None:
+            deadline = limits.deadline()
+        self.scanner = Scanner(text, limits=limits, deadline=deadline)
+        self.bytes_skipped = 0
+        self.subtrees_skipped = 0
+        #: Open-element labels, shared with the event generator.
+        self._stack: list[str] = []
+        #: True exactly while the generator is suspended on a
+        #: StartElement — the only moment a skip is well-defined.
+        self._skippable = False
+        #: The suspended StartElement came from a self-closing tag (its
+        #: EndElement is already queued; there is nothing to skim).
+        self._pending_self_close = False
+        #: A skim consumed the root's close tag; the generator must not
+        #: scan for further element content.
+        self._root_done = False
+        self._keep_whitespace = keep_whitespace
+        self._symbols = symbols
+        self._events = self._run()
+
+    def __iter__(self) -> "PullParser":
+        return self
+
+    def __next__(self) -> Event:
+        return next(self._events)
+
+    def _run(self) -> Iterator[Event]:
+        scanner = self.scanner
+        _skip_prolog(scanner)
+        if not scanner.starts_with("<"):
+            raise scanner.error("expected the root element")
+        yield from _element_events(
+            scanner,
+            self._keep_whitespace,
+            self._symbols,
+            stack=self._stack,
+            pull=self,
+        )
+        _trailing_misc(scanner)
+
+    def skip_subtree(self, *, trusted: bool = False) -> int:
+        """Byte-skim past the element whose ``StartElement`` was just
+        consumed; returns the number of characters skipped.
+
+        Legal only immediately after ``next()``/iteration returned a
+        :class:`StartElement` (otherwise raises ``ValueError`` — there
+        is no well-defined subtree to skip).  For a self-closing tag
+        the pending :class:`EndElement` is silently drained and the
+        skip is trivially 0 bytes.  ``trusted=True`` selects the
+        byte-search scanner (see :meth:`Scanner.skim_subtree` for the
+        well-formedness contract it assumes).
+        """
+        if not self._skippable:
+            raise ValueError(
+                "skip_subtree() is only legal immediately after a "
+                "StartElement event"
+            )
+        if self._pending_self_close:
+            event = next(self._events)
+            assert isinstance(event, EndElement)
+            self.subtrees_skipped += 1
+            return 0
+        self._skippable = False
+        scanner = self.scanner
+        start = scanner.pos
+        end = scanner.skim_subtree(
+            label=self._stack[-1],
+            base_depth=len(self._stack),
+            trusted=trusted,
+        )
+        self._stack.pop()
+        if not self._stack:
+            self._root_done = True
+        skipped = end - start
+        self.bytes_skipped += skipped
+        self.subtrees_skipped += 1
+        return skipped
 
 
 def _attributes(scanner: Scanner, element_name: str) -> dict[str, str]:

@@ -42,7 +42,7 @@ from repro.errors import (
     UnterminatedEntityError,
     XMLSyntaxError,
 )
-from repro.guards import Deadline, Limits, resolve_limits
+from repro.guards import Deadline, Limits, check_depth, resolve_limits
 
 # Simplified XML 1.0 name characters.  Colons are accepted so qualified
 # names like ``xsd:element`` pass through verbatim (we do not expand
@@ -81,6 +81,30 @@ MASTER_RE = re.compile(
     r"|<!--(?P<comment>.*?)-->"
     r"|<!\[CDATA\[(?P<cdata>.*?)\]\]>"
     r"|<\?(?P<pi>.*?)\?>",
+    re.DOTALL,
+)
+
+#: The *skim* alternation: markup shapes only, no content capture.  The
+#: byte-level skip path (:meth:`Scanner.skim_subtree`) needs to know
+#: just four things about each construct — is it an open tag, a close
+#: tag, self-closing, or opaque (comment/CDATA/PI)?  Names are matched
+#: but never extracted (dispatch reads group *spans*, not strings), the
+#: attribute list is validated as a block without capturing pairs, and
+#: text between markup is jumped over with ``str.find('<')`` rather
+#: than matched at all.  The comment/CDATA/PI arms are the hardening
+#: against ``<``/``>`` inside those constructs: their lazy bodies
+#: consume to the real terminator, exactly like :data:`MASTER_RE`; a
+#: ``>`` inside an attribute value is covered by the quoted-value
+#: pattern in the open-tag arm.
+_SKIM_RE = re.compile(
+    r"<(?:"
+    r"(?P<skopen>" + NAME_PATTERN + r")(?:" + _ATTR_PATTERN +
+    r")*[ \t\r\n]*(?P<skself>/?)>"
+    r"|/(?P<skclose>" + NAME_PATTERN + r")[ \t\r\n]*>"
+    r"|!--(?P<skcomment>.*?)-->"
+    r"|!\[CDATA\[.*?\]\]>"
+    r"|\?.*?\?>"
+    r")",
     re.DOTALL,
 )
 
@@ -305,6 +329,172 @@ class Scanner:
                 attributes[name] = value
         self.pos = m.end()
         return m.group("sname"), attributes, m.group("selfclose") == "/"
+
+    # -- byte-level subtree skimming ----------------------------------------
+
+    def skim_subtree(
+        self,
+        pos: Optional[int] = None,
+        *,
+        label: str,
+        base_depth: int = 1,
+        trusted: bool = False,
+    ) -> int:
+        """Fast-forward past the rest of an open element's subtree.
+
+        The cursor (or ``pos``) must sit on the first content byte after
+        the start tag of ``label``, which is still open; on return the
+        cursor sits on the first byte after the matching ``</label>``
+        and the new position is also returned.  Nothing in between is
+        tokenized: no token or event objects are allocated, no entities
+        are decoded, no names are interned — the subtree's *verdict* is
+        already known (a subsumed pair in the cast), so only its extent
+        matters.
+
+        The default scanner runs :data:`_SKIM_RE` — markup shapes only —
+        over every tag, jumping across text with ``str.find('<')`` and
+        counting depth.  It is hardened against ``<``/``>`` inside
+        comments, CDATA sections, PIs, and quoted attribute values (each
+        has a dedicated arm or pattern), and it still rejects ``]]>`` in
+        character data, ``--`` in comments, malformed tags, truncation,
+        and a final close tag whose name differs from ``label``.  It
+        does **not** match up intermediate open/close tag *names* (that
+        would mean extracting them) and never sees entity references,
+        so a malformed-but-balanced subtree can skim cleanly where the
+        full lexer would raise — acceptable under the paper's premise
+        that the input is valid w.r.t. the source schema.
+
+        ``trusted=True`` asserts well-formedness outright and
+        byte-searches for ``</label`` / ``<label`` occurrences (with a
+        name-boundary check so ``<items`` never matches while skimming
+        ``<item>``), tracking same-name nesting only.  It assumes the
+        skimmed region hides no ``</label`` inside comments, CDATA,
+        PIs, or attribute values — the caller's contract.
+
+        Resource guards stay live in both modes, advanced per skimmed
+        tag rather than per byte: the wall-clock deadline ticks on every
+        tag, and ``Limits.max_tree_depth`` is checked as depth grows
+        (``base_depth`` is the absolute depth of the skim root; trusted
+        mode can only see — and therefore only guards — same-name
+        nesting).  The document byte budget was enforced before any
+        scanning began.
+        """
+        if pos is None:
+            pos = self.pos
+        if trusted:
+            return self._skim_trusted(pos, label, base_depth)
+        text = self.text
+        limits = self.limits
+        deadline = self.deadline
+        depth = 1
+        while True:
+            lt = text.find("<", pos)
+            if lt < 0:
+                self.pos = len(text)
+                raise self.error(f"unterminated element <{label}>", pos)
+            bad = text.find("]]>", pos, lt)
+            if bad >= 0:
+                raise self.error(
+                    "']]>' is not allowed in character data", bad
+                )
+            m = _SKIM_RE.match(text, lt)
+            if m is None:
+                raise self.error(
+                    "malformed markup inside byte-skipped subtree", lt
+                )
+            pos = m.end()
+            open_start = m.start("skopen")
+            if open_start >= 0:
+                if deadline is not None:
+                    deadline.tick()
+                if m.start("skself") == m.end("skself"):
+                    depth += 1
+                    check_depth(base_depth + depth - 1, limits)
+                continue
+            close_start = m.start("skclose")
+            if close_start >= 0:
+                if deadline is not None:
+                    deadline.tick()
+                depth -= 1
+                if depth == 0:
+                    close_end = m.end("skclose")
+                    if close_end - close_start != len(
+                        label
+                    ) or not text.startswith(label, close_start):
+                        raise self.error(
+                            "mismatched close tag "
+                            f"</{text[close_start:close_end]}> "
+                            f"for <{label}>",
+                            close_end,
+                        )
+                    self.pos = pos
+                    return pos
+                continue
+            body_start = m.start("skcomment")
+            if body_start >= 0 and text.find(
+                "--", body_start, m.end("skcomment")
+            ) >= 0:
+                raise self.error(
+                    "'--' is not allowed inside a comment", body_start
+                )
+            # CDATA / PI: opaque, fully consumed by their lazy arms.
+
+    def _skim_trusted(self, pos: int, label: str, base_depth: int) -> int:
+        """Byte-search skim: find ``</label``/``<label`` occurrences and
+        track same-name nesting.  See :meth:`skim_subtree`."""
+        text = self.text
+        n = len(text)
+        close_pat = "</" + label
+        open_pat = "<" + label
+        deadline = self.deadline
+        limits = self.limits
+        depth = 1
+        counted = pos  # opens below this offset are already counted
+        search = pos
+        while True:
+            close = text.find(close_pat, search)
+            if close < 0:
+                self.pos = n
+                raise self.error(f"unterminated element <{label}>", pos)
+            boundary = close + len(close_pat)
+            if boundary < n and text[boundary] in _NAME_CHARS:
+                # A longer name (e.g. </items> while skimming <item>).
+                search = boundary
+                continue
+            scan = counted
+            while True:
+                opened = text.find(open_pat, scan, close)
+                if opened < 0:
+                    break
+                after = opened + len(open_pat)
+                scan = after
+                if after < close and text[after] in _NAME_CHARS:
+                    continue  # longer name, e.g. <items>
+                gt = text.find(">", after)
+                if gt < 0:
+                    self.pos = n
+                    raise self.error(
+                        f"unterminated element <{label}>", opened
+                    )
+                if deadline is not None:
+                    deadline.tick()
+                if text[gt - 1] != "/":
+                    depth += 1
+                    check_depth(base_depth + depth - 1, limits)
+            counted = close
+            if deadline is not None:
+                deadline.tick()
+            depth -= 1
+            if depth == 0:
+                gt = text.find(">", boundary)
+                if gt < 0:
+                    self.pos = n
+                    raise self.error(
+                        f"unterminated element <{label}>", close
+                    )
+                self.pos = gt + 1
+                return self.pos
+            search = close + 1
 
     # -- entity decoding ----------------------------------------------------
 

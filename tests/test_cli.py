@@ -326,3 +326,35 @@ class TestStreamingFlags:
             "--streaming",
         ])
         assert code == 1
+
+    def test_stream_skip_cast(self, workspace, capsys):
+        code = main([
+            "cast", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--stream-skip", "--stats",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "byte-skipped subtrees" in out
+        assert "bytes skipped" in out
+
+    def test_stream_skip_cast_invalid(self, workspace):
+        code = main([
+            "cast", str(workspace / "po_nobill.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--stream-skip",
+        ])
+        assert code == 1
+
+    def test_stream_skip_directory(self, workspace, capsys):
+        code = main([
+            "cast", str(workspace),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--stream-skip",
+        ])
+        assert code == 1  # po_nobill.xml fails the required-billTo cast
+        out = capsys.readouterr().out
+        assert "1/2" in out or "valid" in out

@@ -9,6 +9,7 @@ all fall back to string lookups.
 """
 
 from repro.automata.compiled import SymbolTable
+from repro.core import streaming
 from repro.core.cast import CastValidator
 from repro.core.dtdcast import DTDCastValidator
 from repro.core.streaming import StreamingCastValidator, StreamingValidator
@@ -27,6 +28,26 @@ from repro.xmltree.serializer import serialize
 
 def po_text(items: int = 5) -> str:
     return serialize(make_purchase_order(items), indent=" ")
+
+
+class _BufferRecorder(list):
+    """Wraps a frame dataclass to record each frame's text buffer as
+    constructed (None for complex-typed frames, a list for simple)."""
+
+    def __init__(self, module, name):
+        super().__init__()
+        self.real = getattr(module, name)
+
+    def __call__(self, *args, **kwargs):
+        frame = self.real(*args, **kwargs)
+        self.append(frame.text_parts)
+        return frame
+
+
+def _record_frame_buffers(module, name) -> _BufferRecorder:
+    recorder = _BufferRecorder(module, name)
+    setattr(module, name, recorder)
+    return recorder
 
 
 class TestSymAssignment:
@@ -137,6 +158,42 @@ class TestVerdictIdentity:
         assert (dom.valid, stream.valid) == (True, True)
         plain_schema = source_schema_experiment2()
         assert StreamingValidator(plain_schema).validate_text(text).valid
+
+    def test_text_buffer_only_for_simple_frames_plain(self):
+        # Complex-typed frames must not allocate a text buffer: only
+        # simple-typed frames have a value to check, so the number of
+        # list-carrying frames equals simple_values_checked exactly.
+        schema = source_schema_experiment2()
+        buffers = _record_frame_buffers(streaming, "_Frame")
+        try:
+            report = StreamingValidator(schema).validate_text(po_text())
+        finally:
+            streaming._Frame = buffers.real
+        assert report.valid
+        lists = [parts for parts in buffers if parts is not None]
+        assert len(lists) == report.stats.simple_values_checked
+        nones = len(buffers) - len(lists)
+        assert nones == report.stats.elements_visited - len(lists)
+        assert nones > 0  # the corpus does have complex frames
+
+    def test_text_buffer_only_for_simple_frames_cast(self):
+        pair = SchemaPair(
+            source_schema_experiment2(), target_schema_experiment2()
+        )
+        buffers = _record_frame_buffers(streaming, "_CastFrame")
+        try:
+            validator = StreamingCastValidator(pair)
+            for byte_skip in (False, True):
+                buffers.clear()
+                report = validator.validate_text(
+                    po_text(), byte_skip=byte_skip
+                )
+                assert report.valid
+                lists = [p for p in buffers if p is not None]
+                assert len(lists) == report.stats.simple_values_checked
+                assert len(buffers) == report.stats.elements_visited
+        finally:
+            streaming._CastFrame = buffers.real
 
     def test_dtd_cast_interned_vs_not(self):
         dtd = (

@@ -1,0 +1,343 @@
+"""Byte-level subtree skimming: ``Scanner.skim_subtree`` + ``PullParser``.
+
+The skim is the lexer half of the skip-scan cast path: once a subtree's
+verdict is known (a subsumed pair), the scanner fast-forwards to the
+matching close tag without tokenizing anything in between.  Under test:
+
+* the skim lands exactly where the full event loop would (resume
+  parity with :func:`iterparse`);
+* markup hiding ``<``/``>``/``</label`` inside comments, CDATA
+  sections, processing instructions, and quoted attribute values does
+  not fool the depth counter (table-driven, adversarial corpus
+  included);
+* resource guards — nesting depth and the wall-clock deadline — keep
+  firing *inside* a skim;
+* the trusted byte-search variant: name-boundary handling and the
+  well-formedness contract it assumes;
+* the :class:`PullParser` skip channel: event parity, skip semantics
+  for ordinary/self-closing/root elements, misuse errors, counters.
+"""
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    DocumentTooDeepError,
+    XMLSyntaxError,
+)
+from repro.guards import Deadline, Limits, resolve_limits
+from repro.workloads.adversarial import (
+    deep_document,
+    garbage_tail_document,
+    truncated_document,
+    wide_document,
+)
+from repro.xmltree.events import (
+    Characters,
+    EndElement,
+    PullParser,
+    StartElement,
+    iterparse,
+)
+from repro.xmltree.lexer import Scanner
+
+
+def skim(
+    text: str,
+    label: str = "a",
+    *,
+    trusted: bool = False,
+    limits: Limits = None,
+    deadline: Deadline = None,
+) -> int:
+    """Skim the first ``<label …>`` element's subtree; return the end
+    offset (first character after the matching close tag)."""
+    scanner = Scanner(
+        text, limits=resolve_limits(limits), deadline=deadline
+    )
+    start = text.index(">", text.index("<" + label)) + 1
+    end = scanner.skim_subtree(
+        start, label=label, base_depth=1, trusted=trusted
+    )
+    assert end == scanner.pos
+    return end
+
+
+#: Subtree bodies that must skim cleanly in hardened (untrusted) mode —
+#: each hides markup delimiters where a naive depth counter would trip.
+HARDENED_BODIES = [
+    ("plain-children", "<b>x</b><c>y</c>"),
+    ("close-tag-in-comment", "<!-- a fake </a> close --><b/>"),
+    ("angles-in-comment", "<!-- 1 < 2 > 0 <b> -->"),
+    ("close-tag-in-cdata", "<![CDATA[</a> and < and > and <a>]]>"),
+    ("cdata-bracket-run", "<![CDATA[x]] ]]>"),
+    ("close-tag-in-pi", "<?pi data </a> <a> ?>"),
+    ("xmlish-pi", "<?target attr='</a>'?>"),
+    ("gt-in-attribute", '<b x="1 > 0">t</b>'),
+    ("close-tag-in-attribute", "<b x='</a>'/>"),
+    ("lt-is-illegal-but-gt-ok", '<b x="a>b" y=\'c>d\'/>'),
+    ("same-name-nesting", "<a><a>deep</a></a>mid<a/>"),
+    ("entity-references", "text &lt;&amp;&#60; more"),
+    ("self-closing-run", "<b/><b />ww<b/>"),
+    ("mixed-everything", "t1<b p='>'/><!--<x>--><![CDATA[<y>]]>t2"),
+]
+
+
+class TestHardenedSkim:
+    @pytest.mark.parametrize(
+        "body", [b for _, b in HARDENED_BODIES],
+        ids=[name for name, _ in HARDENED_BODIES],
+    )
+    def test_skims_to_the_matching_close(self, body):
+        text = f"<r><a>{body}</a><tail/></r>"
+        end = skim(text)
+        assert text[:end].endswith("</a>")
+        assert text[end:] == "<tail/></r>"
+
+    @pytest.mark.parametrize(
+        "body", [b for _, b in HARDENED_BODIES],
+        ids=[name for name, _ in HARDENED_BODIES],
+    )
+    def test_agrees_with_the_full_event_loop(self, body):
+        """Resume parity: events after a skip are exactly the events
+        the full parser yields after the skipped element closes."""
+        text = f"<r><a>{body}</a><tail>z</tail></r>"
+        full = list(iterparse(text))
+        # Index of the skimmed element's *matching* close (same-name
+        # nesting means it need not be the first EndElement("a")).
+        depth, close = 1, 2
+        while depth:
+            event = full[close]
+            if isinstance(event, StartElement):
+                depth += 1
+            elif isinstance(event, EndElement):
+                depth -= 1
+            close += 1
+        close -= 1
+        pull = PullParser(text)
+        assert next(pull) == StartElement("r", {})
+        assert isinstance(next(pull), StartElement)  # <a>
+        pull.skip_subtree()
+        assert list(pull) == full[close + 1:]
+
+
+class TestSkimErrors:
+    def test_truncated_subtree(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated element"):
+            skim("<a><b>never closed")
+
+    def test_truncated_adversarial_document(self):
+        # The corpus document is cut mid-tag; depending on where the
+        # cut lands the skim reports either diagnosis — both typed.
+        with pytest.raises(
+            XMLSyntaxError, match="unterminated|malformed"
+        ):
+            skim(truncated_document(depth=4))
+
+    def test_mismatched_final_close(self):
+        with pytest.raises(
+            XMLSyntaxError, match=r"mismatched close tag </x> for <a>"
+        ):
+            skim("<a><b></b></x>")
+
+    def test_cdata_end_in_character_data(self):
+        with pytest.raises(XMLSyntaxError, match=r"']]>' is not allowed"):
+            skim("<a>text ]]> more</a>")
+
+    def test_double_hyphen_in_comment(self):
+        with pytest.raises(XMLSyntaxError, match="'--' is not allowed"):
+            skim("<a><!-- bad -- comment --></a>")
+
+    def test_malformed_markup(self):
+        with pytest.raises(XMLSyntaxError, match="malformed markup"):
+            skim("<a><b <c></a>")
+
+    def test_errors_carry_line_and_column(self):
+        with pytest.raises(XMLSyntaxError, match=r"line 3, column \d+"):
+            skim("<a>\n<b/>\n</x>")
+
+
+class TestTrustedSkim:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "<b>x</b><c>y</c>",
+            "<a><a>deep</a></a>mid<a/>",
+            "text &lt;&amp; more",
+            "<a attr='v'>nested</a>",
+        ],
+    )
+    def test_agrees_with_hardened_mode(self, body):
+        text = f"<r><a>{body}</a><tail/></r>"
+        assert skim(text, trusted=True) == skim(text)
+
+    def test_name_boundary_longer_close(self):
+        # </items> must not close <item>.
+        text = "<item><items><item/></items></item>rest"
+        end = skim(text, "item", trusted=True)
+        assert text[end:] == "rest"
+        assert end == skim(text, "item")
+
+    def test_name_boundary_longer_open(self):
+        # <items …> must not count as a nested <item>.
+        text = "<item><items>x</items></item>rest"
+        end = skim(text, "item", trusted=True)
+        assert text[end:] == "rest"
+
+    def test_self_closing_same_name(self):
+        text = "<a><a/><a />t</a>rest"
+        end = skim(text, trusted=True)
+        assert text[end:] == "rest"
+
+    def test_unterminated(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated element"):
+            skim("<a><a>never", trusted=True)
+
+    def test_contract_violation_is_the_callers_problem(self):
+        # A same-name close hidden in a comment is exactly what trusted
+        # mode does NOT defend against (its documented contract): it
+        # stops at the hidden close while the hardened skim reads on to
+        # the real one.  This is why trusted is opt-in.
+        text = "<r><a><!-- </a> --><b/></a><tail/></r>"
+        hardened = skim(text)
+        assert text[hardened:] == "<tail/></r>"
+        assert skim(text, trusted=True) < hardened
+
+
+class TestGuardsDuringSkim:
+    @pytest.mark.parametrize("trusted", [False, True])
+    def test_depth_limit_fires_inside_a_skim(self, trusted):
+        text = deep_document(300)
+        with pytest.raises(DocumentTooDeepError):
+            skim(text, limits=Limits(max_tree_depth=50), trusted=trusted)
+
+    @pytest.mark.parametrize("trusted", [False, True])
+    def test_depth_limit_counts_from_base_depth(self, trusted):
+        # base_depth is the absolute depth of the skim root: a shallow
+        # subtree under a deep ancestor chain must still trip.
+        text = deep_document(30)
+        scanner = Scanner(text, limits=Limits(max_tree_depth=40))
+        with pytest.raises(DocumentTooDeepError):
+            scanner.skim_subtree(
+                text.index(">") + 1, label="a", base_depth=20,
+                trusted=trusted,
+            )
+
+    @pytest.mark.parametrize("trusted", [False, True])
+    def test_deadline_fires_inside_a_skim(self, trusted):
+        # >2x the tick stride of same-name tags, so even the trusted
+        # scanner (which only sees same-name nesting) reads the clock.
+        text = deep_document(2 * Deadline.stride + 10)
+        with pytest.raises(DeadlineExceededError):
+            skim(text, deadline=Deadline.start(1e-9), trusted=trusted)
+
+    def test_deadline_fires_on_flat_fanout(self):
+        text = wide_document(2 * Deadline.stride + 10)
+        with pytest.raises(DeadlineExceededError):
+            skim(text, deadline=Deadline.start(1e-9))
+
+
+class TestPullParser:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a><b>x</b><c/>tail</a>",
+            "<?xml version='1.0'?><!-- head --><a>t<b/></a><!-- tail -->",
+            "<a>one<![CDATA[<raw>]]>two</a>",
+        ],
+    )
+    def test_event_parity_with_iterparse(self, text):
+        assert list(PullParser(text)) == list(iterparse(text))
+
+    def test_skip_returns_byte_count(self):
+        text = "<r><a><b>x</b></a><c/></r>"
+        pull = PullParser(text)
+        next(pull)  # <r>
+        next(pull)  # <a>
+        subtree = "<b>x</b></a>"  # from after <a> through </a>
+        assert pull.skip_subtree() == len(subtree)
+        assert pull.bytes_skipped == len(subtree)
+        assert pull.subtrees_skipped == 1
+        assert list(pull) == [
+            StartElement("c", {}),
+            EndElement("c"),
+            EndElement("r"),
+        ]
+
+    def test_skip_self_closing_is_zero_bytes(self):
+        pull = PullParser("<r><a/><b>x</b></r>")
+        next(pull)  # <r>
+        next(pull)  # <a/>
+        assert pull.skip_subtree() == 0
+        assert pull.subtrees_skipped == 1
+        assert pull.bytes_skipped == 0
+        # The queued EndElement was drained: next event is <b>.
+        assert next(pull) == StartElement("b", {})
+
+    def test_skip_root_ends_iteration(self):
+        pull = PullParser("<a><b>x</b></a><!-- trailing -->")
+        next(pull)  # <a>
+        assert pull.skip_subtree() > 0
+        assert list(pull) == []
+
+    def test_skip_root_still_rejects_garbage_tail(self):
+        pull = PullParser(garbage_tail_document())
+        next(pull)
+        pull.skip_subtree()
+        with pytest.raises(XMLSyntaxError, match="after the root"):
+            list(pull)
+
+    def test_skip_before_any_event_is_an_error(self):
+        pull = PullParser("<a/>")
+        with pytest.raises(ValueError, match="StartElement"):
+            pull.skip_subtree()
+
+    def test_skip_after_end_element_is_an_error(self):
+        pull = PullParser("<a><b/></a>")
+        next(pull)  # <a>
+        next(pull)  # <b/> start
+        next(pull)  # </b>
+        with pytest.raises(ValueError, match="StartElement"):
+            pull.skip_subtree()
+
+    def test_skip_after_characters_is_an_error(self):
+        pull = PullParser("<a>text<b/></a>")
+        next(pull)
+        event = next(pull)
+        assert event == Characters("text")
+        with pytest.raises(ValueError, match="StartElement"):
+            pull.skip_subtree()
+
+    def test_double_skip_is_an_error(self):
+        pull = PullParser("<r><a>x</a><b>y</b></r>")
+        next(pull)
+        next(pull)
+        pull.skip_subtree()
+        with pytest.raises(ValueError, match="StartElement"):
+            pull.skip_subtree()
+
+    def test_skip_on_truncated_document_raises(self):
+        pull = PullParser(truncated_document(depth=4))
+        next(pull)  # outer <a>
+        with pytest.raises(
+            XMLSyntaxError, match="unterminated|malformed"
+        ):
+            pull.skip_subtree()
+
+    def test_interleaved_skips_and_events(self):
+        text = "<r><a>one</a><b>two</b><c>three</c></r>"
+        pull = PullParser(text)
+        events = []
+        for event in pull:
+            if isinstance(event, StartElement) and event.label in ("a", "c"):
+                pull.skip_subtree()
+                continue
+            events.append(event)
+        assert events == [
+            StartElement("r", {}),
+            StartElement("b", {}),
+            Characters("two"),
+            EndElement("b"),
+            EndElement("r"),
+        ]
+        assert pull.subtrees_skipped == 2
