@@ -72,8 +72,10 @@ def update_bench_json(
     """Merge benchmark records into the machine-readable results file.
 
     ``entries`` maps a benchmark name to its JSON-serializable record;
-    each record is stamped with ``source`` (the emitting script).  The
-    file layout is ``{"version": 1, "results": {name: record}}``;
+    each record is stamped with ``source`` (the emitting script) and
+    ``cpu_count`` (``os.cpu_count()`` of the measuring machine, so a
+    scaling number can never be read without its hardware context).
+    The file layout is ``{"version": 1, "results": {name: record}}``;
     records for benchmarks not named in ``entries`` are preserved, so
     several scripts can share one file.  A missing or corrupt file is
     started fresh, and the write goes through a temporary file plus
@@ -92,7 +94,11 @@ def update_bench_json(
     except (OSError, ValueError):
         pass
     for name, record in entries.items():
-        results[name] = {**record, "source": source}
+        results[name] = {
+            **record,
+            "source": source,
+            "cpu_count": os.cpu_count(),
+        }
     data = {"version": 1, "results": results}
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)

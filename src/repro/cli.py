@@ -5,13 +5,17 @@ driven without writing Python:
 
 * ``validate DOC --xsd SCHEMA | --dtd SCHEMA [--root LABEL]`` —
   plain validation of a document against one schema;
-* ``cast DOC --source A --target B [--stats] [--no-string-cast]`` —
-  schema cast validation (document promised valid under A); DOC may be
-  a directory, validated as a batch (``--jobs N`` parallelizes it);
-  ``--cache-dir DIR`` loads/saves the preprocessed pair artifact;
-  ``--memo``/``--no-memo`` and ``--memo-size N`` control the subtree
-  verdict memo (see ``docs/PERFORMANCE.md``); ``--profile-parse``
-  prints a parse/validate/total wall-clock phase breakdown;
+* ``cast DOC... --source A --target B [--stats] [--no-string-cast]`` —
+  schema cast validation (documents promised valid under A); each DOC
+  may be a directory, validated as a batch (``--jobs N`` parallelizes
+  it over a resident worker fleet, shared across all the directories of
+  one invocation; ``--recursive`` walks nested corpora);
+  ``--checkpoint PATH`` journals completed documents and ``--resume``
+  restores them after an interrupt; ``--cache-dir DIR`` loads/saves
+  the preprocessed pair artifact; ``--memo``/``--no-memo`` and
+  ``--memo-size N`` control the subtree verdict memo (see
+  ``docs/PERFORMANCE.md``); ``--profile-parse`` prints a
+  parse/validate/total wall-clock phase breakdown;
 * ``repair DOC --source A --target B [-o OUT]`` — correct the document
   to conform to the target schema and report the edits;
 * ``relations --source A --target B`` — print the precomputed
@@ -74,11 +78,16 @@ def _print_stats(stats) -> None:
 
 
 def _guard_limits(args: argparse.Namespace) -> tuple[Optional[Limits], str]:
-    """Validate the resource-guard knobs and fold them into ``Limits``.
+    """Validate every numeric knob and fold the guards into ``Limits``.
 
     Returns ``(limits, "")`` or ``(None, problem)`` — handlers print the
-    problem to stderr and exit 2, mirroring the ``--jobs`` validation.
+    problem to stderr and exit 2.  All knobs share one message shape
+    (``--flag must be >= N, got V``) and one validation point, so a
+    negative ``--retries`` on ``validate`` fails exactly like a
+    negative ``--memo-size`` on ``cast``.
     """
+    if getattr(args, "jobs", 1) < 1:
+        return None, f"--jobs must be >= 1, got {args.jobs}"
     if args.max_depth is not None and args.max_depth < 1:
         return None, f"--max-depth must be >= 1, got {args.max_depth}"
     if args.max_bytes is not None and args.max_bytes < 1:
@@ -87,6 +96,11 @@ def _guard_limits(args: argparse.Namespace) -> tuple[Optional[Limits], str]:
         return None, f"--timeout must be > 0, got {args.timeout:g}"
     if args.retries < 0:
         return None, f"--retries must be >= 0, got {args.retries}"
+    if getattr(args, "memo_size", 1) < 1:
+        return None, f"--memo-size must be >= 1, got {args.memo_size}"
+    chunk_size = getattr(args, "chunk_size", None)
+    if chunk_size is not None and chunk_size < 1:
+        return None, f"--chunk-size must be >= 1, got {chunk_size}"
     overrides: dict = {}
     if args.max_depth is not None:
         overrides["max_tree_depth"] = args.max_depth
@@ -182,95 +196,169 @@ def _load_pair(
 def cmd_cast(args: argparse.Namespace) -> int:
     import os
 
-    if args.jobs < 1:
-        print(f"error: --jobs must be >= 1, got {args.jobs}",
-              file=sys.stderr)
-        return 2
     limits, problem = _guard_limits(args)
     if limits is None:
         print(f"error: {problem}", file=sys.stderr)
         return 2
-    if args.memo_size < 1:
-        print(f"error: --memo-size must be >= 1, got {args.memo_size}",
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint PATH",
               file=sys.stderr)
         return 2
+    if args.checkpoint and (
+        len(args.document) != 1 or not os.path.isdir(args.document[0])
+    ):
+        print(
+            "error: --checkpoint requires a single directory input",
+            file=sys.stderr,
+        )
+        return 2
     memo_size = args.memo_size if args.memo else None
+    exit_code = 0
     with limits_scope(limits):
         pair, artifact_file = _load_pair(args)
-        if os.path.isdir(args.document):
-            from repro.core.batch import validate_directory
+        fleet = None
+        try:
+            directories = [
+                doc for doc in args.document if os.path.isdir(doc)
+            ]
+            if args.jobs > 1 and len(directories) > 1:
+                # One resident fleet serves every directory of this
+                # invocation: the pool and the transported pair are
+                # paid for once, not once per directory.
+                from repro.core.fleet import FleetConfig, WorkerFleet
 
-            batch = validate_directory(
-                pair,
-                args.document,
-                jobs=args.jobs,
-                use_string_cast=not args.no_string_cast,
-                collect_stats=args.stats or args.profile_parse,
-                limits=limits,
-                retries=args.retries,
-                memo_size=memo_size,
-                artifact_path=artifact_file,
-                stream_skip=args.stream_skip,
-            )
-            for result in batch.invalid:
-                detail = result.error or result.reason
-                print(f"{result.path}: INVALID — {detail}")
+                fleet = WorkerFleet(
+                    pair,
+                    args.jobs,
+                    config=FleetConfig(
+                        use_string_cast=not args.no_string_cast,
+                        collect_stats=args.stats or args.profile_parse,
+                        limits=limits,
+                        retries=args.retries,
+                        memo_size=memo_size,
+                        stream_skip=args.stream_skip,
+                    ),
+                    artifact_path=artifact_file,
+                    chunk_size=args.chunk_size,
+                )
+            for document in args.document:
+                if os.path.isdir(document):
+                    code = _cast_directory(
+                        args, pair, document, limits, memo_size,
+                        artifact_file, fleet,
+                    )
+                else:
+                    code = _cast_single(
+                        args, pair, document, limits, memo_size
+                    )
+                exit_code = max(exit_code, code)
+        finally:
+            if fleet is not None:
+                fleet.close()
+    return exit_code
+
+
+def _cast_directory(
+    args: argparse.Namespace,
+    pair: SchemaPair,
+    document: str,
+    limits: Limits,
+    memo_size: Optional[int],
+    artifact_file: Optional[str],
+    fleet,
+) -> int:
+    from repro.core.batch import validate_directory
+
+    batch = validate_directory(
+        pair,
+        document,
+        recursive=args.recursive,
+        jobs=args.jobs,
+        use_string_cast=not args.no_string_cast,
+        collect_stats=args.stats or args.profile_parse,
+        limits=limits,
+        retries=args.retries,
+        memo_size=memo_size,
+        artifact_path=artifact_file,
+        stream_skip=args.stream_skip,
+        fleet=fleet,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        chunk_size=args.chunk_size,
+    )
+    for result in batch.invalid:
+        detail = result.error or result.reason
+        print(f"{result.path}: INVALID — {detail}")
+    print(
+        f"{document}: {batch.valid_count}/{batch.total} valid "
+        f"(jobs={args.jobs})"
+    )
+    if batch.resumed:
+        print(
+            f"checkpoint: {batch.resumed} of {batch.total} restored from "
+            f"{args.checkpoint}, {batch.total - batch.resumed} validated "
+            "this run"
+        )
+    if args.stats and batch.stats is not None:
+        _print_stats(batch.stats)
+    elif batch.stats is not None and batch.stats.memo_lookups > 0:
+        print(
+            f"memo: {batch.stats.memo_hits} hits / "
+            f"{batch.stats.memo_lookups} lookups "
+            f"({batch.stats.memo_hit_rate:.1%} across all workers)"
+        )
+    if args.profile_parse and batch.stats is not None:
+        _print_phase_profile(batch.stats)
+    return 0 if batch.all_valid else 1
+
+
+def _cast_single(
+    args: argparse.Namespace,
+    pair: SchemaPair,
+    document: str,
+    limits: Limits,
+    memo_size: Optional[int],
+) -> int:
+    if args.streaming or args.stream_skip:
+        # The streaming validator never materializes subtrees, so
+        # there is nothing to fingerprint — no memo here.
+        from repro.core.streaming import StreamingCastValidator
+
+        if args.profile_parse:
             print(
-                f"{args.document}: {batch.valid_count}/{batch.total} valid "
-                f"(jobs={args.jobs})"
+                "note: --profile-parse has no phases to split in "
+                "streaming modes (parse and validation are fused)",
+                file=sys.stderr,
             )
-            if args.stats and batch.stats is not None:
-                _print_stats(batch.stats)
-            elif batch.stats is not None and batch.stats.memo_lookups > 0:
-                print(
-                    f"memo: {batch.stats.memo_hits} hits / "
-                    f"{batch.stats.memo_lookups} lookups "
-                    f"({batch.stats.memo_hit_rate:.1%} across all workers)"
-                )
-            if args.profile_parse and batch.stats is not None:
-                _print_phase_profile(batch.stats)
-            return 0 if batch.all_valid else 1
-        if args.streaming or args.stream_skip:
-            # The streaming validator never materializes subtrees, so
-            # there is nothing to fingerprint — no memo here.
-            from repro.core.streaming import StreamingCastValidator
+        with open(document, encoding="utf-8") as handle:
+            report = StreamingCastValidator(
+                pair, limits=limits
+            ).validate_text(
+                handle.read(), byte_skip=args.stream_skip
+            )
+    else:
+        from repro.core.memo import ValidationMemo
 
-            if args.profile_parse:
-                print(
-                    "note: --profile-parse has no phases to split in "
-                    "streaming modes (parse and validation are fused)",
-                    file=sys.stderr,
-                )
-            with open(args.document, encoding="utf-8") as handle:
-                report = StreamingCastValidator(
-                    pair, limits=limits
-                ).validate_text(
-                    handle.read(), byte_skip=args.stream_skip
-                )
-        else:
-            from repro.core.memo import ValidationMemo
-
-            memo = (
-                ValidationMemo(memo_size, limits=limits)
-                if memo_size is not None
-                else None
-            )
-            validator = CastValidator(
-                pair, use_string_cast=not args.no_string_cast,
-                limits=limits, memo=memo,
-            )
-            parse_start = time.perf_counter()
-            document = _parse_with_retries(args.document, limits,
-                                           args.retries,
-                                           symbols=pair.symbols)
-            parse_end = time.perf_counter()
-            report = validator.validate(document)
-            report.stats.parse_seconds += parse_end - parse_start
-            report.stats.validate_seconds += (
-                time.perf_counter() - parse_end
-            )
+        memo = (
+            ValidationMemo(memo_size, limits=limits)
+            if memo_size is not None
+            else None
+        )
+        validator = CastValidator(
+            pair, use_string_cast=not args.no_string_cast,
+            limits=limits, memo=memo,
+        )
+        parse_start = time.perf_counter()
+        tree = _parse_with_retries(document, limits, args.retries,
+                                   symbols=pair.symbols)
+        parse_end = time.perf_counter()
+        report = validator.validate(tree)
+        report.stats.parse_seconds += parse_end - parse_start
+        report.stats.validate_seconds += (
+            time.perf_counter() - parse_end
+        )
     verdict = "valid" if report.valid else f"INVALID — {report.reason}"
-    print(f"{args.document}: {verdict}")
+    print(f"{document}: {verdict}")
     if args.stats:
         _print_stats(report.stats)
     if args.profile_parse and not (args.streaming or args.stream_skip):
@@ -387,10 +475,20 @@ def build_parser() -> argparse.ArgumentParser:
         "cast",
         help="revalidate a source-valid document against a target schema",
     )
-    cast.add_argument("document")
+    cast.add_argument(
+        "document",
+        nargs="+",
+        help="document files and/or directories; directories run in "
+        "batch mode and share one worker fleet",
+    )
     cast.add_argument("--source", required=True)
     cast.add_argument("--target", required=True)
     cast.add_argument("--stats", action="store_true")
+    cast.add_argument(
+        "--recursive",
+        action="store_true",
+        help="descend into subdirectories when a directory is given",
+    )
     cast.add_argument(
         "--stream-skip",
         action="store_true",
@@ -419,6 +517,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for directory (batch) mode",
+    )
+    cast.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="documents per work-stealing chunk (default: sized from "
+        "the batch and worker count)",
+    )
+    cast.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="journal completed verdicts to PATH (single directory "
+        "input only); combine with --resume to continue an "
+        "interrupted run",
+    )
+    cast.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore verdicts from the --checkpoint journal and "
+        "validate only documents not yet recorded (or changed since)",
     )
     cast.add_argument(
         "--cache-dir",

@@ -1,52 +1,47 @@
-"""Parallel, fault-tolerant multi-document validation over one schema pair.
+"""Parallel, fault-tolerant, resumable multi-document validation.
 
 The paper's cost model splits validation into static preprocessing
 (schemas only) and a per-document runtime.  When many documents must be
 revalidated against the same pair — a feed migration, a corpus audit —
 the static part should be paid once and the per-document part should
-use every core.  :func:`validate_batch` does exactly that: one future
-per document is dispatched over a
-:class:`concurrent.futures.ProcessPoolExecutor`, and the warmed
-:class:`~repro.schema.registry.SchemaPair` reaches each worker by the
-cheapest route the platform offers —
+use every core.  This module is the *scheduler* over that idea; the
+mechanics live in :mod:`repro.core.fleet`:
 
-* **fork** start method: workers inherit the parent's compiled tables
-  copy-on-write through a module global; nothing is pickled at all;
-* **spawn** with a persisted artifact available: only the artifact
-  *path* rides the initializer, and the worker loads the pickle (with
-  the artifact layer's size check) lazily on its first document;
-* otherwise: the pair itself is pickled once per worker via the
-  initializer — still once per worker, never once per document.
+* :func:`validate_batch` dispatches path-chunks over a
+  :class:`~repro.core.fleet.WorkerFleet` — a resident worker pool with
+  work-stealing, bounded in-flight backpressure, and zero-copy
+  compiled-pair transport (the pair bytes materialize at most once per
+  fleet, regardless of worker count).  Pass your own ``fleet`` to reuse
+  one pool across many batch calls; otherwise a transient fleet is
+  created and retired inside the call.
+* A **checkpoint journal** (:mod:`repro.core.checkpoint`) makes runs
+  interruptible: with ``checkpoint=PATH`` every completed document is
+  appended as it finishes, and ``resume=True`` restores unchanged
+  documents' verdicts instead of revalidating them — the resumed
+  :class:`BatchResult` carries verdicts and merged stats identical to
+  an uninterrupted run.
+* :func:`validate_directory` discovers documents (optionally
+  ``recursive=True``) with deterministic ordering.
 
-Workers can also share one bounded verdict memo
-(:class:`~repro.core.memo.ValidationMemo`, ``memo_size``) across every
-document they validate, so structurally repeated subtrees in a corpus
-are skipped after their first appearance; per-worker memo counters are
-merged into the fleet-wide ``BatchResult.stats``.
-
-Fault tolerance is the batch contract:
+Fault tolerance is the batch contract, preserved on the new scheduler:
 
 * **No per-document exception is fatal.**  Workers catch every
   exception below ``KeyboardInterrupt``/``SystemExit`` — typed
   :class:`~repro.errors.ReproError` failures (syntax, resource limits,
   deadlines), ``OSError``, and unexpected bugs alike — and report them
   through :attr:`DocumentResult.error`.
-* **Worker death is survivable.**  If a worker process dies (segfault,
-  ``os._exit``, OOM kill), the broken pool is discarded and the
-  unfinished documents are retried in a *serial quarantine*: a fresh
-  single-worker pool runs one document at a time, so a crash names its
-  culprit exactly; that document is reported as crashed and the rest
-  continue on another fresh pool.
+* **Worker death is survivable.**  A dead worker costs only the
+  unreported documents of the chunk it had claimed; those re-run in a
+  serial quarantine that names the crashing document exactly, while a
+  replacement worker keeps the fleet at full width.
 * **Per-document budgets.**  ``limits`` (ambient defaults when
   ``None``) bound each document's size, depth, entity expansions, and —
-  via ``deadline_seconds`` — wall-clock time; one
-  :class:`~repro.guards.Deadline` token spans a document's parse and
-  validation.
+  via ``deadline_seconds`` — wall-clock time.
 * **Transient IO retries.**  ``retries`` re-runs a document whose
-  ``OSError`` may be transient (network filesystems, racing writers)
-  before recording the failure.
-* **Clean interrupts.**  ``KeyboardInterrupt`` cancels pending work and
-  abandons the pool without waiting on stuck workers.
+  ``OSError`` may be transient before recording the failure.
+* **Clean interrupts.**  ``KeyboardInterrupt`` kills the fleet without
+  waiting on stuck workers; with a checkpoint journal, everything
+  finished before the interrupt is already on disk.
 
 The parent merges worker :class:`ValidationStats` into one batch total
 that equals the sequential sum exactly — parallelism changes wall-clock
@@ -56,53 +51,31 @@ time, never verdicts or counters.
 from __future__ import annotations
 
 import fnmatch
-import multiprocessing
 import os
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence
 
-from repro.core.cast import CastValidator
-from repro.core.memo import ValidationMemo
+from repro.core.checkpoint import CheckpointJournal
+from repro.core.fleet import (
+    DocumentResult,
+    FaultHook,
+    FleetConfig,
+    WorkerFleet,
+    run_serial,
+)
 from repro.core.result import ValidationStats
-from repro.errors import BatchError, ReproError
+from repro.errors import BatchError
 from repro.guards import Limits, resolve_limits
 from repro.schema.registry import SchemaPair
-from repro.xmltree.parser import parse_file
 
-#: How a worker obtains its :class:`SchemaPair`.  ``("inline", pair)``
-#: pickles the pair through the pool initializer; ``("fork", None)``
-#: reads the parent's :data:`_FORK_PAIR` global inherited copy-on-write;
-#: ``("artifact", path)`` lazily loads the persisted artifact on the
-#: worker's first document.
-PairSource = tuple[str, object]
-
-#: A test-only hook run in the worker before each document; raising (or
-#: killing the process) simulates faults.  Must be a picklable top-level
-#: callable so it survives spawn-based platforms.
-FaultHook = Callable[[str], None]
-
-
-@dataclass(frozen=True)
-class DocumentResult:
-    """Outcome of validating one file of the batch."""
-
-    path: str
-    valid: bool
-    reason: str = ""
-    error: str = ""  # parse/IO/limit/crash text; empty when validated
-    #: Exception class name behind ``error`` (``"WorkerCrash"`` for a
-    #: died worker); empty when the document validated normally.
-    error_type: str = ""
-    #: 1 + the number of OSError retries this document consumed.
-    attempts: int = 1
-
-    @property
-    def ok(self) -> bool:
-        """Loaded and valid."""
-        return self.valid and not self.error
+__all__ = [
+    "BatchResult",
+    "DocumentResult",
+    "FaultHook",
+    "discover_documents",
+    "validate_batch",
+    "validate_directory",
+]
 
 
 @dataclass
@@ -111,6 +84,9 @@ class BatchResult:
 
     results: list[DocumentResult] = field(default_factory=list)
     stats: Optional[ValidationStats] = None
+    #: Documents whose verdicts were restored from a checkpoint journal
+    #: instead of being revalidated (0 outside resumed runs).
+    resumed: int = 0
 
     @property
     def total(self) -> int:
@@ -134,217 +110,14 @@ class BatchResult:
         return [result for result in self.results if result.error]
 
 
-#: Per-worker configuration, set once by :func:`_init_worker`.  Module
-#: globals (not closures) so the work function stays picklable.
-_WORKER_CONFIG: Optional[
-    tuple[PairSource, bool, bool, Limits, int, Optional[FaultHook],
-          Optional[int], bool]
-] = None
-
-#: The validator, built lazily by :func:`_ensure_validator` on the
-#: worker's first document — so an ``("artifact", path)`` source costs
-#: no load in workers that never receive work.  A
-#: :class:`~repro.core.streaming.StreamingCastValidator` in
-#: ``stream_skip`` mode, a :class:`CastValidator` otherwise.
-_WORKER_VALIDATOR = None
-
-#: Fork-inheritance channel: the parent parks the warmed pair here just
-#: before creating a fork-based pool, and workers read it back without
-#: any pickling.  Always ``None`` outside a fork-mode batch.
-_FORK_PAIR: Optional[SchemaPair] = None
-
-
-def _init_worker(
-    pair_source: PairSource,
-    use_string_cast: bool,
-    collect_stats: bool,
-    limits: Optional[Limits] = None,
-    retries: int = 0,
-    fault_hook: Optional[FaultHook] = None,
-    memo_size: Optional[int] = None,
-    stream_skip: bool = False,
-) -> None:
-    global _WORKER_CONFIG, _WORKER_VALIDATOR
-    _WORKER_CONFIG = (
-        pair_source,
-        use_string_cast,
-        collect_stats,
-        resolve_limits(limits),
-        retries,
-        fault_hook,
-        memo_size,
-        stream_skip,
-    )
-    _WORKER_VALIDATOR = None
-
-
-def _resolve_pair(pair_source: PairSource) -> SchemaPair:
-    kind, payload = pair_source
-    if kind == "inline":
-        assert isinstance(payload, SchemaPair)
-        return payload
-    if kind == "fork":
-        assert _FORK_PAIR is not None, "fork pair not parked by the parent"
-        return _FORK_PAIR
-    assert kind == "artifact"
-    from repro.schema import artifacts
-
-    # load() size-checks the file against the ambient byte budget
-    # before unpickling, so a corrupt or runaway artifact is an error
-    # report, not an OOM.
-    assert isinstance(payload, str)
-    return artifacts.load(payload)
-
-
-def _ensure_validator() -> tuple[object, bool, Limits, int,
-                                 Optional[FaultHook], bool]:
-    """The worker's validator, built on first use."""
-    global _WORKER_VALIDATOR
-    assert _WORKER_CONFIG is not None, "worker used before _init_worker"
-    (pair_source, use_string_cast, collect_stats, limits, retries,
-     fault_hook, memo_size, stream_skip) = _WORKER_CONFIG
-    if _WORKER_VALIDATOR is None:
-        if stream_skip:
-            # DOM-free skip-scan mode: subtrees are never materialized,
-            # so there is nothing to hash — the memo is ignored.
-            from repro.core.streaming import StreamingCastValidator
-
-            _WORKER_VALIDATOR = StreamingCastValidator(
-                _resolve_pair(pair_source), limits=limits
-            )
-        else:
-            memo = (
-                ValidationMemo(memo_size, limits=limits)
-                if memo_size is not None
-                else None
-            )
-            _WORKER_VALIDATOR = CastValidator(
-                _resolve_pair(pair_source),
-                use_string_cast=use_string_cast,
-                collect_stats=collect_stats,
-                limits=limits,
-                memo=memo,
-            )
-    return (_WORKER_VALIDATOR, collect_stats, limits, retries, fault_hook,
-            stream_skip)
-
-
-def _validate_one(path: str) -> tuple[DocumentResult, Optional[ValidationStats]]:
-    """Validate one document; never raises (KeyboardInterrupt and
-    SystemExit excepted — those are how a worker is told to die)."""
-    assert _WORKER_CONFIG is not None, "worker used before _init_worker"
-    retries = _WORKER_CONFIG[4]
-    attempt = 0
-    while True:
-        attempt += 1
-        try:
-            # Built here, not in the initializer, so an artifact-load
-            # failure is a per-document error report, not a pool crash.
-            (validator, collect_stats, limits, _retries, fault_hook,
-             stream_skip) = _ensure_validator()
-            if fault_hook is not None:
-                fault_hook(path)
-            if stream_skip:
-                # DOM-free skip-scan cast: one fused pass, timed as
-                # validation (there is no separate parse phase).  A
-                # syntax error propagates as ReproError, matching the
-                # DOM path's per-document error capture below.
-                from repro.guards import check_document_size
-                from repro.xmltree.events import PullParser
-
-                check_document_size(
-                    os.path.getsize(path), limits, what=f"file {path!r}"
-                )
-                with open(path, encoding="utf-8") as handle:
-                    text = handle.read()
-                run_start = time.perf_counter()
-                report = validator.validate_pull(
-                    PullParser(text, limits=limits,
-                               deadline=limits.deadline(),
-                               symbols=validator.pair.symbols),
-                    interned=True,
-                )
-                if collect_stats:
-                    report.stats.validate_seconds += (
-                        time.perf_counter() - run_start
-                    )
-            else:
-                # One deadline token spans parse + validation.  Parsing
-                # against the pair's symbol table interns element names
-                # at lex time, so validation runs on dense ids.
-                deadline = limits.deadline()
-                parse_start = time.perf_counter()
-                document = parse_file(
-                    path, limits=limits, deadline=deadline,
-                    symbols=validator.pair.symbols,
-                )
-                parse_end = time.perf_counter()
-                report = validator.validate(document, deadline=deadline)
-                if collect_stats:
-                    report.stats.parse_seconds += parse_end - parse_start
-                    report.stats.validate_seconds += (
-                        time.perf_counter() - parse_end
-                    )
-        except ReproError as error:
-            return (
-                DocumentResult(
-                    path,
-                    valid=False,
-                    error=str(error),
-                    error_type=type(error).__name__,
-                    attempts=attempt,
-                ),
-                None,
-            )
-        except OSError as error:
-            if attempt <= retries:
-                continue  # transient IO: bounded retry
-            return (
-                DocumentResult(
-                    path,
-                    valid=False,
-                    error=str(error),
-                    error_type=type(error).__name__,
-                    attempts=attempt,
-                ),
-                None,
-            )
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception as error:  # noqa: BLE001 — the batch contract
-            return (
-                DocumentResult(
-                    path,
-                    valid=False,
-                    error=f"unexpected {type(error).__name__}: {error}",
-                    error_type=type(error).__name__,
-                    attempts=attempt,
-                ),
-                None,
-            )
-        # In throughput mode with a memo, report.stats still carries the
-        # per-document memo deltas (and nothing else) — ship those so
-        # the parent can merge a fleet-wide hit rate.
-        stats = (
-            report.stats
-            if collect_stats or getattr(validator, "_memo", None) is not None
-            else None
-        )
-        return (
-            DocumentResult(
-                path, valid=report.valid, reason=report.reason,
-                attempts=attempt,
-            ),
-            stats,
-        )
-
-
-def _crash_result(path: str) -> DocumentResult:
+def _result_from_dict(data: dict) -> DocumentResult:
     return DocumentResult(
-        path,
-        valid=False,
-        error="worker process died while validating this document",
-        error_type="WorkerCrash",
+        path=data["path"],
+        valid=data["valid"],
+        reason=data.get("reason", ""),
+        error=data.get("error", ""),
+        error_type=data.get("error_type", ""),
+        attempts=data.get("attempts", 1),
     )
 
 
@@ -362,6 +135,10 @@ def validate_batch(
     memo_size: Optional[int] = None,
     artifact_path: Optional[str] = None,
     stream_skip: bool = False,
+    fleet: Optional[WorkerFleet] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    chunk_size: Optional[int] = None,
 ) -> BatchResult:
     """Validate many documents against one schema pair.
 
@@ -372,7 +149,7 @@ def validate_batch(
         jobs: worker processes; ``1`` validates sequentially in-process
             (no pool, the baseline the tests compare against — and the
             one mode without worker-crash isolation).
-        use_string_cast: as for :class:`CastValidator`.
+        use_string_cast: as for :class:`~repro.core.cast.CastValidator`.
         collect_stats: gather per-document counters and merge them into
             ``BatchResult.stats`` (the merged total equals the
             sequential sum).  Off by default — throughput mode.
@@ -382,23 +159,34 @@ def validate_batch(
             timeout, enforced cooperatively inside the worker.
         retries: extra attempts for documents failing with ``OSError``.
         fault_hook: test-only callable run before each document in the
-            worker (see :data:`FaultHook`).
+            worker (see :data:`~repro.core.fleet.FaultHook`).
         memo_size: when set, each worker shares one bounded
-            :class:`ValidationMemo` of this capacity across all its
-            documents; memo counters land in ``BatchResult.stats`` even
-            with ``collect_stats=False``.  ``None`` disables the memo.
+            :class:`~repro.core.memo.ValidationMemo` of this capacity
+            across all its documents (and, on a reused fleet, across
+            batch calls); memo counters land in ``BatchResult.stats``
+            even with ``collect_stats=False``.  ``None`` disables it.
         artifact_path: a persisted pair artifact
-            (:mod:`repro.schema.artifacts`) for this pair.  On
-            spawn-based platforms workers load it lazily instead of
-            unpickling the initializer-shipped pair; ignored where fork
-            inheritance is cheaper.
+            (:mod:`repro.schema.artifacts`) for this pair — the
+            transport fallback on platforms without shared memory;
+            ignored where fork inheritance or shared memory is cheaper.
         stream_skip: validate DOM-free through the streaming cast's
-            byte-level skip-scan path — subsumed subtrees are never
-            tokenized (see :mod:`repro.core.streaming`).  No tree is
-            built, so ``memo_size`` and ``use_string_cast`` are
-            ignored; parse and validation are one fused phase
-            (``validate_seconds`` carries the whole per-document
-            wall-clock when ``collect_stats`` is on).
+            byte-level skip-scan path (see :mod:`repro.core.streaming`).
+            No tree is built, so ``memo_size`` and ``use_string_cast``
+            are ignored; parse and validation are one fused phase.
+        fleet: a caller-owned resident :class:`WorkerFleet` to dispatch
+            on instead of creating a transient pool.  Its config must
+            match this call's arguments (:class:`BatchError` otherwise);
+            ``jobs`` is ignored in favour of the fleet's width.  The
+            fleet stays open for further calls — closing it is the
+            caller's job.
+        checkpoint: path of an append-only journal; every completed
+            document is recorded as it finishes.
+        resume: with ``checkpoint``, restore verdicts for documents
+            already journaled (and unchanged on disk per mtime+size)
+            instead of revalidating them.  Without ``resume`` the
+            journal is truncated and started fresh.
+        chunk_size: paths per work-stealing chunk (default: sized from
+            the corpus and worker count).
 
     A document that fails — bad syntax, resource limit, IO error, even
     a worker crash — is reported via ``error`` and counts as not ok; it
@@ -408,152 +196,115 @@ def validate_batch(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if memo_size is not None and memo_size < 1:
+        raise ValueError(f"memo_size must be >= 1, got {memo_size}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
     limits = resolve_limits(limits)
     if warm:
         pair.warm()
+    config = FleetConfig(
+        use_string_cast=use_string_cast,
+        collect_stats=collect_stats,
+        limits=limits,
+        retries=retries,
+        fault_hook=fault_hook,
+        memo_size=memo_size,
+        stream_skip=stream_skip,
+    )
+    if fleet is not None:
+        if fleet.config != config.resolved():
+            raise BatchError(
+                "the provided fleet was built with a different "
+                "configuration than this batch call; create the fleet "
+                "with matching arguments (or omit it)"
+            )
+        jobs = fleet.jobs
+
     merged = (
         ValidationStats()
         if collect_stats or memo_size is not None
         else None
     )
     outcomes: list[DocumentResult] = []
+    resumed_count = 0
+    journal: Optional[CheckpointJournal] = None
+    run_paths = list(paths)
 
-    def record(result: DocumentResult, stats: Optional[ValidationStats]) -> None:
-        outcomes.append(result)
-        if merged is not None and stats is not None:
-            merged.merge(stats)
+    try:
+        if checkpoint is not None:
+            from repro.schema.artifacts import pair_cache_key
 
-    def initargs(pair_source: PairSource) -> tuple:
-        return (pair_source, use_string_cast, collect_stats, limits,
-                retries, fault_hook, memo_size, stream_skip)
+            key = pair_cache_key(pair.source, pair.target)
+            if resume:
+                journal = CheckpointJournal.resume(checkpoint, key)
+            else:
+                journal = CheckpointJournal.fresh(checkpoint, key)
+            if journal.restored:
+                remaining = []
+                for path in run_paths:
+                    entry = journal.restored.get(path)
+                    if entry is not None and journal.entry_is_current(
+                        entry
+                    ):
+                        outcomes.append(_result_from_dict(entry["result"]))
+                        if merged is not None and entry.get("stats"):
+                            merged.merge(
+                                ValidationStats.from_dict(entry["stats"])
+                            )
+                        resumed_count += 1
+                    else:
+                        remaining.append(path)
+                run_paths = remaining
 
-    global _FORK_PAIR
-    if jobs == 1 or len(paths) <= 1:
-        _init_worker(*initargs(("inline", pair)))
-        try:
-            for path in paths:
-                record(*_validate_one(path))
-        finally:
-            global _WORKER_CONFIG, _WORKER_VALIDATOR
-            _WORKER_CONFIG = None
-            _WORKER_VALIDATOR = None
-    elif multiprocessing.get_start_method() == "fork":
-        # Workers are forked from this process, so the compiled tables
-        # travel copy-on-write through the module global: zero pickling
-        # for the pair, regardless of its size.
-        _FORK_PAIR = pair
-        try:
-            _run_pool(paths, jobs, initargs(("fork", None)), record)
-        finally:
-            _FORK_PAIR = None
-    elif artifact_path is not None:
-        # Spawn-based platform with a persisted artifact: ship the path
-        # (a few bytes) once, and let each worker load the pickle on its
-        # first document.
-        _run_pool(paths, jobs, initargs(("artifact", artifact_path)), record)
-    else:
-        _run_pool(paths, jobs, initargs(("inline", pair)), record)
+        def record(
+            result: DocumentResult, stats: Optional[ValidationStats]
+        ) -> None:
+            outcomes.append(result)
+            if merged is not None and stats is not None:
+                merged.merge(stats)
+            if journal is not None:
+                journal.record(
+                    result.path,
+                    asdict(result),
+                    stats.as_dict() if stats is not None else None,
+                )
+
+        if fleet is not None:
+            fleet.validate(run_paths, on_result=record)
+        elif jobs == 1 or len(run_paths) <= 1:
+            run_serial(pair, run_paths, config, record)
+        else:
+            with WorkerFleet(
+                pair,
+                jobs,
+                config=config,
+                artifact_path=artifact_path,
+                chunk_size=chunk_size,
+                warm=False,  # warmed above
+            ) as transient:
+                transient.validate(run_paths, on_result=record)
+    finally:
+        if journal is not None:
+            journal.close()
     outcomes.sort(key=lambda result: result.path)
-    return BatchResult(results=outcomes, stats=merged)
+    return BatchResult(results=outcomes, stats=merged, resumed=resumed_count)
 
 
-def _run_pool(
-    paths: Sequence[str],
-    jobs: int,
-    initargs: tuple,
-    record: Callable[[DocumentResult, Optional[ValidationStats]], None],
-) -> None:
-    """Dispatch ``paths`` over a worker pool, surviving worker death.
-
-    Phase 1 runs everything on a ``jobs``-wide pool.  If the pool
-    breaks, every unfinished document moves to phase 2: fresh
-    single-worker pools run one document at a time, so a repeat crash
-    identifies the culprit document exactly; it is recorded as crashed
-    and the survivors continue.
-    """
-    remaining = _parallel_phase(list(paths), jobs, initargs, record)
-    while remaining:
-        remaining = _quarantine_phase(remaining, initargs, record)
-
-
-def _parallel_phase(
-    paths: list[str],
-    jobs: int,
-    initargs: tuple,
-    record: Callable[[DocumentResult, Optional[ValidationStats]], None],
-) -> list[str]:
-    """Full-width dispatch; returns the paths lost to a pool break."""
-    executor = ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_worker, initargs=initargs
-    )
-    lost: list[str] = []
-    try:
-        futures = {
-            executor.submit(_validate_one, path): path for path in paths
-        }
-        for future in as_completed(futures):
-            path = futures[future]
-            try:
-                result, stats = future.result()
-            except BrokenProcessPool:
-                # Completed futures keep their results; only the ones
-                # in flight or still queued land here.
-                lost.append(path)
-                continue
-            record(result, stats)
-    finally:
-        # wait=False + cancel_futures: a KeyboardInterrupt (or the
-        # break handling above) must not block on stuck workers.
-        executor.shutdown(wait=False, cancel_futures=True)
-    return lost
-
-
-def _quarantine_phase(
-    paths: list[str],
-    initargs: tuple,
-    record: Callable[[DocumentResult, Optional[ValidationStats]], None],
-) -> list[str]:
-    """Serial re-run of crash-suspect paths on a fresh one-worker pool.
-
-    Exactly one document is in flight at a time, so a pool break blames
-    that document; it is recorded as crashed and the remainder is
-    returned for the caller to continue on yet another fresh pool.
-    """
-    executor = ProcessPoolExecutor(
-        max_workers=1, initializer=_init_worker, initargs=initargs
-    )
-    try:
-        for index, path in enumerate(paths):
-            future = executor.submit(_validate_one, path)
-            try:
-                result, stats = future.result()
-            except BrokenProcessPool:
-                record(_crash_result(path), None)
-                return paths[index + 1:]
-            record(result, stats)
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
-    return []
-
-
-def validate_directory(
-    pair: SchemaPair,
+def discover_documents(
     directory: str,
     *,
     pattern: str = "*.xml",
-    jobs: int = 1,
-    use_string_cast: bool = True,
-    collect_stats: bool = False,
-    limits: Optional[Limits] = None,
-    retries: int = 0,
-    memo_size: Optional[int] = None,
-    artifact_path: Optional[str] = None,
-    stream_skip: bool = False,
-) -> BatchResult:
-    """Validate every ``pattern`` file directly under ``directory``.
+    recursive: bool = False,
+) -> list[str]:
+    """Find ``pattern`` documents under ``directory``, deterministically.
 
     Non-file entries (subdirectories, sockets, dangling symlinks) are
-    skipped even when their names match.  A missing or unreadable
+    skipped even when their names match.  With ``recursive=True`` the
+    whole tree is walked; ordering is always the sorted full path, so
+    sharded corpora in nested directories enumerate identically on
+    every run — which is what makes checkpointed resumption and
+    jobs-independent result ordering possible.  A missing or unreadable
     ``directory`` raises :class:`~repro.errors.BatchError` — the batch
     cannot start, which is different from a per-document failure.
     """
@@ -562,17 +313,74 @@ def validate_directory(
             f"input directory {directory!r} does not exist or is not a "
             "directory"
         )
-    try:
-        names = os.listdir(directory)
-    except OSError as error:
-        raise BatchError(
-            f"cannot read input directory {directory!r}: {error}"
-        ) from error
-    paths = sorted(
-        path
-        for name in names
-        if fnmatch.fnmatch(name, pattern)
-        and os.path.isfile(path := os.path.join(directory, name))
+    paths: list[str] = []
+    if recursive:
+        try:
+            walker = os.walk(directory, onerror=_raise_walk_error)
+            for root, dirnames, filenames in walker:
+                dirnames.sort()
+                for name in filenames:
+                    if fnmatch.fnmatch(name, pattern):
+                        path = os.path.join(root, name)
+                        if os.path.isfile(path):
+                            paths.append(path)
+        except _WalkError as error:
+            raise BatchError(
+                f"cannot read input directory {error.args[0]!r}: "
+                f"{error.args[1]}"
+            ) from None
+    else:
+        try:
+            names = os.listdir(directory)
+        except OSError as error:
+            raise BatchError(
+                f"cannot read input directory {directory!r}: {error}"
+            ) from error
+        paths = [
+            path
+            for name in names
+            if fnmatch.fnmatch(name, pattern)
+            and os.path.isfile(path := os.path.join(directory, name))
+        ]
+    return sorted(paths)
+
+
+class _WalkError(Exception):
+    pass
+
+
+def _raise_walk_error(error: OSError) -> None:
+    raise _WalkError(getattr(error, "filename", "?"), error)
+
+
+def validate_directory(
+    pair: SchemaPair,
+    directory: str,
+    *,
+    pattern: str = "*.xml",
+    recursive: bool = False,
+    jobs: int = 1,
+    use_string_cast: bool = True,
+    collect_stats: bool = False,
+    limits: Optional[Limits] = None,
+    retries: int = 0,
+    memo_size: Optional[int] = None,
+    artifact_path: Optional[str] = None,
+    stream_skip: bool = False,
+    fleet: Optional[WorkerFleet] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    chunk_size: Optional[int] = None,
+) -> BatchResult:
+    """Validate every ``pattern`` file under ``directory``.
+
+    Discovery is :func:`discover_documents` (top-level by default,
+    ``recursive=True`` for nested corpora); everything else is
+    :func:`validate_batch`, including fleet reuse and checkpointed
+    resumption.
+    """
+    paths = discover_documents(
+        directory, pattern=pattern, recursive=recursive
     )
     return validate_batch(
         pair,
@@ -585,4 +393,8 @@ def validate_directory(
         memo_size=memo_size,
         artifact_path=artifact_path,
         stream_skip=stream_skip,
+        fleet=fleet,
+        checkpoint=checkpoint,
+        resume=resume,
+        chunk_size=chunk_size,
     )

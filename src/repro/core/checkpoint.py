@@ -1,0 +1,188 @@
+"""Append-only checkpoint journal for interruptible batch runs.
+
+A million-document run should survive a crash or a Ctrl-C without
+re-validating the documents it already finished.  The batch driver
+appends one JSON line per completed document to a journal as results
+arrive; a later run with ``resume=True`` restores every entry whose
+document is unchanged on disk (same ``st_mtime_ns`` and ``st_size``)
+and validates only what is left — producing a
+:class:`~repro.core.batch.BatchResult` whose verdicts and merged stats
+are identical to an uninterrupted run.
+
+File layout (JSONL)::
+
+    {"journal": "repro-batch-checkpoint", "version": 1, "pair_key": "…"}
+    {"path": "…", "mtime_ns": 123, "size": 456,
+     "result": {…DocumentResult fields…}, "stats": {…}|null}
+    …
+
+Design points:
+
+* **Keyed by path + mtime + size.**  A document edited after it was
+  validated never restores a stale verdict — it is simply revalidated
+  (and re-recorded; the *last* entry for a path wins on load).
+* **Pair-bound.**  The header carries the content-addressed key of the
+  schema pair (:func:`repro.schema.artifacts.pair_cache_key`); resuming
+  against a different pair raises :class:`~repro.errors.BatchError`
+  instead of silently reusing verdicts that no longer apply.
+* **Torn tails are tolerated.**  Each record is one flushed line; a
+  write interrupted mid-line leaves a trailing fragment that fails to
+  parse, and loading stops at the first such line — everything before
+  it is intact, everything after is revalidated.
+* **Generic payloads.**  The journal stores plain dicts; the batch
+  layer owns converting :class:`DocumentResult`/``ValidationStats`` to
+  and from them, so this module has no import cycle with the driver.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional, TextIO
+
+from repro.errors import BatchError
+
+JOURNAL_MAGIC = "repro-batch-checkpoint"
+JOURNAL_VERSION = 1
+
+
+def _stat_signature(path: str) -> tuple[Optional[int], Optional[int]]:
+    """``(mtime_ns, size)`` of ``path``, or ``(None, None)`` when the
+    file cannot be statted (it was deleted mid-run, say) — such an
+    entry is recorded but never restored."""
+    try:
+        status = os.stat(path)
+    except OSError:
+        return None, None
+    return status.st_mtime_ns, status.st_size
+
+
+class CheckpointJournal:
+    """One open journal: restored entries plus an append handle."""
+
+    def __init__(
+        self,
+        path: str,
+        pair_key: str,
+        handle: TextIO,
+        restored: dict[str, dict],
+    ):
+        self.path = path
+        self.pair_key = pair_key
+        self._handle = handle
+        #: ``document path -> journal entry`` for every intact record
+        #: found at open time (empty for a fresh journal).
+        self.restored = restored
+
+    # -- opening ------------------------------------------------------------
+
+    @classmethod
+    def fresh(cls, path: str, pair_key: str) -> "CheckpointJournal":
+        """Start (or truncate to) an empty journal."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        handle = open(path, "w", encoding="utf-8")
+        header = {
+            "journal": JOURNAL_MAGIC,
+            "version": JOURNAL_VERSION,
+            "pair_key": pair_key,
+        }
+        handle.write(json.dumps(header) + "\n")
+        handle.flush()
+        return cls(path, pair_key, handle, {})
+
+    @classmethod
+    def resume(cls, path: str, pair_key: str) -> "CheckpointJournal":
+        """Open an existing journal for resumption.
+
+        A missing file starts fresh (resuming a run that never began
+        is just a run).  A present file must carry a matching header;
+        a different pair key or an unrecognized layout raises
+        :class:`BatchError` — silently mixing verdicts from another
+        schema pair would be corruption, not resumption.
+        """
+        if not os.path.exists(path):
+            return cls.fresh(path, pair_key)
+        restored: dict[str, dict] = {}
+        with open(path, encoding="utf-8") as handle:
+            header_line = handle.readline()
+            try:
+                header = json.loads(header_line)
+            except ValueError:
+                raise BatchError(
+                    f"checkpoint {path!r} is not a batch journal "
+                    "(unreadable header)"
+                ) from None
+            if (
+                not isinstance(header, dict)
+                or header.get("journal") != JOURNAL_MAGIC
+            ):
+                raise BatchError(
+                    f"checkpoint {path!r} is not a batch journal"
+                )
+            if header.get("version") != JOURNAL_VERSION:
+                raise BatchError(
+                    f"checkpoint {path!r} was written by journal version "
+                    f"{header.get('version')!r}, expected {JOURNAL_VERSION}"
+                )
+            if header.get("pair_key") != pair_key:
+                raise BatchError(
+                    f"checkpoint {path!r} belongs to a different schema "
+                    "pair; delete it (or pass a different --checkpoint) "
+                    "to start over"
+                )
+            for line in handle:
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    break  # torn tail: everything after is revalidated
+                if not isinstance(entry, dict) or "path" not in entry:
+                    break
+                restored[entry["path"]] = entry
+        handle = open(path, "a", encoding="utf-8")
+        return cls(path, pair_key, handle, restored)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        doc_path: str,
+        result: dict,
+        stats: Optional[dict],
+    ) -> None:
+        """Append one completed document (flushed immediately, so an
+        interrupt right after never loses it)."""
+        mtime_ns, size = _stat_signature(doc_path)
+        entry = {
+            "path": doc_path,
+            "mtime_ns": mtime_ns,
+            "size": size,
+            "result": result,
+            "stats": stats,
+        }
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+
+    def entry_is_current(self, entry: dict) -> bool:
+        """Does this restored entry still describe the file on disk?"""
+        if entry.get("mtime_ns") is None:
+            return False
+        mtime_ns, size = _stat_signature(entry["path"])
+        return (
+            mtime_ns is not None
+            and mtime_ns == entry.get("mtime_ns")
+            and size == entry.get("size")
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

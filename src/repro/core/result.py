@@ -96,9 +96,22 @@ class ValidationStats:
             )
 
     def as_dict(self) -> dict[str, float]:
-        """Counters as a plain dict (benchmark JSON emission)."""
+        """Counters as a plain dict (benchmark JSON emission and the
+        batch checkpoint journal)."""
         return {counter.name: getattr(self, counter.name)
                 for counter in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ValidationStats":
+        """Rebuild stats persisted by :meth:`as_dict`.  Field-generic
+        and tolerant of unknown keys, so journals written before a
+        counter was added still load."""
+        stats = cls()
+        names = {counter.name for counter in fields(cls)}
+        for name, value in data.items():
+            if name in names:
+                setattr(stats, name, value)
+        return stats
 
 
 @dataclass

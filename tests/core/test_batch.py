@@ -121,3 +121,70 @@ class TestBatchSemantics:
     def test_empty_batch(self, exp2_fresh_pair):
         batch = validate_batch(exp2_fresh_pair, [], jobs=4)
         assert batch.total == 0 and batch.all_valid
+
+
+class TestRecursiveDiscovery:
+    @pytest.fixture()
+    def nested_corpus(self, tmp_path):
+        """Documents sharded over nested directories, plus decoys."""
+        layout = {
+            "top.xml": 1,
+            "shard_b/doc1.xml": 2,
+            "shard_b/doc2.xml": 3,
+            "shard_a/deep/leaf.xml": 2,
+        }
+        paths = []
+        for relative, items in layout.items():
+            path = tmp_path / relative
+            path.parent.mkdir(parents=True, exist_ok=True)
+            write_file(make_purchase_order(items), str(path))
+            paths.append(str(path))
+        (tmp_path / "shard_b" / "notes.txt").write_text("not xml")
+        (tmp_path / "dir.xml").mkdir()  # directory with a matching name
+        return sorted(paths)
+
+    def test_default_stays_top_level(
+        self, exp2_fresh_pair, nested_corpus, tmp_path
+    ):
+        batch = validate_directory(exp2_fresh_pair, str(tmp_path))
+        assert [os.path.basename(r.path) for r in batch.results] == [
+            "top.xml"
+        ]
+
+    def test_recursive_finds_the_whole_tree(
+        self, exp2_fresh_pair, nested_corpus, tmp_path
+    ):
+        batch = validate_directory(
+            exp2_fresh_pair, str(tmp_path), recursive=True
+        )
+        assert [r.path for r in batch.results] == nested_corpus
+        assert batch.all_valid
+
+    def test_recursive_ordering_is_deterministic(
+        self, exp2_fresh_pair, nested_corpus, tmp_path
+    ):
+        from repro.core.batch import discover_documents
+
+        first = discover_documents(str(tmp_path), recursive=True)
+        second = discover_documents(str(tmp_path), recursive=True)
+        assert first == second == nested_corpus
+
+    def test_recursive_respects_pattern(
+        self, exp2_fresh_pair, nested_corpus, tmp_path
+    ):
+        from repro.core.batch import discover_documents
+
+        assert discover_documents(
+            str(tmp_path), pattern="leaf.*", recursive=True
+        ) == [str(tmp_path / "shard_a" / "deep" / "leaf.xml")]
+
+    def test_recursive_parallel_matches_serial(
+        self, exp2_fresh_pair, nested_corpus, tmp_path
+    ):
+        serial = validate_directory(
+            exp2_fresh_pair, str(tmp_path), recursive=True, jobs=1
+        )
+        parallel = validate_directory(
+            exp2_fresh_pair, str(tmp_path), recursive=True, jobs=3
+        )
+        assert serial.results == parallel.results

@@ -21,6 +21,7 @@ from tests.faultinject import (
     crash_hook,
     expected_error,
     fuse_oserror_hook,
+    midchunk_crash_hook,
     write_corpus,
 )
 from repro.core.batch import validate_batch, validate_directory
@@ -142,6 +143,91 @@ class TestWorkerCrash:
         crashed = [n for n, r in results.items() if r.error_type == "WorkerCrash"]
         assert sorted(crashed) == ["aCRASH1.xml", "aCRASH2.xml"]
         for name in ("a0", "a2", "a4", "a5"):
+            assert results[f"{name}.xml"].ok, name
+
+
+class TestMidChunkCrash:
+    """A worker killed partway through a multi-document chunk."""
+
+    def test_chunk_tail_is_recovered_and_culprit_named(
+        self, exp2_fresh_pair, tmp_path
+    ):
+        # One worker, one chunk holding the whole batch, victim in the
+        # middle: the documents before it were already reported when
+        # the worker dies; the victim and the tail re-run in quarantine,
+        # which must blame exactly the victim.
+        names = ["m0", "m1", "mKILLMID", "m3", "m4", "m5"]
+        paths = write_valid_pos(tmp_path, names)
+        ordered = sorted(paths.values())
+        batch = validate_batch(
+            exp2_fresh_pair,
+            ordered,
+            jobs=2,
+            chunk_size=len(ordered),
+            fault_hook=midchunk_crash_hook,
+        )
+        results = by_name(batch)
+        assert results["mKILLMID.xml"].error_type == "WorkerCrash"
+        for name in names:
+            if "KILLMID" not in name:
+                assert results[f"{name}.xml"].ok, name
+        assert batch.total == len(names)
+
+    def test_midchunk_crash_keeps_checkpoint_consistent(
+        self, exp2_fresh_pair, tmp_path
+    ):
+        names = ["c0", "c1", "cKILLMID", "c3", "c4"]
+        paths = write_valid_pos(tmp_path, names)
+        ordered = sorted(paths.values())
+        journal = str(tmp_path / "crash.ckpt.jsonl")
+        batch = validate_batch(
+            exp2_fresh_pair,
+            ordered,
+            jobs=2,
+            chunk_size=len(ordered),
+            fault_hook=midchunk_crash_hook,
+            checkpoint=journal,
+        )
+        # Every document — including the crash verdict — is journaled
+        # exactly once, so a resume restores the whole batch verbatim
+        # without re-running the fault hook.
+        resumed = validate_batch(
+            exp2_fresh_pair,
+            ordered,
+            checkpoint=journal,
+            resume=True,
+        )
+        assert resumed.resumed == len(names)
+        assert resumed.results == batch.results
+
+
+class TestSpawnRouteFaults:
+    """The artifact/shared-memory transport path (workers that cannot
+    inherit the pair by fork) under the same fault contract."""
+
+    def test_spawn_fleet_validates_and_isolates_crash(
+        self, exp2_fresh_pair, tmp_path
+    ):
+        from repro.core.fleet import FleetConfig, WorkerFleet
+
+        names = ["s0", "s1", "sCRASH", "s3"]
+        paths = write_valid_pos(tmp_path, names)
+        with WorkerFleet(
+            exp2_fresh_pair,
+            2,
+            config=FleetConfig(fault_hook=crash_hook),
+            start_method="spawn",
+        ) as fleet:
+            batch = validate_batch(
+                exp2_fresh_pair,
+                sorted(paths.values()),
+                fleet=fleet,
+                fault_hook=crash_hook,
+            )
+            assert fleet.transport.pickle_count <= 1
+        results = by_name(batch)
+        assert results["sCRASH.xml"].error_type == "WorkerCrash"
+        for name in ("s0", "s1", "s3"):
             assert results[f"{name}.xml"].ok, name
 
 

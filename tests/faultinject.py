@@ -82,6 +82,19 @@ def crash_hook(path: str) -> None:
         os._exit(17)
 
 
+def midchunk_crash_hook(path: str) -> None:
+    """Kill the worker when it reaches the ``KILLMID`` document.
+
+    The same kill as :func:`crash_hook` under a distinct marker, meant
+    for chunk-recovery tests: force one big chunk
+    (``chunk_size=len(paths)``) and name the victim mid-list, so the
+    worker dies with some documents of its chunk already reported and
+    the rest never attempted — the scheduler must recover the tail and
+    blame exactly the victim."""
+    if "KILLMID" in os.path.basename(path):
+        os._exit(23)
+
+
 def bug_hook(path: str) -> None:
     """An unexpected (non-Repro, non-OS) exception inside the worker."""
     if "BUG" in os.path.basename(path):

@@ -1,6 +1,7 @@
 """Tests for the bench table renderer and result types."""
 
 import json
+import os
 
 from repro.bench.reporting import (
     render_csv,
@@ -102,15 +103,32 @@ class TestUpdateBenchJson:
         )
         data = json.loads(path.read_text())
         assert data["version"] == 1
-        assert data["results"]["a"] == {"speedup": 2.0, "source": "s.py"}
+        assert data["results"]["a"] == {
+            "speedup": 2.0,
+            "source": "s.py",
+            "cpu_count": os.cpu_count(),
+        }
+
+    def test_every_record_carries_cpu_count(self, tmp_path):
+        # Scaling numbers are meaningless without the core count they
+        # were measured on; the writer stamps it unconditionally.
+        path = tmp_path / "bench.json"
+        update_bench_json(
+            str(path), {"a": {"x": 1}, "b": {"y": 2}}, source="s.py"
+        )
+        results = json.loads(path.read_text())["results"]
+        for record in results.values():
+            assert record["cpu_count"] == os.cpu_count()
 
     def test_merge_preserves_other_records(self, tmp_path):
         path = tmp_path / "bench.json"
         update_bench_json(str(path), {"a": {"x": 1}}, source="one.py")
         update_bench_json(str(path), {"b": {"y": 2}}, source="two.py")
         results = json.loads(path.read_text())["results"]
-        assert results["a"] == {"x": 1, "source": "one.py"}
-        assert results["b"] == {"y": 2, "source": "two.py"}
+        assert results["a"]["x"] == 1
+        assert results["a"]["source"] == "one.py"
+        assert results["b"]["y"] == 2
+        assert results["b"]["source"] == "two.py"
 
     def test_rewrite_overwrites_same_record(self, tmp_path):
         path = tmp_path / "bench.json"

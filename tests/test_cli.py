@@ -358,3 +358,112 @@ class TestStreamingFlags:
         assert code == 1  # po_nobill.xml fails the required-billTo cast
         out = capsys.readouterr().out
         assert "1/2" in out or "valid" in out
+
+
+class TestFleetFlags:
+    """Multi-document input, recursion, checkpointing, and the uniform
+    usage-error shape for every numeric knob."""
+
+    @pytest.fixture()
+    def corpus(self, workspace):
+        batch_dir = workspace / "corpus"
+        nested = batch_dir / "inner"
+        nested.mkdir(parents=True)
+        for index in range(3):
+            write_file(
+                make_purchase_order(1 + index),
+                str(batch_dir / f"doc{index}.xml"),
+            )
+        write_file(make_purchase_order(2), str(nested / "deep.xml"))
+        return batch_dir
+
+    def cast(self, workspace, *extra):
+        return main([
+            "cast", *extra,
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+        ])
+
+    def test_recursive_directory(self, workspace, corpus, capsys):
+        assert self.cast(workspace, str(corpus), "--recursive") == 0
+        assert "4/4 valid" in capsys.readouterr().out
+
+    def test_non_recursive_stays_top_level(
+        self, workspace, corpus, capsys
+    ):
+        assert self.cast(workspace, str(corpus)) == 0
+        assert "3/3 valid" in capsys.readouterr().out
+
+    def test_multiple_documents_and_exit_code(
+        self, workspace, corpus, capsys
+    ):
+        # A failing document anywhere makes the whole invocation exit 1.
+        code = self.cast(
+            workspace, str(corpus), str(workspace / "po_nobill.xml")
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "3/3 valid" in out
+        assert "INVALID" in out
+
+    def test_multiple_directories_share_a_fleet(
+        self, workspace, corpus, capsys
+    ):
+        other = workspace / "other"
+        other.mkdir()
+        write_file(make_purchase_order(1), str(other / "one.xml"))
+        code = self.cast(
+            workspace, str(corpus), str(other), "--jobs", "2"
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3/3 valid (jobs=2)" in out
+        assert "1/1 valid (jobs=2)" in out
+
+    def test_checkpoint_then_resume(self, workspace, corpus, capsys):
+        journal = str(workspace / "run.ckpt.jsonl")
+        assert self.cast(
+            workspace, str(corpus), "--checkpoint", journal
+        ) == 0
+        capsys.readouterr()
+        assert self.cast(
+            workspace, str(corpus), "--checkpoint", journal, "--resume"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 of 3 restored" in out
+
+    def test_resume_requires_checkpoint(self, workspace, corpus, capsys):
+        assert self.cast(workspace, str(corpus), "--resume") == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_needs_single_directory(
+        self, workspace, corpus, capsys
+    ):
+        journal = str(workspace / "run.ckpt.jsonl")
+        other = workspace / "other2"
+        other.mkdir()
+        assert self.cast(
+            workspace, str(corpus), str(other), "--checkpoint", journal
+        ) == 2
+        assert "single directory" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "option,value",
+        [
+            ("--jobs", "0"),
+            ("--memo-size", "0"),
+            ("--chunk-size", "0"),
+            ("--retries", "-1"),
+            ("--timeout", "0"),
+        ],
+    )
+    def test_knobs_share_the_usage_error_shape(
+        self, workspace, capsys, option, value
+    ):
+        code = self.cast(
+            workspace, str(workspace / "po.xml"), option, value
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert f"error: {option} must be " in err
+        assert f"got {value}" in err
