@@ -20,7 +20,12 @@ driven without writing Python:
   to conform to the target schema and report the edits;
 * ``relations --source A --target B`` — print the precomputed
   ``R_sub`` / disjoint relations for a schema pair;
-* ``gen-po N [-o OUT]`` — generate an N-item paper purchase order.
+* ``gen-po N [-o OUT]`` — generate an N-item paper purchase order;
+* ``serve [--demo | --pair NAME=SRC:TGT ...]`` — run the validation
+  HTTP service (``POST /validate``, ``/cast``, ``/cast-with-mods``;
+  ``GET /healthz``, ``/readyz``, ``/pairs``) with admission control,
+  per-request deadlines, and graceful SIGTERM drain (see
+  ``docs/ROBUSTNESS.md``).
 
 Schema arguments ending in ``.dtd`` are parsed as DTDs, anything else
 as XSD.  ``validate`` and ``cast`` accept resource-guard knobs —
@@ -42,7 +47,7 @@ from repro.core.cast import CastValidator
 from repro.core.memo import DEFAULT_MEMO_SIZE
 from repro.core.repair import DocumentRepairer
 from repro.core.validator import validate_document
-from repro.errors import ReproError
+from repro.errors import ReproError, error_code
 from repro.guards import DEFAULT_LIMITS, Limits, limits_scope
 from repro.schema.dtd import parse_dtd
 from repro.schema.model import Schema
@@ -288,6 +293,8 @@ def _cast_directory(
     )
     for result in batch.invalid:
         detail = result.error or result.reason
+        if result.error and result.error_code:
+            detail = f"{detail} [{result.error_code}]"
         print(f"{result.path}: INVALID — {detail}")
     print(
         f"{document}: {batch.valid_count}/{batch.total} valid "
@@ -401,6 +408,110 @@ def cmd_relations(args: argparse.Namespace) -> int:
     for tau, tau_p in disjoint:
         print(f"  {tau} (+) {tau_p}")
     return 0
+
+
+def _parse_pair_flags(args: argparse.Namespace):
+    """``--pair NAME=SRC:TGT`` / ``--pair-timeout NAME=SECONDS`` →
+    ``PairSpec`` list; raises ``ValueError`` with a usage message."""
+    from repro.guards import Limits
+    from repro.service.registry import PairSpec
+
+    timeouts: dict[str, float] = {}
+    for flag in args.pair_timeout or []:
+        name, _, value = flag.partition("=")
+        if not name or not value:
+            raise ValueError(
+                f"--pair-timeout wants NAME=SECONDS, got {flag!r}"
+            )
+        try:
+            seconds = float(value)
+        except ValueError:
+            raise ValueError(
+                f"--pair-timeout {name}: unparseable seconds {value!r}"
+            ) from None
+        if seconds <= 0:
+            raise ValueError(
+                f"--pair-timeout {name}: seconds must be > 0, got {seconds:g}"
+            )
+        timeouts[name] = seconds
+
+    def limits_for(name: str):
+        if name in timeouts:
+            return DEFAULT_LIMITS.with_overrides(
+                deadline_seconds=timeouts.pop(name)
+            )
+        return None
+
+    specs = []
+    if args.demo:
+        from repro.service.registry import demo_specs
+
+        for spec in demo_specs():
+            specs.append(
+                PairSpec(spec.name, spec.source, spec.target,
+                         limits=limits_for(spec.name))
+            )
+    for flag in args.pair or []:
+        name, _, paths = flag.partition("=")
+        source, _, target = paths.partition(":")
+        if not name or not source or not target:
+            raise ValueError(
+                f"--pair wants NAME=SOURCE:TARGET, got {flag!r}"
+            )
+        specs.append(
+            PairSpec(name, source, target, limits=limits_for(name))
+        )
+    if timeouts:
+        raise ValueError(
+            "--pair-timeout names unregistered pairs: "
+            + ", ".join(sorted(timeouts))
+        )
+    if not specs:
+        raise ValueError("serve needs --demo and/or at least one --pair")
+    return specs
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.registry import ServiceRegistry
+    from repro.service.server import ServiceConfig, ValidationService
+
+    try:
+        specs = _parse_pair_flags(args)
+        config = ServiceConfig(
+            max_concurrent=args.max_concurrent,
+            max_queue=args.queue_depth,
+            queue_timeout=args.queue_timeout,
+            request_timeout=args.request_timeout,
+            rate=args.rate,
+            burst=args.burst,
+            drain_grace=args.drain_grace,
+            max_body_bytes=args.max_bytes,
+            log_requests=args.log_requests,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    registry = ServiceRegistry(
+        specs,
+        cache_dir=args.cache_dir,
+        default_limits=DEFAULT_LIMITS,
+    )
+    service = ValidationService(registry, config)
+    service.install_signal_handlers()
+    host, port = service.start(args.host, args.port)
+    # Parsed by the CI smoke and the bench harness — keep the shape.
+    print(f"listening on http://{host}:{port}", flush=True)
+    if not service.wait_ready(timeout=args.warm_timeout):
+        detail = service.warm_error or "warm-up timed out"
+        print(f"error: service failed to warm: {detail}", file=sys.stderr)
+        service.close()
+        return 2
+    print(
+        f"ready: {len(registry)} pairs warmed in "
+        f"{registry.warm_seconds:.3f}s",
+        flush=True,
+    )
+    return service.run_forever()
 
 
 def cmd_gen_po(args: argparse.Namespace) -> int:
@@ -598,6 +709,100 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("-o", "--output")
     gen.set_defaults(handler=cmd_gen_po)
 
+    serve = commands.add_parser(
+        "serve", help="run the validation HTTP service"
+    )
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="register the paper's two purchase-order pairs",
+    )
+    serve.add_argument(
+        "--pair",
+        action="append",
+        metavar="NAME=SOURCE:TARGET",
+        help="register a schema pair from files (repeatable)",
+    )
+    serve.add_argument(
+        "--pair-timeout",
+        action="append",
+        metavar="NAME=SECONDS",
+        help="per-pair request deadline override (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8760,
+        help="listen port (0 picks an ephemeral port, printed at boot)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="directory for persisted schema-pair artifacts "
+        "(warm-up loads from here when possible)",
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=8,
+        help="requests validating concurrently",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot before shedding",
+    )
+    serve.add_argument(
+        "--queue-timeout",
+        type=float,
+        default=1.0,
+        help="longest a queued request waits before it is shed (seconds)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request wall-clock budget from admission to response",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-client requests/second (default: no rate limit)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=10,
+        help="per-client burst allowance when --rate is set",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        help="seconds in-flight requests get to finish after SIGTERM",
+    )
+    serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="request-body byte bound, rejected from Content-Length "
+        "before any read (default: the document byte limit)",
+    )
+    serve.add_argument(
+        "--warm-timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for schema warm-up before giving up",
+    )
+    serve.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="log one line per request to stderr",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
     return parser
 
 
@@ -606,11 +811,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
+    except (ReproError, OSError) as error:
+        # Same diagnostic vocabulary as the HTTP service: the human
+        # message plus the stable machine code in brackets.
+        print(f"error: {error} [{error_code(error)}]", file=sys.stderr)
         return 2
 
 

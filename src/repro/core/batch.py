@@ -64,7 +64,7 @@ from repro.core.fleet import (
     run_serial,
 )
 from repro.core.result import ValidationStats
-from repro.errors import BatchError
+from repro.errors import BatchError, code_for_error_type
 from repro.guards import Limits, resolve_limits
 from repro.schema.registry import SchemaPair
 
@@ -111,12 +111,16 @@ class BatchResult:
 
 
 def _result_from_dict(data: dict) -> DocumentResult:
+    error_type = data.get("error_type", "")
     return DocumentResult(
         path=data["path"],
         valid=data["valid"],
         reason=data.get("reason", ""),
         error=data.get("error", ""),
-        error_type=data.get("error_type", ""),
+        error_type=error_type,
+        # Journals written before the code field existed carry only the
+        # class name; heal them through the taxonomy lookup.
+        error_code=data.get("error_code") or code_for_error_type(error_type),
         attempts=data.get("attempts", 1),
     )
 

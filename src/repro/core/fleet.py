@@ -60,7 +60,12 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.memo import ValidationMemo
 from repro.core.result import ValidationStats
-from repro.errors import BatchError, ReproError
+from repro.errors import (
+    WORKER_CRASH_CODE,
+    BatchError,
+    ReproError,
+    error_code,
+)
 from repro.guards import Limits, resolve_limits
 from repro.schema.registry import SchemaPair
 
@@ -85,6 +90,10 @@ class DocumentResult:
     #: Exception class name behind ``error`` (``"WorkerCrash"`` for a
     #: died worker); empty when the document validated normally.
     error_type: str = ""
+    #: Stable machine code for ``error`` (:func:`repro.errors.error_code`
+    #: vocabulary, shared with the CLI and the HTTP service); empty when
+    #: the document validated normally.
+    error_code: str = ""
     #: 1 + the number of OSError retries this document consumed.
     attempts: int = 1
 
@@ -394,6 +403,7 @@ def _validate_document(
                     valid=False,
                     error=str(error),
                     error_type=type(error).__name__,
+                    error_code=error_code(error),
                     attempts=attempt,
                 ),
                 None,
@@ -407,6 +417,7 @@ def _validate_document(
                     valid=False,
                     error=str(error),
                     error_type=type(error).__name__,
+                    error_code=error_code(error),
                     attempts=attempt,
                 ),
                 None,
@@ -420,6 +431,7 @@ def _validate_document(
                     valid=False,
                     error=f"unexpected {type(error).__name__}: {error}",
                     error_type=type(error).__name__,
+                    error_code=error_code(error),
                     attempts=attempt,
                 ),
                 None,
@@ -497,6 +509,7 @@ def _crash_result(path: str) -> DocumentResult:
         valid=False,
         error="worker process died while validating this document",
         error_type="WorkerCrash",
+        error_code=WORKER_CRASH_CODE,
     )
 
 

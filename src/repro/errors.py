@@ -3,13 +3,41 @@
 Every error raised by this package derives from :class:`ReproError`, so
 callers can catch one base class.  Parsing errors carry source positions;
 schema errors carry the offending type or label where known.
+
+Every class also carries a stable, machine-readable :attr:`ReproError.code`
+(kebab-case, never renamed once released): the one diagnostic vocabulary
+shared by the CLI, the batch driver's ``DocumentResult``, checkpoint
+journals, and the HTTP service (:mod:`repro.service`).  ``to_dict()``
+renders any error into that shared wire shape.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Attributes:
+        code: stable machine-readable identifier of the error class.
+            Unlike the class name it is part of the wire contract —
+            service responses, ``DocumentResult.error_code``, and
+            checkpoint journals all carry it — so codes are append-only:
+            a released code is never renamed or reused.
+    """
+
+    code = "repro-error"
+
+    def to_dict(self) -> dict:
+        """The shared diagnostic shape: ``code`` + ``message`` plus any
+        position attributes the error carries (line/column for syntax
+        errors, Dewey ``path`` for validation errors, ``position`` for
+        content-model offsets).  Zero/empty positions are omitted."""
+        data: dict = {"code": self.code, "message": str(self)}
+        for attribute in ("line", "column", "path", "position", "symbol"):
+            value = getattr(self, attribute, None)
+            if value:
+                data[attribute] = value
+        return data
 
 
 class XMLSyntaxError(ReproError):
@@ -19,6 +47,8 @@ class XMLSyntaxError(ReproError):
         line: 1-based line of the offending construct.
         column: 1-based column of the offending construct.
     """
+
+    code = "xml-syntax"
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
@@ -35,9 +65,13 @@ class UnterminatedEntityError(XMLSyntaxError):
     lexer never silently scans past the token boundary looking for a
     terminator."""
 
+    code = "xml-unterminated-entity"
+
 
 class ContentModelSyntaxError(ReproError):
     """Malformed content-model expression (DTD `(a,(b|c)*)` syntax)."""
+
+    code = "content-model-syntax"
 
     def __init__(self, message: str, position: int = -1):
         self.position = position
@@ -50,6 +84,8 @@ class AmbiguousContentModelError(ReproError):
     """Content model violates one-unambiguity (XSD Unique Particle
     Attribution).  Carries the symbol that two particles compete for."""
 
+    code = "content-model-ambiguous"
+
     def __init__(self, message: str, symbol: str = ""):
         self.symbol = symbol
         super().__init__(message)
@@ -59,23 +95,33 @@ class SchemaError(ReproError):
     """Structurally invalid schema definition (dangling type reference,
     non-productive type where one is required, duplicate declaration...)."""
 
+    code = "schema-invalid"
+
 
 class DTDSyntaxError(SchemaError):
     """Malformed DTD source text."""
 
+    code = "dtd-syntax"
+
 
 class XSDSyntaxError(SchemaError):
     """Malformed or unsupported XML Schema source document."""
+
+    code = "xsd-syntax"
 
 
 class UnsupportedFeatureError(SchemaError):
     """A schema uses an XSD feature outside the supported subset (the
     paper's abstraction): wildcards, substitution groups, mixed content."""
 
+    code = "schema-unsupported-feature"
+
 
 class ValidationError(ReproError):
     """Raised by validators in ``raise_on_invalid`` mode; carries the Dewey
     path of the node at which validation failed."""
+
+    code = "validation-failed"
 
     def __init__(self, message: str, path: str = ""):
         self.path = path
@@ -87,11 +133,15 @@ class ValidationError(ReproError):
 class UpdateError(ReproError):
     """Invalid tree/string update operation (bad target, deleted node...)."""
 
+    code = "update-invalid"
+
 
 class BatchError(ReproError):
     """A batch run could not even start (missing or unreadable input
     directory).  Per-document failures never raise this; they are
     reported via ``DocumentResult.error``."""
+
+    code = "batch-unstartable"
 
 
 class ResourceLimitError(ReproError):
@@ -105,18 +155,26 @@ class ResourceLimitError(ReproError):
     ``RecursionError``, or memory blowup.
     """
 
+    code = "resource-limit"
+
 
 class DocumentTooLargeError(ResourceLimitError):
     """Document byte size exceeds ``Limits.max_document_bytes``."""
+
+    code = "doc-too-large"
 
 
 class DocumentTooDeepError(ResourceLimitError):
     """Element nesting exceeds ``Limits.max_tree_depth``."""
 
+    code = "doc-too-deep"
+
 
 class EntityExpansionError(ResourceLimitError):
     """Entity/character-reference expansions exceed
     ``Limits.max_entity_expansions`` (billion-laughs defence)."""
+
+    code = "entity-expansion"
 
 
 class StateBudgetExceededError(ResourceLimitError, ValueError):
@@ -127,7 +185,70 @@ class StateBudgetExceededError(ResourceLimitError, ValueError):
     ``normalize`` position-cap contract.
     """
 
+    code = "state-budget-exceeded"
+
 
 class DeadlineExceededError(ResourceLimitError):
     """Per-document wall-clock deadline (``Limits.deadline_seconds``)
     expired; raised by the amortized :class:`repro.guards.Deadline`."""
+
+    code = "deadline-exceeded"
+
+
+# -- code lookup -----------------------------------------------------------------
+
+#: Codes for failure modes that are not ``ReproError`` classes but still
+#: surface in ``DocumentResult``/service diagnostics: a worker process
+#: dying mid-document, filesystem trouble, and the catch-all for bugs.
+WORKER_CRASH_CODE = "worker-crash"
+IO_ERROR_CODE = "io-error"
+INTERNAL_CODE = "internal"
+
+
+def error_code(error: BaseException) -> str:
+    """The stable machine code for any exception instance.
+
+    ``ReproError`` subclasses carry their own :attr:`~ReproError.code`;
+    ``OSError`` collapses to :data:`IO_ERROR_CODE`; anything else (an
+    unexpected bug) is :data:`INTERNAL_CODE` — so every failure path has
+    *some* stable code and no caller ever emits a bare class name.
+    """
+    code = getattr(error, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    if isinstance(error, OSError):
+        return IO_ERROR_CODE
+    return INTERNAL_CODE
+
+
+def _walk_taxonomy(cls: type) -> list[type]:
+    found = [cls]
+    for subclass in cls.__subclasses__():
+        found.extend(_walk_taxonomy(subclass))
+    return found
+
+
+def code_for_error_type(type_name: str) -> str:
+    """Map an exception class *name* back to its stable code.
+
+    Used to heal records that predate ``error_code`` — checkpoint
+    journal entries and ``DocumentResult``s that stored only the class
+    name in ``error_type``.  Walks every currently imported
+    ``ReproError`` subclass (so service-layer errors resolve too once
+    :mod:`repro.service` is loaded); unknown names degrade to
+    :data:`IO_ERROR_CODE`/:data:`INTERNAL_CODE`, never raise.
+    """
+    if not type_name:
+        return ""
+    if type_name == "WorkerCrash":
+        return WORKER_CRASH_CODE
+    for cls in _walk_taxonomy(ReproError):
+        if cls.__name__ == type_name:
+            return cls.code
+    if type_name in (
+        "OSError", "IOError", "FileNotFoundError", "PermissionError",
+        "IsADirectoryError", "NotADirectoryError", "InterruptedError",
+        "TimeoutError", "BlockingIOError", "ConnectionError",
+    ):
+        return IO_ERROR_CODE
+    return INTERNAL_CODE

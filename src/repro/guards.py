@@ -204,6 +204,17 @@ class Deadline:
     def expired(self) -> bool:
         return time.monotonic() > self.expires_at
 
+    def remaining(self) -> float:
+        """Seconds left before expiry (never negative).
+
+        This is how a *residual* budget propagates downstream: a caller
+        that spent part of its deadline on admission or IO derives the
+        child's ``Limits.deadline_seconds`` from ``remaining()`` instead
+        of restarting the clock — the HTTP service hands exactly the
+        unspent request budget to parsing and validation this way.
+        """
+        return max(0.0, self.expires_at - time.monotonic())
+
 
 # -- shared guard checks ---------------------------------------------------------
 

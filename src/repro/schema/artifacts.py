@@ -43,6 +43,8 @@ class ArtifactError(ReproError):
     """A persisted artifact could not be loaded (missing, corrupt, or
     written by an incompatible version)."""
 
+    code = "artifact-invalid"
+
 
 # -- content fingerprints --------------------------------------------------------
 

@@ -1,0 +1,291 @@
+"""Admission control: bounded concurrency, bounded queueing, shedding.
+
+A threaded HTTP server without admission control has an unbounded
+implicit queue — every accepted connection spawns a thread that runs a
+validator, and at 2× capacity latency grows without bound until memory
+or the client gives up.  :class:`AdmissionController` makes the queue
+explicit and *bounded*, which turns overload into a fast, typed answer:
+
+* at most ``max_concurrent`` requests hold a work slot at once;
+* at most ``max_queue`` more wait for a slot, and no waiter waits
+  longer than ``queue_timeout`` — queueing burns the request's own
+  deadline, so a queued request that would miss its budget anyway is
+  shed early rather than served late;
+* everything beyond that is refused immediately with
+  :class:`~repro.service.errors.OverloadedError` (→ ``503`` +
+  ``Retry-After``);
+* an optional per-client token bucket (``rate``/``burst``) answers
+  individual abusers with
+  :class:`~repro.service.errors.RateLimitedError` (→ ``429``) before
+  they can occupy a slot;
+* :meth:`AdmissionController.start_drain` flips the controller into
+  drain mode — waiters and new arrivals get
+  :class:`~repro.service.errors.DrainingError`, in-flight requests
+  finish, and :meth:`await_idle` tells the server when the last one
+  has — the heart of SIGTERM graceful shutdown.
+
+The controller is deliberately server-agnostic (no sockets, no HTTP):
+it is unit-testable with plain threads, and the load-test harness
+exercises it through the real server.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.service.errors import (
+    DrainingError,
+    OverloadedError,
+    RateLimitedError,
+)
+
+__all__ = ["AdmissionController", "AdmissionStats", "TokenBucket"]
+
+
+@dataclass
+class AdmissionStats:
+    """Monotonic counters, exposed verbatim by ``GET /healthz``."""
+
+    admitted: int = 0
+    completed: int = 0
+    queued: int = 0
+    shed_queue_full: int = 0
+    shed_queue_timeout: int = 0
+    shed_draining: int = 0
+    rate_limited: int = 0
+    peak_inflight: int = 0
+
+    @property
+    def shed(self) -> int:
+        return (
+            self.shed_queue_full
+            + self.shed_queue_timeout
+            + self.shed_draining
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "queued": self.queued,
+            "shed": self.shed,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_queue_timeout": self.shed_queue_timeout,
+            "shed_draining": self.shed_draining,
+            "rate_limited": self.rate_limited,
+            "peak_inflight": self.peak_inflight,
+        }
+
+
+class TokenBucket:
+    """Per-client token buckets: ``rate`` refills/second, ``burst``
+    capacity.  Buckets are pruned lazily so one scanning client cannot
+    grow the table without bound."""
+
+    #: Above this many tracked clients, full buckets are evicted.
+    MAX_CLIENTS = 4096
+
+    def __init__(self, rate: float, burst: int):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._buckets: dict[str, tuple[float, float]] = {}
+        self._lock = threading.Lock()
+
+    def allow(self, client: str, now: Optional[float] = None) -> bool:
+        """Consume one token for ``client``; ``False`` means 429."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            tokens, stamp = self._buckets.get(client, (float(self.burst), now))
+            tokens = min(float(self.burst), tokens + (now - stamp) * self.rate)
+            allowed = tokens >= 1.0
+            if allowed:
+                tokens -= 1.0
+            self._buckets[client] = (tokens, now)
+            if len(self._buckets) > self.MAX_CLIENTS:
+                self._prune(now)
+            return allowed
+
+    def _prune(self, now: float) -> None:
+        # A client whose bucket has refilled to capacity carries no
+        # state worth keeping — dropping it recreates it full.
+        refill = self.burst / self.rate
+        self._buckets = {
+            client: entry
+            for client, entry in self._buckets.items()
+            if now - entry[1] < refill
+        }
+
+    def retry_after(self) -> float:
+        """Seconds until one token refills — the 429 ``Retry-After``."""
+        return max(1.0 / self.rate, 0.001)
+
+
+class AdmissionController:
+    """The bounded front door; see the module docstring for semantics."""
+
+    def __init__(
+        self,
+        *,
+        max_concurrent: int = 8,
+        max_queue: int = 16,
+        queue_timeout: float = 1.0,
+        rate: Optional[float] = None,
+        burst: int = 10,
+    ):
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if queue_timeout <= 0:
+            raise ValueError(
+                f"queue_timeout must be > 0, got {queue_timeout}"
+            )
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self.stats = AdmissionStats()
+        self._bucket = (
+            TokenBucket(rate, burst) if rate is not None else None
+        )
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._draining = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding a work slot."""
+        with self._cond:
+            return self._active
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    def retry_after(self) -> float:
+        """The ``Retry-After`` hint for a shed request: roughly one
+        queue drain away."""
+        return max(self.queue_timeout, 0.1)
+
+    # -- the slot protocol ---------------------------------------------------
+
+    def acquire(self, client: str = "") -> None:
+        """Take a work slot, waiting in the bounded queue if needed.
+
+        Raises :class:`DrainingError`, :class:`RateLimitedError`, or
+        :class:`OverloadedError`; on normal return the caller *must*
+        eventually call :meth:`release` (use :meth:`slot`).
+        """
+        if self._bucket is not None and not self._bucket.allow(client):
+            with self._cond:
+                self.stats.rate_limited += 1
+            raise RateLimitedError(
+                f"client {client or 'unknown'} exceeded its request rate",
+                retry_after=self._bucket.retry_after(),
+            )
+        with self._cond:
+            if self._draining:
+                self.stats.shed_draining += 1
+                raise DrainingError(
+                    "service is draining", retry_after=self.retry_after()
+                )
+            if self._active < self.max_concurrent:
+                self._admit()
+                return
+            if self._waiting >= self.max_queue:
+                self.stats.shed_queue_full += 1
+                raise OverloadedError(
+                    f"admission queue full "
+                    f"({self._active} active, {self._waiting} queued)",
+                    retry_after=self.retry_after(),
+                )
+            self.stats.queued += 1
+            self._waiting += 1
+            deadline = time.monotonic() + self.queue_timeout
+            try:
+                while True:
+                    if self._draining:
+                        self.stats.shed_draining += 1
+                        raise DrainingError(
+                            "service is draining",
+                            retry_after=self.retry_after(),
+                        )
+                    if self._active < self.max_concurrent:
+                        self._admit()
+                        return
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats.shed_queue_timeout += 1
+                        raise OverloadedError(
+                            "request outwaited the admission queue "
+                            f"budget of {self.queue_timeout:g}s",
+                            retry_after=self.retry_after(),
+                        )
+                    self._cond.wait(remaining)
+            finally:
+                self._waiting -= 1
+
+    def _admit(self) -> None:
+        # Caller holds the condition lock.
+        self._active += 1
+        self.stats.admitted += 1
+        if self._active > self.stats.peak_inflight:
+            self.stats.peak_inflight = self._active
+
+    def release(self) -> None:
+        with self._cond:
+            if self._active <= 0:
+                raise RuntimeError("release() without a held slot")
+            self._active -= 1
+            self.stats.completed += 1
+            self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def slot(self, client: str = "") -> Iterator[None]:
+        """``with admission.slot(ip):`` — acquire + guaranteed release."""
+        self.acquire(client)
+        try:
+            yield
+        finally:
+            self.release()
+
+    # -- drain ---------------------------------------------------------------
+
+    def start_drain(self) -> None:
+        """Refuse new work; wake every queued waiter so it sheds now.
+        Idempotent and safe from any thread (including signal-handler
+        spawned ones)."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def await_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request holds a slot; ``False`` on timeout."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._cond:
+            while self._active > 0:
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True

@@ -1,0 +1,104 @@
+"""Service-level branches of the ``ReproError`` taxonomy.
+
+Admission rejections, malformed requests, and routing failures are
+errors of the *service* contract, not the validation pipeline, but they
+live in the same taxonomy so one ``except ReproError`` (and one
+``to_dict()`` wire shape, one stable-code vocabulary) covers the whole
+front door.  :func:`repro.service.diagnostics.http_status` maps each
+class to its HTTP status.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class for request-level service failures."""
+
+    code = "service-error"
+
+
+class MalformedRequestError(ServiceError):
+    """The request envelope is unusable: not JSON, missing required
+    fields, wrong field types, or an unparseable modification list.
+    Maps to ``400``."""
+
+    code = "bad-request"
+
+
+class TruncatedBodyError(MalformedRequestError):
+    """The client promised ``Content-Length`` bytes but the connection
+    ended early.  Maps to ``400``."""
+
+    code = "truncated-body"
+
+
+class LengthRequiredError(ServiceError):
+    """``POST`` without a ``Content-Length`` header — the service never
+    reads unbounded bodies.  Maps to ``411``."""
+
+    code = "length-required"
+
+
+class UnknownRouteError(ServiceError):
+    """No endpoint at this path.  Maps to ``404``."""
+
+    code = "unknown-route"
+
+
+class UnknownPairError(ServiceError):
+    """The request names a schema pair the registry does not hold
+    (neither by name nor by content fingerprint).  Maps to ``404``."""
+
+    code = "unknown-pair"
+
+
+class MethodNotAllowedError(ServiceError):
+    """Endpoint exists but not for this HTTP method.  Maps to ``405``."""
+
+    code = "method-not-allowed"
+
+
+class RequestTimeoutError(ServiceError):
+    """The client fed the request body slower than the per-request
+    deadline allows (slow-loris defence).  Maps to ``408``."""
+
+    code = "request-timeout"
+
+
+class RateLimitedError(ServiceError):
+    """This client exceeded its request-rate budget.  Maps to ``429``
+    with a ``Retry-After`` hint."""
+
+    code = "rate-limited"
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class OverloadedError(ServiceError):
+    """Admission control shed this request: every worker slot is busy
+    and the wait queue is full (or the queued request outwaited its
+    budget).  Maps to ``503`` with a ``Retry-After`` hint."""
+
+    code = "overloaded"
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class DrainingError(OverloadedError):
+    """The service received SIGTERM and is draining: in-flight requests
+    finish, new ones are refused.  Maps to ``503``."""
+
+    code = "draining"
+
+
+class NotReadyError(ServiceError):
+    """Warm-up (schema compilation, artifact loading) has not finished;
+    ``readyz`` gates traffic until it has.  Maps to ``503``."""
+
+    code = "not-ready"

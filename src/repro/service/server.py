@@ -1,0 +1,710 @@
+"""The hardened HTTP front door: endpoints, deadlines, graceful drain.
+
+Stdlib-only (``http.server.ThreadingHTTPServer``): one daemon thread
+per connection, with :class:`~repro.service.admission.AdmissionController`
+bounding how many of those threads may *work* at once.  The request
+lifecycle is the robustness contract:
+
+1. **Routing** — unknown paths and methods answer 404/405 before any
+   resource is committed.
+2. **Admission** — a work slot is taken (or the request is shed with
+   429/503 + ``Retry-After``) before a single body byte is read.
+3. **Deadline** — the per-request :class:`~repro.guards.Deadline`
+   starts at admission.  Everything after — body read, JSON decode,
+   parse, validation — runs on its *residual* budget
+   (:meth:`~repro.guards.Deadline.remaining`), never a fresh clock.
+4. **Body guards** — ``Content-Length`` is required (411) and checked
+   against the byte bound *before* any read (413, reusing
+   :func:`~repro.guards.check_document_size`); the read itself is
+   paced by the residual deadline (slow-loris → 408) and a short read
+   is a typed 400, never a hang.
+5. **Validation** — inside ``limits_scope`` of the pair's own
+   ``Limits`` with ``deadline_seconds`` set to the residual request
+   budget (the ``SCHEMA_CONFIG`` idiom: each pair may carry its own
+   cap, the request budget can only tighten it).
+6. **Response** — verdicts are 200 with lint-style diagnostics;
+   every ``ReproError`` maps through
+   :func:`~repro.service.diagnostics.http_status`; anything else is a
+   *structured* 500 (code ``internal``).  No adversarial input can
+   produce a bare 500.
+
+**Drain** (SIGTERM/SIGINT): stop admitting (503 ``draining``), finish
+in-flight requests up to ``drain_grace`` seconds, flip ``healthz``
+unhealthy, stop the listener, exit 0.  The invariant — checked by the
+load-test harness — is zero accepted-but-unanswered requests: every
+admitted request gets its verdict, every shed request gets its 503.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.core.castmods import CastWithModificationsValidator
+from repro.core.cast import cast_text
+from repro.core.updates import UpdateSession
+from repro.core.validator import validate_document
+from repro.dewey import Dewey
+from repro.errors import DeadlineExceededError, ReproError
+from repro.guards import Deadline, Limits, check_document_size, limits_scope
+from repro.service.admission import AdmissionController
+from repro.service.diagnostics import (
+    error_payload,
+    http_status,
+    report_payload,
+    retry_after,
+)
+from repro.service.errors import (
+    LengthRequiredError,
+    MalformedRequestError,
+    MethodNotAllowedError,
+    NotReadyError,
+    RequestTimeoutError,
+    TruncatedBodyError,
+    UnknownRouteError,
+)
+from repro.service.registry import RegisteredPair, ServiceRegistry
+from repro.xmltree.dom import Element, Text
+from repro.xmltree.parser import parse
+
+__all__ = ["ServiceConfig", "ValidationService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (per-pair budgets live in the registry)."""
+
+    #: Work slots: requests validating concurrently.
+    max_concurrent: int = 8
+    #: Requests allowed to wait for a slot before shedding starts.
+    max_queue: int = 16
+    #: Longest a queued request may wait for a slot.
+    queue_timeout: float = 1.0
+    #: Admission-to-response wall-clock budget per request; the pair's
+    #: own ``deadline_seconds`` can only tighten what is left of this.
+    request_timeout: float = 30.0
+    #: Per-client token bucket: requests/second (``None`` disables).
+    rate: Optional[float] = None
+    burst: int = 10
+    #: Seconds in-flight requests get to finish after SIGTERM.
+    drain_grace: float = 10.0
+    #: Request-body byte bound checked against ``Content-Length``
+    #: before any read; ``None`` falls back to the default ``Limits``
+    #: document bound (the JSON envelope around a document is small).
+    max_body_bytes: Optional[int] = None
+    #: Socket timeout for reading the request line and headers.
+    header_timeout: float = 10.0
+    read_chunk: int = 64 * 1024
+    #: Log one line per request to stderr (off in tests/benchmarks).
+    log_requests: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        for name in ("queue_timeout", "request_timeout", "drain_grace",
+                     "header_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+
+
+def _require_str(request: dict, field: str) -> str:
+    value = request.get(field)
+    if not isinstance(value, str) or not value:
+        raise MalformedRequestError(
+            f"request field {field!r} must be a non-empty string"
+        )
+    return value
+
+
+def _resolve_node(document, path_text: str):
+    """The node at a Dewey path (``""`` = root, steps index *all*
+    children, text nodes included — the numbering ``Node.dewey()``
+    reports)."""
+    if not isinstance(path_text, str):
+        raise MalformedRequestError("mod field 'path' must be a string")
+    try:
+        steps = Dewey.parse(path_text).path
+    except ValueError as error:
+        raise MalformedRequestError(str(error)) from None
+    node = document.root
+    for step in steps:
+        children = getattr(node, "children", None)
+        if children is None or step >= len(children):
+            raise MalformedRequestError(
+                f"Dewey path {path_text!r} does not address a node"
+            )
+        node = children[step]
+    return node
+
+
+def _apply_mods(session: UpdateSession, mods) -> None:
+    """Replay a wire-encoded modification list into the session.
+
+    Each mod is ``{"op": ..., "path": <Dewey>, ...}``; ops mirror the
+    paper's update operations (§3.3).  A structurally bad mod is a 400;
+    a semantically bad one (deleted target, bad position) surfaces as
+    ``UpdateError`` — also a 400 — so no mod list can crash the server.
+    """
+    if not isinstance(mods, list):
+        raise MalformedRequestError("'mods' must be a list of operations")
+    for index, mod in enumerate(mods):
+        if not isinstance(mod, dict) or not isinstance(mod.get("op"), str):
+            raise MalformedRequestError(
+                f"mods[{index}] must be an object with an 'op' string"
+            )
+        op = mod["op"]
+        try:
+            _apply_one_mod(session, mod)
+        except (KeyError, TypeError) as error:
+            raise MalformedRequestError(
+                f"mods[{index}] ({op}): missing or mistyped field "
+                f"({error})"
+            ) from None
+        except MalformedRequestError as error:
+            raise MalformedRequestError(
+                f"mods[{index}] ({op}): {error}"
+            ) from None
+
+
+def _apply_one_mod(session: UpdateSession, mod: dict) -> None:
+    op = mod["op"]
+    document = session.document
+    if op == "rename":
+        node = _resolve_node(document, mod["path"])
+        if not isinstance(node, Element):
+            raise MalformedRequestError("rename targets an element")
+        session.rename(node, str(mod["label"]))
+    elif op == "replace-text":
+        node = _resolve_node(document, mod["path"])
+        if not isinstance(node, Text):
+            raise MalformedRequestError("replace-text targets a text node")
+        session.replace_text(node, str(mod["value"]))
+    elif op == "set-attribute":
+        node = _resolve_node(document, mod["path"])
+        if not isinstance(node, Element):
+            raise MalformedRequestError("set-attribute targets an element")
+        session.set_attribute(node, str(mod["name"]), str(mod["value"]))
+    elif op == "remove-attribute":
+        node = _resolve_node(document, mod["path"])
+        if not isinstance(node, Element):
+            raise MalformedRequestError(
+                "remove-attribute targets an element"
+            )
+        session.remove_attribute(node, str(mod["name"]))
+    elif op == "delete":
+        node = _resolve_node(document, mod["path"])
+        session.delete(node)
+    elif op == "insert-element":
+        parent = _resolve_node(document, mod["path"])
+        if not isinstance(parent, Element):
+            raise MalformedRequestError(
+                "insert-element's path addresses the parent element"
+            )
+        session.insert_element(
+            parent, int(mod["position"]), str(mod["label"])
+        )
+    elif op == "insert-text":
+        parent = _resolve_node(document, mod["path"])
+        if not isinstance(parent, Element):
+            raise MalformedRequestError(
+                "insert-text's path addresses the parent element"
+            )
+        session.insert_text(parent, int(mod["position"]), str(mod["value"]))
+    else:
+        raise MalformedRequestError(f"unknown op {op!r}")
+
+
+class ValidationService:
+    """One registry + one admission controller + one HTTP listener.
+
+    ``after_admit_hook`` is a test seam: called with the route inside
+    the request thread after admission and before the body read, it
+    lets fault-injection suites hold requests in flight (drain and
+    overload tests) without timing races.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        config: Optional[ServiceConfig] = None,
+        *,
+        after_admit_hook: Optional[Callable[[str], None]] = None,
+    ):
+        self.registry = registry
+        self.config = config or ServiceConfig()
+        self.after_admit_hook = after_admit_hook
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent,
+            max_queue=self.config.max_queue,
+            queue_timeout=self.config.queue_timeout,
+            rate=self.config.rate,
+            burst=self.config.burst,
+        )
+        self.started_at: Optional[float] = None
+        self.warm_error: Optional[BaseException] = None
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        self._warm_thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._drain_started = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind, start serving, and warm the registry in the background.
+
+        The listener answers immediately — ``healthz`` 200, ``readyz``
+        503 — and ``readyz`` flips to 200 only once every pair is
+        compiled (or restored from the artifact cache).  Returns the
+        bound ``(host, port)``; ``port=0`` picks an ephemeral port.
+        """
+        if self._httpd is not None:
+            raise RuntimeError("service already started")
+        handler = type(
+            "BoundHandler", (_RequestHandler,), {"service": self}
+        )
+        handler.timeout = self.config.header_timeout
+        server_cls = type(
+            "BoundServer",
+            (ThreadingHTTPServer,),
+            # Deep accept backlog: under overload, connections must
+            # reach the admission controller (which answers 503 fast)
+            # instead of stalling in the kernel SYN queue, where the
+            # only "answer" is a retransmit timer.
+            {"request_queue_size": 128},
+        )
+        self._httpd = server_cls((host, port), handler)
+        self.started_at = time.monotonic()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        if self.registry.ready:
+            self._ready.set()
+        else:
+            self._warm_thread = threading.Thread(
+                target=self._warm, name="repro-serve-warm", daemon=True
+            )
+            self._warm_thread.start()
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    def _warm(self) -> None:
+        try:
+            self.registry.warm()
+        except BaseException as error:  # noqa: BLE001 — surfaced via readyz
+            self.warm_error = error
+            return
+        self._ready.set()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("service not started")
+        return self._httpd.server_address[1]
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until warm-up finishes; ``False`` on timeout or a
+        warm-up failure (see :attr:`warm_error`)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._ready.is_set():
+            if self.warm_error is not None:
+                return False
+            remaining = (
+                0.05 if deadline is None
+                else min(0.05, deadline - time.monotonic())
+            )
+            if remaining <= 0:
+                return False
+            time.sleep(remaining)
+        return True
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set() and not self._draining.is_set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    def begin_drain(self) -> None:
+        """Start graceful shutdown (what SIGTERM triggers): refuse new
+        work, let in-flight requests finish up to ``drain_grace``, then
+        stop the listener.  Idempotent, non-blocking, signal-safe."""
+        if not self._drain_started.acquire(blocking=False):
+            return
+        self._draining.set()
+        self.admission.start_drain()
+        threading.Thread(
+            target=self._drain_and_stop,
+            name="repro-serve-drain",
+            daemon=True,
+        ).start()
+
+    def _drain_and_stop(self) -> None:
+        self.admission.await_idle(self.config.drain_grace)
+        httpd = self._httpd
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        self._stopped.set()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """:meth:`begin_drain` + wait for the listener to stop."""
+        self.begin_drain()
+        budget = (
+            self.config.drain_grace + 5.0 if timeout is None else timeout
+        )
+        return self._stopped.wait(budget)
+
+    def close(self) -> None:
+        """Immediate stop (tests/benchmarks): no grace for in-flight."""
+        self._draining.set()
+        self.admission.start_drain()
+        httpd = self._httpd
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        self._stopped.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM and SIGINT → graceful drain (main thread only)."""
+
+        def _handle(signum, frame):  # noqa: ARG001
+            self.begin_drain()
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+
+    def run_forever(self) -> int:
+        """Block until drained (CLI foreground mode); returns the
+        process exit code — 0 for a clean drain."""
+        while not self._stopped.wait(0.2):
+            pass
+        return 0
+
+    # -- request handling (called from handler threads) ----------------------
+
+    def handle_get(self, route: str) -> tuple[int, dict, dict]:
+        """GET endpoints: (status, payload, extra headers).  These never
+        pass admission — health probes must answer even at 2× load."""
+        if route == "/healthz":
+            draining = self._draining.is_set()
+            payload = {
+                "status": "draining" if draining else "ok",
+                "ready": self.ready,
+                "inflight": self.admission.inflight,
+                "uptime_seconds": (
+                    round(time.monotonic() - self.started_at, 3)
+                    if self.started_at is not None
+                    else 0.0
+                ),
+                "admission": self.admission.stats.as_dict(),
+            }
+            return (503 if draining else 200), payload, {}
+        if route == "/readyz":
+            if self.ready:
+                return 200, {
+                    "ready": True,
+                    "pairs": len(self.registry),
+                    "warm_seconds": round(self.registry.warm_seconds, 3),
+                }, {}
+            if self.warm_error is not None:
+                payload = error_payload(self.warm_error)
+                payload["ready"] = False
+                return 503, payload, {}
+            reason = (
+                "draining" if self._draining.is_set() else "warming up"
+            )
+            return 503, {"ready": False, "reason": reason}, {
+                "Retry-After": "1"
+            }
+        if route == "/pairs":
+            return 200, {"pairs": self.registry.describe()}, {}
+        raise UnknownRouteError(f"no endpoint at {route}")
+
+    def dispatch_post(self, route: str, request: dict,
+                      deadline: Deadline) -> dict:
+        if route == "/validate":
+            return self._do_validate(request, deadline)
+        if route == "/cast":
+            return self._do_cast(request, deadline)
+        if route == "/cast-with-mods":
+            return self._do_cast_with_mods(request, deadline)
+        raise UnknownRouteError(f"no endpoint at {route}")
+
+    def _resolve_pair(self, request: dict) -> RegisteredPair:
+        return self.registry.get(_require_str(request, "pair"))
+
+    def _residual_limits(
+        self, entry: RegisteredPair, deadline: Deadline
+    ) -> Limits:
+        """The pair's ``Limits`` with ``deadline_seconds`` set to what
+        is *left* of the request budget — admission wait and body read
+        have already spent their share; validation gets the rest, and
+        the pair's own cap can only tighten it further."""
+        residual = deadline.remaining()
+        if residual <= 0:
+            raise DeadlineExceededError(
+                f"request deadline of {deadline.budget:g}s exhausted "
+                "before validation began"
+            )
+        budget = entry.limits.deadline_seconds
+        budget = residual if budget is None else min(budget, residual)
+        return entry.limits.with_overrides(deadline_seconds=budget)
+
+    def _do_validate(self, request: dict, deadline: Deadline) -> dict:
+        entry = self._resolve_pair(request)
+        xml = _require_str(request, "xml")
+        which = request.get("schema", "target")
+        if which not in ("source", "target"):
+            raise MalformedRequestError(
+                "request field 'schema' must be 'source' or 'target'"
+            )
+        schema = entry.pair.source if which == "source" else entry.pair.target
+        limits = self._residual_limits(entry, deadline)
+        started = time.perf_counter()
+        with limits_scope(limits):
+            document = parse(xml, limits=limits, symbols=schema.symbols)
+            report = validate_document(
+                schema, document, collect_stats=False, limits=limits
+            )
+        return report_payload(
+            report,
+            pair=entry.name,
+            fingerprint=entry.fingerprint,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def _do_cast(self, request: dict, deadline: Deadline) -> dict:
+        entry = self._resolve_pair(request)
+        xml = _require_str(request, "xml")
+        limits = self._residual_limits(entry, deadline)
+        started = time.perf_counter()
+        with limits_scope(limits):
+            report = cast_text(
+                entry.pair,
+                xml,
+                limits=limits,
+                stream_skip=bool(request.get("stream_skip", True)),
+                trusted=bool(request.get("trusted", False)),
+            )
+        return report_payload(
+            report,
+            pair=entry.name,
+            fingerprint=entry.fingerprint,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def _do_cast_with_mods(self, request: dict, deadline: Deadline) -> dict:
+        entry = self._resolve_pair(request)
+        xml = _require_str(request, "xml")
+        limits = self._residual_limits(entry, deadline)
+        started = time.perf_counter()
+        with limits_scope(limits):
+            document = parse(
+                xml, limits=limits, symbols=entry.pair.symbols
+            )
+            session = UpdateSession(document)
+            _apply_mods(session, request.get("mods", []))
+            report = CastWithModificationsValidator(
+                entry.pair, collect_stats=False, limits=limits
+            ).validate(session)
+        payload = report_payload(
+            report,
+            pair=entry.name,
+            fingerprint=entry.fingerprint,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+        payload["mods_applied"] = session.update_count
+        return payload
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """One instance per connection; ``service`` is bound by
+    :meth:`ValidationService.start` via a per-service subclass."""
+
+    service: ValidationService  # overridden in the bound subclass
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    _GET_ROUTES = frozenset({"/healthz", "/readyz", "/pairs"})
+    _POST_ROUTES = frozenset({"/validate", "/cast", "/cast-with-mods"})
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.service.config.log_requests:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _route(self) -> str:
+        return self.path.split("?", 1)[0].rstrip("/") or "/"
+
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        if status >= 400:
+            # Error paths may leave unread body bytes on the socket;
+            # keep-alive would misparse them as the next request line.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_response(self, error: BaseException) -> None:
+        status = http_status(error)
+        headers = {}
+        hint = retry_after(error)
+        if hint is not None:
+            headers["Retry-After"] = str(max(1, round(hint)))
+        elif status == 503:
+            headers["Retry-After"] = "1"
+        self._send_json(status, error_payload(error), headers)
+
+    # -- request body --------------------------------------------------------
+
+    def _read_body(self, deadline: Deadline) -> bytes:
+        """Read exactly ``Content-Length`` bytes under the residual
+        request deadline; every failure mode is a typed error."""
+        header = self.headers.get("Content-Length")
+        if header is None:
+            raise LengthRequiredError(
+                "POST requests must carry Content-Length"
+            )
+        try:
+            length = int(header)
+        except ValueError:
+            raise MalformedRequestError(
+                f"unparseable Content-Length {header!r}"
+            ) from None
+        if length < 0:
+            raise MalformedRequestError(
+                f"negative Content-Length {length}"
+            )
+        config = self.service.config
+        bound = config.max_body_bytes
+        if bound is None:
+            bound = Limits().max_document_bytes
+        if bound is not None:
+            # The 413 happens HERE, on the header, before any read: an
+            # adversarial Content-Length never costs a byte of buffering.
+            check_document_size(
+                length,
+                Limits(max_document_bytes=bound),
+                what="request body",
+            )
+        received = bytearray()
+        while len(received) < length:
+            remaining = deadline.remaining()
+            if remaining <= 0:
+                raise RequestTimeoutError(
+                    "request body arrived slower than the "
+                    f"{deadline.budget:g}s request budget"
+                )
+            self.connection.settimeout(remaining)
+            want = min(config.read_chunk, length - len(received))
+            try:
+                chunk = self.rfile.read(want)
+            except (socket.timeout, TimeoutError):
+                raise RequestTimeoutError(
+                    "request body arrived slower than the "
+                    f"{deadline.budget:g}s request budget"
+                ) from None
+            if not chunk:
+                raise TruncatedBodyError(
+                    f"request body ended after {len(received)} of "
+                    f"{length} promised bytes"
+                )
+            received.extend(chunk)
+        return bytes(received)
+
+    def _parse_request_json(self, body: bytes) -> dict:
+        try:
+            request = json.loads(body)
+        except ValueError as error:
+            raise MalformedRequestError(
+                f"request body is not valid JSON: {error}"
+            ) from None
+        if not isinstance(request, dict):
+            raise MalformedRequestError(
+                "request body must be a JSON object"
+            )
+        return request
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server contract
+        self._guarded(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._guarded(self._handle_post)
+
+    def _guarded(self, handler: Callable[[], None]) -> None:
+        try:
+            handler()
+        except ReproError as error:
+            self._try_send_error(error)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 — structured 500
+            self._try_send_error(error)
+
+    def _try_send_error(self, error: BaseException) -> None:
+        try:
+            self._send_error_response(error)
+        except OSError:
+            self.close_connection = True
+
+    def _handle_get(self) -> None:
+        route = self._route()
+        if route in self._POST_ROUTES:
+            raise MethodNotAllowedError(f"{route} requires POST")
+        status, payload, headers = self.service.handle_get(route)
+        self._send_json(status, payload, headers)
+
+    def _handle_post(self) -> None:
+        service = self.service
+        route = self._route()
+        if route in self._GET_ROUTES:
+            raise MethodNotAllowedError(f"{route} requires GET")
+        if route not in self._POST_ROUTES:
+            raise UnknownRouteError(f"no endpoint at {route}")
+        if not service.registry.ready:
+            if service.warm_error is not None:
+                raise NotReadyError(
+                    "service warm-up failed; see /readyz"
+                )
+            raise NotReadyError("service warm-up has not finished")
+        client = self.client_address[0] if self.client_address else ""
+        with service.admission.slot(client):
+            # The request deadline starts when a slot is held — queue
+            # wait was bounded separately — and everything downstream
+            # spends from this one budget.
+            deadline = Deadline(service.config.request_timeout)
+            if service.after_admit_hook is not None:
+                service.after_admit_hook(route)
+            body = self._read_body(deadline)
+            request = self._parse_request_json(body)
+            payload = service.dispatch_post(route, request, deadline)
+        self._send_json(200, payload)

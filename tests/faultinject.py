@@ -1,9 +1,12 @@
 """Fault-injection harness for the resource-guarded pipeline.
 
 Shared machinery for the robustness suites (``tests/core``,
-``tests/xmltree``, ``tests/schema``): an on-disk adversarial corpus
-with the error class each input must produce, plus picklable worker
-fault hooks for :func:`repro.core.batch.validate_batch`.
+``tests/xmltree``, ``tests/schema``, ``tests/service``): an on-disk
+adversarial corpus with the error class each input must produce,
+picklable worker fault hooks for
+:func:`repro.core.batch.validate_batch`, and raw-socket HTTP clients
+that express the wire-level attacks (lying ``Content-Length``,
+truncated bodies) the service suite throws at ``repro serve``.
 
 The harness encodes the batch contract under attack:
 
@@ -114,3 +117,99 @@ def arm_fuse(path: str) -> None:
     """Plant the sidecar that makes :func:`fuse_oserror_hook` fire once."""
     with open(path + ".fuse", "w", encoding="utf-8") as handle:
         handle.write("armed")
+
+
+# -- service-level fault clients ----------------------------------------------
+#
+# Raw-socket HTTP clients for attacks urllib cannot express: lying
+# Content-Length headers, truncated bodies, raw byte garbage.  Each
+# returns ``(status, payload, headers)`` so service fault suites assert
+# the same contract as the happy-path client: a *typed* 4xx/413/429/503
+# JSON error — never a hang, never a bare 500.
+
+
+def http_json(host: str, port: int, method: str, path: str,
+              payload=None, timeout: float = 10.0):
+    """Plain JSON request; returns ``(status, payload_dict, headers)``."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    body = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}", data=body, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return (
+                response.status,
+                json.loads(response.read()),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read()), dict(error.headers)
+
+
+def raw_request(host: str, port: int, head: str, body: bytes = b"",
+                *, close_early: bool = False, timeout: float = 10.0):
+    """Send raw HTTP bytes; returns ``(status, payload_dict, headers)``.
+
+    ``close_early`` shuts down the write side after ``body`` — the
+    truncated-body attack: the header promises more bytes than the
+    connection delivers.
+    """
+    import json
+    import socket
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(head.encode("ascii") + body)
+        if close_early:
+            sock.shutdown(socket.SHUT_WR)
+        raw = b""
+        while b"\r\n\r\n" not in raw:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw += chunk
+        header_blob, _, rest = raw.partition(b"\r\n\r\n")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        want = int(headers.get("content-length", 0))
+        while len(rest) < want:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            rest += chunk
+        payload = json.loads(rest) if rest else {}
+        return status, payload, headers
+
+
+def post_with_content_length(host: str, port: int, path: str,
+                             claimed_length: int, body: bytes = b"",
+                             *, close_early: bool = True):
+    """POST whose ``Content-Length`` header claims ``claimed_length``
+    regardless of how many bytes are actually sent."""
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {claimed_length}\r\n"
+        "\r\n"
+    )
+    return raw_request(host, port, head, body, close_early=close_early)
+
+
+def post_without_content_length(host: str, port: int, path: str):
+    """POST with no ``Content-Length`` header at all (411 expected)."""
+    head = (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        "Content-Type: application/json\r\n"
+        "\r\n"
+    )
+    return raw_request(host, port, head, close_early=True)

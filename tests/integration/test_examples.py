@@ -18,6 +18,11 @@ EXPECTED_MARKERS = {
     "string_revalidation.py": ["immediate-accept", "strategy=reverse"],
     "document_repair.py": ["fabricated required <billTo>", "target-valid"],
     "identity_constraints.py": ["duplicate", "REJECTED (identity)"],
+    "validation_service.py": [
+        "readyz -> 200",
+        "[unknown-pair]",
+        "zero lost",
+    ],
 }
 
 

@@ -1,0 +1,50 @@
+"""Service-suite fixtures: an in-process warmed demo service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.registry import ServiceRegistry, demo_specs
+from repro.service.server import ServiceConfig, ValidationService
+
+from tests.faultinject import http_json
+
+
+class ServiceHandle:
+    """A booted service plus a JSON client bound to its port."""
+
+    def __init__(self, service: ValidationService, host: str, port: int):
+        self.service = service
+        self.host = host
+        self.port = port
+
+    def request(self, method: str, path: str, payload=None,
+                timeout: float = 10.0):
+        return http_json(
+            self.host, self.port, method, path, payload, timeout=timeout
+        )
+
+    def get(self, path: str):
+        return self.request("GET", path)
+
+    def post(self, path: str, payload: dict, timeout: float = 10.0):
+        return self.request("POST", path, payload, timeout=timeout)
+
+
+def boot(config: ServiceConfig = None, *, after_admit_hook=None,
+         wait: bool = True) -> ServiceHandle:
+    registry = ServiceRegistry(demo_specs())
+    service = ValidationService(
+        registry, config, after_admit_hook=after_admit_hook
+    )
+    host, port = service.start()
+    if wait:
+        assert service.wait_ready(30.0), service.warm_error
+    return ServiceHandle(service, host, port)
+
+
+@pytest.fixture()
+def demo_service():
+    handle = boot()
+    yield handle
+    handle.service.close()

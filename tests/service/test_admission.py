@@ -1,0 +1,177 @@
+"""Unit tests for the admission controller (no HTTP involved)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.errors import (
+    DrainingError,
+    OverloadedError,
+    RateLimitedError,
+)
+
+
+def held_slots(controller: AdmissionController, count: int):
+    """Occupy ``count`` slots from background threads; returns
+    ``(release_event, acquired_barrier)``."""
+    release = threading.Event()
+    acquired = threading.Barrier(count + 1)
+
+    def hold() -> None:
+        with controller.slot():
+            acquired.wait(timeout=5.0)
+            release.wait(timeout=10.0)
+
+    for _ in range(count):
+        threading.Thread(target=hold, daemon=True).start()
+    acquired.wait(timeout=5.0)
+    return release
+
+
+class TestAdmission:
+    def test_admits_up_to_capacity(self):
+        controller = AdmissionController(max_concurrent=3, max_queue=0)
+        release = held_slots(controller, 3)
+        assert controller.inflight == 3
+        assert controller.stats.peak_inflight == 3
+        release.set()
+        assert controller.await_idle(timeout=5.0)
+        assert controller.stats.completed == 3
+
+    def test_sheds_when_queue_full(self):
+        controller = AdmissionController(max_concurrent=1, max_queue=0)
+        release = held_slots(controller, 1)
+        with pytest.raises(OverloadedError) as info:
+            controller.acquire()
+        assert info.value.code == "overloaded"
+        assert info.value.retry_after > 0
+        assert controller.stats.shed_queue_full == 1
+        release.set()
+
+    def test_sheds_when_queue_outwaits_budget(self):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, queue_timeout=0.1
+        )
+        release = held_slots(controller, 1)
+        started = time.monotonic()
+        with pytest.raises(OverloadedError):
+            controller.acquire()
+        assert time.monotonic() - started < 5.0
+        assert controller.stats.shed_queue_timeout == 1
+        release.set()
+
+    def test_queued_request_gets_freed_slot(self):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, queue_timeout=5.0
+        )
+        release = held_slots(controller, 1)
+        admitted = threading.Event()
+
+        def waiter() -> None:
+            with controller.slot():
+                admitted.set()
+
+        threading.Thread(target=waiter, daemon=True).start()
+        time.sleep(0.05)
+        assert not admitted.is_set()
+        release.set()
+        assert admitted.wait(timeout=5.0)
+        assert controller.stats.queued == 1
+        assert controller.stats.shed == 0
+
+    def test_drain_refuses_new_work(self):
+        controller = AdmissionController(max_concurrent=2)
+        controller.start_drain()
+        with pytest.raises(DrainingError) as info:
+            controller.acquire()
+        assert info.value.code == "draining"
+        assert controller.stats.shed_draining == 1
+
+    def test_drain_wakes_queued_waiters(self):
+        controller = AdmissionController(
+            max_concurrent=1, max_queue=4, queue_timeout=30.0
+        )
+        release = held_slots(controller, 1)
+        outcome: list = []
+
+        def waiter() -> None:
+            try:
+                controller.acquire()
+            except DrainingError as error:
+                outcome.append(error)
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        controller.start_drain()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "waiter did not wake on drain"
+        assert len(outcome) == 1
+        release.set()
+
+    def test_await_idle_times_out_while_busy(self):
+        controller = AdmissionController(max_concurrent=1)
+        release = held_slots(controller, 1)
+        assert controller.await_idle(timeout=0.05) is False
+        release.set()
+        assert controller.await_idle(timeout=5.0) is True
+
+    def test_release_without_acquire_is_an_error(self):
+        controller = AdmissionController()
+        with pytest.raises(RuntimeError):
+            controller.release()
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_timeout=0)
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        now = 100.0
+        assert all(bucket.allow("c", now) for _ in range(3))
+        assert bucket.allow("c", now) is False
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        assert bucket.allow("c", 100.0)
+        assert bucket.allow("c", 100.0) is False
+        assert bucket.allow("c", 100.2) is True
+
+    def test_clients_are_independent(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.allow("a", 100.0)
+        assert bucket.allow("a", 100.0) is False
+        assert bucket.allow("b", 100.0) is True
+
+    def test_full_buckets_are_pruned(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        bucket.MAX_CLIENTS = 4
+        for index in range(5):
+            assert bucket.allow(f"client-{index}", 100.0 + index * 10)
+        assert len(bucket._buckets) <= 5
+
+    def test_controller_rate_limits_per_client(self):
+        controller = AdmissionController(
+            max_concurrent=8, rate=1.0, burst=2
+        )
+        with controller.slot("1.2.3.4"):
+            pass
+        with controller.slot("1.2.3.4"):
+            pass
+        with pytest.raises(RateLimitedError) as info:
+            controller.acquire("1.2.3.4")
+        assert info.value.code == "rate-limited"
+        assert controller.stats.rate_limited == 1
+        # Other clients are unaffected.
+        with controller.slot("5.6.7.8"):
+            pass

@@ -1,0 +1,142 @@
+"""End-to-end ``repro serve`` tests: a real subprocess, real signals.
+
+This is the CI smoke contract: boot, probe, validate, SIGTERM, and a
+clean exit with zero accepted-but-unanswered requests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.workloads.purchase_orders import make_purchase_order
+from repro.xmltree.serializer import serialize
+
+from tests.faultinject import http_json
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)
+)))
+
+
+def serve_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    return env
+
+
+@pytest.fixture()
+def served():
+    """``repro serve --demo --port 0`` as a subprocess; yields
+    ``(proc, host, port)`` after the ready line."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--demo", "--port", "0", "--drain-grace", "10",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=serve_env(),
+        cwd=REPO_ROOT,
+    )
+    try:
+        boot_line = proc.stdout.readline().strip()
+        assert boot_line.startswith("listening on http://"), boot_line
+        address = boot_line.rsplit("/", 1)[-1]
+        host, _, port_text = address.partition(":")
+        ready_line = proc.stdout.readline().strip()
+        assert ready_line.startswith("ready: "), ready_line
+        yield proc, host, int(port_text)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+class TestServeCommand:
+    def test_boot_validate_sigterm_clean_exit(self, served):
+        proc, host, port = served
+
+        status, payload, _ = http_json(host, port, "GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+        status, payload, _ = http_json(host, port, "GET", "/readyz")
+        assert status == 200 and payload["ready"] is True
+
+        xml = serialize(make_purchase_order(3))
+        status, payload, _ = http_json(
+            host, port, "POST", "/validate",
+            {"pair": "po-exp1", "xml": xml, "schema": "source"},
+        )
+        assert status == 200
+        assert payload["valid"] is True
+
+        # Zero in-flight lost: everything admitted was completed.
+        status, payload, _ = http_json(host, port, "GET", "/healthz")
+        admission = payload["admission"]
+        assert admission["admitted"] == admission["completed"] == 1
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=20) == 0
+
+    def test_sigterm_during_inflight_request_drains(self, served):
+        """SIGTERM racing an in-flight request: the request is answered
+        and the exit is still clean."""
+        import threading
+
+        proc, host, port = served
+        xml = serialize(make_purchase_order(200))
+        results: list = []
+
+        def client() -> None:
+            results.append(http_json(
+                host, port, "POST", "/validate",
+                {"pair": "po-exp2", "xml": xml}, timeout=30.0,
+            ))
+
+        threads = [
+            threading.Thread(target=client, daemon=True)
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert proc.wait(timeout=20) == 0
+        # Every request the server admitted was answered 200; ones that
+        # arrived after drain began were refused with a typed 503.
+        for status, payload, _ in results:
+            if status == 200:
+                assert payload["valid"] is True
+            else:
+                assert status == 503
+                assert payload["error"]["code"] == "draining"
+
+    def test_usage_errors_exit_2(self):
+        for argv in (
+            ["serve"],  # no pairs at all
+            ["serve", "--demo", "--pair", "broken-flag"],
+            ["serve", "--demo", "--pair-timeout", "po-exp1=-1"],
+            ["serve", "--demo", "--pair-timeout", "ghost=2"],
+        ):
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro", *argv],
+                capture_output=True,
+                text=True,
+                env=serve_env(),
+                cwd=REPO_ROOT,
+                timeout=60,
+            )
+            assert proc.returncode == 2, (argv, proc.stderr)
+            assert "error:" in proc.stderr

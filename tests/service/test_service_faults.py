@@ -1,0 +1,296 @@
+"""Service-level fault injection: every attack gets a typed answer.
+
+The contract under test (the "no bare 500" guarantee): adversarial
+requests — lying headers, truncated bodies, malformed JSON, hostile
+documents, bursts, overload — are answered with the *deliberate* status
+and stable machine code from ``repro.service.diagnostics``, never a
+hang and never an unmapped 500.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.server import ServiceConfig
+from repro.workloads.purchase_orders import make_purchase_order
+from repro.xmltree.serializer import serialize
+
+from tests.faultinject import (
+    ADVERSARIAL_CASES,
+    CORPUS_LIMITS,
+    post_with_content_length,
+    post_without_content_length,
+)
+from tests.service.conftest import boot
+
+
+def po_xml(items: int = 3) -> str:
+    return serialize(make_purchase_order(items))
+
+
+class TestRequestEnvelopeFaults:
+    def test_oversized_content_length_is_413_before_any_read(
+        self, demo_service
+    ):
+        """A Content-Length beyond the byte bound is rejected from the
+        header alone — the server never buffers a byte of the body."""
+        status, payload, headers = post_with_content_length(
+            demo_service.host,
+            demo_service.port,
+            "/validate",
+            claimed_length=10_000_000_000,
+            body=b"",
+        )
+        assert status == 413
+        assert payload["error"]["code"] == "doc-too-large"
+        assert headers.get("connection") == "close"
+
+    def test_truncated_body_is_typed_400(self, demo_service):
+        status, payload, _ = post_with_content_length(
+            demo_service.host,
+            demo_service.port,
+            "/validate",
+            claimed_length=5000,
+            body=b'{"pair": "po-exp1"',
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "truncated-body"
+
+    def test_missing_content_length_is_411(self, demo_service):
+        status, payload, _ = post_without_content_length(
+            demo_service.host, demo_service.port, "/validate"
+        )
+        assert status == 411
+        assert payload["error"]["code"] == "length-required"
+
+    def test_malformed_json_is_400(self, demo_service):
+        body = b"this is not json {"
+        status, payload, _ = post_with_content_length(
+            demo_service.host,
+            demo_service.port,
+            "/validate",
+            claimed_length=len(body),
+            body=body,
+            close_early=False,
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+    def test_non_object_json_is_400(self, demo_service):
+        status, payload, _ = demo_service.post("/validate", [1, 2, 3])
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+    def test_missing_fields_are_400(self, demo_service):
+        status, payload, _ = demo_service.post("/validate", {})
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+        status, payload, _ = demo_service.post(
+            "/validate", {"pair": "po-exp1"}
+        )
+        assert status == 400
+
+    def test_unknown_pair_is_404(self, demo_service):
+        status, payload, _ = demo_service.post(
+            "/validate", {"pair": "no-such-pair", "xml": "<a/>"}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-pair"
+
+    def test_unknown_route_is_404(self, demo_service):
+        status, payload, _ = demo_service.post("/frobnicate", {})
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-route"
+
+    def test_wrong_method_is_405(self, demo_service):
+        status, payload, _ = demo_service.get("/validate")
+        assert status == 405
+        assert payload["error"]["code"] == "method-not-allowed"
+        status, payload, _ = demo_service.post("/healthz", {})
+        assert status == 405
+
+    def test_bad_mod_operations_are_400(self, demo_service):
+        for mods in (
+            "not-a-list",
+            [{"no-op-field": 1}],
+            [{"op": "explode", "path": ""}],
+            [{"op": "rename", "path": "9999.9999", "label": "x"}],
+            [{"op": "rename", "path": "not.a.path", "label": "x"}],
+        ):
+            status, payload, _ = demo_service.post(
+                "/cast-with-mods",
+                {"pair": "po-exp1", "xml": po_xml(), "mods": mods},
+            )
+            assert status == 400, f"mods={mods!r} gave {status}"
+            assert payload["error"]["code"] == "bad-request"
+
+
+class TestAdversarialDocuments:
+    """The on-disk adversarial corpus, delivered over HTTP: each case
+    maps to its guard's status code via the shared error taxonomy."""
+
+    #: corpus name -> (HTTP status, machine code) under CORPUS_LIMITS.
+    EXPECTED = {
+        "deep-nesting": (422, "doc-too-deep"),
+        "entity-bomb": (422, "entity-expansion"),
+        "oversized": (413, "doc-too-large"),
+        "truncated": (400, "xml-syntax"),
+        "garbage-tail": (400, "xml-syntax"),
+    }
+
+    @pytest.fixture()
+    def guarded_service(self):
+        from repro.service.registry import ServiceRegistry, demo_specs
+        from repro.service.server import ValidationService
+
+        registry = ServiceRegistry(
+            demo_specs(), default_limits=CORPUS_LIMITS
+        )
+        service = ValidationService(registry)
+        host, port = service.start()
+        assert service.wait_ready(30.0)
+        from tests.service.conftest import ServiceHandle
+
+        yield ServiceHandle(service, host, port)
+        service.close()
+
+    def test_every_corpus_case_gets_its_typed_status(
+        self, guarded_service
+    ):
+        assert set(self.EXPECTED) == set(ADVERSARIAL_CASES)
+        for name, (text, _error) in ADVERSARIAL_CASES.items():
+            status, payload, _ = guarded_service.post(
+                "/validate",
+                {"pair": "po-exp1", "xml": text, "schema": "source"},
+            )
+            want_status, want_code = self.EXPECTED[name]
+            assert status == want_status, (
+                f"{name}: expected {want_status}, got {status}"
+            )
+            assert payload["error"]["code"] == want_code, name
+            assert payload["diagnostics"], name
+
+    def test_syntax_diagnostics_carry_position(self, guarded_service):
+        status, payload, _ = guarded_service.post(
+            "/validate", {"pair": "po-exp1", "xml": "<open"}
+        )
+        assert status == 400
+        diagnostic = payload["diagnostics"][0]
+        assert diagnostic["code"] == "xml-syntax"
+        assert diagnostic["line"] >= 1
+
+
+class TestOverloadFaults:
+    def test_burst_beyond_rate_limit_is_429_with_retry_after(self):
+        handle = boot(ServiceConfig(rate=1.0, burst=2))
+        try:
+            codes = []
+            for _ in range(4):
+                status, payload, headers = handle.post(
+                    "/validate", {"pair": "po-exp1", "xml": po_xml()}
+                )
+                codes.append(status)
+                if status == 429:
+                    assert payload["error"]["code"] == "rate-limited"
+                    assert "Retry-After" in headers
+            assert codes.count(200) == 2
+            assert codes.count(429) == 2
+        finally:
+            handle.service.close()
+
+    def test_queue_overflow_is_503_with_retry_after(self):
+        entered = threading.Semaphore(0)
+        release = threading.Event()
+
+        def hold(route: str) -> None:
+            entered.release()
+            release.wait(timeout=30.0)
+
+        handle = boot(
+            ServiceConfig(
+                max_concurrent=1, max_queue=0, queue_timeout=0.2
+            ),
+            after_admit_hook=hold,
+        )
+        try:
+            blocker_result = []
+
+            def blocker() -> None:
+                blocker_result.append(
+                    handle.post(
+                        "/validate",
+                        {"pair": "po-exp1", "xml": po_xml()},
+                        timeout=30.0,
+                    )
+                )
+
+            thread = threading.Thread(target=blocker, daemon=True)
+            thread.start()
+            assert entered.acquire(timeout=10.0)
+            status, payload, headers = handle.post(
+                "/validate", {"pair": "po-exp1", "xml": po_xml()}
+            )
+            assert status == 503
+            assert payload["error"]["code"] == "overloaded"
+            assert "Retry-After" in headers
+            release.set()
+            thread.join(timeout=30.0)
+            assert blocker_result[0][0] == 200
+        finally:
+            release.set()
+            handle.service.close()
+
+    def test_drain_refusals_are_typed_503(self):
+        # Drain with a request in flight: the listener stays up until
+        # it finishes, and refusals in that window are typed 503s (an
+        # *idle* drain stops immediately — nothing left to refuse).
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold(route: str) -> None:
+            entered.set()
+            release.wait(timeout=30.0)
+
+        handle = boot(after_admit_hook=hold)
+        try:
+            threading.Thread(
+                target=lambda: handle.post(
+                    "/validate",
+                    {"pair": "po-exp1", "xml": po_xml()},
+                    timeout=30.0,
+                ),
+                daemon=True,
+            ).start()
+            assert entered.wait(timeout=10.0)
+            handle.service.begin_drain()
+            status, payload, _ = handle.post(
+                "/validate", {"pair": "po-exp1", "xml": po_xml()}
+            )
+            assert status == 503
+            assert payload["error"]["code"] == "draining"
+        finally:
+            release.set()
+            handle.service.close()
+
+
+class TestNoBareFiveHundred:
+    def test_handler_bug_is_structured_500(self):
+        """A defect outside the taxonomy collapses to a structured
+        ``internal`` record — message withheld, diagnostics intact."""
+
+        def explode(route: str) -> None:
+            raise RuntimeError("injected defect: secret internals")
+
+        handle = boot(after_admit_hook=explode)
+        try:
+            status, payload, _ = handle.post(
+                "/validate", {"pair": "po-exp1", "xml": po_xml()}
+            )
+            assert status == 500
+            assert payload["error"]["code"] == "internal"
+            assert "secret" not in payload["error"]["message"]
+            assert payload["diagnostics"] == []
+        finally:
+            handle.service.close()

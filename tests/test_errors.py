@@ -1,0 +1,110 @@
+"""The machine-readable error vocabulary: stable codes, one wire shape.
+
+Every class in the ``ReproError`` taxonomy carries a stable kebab-case
+``code`` and renders through ``to_dict()`` — the single diagnostic
+shape shared by the CLI, the batch driver's ``DocumentResult``, and the
+HTTP service.  These tests pin the vocabulary: a code is an API, and
+changing one silently breaks every client switching on it.
+"""
+
+from __future__ import annotations
+
+import repro.schema.artifacts  # noqa: F401 — load the artifact and
+import repro.service.errors  # noqa: F401 — service branches so the
+# taxonomy walk below covers their classes too.
+from repro.errors import (
+    INTERNAL_CODE,
+    IO_ERROR_CODE,
+    WORKER_CRASH_CODE,
+    DeadlineExceededError,
+    DocumentTooDeepError,
+    DocumentTooLargeError,
+    EntityExpansionError,
+    ReproError,
+    ValidationError,
+    XMLSyntaxError,
+    code_for_error_type,
+    error_code,
+)
+
+
+def taxonomy() -> list[type]:
+    classes, frontier = [], [ReproError]
+    while frontier:
+        cls = frontier.pop()
+        classes.append(cls)
+        frontier.extend(cls.__subclasses__())
+    return classes
+
+
+class TestCodes:
+    def test_every_class_has_a_kebab_case_code(self):
+        for cls in taxonomy():
+            code = cls.code
+            assert code, cls.__name__
+            assert code == code.lower(), cls.__name__
+            assert " " not in code and "_" not in code, cls.__name__
+
+    def test_codes_are_unique_across_the_taxonomy(self):
+        by_code: dict[str, str] = {}
+        for cls in taxonomy():
+            if "code" in cls.__dict__:  # own, not inherited
+                assert cls.code not in by_code, (
+                    f"{cls.__name__} reuses code {cls.code!r} "
+                    f"of {by_code[cls.code]}"
+                )
+                by_code[cls.code] = cls.__name__
+
+    def test_pinned_vocabulary(self):
+        # The codes clients are allowed to depend on.
+        assert XMLSyntaxError.code == "xml-syntax"
+        assert ValidationError.code == "validation-failed"
+        assert DocumentTooLargeError.code == "doc-too-large"
+        assert DocumentTooDeepError.code == "doc-too-deep"
+        assert EntityExpansionError.code == "entity-expansion"
+        assert DeadlineExceededError.code == "deadline-exceeded"
+
+    def test_error_code_helper(self):
+        assert error_code(XMLSyntaxError("boom")) == "xml-syntax"
+        assert error_code(OSError("disk")) == IO_ERROR_CODE
+        assert error_code(RuntimeError("bug")) == INTERNAL_CODE
+
+
+class TestToDict:
+    def test_plain_error(self):
+        data = XMLSyntaxError("unexpected <").to_dict()
+        assert data["code"] == "xml-syntax"
+        assert data["message"] == "unexpected <"
+
+    def test_positional_attributes_included_when_set(self):
+        error = XMLSyntaxError("bad token")
+        error.line, error.column = 3, 17
+        data = error.to_dict()
+        assert data["line"] == 3 and data["column"] == 17
+
+    def test_zero_positions_omitted(self):
+        error = XMLSyntaxError("bad token")
+        error.line = 0
+        assert "line" not in error.to_dict()
+
+
+class TestCodeForErrorType:
+    """Healing journal records that predate ``error_code``: the batch
+    checkpoint layer recovers a code from the stored class name."""
+
+    def test_known_class_names_resolve(self):
+        assert code_for_error_type("XMLSyntaxError") == "xml-syntax"
+        assert code_for_error_type("DeadlineExceededError") == (
+            "deadline-exceeded"
+        )
+
+    def test_worker_crash_marker(self):
+        assert code_for_error_type("WorkerCrash") == WORKER_CRASH_CODE
+
+    def test_oserror_names_resolve_to_io(self):
+        assert code_for_error_type("FileNotFoundError") == IO_ERROR_CODE
+        assert code_for_error_type("OSError") == IO_ERROR_CODE
+
+    def test_unknown_name_is_internal_and_empty_is_empty(self):
+        assert code_for_error_type("SomethingNovel") == INTERNAL_CODE
+        assert code_for_error_type("") == ""

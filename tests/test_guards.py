@@ -150,6 +150,19 @@ class TestDeadline:
         assert isinstance(token, Deadline)
         assert token.budget == 30
 
+    def test_remaining_counts_down_from_budget(self):
+        deadline = Deadline(60.0)
+        remaining = deadline.remaining()
+        assert 0.0 < remaining <= 60.0
+        time.sleep(0.002)
+        assert deadline.remaining() < remaining
+
+    def test_remaining_never_negative_after_expiry(self):
+        deadline = Deadline(1e-9)
+        time.sleep(0.001)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
 
 class TestGuardChecks:
     def test_document_size(self):
