@@ -11,14 +11,22 @@ schema pair, so the artifacts amortize over every document validated:
   dense integers ``0..k-1``.  One table is shared per schema (its own
   alphabet) or per schema pair (the union alphabet), so one string
   lookup per *child label* replaces one per *automaton step*.
-* :class:`CompiledDFA` — a complete DFA as flat tuple rows indexed by
-  symbol id.  Entries are ``-1`` for symbols the underlying DFA's
-  alphabet does not contain (the table may cover a superset alphabet);
-  such symbols reject, exactly as the dict representation's missing-key
-  path does.
+* :class:`CompiledDFA` — a complete DFA as one contiguous ``array('i')``
+  in state-major order: the successor of state ``q`` on symbol ``sid``
+  is ``flat[q * width + sid]``, with ``-1`` as the reject sentinel for
+  symbols outside the underlying DFA's alphabet (the table may cover a
+  superset alphabet).  The inner step is one index computation plus one
+  load — no per-state tuple object, no second indirection.
 * :class:`CompiledImmediate` — an immediate decision automaton
-  (Section 4) with IA/IR/final membership as boolean masks, scanned by
-  tuple indexing instead of frozenset hashing.
+  (Section 4) with the same flat transition encoding plus one ``bytes``
+  object of per-state flag bits (``FINAL``/``IA``/``IR``), so the
+  early-decision test is a single byte load and mask.
+
+``rows``/``finals_mask``/``ia_mask``/``ir_mask`` remain available as
+lazily derived tuple views for construction-time code, tests and
+introspection; hot paths walk ``flat``/``flags`` directly or hand them
+to the optional compiled backend (:mod:`repro.kernel`), which performs
+the identical walk in C.
 
 The interning is bijective, so every compiled run recognizes exactly
 the language of the source automaton (word accepted iff its image under
@@ -28,10 +36,17 @@ label alphabets and only the execution changes representation.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Iterable, Iterator, KeysView, Optional, Sequence
 
+from repro import kernel as _kernel
 from repro.automata.dfa import DFA
 from repro.automata.immediate import ImmediateDecisionAutomaton
+
+#: Per-state flag bits in the ``flags`` bytes of compiled machines.
+FLAG_FINAL = 1
+FLAG_IA = 2
+FLAG_IR = 4
 
 
 class LazyPairTable:
@@ -141,16 +156,33 @@ class SymbolTable:
         return f"SymbolTable({len(self.labels)} labels)"
 
 
-class CompiledDFA:
-    """A complete DFA compiled to dense integer transition rows.
+def _flatten(rows: Sequence[Sequence[int]]) -> tuple[array, int, int]:
+    """``(flat, width, num_states)`` for a sequence of equal-width rows."""
+    rows = [tuple(row) for row in rows]
+    num_states = len(rows)
+    width = len(rows[0]) if rows else 0
+    flat = array("i")
+    for row in rows:
+        if len(row) != width:
+            raise ValueError("transition rows must share one width")
+        flat.extend(row)
+    return flat, width, num_states
 
-    ``rows[q][sid]`` is the successor of state ``q`` on the symbol with
-    id ``sid``, or ``-1`` when that symbol is outside the underlying
-    DFA's alphabet (possible when the symbol table covers a superset —
-    e.g. the pair alphabet against one schema's content model).
+
+class CompiledDFA:
+    """A complete DFA compiled to one flat integer transition table.
+
+    The successor of state ``q`` on the symbol with id ``sid`` is
+    ``flat[q * width + sid]``, or ``-1`` when that symbol is outside
+    the underlying DFA's alphabet (possible when the symbol table
+    covers a superset — e.g. the pair alphabet against one schema's
+    content model).  ``flags`` holds :data:`FLAG_FINAL` per state.
+    ``rows``/``finals_mask`` are derived tuple views for construction
+    and test code; the hot walks never materialize them.
     """
 
-    __slots__ = ("symbols", "rows", "start", "finals_mask")
+    __slots__ = ("symbols", "flat", "width", "flags", "start",
+                 "_rows", "_finals")
 
     def __init__(
         self,
@@ -160,11 +192,13 @@ class CompiledDFA:
         finals_mask: Sequence[bool],
     ):
         self.symbols = symbols
-        self.rows: tuple[tuple[int, ...], ...] = tuple(
-            tuple(row) for row in rows
-        )
+        self.flat, self.width, _ = _flatten(rows)
         self.start = start
-        self.finals_mask: tuple[bool, ...] = tuple(finals_mask)
+        self.flags = bytes(
+            FLAG_FINAL if final else 0 for final in finals_mask
+        )
+        self._rows: Optional[tuple[tuple[int, ...], ...]] = None
+        self._finals: Optional[tuple[bool, ...]] = None
 
     @classmethod
     def from_dfa(cls, dfa: DFA, symbols: SymbolTable) -> "CompiledDFA":
@@ -176,44 +210,65 @@ class CompiledDFA:
         mask = tuple(q in finals for q in range(dfa.num_states))
         return cls(symbols, rows, dfa.start, mask)
 
+    def __getstate__(self):
+        return (self.symbols, self.flat, self.width, self.flags, self.start)
+
+    def __setstate__(self, state):
+        self.symbols, self.flat, self.width, self.flags, self.start = state
+        self._rows = None
+        self._finals = None
+
     @property
     def num_states(self) -> int:
-        return len(self.rows)
+        return len(self.flags)
+
+    @property
+    def rows(self) -> tuple[tuple[int, ...], ...]:
+        """Tuple-of-tuples view of the flat table (derived lazily)."""
+        rows = self._rows
+        if rows is None:
+            flat, width = self.flat, self.width
+            rows = tuple(
+                tuple(flat[q * width:(q + 1) * width])
+                for q in range(len(self.flags))
+            )
+            self._rows = rows
+        return rows
+
+    @property
+    def finals_mask(self) -> tuple[bool, ...]:
+        finals = self._finals
+        if finals is None:
+            finals = tuple(bool(f & FLAG_FINAL) for f in self.flags)
+            self._finals = finals
+        return finals
 
     def run(self, ids: Iterable[int], start: Optional[int] = None) -> int:
         """The state reached on an interned word, or ``-1`` once any
         symbol falls outside the automaton's alphabet."""
         state = self.start if start is None else start
-        rows = self.rows
+        c = _kernel.C
+        if c is not None:
+            if not isinstance(ids, (list, tuple)):
+                ids = list(ids)
+            return c.dfa_run(self.flat, self.width, state, ids)
+        flat = self.flat
+        width = self.width
         for sid in ids:
             if sid < 0:
                 return -1
-            state = rows[state][sid]
+            state = flat[state * width + sid]
             if state < 0:
                 return -1
         return state
 
     def run_from(self, state: int, ids: Iterable[int]) -> int:
         """``run`` with an explicit start state (mid-scan resumption)."""
-        rows = self.rows
-        for sid in ids:
-            if sid < 0:
-                return -1
-            state = rows[state][sid]
-            if state < 0:
-                return -1
-        return state
+        return self.run(ids, state)
 
     def accepts(self, ids: Iterable[int]) -> bool:
-        state = self.start
-        rows = self.rows
-        for sid in ids:
-            if sid < 0:
-                return False
-            state = rows[state][sid]
-            if state < 0:
-                return False
-        return self.finals_mask[state]
+        state = self.run(ids)
+        return state >= 0 and bool(self.flags[state] & FLAG_FINAL)
 
     def __repr__(self) -> str:
         return (
@@ -223,8 +278,11 @@ class CompiledDFA:
 
 
 class CompiledImmediate:
-    """An immediate decision automaton compiled to dense tables.
+    """An immediate decision automaton compiled to flat tables.
 
+    Transitions share :class:`CompiledDFA`'s flat layout; ``flags``
+    packs :data:`FLAG_FINAL`/:data:`FLAG_IA`/:data:`FLAG_IR` per state
+    so the per-symbol early-decision check is one byte load and mask.
     ``decide``/``scan`` replicate
     :meth:`~repro.automata.immediate.ImmediateDecisionAutomaton.scan`
     exactly — IA checked before IR, both before consuming the symbol,
@@ -232,8 +290,8 @@ class CompiledImmediate:
     representations are interchangeable verdict- and count-wise.
     """
 
-    __slots__ = ("symbols", "rows", "start", "finals_mask", "ia_mask",
-                 "ir_mask")
+    __slots__ = ("symbols", "flat", "width", "flags", "start",
+                 "_rows", "_finals", "_ia", "_ir")
 
     def __init__(
         self,
@@ -245,13 +303,21 @@ class CompiledImmediate:
         ir_mask: Sequence[bool],
     ):
         self.symbols = symbols
-        self.rows: tuple[tuple[int, ...], ...] = tuple(
-            tuple(row) for row in rows
-        )
+        self.flat, self.width, num_states = _flatten(rows)
         self.start = start
-        self.finals_mask: tuple[bool, ...] = tuple(finals_mask)
-        self.ia_mask: tuple[bool, ...] = tuple(ia_mask)
-        self.ir_mask: tuple[bool, ...] = tuple(ir_mask)
+        finals = tuple(finals_mask)
+        ia = tuple(ia_mask)
+        ir = tuple(ir_mask)
+        self.flags = bytes(
+            (FLAG_FINAL if finals[q] else 0)
+            | (FLAG_IA if ia[q] else 0)
+            | (FLAG_IR if ir[q] else 0)
+            for q in range(num_states)
+        )
+        self._rows: Optional[tuple[tuple[int, ...], ...]] = None
+        self._finals: Optional[tuple[bool, ...]] = None
+        self._ia: Optional[tuple[bool, ...]] = None
+        self._ir: Optional[tuple[bool, ...]] = None
 
     @classmethod
     def from_immediate(
@@ -272,27 +338,86 @@ class CompiledImmediate:
             tuple(q in immed.ir for q in range(n)),
         )
 
+    def __getstate__(self):
+        return (self.symbols, self.flat, self.width, self.flags, self.start)
+
+    def __setstate__(self, state):
+        self.symbols, self.flat, self.width, self.flags, self.start = state
+        self._rows = None
+        self._finals = None
+        self._ia = None
+        self._ir = None
+
     @property
     def num_states(self) -> int:
-        return len(self.rows)
+        return len(self.flags)
+
+    @property
+    def rows(self) -> tuple[tuple[int, ...], ...]:
+        """Tuple-of-tuples view of the flat table (derived lazily)."""
+        rows = self._rows
+        if rows is None:
+            flat, width = self.flat, self.width
+            rows = tuple(
+                tuple(flat[q * width:(q + 1) * width])
+                for q in range(len(self.flags))
+            )
+            self._rows = rows
+        return rows
+
+    @property
+    def finals_mask(self) -> tuple[bool, ...]:
+        finals = self._finals
+        if finals is None:
+            finals = tuple(bool(f & FLAG_FINAL) for f in self.flags)
+            self._finals = finals
+        return finals
+
+    @property
+    def ia_mask(self) -> tuple[bool, ...]:
+        ia = self._ia
+        if ia is None:
+            ia = tuple(bool(f & FLAG_IA) for f in self.flags)
+            self._ia = ia
+        return ia
+
+    @property
+    def ir_mask(self) -> tuple[bool, ...]:
+        ir = self._ir
+        if ir is None:
+            ir = tuple(bool(f & FLAG_IR) for f in self.flags)
+            self._ir = ir
+        return ir
 
     def decide(self, ids: Iterable[int], start: Optional[int] = None) -> bool:
         """The scan verdict alone — the stats-free hot path."""
         state = self.start if start is None else start
-        rows = self.rows
-        ia = self.ia_mask
-        ir = self.ir_mask
+        c = _kernel.C
+        if c is not None:
+            if not isinstance(ids, (list, tuple)):
+                ids = list(ids)
+            return c.imm_decide(self.flat, self.flags, self.width, state, ids)
+        flat = self.flat
+        width = self.width
+        flags = self.flags
         for sid in ids:
-            if ia[state]:
+            f = flags[state]
+            if f & 2:  # FLAG_IA
                 return True
-            if ir[state]:
+            if f & 4:  # FLAG_IR
                 return False
             if sid < 0:
                 return False
-            state = rows[state][sid]
+            state = flat[state * width + sid]
             if state < 0:
                 return False
-        return self.finals_mask[state]
+        return bool(flags[state] & 1)  # FLAG_FINAL
+
+    def step(self, state: int, sid: int) -> int:
+        """One transition; ``-1`` rejects (hot-loop helper)."""
+        if sid < 0 or state < 0:
+            return -1
+        return self.flat[state * self.width + sid]
 
     def scan(
         self, ids: Sequence[int], start: Optional[int] = None
@@ -300,23 +425,29 @@ class CompiledImmediate:
         """``(accepted, symbols_scanned, early, state)`` with the same
         counting semantics as the dict-based ``scan``."""
         state = self.start if start is None else start
-        rows = self.rows
-        ia = self.ia_mask
-        ir = self.ir_mask
+        c = _kernel.C
+        if c is not None:
+            if not isinstance(ids, (list, tuple)):
+                ids = list(ids)
+            return c.imm_scan(self.flat, self.flags, self.width, state, ids)
+        flat = self.flat
+        width = self.width
+        flags = self.flags
         scanned = 0
         for sid in ids:
-            if ia[state]:
+            f = flags[state]
+            if f & 2:  # FLAG_IA
                 return True, scanned, True, state
-            if ir[state]:
+            if f & 4:  # FLAG_IR
                 return False, scanned, True, state
             if sid < 0:
                 return False, scanned + 1, True, state
-            next_state = rows[state][sid]
+            next_state = flat[state * width + sid]
             if next_state < 0:
                 return False, scanned + 1, True, state
             state = next_state
             scanned += 1
-        return self.finals_mask[state], scanned, False, state
+        return bool(flags[state] & 1), scanned, False, state
 
     def __repr__(self) -> str:
         return (

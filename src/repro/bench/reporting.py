@@ -63,6 +63,16 @@ def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
     return "\n".join(lines)
 
 
+def _kernel_backend() -> str:
+    """The active validation-kernel backend, for record stamping."""
+    try:
+        from repro.kernel import backend_name
+
+        return backend_name()
+    except Exception:
+        return "unknown"
+
+
 def update_bench_json(
     path: str,
     entries: Mapping[str, Mapping[str, object]],
@@ -72,9 +82,11 @@ def update_bench_json(
     """Merge benchmark records into the machine-readable results file.
 
     ``entries`` maps a benchmark name to its JSON-serializable record;
-    each record is stamped with ``source`` (the emitting script) and
+    each record is stamped with ``source`` (the emitting script),
     ``cpu_count`` (``os.cpu_count()`` of the measuring machine, so a
-    scaling number can never be read without its hardware context).
+    scaling number can never be read without its hardware context), and
+    ``kernel_backend`` (``py`` or ``compiled``, so a throughput number
+    can never be read without knowing which kernel produced it).
     The file layout is ``{"version": 1, "results": {name: record}}``;
     records for benchmarks not named in ``entries`` are preserved, so
     several scripts can share one file.  A missing or corrupt file is
@@ -98,6 +110,7 @@ def update_bench_json(
             **record,
             "source": source,
             "cpu_count": os.cpu_count(),
+            "kernel_backend": _kernel_backend(),
         }
     data = {"version": 1, "results": results}
     directory = os.path.dirname(os.path.abspath(path))

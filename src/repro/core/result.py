@@ -46,6 +46,10 @@ class ValidationStats:
             runs and the CLI's ``--profile-parse``); 0.0 otherwise.
         validate_seconds: wall-clock time spent in the validator proper,
             under the same conditions.
+        skip_seconds: wall-clock time spent fast-forwarding subsumed
+            subtrees at the byte level, under the same conditions —
+            attributed separately so a skip-heavy profile doesn't lump
+            skim time into the parse phase.
 
     Every counter is additive, so :meth:`merge` is the single
     aggregation primitive — the batch driver folds per-document (and
@@ -70,6 +74,7 @@ class ValidationStats:
     #: same work (equal counters) compare equal regardless of timing.
     parse_seconds: float = field(default=0.0, compare=False)
     validate_seconds: float = field(default=0.0, compare=False)
+    skip_seconds: float = field(default=0.0, compare=False)
 
     @property
     def nodes_visited(self) -> int:

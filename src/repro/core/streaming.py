@@ -37,6 +37,52 @@ from repro.xmltree.events import (
 )
 
 
+class _TimedEvents:
+    """Iterator shim that bills time spent producing events (the lexer
+    and event assembly) to ``parse_seconds`` — the profiling hook of
+    :meth:`StreamingCastValidator.profile_text`."""
+
+    __slots__ = ("_events", "parse_seconds", "skip_seconds")
+
+    def __init__(self, events) -> None:
+        self._events = iter(events)
+        self.parse_seconds = 0.0
+        self.skip_seconds = 0.0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        import time
+
+        start = time.perf_counter()
+        try:
+            return next(self._events)
+        finally:
+            self.parse_seconds += time.perf_counter() - start
+
+
+class _TimedPull(_TimedEvents):
+    """The pull-parser variant: additionally bills byte-level subtree
+    skims to ``skip_seconds`` (they are neither parsing in the token
+    sense nor validation)."""
+
+    __slots__ = ("_pull",)
+
+    def __init__(self, pull: PullParser) -> None:
+        super().__init__(pull)
+        self._pull = pull
+
+    def skip_subtree(self, *, trusted: bool = False) -> int:
+        import time
+
+        start = time.perf_counter()
+        try:
+            return self._pull.skip_subtree(trusted=trusted)
+        finally:
+            self.skip_seconds += time.perf_counter() - start
+
+
 @dataclass
 class _Frame:
     label: str
@@ -317,11 +363,28 @@ class StreamingCastValidator:
 
         ``byte_skip=True`` engages the skip-scan fast path: subsumed
         subtrees are fast-forwarded at the *byte* level (never
-        tokenized) through a :class:`PullParser`; ``trusted=True``
-        additionally selects the byte-search skim, which assumes the
-        document is well-formed (the paper's source-validity premise).
-        The verdict is identical either way — only the work differs.
+        tokenized); ``trusted=True`` additionally selects the
+        byte-search skim, which assumes the document is well-formed
+        (the paper's source-validity premise).  The verdict is
+        identical either way — only the work differs.
+
+        Both modes run the fused parse+validate loop of
+        :mod:`repro.core.castkernel` (no event objects); the event
+        pipelines below (:meth:`validate_events`/:meth:`validate_pull`)
+        remain as the executable specification the kernel is fuzzed
+        against, and as the instrumented path for phase profiling.
         """
+        from repro.core.castkernel import run_cast
+
+        return run_cast(self, text, byte_skip=byte_skip, trusted=trusted)
+
+    def validate_text_events(
+        self, text: str, *, byte_skip: bool = False, trusted: bool = False
+    ) -> ValidationReport:
+        """The pre-kernel event pipeline of :meth:`validate_text` —
+        byte-identical verdicts/stats, used as the fuzzing reference
+        and by the profiling path (which must time parse and validate
+        phases separately, something the fused loop cannot)."""
         from repro.errors import XMLSyntaxError
 
         try:
@@ -341,6 +404,56 @@ class StreamingCastValidator:
             )
         except XMLSyntaxError as error:
             return ValidationReport.failure(f"not well-formed: {error}")
+
+    def profile_text(
+        self, text: str, *, byte_skip: bool = False, trusted: bool = False
+    ) -> ValidationReport:
+        """:meth:`validate_text` with wall-clock phase attribution.
+
+        Runs the instrumented event pipeline (the fused loop interleaves
+        parsing and validation in one frame, so it cannot attribute
+        time) and fills ``stats.parse_seconds`` (event production),
+        ``stats.skip_seconds`` (byte-level skims of subsumed subtrees),
+        and ``stats.validate_seconds`` (everything else — the cast
+        logic).  Verdicts are identical to :meth:`validate_text`; only
+        use this when the breakdown is wanted (``--profile-parse``), as
+        the per-event timing hooks cost real throughput.
+        """
+        import time
+
+        from repro.errors import XMLSyntaxError
+
+        timer = time.perf_counter
+        total_start = timer()
+        try:
+            if byte_skip:
+                timed = _TimedPull(
+                    PullParser(text, limits=self.limits,
+                               deadline=self.limits.deadline(),
+                               symbols=self.pair.symbols)
+                )
+                report = self.validate_pull(timed, interned=True,
+                                            trusted=trusted)
+            else:
+                timed = _TimedEvents(
+                    iterparse(text, limits=self.limits,
+                              deadline=self.limits.deadline(),
+                              symbols=self.pair.symbols)
+                )
+                report = self.validate_events(timed, interned=True)
+        except XMLSyntaxError as error:
+            report = ValidationReport.failure(f"not well-formed: {error}")
+        total = timer() - total_start
+        stats = (
+            report.stats if report.stats is not None else ValidationStats()
+        )
+        stats.parse_seconds += timed.parse_seconds
+        stats.skip_seconds += timed.skip_seconds
+        stats.validate_seconds += max(
+            0.0, total - timed.parse_seconds - timed.skip_seconds
+        )
+        report.stats = stats
+        return report
 
     def validate_file(
         self, path: str, *, byte_skip: bool = False, trusted: bool = False

@@ -297,7 +297,8 @@ def _fast_validate(
         return None
     compiled = schema.compiled_content_dfa(type_name)
     ids = schema.symbols.ids
-    rows = compiled.rows
+    flat = compiled.flat
+    width = compiled.width
     state = compiled.start
     syms: list[int] = []
     for child in element.children:
@@ -320,8 +321,8 @@ def _fast_validate(
         syms.append(sid)
         # Content rows are complete over the schema alphabet, so an
         # interned symbol always has a successor.
-        state = rows[state][sid]
-    if not compiled.finals_mask[state]:
+        state = flat[state * width + sid]
+    if not (compiled.flags[state] & 1):
         return ValidationReport.failure(
             f"children of {element.label!r} do not match content model "
             f"{declaration.content.to_source()} of type {type_name!r}",

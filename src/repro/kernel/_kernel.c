@@ -1,0 +1,335 @@
+/* Compiled kernel for flat-table automaton walks and leaf lexing.
+ *
+ * The Python side (repro.automata.compiled, repro.core.castkernel)
+ * stores transition tables as contiguous arrays of C ints in
+ * state-major order: the successor of state q on symbol sid lives at
+ * table[q * width + sid], with -1 as the reject sentinel.  Per-state
+ * properties are a parallel bytes object of flag bits.  Every function
+ * here replicates the pure-python walk bit for bit — same sentinel
+ * handling, same IA-before-IR decision order, same counters — so the
+ * two backends are interchangeable verdict- and stats-wise.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define FLAG_FINAL 1
+#define FLAG_IA 2
+#define FLAG_IR 4
+
+/* Simplified XML 1.0 name characters, matching NAME_PATTERN in
+ * repro.xmltree.lexer: start [A-Za-z_:], continue adds [0-9.-]. */
+static int
+name_start_char(Py_UCS4 ch)
+{
+    return (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+           ch == '_' || ch == ':';
+}
+
+static int
+name_char(Py_UCS4 ch)
+{
+    return name_start_char(ch) || (ch >= '0' && ch <= '9') ||
+           ch == '.' || ch == '-';
+}
+
+static int
+get_table(PyObject *obj, Py_buffer *view, const int **data,
+          Py_ssize_t width, Py_ssize_t *nstates)
+{
+    if (PyObject_GetBuffer(obj, view, PyBUF_SIMPLE) < 0)
+        return -1;
+    *data = (const int *)view->buf;
+    *nstates = width > 0 ? view->len / (Py_ssize_t)sizeof(int) / width : 0;
+    return 0;
+}
+
+/* dfa_run(table, width, state, ids) -> end state, or -1 on reject. */
+static PyObject *
+kernel_dfa_run(PyObject *self, PyObject *args)
+{
+    PyObject *table_obj, *ids_obj;
+    Py_ssize_t width;
+    long state;
+    if (!PyArg_ParseTuple(args, "OnlO", &table_obj, &width, &state, &ids_obj))
+        return NULL;
+    Py_buffer view;
+    const int *table;
+    Py_ssize_t nstates;
+    if (get_table(table_obj, &view, &table, width, &nstates) < 0)
+        return NULL;
+    PyObject *seq = PySequence_Fast(ids_obj, "ids must be a sequence");
+    if (seq == NULL) {
+        PyBuffer_Release(&view);
+        return NULL;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    PyObject **items = PySequence_Fast_ITEMS(seq);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        long sid = PyLong_AsLong(items[i]);
+        if (sid == -1 && PyErr_Occurred()) {
+            Py_DECREF(seq);
+            PyBuffer_Release(&view);
+            return NULL;
+        }
+        if (sid < 0 || sid >= width || state < 0 || state >= nstates) {
+            state = -1;
+            break;
+        }
+        state = table[state * width + sid];
+        if (state < 0) {
+            state = -1;
+            break;
+        }
+    }
+    Py_DECREF(seq);
+    PyBuffer_Release(&view);
+    return PyLong_FromLong(state);
+}
+
+/* imm_decide(table, flags, width, state, ids) -> bool verdict.
+ * IA checked before IR, both before consuming the symbol. */
+static PyObject *
+kernel_imm_decide(PyObject *self, PyObject *args)
+{
+    PyObject *table_obj, *ids_obj;
+    Py_ssize_t width, flag_len;
+    long state;
+    const char *flags;
+    if (!PyArg_ParseTuple(args, "Oy#nlO", &table_obj, &flags, &flag_len,
+                          &width, &state, &ids_obj))
+        return NULL;
+    Py_buffer view;
+    const int *table;
+    Py_ssize_t nstates;
+    if (get_table(table_obj, &view, &table, width, &nstates) < 0)
+        return NULL;
+    if (flag_len < nstates)
+        nstates = flag_len;
+    PyObject *seq = PySequence_Fast(ids_obj, "ids must be a sequence");
+    if (seq == NULL) {
+        PyBuffer_Release(&view);
+        return NULL;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    PyObject **items = PySequence_Fast_ITEMS(seq);
+    int verdict = -2; /* -2: ran off the word, consult FINAL */
+    for (Py_ssize_t i = 0; i < n; i++) {
+        if (state < 0 || state >= nstates) {
+            verdict = 0;
+            break;
+        }
+        unsigned char f = (unsigned char)flags[state];
+        if (f & FLAG_IA) {
+            verdict = 1;
+            break;
+        }
+        if (f & FLAG_IR) {
+            verdict = 0;
+            break;
+        }
+        long sid = PyLong_AsLong(items[i]);
+        if (sid == -1 && PyErr_Occurred()) {
+            Py_DECREF(seq);
+            PyBuffer_Release(&view);
+            return NULL;
+        }
+        if (sid < 0 || sid >= width) {
+            verdict = 0;
+            break;
+        }
+        state = table[state * width + sid];
+        if (state < 0) {
+            verdict = 0;
+            break;
+        }
+    }
+    if (verdict == -2)
+        verdict = (state >= 0 && state < nstates &&
+                   (flags[state] & FLAG_FINAL)) ? 1 : 0;
+    Py_DECREF(seq);
+    PyBuffer_Release(&view);
+    if (verdict)
+        Py_RETURN_TRUE;
+    Py_RETURN_FALSE;
+}
+
+/* imm_scan(table, flags, width, state, ids)
+ *   -> (accepted, symbols_scanned, early, state)
+ * with the same counting semantics as CompiledImmediate.scan. */
+static PyObject *
+kernel_imm_scan(PyObject *self, PyObject *args)
+{
+    PyObject *table_obj, *ids_obj;
+    Py_ssize_t width, flag_len;
+    long state;
+    const char *flags;
+    if (!PyArg_ParseTuple(args, "Oy#nlO", &table_obj, &flags, &flag_len,
+                          &width, &state, &ids_obj))
+        return NULL;
+    Py_buffer view;
+    const int *table;
+    Py_ssize_t nstates;
+    if (get_table(table_obj, &view, &table, width, &nstates) < 0)
+        return NULL;
+    if (flag_len < nstates)
+        nstates = flag_len;
+    PyObject *seq = PySequence_Fast(ids_obj, "ids must be a sequence");
+    if (seq == NULL) {
+        PyBuffer_Release(&view);
+        return NULL;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    PyObject **items = PySequence_Fast_ITEMS(seq);
+    Py_ssize_t scanned = 0;
+    int accepted = 0;
+    int early = 0;
+    int decided = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        unsigned char f = (state >= 0 && state < nstates)
+                              ? (unsigned char)flags[state]
+                              : 0;
+        if (f & FLAG_IA) {
+            accepted = 1;
+            early = 1;
+            decided = 1;
+            break;
+        }
+        if (f & FLAG_IR) {
+            accepted = 0;
+            early = 1;
+            decided = 1;
+            break;
+        }
+        long sid = PyLong_AsLong(items[i]);
+        if (sid == -1 && PyErr_Occurred()) {
+            Py_DECREF(seq);
+            PyBuffer_Release(&view);
+            return NULL;
+        }
+        long next_state = -1;
+        if (sid >= 0 && sid < width && state >= 0 && state < nstates)
+            next_state = table[state * width + sid];
+        if (next_state < 0) {
+            accepted = 0;
+            early = 1;
+            decided = 1;
+            scanned += 1;
+            break;
+        }
+        state = next_state;
+        scanned += 1;
+    }
+    if (!decided)
+        accepted = (state >= 0 && state < nstates &&
+                    (flags[state] & FLAG_FINAL)) ? 1 : 0;
+    Py_DECREF(seq);
+    PyBuffer_Release(&view);
+    return Py_BuildValue("OnOl", accepted ? Py_True : Py_False, scanned,
+                         early ? Py_True : Py_False, state);
+}
+
+/* leaf_scan(text, pos) -> (name, value, value_start, end) or None.
+ *
+ * Recognizes exactly what the pure-python leaf fast-path regex does:
+ *   < NAME > [^<&\]]* </ NAME [ \t\r\n]* >
+ * i.e. an attribute-free start tag immediately followed by entity-free
+ * bracket-free text and the matching close tag.  Anything else returns
+ * None and the caller takes the general path.
+ */
+static PyObject *
+kernel_leaf_scan(PyObject *self, PyObject *args)
+{
+    PyObject *text_obj;
+    Py_ssize_t pos;
+    if (!PyArg_ParseTuple(args, "Un", &text_obj, &pos))
+        return NULL;
+    Py_ssize_t n = PyUnicode_GET_LENGTH(text_obj);
+    int kind = PyUnicode_KIND(text_obj);
+    const void *data = PyUnicode_DATA(text_obj);
+    Py_ssize_t i = pos;
+    if (i >= n || PyUnicode_READ(kind, data, i) != '<')
+        Py_RETURN_NONE;
+    i += 1;
+    if (i >= n || !name_start_char(PyUnicode_READ(kind, data, i)))
+        Py_RETURN_NONE;
+    Py_ssize_t name_start = i;
+    i += 1;
+    while (i < n && name_char(PyUnicode_READ(kind, data, i)))
+        i += 1;
+    Py_ssize_t name_end = i;
+    if (i >= n || PyUnicode_READ(kind, data, i) != '>')
+        Py_RETURN_NONE;
+    i += 1;
+    Py_ssize_t value_start = i;
+    while (i < n) {
+        Py_UCS4 ch = PyUnicode_READ(kind, data, i);
+        if (ch == '<' || ch == '&' || ch == ']')
+            break;
+        i += 1;
+    }
+    Py_ssize_t value_end = i;
+    if (i >= n || PyUnicode_READ(kind, data, i) != '<')
+        Py_RETURN_NONE;
+    if (i + 1 >= n || PyUnicode_READ(kind, data, i + 1) != '/')
+        Py_RETURN_NONE;
+    i += 2;
+    Py_ssize_t name_len = name_end - name_start;
+    if (i + name_len > n)
+        Py_RETURN_NONE;
+    for (Py_ssize_t j = 0; j < name_len; j++) {
+        if (PyUnicode_READ(kind, data, i + j) !=
+            PyUnicode_READ(kind, data, name_start + j))
+            Py_RETURN_NONE;
+    }
+    i += name_len;
+    /* The close-tag name must end here (not be a longer name). */
+    if (i < n && name_char(PyUnicode_READ(kind, data, i)))
+        Py_RETURN_NONE;
+    while (i < n) {
+        Py_UCS4 ch = PyUnicode_READ(kind, data, i);
+        if (ch != ' ' && ch != '\t' && ch != '\r' && ch != '\n')
+            break;
+        i += 1;
+    }
+    if (i >= n || PyUnicode_READ(kind, data, i) != '>')
+        Py_RETURN_NONE;
+    i += 1;
+    PyObject *name = PyUnicode_Substring(text_obj, name_start, name_end);
+    if (name == NULL)
+        return NULL;
+    PyObject *value = PyUnicode_Substring(text_obj, value_start, value_end);
+    if (value == NULL) {
+        Py_DECREF(name);
+        return NULL;
+    }
+    PyObject *result = Py_BuildValue("NNnn", name, value, value_start, i);
+    return result;
+}
+
+static PyMethodDef kernel_methods[] = {
+    {"dfa_run", kernel_dfa_run, METH_VARARGS,
+     "dfa_run(table, width, state, ids) -> end state or -1"},
+    {"imm_decide", kernel_imm_decide, METH_VARARGS,
+     "imm_decide(table, flags, width, state, ids) -> bool"},
+    {"imm_scan", kernel_imm_scan, METH_VARARGS,
+     "imm_scan(table, flags, width, state, ids) -> "
+     "(accepted, scanned, early, state)"},
+    {"leaf_scan", kernel_leaf_scan, METH_VARARGS,
+     "leaf_scan(text, pos) -> (name, value, value_start, end) or None"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "_kernel",
+    "Compiled flat-table walks for the validation kernel.",
+    -1,
+    kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__kernel(void)
+{
+    return PyModule_Create(&kernel_module);
+}

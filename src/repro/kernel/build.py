@@ -1,0 +1,135 @@
+"""Build-on-demand for the optional compiled kernel extension.
+
+The C source in ``_kernel.c`` is tiny and has no dependencies beyond
+``Python.h``, so it is compiled directly with the platform C compiler —
+no setuptools build step, no wheel, no install hook.  The build product
+is cached under a content-addressed name (source hash + interpreter
+version + platform), so editing the C source or switching interpreters
+rebuilds automatically and concurrent builders race benignly: both
+write a temp file and ``os.replace`` it into place.
+
+Nothing here runs unless the ``compiled`` backend is requested (see
+:mod:`repro.kernel`); a missing compiler or failed compile surfaces as
+:class:`KernelBuildError`, which the backend selector turns into a
+pure-python fallback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shlex
+import subprocess
+import sys
+import sysconfig
+import tempfile
+
+from repro.errors import ReproError
+
+
+class KernelBuildError(ReproError):
+    """The compiled kernel extension could not be built (no compiler,
+    compile error, or unusable build product)."""
+
+    code = "kernel-build-failed"
+
+
+def source_path() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "_kernel.c")
+
+
+def cache_dir() -> str:
+    """Where built extensions live; override with REPRO_KERNEL_CACHE."""
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return override
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-kernel")
+
+
+def _build_key(source: str) -> str:
+    digest = hashlib.sha256()
+    with open(source, "rb") as handle:
+        digest.update(handle.read())
+    digest.update(sys.version.encode("utf-8"))
+    digest.update(sys.platform.encode("utf-8"))
+    return digest.hexdigest()[:24]
+
+
+def _compiler_command() -> list[str]:
+    """The C compiler invocation prefix, from sysconfig when available."""
+    cc = sysconfig.get_config_var("CC") or ""
+    command = shlex.split(cc) if cc else []
+    if not command:
+        command = ["cc"]
+    return command
+
+
+def ensure_built(*, verbose: bool = False) -> str:
+    """Compile ``_kernel.c`` if needed; return the shared-object path.
+
+    Raises :class:`KernelBuildError` on any failure.  A cached build for
+    the same (source, interpreter, platform) triple is returned without
+    invoking the compiler at all.
+    """
+    source = source_path()
+    if not os.path.exists(source):
+        raise KernelBuildError(f"kernel source missing at {source!r}")
+    directory = cache_dir()
+    output = os.path.join(directory, f"_kernel-{_build_key(source)}.so")
+    if os.path.exists(output):
+        return output
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as error:
+        raise KernelBuildError(
+            f"cannot create kernel cache dir {directory!r}: {error}"
+        ) from error
+    include = sysconfig.get_paths().get("include")
+    if not include or not os.path.exists(os.path.join(include, "Python.h")):
+        raise KernelBuildError(
+            f"Python.h not found under {include!r}; no C toolchain headers"
+        )
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".so.tmp")
+    os.close(fd)
+    command = _compiler_command() + [
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-I",
+        include,
+        source,
+        "-o",
+        temp_path,
+    ]
+    try:
+        proc = subprocess.run(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            timeout=120,
+        )
+    except (OSError, subprocess.SubprocessError) as error:
+        _unlink(temp_path)
+        raise KernelBuildError(
+            f"cannot run C compiler {command[0]!r}: {error}"
+        ) from error
+    if proc.returncode != 0:
+        detail = proc.stdout.decode("utf-8", "replace").strip()
+        _unlink(temp_path)
+        raise KernelBuildError(
+            f"kernel compile failed (exit {proc.returncode}): {detail[:2000]}"
+        )
+    if verbose:
+        print(f"built kernel extension: {' '.join(command)}", file=sys.stderr)
+    os.replace(temp_path, output)
+    return output
+
+
+def _unlink(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

@@ -36,7 +36,9 @@ from repro.schema.registry import SchemaPair
 #: Bump whenever the pickled representation of SchemaPair (or anything
 #: it transitively contains) changes shape; old artifacts then miss.
 #: v2: ``_string_casts`` became a ``LazyPairTable`` (was a plain dict).
-ARTIFACT_VERSION = 2
+#: v3: compiled tables went flat (``array('i')`` + ``bytes`` flags) and
+#: pairs carry the fused :class:`~repro.schema.pairkernel.PairKernel`.
+ARTIFACT_VERSION = 3
 
 
 class ArtifactError(ReproError):

@@ -1,0 +1,242 @@
+"""Fused per-pair action tables — the static heart of the validation
+kernel.
+
+The streaming cast (:class:`~repro.core.streaming.StreamingCastValidator`)
+makes four decisions per child element: feed the label to the parent's
+content machine, assign the child's (source, target) type pair, test
+subsumption (skip the subtree), and test disjointness (fail).  All four
+depend only on the parent's type pair and the child's interned label —
+document-independent, exactly the paper's static-preprocessing stance —
+so :class:`PairKernel` collapses them into one ``array('i')`` *action
+row* per type pair: ``action[sid]`` is either a negative sentinel
+(:data:`A_NO_TARGET`/:data:`A_NO_SOURCE`/:data:`A_SUBSUME`/
+:data:`A_DISJOINT`) or the record id of the child's own
+:class:`PairRecord`.  The fused loop in :mod:`repro.core.castkernel`
+then resolves a child with one table load instead of four method calls.
+
+Each record also carries the flat content tables of its pair machine
+(the Section 4 immediate decision automaton for complex/complex pairs,
+the plain target content DFA for simple-source parents, nothing for
+simple targets), so the per-child feed is one more indexed load against
+the same record.
+
+Records materialize lazily on first entry — the same first-touch
+promotion policy as :class:`~repro.automata.compiled.LazyPairTable`, so
+an unwarmed pair still only compiles machines for type pairs a document
+actually exercises.  :meth:`PairKernel.warm` forces the full reachable
+set for persisted artifacts.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.schema.model import ComplexType, SimpleType
+from repro.schema.simple import compiled_checker
+
+#: ``action[sid]`` sentinels (child record ids are ``>= 0``).
+A_NO_TARGET = -1   #: no target child type — "no target type assigned"
+A_NO_SOURCE = -2   #: no source child type — promise violated
+A_SUBSUME = -3     #: subsumed pair — skip the whole subtree
+A_DISJOINT = -4    #: disjoint pair — fail immediately
+
+#: Record kinds.
+K_MACHINE = 0      #: complex source → complex target: pair automaton
+K_PLAIN = 1        #: simple source → complex target: target content DFA
+K_SIMPLE = 2       #: simple target: value check only, children illegal
+
+
+class PairRecord:
+    """Everything the fused loop needs about one (source, target) type
+    pair, flat and precomputed.  ``ready`` gates lazy materialization;
+    until then only the identity fields are valid."""
+
+    __slots__ = (
+        "rid", "source_type", "target_type", "kind",
+        "table", "flags", "width", "start", "always_accepts",
+        "action", "target_decl", "simple_decl", "has_attrs", "ready",
+        "check",
+    )
+
+    def __init__(self, rid: int, source_type: str, target_type: str):
+        self.rid = rid
+        self.source_type = source_type
+        self.target_type = target_type
+        self.kind = -1
+        self.table: Optional[array] = None
+        self.flags: Optional[bytes] = None
+        self.width = 0
+        self.start = 0
+        self.always_accepts = False
+        self.action: Optional[array] = None
+        self.target_decl = None
+        self.simple_decl: Optional[SimpleType] = None
+        self.has_attrs = False
+        self.ready = False
+        #: Specialized value checker for simple targets
+        #: (:func:`repro.schema.simple.compiled_checker`) — a closure,
+        #: so it never pickles; rebuilt lazily after artifact loads.
+        self.check = None
+
+    def __getstate__(self):
+        return tuple(
+            None if name == "check" else getattr(self, name)
+            for name in self.__slots__
+        )
+
+    def __setstate__(self, state):
+        self.check = None
+        for name, value in zip(self.__slots__, state):
+            setattr(self, name, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"PairRecord({self.rid}, {self.source_type!r} -> "
+            f"{self.target_type!r}, ready={self.ready})"
+        )
+
+
+class PairKernel:
+    """Flat action/content tables for every reachable type pair of one
+    :class:`~repro.schema.registry.SchemaPair`."""
+
+    def __init__(self, pair) -> None:
+        self.pair = pair
+        self.records: list[PairRecord] = []
+        self._ids: dict[tuple[str, str], int] = {}
+        #: root label → action code (same encoding as action rows).
+        self.root_actions: dict[str, int] = {}
+        for label in sorted(
+            set(pair.source.roots) | set(pair.target.roots)
+        ):
+            self.root_actions[label] = self._classify(
+                pair.source.root_type(label), pair.target.root_type(label)
+            )
+
+    def _classify(
+        self, source_type: Optional[str], target_type: Optional[str]
+    ) -> int:
+        """One action code for a resolved (source, target) assignment —
+        the decision order of ``StreamingCastValidator._start``."""
+        if target_type is None:
+            return A_NO_TARGET
+        if source_type is None:
+            return A_NO_SOURCE
+        pair = self.pair
+        if pair.is_subsumed(source_type, target_type):
+            return A_SUBSUME
+        if pair.is_disjoint(source_type, target_type):
+            return A_DISJOINT
+        return self.record_id(source_type, target_type)
+
+    def record_id(self, source_type: str, target_type: str) -> int:
+        """The record id for a type pair, allocating a stub on first
+        request (cycle-safe: the stub exists before its row is built)."""
+        key = (source_type, target_type)
+        rid = self._ids.get(key)
+        if rid is None:
+            rid = len(self.records)
+            self._ids[key] = rid
+            self.records.append(PairRecord(rid, source_type, target_type))
+        return rid
+
+    def materialize(self, record: PairRecord) -> PairRecord:
+        """Fill a stub record: content tables, attribute gate, and the
+        fused action row (allocating child stubs as needed)."""
+        if record.ready:
+            return record
+        pair = self.pair
+        target_decl = pair.target.type(record.target_type)
+        record.target_decl = target_decl
+        record.width = len(pair.symbols)
+        if isinstance(target_decl, SimpleType):
+            record.kind = K_SIMPLE
+            record.simple_decl = target_decl
+            record.check = compiled_checker(target_decl)
+            record.has_attrs = False
+        else:
+            record.has_attrs = bool(target_decl.attributes)
+            source_decl = pair.source.type(record.source_type)
+            if isinstance(source_decl, ComplexType):
+                machine = pair.string_cast(
+                    record.source_type, record.target_type
+                )
+                immed = machine.c_immed_compiled
+                assert immed is not None  # pair-built machines compile
+                record.kind = K_MACHINE
+                record.table = immed.flat
+                record.flags = immed.flags
+                record.start = immed.start
+                record.always_accepts = machine.always_accepts
+            else:
+                compiled = pair.target_content(record.target_type)
+                record.kind = K_PLAIN
+                record.table = compiled.flat
+                record.flags = compiled.flags
+                record.start = compiled.start
+                record.always_accepts = False
+            record.action = self._action_row(record, source_decl)
+        record.ready = True
+        return record
+
+    def _action_row(self, record: PairRecord, source_decl) -> array:
+        pair = self.pair
+        target_row = pair.target_child_row(record.target_type)
+        source_row = (
+            pair.source_child_row(record.source_type)
+            if isinstance(source_decl, ComplexType)
+            else None
+        )
+        return array(
+            "i",
+            (
+                self._classify(
+                    source_row[sid] if source_row is not None else None,
+                    target_row[sid],
+                )
+                if target_row[sid] is not None
+                else A_NO_TARGET
+                for sid in range(len(pair.symbols))
+            ),
+        )
+
+    def record(self, rid: int) -> PairRecord:
+        """The materialized record for ``rid``."""
+        rec = self.records[rid]
+        if not rec.ready:
+            self.materialize(rec)
+        return rec
+
+    def warm(self) -> None:
+        """Materialize every record reachable from the root actions, so
+        persisted artifacts carry complete tables."""
+        pending = [
+            rid for rid in self.root_actions.values() if rid >= 0
+        ]
+        seen = set(pending)
+        while pending:
+            rec = self.materialize(self.records[pending.pop()])
+            if rec.action is None:
+                continue
+            for act in rec.action:
+                if act >= 0 and act not in seen:
+                    seen.add(act)
+                    pending.append(act)
+
+    def child_types(self, record: PairRecord, sid: int) -> tuple:
+        """(source, target) child types under a record — cold-path
+        helper for failure messages."""
+        pair = self.pair
+        target_type = pair.target_child_row(record.target_type)[sid]
+        source_decl = pair.source.type(record.source_type)
+        source_type = (
+            pair.source_child_row(record.source_type)[sid]
+            if isinstance(source_decl, ComplexType)
+            else None
+        )
+        return source_type, target_type
+
+    def __repr__(self) -> str:
+        ready = sum(1 for r in self.records if r.ready)
+        return f"PairKernel({ready}/{len(self.records)} records ready)"

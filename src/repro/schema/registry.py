@@ -70,6 +70,9 @@ class SchemaPair:
         self._target_content: dict[str, CompiledDFA] = {}
         self._source_child_rows: dict[str, tuple] = {}
         self._target_child_rows: dict[str, tuple] = {}
+        #: Fused per-pair action/content tables for the validation
+        #: kernel (:mod:`repro.schema.pairkernel`), built on first use.
+        self._pair_kernel = None
 
     # -- relation queries ---------------------------------------------------
 
@@ -167,6 +170,23 @@ class SchemaPair:
             rows[target_type] = row
         return row
 
+    def kernel(self):
+        """The fused :class:`~repro.schema.pairkernel.PairKernel` of
+        this pair — one action row per type pair collapsing the content
+        step, child-type assignment, subsumption and disjointness
+        decisions into a single table load.  Built lazily (records
+        materialize on first entry); :meth:`warm` forces the reachable
+        set so persisted artifacts carry it complete."""
+        try:
+            kernel = self._pair_kernel
+        except AttributeError:  # pre-existing pickled artifact
+            kernel = self._pair_kernel = None
+        if kernel is None:
+            from repro.schema.pairkernel import PairKernel
+
+            kernel = self._pair_kernel = PairKernel(self)
+        return kernel
+
     def warm(self, *, eager_pairs: bool = True) -> None:
         """Eagerly build the pair's runtime machines, so validation pays
         no lazy-construction cost (and so a persisted artifact carries
@@ -212,6 +232,9 @@ class SchemaPair:
                 self.target_immed(tau_p)
                 self.target_immed_compiled(tau_p)
                 self.target_content(tau_p)
+        # The fused kernel's reachable records ride along (linear in
+        # the pairs a document can actually touch from the root map).
+        self.kernel().warm()
 
     # -- root helpers ----------------------------------------------------------
 

@@ -24,6 +24,7 @@ conservative (never unsound) across kinds.
 from __future__ import annotations
 
 import datetime
+import math
 import re
 from dataclasses import dataclass, field
 from enum import Enum
@@ -273,6 +274,103 @@ class SimpleType:
 
     def __repr__(self) -> str:
         return f"SimpleType({self.name!r}, {self.kind.value})"
+
+
+def compiled_checker(decl: SimpleType):
+    """A specialized closure computing exactly ``decl.validate``.
+
+    The generic :meth:`SimpleType.validate` re-dispatches on the atomic
+    kind, rebuilds the facet :class:`Interval` and compares through
+    :class:`~fractions.Fraction` arithmetic on every call.  All of that
+    depends only on the declaration, so hot loops (the fused validation
+    kernel's per-value check) bind it once here: the kind dispatch
+    happens at build time, integer bounds collapse to two int compares,
+    and unbounded decimals never construct a ``Fraction`` at all.
+    Equivalence with ``validate`` on every text is asserted by the
+    kernel equivalence fuzzer.
+    """
+    kind = decl.kind
+    enum = decl.enumeration
+    if kind is AtomicKind.STRING:
+        min_len = decl.min_length
+        max_len = decl.max_length
+
+        def check_string(text: str) -> bool:
+            if min_len is not None and len(text) < min_len:
+                return False
+            if max_len is not None and len(text) > max_len:
+                return False
+            if enum is not None:
+                return text in enum
+            return True
+
+        return check_string
+    if kind is AtomicKind.BOOLEAN:
+
+        def check_boolean(text: str) -> bool:
+            lexical = text.strip()
+            if lexical not in _BOOLEAN_LEXICALS:
+                return False
+            if enum is not None:
+                return lexical in enum
+            return True
+
+        return check_boolean
+    if kind is AtomicKind.INTEGER:
+        interval = decl.interval()
+        assert interval is not None
+        # Integer values make the open/closed Fraction bounds collapse
+        # to a closed int range: the smallest/largest admitted integer.
+        lo = hi = None
+        if interval.lower is not None:
+            lo = math.ceil(interval.lower)
+            if interval.lower_open and lo == interval.lower:
+                lo += 1
+        if interval.upper is not None:
+            hi = math.floor(interval.upper)
+            if interval.upper_open and hi == interval.upper:
+                hi -= 1
+        integer_match = _INTEGER_RE.match
+
+        def check_integer(text: str) -> bool:
+            lexical = text.strip()
+            if integer_match(lexical) is None:
+                return False
+            value = int(lexical)
+            if lo is not None and value < lo:
+                return False
+            if hi is not None and value > hi:
+                return False
+            if enum is not None:
+                return lexical in enum
+            return True
+
+        return check_integer
+    if kind is AtomicKind.DECIMAL:
+        interval = decl.interval()
+        assert interval is not None
+        bounded = interval.lower is not None or interval.upper is not None
+        contains = interval.contains
+        decimal_match = _DECIMAL_RE.match
+
+        def check_decimal(text: str) -> bool:
+            lexical = text.strip()
+            if decimal_match(lexical) is None:
+                return False
+            if bounded:
+                value = Fraction(
+                    lexical if lexical[-1] != "." else lexical[:-1]
+                )
+                if not contains(value):
+                    return False
+            if enum is not None:
+                return lexical in enum
+            return True
+
+        return check_decimal
+    # DATE (and any future kind): the generic path is dominated by
+    # ``datetime.date`` construction anyway — nothing to specialize.
+    return decl.validate
 
 
 def _length_implies(narrow: SimpleType, wide: SimpleType) -> bool:

@@ -227,7 +227,12 @@ def random_word(
 # -- sampling valid trees ------------------------------------------------------------
 
 def random_text_for(rng: random.Random, declaration: SimpleType) -> str:
-    """A random text value conforming to a simple type."""
+    """A random text value conforming to a simple type.
+
+    Best-effort: when the declaration is unsatisfiable (facet
+    perturbation can empty an integer window) the returned value is
+    well-formed but nonconforming rather than raising.
+    """
     if declaration.enumeration is not None:
         return rng.choice(sorted(declaration.enumeration))
     if declaration.kind is AtomicKind.STRING:
@@ -250,8 +255,13 @@ def random_text_for(rng: random.Random, declaration: SimpleType) -> str:
     hi = math.floor(upper) - (1 if interval.upper_open and
                               Fraction(math.floor(upper)) == upper else 0)
     if lo > hi:
+        if declaration.kind is not AtomicKind.DECIMAL:
+            # Unsatisfiable integral window — e.g. a perturbed bound
+            # shifted below the minimum.  No conforming value exists;
+            # return the nearest integer so sampling never crashes (the
+            # document is simply invalid against this declaration).
+            return str(lo)
         # Non-integral window (decimal-only type): take the midpoint.
-        assert declaration.kind is AtomicKind.DECIMAL
         mid = (Fraction(lower) + Fraction(upper)) / 2
         return f"{float(mid):.4f}"
     value = rng.randint(lo, hi)

@@ -84,6 +84,37 @@ MASTER_RE = re.compile(
     re.DOTALL,
 )
 
+#: Single-construct compilations of the master arms, byte-for-byte the
+#: same patterns (same group names, same acceptance), for callers that
+#: already dispatched on the construct kind — the fused validation
+#: kernel (:mod:`repro.core.castkernel`) branches on the character
+#: after ``<`` and then matches only the one arm that can apply,
+#: instead of running the full alternation.
+START_TAG_RE = re.compile(
+    r"<(?P<sname>" + NAME_PATTERN + r")(?P<attrs>(?:" + _ATTR_PATTERN +
+    r")*)[ \t\r\n]*(?P<selfclose>/?)>"
+)
+END_TAG_RE = re.compile(r"</(?P<ename>" + NAME_PATTERN + r")[ \t\r\n]*>")
+COMMENT_RE = re.compile(r"<!--(?P<comment>.*?)-->", re.DOTALL)
+CDATA_RE = re.compile(r"<!\[CDATA\[(?P<cdata>.*?)\]\]>", re.DOTALL)
+PI_RE = re.compile(r"<\?(?P<pi>.*?)\?>", re.DOTALL)
+
+#: Leaf fast path: an attribute-free start tag, entity-free and
+#: bracket-free text, and the matching close tag — one C-level match
+#: consumes a whole leaf element.  ``]`` is excluded from the text so
+#: the ``]]>``-in-character-data check stays on the general path; a
+#: declined match costs one failed anchor and falls through.  The
+#: compiled kernel backend implements the same acceptance in C
+#: (``leaf_scan``), asserted equal by the kernel self-test and fuzzer.
+LEAF_RE = re.compile(
+    r"<(" + NAME_PATTERN + r")>([^<&\]]*)</\1[ \t\r\n]*>"
+)
+
+#: An XML whitespace run.  The fused kernel lets indentation ride along
+#: with its fast paths: whitespace-only character data between markup
+#: is dropped (or drained) without ever becoming a text token.
+XML_WS_RE = re.compile(r"[ \t\r\n]+")
+
 #: The *skim* alternation: markup shapes only, no content capture.  The
 #: byte-level skip path (:meth:`Scanner.skim_subtree`) needs to know
 #: just four things about each construct — is it an open tag, a close
@@ -180,6 +211,10 @@ class Scanner:
         #: line/column request (errors are rare; token scanning never
         #: touches it).
         self._newline_index: Optional[list[int]] = None
+        #: Cached master-regex ``finditer`` sweep and the position its
+        #: next match is expected at (see :meth:`next_content_match`).
+        self._finditer: Optional[Iterator["re.Match[str]"]] = None
+        self._finditer_pos = -1
 
     # -- position reporting -------------------------------------------------
 
@@ -286,10 +321,31 @@ class Scanner:
         Returns ``(kind, match)`` without advancing, or ``None`` when no
         arm matches — EOF or malformed markup; the caller re-diagnoses
         with the character-level primitives for an exact error.
+
+        Matches come from one ``finditer`` sweep over the document
+        rather than a fresh anchored ``match`` per token: while the
+        consumer advances token-to-token (``pos == m.end()`` of the
+        previous match), successive tokens are successive hits of the
+        same C-level iterator.  Correctness is guarded by *gap
+        detection* — ``finditer`` has search semantics, so a hit that
+        does not start exactly at the cursor means the master declined
+        at the cursor (malformed markup); the sweep is discarded and
+        ``None`` returned, exactly as the anchored ``match`` would
+        have.  Any out-of-band cursor move (byte-level skims, slow-path
+        replays) simply reseeds the sweep on the next call.
         """
-        m = MASTER_RE.match(self.text, self.pos)
-        if m is None:
+        pos = self.pos
+        if self._finditer_pos != pos or self._finditer is None:
+            self._finditer = MASTER_RE.finditer(self.text, pos)
+        m = next(self._finditer, None)
+        if m is None or m.start() != pos:
+            # EOF, or the master declined at the cursor (the next hit,
+            # if any, starts past a malformed region).  Drop the sweep:
+            # the caller repositions or raises.
+            self._finditer = None
+            self._finditer_pos = -1
             return None
+        self._finditer_pos = m.end()
         return _KIND_BY_LASTINDEX[m.lastindex], m
 
     def start_tag_parts(
@@ -745,36 +801,47 @@ def iter_tokens(
     depth = 0
     open_labels = [""]
     open_positions = [0]
+    # The master sweep runs in generator locals: one C-level
+    # ``finditer`` drives the whole token stream, with gap detection (a
+    # hit that does not start at the cursor means the master declined
+    # there — malformed markup, re-diagnosed by ``fail_at_markup``)
+    # standing in for the per-token anchored match.  Every arm below
+    # leaves ``scanner.pos == m.end()``, so the sweep never desyncs and
+    # no per-token scanner-state bookkeeping is needed.
+    kind_of = _KIND_BY_LASTINDEX
+    deadline_ = scanner.deadline
+    pos = scanner.pos
+    sweep = MASTER_RE.finditer(text, pos)
     while True:
-        pos = scanner.pos
-        hit = scanner.next_content_match()
-        if hit is None:
+        m = next(sweep, None)
+        if m is None or m.start() != pos:
             fail_at_markup(scanner, open_labels[-1], open_positions[-1])
-        kind, m = hit
+        tok_pos, pos = pos, m.end()
+        kind = kind_of[m.lastindex]
         if kind == TOK_TEXT:
             raw = m.group("text")
-            scanner.pos = m.end()
+            scanner.pos = pos
             bad = raw.find("]]>")
             if bad >= 0:
                 raise scanner.error(
-                    "']]>' is not allowed in character data", pos + bad
+                    "']]>' is not allowed in character data", tok_pos + bad
                 )
-            yield TOK_TEXT, scanner.decode_entities(raw, pos), pos
+            yield TOK_TEXT, scanner.decode_entities(raw, tok_pos), tok_pos
         elif kind == TOK_START:
-            if scanner.deadline is not None:
-                scanner.deadline.tick()
+            if deadline_ is not None:
+                deadline_.tick()
             name, attributes, self_closing = scanner.start_tag_parts(m)
             yield (
                 TOK_START,
                 name,
                 tuple(attributes.items()) if attributes else (),
                 self_closing,
-                pos,
+                tok_pos,
             )
             if not self_closing:
                 depth += 1
                 open_labels.append(name)
-                open_positions.append(pos)
+                open_positions.append(tok_pos)
             elif depth == 0:
                 break
         elif kind == TOK_END:
@@ -785,8 +852,8 @@ def iter_tokens(
                     f"<{open_labels[-1]}>",
                     m.end("ename"),
                 )
-            scanner.pos = m.end()
-            yield TOK_END, name, pos
+            scanner.pos = pos
+            yield TOK_END, name, tok_pos
             depth -= 1
             open_labels.pop()
             open_positions.pop()
@@ -794,16 +861,16 @@ def iter_tokens(
                 break
         elif kind == TOK_COMMENT:
             body = m.group("comment")
-            scanner.pos = m.end()
+            scanner.pos = pos
             if "--" in body:
                 raise scanner.error("'--' is not allowed inside a comment")
-            yield TOK_COMMENT, body, pos
+            yield TOK_COMMENT, body, tok_pos
         elif kind == TOK_CDATA:
-            scanner.pos = m.end()
-            yield TOK_CDATA, m.group("cdata"), pos
+            scanner.pos = pos
+            yield TOK_CDATA, m.group("cdata"), tok_pos
         else:
-            scanner.pos = m.end()
-            yield TOK_PI, m.group("pi"), pos
+            scanner.pos = pos
+            yield TOK_PI, m.group("pi"), tok_pos
     # Trailing misc after the root element.
     while not scanner.at_end():
         scanner.skip_whitespace()

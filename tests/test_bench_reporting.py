@@ -103,15 +103,20 @@ class TestUpdateBenchJson:
         )
         data = json.loads(path.read_text())
         assert data["version"] == 1
+        from repro.kernel import backend_name
+
         assert data["results"]["a"] == {
             "speedup": 2.0,
             "source": "s.py",
             "cpu_count": os.cpu_count(),
+            "kernel_backend": backend_name(),
         }
 
-    def test_every_record_carries_cpu_count(self, tmp_path):
+    def test_every_record_carries_provenance_stamps(self, tmp_path):
         # Scaling numbers are meaningless without the core count they
-        # were measured on; the writer stamps it unconditionally.
+        # were measured on, and throughput numbers without the kernel
+        # backend that produced them; the writer stamps both
+        # unconditionally.
         path = tmp_path / "bench.json"
         update_bench_json(
             str(path), {"a": {"x": 1}, "b": {"y": 2}}, source="s.py"
@@ -119,6 +124,7 @@ class TestUpdateBenchJson:
         results = json.loads(path.read_text())["results"]
         for record in results.values():
             assert record["cpu_count"] == os.cpu_count()
+            assert record["kernel_backend"] in ("py", "compiled")
 
     def test_merge_preserves_other_records(self, tmp_path):
         path = tmp_path / "bench.json"

@@ -131,7 +131,7 @@ class TestCast:
         out = capsys.readouterr().out
         assert "phase profile:" in out
 
-    def test_profile_parse_streaming_notes_fused_phases(
+    def test_profile_parse_streaming_breaks_out_phases(
         self, workspace, capsys
     ):
         code = main([
@@ -142,8 +142,28 @@ class TestCast:
         ])
         assert code == 0
         captured = capsys.readouterr()
-        assert "phase profile:" not in captured.out
-        assert "fused" in captured.err
+        assert "phase profile:" in captured.out
+        assert "parse:" in captured.out
+        assert "validate:" in captured.out
+        # The breakdown comes from the instrumented event pipeline.
+        assert "event pipeline" in captured.err
+
+    def test_profile_parse_stream_skip_attributes_skim_time(
+        self, workspace, capsys
+    ):
+        # The a->b pair is subsumption-heavy, so the skim phase must
+        # show up on its own line instead of being lumped into parse.
+        code = main([
+            "cast", str(workspace / "po.xml"),
+            "--source", str(workspace / "a.xsd"),
+            "--target", str(workspace / "b.xsd"),
+            "--stream-skip", "--profile-parse",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "phase profile:" in captured.out
+        assert "skip:" in captured.out
+        assert "validate:" in captured.out
 
 
 class TestRepair:

@@ -180,12 +180,15 @@ class TestVerdictIdentity:
         pair = SchemaPair(
             source_schema_experiment2(), target_schema_experiment2()
         )
+        # The fused kernel path allocates no _CastFrame at all; the
+        # buffer-discipline contract applies to the event pipeline,
+        # so instrument that path explicitly.
         buffers = _record_frame_buffers(streaming, "_CastFrame")
         try:
             validator = StreamingCastValidator(pair)
             for byte_skip in (False, True):
                 buffers.clear()
-                report = validator.validate_text(
+                report = validator.validate_text_events(
                     po_text(), byte_skip=byte_skip
                 )
                 assert report.valid
