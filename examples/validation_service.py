@@ -12,7 +12,10 @@ contract with a stdlib ``urllib`` client:
    before the Section 3.3 revalidation;
 5. adversarial requests get typed statuses (404, 400, 413), never a
    bare 500;
-6. a graceful drain finishes in-flight work and refuses the rest.
+6. hot pair reload: a second pair registered through
+   ``POST /admin/pairs`` on the *running* server serves traffic
+   immediately, then is retired with ``DELETE`` — no restart;
+7. a graceful drain finishes in-flight work and refuses the rest.
 
 Run:  python examples/validation_service.py
 """
@@ -96,6 +99,52 @@ def main():
     ]:
         status, body = request(base, "POST", "/validate", payload)
         print(f"{label} -> {status} [{body['error']['code']}]")
+
+    # -- hot pair reload ------------------------------------------------
+    # Register a brand-new pair on the RUNNING server: inline DTD text,
+    # compiled on the spot, serving traffic the moment 201 comes back.
+    note_dtd = "<!ELEMENT note (#PCDATA)>"
+    memo_dtd = "<!ELEMENT note (line+)>\n<!ELEMENT line (#PCDATA)>"
+    status, body = request(base, "POST", "/admin/pairs", {
+        "name": "note-v1",
+        "source_text": note_dtd, "source_kind": "dtd",
+        "target_text": note_dtd, "target_kind": "dtd",
+    })
+    print(f"admin register -> {status}: created={body['created']} "
+          f"generation={body['generation']}")
+    hot_fingerprint = body["fingerprint"]
+
+    status, body = request(base, "POST", "/validate", {
+        "pair": "note-v1", "schema": "source",
+        "xml": "<note>ship friday</note>",
+    })
+    print(f"validate against hot pair -> {status}: valid={body['valid']}")
+
+    # Re-registering identical content is idempotent (200, not 409)…
+    status, body = request(base, "POST", "/admin/pairs", {
+        "name": "note-v1",
+        "source_text": note_dtd, "source_kind": "dtd",
+        "target_text": note_dtd, "target_kind": "dtd",
+    })
+    print(f"re-register same content -> {status}: created={body['created']}")
+
+    # …but the same name with DIFFERENT content is a typed conflict.
+    status, body = request(base, "POST", "/admin/pairs", {
+        "name": "note-v1",
+        "source_text": note_dtd, "source_kind": "dtd",
+        "target_text": memo_dtd, "target_kind": "dtd",
+    })
+    print(f"conflicting register -> {status} [{body['error']['code']}]")
+
+    # Retire by name or fingerprint; the pair vanishes from routing.
+    status, body = request(
+        base, "DELETE", f"/admin/pairs/{hot_fingerprint}"
+    )
+    print(f"admin retire -> {status}: retired={body['retired']}")
+    status, body = request(base, "POST", "/validate", {
+        "pair": "note-v1", "schema": "source", "xml": "<note>x</note>",
+    })
+    print(f"validate after retire -> {status} [{body['error']['code']}]")
 
     # -- graceful drain -------------------------------------------------
     service.begin_drain()

@@ -494,6 +494,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         specs = _parse_pair_flags(args)
+        if args.processes < 1:
+            raise ValueError(
+                f"--processes must be >= 1, got {args.processes}"
+            )
+        if args.fleet_workers == 0 and (
+            args.max_requests_per_worker is not None
+            or args.max_worker_rss_mb is not None
+        ):
+            raise ValueError(
+                "--max-requests-per-worker/--max-worker-rss-mb "
+                "recycle fleet workers; set --fleet-workers >= 1"
+            )
         config = ServiceConfig(
             max_concurrent=args.max_concurrent,
             max_queue=args.queue_depth,
@@ -504,10 +516,45 @@ def cmd_serve(args: argparse.Namespace) -> int:
             drain_grace=args.drain_grace,
             max_body_bytes=args.max_bytes,
             log_requests=args.log_requests,
+            keep_alive=not args.no_keep_alive,
+            max_requests_per_connection=args.max_requests_per_connection,
+            fleet_workers=args.fleet_workers,
+            max_requests_per_worker=args.max_requests_per_worker,
+            max_worker_rss_mb=args.max_worker_rss_mb,
+            admin=not args.no_admin,
+            reload_journal=args.reload_journal,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if args.processes > 1:
+        from repro.service.prefork import PreforkServer
+
+        prefork = PreforkServer(
+            specs,
+            config,
+            processes=args.processes,
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+        )
+        try:
+            host, port = prefork.start()
+        except RuntimeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        prefork.install_signal_handlers()
+        # Parsed by the CI smoke and the bench harness — keep the shape.
+        print(f"listening on http://{host}:{port}", flush=True)
+        print(
+            f"ready: {len(specs)} pairs warmed in "
+            f"{prefork.warm_seconds:.3f}s "
+            f"across {args.processes} processes",
+            flush=True,
+        )
+        return prefork.run_forever()
+
     registry = ServiceRegistry(
         specs,
         cache_dir=args.cache_dir,
@@ -819,6 +866,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests",
         action="store_true",
         help="log one line per request to stderr",
+    )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="pre-forked acceptor processes sharing the port via "
+        "SO_REUSEPORT (each with its own admission slots)",
+    )
+    serve.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=0,
+        help="resident validation worker processes per acceptor "
+        "(0: validate inline in handler threads)",
+    )
+    serve.add_argument(
+        "--no-keep-alive",
+        action="store_true",
+        help="close every connection after one response",
+    )
+    serve.add_argument(
+        "--max-requests-per-connection",
+        type=int,
+        default=100,
+        help="responses served on one kept-alive connection before "
+        "it is closed",
+    )
+    serve.add_argument(
+        "--max-requests-per-worker",
+        type=int,
+        default=None,
+        help="recycle a fleet worker after this many requests "
+        "(needs --fleet-workers)",
+    )
+    serve.add_argument(
+        "--max-worker-rss-mb",
+        type=float,
+        default=None,
+        help="recycle a fleet worker once its RSS exceeds this "
+        "(needs --fleet-workers)",
+    )
+    serve.add_argument(
+        "--no-admin",
+        action="store_true",
+        help="disable the /admin/pairs hot register/retire endpoints",
+    )
+    serve.add_argument(
+        "--reload-journal",
+        default=None,
+        help="shared JSON-lines journal propagating hot pair "
+        "register/retire across processes (multi-process serve "
+        "creates one automatically)",
     )
     serve.set_defaults(handler=cmd_serve)
 

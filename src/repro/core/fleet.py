@@ -266,7 +266,11 @@ def _load_pair_from_shm(name: str) -> SchemaPair:
     return pair
 
 
-def _resolve_pair(route) -> SchemaPair:
+def resolve_pair_route(route) -> SchemaPair:
+    """Materialize the compiled pair a :class:`PairTransport` route
+    names — the worker-side half of the transport contract.  Public so
+    other process pools (the service's ``FleetExecutor``) can ship
+    pairs over the same zero-copy routes."""
     kind, payload = route
     if kind == "direct":
         assert isinstance(payload, SchemaPair)
@@ -312,7 +316,7 @@ class _WorkerState:
                 from repro.core.streaming import StreamingCastValidator
 
                 self.validator = StreamingCastValidator(
-                    _resolve_pair(self.route), limits=config.limits
+                    resolve_pair_route(self.route), limits=config.limits
                 )
             else:
                 from repro.core.cast import CastValidator
@@ -323,7 +327,7 @@ class _WorkerState:
                     else None
                 )
                 self.validator = CastValidator(
-                    _resolve_pair(self.route),
+                    resolve_pair_route(self.route),
                     use_string_cast=config.use_string_cast,
                     collect_stats=config.collect_stats,
                     limits=config.limits,

@@ -21,6 +21,16 @@ server whose core is a *robustness* layer, not a router:
   shape (message, line/column, Dewey path, machine error code) shared
   with the CLI and batch driver, plus the ``ReproError`` → HTTP status
   mapping that guarantees adversarial input never produces a bare 500.
+* :mod:`repro.service.executor` — a resident pool of validation worker
+  processes handler threads dispatch to, so CPU-bound casts from many
+  connections run truly in parallel (zero-copy pair transport, crash
+  recovery, worker recycling).
+* :mod:`repro.service.prefork` — the ``SO_REUSEPORT`` pre-fork front:
+  N acceptor processes on one port, fleet-wide SIGTERM drain with an
+  aggregated admitted == completed invariant.
+* :mod:`repro.service.reload` — the append-only journal that carries
+  ``/admin/pairs`` hot register/retire mutations across the pre-fork
+  fleet.
 
 See ``docs/ROBUSTNESS.md`` § "Service-level guards" for the contract.
 """
@@ -32,24 +42,32 @@ from repro.service.errors import (
     MalformedRequestError,
     NotReadyError,
     OverloadedError,
+    PairConflictError,
     RateLimitedError,
     RequestTimeoutError,
     ServiceError,
     TruncatedBodyError,
     UnknownPairError,
 )
+from repro.service.executor import FleetExecutor
+from repro.service.prefork import PreforkServer, reuse_port_supported
 from repro.service.registry import PairSpec, ServiceRegistry, demo_specs
+from repro.service.reload import ReloadJournal
 from repro.service.server import ServiceConfig, ValidationService
 
 __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "DrainingError",
+    "FleetExecutor",
     "MalformedRequestError",
     "NotReadyError",
     "OverloadedError",
+    "PairConflictError",
     "PairSpec",
+    "PreforkServer",
     "RateLimitedError",
+    "ReloadJournal",
     "RequestTimeoutError",
     "ServiceConfig",
     "ServiceError",
@@ -59,4 +77,5 @@ __all__ = [
     "ValidationService",
     "demo_specs",
     "http_status",
+    "reuse_port_supported",
 ]

@@ -38,6 +38,7 @@ from repro.service.errors import (
     MethodNotAllowedError,
     NotReadyError,
     OverloadedError,
+    PairConflictError,
     RateLimitedError,
     RequestTimeoutError,
     ServiceError,
@@ -69,6 +70,7 @@ _STATUS_TABLE: tuple[tuple[type, int], ...] = (
     (UnknownPairError, 404),
     (UnknownRouteError, 404),
     (MethodNotAllowedError, 405),
+    (PairConflictError, 409),
     (RateLimitedError, 429),
     (NotReadyError, 503),
     (OverloadedError, 503),  # covers DrainingError

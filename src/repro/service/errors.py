@@ -54,6 +54,14 @@ class UnknownPairError(ServiceError):
     code = "unknown-pair"
 
 
+class PairConflictError(ServiceError):
+    """Hot registration collided with a pair already registered under
+    the same name but with different schema content (or the same
+    content under another name).  Maps to ``409``."""
+
+    code = "pair-conflict"
+
+
 class MethodNotAllowedError(ServiceError):
     """Endpoint exists but not for this HTTP method.  Maps to ``405``."""
 

@@ -1,0 +1,489 @@
+"""Fleet-backed request execution: casts leave the GIL.
+
+A ``ThreadingHTTPServer`` front can hold many connections, but every
+validation it runs inline is serialized behind one GIL — the fused
+kernel made each cast CPU-bound, so a busy service is pinned to one
+core no matter how many handler threads exist.  :class:`FleetExecutor`
+fixes the *within-process* half of that: handler threads submit
+validation jobs to a small pool of resident worker processes and block
+(cheaply, releasing the GIL) until the verdict comes back, so casts
+from all connections run truly in parallel.
+
+Design points, all inherited from :mod:`repro.core.fleet`:
+
+* **Zero-copy pair transport.**  Every registered pair gets one
+  :class:`~repro.core.fleet.PairTransport` created *before* the workers
+  spawn — under the ``fork`` start method the compiled tables are
+  inherited copy-on-write and nothing is pickled at all.  Pairs
+  hot-registered after spawn get a forced shared-memory route
+  (``pickle_count == 1``), because a running worker cannot inherit new
+  parent state.  Jobs carry their pair's route, so a worker resolves
+  (and caches) pairs lazily — no broadcast is needed when the registry
+  mutates.
+* **Crash recovery.**  A worker announces ``claim`` before running a
+  job; if it dies mid-job the submitting thread's backstop timer fires,
+  the corpse is reaped, a replacement spawns (bounded by a death
+  budget), and the request answers a structured 500 with code
+  ``worker-crash`` — never a hang, never a bare socket reset.
+* **Worker recycling.**  After ``max_requests`` jobs or once its RSS
+  exceeds ``max_rss_mb``, a worker finishes its current job, sends
+  ``retire``, and exits; the parent spawns a fresh replacement.  Leaky
+  or fragmented workers are rotated out gracefully using the same
+  respawn path as crash recovery.
+
+Outcomes cross the process boundary as plain JSON — status, payload,
+``Retry-After`` — computed worker-side by the same
+:func:`~repro.service.diagnostics.http_status` /
+:func:`~repro.service.diagnostics.error_payload` mapping the inline
+path uses, so the two execution paths are wire-identical (exception
+objects never travel, which also sidesteps unpicklable errors).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.fleet import PairTransport, resolve_pair_route
+from repro.errors import WORKER_CRASH_CODE
+from repro.guards import Limits
+from repro.service.registry import RegisteredPair
+
+__all__ = ["ExecutorOutcome", "FleetExecutor", "WireOutcomeError"]
+
+
+@dataclass(frozen=True)
+class ExecutorOutcome:
+    """One dispatched request's wire-ready result."""
+
+    status: int
+    payload: dict
+    retry_after: Optional[float] = None
+
+
+class WireOutcomeError(Exception):
+    """A non-200 outcome computed on the far side of the process
+    boundary; the handler sends it verbatim instead of re-deriving a
+    status from an exception it never saw."""
+
+    def __init__(self, outcome: ExecutorOutcome):
+        self.outcome = outcome
+        super().__init__(f"executor outcome {outcome.status}")
+
+
+def _crash_outcome() -> ExecutorOutcome:
+    return ExecutorOutcome(
+        status=500,
+        payload={
+            "error": {
+                "code": WORKER_CRASH_CODE,
+                "message": (
+                    "worker process died while handling this request"
+                ),
+            },
+            "diagnostics": [],
+        },
+    )
+
+
+def _worker_should_retire(
+    served: int,
+    max_requests: Optional[int],
+    max_rss_mb: Optional[float],
+) -> bool:
+    if max_requests is not None and served >= max_requests:
+        return True
+    if max_rss_mb is not None:
+        try:
+            import resource
+
+            rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        except Exception:
+            return False
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        import sys
+
+        rss_mb = (
+            rss_kb / (1024.0 * 1024.0)
+            if sys.platform == "darwin"
+            else rss_kb / 1024.0
+        )
+        if rss_mb >= max_rss_mb:
+            return True
+    return False
+
+
+def _executor_worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    max_requests: Optional[int],
+    max_rss_mb: Optional[float],
+) -> None:
+    """A resident validation worker: pull jobs until the ``None``
+    sentinel (or self-retirement).
+
+    Protocol (worker → parent):
+
+    * ``("claim", worker_id, req_id)`` — the job left the queue;
+    * ``("res", worker_id, req_id, status, payload, retry_after)`` —
+      the job's wire-ready outcome;
+    * ``("retire", worker_id)`` — recycling threshold hit; the worker
+      exits after this message and the parent spawns a replacement.
+    """
+    from repro.service.diagnostics import (
+        error_payload,
+        http_status,
+        retry_after,
+    )
+    from repro.service.work import perform_request
+
+    pairs: dict[str, object] = {}
+    served = 0
+    try:
+        while True:
+            item = task_queue.get()
+            if item is None:
+                return
+            req_id, kind, name, fingerprint, route, limits, request = item
+            result_queue.put(("claim", worker_id, req_id))
+            try:
+                pair = pairs.get(fingerprint)
+                if pair is None:
+                    pair = resolve_pair_route(route)
+                    pairs[fingerprint] = pair
+                payload = perform_request(
+                    kind,
+                    pair,
+                    request,
+                    limits,
+                    pair_name=name,
+                    fingerprint=fingerprint,
+                )
+                message = ("res", worker_id, req_id, 200, payload, None)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as error:  # noqa: BLE001 — wire contract
+                message = (
+                    "res",
+                    worker_id,
+                    req_id,
+                    http_status(error),
+                    error_payload(error),
+                    retry_after(error),
+                )
+            result_queue.put(message)
+            served += 1
+            if _worker_should_retire(served, max_requests, max_rss_mb):
+                result_queue.put(("retire", worker_id))
+                return
+    except (KeyboardInterrupt, SystemExit):  # pragma: no cover - teardown
+        return
+
+
+@dataclass
+class _Pending:
+    event: threading.Event = field(default_factory=threading.Event)
+    outcome: Optional[ExecutorOutcome] = None
+    claimed_by: Optional[int] = None
+
+
+class FleetExecutor:
+    """A resident pool of request workers shared by all handler threads.
+
+    Built once per service process after warm-up (the fork routes need
+    the compiled pairs parked *before* the workers exist).  ``submit``
+    is thread-safe; a single collector thread files results back to the
+    waiting submitters.
+    """
+
+    #: Extra seconds past a request's residual deadline before the
+    #: submitter declares the worker hung/dead and reaps it.
+    crash_grace = 2.0
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: Optional[str] = None,
+        max_requests_per_worker: Optional[int] = None,
+        max_worker_rss_mb: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.max_requests_per_worker = max_requests_per_worker
+        self.max_worker_rss_mb = max_worker_rss_mb
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self._start_method = self._ctx.get_start_method()
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._transports: dict[str, PairTransport] = {}
+        self._routes: dict[str, tuple] = {}
+        self._pending: dict[int, _Pending] = {}
+        self._processes: dict[int, object] = {}
+        self._lock = threading.Lock()
+        self._req_seq = itertools.count(1)
+        self._worker_seq = itertools.count(1)
+        self._spawned = False
+        self._closed = False
+        #: Replacement spawns remaining before the executor stops
+        #: covering for dying workers (a crash-looping pair must not
+        #: fork-bomb the box).
+        self.death_budget = max(2 * workers, 4)
+        #: Observability: recycled + crashed worker counts.
+        self.recycled = 0
+        self.crashed = 0
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-executor-collect", daemon=True
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def register_pair(self, entry: RegisteredPair) -> None:
+        """Create this pair's transport.  Before :meth:`start` the
+        cheapest route wins (fork COW when available); afterwards the
+        route is forced through shared memory, because running workers
+        cannot inherit new parent state."""
+        with self._lock:
+            if entry.fingerprint in self._routes:
+                return
+            method = self._start_method if not self._spawned else "spawn"
+            transport = PairTransport(entry.pair, method)
+            self._transports[entry.fingerprint] = transport
+            self._routes[entry.fingerprint] = transport.route
+
+    def start(self) -> None:
+        """Spawn the workers.  Call after every boot-time pair is
+        registered so fork inheritance covers them all."""
+        if self._spawned:
+            raise RuntimeError("executor already started")
+        self._spawned = True
+        for _ in range(self.workers):
+            self._spawn_worker()
+        self._collector.start()
+
+    def _spawn_worker(self) -> int:
+        worker_id = next(self._worker_seq)
+        process = self._ctx.Process(
+            target=_executor_worker_main,
+            args=(
+                worker_id,
+                self._task_queue,
+                self._result_queue,
+                self.max_requests_per_worker,
+                self.max_worker_rss_mb,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._processes[worker_id] = process
+        return worker_id
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            processes = dict(self._processes)
+            self._processes.clear()
+        for _ in processes:
+            try:
+                self._task_queue.put_nowait(None)
+            except Exception:
+                break
+        for process in processes.values():
+            process.join(timeout=2.0)
+        for process in processes.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=0.5)
+        try:
+            self._result_queue.put(None)
+        except Exception:
+            pass
+        if self._collector.is_alive():
+            self._collector.join(timeout=2.0)
+        for q in (self._task_queue, self._result_queue):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        # Transports stay open for the executor's whole life (an
+        # in-flight job may resolve its shm route at any moment); they
+        # are released here, all at once.
+        for transport in self._transports.values():
+            transport.close()
+        self._transports.clear()
+        # Unblock any submitter still waiting.
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for item in pending:
+            item.outcome = _crash_outcome()
+            item.event.set()
+
+    def __enter__(self) -> "FleetExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- result collection ---------------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get()
+            except (EOFError, OSError):  # pragma: no cover - teardown
+                return
+            if message is None:
+                return
+            tag = message[0]
+            if tag == "claim":
+                _, worker_id, req_id = message
+                with self._lock:
+                    item = self._pending.get(req_id)
+                    if item is not None:
+                        item.claimed_by = worker_id
+            elif tag == "res":
+                _, worker_id, req_id, status, payload, hint = message
+                with self._lock:
+                    item = self._pending.pop(req_id, None)
+                if item is not None:
+                    item.outcome = ExecutorOutcome(status, payload, hint)
+                    item.event.set()
+            elif tag == "retire":
+                (_, worker_id) = message
+                self.recycled += 1
+                self._replace_worker(worker_id, reason="recycled")
+
+    def _replace_worker(self, worker_id: int, *, reason: str) -> None:
+        with self._lock:
+            process = self._processes.pop(worker_id, None)
+            if self._closed:
+                return
+            if reason == "crashed":
+                if self.death_budget <= 0:
+                    return
+                self.death_budget -= 1
+        if process is not None:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=0.5)
+        self._spawn_worker()
+
+    def _reap_crashed(self) -> None:
+        """Bury any worker that died without saying goodbye and restore
+        pool width (bounded by the death budget)."""
+        with self._lock:
+            dead = [
+                wid
+                for wid, process in self._processes.items()
+                if not process.is_alive()
+            ]
+        for worker_id in dead:
+            self.crashed += 1
+            self._replace_worker(worker_id, reason="crashed")
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        entry: RegisteredPair,
+        request: dict,
+        limits: Limits,
+        *,
+        residual_seconds: float,
+    ) -> ExecutorOutcome:
+        """Run one request on the pool; blocks the calling handler
+        thread (GIL released) until the outcome arrives.
+
+        ``limits`` must already carry the residual deadline — the
+        worker enforces it, so a slow validation answers 408 from the
+        far side.  The parent-side wait is only a *backstop* at
+        ``residual + crash_grace``: when it fires the claiming worker
+        is presumed dead, reaped, replaced, and the request answers a
+        structured ``worker-crash`` 500.
+        """
+        if self._closed or not self._spawned:
+            return _crash_outcome()
+        route = self._routes.get(entry.fingerprint)
+        if route is None:
+            self.register_pair(entry)
+            route = self._routes[entry.fingerprint]
+        self._reap_crashed()
+        req_id = next(self._req_seq)
+        item = _Pending()
+        with self._lock:
+            self._pending[req_id] = item
+        self._task_queue.put(
+            (
+                req_id,
+                kind,
+                entry.name,
+                entry.fingerprint,
+                route,
+                limits,
+                request,
+            )
+        )
+        budget = max(residual_seconds, 0.1) + self.crash_grace
+        deadline = time.monotonic() + budget
+        while not item.event.wait(timeout=0.2):
+            if item.outcome is not None:
+                break
+            if time.monotonic() >= deadline:
+                return self._give_up(req_id, item)
+            # A worker that died holding this claim will never answer;
+            # notice early instead of riding out the whole backstop.
+            if item.claimed_by is not None:
+                with self._lock:
+                    process = self._processes.get(item.claimed_by)
+                if process is not None and not process.is_alive():
+                    return self._give_up(req_id, item)
+        return item.outcome or _crash_outcome()
+
+    def _give_up(self, req_id: int, item: _Pending) -> ExecutorOutcome:
+        with self._lock:
+            still_pending = self._pending.pop(req_id, None) is not None
+        if not still_pending and item.outcome is not None:
+            # The result raced the timeout — take it.
+            return item.outcome
+        worker_id = item.claimed_by
+        if worker_id is not None:
+            with self._lock:
+                process = self._processes.get(worker_id)
+            if process is not None:
+                if process.is_alive():
+                    process.terminate()
+                self.crashed += 1
+                self._replace_worker(worker_id, reason="crashed")
+        return _crash_outcome()
+
+    # -- observability -------------------------------------------------------
+
+    def describe(self) -> dict:
+        with self._lock:
+            alive = sum(
+                1 for p in self._processes.values() if p.is_alive()
+            )
+        return {
+            "workers": self.workers,
+            "alive": alive,
+            "start_method": self._start_method,
+            "recycled": self.recycled,
+            "crashed": self.crashed,
+            "death_budget": self.death_budget,
+            "pairs_routed": len(self._routes),
+        }

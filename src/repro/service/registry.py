@@ -18,6 +18,7 @@ configuration.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
@@ -32,7 +33,12 @@ from repro.schema.dtd import parse_dtd
 from repro.schema.model import Schema
 from repro.schema.registry import SchemaPair
 from repro.schema.xsd import parse_xsd_file
-from repro.service.errors import NotReadyError, UnknownPairError
+from repro.service.errors import (
+    MalformedRequestError,
+    NotReadyError,
+    PairConflictError,
+    UnknownPairError,
+)
 
 __all__ = ["PairSpec", "RegisteredPair", "ServiceRegistry", "demo_specs"]
 
@@ -114,6 +120,12 @@ class ServiceRegistry:
         self._by_fingerprint: dict[str, RegisteredPair] = {}
         self._ready = False
         self.warm_seconds: float = 0.0
+        #: Guards hot register/retire against concurrent handler threads;
+        #: warm-up runs before traffic and needs no lock.
+        self._mutate = threading.Lock()
+        #: Bumped on every successful register/retire — observability
+        #: for hot-reload tests and the ``/pairs`` watchers.
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._specs)
@@ -134,38 +146,115 @@ class ServiceRegistry:
             return self.warm_seconds
         started = time.perf_counter()
         for spec in self._specs:
-            source = (
-                spec.source
-                if isinstance(spec.source, Schema)
-                else load_schema_file(spec.source)
-            )
-            target = (
-                spec.target
-                if isinstance(spec.target, Schema)
-                else load_schema_file(spec.target)
-            )
-            from_cache = False
-            if self._cache_dir is not None:
-                pair, from_cache = get_or_build(
-                    source, target, self._cache_dir
-                )
-            else:
-                pair = SchemaPair(source, target)
-                pair.warm()
-            entry = RegisteredPair(
-                name=spec.name,
-                pair=pair,
-                fingerprint=pair_cache_key(source, target),
-                source_fingerprint=schema_fingerprint(source),
-                target_fingerprint=schema_fingerprint(target),
-                limits=spec.limits or self._default_limits,
-                from_cache=from_cache,
-            )
+            entry = self._build_entry(spec)
             self._by_name[spec.name] = entry
             self._by_fingerprint[entry.fingerprint] = entry
         self.warm_seconds = time.perf_counter() - started
         self._ready = True
         return self.warm_seconds
+
+    def _build_entry(self, spec: PairSpec) -> RegisteredPair:
+        """Load, compile (or restore from the artifact cache), and wrap
+        one spec — the single compilation point for boot warm-up and
+        hot registration alike."""
+        source = (
+            spec.source
+            if isinstance(spec.source, Schema)
+            else load_schema_file(spec.source)
+        )
+        target = (
+            spec.target
+            if isinstance(spec.target, Schema)
+            else load_schema_file(spec.target)
+        )
+        from_cache = False
+        if self._cache_dir is not None:
+            pair, from_cache = get_or_build(
+                source, target, self._cache_dir
+            )
+        else:
+            pair = SchemaPair(source, target)
+            pair.warm()
+        return RegisteredPair(
+            name=spec.name,
+            pair=pair,
+            fingerprint=pair_cache_key(source, target),
+            source_fingerprint=schema_fingerprint(source),
+            target_fingerprint=schema_fingerprint(target),
+            limits=spec.limits or self._default_limits,
+            from_cache=from_cache,
+        )
+
+    # -- hot reload (the admin plane) ----------------------------------------
+
+    def register(self, spec: PairSpec) -> tuple[RegisteredPair, bool]:
+        """Hot-register one pair on a live registry.
+
+        Returns ``(entry, created)``.  Registering content that is
+        already present under the same name is an idempotent no-op
+        (``created=False``) — that is what makes journal-replayed
+        registrations across a pre-fork fleet safe.  A name collision
+        with *different* content is a :class:`PairConflictError`: a
+        client pinned to the name must never silently start validating
+        against edited schemas (re-register under a new name, or retire
+        first).  Fingerprint addressing is what makes the swap
+        race-free: in-flight requests hold their ``RegisteredPair``
+        reference and finish against the pair they resolved.
+        """
+        if not self._ready:
+            raise NotReadyError("registry warm-up has not finished")
+        entry = self._build_entry(spec)
+        with self._mutate:
+            existing = self._by_name.get(spec.name)
+            if existing is not None:
+                if existing.fingerprint == entry.fingerprint:
+                    return existing, False
+                raise PairConflictError(
+                    f"pair name {spec.name!r} is already registered "
+                    f"with different schema content "
+                    f"(fingerprint {existing.fingerprint[:12]}…); "
+                    "retire it first or pick a new name"
+                )
+            held = self._by_fingerprint.get(entry.fingerprint)
+            if held is not None:
+                raise PairConflictError(
+                    f"this schema content is already registered as "
+                    f"{held.name!r} (fingerprint "
+                    f"{held.fingerprint[:12]}…)"
+                )
+            self._specs.append(spec)
+            self._by_name[spec.name] = entry
+            self._by_fingerprint[entry.fingerprint] = entry
+            self.generation += 1
+        return entry, True
+
+    def retire(self, key: str) -> RegisteredPair:
+        """Remove a pair by name, fingerprint, or unique prefix.
+
+        The entry disappears from lookup immediately; requests already
+        holding it finish normally (they own a reference — nothing is
+        torn down).  The last registered pair cannot be retired: a
+        service with an empty registry can only answer 404, which is a
+        misconfiguration, not an operation.
+        """
+        entry = self.get(key)
+        with self._mutate:
+            if len(self._specs) == 1:
+                raise MalformedRequestError(
+                    "cannot retire the last registered pair"
+                )
+            current = self._by_name.get(entry.name)
+            if current is None or current.fingerprint != entry.fingerprint:
+                raise UnknownPairError(
+                    f"pair {key!r} was already retired"
+                )
+            del self._by_name[entry.name]
+            del self._by_fingerprint[entry.fingerprint]
+            self._specs = [
+                spec for spec in self._specs if spec.name != entry.name
+            ]
+            self.generation += 1
+        return entry
 
     def get(self, key: str) -> RegisteredPair:
         """The pair registered under ``key`` (name, fingerprint, or

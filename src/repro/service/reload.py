@@ -1,0 +1,104 @@
+"""Hot-reload journal: admin mutations propagated across a pre-fork
+fleet.
+
+A multi-process ``repro serve`` has N independent registries (each
+child warmed its own copy at boot).  When ``POST /admin/pairs`` lands
+on one child, the other N-1 must learn about the new pair without a
+restart and without any parent-mediated broadcast channel.  The journal
+is that channel: an append-only JSON-lines file the mutating child
+appends to and every child polls.
+
+The protocol leans entirely on idempotence instead of coordination:
+
+* **Appends are atomic.**  One record is one ``write(2)`` on an
+  ``O_APPEND`` descriptor — POSIX guarantees concurrent appenders never
+  interleave bytes (records are far below ``PIPE_BUF``-scale sizes
+  where that guarantee is ironclad for regular files).
+* **Replay is idempotent.**  A register record that names content
+  already present is a no-op; a retire record for a pair already gone
+  is a no-op.  So a child may safely re-apply its *own* records, a
+  respawned child replays the whole journal from offset zero to catch
+  up on every mutation it missed, and duplicate delivery is harmless.
+* **Torn tails are tolerated.**  A reader stops at the last complete
+  line; a partially flushed record is picked up whole on the next poll.
+
+Records carry the original *wire* request (file paths or inline schema
+text), never compiled objects — each child compiles the pair itself, so
+the journal stays small and schema-version-proof.
+
+Point different deployments at different journal paths; replaying a
+stale journal is by design (that is what catches respawned children
+up), so a fresh deployment should start with a fresh file — the
+pre-fork front creates a per-run journal automatically when none is
+configured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator
+
+__all__ = ["ReloadJournal"]
+
+
+class ReloadJournal:
+    """One process's handle on the shared reload journal.
+
+    ``append`` is safe from any number of processes concurrently;
+    ``poll`` is single-consumer per instance (it tracks a private read
+    offset).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._offset = 0
+        # Tail bytes of a record that straddled the previous poll.
+        self._carry = b""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # Touch so pollers never race file creation.
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        os.close(fd)
+
+    def append(self, record: dict) -> None:
+        """Durably append one mutation record (atomic single write)."""
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def poll(self) -> Iterator[dict]:
+        """Yield every complete record appended since the last poll
+        (including our own — application is idempotent).  Unparseable
+        lines are skipped: one corrupt record must not wedge the
+        reload pipeline fleet-wide."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+        except OSError:
+            return
+        if not data:
+            return
+        self._offset += len(data)
+        data = self._carry + data
+        lines = data.split(b"\n")
+        # A chunk not ending in a newline leaves a torn tail; carry it
+        # into the next poll instead of parsing half a record.
+        self._carry = lines.pop()
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                yield record

@@ -21,12 +21,37 @@ lifecycle is the robustness contract:
 5. **Validation** — inside ``limits_scope`` of the pair's own
    ``Limits`` with ``deadline_seconds`` set to the residual request
    budget (the ``SCHEMA_CONFIG`` idiom: each pair may carry its own
-   cap, the request budget can only tighten it).
+   cap, the request budget can only tighten it).  With
+   ``fleet_workers > 0`` the work runs on a resident
+   :class:`~repro.service.executor.FleetExecutor` process instead of
+   the handler thread, so CPU-bound casts from many connections stop
+   serializing behind the GIL.
 6. **Response** — verdicts are 200 with lint-style diagnostics;
    every ``ReproError`` maps through
    :func:`~repro.service.diagnostics.http_status`; anything else is a
    *structured* 500 (code ``internal``).  No adversarial input can
    produce a bare 500.
+
+**Keep-alive**: connections are persistent (HTTP/1.1) and may carry up
+to ``max_requests_per_connection`` requests, pipelining included — the
+buffered ``rfile`` naturally serves back-to-back request bytes.  A
+response closes the connection only when it must: the client asked
+(``Connection: close`` / HTTP/1.0), the request's body was not fully
+consumed (an error before or during the body read leaves unread bytes
+that would be misparsed as the next request line — exactly the
+truncated-body case), the per-connection request cap is reached, or
+the service is draining.  Every close is explicit: ``Connection:
+close`` on the final response, so a pipelining client knows which
+requests to replay elsewhere.
+
+**Admin plane** (``POST /admin/pairs``, ``DELETE /admin/pairs/<key>``):
+hot schema-pair register/retire without a restart.  Admin requests skip
+admission slots (registering a pair must succeed even at 2× overload —
+it is how an operator *relieves* overload) but still respect draining
+and warm-up.  Mutations are race-free because the registry is
+fingerprint-addressed and in-flight requests hold their
+``RegisteredPair`` reference; across a pre-fork fleet they propagate
+through the :class:`~repro.service.reload.ReloadJournal`.
 
 **Drain** (SIGTERM/SIGINT): stop admitting (503 ``draining``), finish
 in-flight requests up to ``drain_grace`` seconds, flip ``healthz``
@@ -46,21 +71,16 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 
-from repro.core.castmods import CastWithModificationsValidator
-from repro.core.cast import cast_text
-from repro.core.updates import UpdateSession
-from repro.core.validator import validate_document
-from repro.dewey import Dewey
-from repro.errors import DeadlineExceededError, ReproError
-from repro.guards import Deadline, Limits, check_document_size, limits_scope
+from repro.errors import ReproError, SchemaError
+from repro.guards import Deadline, Limits, check_document_size
 from repro.service.admission import AdmissionController
 from repro.service.diagnostics import (
     error_payload,
     http_status,
-    report_payload,
     retry_after,
 )
 from repro.service.errors import (
+    DrainingError,
     LengthRequiredError,
     MalformedRequestError,
     MethodNotAllowedError,
@@ -70,8 +90,13 @@ from repro.service.errors import (
     UnknownRouteError,
 )
 from repro.service.registry import RegisteredPair, ServiceRegistry
-from repro.xmltree.dom import Element, Text
-from repro.xmltree.parser import parse
+from repro.service.work import (
+    VALIDATION_KINDS,
+    perform_request,
+    require_str,
+    residual_limits,
+    spec_from_wire,
+)
 
 __all__ = ["ServiceConfig", "ValidationService"]
 
@@ -98,128 +123,81 @@ class ServiceConfig:
     #: before any read; ``None`` falls back to the default ``Limits``
     #: document bound (the JSON envelope around a document is small).
     max_body_bytes: Optional[int] = None
-    #: Socket timeout for reading the request line and headers.
+    #: Socket timeout for reading the request line and headers — also
+    #: the idle timeout of a kept-alive connection between requests.
     header_timeout: float = 10.0
     read_chunk: int = 64 * 1024
     #: Log one line per request to stderr (off in tests/benchmarks).
     log_requests: bool = False
+    #: Persistent connections (HTTP/1.1 keep-alive + pipelining).
+    keep_alive: bool = True
+    #: Requests served on one connection before it is closed (bounds
+    #: how long a single client can monopolize a handler thread).
+    max_requests_per_connection: int = 100
+    #: Resident validation worker processes; 0 runs validation inline
+    #: in handler threads (the single-core mode).
+    fleet_workers: int = 0
+    #: Recycle a fleet worker after this many requests (``None`` never).
+    max_requests_per_worker: Optional[int] = None
+    #: Recycle a fleet worker once its RSS exceeds this (``None`` never).
+    max_worker_rss_mb: Optional[float] = None
+    #: Enable ``/admin/pairs`` hot register/retire endpoints.
+    admin: bool = True
+    #: Shared JSON-lines journal propagating admin mutations across a
+    #: pre-fork fleet (``None``: mutations stay process-local).
+    reload_journal: Optional[str] = None
+    #: Seconds between journal polls.
+    reload_poll: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
             raise ValueError("max_concurrent must be >= 1")
         if self.max_queue < 0:
             raise ValueError("max_queue must be >= 0")
+        if self.max_requests_per_connection < 1:
+            raise ValueError("max_requests_per_connection must be >= 1")
+        if self.fleet_workers < 0:
+            raise ValueError("fleet_workers must be >= 0")
         for name in ("queue_timeout", "request_timeout", "drain_grace",
-                     "header_timeout"):
+                     "header_timeout", "reload_poll"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0")
+        for name in ("max_requests_per_worker", "max_worker_rss_mb"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0 when set")
 
 
-def _require_str(request: dict, field: str) -> str:
-    value = request.get(field)
-    if not isinstance(value, str) or not value:
-        raise MalformedRequestError(
-            f"request field {field!r} must be a non-empty string"
-        )
-    return value
+class _BoundServer(ThreadingHTTPServer):
+    """Per-service listener.
 
-
-def _resolve_node(document, path_text: str):
-    """The node at a Dewey path (``""`` = root, steps index *all*
-    children, text nodes included — the numbering ``Node.dewey()``
-    reports)."""
-    if not isinstance(path_text, str):
-        raise MalformedRequestError("mod field 'path' must be a string")
-    try:
-        steps = Dewey.parse(path_text).path
-    except ValueError as error:
-        raise MalformedRequestError(str(error)) from None
-    node = document.root
-    for step in steps:
-        children = getattr(node, "children", None)
-        if children is None or step >= len(children):
-            raise MalformedRequestError(
-                f"Dewey path {path_text!r} does not address a node"
-            )
-        node = children[step]
-    return node
-
-
-def _apply_mods(session: UpdateSession, mods) -> None:
-    """Replay a wire-encoded modification list into the session.
-
-    Each mod is ``{"op": ..., "path": <Dewey>, ...}``; ops mirror the
-    paper's update operations (§3.3).  A structurally bad mod is a 400;
-    a semantically bad one (deleted target, bad position) surfaces as
-    ``UpdateError`` — also a 400 — so no mod list can crash the server.
+    ``reuse_port`` lets N pre-forked processes bind the same address —
+    the kernel load-balances accepts across them.  An already-bound
+    ``listen_socket`` (the no-``SO_REUSEPORT`` fallback: one parent
+    socket inherited across fork) is adopted instead of binding.
     """
-    if not isinstance(mods, list):
-        raise MalformedRequestError("'mods' must be a list of operations")
-    for index, mod in enumerate(mods):
-        if not isinstance(mod, dict) or not isinstance(mod.get("op"), str):
-            raise MalformedRequestError(
-                f"mods[{index}] must be an object with an 'op' string"
-            )
-        op = mod["op"]
-        try:
-            _apply_one_mod(session, mod)
-        except (KeyError, TypeError) as error:
-            raise MalformedRequestError(
-                f"mods[{index}] ({op}): missing or mistyped field "
-                f"({error})"
-            ) from None
-        except MalformedRequestError as error:
-            raise MalformedRequestError(
-                f"mods[{index}] ({op}): {error}"
-            ) from None
 
+    #: Deep accept backlog: under overload, connections must reach the
+    #: admission controller (which answers 503 fast) instead of
+    #: stalling in the kernel SYN queue, where the only "answer" is a
+    #: retransmit timer.
+    request_queue_size = 128
+    reuse_port = False
 
-def _apply_one_mod(session: UpdateSession, mod: dict) -> None:
-    op = mod["op"]
-    document = session.document
-    if op == "rename":
-        node = _resolve_node(document, mod["path"])
-        if not isinstance(node, Element):
-            raise MalformedRequestError("rename targets an element")
-        session.rename(node, str(mod["label"]))
-    elif op == "replace-text":
-        node = _resolve_node(document, mod["path"])
-        if not isinstance(node, Text):
-            raise MalformedRequestError("replace-text targets a text node")
-        session.replace_text(node, str(mod["value"]))
-    elif op == "set-attribute":
-        node = _resolve_node(document, mod["path"])
-        if not isinstance(node, Element):
-            raise MalformedRequestError("set-attribute targets an element")
-        session.set_attribute(node, str(mod["name"]), str(mod["value"]))
-    elif op == "remove-attribute":
-        node = _resolve_node(document, mod["path"])
-        if not isinstance(node, Element):
-            raise MalformedRequestError(
-                "remove-attribute targets an element"
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            self.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
             )
-        session.remove_attribute(node, str(mod["name"]))
-    elif op == "delete":
-        node = _resolve_node(document, mod["path"])
-        session.delete(node)
-    elif op == "insert-element":
-        parent = _resolve_node(document, mod["path"])
-        if not isinstance(parent, Element):
-            raise MalformedRequestError(
-                "insert-element's path addresses the parent element"
-            )
-        session.insert_element(
-            parent, int(mod["position"]), str(mod["label"])
-        )
-    elif op == "insert-text":
-        parent = _resolve_node(document, mod["path"])
-        if not isinstance(parent, Element):
-            raise MalformedRequestError(
-                "insert-text's path addresses the parent element"
-            )
-        session.insert_text(parent, int(mod["position"]), str(mod["value"]))
-    else:
-        raise MalformedRequestError(f"unknown op {op!r}")
+        super().server_bind()
+
+    def adopt_socket(self, listener: socket.socket) -> None:
+        self.socket.close()
+        self.socket = listener
+        self.server_address = listener.getsockname()[:2]
+        # What HTTPServer.server_bind would have set; the parent
+        # already bound and listened, so nothing else to do.
+        self.server_name, self.server_port = self.server_address
 
 
 class ValidationService:
@@ -250,9 +228,12 @@ class ValidationService:
         )
         self.started_at: Optional[float] = None
         self.warm_error: Optional[BaseException] = None
+        self.executor = None
+        self._reload = None
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._serve_thread: Optional[threading.Thread] = None
         self._warm_thread: Optional[threading.Thread] = None
+        self._reload_thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._draining = threading.Event()
         self._stopped = threading.Event()
@@ -260,13 +241,24 @@ class ValidationService:
 
     # -- lifecycle -----------------------------------------------------------
 
-    def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+    def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        reuse_port: bool = False,
+        listen_socket: Optional[socket.socket] = None,
+    ) -> tuple[str, int]:
         """Bind, start serving, and warm the registry in the background.
 
         The listener answers immediately — ``healthz`` 200, ``readyz``
         503 — and ``readyz`` flips to 200 only once every pair is
         compiled (or restored from the artifact cache).  Returns the
         bound ``(host, port)``; ``port=0`` picks an ephemeral port.
+
+        ``reuse_port`` binds with ``SO_REUSEPORT`` (pre-fork siblings
+        share the port); ``listen_socket`` adopts an inherited,
+        already-listening socket instead of binding one.
         """
         if self._httpd is not None:
             raise RuntimeError("service already started")
@@ -275,15 +267,19 @@ class ValidationService:
         )
         handler.timeout = self.config.header_timeout
         server_cls = type(
-            "BoundServer",
-            (ThreadingHTTPServer,),
-            # Deep accept backlog: under overload, connections must
-            # reach the admission controller (which answers 503 fast)
-            # instead of stalling in the kernel SYN queue, where the
-            # only "answer" is a retransmit timer.
-            {"request_queue_size": 128},
+            "BoundServer", (_BoundServer,), {"reuse_port": reuse_port}
         )
-        self._httpd = server_cls((host, port), handler)
+        httpd = server_cls((host, port), handler, bind_and_activate=False)
+        try:
+            if listen_socket is not None:
+                httpd.adopt_socket(listen_socket)
+            else:
+                httpd.server_bind()
+                httpd.server_activate()
+        except BaseException:
+            httpd.server_close()
+            raise
+        self._httpd = httpd
         self.started_at = time.monotonic()
         self._serve_thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -293,6 +289,7 @@ class ValidationService:
         self._serve_thread.start()
         if self.registry.ready:
             self._ready.set()
+            self._after_warm()
         else:
             self._warm_thread = threading.Thread(
                 target=self._warm, name="repro-serve-warm", daemon=True
@@ -306,7 +303,43 @@ class ValidationService:
         except BaseException as error:  # noqa: BLE001 — surfaced via readyz
             self.warm_error = error
             return
+        try:
+            self._after_warm()
+        except BaseException as error:  # noqa: BLE001
+            self.warm_error = error
+            return
         self._ready.set()
+
+    def _after_warm(self) -> None:
+        """Executor spawn + reload watcher, both of which need a warmed
+        registry (transports want compiled pairs; journal replay wants
+        a registry that accepts register())."""
+        if self.config.fleet_workers > 0 and self.executor is None:
+            from repro.service.executor import FleetExecutor
+
+            executor = FleetExecutor(
+                self.config.fleet_workers,
+                max_requests_per_worker=(
+                    self.config.max_requests_per_worker
+                ),
+                max_worker_rss_mb=self.config.max_worker_rss_mb,
+            )
+            # Park every boot pair before the fork: workers inherit the
+            # compiled tables copy-on-write, zero pickles.
+            for entry in self.registry.entries():
+                executor.register_pair(entry)
+            executor.start()
+            self.executor = executor
+        if self.config.reload_journal is not None and self._reload is None:
+            from repro.service.reload import ReloadJournal
+
+            self._reload = ReloadJournal(self.config.reload_journal)
+            self._reload_thread = threading.Thread(
+                target=self._watch_reload,
+                name="repro-serve-reload",
+                daemon=True,
+            )
+            self._reload_thread.start()
 
     @property
     def port(self) -> int:
@@ -362,6 +395,8 @@ class ValidationService:
         if httpd is not None:
             httpd.shutdown()
             httpd.server_close()
+        if self.executor is not None:
+            self.executor.close()
         self._stopped.set()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -380,6 +415,8 @@ class ValidationService:
         if httpd is not None:
             httpd.shutdown()
             httpd.server_close()
+        if self.executor is not None:
+            self.executor.close()
         self._stopped.set()
 
     def install_signal_handlers(self) -> None:
@@ -397,6 +434,79 @@ class ValidationService:
         while not self._stopped.wait(0.2):
             pass
         return 0
+
+    # -- hot reload ----------------------------------------------------------
+
+    def _watch_reload(self) -> None:
+        """Apply sibling processes' admin mutations from the journal.
+        Replay starts at offset zero, so a freshly (re)spawned child
+        catches up on every mutation it missed."""
+        while not self._stopped.is_set():
+            try:
+                for record in self._reload.poll():
+                    self._apply_reload_record(record)
+            except Exception:  # noqa: BLE001 — the watcher must survive
+                pass
+            self._stopped.wait(self.config.reload_poll)
+
+    def _apply_reload_record(self, record: dict) -> None:
+        """Replay one journal record; idempotent, silent on conflict
+        (the originating process already answered its client)."""
+        op = record.get("op")
+        if op == "register":
+            try:
+                spec = spec_from_wire(record.get("body") or {})
+                entry, created = self.registry.register(spec)
+            except (ReproError, OSError):
+                return
+            if created and self.executor is not None:
+                self.executor.register_pair(entry)
+        elif op == "retire":
+            try:
+                self.registry.retire(str(record.get("key", "")))
+            except ReproError:
+                pass
+
+    def admin_register(self, request: dict) -> tuple[int, dict]:
+        """``POST /admin/pairs``: hot-register a pair.  201 when
+        created, 200 when the identical pair was already present."""
+        try:
+            spec = spec_from_wire(request)
+            entry, created = self.registry.register(spec)
+        except SchemaError as error:
+            # Inline schema text that does not parse/compile is the
+            # *client's* mistake here, not server misconfiguration.
+            raise MalformedRequestError(
+                f"supplied schema is unusable: {error}"
+            ) from None
+        except OSError as error:
+            raise MalformedRequestError(
+                f"schema file unreadable: {error}"
+            ) from None
+        if created:
+            if self.executor is not None:
+                self.executor.register_pair(entry)
+            if self._reload is not None:
+                self._reload.append({"op": "register", "body": request})
+        payload = {
+            "created": created,
+            "name": entry.name,
+            "fingerprint": entry.fingerprint,
+            "generation": self.registry.generation,
+        }
+        return (201 if created else 200), payload
+
+    def admin_retire(self, key: str) -> dict:
+        """``DELETE /admin/pairs/<key>``: retire a pair by name,
+        fingerprint, or unique prefix."""
+        entry = self.registry.retire(key)
+        if self._reload is not None:
+            self._reload.append({"op": "retire", "key": entry.fingerprint})
+        return {
+            "retired": entry.name,
+            "fingerprint": entry.fingerprint,
+            "generation": self.registry.generation,
+        }
 
     # -- request handling (called from handler threads) ----------------------
 
@@ -416,6 +526,8 @@ class ValidationService:
                 ),
                 "admission": self.admission.stats.as_dict(),
             }
+            if self.executor is not None:
+                payload["executor"] = self.executor.describe()
             return (503 if draining else 200), payload, {}
         if route == "/readyz":
             if self.ready:
@@ -423,6 +535,7 @@ class ValidationService:
                     "ready": True,
                     "pairs": len(self.registry),
                     "warm_seconds": round(self.registry.warm_seconds, 3),
+                    "generation": self.registry.generation,
                 }, {}
             if self.warm_error is not None:
                 payload = error_payload(self.warm_error)
@@ -435,104 +548,47 @@ class ValidationService:
                 "Retry-After": "1"
             }
         if route == "/pairs":
-            return 200, {"pairs": self.registry.describe()}, {}
+            return 200, {
+                "pairs": self.registry.describe(),
+                "generation": self.registry.generation,
+            }, {}
         raise UnknownRouteError(f"no endpoint at {route}")
 
     def dispatch_post(self, route: str, request: dict,
                       deadline: Deadline) -> dict:
-        if route == "/validate":
-            return self._do_validate(request, deadline)
-        if route == "/cast":
-            return self._do_cast(request, deadline)
-        if route == "/cast-with-mods":
-            return self._do_cast_with_mods(request, deadline)
-        raise UnknownRouteError(f"no endpoint at {route}")
+        kind = route.lstrip("/")
+        if kind not in VALIDATION_KINDS:
+            raise UnknownRouteError(f"no endpoint at {route}")
+        entry = self.registry.get(require_str(request, "pair"))
+        limits = self._residual_limits(entry, deadline)
+        if self.executor is not None:
+            from repro.service.executor import WireOutcomeError
 
-    def _resolve_pair(self, request: dict) -> RegisteredPair:
-        return self.registry.get(_require_str(request, "pair"))
+            outcome = self.executor.submit(
+                kind,
+                entry,
+                request,
+                limits,
+                residual_seconds=deadline.remaining(),
+            )
+            if outcome.status == 200:
+                return outcome.payload
+            raise WireOutcomeError(outcome)
+        return perform_request(
+            kind,
+            entry.pair,
+            request,
+            limits,
+            pair_name=entry.name,
+            fingerprint=entry.fingerprint,
+        )
 
     def _residual_limits(
         self, entry: RegisteredPair, deadline: Deadline
     ) -> Limits:
-        """The pair's ``Limits`` with ``deadline_seconds`` set to what
-        is *left* of the request budget — admission wait and body read
-        have already spent their share; validation gets the rest, and
-        the pair's own cap can only tighten it further."""
-        residual = deadline.remaining()
-        if residual <= 0:
-            raise DeadlineExceededError(
-                f"request deadline of {deadline.budget:g}s exhausted "
-                "before validation began"
-            )
-        budget = entry.limits.deadline_seconds
-        budget = residual if budget is None else min(budget, residual)
-        return entry.limits.with_overrides(deadline_seconds=budget)
-
-    def _do_validate(self, request: dict, deadline: Deadline) -> dict:
-        entry = self._resolve_pair(request)
-        xml = _require_str(request, "xml")
-        which = request.get("schema", "target")
-        if which not in ("source", "target"):
-            raise MalformedRequestError(
-                "request field 'schema' must be 'source' or 'target'"
-            )
-        schema = entry.pair.source if which == "source" else entry.pair.target
-        limits = self._residual_limits(entry, deadline)
-        started = time.perf_counter()
-        with limits_scope(limits):
-            document = parse(xml, limits=limits, symbols=schema.symbols)
-            report = validate_document(
-                schema, document, collect_stats=False, limits=limits
-            )
-        return report_payload(
-            report,
-            pair=entry.name,
-            fingerprint=entry.fingerprint,
-            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        return residual_limits(
+            entry.limits, deadline.remaining(), deadline.budget
         )
-
-    def _do_cast(self, request: dict, deadline: Deadline) -> dict:
-        entry = self._resolve_pair(request)
-        xml = _require_str(request, "xml")
-        limits = self._residual_limits(entry, deadline)
-        started = time.perf_counter()
-        with limits_scope(limits):
-            report = cast_text(
-                entry.pair,
-                xml,
-                limits=limits,
-                stream_skip=bool(request.get("stream_skip", True)),
-                trusted=bool(request.get("trusted", False)),
-            )
-        return report_payload(
-            report,
-            pair=entry.name,
-            fingerprint=entry.fingerprint,
-            elapsed_ms=(time.perf_counter() - started) * 1000.0,
-        )
-
-    def _do_cast_with_mods(self, request: dict, deadline: Deadline) -> dict:
-        entry = self._resolve_pair(request)
-        xml = _require_str(request, "xml")
-        limits = self._residual_limits(entry, deadline)
-        started = time.perf_counter()
-        with limits_scope(limits):
-            document = parse(
-                xml, limits=limits, symbols=entry.pair.symbols
-            )
-            session = UpdateSession(document)
-            _apply_mods(session, request.get("mods", []))
-            report = CastWithModificationsValidator(
-                entry.pair, collect_stats=False, limits=limits
-            ).validate(session)
-        payload = report_payload(
-            report,
-            pair=entry.name,
-            fingerprint=entry.fingerprint,
-            elapsed_ms=(time.perf_counter() - started) * 1000.0,
-        )
-        payload["mods_applied"] = session.update_count
-        return payload
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -545,8 +601,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     _GET_ROUTES = frozenset({"/healthz", "/readyz", "/pairs"})
     _POST_ROUTES = frozenset({"/validate", "/cast", "/cast-with-mods"})
+    _ADMIN_ROUTE = "/admin/pairs"
 
     # -- plumbing ------------------------------------------------------------
+
+    def setup(self) -> None:
+        super().setup()
+        #: Responses sent on this connection (keep-alive cap).
+        self._requests_served = 0
+        #: True while the current request's body bytes may still be
+        #: sitting unread on the socket — a response in that state must
+        #: close, or keep-alive would parse body bytes as the next
+        #: request line.
+        self._unread_body = False
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.service.config.log_requests:
@@ -554,6 +621,21 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def _route(self) -> str:
         return self.path.split("?", 1)[0].rstrip("/") or "/"
+
+    def _should_close(self) -> bool:
+        """The keep-alive policy, decided per response."""
+        config = self.service.config
+        return (
+            not config.keep_alive
+            # The base class already set close_connection for HTTP/1.0
+            # clients and explicit ``Connection: close`` requests.
+            or self.close_connection
+            or self._unread_body
+            or self._requests_served >= config.max_requests_per_connection
+            # Draining: finish this response, then free the connection
+            # so await_idle() is not held hostage by idle keep-alives.
+            or self.service.draining
+        )
 
     def _send_json(
         self, status: int, payload: dict, headers: Optional[dict] = None
@@ -564,9 +646,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
-        if status >= 400:
-            # Error paths may leave unread body bytes on the socket;
-            # keep-alive would misparse them as the next request line.
+        self._requests_served += 1
+        if self._should_close():
             self.send_header("Connection", "close")
             self.close_connection = True
         self.end_headers()
@@ -615,28 +696,40 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 what="request body",
             )
         received = bytearray()
-        while len(received) < length:
-            remaining = deadline.remaining()
-            if remaining <= 0:
-                raise RequestTimeoutError(
-                    "request body arrived slower than the "
-                    f"{deadline.budget:g}s request budget"
-                )
-            self.connection.settimeout(remaining)
-            want = min(config.read_chunk, length - len(received))
+        try:
+            while len(received) < length:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    raise RequestTimeoutError(
+                        "request body arrived slower than the "
+                        f"{deadline.budget:g}s request budget"
+                    )
+                self.connection.settimeout(remaining)
+                want = min(config.read_chunk, length - len(received))
+                try:
+                    chunk = self.rfile.read(want)
+                except (socket.timeout, TimeoutError):
+                    raise RequestTimeoutError(
+                        "request body arrived slower than the "
+                        f"{deadline.budget:g}s request budget"
+                    ) from None
+                if not chunk:
+                    raise TruncatedBodyError(
+                        f"request body ended after {len(received)} of "
+                        f"{length} promised bytes"
+                    )
+                received.extend(chunk)
+        finally:
+            # Restore the idle timeout: the per-read deadline pacing
+            # must not leak into the next keep-alive request's header
+            # wait.
             try:
-                chunk = self.rfile.read(want)
-            except (socket.timeout, TimeoutError):
-                raise RequestTimeoutError(
-                    "request body arrived slower than the "
-                    f"{deadline.budget:g}s request budget"
-                ) from None
-            if not chunk:
-                raise TruncatedBodyError(
-                    f"request body ended after {len(received)} of "
-                    f"{length} promised bytes"
-                )
-            received.extend(chunk)
+                self.connection.settimeout(self.timeout)
+            except OSError:
+                pass
+        # Every promised byte is consumed; this connection is safe to
+        # keep alive whatever the response status turns out to be.
+        self._unread_body = False
         return bytes(received)
 
     def _parse_request_json(self, body: bytes) -> dict:
@@ -655,39 +748,92 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # -- verbs ---------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server contract
+        self._unread_body = False
         self._guarded(self._handle_get)
 
     def do_POST(self) -> None:  # noqa: N802
+        # Until _read_body consumes the promised bytes, any response
+        # (shed, 411, 413, truncation...) must close the connection.
+        self._unread_body = True
         self._guarded(self._handle_post)
 
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._unread_body = False
+        self._guarded(self._handle_delete)
+
     def _guarded(self, handler: Callable[[], None]) -> None:
+        from repro.service.executor import WireOutcomeError
+
         try:
             handler()
+        except WireOutcomeError as error:
+            self._try_send(
+                lambda: self._send_wire_outcome(error.outcome)
+            )
         except ReproError as error:
-            self._try_send_error(error)
+            self._try_send(lambda: self._send_error_response(error))
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True
         except Exception as error:  # noqa: BLE001 — structured 500
-            self._try_send_error(error)
+            self._try_send(lambda: self._send_error_response(error))
 
-    def _try_send_error(self, error: BaseException) -> None:
+    def _try_send(self, send: Callable[[], None]) -> None:
         try:
-            self._send_error_response(error)
+            send()
         except OSError:
             self.close_connection = True
 
+    def _send_wire_outcome(self, outcome) -> None:
+        headers = {}
+        if outcome.retry_after is not None:
+            headers["Retry-After"] = str(
+                max(1, round(outcome.retry_after))
+            )
+        elif outcome.status == 503:
+            headers["Retry-After"] = "1"
+        self._send_json(outcome.status, outcome.payload, headers)
+
     def _handle_get(self) -> None:
         route = self._route()
-        if route in self._POST_ROUTES:
-            raise MethodNotAllowedError(f"{route} requires POST")
+        if route in self._POST_ROUTES or (
+            self._admin_enabled()
+            and route.startswith(self._ADMIN_ROUTE)
+        ):
+            raise MethodNotAllowedError(f"{route} does not answer GET")
         status, payload, headers = self.service.handle_get(route)
         self._send_json(status, payload, headers)
+
+    def _admin_enabled(self) -> bool:
+        return self.service.config.admin
+
+    def _check_admin_ready(self) -> None:
+        service = self.service
+        # Admin mutations bypass admission slots, so they must honor
+        # the drain gate themselves — whichever layer flipped it.
+        if service.draining or service.admission.draining:
+            raise DrainingError("service is draining")
+        if not service.registry.ready:
+            raise NotReadyError("service warm-up has not finished")
 
     def _handle_post(self) -> None:
         service = self.service
         route = self._route()
         if route in self._GET_ROUTES:
             raise MethodNotAllowedError(f"{route} requires GET")
+        if route == self._ADMIN_ROUTE and self._admin_enabled():
+            # Admin mutations bypass admission slots — registering a
+            # pair must succeed even while validation traffic is shed.
+            self._check_admin_ready()
+            deadline = Deadline(service.config.request_timeout)
+            body = self._read_body(deadline)
+            request = self._parse_request_json(body)
+            status, payload = service.admin_register(request)
+            self._send_json(status, payload)
+            return
+        if route.startswith(self._ADMIN_ROUTE) and self._admin_enabled():
+            raise MethodNotAllowedError(
+                f"{self._ADMIN_ROUTE}/<pair> answers DELETE"
+            )
         if route not in self._POST_ROUTES:
             raise UnknownRouteError(f"no endpoint at {route}")
         if not service.registry.ready:
@@ -707,4 +853,26 @@ class _RequestHandler(BaseHTTPRequestHandler):
             body = self._read_body(deadline)
             request = self._parse_request_json(body)
             payload = service.dispatch_post(route, request, deadline)
+        self._send_json(200, payload)
+
+    def _handle_delete(self) -> None:
+        route = self._route()
+        prefix = self._ADMIN_ROUTE + "/"
+        if route == self._ADMIN_ROUTE and self._admin_enabled():
+            raise MalformedRequestError(
+                "DELETE /admin/pairs/<name-or-fingerprint>"
+            )
+        if not (route.startswith(prefix) and self._admin_enabled()):
+            if route in self._GET_ROUTES or route in self._POST_ROUTES:
+                raise MethodNotAllowedError(
+                    f"{route} does not answer DELETE"
+                )
+            raise UnknownRouteError(f"no endpoint at {route}")
+        self._check_admin_ready()
+        key = route[len(prefix):]
+        if not key:
+            raise MalformedRequestError(
+                "DELETE /admin/pairs/<name-or-fingerprint>"
+            )
+        payload = self.service.admin_retire(key)
         self._send_json(200, payload)

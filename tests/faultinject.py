@@ -213,3 +213,110 @@ def post_without_content_length(host: str, port: int, path: str):
         "\r\n"
     )
     return raw_request(host, port, head, close_early=True)
+
+
+class KeepAliveClient:
+    """A persistent raw-socket HTTP/1.1 client.
+
+    The keep-alive suites need what urllib cannot show: whether two
+    requests really travelled one TCP connection, whether the server
+    answered ``Connection: close``, and whether pipelined request bytes
+    (several requests written before any response is read) all get
+    answers.  ``send`` writes one request; ``read_response`` parses one
+    response off the shared buffer; interleave them freely.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        import socket
+
+        self.sock = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+        self.host = host
+        self.port = port
+        self._buffer = b""
+
+    @staticmethod
+    def encode(method: str, path: str, payload=None,
+               headers: dict = None) -> bytes:
+        import json
+
+        body = (
+            b"" if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            "Host: service",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        return (
+            "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
+        )
+
+    def send(self, method: str, path: str, payload=None,
+             headers: dict = None) -> None:
+        self.sock.sendall(self.encode(method, path, payload, headers))
+
+    def send_raw(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def _fill(self) -> bool:
+        chunk = self.sock.recv(65536)
+        if not chunk:
+            return False
+        self._buffer += chunk
+        return True
+
+    def read_response(self):
+        """Parse one response: ``(status, payload_dict, headers)``."""
+        import json
+
+        while b"\r\n\r\n" not in self._buffer:
+            if not self._fill():
+                raise ConnectionError(
+                    "server closed before a full response header"
+                )
+        head, _, self._buffer = self._buffer.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        want = int(headers.get("content-length", 0))
+        while len(self._buffer) < want:
+            if not self._fill():
+                raise ConnectionError(
+                    "server closed mid response body"
+                )
+        body, self._buffer = self._buffer[:want], self._buffer[want:]
+        payload = json.loads(body) if body else {}
+        return status, payload, headers
+
+    def server_closed(self, timeout: float = 5.0) -> bool:
+        """True once the server closes its side (EOF)."""
+        import socket
+
+        self.sock.settimeout(timeout)
+        try:
+            return self.sock.recv(1) == b""
+        except (socket.timeout, TimeoutError):
+            return False
+        except OSError:
+            return True
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "KeepAliveClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,178 @@
+"""Hot pair register/retire through the ``/admin/pairs`` plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.server import ServiceConfig
+
+from tests.service.conftest import boot
+
+NOTE_DTD = "<!ELEMENT note (#PCDATA)>"
+MEMO_DTD = "<!ELEMENT note (line+)>\n<!ELEMENT line (#PCDATA)>"
+
+
+def note_pair(name: str = "note-pair") -> dict:
+    return {
+        "name": name,
+        "source_text": NOTE_DTD,
+        "source_kind": "dtd",
+        "target_text": NOTE_DTD,
+        "target_kind": "dtd",
+    }
+
+
+class TestAdminRegister:
+    def test_register_validate_retire_round_trip(self, demo_service):
+        status, payload, _ = demo_service.post(
+            "/admin/pairs", note_pair()
+        )
+        assert status == 201
+        assert payload["created"] is True
+        assert payload["name"] == "note-pair"
+        fingerprint = payload["fingerprint"]
+        assert len(fingerprint) == 64
+
+        # The hot pair serves validation traffic immediately.
+        status, verdict, _ = demo_service.post(
+            "/validate",
+            {"pair": "note-pair", "xml": "<note>hi</note>",
+             "schema": "source"},
+        )
+        assert status == 200 and verdict["valid"] is True
+
+        status, gone, _ = demo_service.request(
+            "DELETE", f"/admin/pairs/{fingerprint}"
+        )
+        assert status == 200
+        assert gone["retired"] == "note-pair"
+
+        status, error, _ = demo_service.post(
+            "/validate",
+            {"pair": "note-pair", "xml": "<note>hi</note>",
+             "schema": "source"},
+        )
+        assert status == 404
+        assert error["error"]["code"] == "unknown-pair"
+
+    def test_reregister_same_content_is_idempotent(self, demo_service):
+        status, first, _ = demo_service.post("/admin/pairs", note_pair())
+        assert status == 201 and first["created"] is True
+        status, again, _ = demo_service.post("/admin/pairs", note_pair())
+        assert status == 200
+        assert again["created"] is False
+        assert again["fingerprint"] == first["fingerprint"]
+
+    def test_same_name_different_content_conflicts(self, demo_service):
+        demo_service.post("/admin/pairs", note_pair())
+        conflicting = note_pair()
+        conflicting["target_text"] = MEMO_DTD
+        status, payload, _ = demo_service.post(
+            "/admin/pairs", conflicting
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "pair-conflict"
+
+    def test_same_content_under_other_name_conflicts(self, demo_service):
+        demo_service.post("/admin/pairs", note_pair())
+        status, payload, _ = demo_service.post(
+            "/admin/pairs", note_pair("note-alias")
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "pair-conflict"
+
+    def test_generation_visible_in_pairs_listing(self, demo_service):
+        _, before, _ = demo_service.get("/pairs")
+        _, created, _ = demo_service.post("/admin/pairs", note_pair())
+        _, after, _ = demo_service.get("/pairs")
+        assert after["generation"] == before["generation"] + 1
+        assert created["generation"] == after["generation"]
+        names = [p["name"] for p in after["pairs"]]
+        assert "note-pair" in names
+
+    def test_unusable_inline_schema_is_a_400(self, demo_service):
+        broken = note_pair()
+        broken["source_text"] = "<!ELEMENT note"
+        status, payload, _ = demo_service.post("/admin/pairs", broken)
+        # Inline text fails at parse time (xml-syntax); either way the
+        # contract is a typed 400, never a 500.
+        assert status == 400
+        assert payload["error"]["code"] in ("bad-request", "xml-syntax")
+
+    def test_unreadable_schema_path_is_a_400(self, demo_service):
+        status, payload, _ = demo_service.post(
+            "/admin/pairs",
+            {"name": "ghost", "source": "/no/such/schema.dtd",
+             "target": "/no/such/schema.dtd"},
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+
+class TestAdminRetire:
+    def test_cannot_retire_last_pair(self):
+        handle = boot()
+        try:
+            _, pairs, _ = handle.get("/pairs")
+            names = [p["name"] for p in pairs["pairs"]]
+            for name in names[:-1]:
+                status, _, _ = handle.request(
+                    "DELETE", f"/admin/pairs/{name}"
+                )
+                assert status == 200
+            status, payload, _ = handle.request(
+                "DELETE", f"/admin/pairs/{names[-1]}"
+            )
+            assert status == 400
+            assert payload["error"]["code"] == "bad-request"
+        finally:
+            handle.service.close()
+
+    def test_retire_unknown_pair_is_404(self, demo_service):
+        status, payload, _ = demo_service.request(
+            "DELETE", "/admin/pairs/no-such-pair"
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-pair"
+
+    def test_delete_without_key_is_malformed(self, demo_service):
+        status, payload, _ = demo_service.request(
+            "DELETE", "/admin/pairs/"
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad-request"
+
+    def test_delete_on_validation_route_is_405(self, demo_service):
+        status, payload, _ = demo_service.request("DELETE", "/validate")
+        assert status == 405
+        assert payload["error"]["code"] == "method-not-allowed"
+
+
+class TestAdminGating:
+    def test_admin_disabled_hides_the_plane(self):
+        handle = boot(ServiceConfig(admin=False))
+        try:
+            status, payload, _ = handle.post("/admin/pairs", note_pair())
+            assert status == 404
+            assert payload["error"]["code"] == "unknown-route"
+            status, payload, _ = handle.request(
+                "DELETE", "/admin/pairs/po-exp1"
+            )
+            assert status == 404
+        finally:
+            handle.service.close()
+
+    def test_draining_service_sheds_admin_mutations(self, demo_service):
+        # Flip only the admission gate: the listener stays up, so the
+        # request must reach the admin plane and be shed there.
+        demo_service.service.admission.start_drain()
+        status, payload, _ = demo_service.post(
+            "/admin/pairs", note_pair()
+        )
+        assert status == 503
+        assert payload["error"]["code"] == "draining"
+
+    def test_get_on_admin_route_is_405(self, demo_service):
+        status, payload, _ = demo_service.get("/admin/pairs")
+        assert status == 405
+        assert payload["error"]["code"] == "method-not-allowed"

@@ -1,0 +1,152 @@
+"""Fleet-backed dispatch: the resident worker pool behind the service.
+
+Parity tests pin the contract that dispatching through ``FleetExecutor``
+is observationally identical to inline execution — same verdicts, same
+typed errors — and that worker recycling is invisible to clients.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.server import ServiceConfig
+from repro.workloads.purchase_orders import make_purchase_order
+from repro.xmltree.serializer import serialize
+
+from tests.service.conftest import boot
+
+
+def po_xml(items: int = 3, **kwargs) -> str:
+    return serialize(make_purchase_order(items, **kwargs))
+
+
+@pytest.fixture(scope="module")
+def fleet_service():
+    handle = boot(ServiceConfig(fleet_workers=2))
+    yield handle
+    handle.service.close()
+
+
+@pytest.fixture(scope="module")
+def inline_service():
+    handle = boot()
+    yield handle
+    handle.service.close()
+
+
+def strip_timing(payload: dict) -> dict:
+    return {k: v for k, v in payload.items() if k != "elapsed_ms"}
+
+
+class TestFleetParity:
+    def test_healthz_reports_the_fleet(self, fleet_service):
+        status, payload, _ = fleet_service.get("/healthz")
+        assert status == 200
+        fleet = payload["executor"]
+        assert fleet["workers"] == 2
+        assert fleet["alive"] == 2
+
+    @pytest.mark.parametrize("route", ["/validate", "/cast"])
+    def test_verdict_parity_with_inline(
+        self, fleet_service, inline_service, route
+    ):
+        request = {"pair": "po-exp1", "xml": po_xml(), "schema": "source"}
+        status_f, fleet, _ = fleet_service.post(route, dict(request))
+        status_i, inline, _ = inline_service.post(route, dict(request))
+        assert status_f == status_i == 200
+        assert strip_timing(fleet) == strip_timing(inline)
+
+    def test_cast_with_mods_through_the_fleet(self, fleet_service):
+        status, payload, _ = fleet_service.post(
+            "/cast-with-mods",
+            {
+                "pair": "po-exp1",
+                "xml": po_xml(2),
+                "mods": [],
+            },
+        )
+        assert status == 200
+        assert payload["mods_applied"] == 0
+
+    def test_invalid_document_verdict_parity(
+        self, fleet_service, inline_service
+    ):
+        request = {"pair": "po-exp1", "xml": "<wrong/>", "schema": "source"}
+        status_f, fleet, _ = fleet_service.post("/validate", dict(request))
+        status_i, inline, _ = inline_service.post(
+            "/validate", dict(request)
+        )
+        assert status_f == status_i == 200
+        assert fleet["valid"] is False
+        assert strip_timing(fleet) == strip_timing(inline)
+
+    def test_typed_error_parity(self, fleet_service, inline_service):
+        request = {"pair": "po-exp1", "xml": "<broken", "schema": "source"}
+        status_f, fleet, _ = fleet_service.post("/validate", dict(request))
+        status_i, inline, _ = inline_service.post(
+            "/validate", dict(request)
+        )
+        assert status_f == status_i
+        assert fleet["error"]["code"] == inline["error"]["code"]
+
+    def test_unknown_pair_rejected_before_dispatch(self, fleet_service):
+        status, payload, _ = fleet_service.post(
+            "/validate",
+            {"pair": "nope", "xml": "<x/>", "schema": "source"},
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown-pair"
+
+    def test_hot_pair_served_by_the_fleet(self, fleet_service):
+        # A pair registered after the workers were forked travels a
+        # spawn-safe route; the fleet must still serve it.
+        status, created, _ = fleet_service.post(
+            "/admin/pairs",
+            {
+                "name": "fleet-note",
+                "source_text": "<!ELEMENT note (#PCDATA)>",
+                "source_kind": "dtd",
+                "target_text": "<!ELEMENT note (#PCDATA)>",
+                "target_kind": "dtd",
+            },
+        )
+        assert status == 201
+        status, verdict, _ = fleet_service.post(
+            "/validate",
+            {"pair": "fleet-note", "xml": "<note>x</note>",
+             "schema": "source"},
+        )
+        assert status == 200 and verdict["valid"] is True
+        status, _, _ = fleet_service.request(
+            "DELETE", "/admin/pairs/fleet-note"
+        )
+        assert status == 200
+
+
+class TestWorkerRecycling:
+    def test_recycled_workers_stay_invisible_to_clients(self):
+        handle = boot(
+            ServiceConfig(fleet_workers=2, max_requests_per_worker=3)
+        )
+        try:
+            for _ in range(12):
+                status, payload, _ = handle.post(
+                    "/validate",
+                    {"pair": "po-exp1", "xml": po_xml(1),
+                     "schema": "source"},
+                )
+                assert status == 200 and payload["valid"] is True
+            describe = handle.service.executor.describe()
+            assert describe["recycled"] > 0
+            assert describe["crashed"] == 0
+            # A replacement for the last recycled worker may still be
+            # mid-spawn; full strength returns shortly.
+            import time
+
+            deadline = time.monotonic() + 10.0
+            while describe["alive"] < 2:
+                assert time.monotonic() < deadline, describe
+                time.sleep(0.1)
+                describe = handle.service.executor.describe()
+        finally:
+            handle.service.close()

@@ -1,0 +1,179 @@
+"""Wire-level keep-alive and pipelining tests.
+
+These assert the persistent-connection contract on raw sockets: reuse
+across requests, in-order pipelined answers, and — critically — that
+every path which may leave unread body bytes on the wire (shed before
+body read, truncated body) closes the connection instead of letting the
+next request line be parsed out of stale body bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.server import ServiceConfig
+from repro.workloads.purchase_orders import make_purchase_order
+from repro.xmltree.serializer import serialize
+
+from tests.faultinject import KeepAliveClient
+from tests.service.conftest import boot
+
+
+def po_xml(items: int = 3, **kwargs) -> str:
+    return serialize(make_purchase_order(items, **kwargs))
+
+
+def validate_payload() -> dict:
+    return {"pair": "po-exp1", "xml": po_xml(), "schema": "source"}
+
+
+class TestKeepAlive:
+    def test_two_requests_reuse_one_connection(self, demo_service):
+        with KeepAliveClient(demo_service.host, demo_service.port) as client:
+            for _ in range(2):
+                client.send("POST", "/validate", validate_payload())
+                status, payload, headers = client.read_response()
+                assert status == 200
+                assert payload["valid"] is True
+                assert headers.get("connection") != "close"
+
+    def test_get_and_post_interleave_on_one_connection(self, demo_service):
+        with KeepAliveClient(demo_service.host, demo_service.port) as client:
+            client.send("GET", "/healthz")
+            status, payload, headers = client.read_response()
+            assert status == 200 and payload["ready"] is True
+            assert headers.get("connection") != "close"
+            client.send("POST", "/validate", validate_payload())
+            status, payload, _ = client.read_response()
+            assert status == 200 and payload["valid"] is True
+
+    def test_pipelined_pair_answered_in_order(self, demo_service):
+        with KeepAliveClient(demo_service.host, demo_service.port) as client:
+            # Both requests hit the wire before any response is read;
+            # distinct documents prove answer order matches send order.
+            one = {"pair": "po-exp1", "xml": po_xml(1), "schema": "source"}
+            two = {"pair": "po-exp1", "xml": "<not-po/>", "schema": "source"}
+            client.send_raw(
+                client.encode("POST", "/validate", one)
+                + client.encode("POST", "/validate", two)
+            )
+            status, payload, _ = client.read_response()
+            assert status == 200 and payload["valid"] is True
+            status, payload, _ = client.read_response()
+            assert status == 200 and payload["valid"] is False
+
+    def test_client_connection_close_is_honored(self, demo_service):
+        with KeepAliveClient(demo_service.host, demo_service.port) as client:
+            client.send(
+                "POST", "/validate", validate_payload(),
+                headers={"Connection": "close"},
+            )
+            status, _, headers = client.read_response()
+            assert status == 200
+            assert headers.get("connection") == "close"
+            assert client.server_closed()
+
+    def test_request_cap_closes_connection(self):
+        handle = boot(ServiceConfig(max_requests_per_connection=2))
+        try:
+            with KeepAliveClient(handle.host, handle.port) as client:
+                client.send("GET", "/healthz")
+                _, _, headers = client.read_response()
+                assert headers.get("connection") != "close"
+                client.send("GET", "/healthz")
+                _, _, headers = client.read_response()
+                assert headers.get("connection") == "close"
+                assert client.server_closed()
+        finally:
+            handle.service.close()
+
+    def test_keep_alive_disabled_closes_every_response(self):
+        handle = boot(ServiceConfig(keep_alive=False))
+        try:
+            with KeepAliveClient(handle.host, handle.port) as client:
+                client.send("GET", "/healthz")
+                status, _, headers = client.read_response()
+                assert status == 200
+                assert headers.get("connection") == "close"
+                assert client.server_closed()
+        finally:
+            handle.service.close()
+
+    def test_mid_pipeline_shed_gets_503_and_close(self):
+        # One slot, no queue: while a slow request holds the slot, a
+        # pipelined burst on a second connection sheds.  The shed
+        # happens *before* the body read, so the server cannot know
+        # where the rejected request's body ends — it must close.
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hold_slot(route):
+            entered.set()
+            release.wait(15.0)
+
+        handle = boot(
+            ServiceConfig(max_concurrent=1, max_queue=0),
+            after_admit_hook=hold_slot,
+        )
+        try:
+            blocker = KeepAliveClient(handle.host, handle.port)
+            blocker.send("POST", "/validate", validate_payload())
+            assert entered.wait(10.0)
+            with KeepAliveClient(handle.host, handle.port) as client:
+                client.send_raw(
+                    client.encode("POST", "/validate", validate_payload())
+                    + client.encode("GET", "/healthz")
+                )
+                status, payload, headers = client.read_response()
+                assert status == 503
+                assert payload["error"]["code"] == "overloaded"
+                assert headers.get("connection") == "close"
+                # The pipelined follow-up is never answered: the server
+                # closed rather than misparse the unread body bytes.
+                assert client.server_closed()
+            release.set()
+            status, payload, _ = blocker.read_response()
+            assert status == 200 and payload["valid"] is True
+            blocker.close()
+        finally:
+            release.set()
+            handle.service.close()
+
+    def test_truncated_body_400_closes_connection(self, demo_service):
+        with KeepAliveClient(demo_service.host, demo_service.port) as client:
+            head = (
+                "POST /validate HTTP/1.1\r\n"
+                "Host: service\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: 500\r\n"
+                "\r\n"
+            ).encode("ascii")
+            client.send_raw(head + b'{"pair": "po-exp1"')
+            import socket
+
+            client.sock.shutdown(socket.SHUT_WR)
+            status, payload, headers = client.read_response()
+            assert status == 400
+            assert payload["error"]["code"] == "truncated-body"
+            assert headers.get("connection") == "close"
+            assert client.server_closed()
+
+    def test_healthz_after_validation_errors_keeps_connection(
+        self, demo_service
+    ):
+        # Typed validation errors (body fully read) must NOT cost the
+        # connection — only unread-body paths do.
+        with KeepAliveClient(demo_service.host, demo_service.port) as client:
+            client.send(
+                "POST", "/validate",
+                {"pair": "no-such-pair", "xml": "<x/>", "schema": "source"},
+            )
+            status, payload, headers = client.read_response()
+            assert status == 404
+            assert payload["error"]["code"] == "unknown-pair"
+            assert headers.get("connection") != "close"
+            client.send("GET", "/healthz")
+            status, _, _ = client.read_response()
+            assert status == 200

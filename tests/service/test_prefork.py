@@ -1,0 +1,217 @@
+"""End-to-end multi-process ``repro serve --processes N`` tests.
+
+The fleet-wide invariants from the single-process suite, re-proven
+across children: every admitted request is answered, SIGTERM drains all
+processes with zero losses, and admin mutations on one child propagate
+to the others through the reload journal.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.workloads.purchase_orders import make_purchase_order
+from repro.xmltree.serializer import serialize
+
+from tests.faultinject import http_json
+from tests.service.test_cli_serve import REPO_ROOT, serve_env
+
+DRAIN_LINE = re.compile(
+    r"drained: admitted=(\d+) completed=(\d+) lost=(\d+) processes=(\d+)"
+)
+
+
+def po_xml(items: int = 3, **kwargs) -> str:
+    return serialize(make_purchase_order(items, **kwargs))
+
+
+@pytest.fixture()
+def prefork_served():
+    """``repro serve --demo --processes 2``; yields ``(proc, host, port)``."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--demo", "--port", "0", "--processes", "2",
+            "--drain-grace", "10",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=serve_env(),
+        cwd=REPO_ROOT,
+    )
+    try:
+        boot_line = proc.stdout.readline().strip()
+        assert boot_line.startswith("listening on http://"), boot_line
+        address = boot_line.rsplit("/", 1)[-1]
+        host, _, port_text = address.partition(":")
+        ready_line = proc.stdout.readline().strip()
+        assert ready_line.startswith("ready: "), ready_line
+        assert "across 2 processes" in ready_line, ready_line
+        yield proc, host, int(port_text)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+def parse_drain_line(proc) -> tuple:
+    stdout, stderr = proc.communicate(timeout=30)
+    match = DRAIN_LINE.search(stdout)
+    assert match, (stdout, stderr)
+    admitted, completed, lost, processes = map(int, match.groups())
+    return admitted, completed, lost, processes
+
+
+class TestPreforkServe:
+    def test_concurrent_requests_and_clean_drain(self, prefork_served):
+        proc, host, port = prefork_served
+        xml = po_xml()
+        results: list = []
+        lock = threading.Lock()
+
+        def client(count: int) -> None:
+            for _ in range(count):
+                result = http_json(
+                    host, port, "POST", "/validate",
+                    {"pair": "po-exp1", "xml": xml, "schema": "source"},
+                    timeout=30.0,
+                )
+                with lock:
+                    results.append(result)
+
+        threads = [
+            threading.Thread(target=client, args=(5,), daemon=True)
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert len(results) == 20
+        assert all(status == 200 for status, _, _ in results)
+        assert all(payload["valid"] for _, payload, _ in results)
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        admitted, completed, lost, processes = parse_drain_line(proc)
+        assert processes == 2
+        assert lost == 0
+        assert admitted == completed == 20
+
+    def test_sigterm_under_inflight_load_loses_nothing(
+        self, prefork_served
+    ):
+        proc, host, port = prefork_served
+        xml = po_xml(200)
+        results: list = []
+        lock = threading.Lock()
+
+        def client() -> None:
+            try:
+                result = http_json(
+                    host, port, "POST", "/validate",
+                    {"pair": "po-exp2", "xml": xml}, timeout=30.0,
+                )
+            except OSError:
+                # Connection refused after the listener stopped: the
+                # request was never admitted anywhere, which is fine.
+                return
+            with lock:
+                results.append(result)
+
+        threads = [
+            threading.Thread(target=client, daemon=True) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert proc.wait(timeout=30) == 0
+        admitted, completed, lost, processes = parse_drain_line(proc)
+        assert processes == 2
+        # THE fleet-wide invariant: accepted-but-unanswered == 0
+        # across every child.
+        assert lost == 0
+        assert admitted == completed
+        for status, payload, _ in results:
+            if status == 200:
+                assert payload["valid"] is True
+            else:
+                assert status == 503
+                assert payload["error"]["code"] == "draining"
+
+    def test_hot_pair_propagates_to_every_child(self, prefork_served):
+        proc, host, port = prefork_served
+        status, created, _ = http_json(
+            host, port, "POST", "/admin/pairs",
+            {
+                "name": "hot-note",
+                "source_text": "<!ELEMENT note (#PCDATA)>",
+                "source_kind": "dtd",
+                "target_text": "<!ELEMENT note (#PCDATA)>",
+                "target_kind": "dtd",
+            },
+        )
+        assert status == 201, created
+
+        # Let every child's journal watcher pick the record up, then
+        # hammer enough requests that the kernel spreads them over both
+        # listeners: all must know the pair.
+        deadline = time.monotonic() + 15.0
+        streak = 0
+        while streak < 20:
+            status, payload, _ = http_json(
+                host, port, "POST", "/validate",
+                {"pair": "hot-note", "xml": "<note>x</note>",
+                 "schema": "source"},
+            )
+            if status == 200:
+                assert payload["valid"] is True
+                streak += 1
+            else:
+                assert status == 404, payload
+                streak = 0
+                assert time.monotonic() < deadline, (
+                    "hot pair never reached every child"
+                )
+                time.sleep(0.1)
+
+        status, retired, _ = http_json(
+            host, port, "DELETE", "/admin/pairs/hot-note"
+        )
+        assert status == 200, retired
+
+        # Retirement propagates the same way: eventually every child
+        # answers 404 and no child resurrects the pair.
+        deadline = time.monotonic() + 15.0
+        streak = 0
+        while streak < 20:
+            status, payload, _ = http_json(
+                host, port, "POST", "/validate",
+                {"pair": "hot-note", "xml": "<note>x</note>",
+                 "schema": "source"},
+            )
+            if status == 404:
+                streak += 1
+            else:
+                assert status == 200, payload
+                streak = 0
+                assert time.monotonic() < deadline, (
+                    "retirement never reached every child"
+                )
+                time.sleep(0.1)
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        _, _, lost, processes = parse_drain_line(proc)
+        assert lost == 0 and processes == 2
