@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 
 def render_table(
@@ -78,6 +78,7 @@ def update_bench_json(
     entries: Mapping[str, Mapping[str, object]],
     *,
     source: str,
+    chain_length: Optional[int] = None,
 ) -> str:
     """Merge benchmark records into the machine-readable results file.
 
@@ -106,12 +107,17 @@ def update_bench_json(
     except (OSError, ValueError):
         pass
     for name, record in entries.items():
-        results[name] = {
+        stamped = {
             **record,
             "source": source,
             "cpu_count": os.cpu_count(),
             "kernel_backend": _kernel_backend(),
         }
+        if chain_length is not None:
+            # Evolution-chain records carry the schema count, so a
+            # chain speedup is never read without knowing n.
+            stamped["chain_length"] = chain_length
+        results[name] = stamped
     data = {"version": 1, "results": results}
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)

@@ -189,8 +189,28 @@ def _load_pair(
 
     Returns ``(pair, artifact_file)``; the artifact file path (set only
     with ``--cache-dir``) lets the batch driver ship a path instead of
-    a pickled pair to spawn-based worker pools.
+    a pickled pair to spawn-based worker pools.  With ``--chain`` the
+    pair is the chain's single composed pair (its ``.chain`` attribute
+    keeps the sequential fallback available).
     """
+    chain_paths = getattr(args, "chain", None)
+    if chain_paths:
+        schemas = [load_schema(path) for path in chain_paths]
+        cache_dir = getattr(args, "cache_dir", None)
+        if cache_dir:
+            from repro.schema.artifacts import (
+                artifact_path,
+                chain_cache_key,
+                get_or_build_chain,
+            )
+
+            pair, from_cache = get_or_build_chain(schemas, cache_dir)
+            origin = "cached artifact" if from_cache else "built and cached"
+            print(f"chain: {origin} ({cache_dir})")
+            return pair, artifact_path(cache_dir, chain_cache_key(schemas))
+        from repro.schema.chain import SchemaChain
+
+        return SchemaChain(schemas).composed_pair(), None
     source = load_schema(args.source)
     target = load_schema(args.target)
     cache_dir = getattr(args, "cache_dir", None)
@@ -214,6 +234,25 @@ def cmd_cast(args: argparse.Namespace) -> int:
     limits, problem = _guard_limits(args)
     if limits is None:
         print(f"error: {problem}", file=sys.stderr)
+        return 2
+    if args.chain:
+        if args.source or args.target:
+            print(
+                "error: --chain replaces --source/--target",
+                file=sys.stderr,
+            )
+            return 2
+        if len(args.chain) < 2:
+            print(
+                "error: --chain needs at least two schema files",
+                file=sys.stderr,
+            )
+            return 2
+    elif not (args.source and args.target):
+        print(
+            "error: cast needs --source and --target (or --chain)",
+            file=sys.stderr,
+        )
         return 2
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint PATH",
@@ -273,6 +312,67 @@ def cmd_cast(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_cast_with_mods(args: argparse.Namespace) -> int:
+    import json
+
+    limits, problem = _guard_limits(args)
+    if limits is None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+    from repro.core.updateprog import (
+        Classification,
+        UpdateProgram,
+        cast_text_with_program,
+        classify,
+    )
+
+    with limits_scope(limits):
+        pair, _ = _load_pair(args)
+        with open(args.program, encoding="utf-8") as handle:
+            program = UpdateProgram.from_wire(json.load(handle))
+        classification = classify(pair, program)
+        print(
+            f"program: {len(program.rules)} rule(s), "
+            f"classified {classification.value} for "
+            f"{pair.source.name or 'source'} -> "
+            f"{pair.target.name or 'target'}"
+        )
+        if args.classify_only:
+            return 0
+        if (
+            args.document is None
+            and classification is Classification.INSTANCE_DEPENDENT
+            and not args.require_safe
+        ):
+            print(
+                "error: instance-dependent program needs a document",
+                file=sys.stderr,
+            )
+            return 2
+        text = None
+        if args.document is not None:
+            with open(args.document, encoding="utf-8") as handle:
+                text = handle.read()
+        report, classification = cast_text_with_program(
+            pair,
+            program,
+            text,
+            limits=limits,
+            require_safe=args.require_safe,
+        )
+    subject = args.document or "<static>"
+    if report.valid:
+        traversal = (
+            " (no document traversal)"
+            if classification is not Classification.INSTANCE_DEPENDENT
+            else ""
+        )
+        print(f"{subject}: valid{traversal}")
+        return 0
+    print(f"{subject}: INVALID — {report.reason}")
+    return 1
+
+
 def _cast_directory(
     args: argparse.Namespace,
     pair: SchemaPair,
@@ -301,10 +401,23 @@ def _cast_directory(
         resume=args.resume,
         chunk_size=args.chunk_size,
     )
+    chain = getattr(pair, "chain", None)
     for result in batch.invalid:
         detail = result.error or result.reason
         if result.error and result.error_code:
             detail = f"{detail} [{result.error_code}]"
+        elif chain is not None and not result.error:
+            # The batch ran the composed pair; re-derive the reject
+            # reason hop-by-hop so it names the first failing schema.
+            try:
+                with open(result.path, encoding="utf-8") as handle:
+                    sequential = chain.sequential_cast_text(
+                        handle.read(), limits=limits
+                    )
+                if not sequential.valid:
+                    detail = sequential.reason
+            except OSError:
+                pass
         print(f"{result.path}: INVALID — {detail}")
     print(
         f"{document}: {batch.valid_count}/{batch.total} valid "
@@ -336,6 +449,27 @@ def _cast_single(
     limits: Limits,
     memo_size: Optional[int],
 ) -> int:
+    chain = getattr(pair, "chain", None)
+    if chain is not None:
+        # One fused pass over the composed pair; accepts are
+        # authoritative, rejects re-run hop-by-hop so the verdict and
+        # message name the first schema in the chain that fails.
+        if chain.statically_safe:
+            print(
+                "chain: statically safe "
+                f"({len(chain.schemas) - 1} hops, 0 residual checks) — "
+                "source-valid documents need no revalidation"
+            )
+        with open(document, encoding="utf-8") as handle:
+            text = handle.read()
+        report = chain.cast_text(
+            text, limits=limits, stream_skip=args.stream_skip
+        )
+        verdict = (
+            "valid" if report.valid else f"INVALID — {report.reason}"
+        )
+        print(f"{document}: {verdict}")
+        return 0 if report.valid else 1
     if args.streaming or args.stream_skip:
         # The streaming validator never materializes subtrees, so
         # there is nothing to fingerprint — no memo here.
@@ -428,10 +562,11 @@ def cmd_relations(args: argparse.Namespace) -> int:
 
 
 def _parse_pair_flags(args: argparse.Namespace):
-    """``--pair NAME=SRC:TGT`` / ``--pair-timeout NAME=SECONDS`` →
-    ``PairSpec`` list; raises ``ValueError`` with a usage message."""
+    """``--pair NAME=SRC:TGT`` / ``--chain NAME=S1:S2:...`` /
+    ``--pair-timeout NAME=SECONDS`` → spec list; raises ``ValueError``
+    with a usage message."""
     from repro.guards import Limits
-    from repro.service.registry import PairSpec
+    from repro.service.registry import ChainSpec, PairSpec
 
     timeouts: dict[str, float] = {}
     for flag in args.pair_timeout or []:
@@ -478,13 +613,37 @@ def _parse_pair_flags(args: argparse.Namespace):
         specs.append(
             PairSpec(name, source, target, limits=limits_for(name))
         )
+    if getattr(args, "demo_chain", False):
+        from repro.service.registry import demo_chain_spec
+
+        demo_chain = demo_chain_spec()
+        specs.append(
+            ChainSpec(
+                demo_chain.name,
+                demo_chain.schemas,
+                limits=limits_for(demo_chain.name),
+            )
+        )
+    for flag in getattr(args, "chain", None) or []:
+        name, _, paths = flag.partition("=")
+        schemas = tuple(p for p in paths.split(":") if p)
+        if not name or len(schemas) < 2:
+            raise ValueError(
+                f"--chain wants NAME=S1:S2[:...], got {flag!r}"
+            )
+        specs.append(
+            ChainSpec(name, schemas, limits=limits_for(name))
+        )
     if timeouts:
         raise ValueError(
             "--pair-timeout names unregistered pairs: "
             + ", ".join(sorted(timeouts))
         )
     if not specs:
-        raise ValueError("serve needs --demo and/or at least one --pair")
+        raise ValueError(
+            "serve needs --demo, --demo-chain, and/or at least one "
+            "--pair/--chain"
+        )
     return specs
 
 
@@ -656,8 +815,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="document files and/or directories; directories run in "
         "batch mode and share one worker fleet",
     )
-    cast.add_argument("--source", required=True)
-    cast.add_argument("--target", required=True)
+    cast.add_argument("--source", help="source schema (with --target)")
+    cast.add_argument("--target", help="target schema (with --source)")
+    cast.add_argument(
+        "--chain",
+        nargs="+",
+        metavar="SCHEMA",
+        help="evolution chain S1 S2 ... Sn (two or more schema files): "
+        "compose every hop into one pair and cast S1-valid documents "
+        "against Sn in a single fused pass (replaces --source/--target)",
+    )
     cast.add_argument("--stats", action="store_true")
     cast.add_argument(
         "--recursive",
@@ -743,6 +910,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_guard_options(cast)
     cast.set_defaults(handler=cmd_cast)
 
+    castmods = commands.add_parser(
+        "cast-with-mods",
+        help="cast a document after applying a parametric update program",
+    )
+    castmods.add_argument(
+        "document",
+        nargs="?",
+        help="document file; optional when the program classifies "
+        "always-safe or never-safe (the verdict is static)",
+    )
+    castmods.add_argument("--source", required=True)
+    castmods.add_argument("--target", required=True)
+    castmods.add_argument(
+        "--program",
+        required=True,
+        metavar="RULES.json",
+        help="JSON file holding the rule list, e.g. "
+        '[{"op": "delete", "label": "shipDate"}, '
+        '{"op": "rename", "from": "comment", "to": "note"}, '
+        '{"op": "insert", "label": "tag", "parent": "item", '
+        '"position": "last"}]',
+    )
+    castmods.add_argument(
+        "--require-safe",
+        action="store_true",
+        help="error out (exit 2) unless the program is statically "
+        "always-safe for this pair — guarantees a zero-traversal cast",
+    )
+    castmods.add_argument(
+        "--classify-only",
+        action="store_true",
+        help="print the static classification and exit without "
+        "touching any document",
+    )
+    castmods.add_argument(
+        "--cache-dir",
+        help="directory for persisted schema-pair artifacts",
+    )
+    _add_guard_options(castmods)
+    castmods.set_defaults(handler=cmd_cast_with_mods)
+
     repair = commands.add_parser(
         "repair", help="correct a document to conform to the target schema"
     )
@@ -788,6 +996,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="NAME=SOURCE:TARGET",
         help="register a schema pair from files (repeatable)",
+    )
+    serve.add_argument(
+        "--chain",
+        action="append",
+        metavar="NAME=S1:S2:...",
+        help="register an evolution chain of schema files as one "
+        "composed pair answering POST /cast-chain (repeatable)",
+    )
+    serve.add_argument(
+        "--demo-chain",
+        action="store_true",
+        help="register a three-hop purchase-order drift chain "
+        "as 'po-chain'",
     )
     serve.add_argument(
         "--pair-timeout",

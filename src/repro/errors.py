@@ -136,6 +136,27 @@ class UpdateError(ReproError):
     code = "update-invalid"
 
 
+class ChainMismatchError(ReproError):
+    """An evolution chain is malformed: the pairs being composed do not
+    share their junction schema, the chain is shorter than one hop, or a
+    chain operation was requested against a plain (non-chain) pair."""
+
+    code = "chain-mismatch"
+
+
+class UnsafeUpdateProgramError(ReproError):
+    """A parametric update program was required to be statically safe
+    for a schema pair (``require_safe``) but classified as
+    never-safe or instance-dependent, so the zero-traversal verdict
+    shortcut cannot be taken."""
+
+    code = "unsafe-update-program"
+
+    def __init__(self, message: str, classification: str = ""):
+        self.classification = classification
+        super().__init__(message)
+
+
 class BatchError(ReproError):
     """A batch run could not even start (missing or unreadable input
     directory).  Per-document failures never raise this; they are

@@ -38,7 +38,10 @@ from repro.schema.registry import SchemaPair
 #: v2: ``_string_casts`` became a ``LazyPairTable`` (was a plain dict).
 #: v3: compiled tables went flat (``array('i')`` + ``bytes`` flags) and
 #: pairs carry the fused :class:`~repro.schema.pairkernel.PairKernel`.
-ARTIFACT_VERSION = 3
+#: v4: composed evolution-chain pairs (a ``chain`` attribute holding the
+#: :class:`~repro.schema.chain.SchemaChain`, product target schemas with
+#: :class:`~repro.schema.simple.IntersectionType` values) may be pickled.
+ARTIFACT_VERSION = 4
 
 
 class ArtifactError(ReproError):
@@ -124,6 +127,22 @@ def pair_cache_key(source: Schema, target: Schema) -> str:
     return digest.hexdigest()
 
 
+def chain_cache_key(schemas) -> str:
+    """The content-addressed key of a composed S₁→…→Sₙ chain artifact.
+
+    Hashes *every* fingerprint in order — a chain through different
+    intermediate schemas is a different composition even when its two
+    endpoints agree, because the intermediates decide which checks the
+    hop analysis keeps.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro-chain-v{ARTIFACT_VERSION}\n".encode("ascii"))
+    for schema in schemas:
+        digest.update(schema_fingerprint(schema).encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
 def artifact_path(cache_dir: str, key: str) -> str:
     return os.path.join(cache_dir, f"pair-{key[:32]}.pkl")
 
@@ -131,8 +150,12 @@ def artifact_path(cache_dir: str, key: str) -> str:
 # -- persistence -----------------------------------------------------------------
 
 
-def save(pair: SchemaPair, path: str) -> int:
+def save(pair: SchemaPair, path: str, *, key: Optional[str] = None) -> int:
     """Persist a pair artifact; returns the file size in bytes.
+
+    ``key`` defaults to the two-schema :func:`pair_cache_key`; composed
+    chain pairs pass their :func:`chain_cache_key` instead, so a chain
+    artifact can never satisfy a plain-pair lookup (or vice versa).
 
     The write goes through a temporary file and an atomic rename, so a
     crashed writer never leaves a half-written artifact for a
@@ -140,7 +163,7 @@ def save(pair: SchemaPair, path: str) -> int:
     """
     payload = {
         "version": ARTIFACT_VERSION,
-        "key": pair_cache_key(pair.source, pair.target),
+        "key": key or pair_cache_key(pair.source, pair.target),
         "pair": pair,
     }
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -228,4 +251,36 @@ def get_or_build(
     if warm:
         pair.warm()
     save(pair, path)
+    return pair, False
+
+
+def get_or_build_chain(
+    schemas,
+    cache_dir: str,
+    *,
+    warm: bool = True,
+) -> tuple[SchemaPair, bool]:
+    """The composed pair for an S₁→…→Sₙ evolution chain, cached like
+    :func:`get_or_build` but keyed by :func:`chain_cache_key` over every
+    schema in order.  Returns ``(composed_pair, from_cache)``; the pair
+    carries its :class:`~repro.schema.chain.SchemaChain` as ``.chain``
+    (pickled along with it), so a cache hit restores the sequential
+    fallback path too.
+    """
+    from repro.schema.chain import SchemaChain  # local: avoid cycle
+
+    schemas = list(schemas)
+    key = chain_cache_key(schemas)
+    path = artifact_path(cache_dir, key)
+    try:
+        pair = load(path, expected_key=key)
+        if getattr(pair, "chain", None) is not None:
+            return pair, True
+    except ArtifactError:
+        pass
+    chain = SchemaChain(schemas)
+    pair = chain.composed_pair()
+    if warm:
+        chain.warm()
+    save(pair, path, key=key)
     return pair, False

@@ -44,7 +44,14 @@ class SchemaPair:
     process restarts.
     """
 
-    def __init__(self, source: Schema, target: Schema):
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        *,
+        r_sub: Optional[frozenset[tuple[str, str]]] = None,
+        r_nondis: Optional[frozenset[tuple[str, str]]] = None,
+    ):
         self.source = source
         self.target = target
         #: The pair alphabet Σ ∪ Σ' interned to dense ids — shared by
@@ -53,13 +60,19 @@ class SchemaPair:
         self.symbols: SymbolTable = SymbolTable(
             sorted(source.alphabet | target.alphabet)
         )
-        #: Definition 4: pairs with ``valid(τ) ⊆ valid(τ')``.
-        self.r_sub: frozenset[tuple[str, str]] = compute_subsumption(
-            source, target
+        #: Definition 4: pairs with ``valid(τ) ⊆ valid(τ')``.  A caller
+        #: may seed a precomputed relation (chain composition joins the
+        #: per-hop relations instead of re-running the fixpoint); any
+        #: sound under-approximation only forgoes skips, never verdicts.
+        self.r_sub: frozenset[tuple[str, str]] = (
+            compute_subsumption(source, target) if r_sub is None else r_sub
         )
-        #: Definition 5: pairs with ``valid(τ) ∩ valid(τ') ≠ ∅``.
-        self.r_nondis: frozenset[tuple[str, str]] = compute_nondisjoint(
-            source, target
+        #: Definition 5: pairs with ``valid(τ) ∩ valid(τ') ≠ ∅``.  Also
+        #: seedable; an over-approximation only forgoes fast-fails.
+        self.r_nondis: frozenset[tuple[str, str]] = (
+            compute_nondisjoint(source, target)
+            if r_nondis is None
+            else r_nondis
         )
         #: Per-type-pair cast machines, promoted lazily on first touch
         #: (:class:`LazyPairTable`); :meth:`warm` can still materialize

@@ -203,6 +203,9 @@ class SimpleType:
         hierarchy (integer ⊆ decimal ⊆ string, boolean/date ⊆ string)
         and is otherwise conservatively False.
         """
+        if isinstance(other, IntersectionType):
+            # self ⊆ ∩members  ⟺  self ⊆ every member.
+            return all(self.is_subsumed_by(m) for m in other.members)
         if self.enumeration is not None:
             # Finite lexical space: check member by member (exact).
             return all(other.validate(member) for member in self.enumeration)
@@ -235,6 +238,9 @@ class SimpleType:
     def is_disjoint_from(self, other: "SimpleType") -> bool:
         """Is no text accepted by both?  Sound (never claims disjointness
         wrongly); exact for ordered same-kind pairs and enumerations."""
+        if isinstance(other, IntersectionType):
+            # Disjoint from ∩members whenever disjoint from any member.
+            return any(self.is_disjoint_from(m) for m in other.members)
         if self.enumeration is not None:
             return not any(other.validate(m) for m in self.enumeration)
         if other.enumeration is not None:
@@ -276,6 +282,92 @@ class SimpleType:
         return f"SimpleType({self.name!r}, {self.kind.value})"
 
 
+@dataclass(frozen=True)
+class IntersectionType(SimpleType):
+    """The conjunction of several simple types — accepts exactly the
+    texts every member accepts.
+
+    Chain composition (:mod:`repro.schema.chain`) needs the value space
+    ``valid(τ₂) ∩ valid(τ₃) ∩ …`` for a tuple type of the product
+    schema; most such intersections are representable as one faceted
+    :class:`SimpleType` (same-kind facet merge), but cross-kind combos
+    (a length-faceted string ∧ an integer) are not.  This subclass keeps
+    those exact rather than approximating: validation is the member
+    conjunction, and the relation bootstraps stay sound via the
+    member-wise rules in :meth:`SimpleType.is_subsumed_by` /
+    :meth:`is_disjoint_from`.
+
+    The inherited facet fields stay at their defaults (kind ``STRING``,
+    no facets); only ``members`` carries semantics.
+    """
+
+    members: tuple[SimpleType, ...] = ()
+
+    def validate(self, text: str) -> bool:
+        return all(member.validate(text) for member in self.members)
+
+    def is_empty(self) -> bool:
+        # Exact emptiness of a conjunction is undecidable cheaply; any
+        # empty member suffices, otherwise assume inhabited (sound for
+        # every consumer here — False only forgoes a prune).
+        return any(member.is_empty() for member in self.members)
+
+    def is_subsumed_by(self, other: SimpleType) -> bool:
+        if isinstance(other, IntersectionType):
+            return all(self.is_subsumed_by(m) for m in other.members)
+        # ∩members ⊆ other whenever any single member already is.
+        return any(m.is_subsumed_by(other) for m in self.members)
+
+    def is_disjoint_from(self, other: SimpleType) -> bool:
+        if isinstance(other, IntersectionType):
+            return any(self.is_disjoint_from(m) for m in other.members)
+        return any(m.is_disjoint_from(other) for m in self.members)
+
+    def __repr__(self) -> str:
+        inner = " ∧ ".join(m.name for m in self.members)
+        return f"IntersectionType({self.name!r}, {inner})"
+
+
+def intersect_simple(
+    a: SimpleType, b: SimpleType, *, name: str
+) -> SimpleType:
+    """A simple type accepting exactly ``valid(a) ∩ valid(b)``.
+
+    Prefers a plain declaration when one side already subsumes the
+    other; otherwise builds a flattened :class:`IntersectionType`.
+    """
+    if a.is_subsumed_by(b):
+        return a if a.name == name else _renamed(a, name)
+    if b.is_subsumed_by(a):
+        return b if b.name == name else _renamed(b, name)
+    members: list[SimpleType] = []
+    for part in (a, b):
+        if isinstance(part, IntersectionType):
+            members.extend(part.members)
+        else:
+            members.append(part)
+    return IntersectionType(name=name, kind=AtomicKind.STRING,
+                            members=tuple(members))
+
+
+def _renamed(decl: SimpleType, name: str) -> SimpleType:
+    if isinstance(decl, IntersectionType):
+        return IntersectionType(
+            name=name, kind=AtomicKind.STRING, members=decl.members
+        )
+    from dataclasses import replace
+
+    return replace(decl, name=name)
+
+
+#: A simple type accepting nothing at all.  Chain composition uses it
+#: for uninhabited corners of the product schema (the empty enumeration
+#: makes every text fail, on any kind).
+BOTTOM = SimpleType(
+    name="⊥", kind=AtomicKind.STRING, enumeration=frozenset()
+)
+
+
 def compiled_checker(decl: SimpleType):
     """A specialized closure computing exactly ``decl.validate``.
 
@@ -289,6 +381,20 @@ def compiled_checker(decl: SimpleType):
     Equivalence with ``validate`` on every text is asserted by the
     kernel equivalence fuzzer.
     """
+    if isinstance(decl, IntersectionType):
+        checks = tuple(compiled_checker(m) for m in decl.members)
+        if len(checks) == 2:
+            first, second = checks
+
+            def check_intersection_2(text: str) -> bool:
+                return first(text) and second(text)
+
+            return check_intersection_2
+
+        def check_intersection(text: str) -> bool:
+            return all(check(text) for check in checks)
+
+        return check_intersection
     kind = decl.kind
     enum = decl.enumeration
     if kind is AtomicKind.STRING:

@@ -23,11 +23,13 @@ from typing import Optional
 from repro.core.result import ValidationReport
 from repro.errors import (
     INTERNAL_CODE,
+    ChainMismatchError,
     DeadlineExceededError,
     DocumentTooLargeError,
     ReproError,
     ResourceLimitError,
     SchemaError,
+    UnsafeUpdateProgramError,
     UpdateError,
     XMLSyntaxError,
     error_code,
@@ -79,6 +81,12 @@ _STATUS_TABLE: tuple[tuple[type, int], ...] = (
     # Pipeline errors surfaced by a posted document or mod list.
     (XMLSyntaxError, 400),
     (UpdateError, 400),
+    # Evolution-chain contract: a chain operation against a non-chain
+    # pair (or a malformed chain) is a client addressing mistake; a
+    # program that fails a ``require_safe`` demand is well-formed but
+    # unprocessable under that pair.
+    (ChainMismatchError, 400),
+    (UnsafeUpdateProgramError, 422),
     # A schema problem is a *server-side* misconfiguration: the client
     # cannot fix it by changing the request.
     (SchemaError, 500),

@@ -25,7 +25,9 @@ from typing import Optional, Sequence, Union
 
 from repro.guards import DEFAULT_LIMITS, Limits
 from repro.schema.artifacts import (
+    chain_cache_key,
     get_or_build,
+    get_or_build_chain,
     pair_cache_key,
     schema_fingerprint,
 )
@@ -40,7 +42,14 @@ from repro.service.errors import (
     UnknownPairError,
 )
 
-__all__ = ["PairSpec", "RegisteredPair", "ServiceRegistry", "demo_specs"]
+__all__ = [
+    "ChainSpec",
+    "PairSpec",
+    "RegisteredPair",
+    "ServiceRegistry",
+    "demo_chain_spec",
+    "demo_specs",
+]
 
 #: Shortest fingerprint prefix accepted by lookup — long enough that a
 #: typo cannot plausibly alias onto another registered pair.
@@ -72,13 +81,30 @@ class PairSpec:
 
 
 @dataclass(frozen=True)
+class ChainSpec:
+    """An S₁→…→Sₙ evolution chain to register as one composed pair.
+
+    ``schemas`` are file paths or parsed :class:`Schema` objects, in
+    evolution order (at least two).  The registry composes them into a
+    single :class:`~repro.schema.chain.SchemaChain` pair at warm-up, so
+    ``POST /cast-chain`` against the entry runs one fused pass with the
+    per-hop sequential fallback intact.
+    """
+
+    name: str
+    schemas: tuple[Union[str, Schema], ...]
+    limits: Optional[Limits] = None
+
+
+@dataclass(frozen=True)
 class RegisteredPair:
     """A warmed pair plus everything a request handler needs."""
 
     name: str
     pair: SchemaPair
     #: Content fingerprint of the (source, target) pair — the stable
-    #: client-visible address (see :func:`pair_cache_key`).
+    #: client-visible address (see :func:`pair_cache_key`).  Chain
+    #: entries use :func:`chain_cache_key` over every schema in order.
     fingerprint: str
     source_fingerprint: str
     target_fingerprint: str
@@ -87,6 +113,9 @@ class RegisteredPair:
     #: its documents).
     limits: Limits
     from_cache: bool = False
+    #: Number of schemas in the evolution chain this entry composes
+    #: (0 for a plain two-schema pair).
+    chain_length: int = 0
 
 
 class ServiceRegistry:
@@ -101,7 +130,7 @@ class ServiceRegistry:
 
     def __init__(
         self,
-        specs: Sequence[PairSpec],
+        specs: Sequence[Union[PairSpec, ChainSpec]],
         *,
         cache_dir: Optional[str] = None,
         default_limits: Optional[Limits] = None,
@@ -153,10 +182,15 @@ class ServiceRegistry:
         self._ready = True
         return self.warm_seconds
 
-    def _build_entry(self, spec: PairSpec) -> RegisteredPair:
+    def _build_entry(
+        self, spec: Union[PairSpec, ChainSpec]
+    ) -> RegisteredPair:
         """Load, compile (or restore from the artifact cache), and wrap
         one spec — the single compilation point for boot warm-up and
-        hot registration alike."""
+        hot registration alike.  :class:`ChainSpec` entries compose
+        their schemas into one chain pair (``chain_length`` > 0)."""
+        if isinstance(spec, ChainSpec):
+            return self._build_chain_entry(spec)
         source = (
             spec.source
             if isinstance(spec.source, Schema)
@@ -183,6 +217,35 @@ class ServiceRegistry:
             target_fingerprint=schema_fingerprint(target),
             limits=spec.limits or self._default_limits,
             from_cache=from_cache,
+        )
+
+    def _build_chain_entry(self, spec: ChainSpec) -> RegisteredPair:
+        from repro.schema.chain import SchemaChain  # local: avoid cycle
+
+        schemas = [
+            entry
+            if isinstance(entry, Schema)
+            else load_schema_file(entry)
+            for entry in spec.schemas
+        ]
+        from_cache = False
+        if self._cache_dir is not None:
+            pair, from_cache = get_or_build_chain(
+                schemas, self._cache_dir
+            )
+        else:
+            chain = SchemaChain(schemas, name=spec.name)
+            pair = chain.composed_pair()
+            chain.warm()
+        return RegisteredPair(
+            name=spec.name,
+            pair=pair,
+            fingerprint=chain_cache_key(schemas),
+            source_fingerprint=schema_fingerprint(pair.source),
+            target_fingerprint=schema_fingerprint(schemas[-1]),
+            limits=spec.limits or self._default_limits,
+            from_cache=from_cache,
+            chain_length=len(pair.chain.schemas),
         )
 
     # -- hot reload (the admin plane) ----------------------------------------
@@ -288,9 +351,11 @@ class ServiceRegistry:
         return [self._by_name[spec.name] for spec in self._specs]
 
     def describe(self) -> list[dict]:
-        """The ``GET /pairs`` payload: one record per registered pair."""
-        return [
-            {
+        """The ``GET /pairs`` payload: one record per registered pair.
+        Chain entries additionally carry their ``chain_length``."""
+        records = []
+        for entry in self.entries():
+            record = {
                 "name": entry.name,
                 "fingerprint": entry.fingerprint,
                 "source_fingerprint": entry.source_fingerprint,
@@ -300,8 +365,10 @@ class ServiceRegistry:
                 "max_tree_depth": entry.limits.max_tree_depth,
                 "from_cache": entry.from_cache,
             }
-            for entry in self.entries()
-        ]
+            if entry.chain_length:
+                record["chain_length"] = entry.chain_length
+            records.append(record)
+        return records
 
 
 def demo_specs(limits: Optional[Limits] = None) -> list[PairSpec]:
@@ -324,3 +391,26 @@ def demo_specs(limits: Optional[Limits] = None) -> list[PairSpec]:
             limits=limits,
         ),
     ]
+
+
+def demo_chain_spec(limits: Optional[Limits] = None) -> ChainSpec:
+    """A three-hop purchase-order drift chain (quantity bound tightening,
+    then billTo becoming required) for ``--demo-chain`` smoke runs and
+    the chain service tests."""
+    from repro.workloads import purchase_orders as po
+
+    return ChainSpec(
+        "po-chain",
+        (
+            po.purchase_order_schema(
+                billto_optional=True, quantity_max_exclusive=400
+            ),
+            po.purchase_order_schema(
+                billto_optional=True, quantity_max_exclusive=200
+            ),
+            po.purchase_order_schema(
+                billto_optional=False, quantity_max_exclusive=100
+            ),
+        ),
+        limits=limits,
+    )

@@ -600,7 +600,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     _GET_ROUTES = frozenset({"/healthz", "/readyz", "/pairs"})
-    _POST_ROUTES = frozenset({"/validate", "/cast", "/cast-with-mods"})
+    _POST_ROUTES = frozenset(
+        {"/validate", "/cast", "/cast-with-mods", "/cast-chain"}
+    )
     _ADMIN_ROUTE = "/admin/pairs"
 
     # -- plumbing ------------------------------------------------------------

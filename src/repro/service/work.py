@@ -28,7 +28,7 @@ from repro.core.cast import cast_text
 from repro.core.updates import UpdateSession
 from repro.core.validator import validate_document
 from repro.dewey import Dewey
-from repro.errors import DeadlineExceededError
+from repro.errors import ChainMismatchError, DeadlineExceededError
 from repro.guards import Limits, limits_scope
 from repro.schema.registry import SchemaPair
 from repro.service.diagnostics import report_payload
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 #: Route suffix → job kind; the vocabulary both execution paths share.
-VALIDATION_KINDS = ("validate", "cast", "cast-with-mods")
+VALIDATION_KINDS = ("validate", "cast", "cast-with-mods", "cast-chain")
 
 
 def require_str(request: dict, field: str) -> str:
@@ -188,6 +188,7 @@ def perform_request(
     xml = require_str(request, "xml")
     started = time.perf_counter()
     mods_applied: Optional[int] = None
+    extra: dict = {}
     with limits_scope(limits):
         if kind == "validate":
             which = request.get("schema", "target")
@@ -209,13 +210,50 @@ def perform_request(
                 trusted=bool(request.get("trusted", False)),
             )
         elif kind == "cast-with-mods":
-            document = parse(xml, limits=limits, symbols=pair.symbols)
-            session = UpdateSession(document)
-            apply_mods(session, request.get("mods", []))
-            report = CastWithModificationsValidator(
-                pair, collect_stats=False, limits=limits
-            ).validate(session)
-            mods_applied = session.update_count
+            program_wire = request.get("program")
+            if program_wire is not None and request.get("mods"):
+                raise MalformedRequestError(
+                    "request carries both 'mods' (instance deltas) and "
+                    "'program' (parametric rules); send one"
+                )
+            if program_wire is not None:
+                from repro.core.updateprog import (
+                    UpdateProgram,
+                    cast_text_with_program,
+                )
+
+                program = UpdateProgram.from_wire(program_wire)
+                report, classification = cast_text_with_program(
+                    pair,
+                    program,
+                    xml,
+                    limits=limits,
+                    require_safe=bool(request.get("require_safe", False)),
+                )
+                mods_applied = len(program.rules)
+                extra["classification"] = classification.value
+            else:
+                document = parse(xml, limits=limits, symbols=pair.symbols)
+                session = UpdateSession(document)
+                apply_mods(session, request.get("mods", []))
+                report = CastWithModificationsValidator(
+                    pair, collect_stats=False, limits=limits
+                ).validate(session)
+                mods_applied = session.update_count
+        elif kind == "cast-chain":
+            chain = getattr(pair, "chain", None)
+            if chain is None:
+                raise ChainMismatchError(
+                    f"pair {pair_name or fingerprint or '?'!r} is not an "
+                    "evolution chain; POST /cast against it instead"
+                )
+            report = chain.cast_text(
+                xml,
+                limits=limits,
+                stream_skip=bool(request.get("stream_skip", True)),
+                trusted=bool(request.get("trusted", False)),
+            )
+            extra["chain_length"] = len(chain.schemas)
         else:
             raise MalformedRequestError(f"unknown job kind {kind!r}")
     payload = report_payload(
@@ -226,6 +264,7 @@ def perform_request(
     )
     if mods_applied is not None:
         payload["mods_applied"] = mods_applied
+    payload.update(extra)
     return payload
 
 

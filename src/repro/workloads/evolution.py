@@ -1,0 +1,354 @@
+"""k-hop purchase-order schema drift: the evolution-chain workload.
+
+Real schemas evolve in small steps — a facet tightens, an optional
+element becomes required, a label is renamed — and a document validated
+against revision 1 must be revalidated against revision n.  This module
+generates such histories deterministically from the paper's Figure 2
+purchase-order family, one drift step per hop:
+
+* ``tighten`` — the ``quantity`` bound halves, or ``billTo`` becomes
+  required (narrows the language: the interesting residual check).
+* ``loosen`` — the ``quantity`` bound doubles, or ``billTo`` becomes
+  optional (widens the language: the hop is vacuous under the premise,
+  and a chain of these is statically safe).
+* ``rename`` — the optional ``shipDate`` element gets a new label
+  (``deliveryDate``, ``dispatchDate``, ...): incomparable with the
+  previous revision, so neither subsumed nor vacuous.
+
+Both the chain-equivalence fuzzer and :mod:`benchmarks.bench_chain`
+draw their schemas and documents from here, so the property tests and
+the performance gate exercise the same drift space.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.schema.model import Schema
+from repro.schema.xsd import parse_xsd
+from repro.xmltree.dom import Document, Element, element
+from repro.xmltree.serializer import serialize
+
+__all__ = [
+    "DRIFT_KINDS",
+    "DriftState",
+    "conforming_document",
+    "drift_chain",
+    "po_variant",
+    "po_variant_xsd",
+    "violating_document",
+]
+
+#: Hop kinds :func:`drift_chain` understands, in the order a cyclic
+#: default plan applies them.
+DRIFT_KINDS = ("tighten", "loosen", "rename")
+
+#: Successive labels a ``rename`` hop rotates the ship-date element
+#: through; after the last it continues with ``shipDate4``, ...
+_RENAME_LABELS = ("shipDate", "deliveryDate", "dispatchDate")
+
+
+def po_variant_xsd(
+    *,
+    billto_optional: bool = True,
+    qty_max: int = 100,
+    shipdate_label: str = "shipDate",
+) -> str:
+    """XSD source for one revision of the Figure 2 family."""
+    billto_min = ' minOccurs="0"' if billto_optional else ""
+    return f"""
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:element name="purchaseOrder" type="POType"/>
+  <xsd:element name="comment" type="xsd:string"/>
+  <xsd:complexType name="POType">
+    <xsd:sequence>
+      <xsd:element name="shipTo" type="USAddress"/>
+      <xsd:element name="billTo" type="USAddress"{billto_min}/>
+      <xsd:element name="items" type="Items"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="USAddress">
+    <xsd:sequence>
+      <xsd:element name="name" type="xsd:string"/>
+      <xsd:element name="street" type="xsd:string"/>
+      <xsd:element name="city" type="xsd:string"/>
+      <xsd:element name="state" type="xsd:string"/>
+      <xsd:element name="zip" type="xsd:decimal"/>
+      <xsd:element name="country" type="xsd:string"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Items">
+    <xsd:sequence>
+      <xsd:element name="item" type="Item" minOccurs="0"
+                   maxOccurs="unbounded"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Item">
+    <xsd:sequence>
+      <xsd:element name="productName" type="xsd:string"/>
+      <xsd:element name="quantity">
+        <xsd:simpleType>
+          <xsd:restriction base="xsd:positiveInteger">
+            <xsd:maxExclusive value="{qty_max}"/>
+          </xsd:restriction>
+        </xsd:simpleType>
+      </xsd:element>
+      <xsd:element name="USPrice" type="xsd:decimal"/>
+      <xsd:element name="{shipdate_label}" type="xsd:date" minOccurs="0"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>
+"""
+
+
+def po_variant(
+    *,
+    billto_optional: bool = True,
+    qty_max: int = 100,
+    shipdate_label: str = "shipDate",
+    name: str = "",
+) -> Schema:
+    """One parsed revision of the purchase-order schema family."""
+    return parse_xsd(
+        po_variant_xsd(
+            billto_optional=billto_optional,
+            qty_max=qty_max,
+            shipdate_label=shipdate_label,
+        ),
+        name=name
+        or (
+            f"po-{'opt' if billto_optional else 'req'}"
+            f"-qty{qty_max}-{shipdate_label}"
+        ),
+    )
+
+
+class DriftState:
+    """The evolving schema parameters along one history."""
+
+    def __init__(
+        self,
+        *,
+        billto_optional: bool = True,
+        qty_max: int = 256,
+        rename_step: int = 0,
+    ):
+        self.billto_optional = billto_optional
+        self.qty_max = qty_max
+        self.rename_step = rename_step
+
+    @property
+    def shipdate_label(self) -> str:
+        if self.rename_step < len(_RENAME_LABELS):
+            return _RENAME_LABELS[self.rename_step]
+        return f"shipDate{self.rename_step + 1}"
+
+    def schema(self, name: str = "") -> Schema:
+        return po_variant(
+            billto_optional=self.billto_optional,
+            qty_max=self.qty_max,
+            shipdate_label=self.shipdate_label,
+            name=name,
+        )
+
+    def apply(self, kind: str) -> None:
+        """Advance one drift step; ``tighten``/``loosen`` alternate
+        between the quantity facet and the billTo occurrence so both
+        simple-type and content-model drift occur."""
+        if kind == "tighten":
+            if self.billto_optional and self.qty_max <= 16:
+                self.billto_optional = False
+            else:
+                self.qty_max = max(4, self.qty_max // 2)
+        elif kind == "loosen":
+            if not self.billto_optional:
+                self.billto_optional = True
+            else:
+                self.qty_max *= 2
+        elif kind == "rename":
+            self.rename_step += 1
+        else:
+            raise ValueError(
+                f"unknown drift kind {kind!r}; pick from {DRIFT_KINDS}"
+            )
+
+
+def drift_chain(
+    hops: int,
+    kinds: Optional[Sequence[str]] = None,
+    *,
+    qty_start: int = 256,
+) -> tuple[list[Schema], list[str]]:
+    """``hops`` revisions of drift: returns ``(schemas, kinds)`` with
+    ``len(schemas) == hops + 1``.
+
+    ``kinds`` picks the step at each hop (defaults to all-``tighten``,
+    the monotone history whose residual collapses to one check).  The
+    returned kinds list is the plan actually applied.
+    """
+    if hops < 1:
+        raise ValueError("a drift chain needs at least one hop")
+    plan = list(kinds) if kinds is not None else ["tighten"] * hops
+    if len(plan) != hops:
+        raise ValueError(
+            f"{hops} hops but {len(plan)} kinds: {plan!r}"
+        )
+    state = DriftState(qty_max=qty_start)
+    schemas = [state.schema(name="po-rev0")]
+    for index, kind in enumerate(plan):
+        state.apply(kind)
+        schemas.append(state.schema(name=f"po-rev{index + 1}"))
+    return schemas, plan
+
+
+# -- documents ---------------------------------------------------------------
+
+
+def _address(label: str) -> Element:
+    return element(
+        label,
+        element("name", "Alice Smith"),
+        element("street", "123 Maple Street"),
+        element("city", "Mill Valley"),
+        element("state", "CA"),
+        element("zip", "90952"),
+        element("country", "US"),
+    )
+
+
+def _item(
+    index: int, quantity: int, shipdate_label: Optional[str]
+) -> Element:
+    children = [
+        element("productName", f"Lawnmower model {index}"),
+        element("quantity", str(quantity)),
+        element("USPrice", f"{148 + (index % 50)}.95"),
+    ]
+    if shipdate_label is not None:
+        children.append(
+            element(shipdate_label, "2004-05-%02d" % (1 + index % 28))
+        )
+    return element("item", *children)
+
+
+def _order(
+    item_count: int,
+    *,
+    with_billto: bool,
+    quantity_of: Callable[[int], int],
+    shipdate_label: Optional[str],
+) -> Document:
+    children = [_address("shipTo")]
+    if with_billto:
+        children.append(_address("billTo"))
+    children.append(
+        element(
+            "items",
+            *(
+                _item(index, quantity_of(index), shipdate_label)
+                for index in range(item_count)
+            ),
+        )
+    )
+    return Document(element("purchaseOrder", *children))
+
+
+def _min_qty(schemas: Sequence[Schema]) -> int:
+    """The tightest quantity bound along the chain, recovered from the
+    anonymous quantity type's ``maxExclusive`` facet."""
+    bound = None
+    for schema in schemas:
+        declaration = schema.types.get("#anon:Item.quantity")
+        value = getattr(declaration, "max_exclusive", None)
+        if value is not None:
+            value = int(value)
+            bound = value if bound is None else min(bound, value)
+    return bound if bound is not None else 100
+
+
+def conforming_document(
+    schemas: Sequence[Schema], item_count: int = 8
+) -> str:
+    """Serialized purchase order valid under *every* chain revision:
+    quantities below the tightest bound, ``billTo`` present, the
+    optional ship-date element omitted (its label may drift)."""
+    bound = _min_qty(schemas)
+    document = _order(
+        item_count,
+        with_billto=True,
+        quantity_of=lambda index: 1 + index % max(1, bound - 1),
+        shipdate_label=None,
+    )
+    return serialize(document)
+
+
+def violating_document(
+    schemas: Sequence[Schema],
+    kinds: Sequence[str],
+    hop: int,
+    item_count: int = 8,
+) -> str:
+    """Serialized purchase order valid under revision 0 but built to
+    trip the change hop ``hop`` (0-based) introduced.
+
+    For a ``tighten`` hop the violation is a quantity inside the old
+    bound but outside the new one (or a missing ``billTo``); for a
+    ``rename`` hop the document carries the *pre-rename* ship-date
+    label.  ``loosen`` hops reject nothing — the document violates the
+    tightest bound anywhere in the chain instead, so the overall chain
+    verdict is still invalid.
+    """
+    if not 0 <= hop < len(kinds):
+        raise ValueError(f"hop {hop} outside {len(kinds)}-hop chain")
+    kind = kinds[hop]
+    before, after = schemas[hop], schemas[hop + 1]
+    if kind == "rename":
+        old_label = sorted(
+            before.useful_symbols("Item") - after.useful_symbols("Item")
+        )
+        label = old_label[0] if old_label else "shipDate"
+        document = _order(
+            item_count,
+            with_billto=True,
+            quantity_of=lambda index: 1 + index % 3,
+            shipdate_label=label,
+        )
+        return serialize(document)
+    def billto_optional(schema: Schema) -> bool:
+        return schema.content_dfa("POType").accepts(("shipTo", "items"))
+
+    if kind == "tighten" and billto_optional(before) and not billto_optional(
+        after
+    ):
+        # The hop required billTo; omitting it was legal before.
+        document = _order(
+            item_count,
+            with_billto=False,
+            quantity_of=lambda index: 1 + index % 3,
+            shipdate_label=None,
+        )
+        return serialize(document)
+    old_bound = _min_qty(schemas[: hop + 1])
+    new_bound = _min_qty([after])
+    if kind == "tighten" and new_bound < old_bound:
+        violating = new_bound  # >= new bound, < every earlier bound
+        document = _order(
+            item_count,
+            with_billto=True,
+            quantity_of=lambda index: (
+                violating if index == item_count // 2 else 1 + index % 3
+            ),
+            shipdate_label=None,
+        )
+        return serialize(document)
+    # Loosen hops reject nothing; violate the chain's tightest bound.
+    bound = _min_qty(schemas)
+    document = _order(
+        item_count,
+        with_billto=True,
+        quantity_of=lambda index: (
+            bound if index == item_count // 2 else 1 + index % 3
+        ),
+        shipdate_label=None,
+    )
+    return serialize(document)

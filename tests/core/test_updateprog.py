@@ -1,0 +1,222 @@
+"""Parametric update programs: classification truth table, zero-traversal
+verdicts, replay semantics, and the wire format."""
+
+import pytest
+
+from repro.core.updateprog import (
+    Classification,
+    DeleteRule,
+    InsertRule,
+    RenameRule,
+    UpdateProgram,
+    apply_program,
+    cast_text_with_program,
+    classify,
+)
+from repro.core.updates import UpdateSession
+from repro.errors import UnsafeUpdateProgramError, UpdateError
+from repro.schema.registry import SchemaPair
+from repro.workloads.evolution import conforming_document, po_variant
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize
+
+
+@pytest.fixture(scope="module")
+def identity_pair():
+    pair = SchemaPair(po_variant(), po_variant())
+    return pair
+
+
+@pytest.fixture(scope="module")
+def require_billto_pair():
+    return SchemaPair(po_variant(), po_variant(billto_optional=False))
+
+
+@pytest.fixture(scope="module")
+def rename_pair():
+    return SchemaPair(
+        po_variant(), po_variant(shipdate_label="deliveryDate")
+    )
+
+
+class TestClassificationTruthTable:
+    def test_delete_optional_always_safe(self, identity_pair):
+        program = UpdateProgram((DeleteRule("shipDate"),))
+        assert classify(identity_pair, program) is (
+            Classification.ALWAYS_SAFE
+        )
+
+    def test_rename_matching_the_drift_always_safe(self, rename_pair):
+        program = UpdateProgram((RenameRule("shipDate", "deliveryDate"),))
+        assert classify(rename_pair, program) is (
+            Classification.ALWAYS_SAFE
+        )
+
+    def test_delete_required_leaf_instance_dependent(self, identity_pair):
+        # Every purchaseOrder-rooted document breaks, but the schema's
+        # second root (a bare comment) never carries a street — so the
+        # verdict depends on the instance.
+        program = UpdateProgram((DeleteRule("street"),))
+        assert classify(identity_pair, program) is (
+            Classification.INSTANCE_DEPENDENT
+        )
+
+    def test_delete_billto_against_requiring_target(
+        self, require_billto_pair
+    ):
+        program = UpdateProgram((DeleteRule("billTo"),))
+        assert classify(require_billto_pair, program) is (
+            Classification.INSTANCE_DEPENDENT
+        )
+
+    def test_delete_every_root_never_safe(self, identity_pair):
+        program = UpdateProgram(
+            (DeleteRule("purchaseOrder"), DeleteRule("comment"))
+        )
+        assert classify(identity_pair, program) is (
+            Classification.NEVER_SAFE
+        )
+
+    def test_rename_every_root_away_never_safe(self, identity_pair):
+        program = UpdateProgram(
+            (
+                RenameRule("purchaseOrder", "bogusOrder"),
+                RenameRule("comment", "bogusComment"),
+            )
+        )
+        assert classify(identity_pair, program) is (
+            Classification.NEVER_SAFE
+        )
+
+    def test_insert_non_empty_valid_element_not_always_safe(
+        self, identity_pair
+    ):
+        # An inserted empty <item/> lacks its required children.
+        program = UpdateProgram(
+            (InsertRule("item", parent="items", position="last"),)
+        )
+        assert classify(identity_pair, program) is not (
+            Classification.ALWAYS_SAFE
+        )
+
+    def test_insert_possibly_duplicating_instance_dependent(
+        self, identity_pair
+    ):
+        # shipDate is optional but maxOccurs 1: appending one is safe
+        # exactly when the item does not already carry one.
+        program = UpdateProgram(
+            (InsertRule("shipDate", parent="item", position="last"),)
+        )
+        assert classify(identity_pair, program) is (
+            Classification.INSTANCE_DEPENDENT
+        )
+
+    def test_classification_memoized(self, identity_pair):
+        program = UpdateProgram((DeleteRule("shipDate"),))
+        first = classify(identity_pair, program)
+        assert classify(identity_pair, program) is first
+        assert program in identity_pair._program_classes
+
+
+class TestZeroTraversalVerdicts:
+    def test_always_safe_answers_without_a_document(self, identity_pair):
+        program = UpdateProgram((DeleteRule("shipDate"),))
+        report, classification = cast_text_with_program(
+            identity_pair, program, None
+        )
+        assert report.valid
+        assert classification is Classification.ALWAYS_SAFE
+
+    def test_never_safe_answers_without_a_document(self, identity_pair):
+        program = UpdateProgram(
+            (DeleteRule("purchaseOrder"), DeleteRule("comment"))
+        )
+        report, classification = cast_text_with_program(
+            identity_pair, program, None
+        )
+        assert not report.valid
+        assert classification is Classification.NEVER_SAFE
+
+    def test_instance_dependent_needs_a_document(self, identity_pair):
+        program = UpdateProgram((DeleteRule("street"),))
+        with pytest.raises(UpdateError):
+            cast_text_with_program(identity_pair, program, None)
+
+    def test_require_safe_raises_typed_error(self, identity_pair):
+        program = UpdateProgram((DeleteRule("street"),))
+        text = conforming_document([identity_pair.source])
+        with pytest.raises(UnsafeUpdateProgramError) as info:
+            cast_text_with_program(
+                identity_pair, program, text, require_safe=True
+            )
+        assert info.value.code == "unsafe-update-program"
+        assert info.value.classification == "instance-dependent"
+
+    def test_instance_dependent_lowers_to_replay(
+        self, require_billto_pair
+    ):
+        program = UpdateProgram((DeleteRule("billTo"),))
+        text = conforming_document([require_billto_pair.source])
+        report, classification = cast_text_with_program(
+            require_billto_pair, program, text
+        )
+        assert classification is Classification.INSTANCE_DEPENDENT
+        assert not report.valid  # billTo was present and is now gone
+
+        keep = UpdateProgram((DeleteRule("shipDate"),))
+        report, classification = cast_text_with_program(
+            require_billto_pair, keep, text
+        )
+        assert classification is not Classification.NEVER_SAFE
+        assert report.valid
+
+
+class TestApplyProgram:
+    def test_replay_matches_rule_semantics(self, identity_pair):
+        text = conforming_document([identity_pair.source], item_count=3)
+        document = parse(text, symbols=identity_pair.symbols)
+        session = UpdateSession(document)
+        program = UpdateProgram((DeleteRule("billTo"),))
+        with pytest.raises(UpdateError):
+            UpdateProgram((RenameRule("x", "y"), RenameRule("x", "z")))
+        applied = apply_program(session, program)
+        assert applied >= 1
+        billto = session.document.root.find("billTo")
+        assert session.is_deleted(billto)
+
+    def test_insert_positions(self, identity_pair):
+        text = conforming_document([identity_pair.source], item_count=1)
+        document = parse(text, symbols=identity_pair.symbols)
+        session = UpdateSession(document)
+        program = UpdateProgram(
+            (InsertRule("shipDate", parent="item", position="last"),)
+        )
+        apply_program(session, program)
+        serialized = serialize(session.document)
+        assert "<shipDate" in serialized
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        program = UpdateProgram(
+            (
+                DeleteRule("shipDate"),
+                RenameRule("comment", "note"),
+                InsertRule("shipDate", parent="item", position="first"),
+            )
+        )
+        assert UpdateProgram.from_wire(program.to_wire()) == program
+
+    def test_malformed_is_typed(self):
+        with pytest.raises(UpdateError):
+            UpdateProgram.from_wire({"op": "delete"})
+        with pytest.raises(UpdateError):
+            UpdateProgram.from_wire([{"op": "explode", "label": "x"}])
+        with pytest.raises(UpdateError):
+            UpdateProgram.from_wire([{"op": "rename", "from": "a"}])
+
+    def test_conflicting_rules_rejected(self):
+        with pytest.raises(UpdateError):
+            UpdateProgram(
+                (DeleteRule("shipDate"), RenameRule("shipDate", "x"))
+            )

@@ -1,0 +1,150 @@
+"""Evolution-chain composition: algebra, hop analysis, artifacts."""
+
+import pytest
+
+from repro.errors import ChainMismatchError
+from repro.schema.artifacts import (
+    chain_cache_key,
+    get_or_build_chain,
+    pair_cache_key,
+    schema_fingerprint,
+)
+from repro.schema.chain import SchemaChain, compose_pairs
+from repro.schema.registry import SchemaPair
+from repro.workloads.evolution import (
+    conforming_document,
+    drift_chain,
+    po_variant,
+    violating_document,
+)
+
+
+@pytest.fixture(scope="module")
+def tighten_chain():
+    schemas, kinds = drift_chain(3)
+    return SchemaChain(schemas, name="tighten-3"), schemas, kinds
+
+
+class TestComposeAlgebra:
+    def test_associativity(self):
+        schemas, _ = drift_chain(3, ["tighten", "rename", "tighten"])
+        p12 = SchemaPair(schemas[0], schemas[1])
+        p23 = SchemaPair(schemas[1], schemas[2])
+        p34 = SchemaPair(schemas[2], schemas[3])
+        left = compose_pairs(compose_pairs(p12, p23), p34)
+        right = compose_pairs(p12, compose_pairs(p23, p34))
+        assert left.chain.fingerprints == right.chain.fingerprints
+        assert schema_fingerprint(left.target) == schema_fingerprint(
+            right.target
+        )
+        assert left.r_sub == right.r_sub
+        assert left.r_nondis == right.r_nondis
+
+    def test_identity_hop_collapses(self):
+        schemas, _ = drift_chain(1)
+        source, target = schemas
+        identity = SchemaPair(source, po_variant(qty_max=256))
+        hop = SchemaPair(po_variant(qty_max=256), target)
+        composed = compose_pairs(identity, hop)
+        # The identity pair contributes no hop: S→S→T ≡ S→T.
+        assert composed.chain.hop_count == 1
+        assert composed.chain.fingerprints == (
+            schema_fingerprint(source),
+            schema_fingerprint(target),
+        )
+
+    def test_junction_mismatch_is_typed(self):
+        schemas, _ = drift_chain(2)
+        first = SchemaPair(schemas[0], schemas[1])
+        skewed = SchemaPair(schemas[0], schemas[2])
+        with pytest.raises(ChainMismatchError) as info:
+            compose_pairs(first, skewed)
+        assert info.value.code == "chain-mismatch"
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChainMismatchError):
+            SchemaChain([])
+
+
+class TestHopAnalysis:
+    def test_monotone_tighten_absorbs_to_one_check(self, tighten_chain):
+        chain, _, _ = tighten_chain
+        analysis = chain.analysis()
+        assert analysis["checked"] == (3,)
+        assert analysis["absorbed"] == (1, 2)
+        assert analysis["vacuous"] == (False, False, False)
+        assert not chain.statically_safe
+
+    def test_loosen_hops_are_vacuous(self):
+        schemas, _ = drift_chain(3, ["tighten", "loosen", "tighten"])
+        chain = SchemaChain(schemas)
+        assert chain.analysis()["vacuous"][1]
+
+    def test_all_loosen_chain_statically_safe(self):
+        schemas, _ = drift_chain(3, ["loosen", "loosen", "loosen"])
+        chain = SchemaChain(schemas)
+        assert chain.statically_safe
+        assert chain.analysis()["checked"] == ()
+        # O(1) verdict: not even well-formedness is consulted.
+        assert chain.cast_text("<not-even-xml").valid
+
+    def test_deep_tighten_chain_stays_one_pass(self):
+        schemas, _ = drift_chain(5)
+        chain = SchemaChain(schemas)
+        assert len(chain.analysis()["checked"]) == 1
+
+
+class TestComposedPair:
+    def test_composed_pair_carries_chain(self, tighten_chain):
+        chain, _, _ = tighten_chain
+        pair = chain.composed_pair()
+        assert pair.chain is chain
+        assert schema_fingerprint(pair.source) == chain.fingerprints[0]
+
+    def test_accepts_conforming_document(self, tighten_chain):
+        chain, schemas, _ = tighten_chain
+        text = conforming_document(schemas)
+        assert chain.cast_text(text).valid
+
+    def test_reject_matches_sequential_pipeline(self, tighten_chain):
+        chain, schemas, kinds = tighten_chain
+        for hop in range(len(kinds)):
+            text = violating_document(schemas, kinds, hop)
+            fused = chain.cast_text(text)
+            sequential = chain.sequential_cast_text(text)
+            assert not fused.valid
+            assert (fused.valid, fused.reason, fused.path) == (
+                sequential.valid,
+                sequential.reason,
+                sequential.path,
+            )
+
+
+class TestChainArtifacts:
+    def test_key_space_disjoint_from_pairs(self):
+        schemas, _ = drift_chain(1)
+        assert chain_cache_key(schemas) != pair_cache_key(
+            schemas[0], schemas[1]
+        )
+
+    def test_key_order_sensitive(self):
+        schemas, _ = drift_chain(2)
+        assert chain_cache_key(schemas) != chain_cache_key(schemas[::-1])
+
+    def test_round_trip_preserves_chain(self, tmp_path):
+        schemas, kinds = drift_chain(2)
+        cache_dir = str(tmp_path / "artifacts")
+        built, from_cache = get_or_build_chain(schemas, cache_dir)
+        assert not from_cache
+        restored, hit = get_or_build_chain(schemas, cache_dir)
+        assert hit
+        assert restored.chain is not None
+        assert restored.chain.fingerprints == built.chain.fingerprints
+        text = violating_document(schemas, kinds, 1)
+        fresh = SchemaChain(schemas).cast_text(text)
+        cached = restored.chain.cast_text(text)
+        assert (cached.valid, cached.reason, cached.path) == (
+            fresh.valid,
+            fresh.reason,
+            fresh.path,
+        )

@@ -1,0 +1,72 @@
+"""The k-hop purchase-order drift workload keeps its premises."""
+
+import pytest
+
+from repro.core.cast import cast_text
+from repro.core.validator import validate_document
+from repro.schema.registry import SchemaPair
+from repro.workloads.evolution import (
+    DRIFT_KINDS,
+    conforming_document,
+    drift_chain,
+    violating_document,
+)
+from repro.xmltree.parser import parse
+
+
+def valid_under(schema, text) -> bool:
+    document = parse(text, symbols=schema.symbols)
+    return validate_document(schema, document, collect_stats=False).valid
+
+
+class TestDriftChain:
+    def test_hop_count_and_names(self):
+        schemas, kinds = drift_chain(3)
+        assert len(schemas) == 4
+        assert kinds == ["tighten"] * 3
+        assert schemas[0].name == "po-rev0"
+        assert schemas[3].name == "po-rev3"
+
+    def test_plan_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            drift_chain(2, ["tighten"])
+        with pytest.raises(ValueError):
+            drift_chain(0)
+        with pytest.raises(ValueError):
+            drift_chain(1, ["transmogrify"])
+
+    def test_every_kind_changes_the_schema(self):
+        for kind in DRIFT_KINDS:
+            schemas, _ = drift_chain(1, [kind])
+            pair = SchemaPair(schemas[0], schemas[1])
+            assert pair.source is not pair.target
+
+
+class TestDocuments:
+    def test_conforming_document_valid_everywhere(self):
+        schemas, _ = drift_chain(4, ["tighten", "rename", "loosen",
+                                     "tighten"])
+        text = conforming_document(schemas)
+        for schema in schemas:
+            assert valid_under(schema, text)
+
+    def test_violating_documents_keep_the_premise(self):
+        # Premise-valid (revision 0) but rejected by the chain — the
+        # contract both the fuzzer and the bench corpus rely on.
+        kinds = ["tighten", "rename", "loosen", "tighten"]
+        schemas, kinds = drift_chain(4, kinds)
+        for hop in range(len(kinds)):
+            text = violating_document(schemas, kinds, hop)
+            assert valid_under(schemas[0], text), f"hop {hop}"
+            rejected = any(
+                not cast_text(
+                    SchemaPair(schemas[i], schemas[i + 1]), text
+                ).valid
+                for i in range(len(kinds))
+            )
+            assert rejected, f"hop {hop} document tripped no hop"
+
+    def test_violating_hop_out_of_range(self):
+        schemas, kinds = drift_chain(2)
+        with pytest.raises(ValueError):
+            violating_document(schemas, kinds, 2)
